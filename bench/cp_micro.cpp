@@ -1,0 +1,115 @@
+// google-benchmark microbenchmarks of the CP engine: timetable profile
+// operations and full solves at several instance sizes. These bound the
+// per-invocation cost that makes up the paper's O metric.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "cp/profile.h"
+#include "cp/solver.h"
+
+namespace mrcp::cp {
+namespace {
+
+void BM_ProfileAddRemove(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  RandomStream rng(1, 0);
+  std::vector<std::pair<Time, Time>> intervals;
+  intervals.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Time s = rng.uniform_int(0, 100000);
+    intervals.emplace_back(s, rng.uniform_int(1, 500));
+  }
+  for (auto _ : state) {
+    Profile p(64);
+    for (const auto& [s, d] : intervals) p.add(s, d, 1);
+    for (const auto& [s, d] : intervals) p.remove(s, d, 1);
+    benchmark::DoNotOptimize(p.num_events());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * n));
+}
+BENCHMARK(BM_ProfileAddRemove)->Arg(100)->Arg(1000)->Arg(5000);
+
+void BM_ProfileEarliestFeasible(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  RandomStream rng(2, 0);
+  Profile p(64);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Time est = rng.uniform_int(0, 100000);
+    const Time dur = rng.uniform_int(1, 500);
+    const Time start = p.earliest_feasible(est, dur, 1);
+    p.add(start, dur, 1);
+  }
+  Time query = 0;
+  for (auto _ : state) {
+    query = (query + 7919) % 100000;
+    benchmark::DoNotOptimize(p.earliest_feasible(query, 100, 1));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ProfileEarliestFeasible)->Arg(100)->Arg(1000)->Arg(5000);
+
+/// Build a random open-batch model: `jobs` jobs of ~100 tasks on the
+/// Table 3 default cluster (combined resource, as MRCP-RM solves it).
+Model make_model(int jobs, std::uint64_t seed) {
+  RandomStream rng(seed, 0);
+  Model m;
+  m.add_resource(100, 100);  // combined: 50 resources x (2, 2)
+  for (int j = 0; j < jobs; ++j) {
+    const Time est = rng.uniform_int(0, 1000) * 1000;
+    Time work = 0;
+    std::vector<Time> maps;
+    std::vector<Time> reduces;
+    const auto k_m = rng.uniform_int(1, 100);
+    const auto k_r = rng.uniform_int(1, 100);
+    for (std::int64_t t = 0; t < k_m; ++t) {
+      maps.push_back(rng.uniform_int(1, 50) * 1000);
+      work += maps.back();
+    }
+    const Time base = 3 * work / k_r;
+    for (std::int64_t t = 0; t < k_r; ++t) {
+      reduces.push_back(base + rng.uniform_int(1, 10) * 1000);
+    }
+    const Time te = work / 100 + base + 10000;
+    const Time deadline =
+        est + static_cast<Time>(static_cast<double>(te) *
+                                rng.uniform_real(1.0, 5.0));
+    const CpJobIndex cj = m.add_job(est, deadline, j);
+    for (Time d : maps) m.add_task(cj, Phase::kMap, d);
+    for (Time d : reduces) m.add_task(cj, Phase::kReduce, d);
+  }
+  return m;
+}
+
+void BM_SolveGreedyPortfolio(benchmark::State& state) {
+  const Model m = make_model(static_cast<int>(state.range(0)), 3);
+  SolveParams params;
+  params.improvement_fails = 0;
+  params.lns_iterations = 0;
+  params.time_limit_s = 60.0;
+  for (auto _ : state) {
+    SolveResult result = solve(m, params);
+    benchmark::DoNotOptimize(result.best.num_late);
+  }
+  state.counters["tasks"] = static_cast<double>(m.num_tasks());
+}
+BENCHMARK(BM_SolveGreedyPortfolio)->Arg(2)->Arg(10)->Arg(25);
+
+void BM_SolveWithImprovement(benchmark::State& state) {
+  const Model m = make_model(static_cast<int>(state.range(0)), 4);
+  SolveParams params;
+  params.improvement_fails = 500;
+  params.lns_iterations = 10;
+  params.time_limit_s = 60.0;
+  for (auto _ : state) {
+    SolveResult result = solve(m, params);
+    benchmark::DoNotOptimize(result.best.num_late);
+  }
+  state.counters["tasks"] = static_cast<double>(m.num_tasks());
+}
+BENCHMARK(BM_SolveWithImprovement)->Arg(2)->Arg(10);
+
+}  // namespace
+}  // namespace mrcp::cp
+
+BENCHMARK_MAIN();

@@ -1,0 +1,24 @@
+// Fig. 4 — effect of task execution times (e_max sweep).
+// Paper finding: O and T increase with e_max; O/T stays below ~0.02%.
+#include "sweep.h"
+
+using namespace mrcp;
+using namespace mrcp::bench;
+
+int main(int argc, char** argv) {
+  Flags flags("Fig. 4: effect of task execution time (e_max in {10, 50, 100} s)");
+  add_common_flags(flags);
+  if (!flags.parse(argc, argv)) return flags.ok() ? 0 : 1;
+  const SweepOptions options = SweepOptions::from_flags(flags);
+
+  const std::vector<std::int64_t> e_max = {10, 50, 100};
+  std::vector<std::string> labels;
+  for (auto v : e_max) labels.push_back(std::to_string(v));
+
+  run_mrcp_sweep("Fig. 4 — effect of task execution time on O, T, N, P",
+                 "e_max(s)", labels, options,
+                 [&](SyntheticWorkloadConfig& wc, std::size_t vi) {
+                   wc.e_max = e_max[vi];
+                 });
+  return 0;
+}

@@ -1,0 +1,24 @@
+// Fig. 6 — effect of the advance-reservation probability p.
+// Paper finding: same trend as Fig. 5 (O, T, P decrease with p), but the
+// decrease in O is milder because s_max stays at its default.
+#include "sweep.h"
+
+using namespace mrcp;
+using namespace mrcp::bench;
+
+int main(int argc, char** argv) {
+  Flags flags("Fig. 6: effect of P(s_j > v_j) (p in {0.1, 0.5, 0.9})");
+  add_common_flags(flags);
+  if (!flags.parse(argc, argv)) return flags.ok() ? 0 : 1;
+  const SweepOptions options = SweepOptions::from_flags(flags);
+
+  const std::vector<double> p = {0.1, 0.5, 0.9};
+  std::vector<std::string> labels = {"0.1", "0.5", "0.9"};
+
+  run_mrcp_sweep("Fig. 6 — effect of earliest-start probability p on O, T, N, P",
+                 "p", labels, options,
+                 [&](SyntheticWorkloadConfig& wc, std::size_t vi) {
+                   wc.start_prob = p[vi];
+                 });
+  return 0;
+}

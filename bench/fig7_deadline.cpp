@@ -1,0 +1,24 @@
+// Fig. 7 — effect of the deadline multiplier upper bound d_M (d_UL).
+// Paper finding: O decreases as d_M grows (more laxity, less search
+// effort); T barely changes; P drops: 3.46% / 0.56% / 0.21% at 2 / 5 / 10.
+#include "sweep.h"
+
+using namespace mrcp;
+using namespace mrcp::bench;
+
+int main(int argc, char** argv) {
+  Flags flags("Fig. 7: effect of deadline multiplier (d_M in {2, 5, 10})");
+  add_common_flags(flags);
+  if (!flags.parse(argc, argv)) return flags.ok() ? 0 : 1;
+  const SweepOptions options = SweepOptions::from_flags(flags);
+
+  const std::vector<double> d_m = {2.0, 5.0, 10.0};
+  std::vector<std::string> labels = {"2", "5", "10"};
+
+  run_mrcp_sweep("Fig. 7 — effect of deadline of jobs on O, T, N, P", "d_M",
+                 labels, options,
+                 [&](SyntheticWorkloadConfig& wc, std::size_t vi) {
+                   wc.deadline_multiplier_ul = d_m[vi];
+                 });
+  return 0;
+}

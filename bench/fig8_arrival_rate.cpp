@@ -1,0 +1,26 @@
+// Fig. 8 — effect of the job arrival rate lambda.
+// Paper finding: O and T increase with lambda (more live tasks per CP
+// model); O/T stays between 0.005% and 0.04%; P rises to ~1.7% at the
+// highest rate.
+#include "sweep.h"
+
+using namespace mrcp;
+using namespace mrcp::bench;
+
+int main(int argc, char** argv) {
+  Flags flags(
+      "Fig. 8: effect of arrival rate (lambda in {0.001, 0.01, 0.015, 0.02})");
+  add_common_flags(flags);
+  if (!flags.parse(argc, argv)) return flags.ok() ? 0 : 1;
+  const SweepOptions options = SweepOptions::from_flags(flags);
+
+  const std::vector<double> lambda = {0.001, 0.01, 0.015, 0.02};
+  std::vector<std::string> labels = {"0.001", "0.01", "0.015", "0.02"};
+
+  run_mrcp_sweep("Fig. 8 — effect of job arrival rate on O, T, N, P",
+                 "lambda(jobs/s)", labels, options,
+                 [&](SyntheticWorkloadConfig& wc, std::size_t vi) {
+                   wc.arrival_rate = lambda[vi];
+                 });
+  return 0;
+}

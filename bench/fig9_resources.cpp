@@ -1,0 +1,25 @@
+// Fig. 9 — effect of the number of resources m.
+// Paper finding: T decreases with m; O increases as m shrinks (more
+// contention to resolve); P and T jump when m drops from 50 to 25, with
+// little change between 50 and 100 (the knee).
+#include "sweep.h"
+
+using namespace mrcp;
+using namespace mrcp::bench;
+
+int main(int argc, char** argv) {
+  Flags flags("Fig. 9: effect of the number of resources (m in {25, 50, 100})");
+  add_common_flags(flags);
+  if (!flags.parse(argc, argv)) return flags.ok() ? 0 : 1;
+  const SweepOptions options = SweepOptions::from_flags(flags);
+
+  const std::vector<int> m = {25, 50, 100};
+  std::vector<std::string> labels = {"25", "50", "100"};
+
+  run_mrcp_sweep("Fig. 9 — effect of the number of resources on O, T, N, P",
+                 "m", labels, options,
+                 [&](SyntheticWorkloadConfig& wc, std::size_t vi) {
+                   wc.num_resources = m[vi];
+                 });
+  return 0;
+}

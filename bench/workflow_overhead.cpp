@@ -1,0 +1,74 @@
+// Workflow (DAG) scheduling bench — quantifies what the §VII
+// generalization costs: the same task mix scheduled (a) as plain
+// MapReduce jobs, (b) as chained pipelines (every job's maps form one
+// chain), comparing scheduling overhead O and turnaround T. Chains
+// serialize the map phase, so T grows by construction; O measures the
+// engine's precedence-propagation overhead.
+#include <cstdio>
+
+#include "common/flags.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "mapreduce/synthetic_workload.h"
+#include "sim/cluster_sim.h"
+#include "sim/experiment.h"
+
+using namespace mrcp;
+
+int main(int argc, char** argv) {
+  Flags flags("Workflow DAG overhead: flat MapReduce vs chained pipelines");
+  flags.add_int("jobs", 60, "jobs per replication")
+      .add_int("reps", 3, "replications")
+      .add_int("seed", 42, "base seed")
+      .add_double("warmup", 0.1, "warmup fraction")
+      .add_double("solver-budget-s", 0.1, "CP solve budget per invocation (s)");
+  if (!flags.parse(argc, argv)) return flags.ok() ? 0 : 1;
+
+  const auto reps = static_cast<std::size_t>(flags.get_int("reps"));
+  Table table({"shape", "O(s/job)", "O±", "T(s)", "N"});
+
+  for (const bool chained : {false, true}) {
+    RunningStat o_stat;
+    RunningStat t_stat;
+    RunningStat n_stat;
+    for (std::size_t rep = 0; rep < reps; ++rep) {
+      SyntheticWorkloadConfig wc;
+      wc.num_jobs = static_cast<std::size_t>(flags.get_int("jobs"));
+      wc.num_map_tasks = {2, 10};
+      wc.num_reduce_tasks = {1, 4};
+      wc.e_max = 20;
+      wc.arrival_rate = 0.01;
+      wc.num_resources = 20;
+      wc.seed = replication_seed(
+          static_cast<std::uint64_t>(flags.get_int("seed")), rep);
+      Workload w = generate_synthetic_workload(wc);
+      if (chained) {
+        for (Job& j : w.jobs) {
+          for (std::size_t t = 1; t < j.num_map_tasks(); ++t) {
+            j.precedences.emplace_back(static_cast<int>(t - 1),
+                                       static_cast<int>(t));
+          }
+          // Chains stretch the critical path; loosen deadlines so the
+          // comparison isolates overhead rather than lateness churn.
+          j.deadline = j.earliest_start +
+                       (j.deadline - j.earliest_start) +
+                       j.total_map_time();
+        }
+      }
+      MrcpConfig rm;
+      rm.solve.time_limit_s = flags.get_double("solver-budget-s");
+      const sim::RunMetrics run = sim::summarize_run(
+          sim::simulate_mrcp(w, rm), flags.get_double("warmup"));
+      o_stat.add(run.O_seconds);
+      t_stat.add(run.T_seconds);
+      n_stat.add(run.N_late);
+    }
+    const auto o_ci = confidence_interval(o_stat);
+    table.add_row({chained ? "chained pipelines (DAG)" : "flat MapReduce",
+                   Table::cell(o_ci.mean, 6), Table::cell(o_ci.half_width, 6),
+                   Table::cell(t_stat.mean(), 1), Table::cell(n_stat.mean(), 1)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Workload sanity bench — Table 3 and Table 4 distribution checks.
+//
+// Prints descriptive statistics of generated workloads against their
+// specified distribution moments, so reproduction drift in the
+// generators is visible at a glance.
+#include <cmath>
+#include <cstdio>
+
+#include "common/flags.h"
+#include "common/table.h"
+#include "mapreduce/facebook_workload.h"
+#include "mapreduce/synthetic_workload.h"
+
+using namespace mrcp;
+
+int main(int argc, char** argv) {
+  Flags flags("Workload generator statistics vs specified moments");
+  flags.add_int("jobs", 2000, "jobs to generate per workload")
+      .add_int("seed", 42, "seed");
+  if (!flags.parse(argc, argv)) return flags.ok() ? 0 : 1;
+
+  const auto jobs = static_cast<std::size_t>(flags.get_int("jobs"));
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+
+  {
+    SyntheticWorkloadConfig wc;
+    wc.num_jobs = jobs;
+    wc.seed = seed;
+    const Workload w = generate_synthetic_workload(wc);
+    const auto s = w.summarize();
+    Table t({"Table 3 statistic", "measured", "expected"});
+    t.add_row({"mean map tasks / job", Table::cell(s.mean_map_tasks, 2),
+               "50.50 (DU[1,100])"});
+    t.add_row({"mean reduce tasks / job", Table::cell(s.mean_reduce_tasks, 2),
+               "50.50 (DU[1,100])"});
+    t.add_row({"mean map exec (s)", Table::cell(s.mean_map_exec_seconds, 2),
+               "25.50 (DU[1,50])"});
+    t.add_row({"mean inter-arrival (s)",
+               Table::cell(s.mean_interarrival_seconds, 1), "100.0 (1/0.01)"});
+    t.add_row({"fraction AR (s_j > v_j)", Table::cell(s.fraction_future_start, 3),
+               "0.500 (p)"});
+    t.add_row({"offered utilization", Table::cell(s.offered_utilization, 3),
+               "< 1 (stable)"});
+    std::printf("%s\n", t.to_string().c_str());
+  }
+  {
+    FacebookWorkloadConfig wc;
+    wc.num_jobs = jobs;
+    wc.seed = seed;
+    const Workload w = generate_facebook_workload(wc);
+    const auto s = w.summarize();
+    const double map_mean_s = std::exp(9.9511 + 0.5 * 1.6764) / 1000.0;
+    const double red_mean_s = std::exp(12.375 + 0.5 * 1.6262) / 1000.0;
+    char map_exp[48];
+    char red_exp[48];
+    std::snprintf(map_exp, sizeof(map_exp), "%.1f (LN(9.9511,1.6764))",
+                  map_mean_s);
+    std::snprintf(red_exp, sizeof(red_exp), "%.1f (LN(12.375,1.6262))",
+                  red_mean_s);
+    Table t({"Table 4 statistic", "measured", "expected"});
+    t.add_row({"mean map tasks / job", Table::cell(s.mean_map_tasks, 2),
+               "216.10 (Table 4 mix)"});
+    t.add_row({"mean reduce tasks / job", Table::cell(s.mean_reduce_tasks, 2),
+               "17.82 (Table 4 mix)"});
+    t.add_row({"mean map exec (s)", Table::cell(s.mean_map_exec_seconds, 1),
+               map_exp});
+    t.add_row({"mean reduce exec (s)",
+               Table::cell(s.mean_reduce_exec_seconds, 1), red_exp});
+    t.add_row({"fraction AR (s_j > v_j)",
+               Table::cell(s.fraction_future_start, 3), "0.000 (p = 0)"});
+    std::printf("%s\n", t.to_string().c_str());
+  }
+  return 0;
+}

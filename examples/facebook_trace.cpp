@@ -1,0 +1,57 @@
+// Facebook-trace comparison: the paper's §VI.B.1 head-to-head between
+// MRCP-RM and MinEDF-WC on the Table 4 workload (one point of Figs. 2/3).
+//
+//   ./build/examples/facebook_trace --jobs 150 --lambda 0.0003
+#include <cstdio>
+
+#include "common/flags.h"
+#include "mapreduce/facebook_workload.h"
+#include "sim/cluster_sim.h"
+#include "sim/experiment.h"
+
+using namespace mrcp;
+
+int main(int argc, char** argv) {
+  Flags flags("MRCP-RM vs MinEDF-WC on the Facebook-derived workload");
+  flags.add_int("jobs", 150, "number of jobs")
+      .add_double("lambda", 0.0003, "arrival rate (jobs/s)")
+      .add_int("seed", 1, "workload seed")
+      .add_double("solver-budget-s", 0.1, "CP solve budget per invocation (s)")
+      .add_double("warmup", 0.1, "warmup fraction excluded from metrics");
+  if (!flags.parse(argc, argv)) return flags.ok() ? 0 : 1;
+
+  FacebookWorkloadConfig wc;
+  wc.num_jobs = static_cast<std::size_t>(flags.get_int("jobs"));
+  wc.arrival_rate = flags.get_double("lambda");
+  wc.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+  const Workload workload = generate_facebook_workload(wc);
+
+  std::printf("workload: %zu jobs on 64 resources (1 map + 1 reduce slot "
+              "each), lambda = %g jobs/s\n",
+              workload.size(), wc.arrival_rate);
+
+  MrcpConfig rm;
+  rm.solve.time_limit_s = flags.get_double("solver-budget-s");
+  const double warmup = flags.get_double("warmup");
+
+  const sim::SimMetrics cp_metrics = sim::simulate_mrcp(workload, rm);
+  const sim::RunMetrics cp_run = sim::summarize_run(cp_metrics, warmup);
+
+  const sim::SimMetrics edf_metrics = sim::simulate_minedf(workload);
+  const sim::RunMetrics edf_run = sim::summarize_run(edf_metrics, warmup);
+
+  std::printf("\n%-12s %12s %12s\n", "", "MRCP-RM", "MinEDF-WC");
+  std::printf("%-12s %12.2f %12.2f\n", "P (%)", cp_run.P_percent,
+              edf_run.P_percent);
+  std::printf("%-12s %12.1f %12.1f\n", "T (s)", cp_run.T_seconds,
+              edf_run.T_seconds);
+  std::printf("%-12s %12.0f %12.0f\n", "N (late)", cp_run.N_late,
+              edf_run.N_late);
+  std::printf("%-12s %12.6f %12.6f\n", "O (s/job)", cp_run.O_seconds,
+              edf_run.O_seconds);
+  if (edf_run.P_percent > 0.0) {
+    std::printf("\nP reduction vs MinEDF-WC: %.0f %%\n",
+                100.0 * (1.0 - cp_run.P_percent / edf_run.P_percent));
+  }
+  return 0;
+}

@@ -1,0 +1,242 @@
+#include "baseline/minedf_wc.h"
+
+#include <algorithm>
+
+#include "baseline/aria_estimator.h"
+#include "common/check.h"
+#include "common/stopwatch.h"
+
+namespace mrcp::baseline {
+
+namespace {
+
+/// Build a phase's dispatch queue in the configured order and precompute
+/// the suffix statistics used by remaining_stats().
+void build_queue(MinEdfWcScheduler::PhaseQueue& queue, const Job& job,
+                 TaskType type, TaskDispatchOrder order) {
+  const std::size_t begin = type == TaskType::kMap ? 0 : job.num_map_tasks();
+  const std::size_t count =
+      type == TaskType::kMap ? job.num_map_tasks() : job.num_reduce_tasks();
+  queue.order.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    queue.order.push_back(static_cast<int>(begin + i));
+  }
+  if (order == TaskDispatchOrder::kLpt) {
+    std::stable_sort(queue.order.begin(), queue.order.end(), [&](int a, int b) {
+      return job.task(static_cast<std::size_t>(a)).exec_time >
+             job.task(static_cast<std::size_t>(b)).exec_time;
+    });
+  }
+  queue.suffix_sum.assign(count + 1, 0);
+  queue.suffix_max.assign(count + 1, 0);
+  for (std::size_t i = count; i > 0; --i) {
+    const Time d =
+        job.task(static_cast<std::size_t>(queue.order[i - 1])).exec_time;
+    queue.suffix_sum[i - 1] = queue.suffix_sum[i] + d;
+    queue.suffix_max[i - 1] = std::max(queue.suffix_max[i], d);
+  }
+}
+
+}  // namespace
+
+PhaseStats MinEdfWcScheduler::PhaseQueue::remaining_stats(Time now) const {
+  PhaseStats stats;
+  stats.sum = suffix_sum[head];
+  stats.max = suffix_max[head];
+  stats.count = static_cast<std::int64_t>(pending());
+  for (Time end : running_ends) {
+    if (end > now) stats.add(end - now);
+  }
+  return stats;
+}
+
+MinEdfWcScheduler::MinEdfWcScheduler(const Cluster& cluster, LaunchFn launch,
+                                     MinEdfConfig config)
+    : cluster_(cluster),
+      launch_(std::move(launch)),
+      config_(config),
+      free_map_(cluster.total_map_slots()),
+      free_reduce_(cluster.total_reduce_slots()) {
+  MRCP_CHECK(launch_ != nullptr);
+}
+
+void MinEdfWcScheduler::submit(const Job& job, Time now) {
+  MRCP_CHECK_MSG(validate_job(job).empty(), "submitted job is invalid");
+  MRCP_CHECK_MSG(jobs_.find(job.id) == jobs_.end(), "duplicate job id");
+  ++stats_.jobs_submitted;
+  JobRun run;
+  build_queue(run.maps, job, TaskType::kMap, config_.task_order);
+  build_queue(run.reduces, job, TaskType::kReduce, config_.task_order);
+  run.maps_unfinished = static_cast<int>(run.maps.pending());
+  run.job = job;
+  const JobId id = run.job.id;
+  jobs_.emplace(id, std::move(run));
+  dispatch(now);
+}
+
+void MinEdfWcScheduler::on_task_finished(JobId job, int task_index, Time now) {
+  auto it = jobs_.find(job);
+  MRCP_CHECK_MSG(it != jobs_.end(), "task finished for unknown job");
+  JobRun& run = it->second;
+  const Task& task = run.job.task(static_cast<std::size_t>(task_index));
+  auto drop_one_end = [now](std::vector<Time>& ends) {
+    // Remove one entry ending at/before now (the finished task's).
+    for (std::size_t i = 0; i < ends.size(); ++i) {
+      if (ends[i] <= now) {
+        ends[i] = ends.back();
+        ends.pop_back();
+        return;
+      }
+    }
+    ends.pop_back();  // fallback; should not happen with exact DES times
+  };
+  if (task.type == TaskType::kMap) {
+    MRCP_CHECK(run.running_maps > 0);
+    --run.running_maps;
+    --run.maps_unfinished;
+    drop_one_end(run.maps.running_ends);
+    ++free_map_;
+  } else {
+    MRCP_CHECK(run.running_reduces > 0);
+    --run.running_reduces;
+    drop_one_end(run.reduces.running_ends);
+    ++free_reduce_;
+  }
+  if (run.finished()) {
+    ++stats_.jobs_completed;
+    jobs_.erase(it);
+  }
+  dispatch(now);
+}
+
+Time MinEdfWcScheduler::next_eligible_time(Time now) const {
+  Time next = kNoTime;
+  for (const auto& [id, run] : jobs_) {
+    if (run.job.earliest_start > now) {
+      if (next == kNoTime || run.job.earliest_start < next) {
+        next = run.job.earliest_start;
+      }
+    }
+  }
+  return next;
+}
+
+std::vector<JobId> MinEdfWcScheduler::edf_order() const {
+  std::vector<JobId> order;
+  order.reserve(jobs_.size());
+  for (const auto& [id, run] : jobs_) order.push_back(id);
+  std::stable_sort(order.begin(), order.end(), [&](JobId a, JobId b) {
+    const Time da = jobs_.at(a).job.deadline;
+    const Time db = jobs_.at(b).job.deadline;
+    if (da != db) return da < db;
+    return a < b;
+  });
+  return order;
+}
+
+void MinEdfWcScheduler::launch_task(JobRun& run, int task_index, Time now) {
+  const Task& task = run.job.task(static_cast<std::size_t>(task_index));
+  if (task.type == TaskType::kMap) {
+    MRCP_CHECK(free_map_ > 0);
+    --free_map_;
+    ++run.running_maps;
+    run.maps.running_ends.push_back(now + task.exec_time);
+  } else {
+    MRCP_CHECK(free_reduce_ > 0);
+    --free_reduce_;
+    ++run.running_reduces;
+    run.reduces.running_ends.push_back(now + task.exec_time);
+  }
+  ++stats_.tasks_launched;
+  launch_(run.job.id, task_index, now, now + task.exec_time);
+}
+
+void MinEdfWcScheduler::dispatch(Time now) {
+  Stopwatch timer;
+  ++stats_.dispatches;
+
+  const std::vector<JobId> order = edf_order();
+
+  // Pass 1 (MinEDF): grant each job, in EDF order, the extra slots its
+  // minimal profile demands beyond what it already runs.
+  // Pass 2 (WC): hand remaining slots to EDF-first jobs with pending work.
+  std::map<JobId, int> grant_m;
+  std::map<JobId, int> grant_r;
+  int free_m = free_map_;
+  int free_r = free_reduce_;
+
+  for (JobId id : order) {
+    const JobRun& run = jobs_.at(id);
+    if (run.job.earliest_start > now) continue;  // not yet eligible (AR)
+    SlotProfile prof;
+    if (config_.allocation == AllocationPolicy::kMaximal) {
+      // Plain EDF: grab everything; the EDF pass order is the only
+      // prioritization.
+      prof.map_slots = cluster_.total_map_slots();
+      prof.reduce_slots = cluster_.total_reduce_slots();
+      prof.feasible = true;
+    } else {
+      // Remaining work = pending tasks plus the residual of running
+      // tasks; ignoring the running residual would make the estimator
+      // think a busy slot can immediately serve pending work.
+      const PhaseStats map_stats = run.maps.remaining_stats(now);
+      const PhaseStats reduce_stats = run.reduces.remaining_stats(now);
+      prof = minimal_slot_profile(map_stats, reduce_stats, now,
+                                  run.job.deadline,
+                                  cluster_.total_map_slots(),
+                                  cluster_.total_reduce_slots(), config_.bound);
+    }
+
+    int want_m = std::max(0, prof.map_slots - run.running_maps);
+    want_m =
+        std::min({want_m, static_cast<int>(run.maps.pending()), free_m});
+    grant_m[id] = want_m;
+    free_m -= want_m;
+
+    if (run.reduces_eligible()) {
+      int want_r = std::max(0, prof.reduce_slots - run.running_reduces);
+      want_r =
+          std::min({want_r, static_cast<int>(run.reduces.pending()), free_r});
+      grant_r[id] = want_r;
+      free_r -= want_r;
+    }
+    if (free_m == 0 && free_r == 0) break;
+  }
+
+  for (JobId id : order) {
+    if (free_m == 0 && free_r == 0) break;
+    const JobRun& run = jobs_.at(id);
+    if (run.job.earliest_start > now) continue;
+    const int extra_m =
+        std::min(free_m, static_cast<int>(run.maps.pending()) - grant_m[id]);
+    if (extra_m > 0) {
+      grant_m[id] += extra_m;
+      free_m -= extra_m;
+    }
+    if (run.reduces_eligible()) {
+      const int extra_r = std::min(
+          free_r, static_cast<int>(run.reduces.pending()) - grant_r[id]);
+      if (extra_r > 0) {
+        grant_r[id] += extra_r;
+        free_r -= extra_r;
+      }
+    }
+  }
+
+  // Launch the granted tasks in each job's dispatch order.
+  for (JobId id : order) {
+    JobRun& run = jobs_.at(id);
+    for (int k = 0; k < grant_m[id]; ++k) {
+      launch_task(run, run.maps.pop_front(), now);
+    }
+    if (grant_r.count(id) != 0U) {
+      for (int k = 0; k < grant_r[id]; ++k) {
+        launch_task(run, run.reduces.pop_front(), now);
+      }
+    }
+  }
+
+  stats_.total_sched_seconds += timer.elapsed_seconds();
+}
+
+}  // namespace mrcp::baseline

@@ -1,0 +1,71 @@
+#include "common/batch_means.h"
+
+#include <cmath>
+#include <vector>
+
+#include "common/check.h"
+#include "common/stats.h"
+
+namespace mrcp {
+
+double lag1_autocorrelation(std::span<const double> series) {
+  const std::size_t n = series.size();
+  if (n < 2) return 0.0;
+  double mean = 0.0;
+  for (double x : series) mean += x;
+  mean /= static_cast<double>(n);
+  double num = 0.0;
+  double den = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = series[i] - mean;
+    den += d * d;
+    if (i + 1 < n) num += d * (series[i + 1] - mean);
+  }
+  if (den == 0.0) return 0.0;
+  return num / den;
+}
+
+BatchMeansResult batch_means_ci(std::span<const double> series,
+                                std::size_t num_batches, double confidence) {
+  MRCP_CHECK(num_batches >= 2);
+  BatchMeansResult result;
+
+  const std::size_t n = series.size();
+  if (n == 0) return result;
+  if (n < num_batches) {
+    // Too little data to batch: report the plain mean, zero width.
+    RunningStat s;
+    for (double x : series) s.add(x);
+    result.mean = s.mean();
+    result.batches = 1;
+    result.batch_size = n;
+    return result;
+  }
+
+  const std::size_t batch_size = n / num_batches;
+  const std::size_t discarded = n - batch_size * num_batches;
+  std::vector<double> batch_means;
+  batch_means.reserve(num_batches);
+  RunningStat batch_stat;
+  for (std::size_t b = 0; b < num_batches; ++b) {
+    double sum = 0.0;
+    const std::size_t begin = discarded + b * batch_size;
+    for (std::size_t i = 0; i < batch_size; ++i) {
+      sum += series[begin + i];
+    }
+    const double bm = sum / static_cast<double>(batch_size);
+    batch_means.push_back(bm);
+    batch_stat.add(bm);
+  }
+
+  const ConfidenceInterval ci = confidence_interval(batch_stat, confidence);
+  result.mean = ci.mean;
+  result.half_width = ci.half_width;
+  result.batches = num_batches;
+  result.batch_size = batch_size;
+  result.discarded = discarded;
+  result.batch_lag1_autocorr = lag1_autocorrelation(batch_means);
+  return result;
+}
+
+}  // namespace mrcp

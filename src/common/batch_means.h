@@ -1,0 +1,44 @@
+// Batch-means output analysis for steady-state simulation.
+//
+// The paper (§VI.A) runs each experiment "long enough to ensure that the
+// system operates at steady state" and repeats it until the confidence
+// interval for T is tight. Across-replication CIs (stats.h) are the
+// primary method in this repo; batch means is the standard complementary
+// technique for a *single long run*: consecutive per-job observations
+// are autocorrelated (jobs share congestion periods), so the naive
+// iid-sample CI is too narrow. Grouping the series into contiguous
+// batches and treating the batch averages as the samples restores
+// (approximate) independence when batches are long relative to the
+// correlation length.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace mrcp {
+
+struct BatchMeansResult {
+  double mean = 0.0;
+  double half_width = 0.0;      ///< at the requested confidence
+  std::size_t batches = 0;
+  std::size_t batch_size = 0;
+  std::size_t discarded = 0;    ///< leading observations not fitting batches
+  /// Lag-1 autocorrelation of the batch means — a diagnostic: values
+  /// near 0 suggest the batches are long enough; large positive values
+  /// mean the half width is still optimistic.
+  double batch_lag1_autocorr = 0.0;
+};
+
+/// Batch-means CI over `series` (observations in arrival order, warmup
+/// already removed by the caller). Uses `num_batches` equal batches,
+/// discarding the first (n mod num_batches) observations. Requires
+/// num_batches >= 2 and series.size() >= num_batches; returns a
+/// zero-width result around the plain mean otherwise.
+BatchMeansResult batch_means_ci(std::span<const double> series,
+                                std::size_t num_batches = 20,
+                                double confidence = 0.95);
+
+/// Lag-1 autocorrelation of a series (utility, also used in tests).
+double lag1_autocorrelation(std::span<const double> series);
+
+}  // namespace mrcp

@@ -1,0 +1,36 @@
+// Lightweight always-on invariant checking.
+//
+// These checks guard library invariants (schedule validity, domain
+// consistency) and are kept enabled in Release builds: the cost is
+// negligible next to CP search, and a silently-corrupt schedule would
+// invalidate every experiment downstream.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace mrcp::detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
+                                      const char* msg) {
+  std::fprintf(stderr, "MRCP_CHECK failed: %s\n  at %s:%d\n  %s\n", expr, file, line,
+               msg ? msg : "");
+  std::abort();
+}
+}  // namespace mrcp::detail
+
+#define MRCP_CHECK(expr)                                                  \
+  do {                                                                    \
+    if (!(expr)) ::mrcp::detail::check_failed(#expr, __FILE__, __LINE__, nullptr); \
+  } while (0)
+
+#define MRCP_CHECK_MSG(expr, msg)                                         \
+  do {                                                                    \
+    if (!(expr)) ::mrcp::detail::check_failed(#expr, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+// Debug-only check for hot paths (propagation loops).
+#ifdef NDEBUG
+#define MRCP_DCHECK(expr) ((void)0)
+#else
+#define MRCP_DCHECK(expr) MRCP_CHECK(expr)
+#endif

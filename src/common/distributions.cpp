@@ -1,0 +1,13 @@
+#include "common/distributions.h"
+
+#include <cmath>
+
+namespace mrcp {
+
+double LogNormal::sample(RandomStream& rng) const {
+  return rng.lognormal(mu, std::sqrt(sigma2));
+}
+
+double LogNormal::mean() const { return std::exp(mu + 0.5 * sigma2); }
+
+}  // namespace mrcp

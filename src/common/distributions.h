@@ -1,0 +1,61 @@
+// Named distribution objects matching the notation of the paper's Table 3.
+//
+// The workload generators are written against these small value types so
+// the experiment configuration can say `DU{1, 100}` exactly as the paper
+// does, and so tests can verify the sampling machinery independently of
+// the generators.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+
+namespace mrcp {
+
+/// Discrete uniform DU[lo, hi] (inclusive), as used for k_mp, k_rd, me.
+struct DiscreteUniform {
+  std::int64_t lo = 0;
+  std::int64_t hi = 0;
+
+  std::int64_t sample(RandomStream& rng) const { return rng.uniform_int(lo, hi); }
+  double mean() const { return 0.5 * static_cast<double>(lo + hi); }
+};
+
+/// Continuous uniform U[lo, hi], as used for the deadline multiplier.
+struct Uniform {
+  double lo = 0.0;
+  double hi = 0.0;
+
+  double sample(RandomStream& rng) const { return rng.uniform_real(lo, hi); }
+  double mean() const { return 0.5 * (lo + hi); }
+};
+
+/// Bernoulli(p), as used to decide whether s_j > v_j.
+struct Bernoulli {
+  double p = 0.0;
+
+  bool sample(RandomStream& rng) const { return rng.bernoulli(p); }
+};
+
+/// LogNormal(mu, sigma^2) parameterized exactly as the paper reports the
+/// Facebook fit: mu is the mean and sigma2 the variance of the underlying
+/// normal (paper §VI.B.1: LN(9.9511, 1.6764) for maps, LN(12.375, 1.6262)
+/// for reduces, in milliseconds).
+struct LogNormal {
+  double mu = 0.0;
+  double sigma2 = 1.0;
+
+  double sample(RandomStream& rng) const;
+  /// E[X] = exp(mu + sigma^2/2).
+  double mean() const;
+};
+
+/// Exponential with the given rate (Poisson inter-arrival times).
+struct Exponential {
+  double rate = 1.0;
+
+  double sample(RandomStream& rng) const { return rng.exponential(rate); }
+  double mean() const { return 1.0 / rate; }
+};
+
+}  // namespace mrcp

@@ -1,0 +1,185 @@
+#include "common/flags.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace mrcp {
+
+Flags::Flags(std::string program_description)
+    : description_(std::move(program_description)) {
+  add_bool("help", false, "Print this help message and exit");
+}
+
+Flags& Flags::add_int(const std::string& name, std::int64_t def,
+                      const std::string& help) {
+  Flag f;
+  f.kind = Kind::kInt;
+  f.help = help;
+  f.int_val = def;
+  f.default_repr = std::to_string(def);
+  MRCP_CHECK_MSG(flags_.emplace(name, std::move(f)).second, "duplicate flag");
+  order_.push_back(name);
+  return *this;
+}
+
+Flags& Flags::add_double(const std::string& name, double def,
+                         const std::string& help) {
+  Flag f;
+  f.kind = Kind::kDouble;
+  f.help = help;
+  f.double_val = def;
+  std::ostringstream os;
+  os << def;
+  f.default_repr = os.str();
+  MRCP_CHECK_MSG(flags_.emplace(name, std::move(f)).second, "duplicate flag");
+  order_.push_back(name);
+  return *this;
+}
+
+Flags& Flags::add_bool(const std::string& name, bool def, const std::string& help) {
+  Flag f;
+  f.kind = Kind::kBool;
+  f.help = help;
+  f.bool_val = def;
+  f.default_repr = def ? "true" : "false";
+  MRCP_CHECK_MSG(flags_.emplace(name, std::move(f)).second, "duplicate flag");
+  order_.push_back(name);
+  return *this;
+}
+
+Flags& Flags::add_string(const std::string& name, const std::string& def,
+                         const std::string& help) {
+  Flag f;
+  f.kind = Kind::kString;
+  f.help = help;
+  f.string_val = def;
+  f.default_repr = def.empty() ? "\"\"" : def;
+  MRCP_CHECK_MSG(flags_.emplace(name, std::move(f)).second, "duplicate flag");
+  order_.push_back(name);
+  return *this;
+}
+
+bool Flags::set_from_string(Flag& f, const std::string& value,
+                            const std::string& name) {
+  try {
+    switch (f.kind) {
+      case Kind::kInt:
+        f.int_val = std::stoll(value);
+        return true;
+      case Kind::kDouble:
+        f.double_val = std::stod(value);
+        return true;
+      case Kind::kBool:
+        if (value == "true" || value == "1" || value == "yes") {
+          f.bool_val = true;
+          return true;
+        }
+        if (value == "false" || value == "0" || value == "no") {
+          f.bool_val = false;
+          return true;
+        }
+        break;
+      case Kind::kString:
+        f.string_val = value;
+        return true;
+    }
+  } catch (const std::exception&) {
+    // fall through to error message
+  }
+  std::fprintf(stderr, "error: invalid value '%s' for flag --%s\n", value.c_str(),
+               name.c_str());
+  return false;
+}
+
+bool Flags::parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "error: unexpected positional argument '%s'\n",
+                   arg.c_str());
+      ok_ = false;
+      return false;
+    }
+    arg = arg.substr(2);
+    std::string name = arg;
+    std::string value;
+    bool have_value = false;
+    if (auto eq = arg.find('='); eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+      have_value = true;
+    }
+    auto it = flags_.find(name);
+    if (it == flags_.end()) {
+      std::fprintf(stderr, "error: unknown flag --%s\n%s", name.c_str(),
+                   usage().c_str());
+      ok_ = false;
+      return false;
+    }
+    Flag& f = it->second;
+    if (!have_value) {
+      if (f.kind == Kind::kBool) {
+        f.bool_val = true;  // bare --flag means true
+      } else {
+        if (i + 1 >= argc) {
+          std::fprintf(stderr, "error: flag --%s expects a value\n", name.c_str());
+          ok_ = false;
+          return false;
+        }
+        value = argv[++i];
+        have_value = true;
+      }
+    }
+    if (have_value && !set_from_string(f, value, name)) {
+      ok_ = false;
+      return false;
+    }
+  }
+  if (get_bool("help")) {
+    std::printf("%s", usage().c_str());
+    return false;  // ok_ stays true: exit 0
+  }
+  return true;
+}
+
+const Flags::Flag& Flags::find(const std::string& name, Kind kind) const {
+  auto it = flags_.find(name);
+  MRCP_CHECK_MSG(it != flags_.end(), "flag not registered");
+  MRCP_CHECK_MSG(it->second.kind == kind, "flag type mismatch");
+  return it->second;
+}
+
+std::int64_t Flags::get_int(const std::string& name) const {
+  return find(name, Kind::kInt).int_val;
+}
+double Flags::get_double(const std::string& name) const {
+  return find(name, Kind::kDouble).double_val;
+}
+bool Flags::get_bool(const std::string& name) const {
+  return find(name, Kind::kBool).bool_val;
+}
+const std::string& Flags::get_string(const std::string& name) const {
+  return find(name, Kind::kString).string_val;
+}
+
+std::string Flags::usage() const {
+  std::ostringstream os;
+  os << description_ << "\n\nFlags:\n";
+  for (const auto& name : order_) {
+    const Flag& f = flags_.at(name);
+    os << "  --" << name;
+    switch (f.kind) {
+      case Kind::kInt: os << " <int>"; break;
+      case Kind::kDouble: os << " <float>"; break;
+      case Kind::kBool: os << " <bool>"; break;
+      case Kind::kString: os << " <string>"; break;
+    }
+    os << "  (default: " << f.default_repr << ")\n      " << f.help << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace mrcp

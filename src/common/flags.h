@@ -1,0 +1,61 @@
+// Minimal command-line flag parser used by the bench and example binaries.
+//
+// Every experiment binary registers its knobs (--jobs, --reps, --lambda,
+// ...) with defaults matching the scaled-down reproduction, prints a
+// --help listing, and accepts `--flag=value` or `--flag value`.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mrcp {
+
+class Flags {
+ public:
+  explicit Flags(std::string program_description);
+
+  /// Register a flag with a default. Returns *this for chaining.
+  Flags& add_int(const std::string& name, std::int64_t def, const std::string& help);
+  Flags& add_double(const std::string& name, double def, const std::string& help);
+  Flags& add_bool(const std::string& name, bool def, const std::string& help);
+  Flags& add_string(const std::string& name, const std::string& def,
+                    const std::string& help);
+
+  /// Parse argv. On `--help` prints usage and returns false (caller should
+  /// exit 0). On an unknown flag or malformed value prints an error and
+  /// returns false (caller should exit 1); `ok()` distinguishes the cases.
+  bool parse(int argc, char** argv);
+  bool ok() const { return ok_; }
+
+  std::int64_t get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  bool get_bool(const std::string& name) const;
+  const std::string& get_string(const std::string& name) const;
+
+  /// Usage text (also printed by --help).
+  std::string usage() const;
+
+ private:
+  enum class Kind { kInt, kDouble, kBool, kString };
+  struct Flag {
+    Kind kind;
+    std::string help;
+    std::int64_t int_val = 0;
+    double double_val = 0.0;
+    bool bool_val = false;
+    std::string string_val;
+    std::string default_repr;
+  };
+
+  const Flag& find(const std::string& name, Kind kind) const;
+  bool set_from_string(Flag& f, const std::string& value, const std::string& name);
+
+  std::string description_;
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> order_;
+  bool ok_ = true;
+};
+
+}  // namespace mrcp

@@ -1,0 +1,28 @@
+// Minimal leveled logging to stderr.
+//
+// The resource-manager and solver code logs at kDebug/kTrace for
+// diagnosing individual solves; benches run at the default kWarn so the
+// result tables stay clean.
+#pragma once
+
+#include <cstdarg>
+#include <string>
+
+namespace mrcp {
+
+enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4 };
+
+/// Global threshold; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// printf-style logging.
+void log(LogLevel level, const char* fmt, ...) __attribute__((format(printf, 2, 3)));
+
+#define MRCP_LOG_TRACE(...) ::mrcp::log(::mrcp::LogLevel::kTrace, __VA_ARGS__)
+#define MRCP_LOG_DEBUG(...) ::mrcp::log(::mrcp::LogLevel::kDebug, __VA_ARGS__)
+#define MRCP_LOG_INFO(...) ::mrcp::log(::mrcp::LogLevel::kInfo, __VA_ARGS__)
+#define MRCP_LOG_WARN(...) ::mrcp::log(::mrcp::LogLevel::kWarn, __VA_ARGS__)
+#define MRCP_LOG_ERROR(...) ::mrcp::log(::mrcp::LogLevel::kError, __VA_ARGS__)
+
+}  // namespace mrcp

@@ -1,0 +1,34 @@
+// Wall-clock stopwatch used to measure the scheduling overhead metric O.
+//
+// The paper measures O with Java's System.nanoTime(); we use
+// steady_clock, which has the same monotonic semantics.
+#pragma once
+
+#include <chrono>
+
+namespace mrcp {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+
+  void reset() { start_ = std::chrono::steady_clock::now(); }
+
+  /// Elapsed time in seconds.
+  double elapsed_seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+  /// Elapsed time in nanoseconds.
+  std::int64_t elapsed_ns() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace mrcp

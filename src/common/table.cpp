@@ -1,0 +1,73 @@
+#include "common/table.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace mrcp {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  MRCP_CHECK(!headers_.empty());
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  MRCP_CHECK_MSG(row.size() == headers_.size(), "row width != header width");
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::cell(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::cell(std::int64_t v) { return std::to_string(v); }
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << row[c] << std::string(width[c] - row[c].size(), ' ');
+      if (c + 1 < row.size()) os << "  ";
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  std::size_t total = 0;
+  for (std::size_t w : width) total += w + 2;
+  os << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+std::string Table::to_csv() const {
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << row[c];
+      if (c + 1 < row.size()) os << ',';
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+bool Table::write_csv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << to_csv();
+  return static_cast<bool>(out);
+}
+
+}  // namespace mrcp

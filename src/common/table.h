@@ -1,0 +1,40 @@
+// Column-aligned result tables.
+//
+// Each bench binary prints the series the paper plots (one row per swept
+// parameter value) both as an aligned console table and, optionally, as
+// CSV for external plotting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mrcp {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append a row. Must match the header count.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience cell formatters.
+  static std::string cell(double v, int precision = 3);
+  static std::string cell(std::int64_t v);
+
+  /// Render with aligned columns (pads with spaces, separates with 2 spaces).
+  std::string to_string() const;
+
+  /// Render as CSV (no quoting needed for our numeric content).
+  std::string to_csv() const;
+
+  /// Write CSV to `path`; returns false on I/O error.
+  bool write_csv(const std::string& path) const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mrcp

@@ -1,0 +1,49 @@
+// Core scalar types shared by every mrcp library.
+//
+// All simulated and scheduled time in this codebase is expressed in integer
+// *ticks*. A tick is one millisecond: the Facebook-derived workload of the
+// paper (Table 4) draws task execution times from LogNormal distributions in
+// milliseconds, while the synthetic workload (Table 3) is specified in
+// seconds; using ms ticks represents both exactly and keeps the CP engine's
+// domains integral (the paper's CP Optimizer likewise works on discrete
+// interval variables without enumerating time).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace mrcp {
+
+/// Time in integer ticks (1 tick = 1 ms).
+using Time = std::int64_t;
+
+/// Number of ticks per second; used when converting Table 3 parameters
+/// (given in seconds) into tick space.
+inline constexpr Time kTicksPerSecond = 1000;
+
+/// Sentinel for "no time" / unset.
+inline constexpr Time kNoTime = std::numeric_limits<Time>::min();
+
+/// Largest representable schedule horizon. Domains of CP start-time
+/// variables are clamped to [0, kMaxTime].
+inline constexpr Time kMaxTime = std::numeric_limits<Time>::max() / 4;
+
+/// Convert seconds (double) to ticks, rounding to nearest.
+constexpr Time seconds_to_ticks(double seconds) {
+  return static_cast<Time>(seconds * static_cast<double>(kTicksPerSecond) + 0.5);
+}
+
+/// Convert ticks to seconds.
+constexpr double ticks_to_seconds(Time t) {
+  return static_cast<double>(t) / static_cast<double>(kTicksPerSecond);
+}
+
+/// Identifier types. 32-bit indices are ample (workloads are <10^6 jobs).
+using JobId = std::int32_t;
+using TaskId = std::int32_t;      ///< Index of a task *within its job*.
+using ResourceId = std::int32_t;  ///< Index of a resource in the cluster.
+
+inline constexpr JobId kNoJob = -1;
+inline constexpr ResourceId kNoResource = -1;
+
+}  // namespace mrcp

@@ -1,0 +1,46 @@
+#include "core/cost_model.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/check.h"
+
+namespace mrcp {
+
+CostBreakdown intervals_cost(const std::vector<BusyInterval>& intervals,
+                             const CostRates& rates) {
+  CostBreakdown cost;
+  std::map<ResourceId, std::pair<Time, Time>> lease;  // first start, last end
+  for (const BusyInterval& iv : intervals) {
+    MRCP_CHECK(iv.end >= iv.start);
+    const double busy_s = ticks_to_seconds(iv.end - iv.start);
+    if (iv.type == TaskType::kMap) {
+      cost.map_busy_seconds += busy_s;
+    } else {
+      cost.reduce_busy_seconds += busy_s;
+    }
+    auto [it, inserted] = lease.try_emplace(iv.resource, iv.start, iv.end);
+    if (!inserted) {
+      it->second.first = std::min(it->second.first, iv.start);
+      it->second.second = std::max(it->second.second, iv.end);
+    }
+  }
+  for (const auto& [resource, window] : lease) {
+    cost.uptime_seconds += ticks_to_seconds(window.second - window.first);
+  }
+  cost.map_busy_cost = cost.map_busy_seconds * rates.map_slot_second;
+  cost.reduce_busy_cost = cost.reduce_busy_seconds * rates.reduce_slot_second;
+  cost.uptime_cost = cost.uptime_seconds * rates.resource_uptime_second;
+  return cost;
+}
+
+CostBreakdown plan_cost(const Plan& plan, const CostRates& rates) {
+  std::vector<BusyInterval> intervals;
+  intervals.reserve(plan.tasks.size());
+  for (const PlannedTask& pt : plan.tasks) {
+    intervals.push_back(BusyInterval{pt.resource, pt.type, pt.start, pt.end});
+  }
+  return intervals_cost(intervals, rates);
+}
+
+}  // namespace mrcp

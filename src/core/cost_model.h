@@ -1,0 +1,58 @@
+// Monetary cost accounting for resource usage — the paper's §VII
+// future-work item ("consideration of monetary costs for resource
+// usage").
+//
+// Cloud pricing is modelled per slot-second, with separate map/reduce
+// rates and an optional per-resource-uptime rate: a resource is "up"
+// from the first instant any of its slots is busy until the last (the
+// pay-as-you-go lease window), so schedules that pack work onto fewer
+// resources for shorter spans are cheaper even when the pure busy time
+// is identical.
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+#include "core/plan.h"
+#include "mapreduce/cluster.h"
+
+namespace mrcp {
+
+struct CostRates {
+  /// Price per busy map/reduce slot-second.
+  double map_slot_second = 0.0;
+  double reduce_slot_second = 0.0;
+  /// Price per resource-second of lease (first busy -> last busy instant).
+  double resource_uptime_second = 0.0;
+};
+
+/// One priced busy interval on a resource. Plans and executed-task logs
+/// both convert to this.
+struct BusyInterval {
+  ResourceId resource = kNoResource;
+  TaskType type = TaskType::kMap;
+  Time start = 0;
+  Time end = 0;
+};
+
+struct CostBreakdown {
+  double map_busy_cost = 0.0;
+  double reduce_busy_cost = 0.0;
+  double uptime_cost = 0.0;
+  /// Busy slot-seconds per phase (pricing-independent utilization data).
+  double map_busy_seconds = 0.0;
+  double reduce_busy_seconds = 0.0;
+  /// Summed lease seconds over resources that executed anything.
+  double uptime_seconds = 0.0;
+
+  double total() const { return map_busy_cost + reduce_busy_cost + uptime_cost; }
+};
+
+/// Price a set of busy intervals.
+CostBreakdown intervals_cost(const std::vector<BusyInterval>& intervals,
+                             const CostRates& rates);
+
+/// Cost of a plan (all tasks, started or not) under `rates`.
+CostBreakdown plan_cost(const Plan& plan, const CostRates& rates);
+
+}  // namespace mrcp

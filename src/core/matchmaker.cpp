@@ -1,0 +1,103 @@
+#include "core/matchmaker.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace mrcp {
+
+namespace {
+
+struct Slot {
+  ResourceId resource;
+  Time last_end = 0;
+};
+
+std::vector<Slot> make_slots(const Cluster& cluster, TaskType type) {
+  std::vector<Slot> slots;
+  for (const Resource& r : cluster.resources()) {
+    const int cap = r.capacity(type);
+    for (int s = 0; s < cap; ++s) slots.push_back(Slot{r.id, 0});
+  }
+  return slots;
+}
+
+}  // namespace
+
+std::vector<ResourceId> matchmake(const Cluster& cluster,
+                                  const std::vector<MatchItem>& items) {
+  std::vector<Slot> map_slots = make_slots(cluster, TaskType::kMap);
+  std::vector<Slot> reduce_slots = make_slots(cluster, TaskType::kReduce);
+
+  // Process in start order; pinned before new at equal start so running
+  // tasks claim their resource's slots first.
+  std::vector<std::size_t> order(items.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (items[a].start != items[b].start) return items[a].start < items[b].start;
+    if (items[a].pinned != items[b].pinned) return items[a].pinned;
+    return items[a].end < items[b].end;
+  });
+
+  std::vector<ResourceId> assigned(items.size(), kNoResource);
+  for (std::size_t idx : order) {
+    const MatchItem& item = items[idx];
+    MRCP_CHECK(item.end > item.start);
+    std::vector<Slot>& slots =
+        item.type == TaskType::kMap ? map_slots : reduce_slots;
+
+    Slot* best = nullptr;
+    for (Slot& slot : slots) {
+      if (slot.last_end > item.start) continue;  // busy at item start
+      if (item.pinned && slot.resource != item.pinned_resource) continue;
+      // Min-gap: prefer the slot whose previous interval ends latest.
+      if (best == nullptr || slot.last_end > best->last_end) best = &slot;
+    }
+    MRCP_CHECK_MSG(best != nullptr,
+                   "matchmake: no free slot — combined schedule violates "
+                   "total capacity");
+    best->last_end = item.end;
+    assigned[idx] = best->resource;
+  }
+  return assigned;
+}
+
+Cluster compute_regrouping(int total_map_slots, int total_reduce_slots, int nm,
+                           int nr) {
+  MRCP_CHECK(nm >= 1);
+  MRCP_CHECK(nr >= 0);
+  MRCP_CHECK(total_map_slots >= nm);
+  const int num_resources = std::max(nm, nr);
+
+  // Map slots spread evenly over all resources; remainder goes to the
+  // last resources ("smaller counts first", as in the paper's reduce
+  // example).
+  std::vector<int> map_caps(static_cast<std::size_t>(num_resources), 0);
+  {
+    const int base = total_map_slots / num_resources;
+    const int extra = total_map_slots % num_resources;
+    for (int i = 0; i < num_resources; ++i) {
+      map_caps[static_cast<std::size_t>(i)] =
+          base + (i >= num_resources - extra ? 1 : 0);
+    }
+  }
+  std::vector<int> reduce_caps(static_cast<std::size_t>(num_resources), 0);
+  if (nr > 0) {
+    MRCP_CHECK(total_reduce_slots >= nr || total_reduce_slots == 0);
+    const int base = total_reduce_slots / nr;
+    const int extra = total_reduce_slots % nr;
+    for (int i = 0; i < nr; ++i) {
+      reduce_caps[static_cast<std::size_t>(i)] = base + (i >= nr - extra ? 1 : 0);
+    }
+  }
+
+  Cluster out;
+  for (int i = 0; i < num_resources; ++i) {
+    out.add_resource(map_caps[static_cast<std::size_t>(i)],
+                     reduce_caps[static_cast<std::size_t>(i)]);
+  }
+  return out;
+}
+
+}  // namespace mrcp

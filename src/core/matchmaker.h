@@ -1,0 +1,57 @@
+// Matchmaking for the §V.D separation optimization.
+//
+// After the CP solve on the single combined resource fixes every task's
+// start time, the matchmaker maps each task onto a concrete resource
+// slot. Following the paper:
+//   * tasks are processed in start-time order;
+//   * each task goes to the slot that "leaves the smallest remaining gap"
+//     — the slot whose last busy interval ends latest while still at or
+//     before the task's start;
+//   * map tasks use map slots, reduce tasks use reduce slots;
+//   * tasks that have already started are pre-placed on their actual
+//     resource (their slot within it is re-derived, which is sound
+//     because slots of one resource are interchangeable).
+//
+// Because the combined-resource cumulative constraint bounds the number
+// of concurrent tasks by the total slot count, the greedy start-ordered
+// assignment always finds a free slot (interval-graph colouring); the
+// matchmaker checks this invariant.
+//
+// The paper's intermediate "unit capacity resources" and the step-2
+// regrouping of unit resources into a user-specified number of resources
+// (n_m / n_r) are exposed as compute_regrouping(), reproduced exactly as
+// the §V.D example describes.
+#pragma once
+
+#include <vector>
+
+#include "mapreduce/cluster.h"
+#include "mapreduce/job.h"
+
+namespace mrcp {
+
+/// One scheduled interval to be matchmade.
+struct MatchItem {
+  TaskType type = TaskType::kMap;
+  Time start = 0;
+  Time end = 0;
+  bool pinned = false;               ///< already running on `pinned_resource`
+  ResourceId pinned_resource = kNoResource;
+};
+
+/// Assign each item a resource. Returns resources indexed like `items`.
+/// Aborts (MRCP_CHECK) if the items violate the total-capacity invariant,
+/// which would indicate an invalid combined-resource schedule.
+std::vector<ResourceId> matchmake(const Cluster& cluster,
+                                  const std::vector<MatchItem>& items);
+
+/// §V.D step 2: distribute `total_map_slots` map slots over max(nm, nr)
+/// resources (evenly) and `total_reduce_slots` reduce slots over the
+/// first nr of them (as evenly as possible, smaller counts first).
+/// Example from the paper: 100 map + 100 reduce slots, nm=50, nr=30 →
+/// 50 resources with 2 map slots; the first 20 of the 30 reduce-carrying
+/// resources get 3 reduce slots and the remaining 10 get 4.
+Cluster compute_regrouping(int total_map_slots, int total_reduce_slots, int nm,
+                           int nr);
+
+}  // namespace mrcp

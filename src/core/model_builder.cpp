@@ -1,0 +1,86 @@
+#include "core/model_builder.h"
+
+#include <map>
+
+#include "common/check.h"
+
+namespace mrcp {
+
+namespace {
+
+cp::Phase to_phase(TaskType type) {
+  return type == TaskType::kMap ? cp::Phase::kMap : cp::Phase::kReduce;
+}
+
+void add_jobs_and_tasks(BuiltModel& built, std::span<const LiveJob> jobs,
+                        bool combined) {
+  for (const LiveJob& lj : jobs) {
+    MRCP_CHECK(!lj.tasks.empty());
+    const cp::CpJobIndex cj = built.model.add_job(
+        lj.effective_earliest_start, lj.deadline, lj.id);
+    built.job_refs.push_back(lj.id);
+    // Flat task index -> CP task index, for wiring precedences below.
+    std::map<int, cp::CpTaskIndex> by_flat_index;
+    for (const LiveTask& lt : lj.tasks) {
+      const cp::CpTaskIndex ct =
+          built.model.add_task(cj, to_phase(lt.type), lt.exec_time, lt.res_req,
+                               lt.task_index, lt.net_demand);
+      built.task_refs.emplace_back(lj.id, lt.task_index);
+      by_flat_index.emplace(lt.task_index, ct);
+      if (lt.started) {
+        MRCP_CHECK(lt.resource != kNoResource && lt.start != kNoTime);
+        // In combined mode every task lives on CP resource 0; the true
+        // resource is re-attached by the matchmaker afterwards.
+        const cp::CpResourceIndex pin_res =
+            combined ? 0 : static_cast<cp::CpResourceIndex>(lt.resource);
+        built.model.pin_task(ct, pin_res, lt.start);
+      }
+    }
+    for (const auto& [before, after] : lj.precedences) {
+      const auto b = by_flat_index.find(before);
+      const auto a = by_flat_index.find(after);
+      MRCP_CHECK_MSG(b != by_flat_index.end() && a != by_flat_index.end(),
+                     "precedence references a task absent from the model");
+      built.model.add_precedence(b->second, a->second);
+    }
+  }
+}
+
+}  // namespace
+
+BuiltModel build_direct_model(const Cluster& cluster,
+                              std::span<const LiveJob> jobs) {
+  BuiltModel built;
+  built.combined = false;
+  for (const Resource& r : cluster.resources()) {
+    built.model.add_resource(r.map_capacity, r.reduce_capacity,
+                             r.net_capacity);
+  }
+  add_jobs_and_tasks(built, jobs, /*combined=*/false);
+  return built;
+}
+
+BuiltModel build_combined_model(const Cluster& cluster,
+                                std::span<const LiveJob> jobs) {
+  BuiltModel built;
+  built.combined = true;
+  built.model.add_resource(cluster.total_map_slots(),
+                           cluster.total_reduce_slots());
+  bool links_constrained = false;
+  for (const Resource& r : cluster.resources()) {
+    links_constrained |= r.net_capacity > 0;
+  }
+  for (const LiveJob& lj : jobs) {
+    for (const LiveTask& lt : lj.tasks) {
+      MRCP_CHECK_MSG(lt.res_req == 1,
+                     "combined mode requires unit task demands (q_t = 1)");
+      MRCP_CHECK_MSG(lt.net_demand == 0 || !links_constrained,
+                     "combined mode cannot carry per-resource link "
+                     "constraints — use the direct model");
+    }
+  }
+  add_jobs_and_tasks(built, jobs, /*combined=*/true);
+  return built;
+}
+
+}  // namespace mrcp

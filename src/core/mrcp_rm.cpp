@@ -1,0 +1,263 @@
+#include "core/mrcp_rm.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/log.h"
+#include "common/stopwatch.h"
+#include "core/matchmaker.h"
+#include "core/model_builder.h"
+
+namespace mrcp {
+
+MrcpRm::MrcpRm(Cluster cluster, MrcpConfig config)
+    : cluster_(std::move(cluster)), config_(std::move(config)) {
+  MRCP_CHECK(cluster_.size() >= 1);
+}
+
+void MrcpRm::submit(const Job& job, Time now) {
+  MRCP_CHECK_MSG(validate_job(job).empty(), "submitted job is invalid");
+  MRCP_CHECK_MSG(active_.find(job.id) == active_.end(), "duplicate job id");
+  ++stats_.jobs_submitted;
+
+  if (config_.defer_future_jobs &&
+      job.earliest_start - config_.deferral_window > now) {
+    deferred_.emplace(job.earliest_start - config_.deferral_window, job);
+    return;
+  }
+  JobState st;
+  st.job = job;
+  st.completed.assign(job.num_tasks(), 0);
+  st.assignments.assign(job.num_tasks(), Assignment{});
+  active_.emplace(job.id, std::move(st));
+}
+
+Time MrcpRm::next_deferred_release() const {
+  if (deferred_.empty()) return kNoTime;
+  return deferred_.begin()->first;
+}
+
+void MrcpRm::release_deferred(Time now) {
+  while (!deferred_.empty() && deferred_.begin()->first <= now) {
+    Job job = std::move(deferred_.begin()->second);
+    deferred_.erase(deferred_.begin());
+    JobState st;
+    st.completed.assign(job.num_tasks(), 0);
+    st.assignments.assign(job.num_tasks(), Assignment{});
+    st.job = std::move(job);
+    const JobId id = st.job.id;
+    active_.emplace(id, std::move(st));
+  }
+}
+
+void MrcpRm::sweep_completed(Time now) {
+  for (auto it = active_.begin(); it != active_.end();) {
+    JobState& st = it->second;
+    bool all_done = true;
+    Time completion = 0;
+    for (std::size_t ti = 0; ti < st.completed.size(); ++ti) {
+      if (st.completed[ti]) {
+        completion = std::max(completion, st.assignments[ti].end);
+        continue;
+      }
+      const Assignment& as = st.assignments[ti];
+      // Paper Table 2 line 10: end <= now means the task finished.
+      if (as.assigned() && as.start <= now && as.end <= now) {
+        st.completed[ti] = 1;
+        completion = std::max(completion, as.end);
+      } else {
+        all_done = false;
+      }
+    }
+    if (all_done) {
+      ++stats_.jobs_completed;
+      if (completion > st.job.deadline) ++stats_.jobs_completed_late;
+      it = active_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::vector<LiveJob> MrcpRm::collect_live_jobs(Time now) const {
+  std::vector<LiveJob> live;
+  live.reserve(active_.size());
+  for (const auto& [id, st] : active_) {
+    LiveJob lj;
+    lj.id = id;
+    // Table 2 lines 1-4: an earliest start time in the past becomes `now`.
+    lj.effective_earliest_start = std::max(st.job.earliest_start, now);
+    lj.deadline = st.job.deadline;
+    for (std::size_t ti = 0; ti < st.job.num_tasks(); ++ti) {
+      if (st.completed[ti]) continue;
+      const Task& task = st.job.task(ti);
+      LiveTask lt;
+      lt.task_index = static_cast<int>(ti);
+      lt.type = task.type;
+      lt.exec_time = task.exec_time;
+      lt.res_req = task.res_req;
+      lt.net_demand = task.net_demand;
+      const Assignment& as = st.assignments[ti];
+      const bool freeze_planned =
+          config_.replan_scope == ReplanScope::kNewJobsOnly;
+      if (as.assigned() && (as.start <= now || freeze_planned)) {
+        // Running: pinned (Table 2 lines 11-12). In kNewJobsOnly scope,
+        // planned-but-unstarted tasks are frozen in place too.
+        lt.started = true;
+        lt.resource = as.resource;
+        lt.start = as.start;
+      }
+      lj.tasks.push_back(lt);
+    }
+    MRCP_CHECK(!lj.tasks.empty());  // fully-completed jobs were swept
+    // Workflow precedences: edges whose predecessor (or successor)
+    // completed are already satisfied (the executed end lies in the
+    // past); only live-live edges constrain the new plan.
+    for (const auto& [before, after] : st.job.precedences) {
+      if (st.completed[static_cast<std::size_t>(before)] ||
+          st.completed[static_cast<std::size_t>(after)]) {
+        continue;
+      }
+      lj.precedences.emplace_back(before, after);
+    }
+    live.push_back(std::move(lj));
+  }
+  return live;
+}
+
+const Plan& MrcpRm::reschedule(Time now) {
+  Stopwatch timer;
+  ++stats_.invocations;
+
+  release_deferred(now);
+  sweep_completed(now);
+  const std::vector<LiveJob> live = collect_live_jobs(now);
+
+  if (!live.empty()) {
+    // Separation (§V.D) needs unit demands; fall back to the direct
+    // formulation when any task requires more than one slot.
+    bool unit_demands = true;
+    bool links_active = false;
+    bool cluster_constrains_links = false;
+    for (const Resource& r : cluster_.resources()) {
+      cluster_constrains_links |= r.net_capacity > 0;
+    }
+    std::size_t live_tasks = 0;
+    for (const LiveJob& lj : live) {
+      live_tasks += lj.tasks.size();
+      for (const LiveTask& lt : lj.tasks) {
+        unit_demands &= lt.res_req == 1;
+        links_active |= lt.net_demand > 0 && cluster_constrains_links;
+      }
+    }
+    stats_.max_live_tasks = std::max(stats_.max_live_tasks,
+                                     static_cast<std::uint64_t>(live_tasks));
+    // The §V.D combined-resource abstraction is only sound when every
+    // non-running task is re-placed: frozen *future* tasks (kNewJobsOnly)
+    // fragment concrete slots, and an interval can fit the summed
+    // capacity while fitting no single slot. The frozen-scope mode
+    // therefore solves the direct per-resource model — which is cheap
+    // there, since only the newly arrived jobs' tasks are free.
+    // ... and per-resource link constraints likewise cannot be expressed
+    // on the combined resource.
+    const bool combined =
+        config_.use_separation && unit_demands && !links_active &&
+        config_.replan_scope == ReplanScope::kAllUnstarted;
+
+    BuiltModel built = combined ? build_combined_model(cluster_, live)
+                                : build_direct_model(cluster_, live);
+    const std::string model_err = built.model.validate();
+    MRCP_CHECK_MSG(model_err.empty(), model_err.c_str());
+
+    cp::SolveParams params = config_.solve;
+    // Vary the LNS seed across invocations, deterministically.
+    params.seed = config_.solve.seed + plan_.epoch * 0x9E3779B9ULL;
+    cp::SolveResult result = cp::solve(built.model, params);
+    MRCP_CHECK_MSG(result.best.valid, "solver returned no solution");
+    if (config_.validate_plans) {
+      const std::string err = validate_solution(built.model, result.best);
+      MRCP_CHECK_MSG(err.empty(), err.c_str());
+    }
+    stats_.solver_decisions += result.stats.decisions;
+    stats_.solver_fails += result.stats.fails;
+
+    // Map CP placements back onto cluster resources.
+    std::vector<ResourceId> resources(built.task_refs.size(), kNoResource);
+    if (combined) {
+      std::vector<MatchItem> items(built.task_refs.size());
+      for (std::size_t i = 0; i < built.task_refs.size(); ++i) {
+        const cp::CpTask& ct = built.model.task(static_cast<cp::CpTaskIndex>(i));
+        const auto& placement = result.best.placements[i];
+        MatchItem& item = items[i];
+        item.type = ct.phase == cp::Phase::kMap ? TaskType::kMap
+                                                : TaskType::kReduce;
+        item.start = placement.start;
+        item.end = placement.start + ct.duration;
+        item.pinned = ct.pinned;
+        if (ct.pinned) {
+          const auto& [job_id, task_index] = built.task_refs[i];
+          item.pinned_resource =
+              active_.at(job_id)
+                  .assignments[static_cast<std::size_t>(task_index)]
+                  .resource;
+        }
+      }
+      resources = matchmake(cluster_, items);
+    } else {
+      for (std::size_t i = 0; i < built.task_refs.size(); ++i) {
+        resources[i] =
+            static_cast<ResourceId>(result.best.placements[i].resource);
+      }
+    }
+
+    // Commit the new assignments.
+    for (std::size_t i = 0; i < built.task_refs.size(); ++i) {
+      const auto& [job_id, task_index] = built.task_refs[i];
+      const cp::CpTask& ct = built.model.task(static_cast<cp::CpTaskIndex>(i));
+      Assignment& as =
+          active_.at(job_id).assignments[static_cast<std::size_t>(task_index)];
+      as.resource = resources[i];
+      as.start = result.best.placements[i].start;
+      as.end = as.start + ct.duration;
+    }
+  }
+
+  publish_plan(now);
+  stats_.total_sched_seconds += timer.elapsed_seconds();
+  return plan_;
+}
+
+void MrcpRm::publish_plan(Time now) {
+  ++plan_.epoch;
+  plan_.planned_at = now;
+  plan_.tasks.clear();
+  for (const auto& [id, st] : active_) {
+    for (std::size_t ti = 0; ti < st.job.num_tasks(); ++ti) {
+      if (st.completed[ti]) continue;
+      const Assignment& as = st.assignments[ti];
+      MRCP_CHECK(as.assigned());
+      PlannedTask pt;
+      pt.job = id;
+      pt.task_index = static_cast<int>(ti);
+      pt.type = st.job.task(ti).type;
+      pt.resource = as.resource;
+      pt.start = as.start;
+      pt.end = as.end;
+      pt.started = as.start <= now;
+      plan_.tasks.push_back(pt);
+    }
+  }
+  if (config_.validate_plans && !plan_.tasks.empty()) {
+    JobId max_id = 0;
+    for (const auto& [id, st] : active_) max_id = std::max(max_id, id);
+    std::vector<const Job*> jobs_by_id(static_cast<std::size_t>(max_id) + 1,
+                                       nullptr);
+    for (const auto& [id, st] : active_) {
+      jobs_by_id[static_cast<std::size_t>(id)] = &st.job;
+    }
+    const std::string err = validate_plan(plan_, cluster_, jobs_by_id);
+    MRCP_CHECK_MSG(err.empty(), err.c_str());
+  }
+}
+
+}  // namespace mrcp

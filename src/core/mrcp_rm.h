@@ -1,0 +1,141 @@
+// MRCP-RM — the MapReduce Constraint Programming based Resource Manager
+// (paper §V). This is the paper's primary contribution.
+//
+// Usage in an open system: submit() each job when it arrives, then call
+// reschedule(now) to run the Table 2 algorithm, which
+//   1. clamps earliest start times that have passed to `now`;
+//   2. classifies every previously-scheduled task: completed tasks are
+//      dropped (and fully-completed jobs removed), running tasks are
+//      pinned (resource + start + end fixed, earliest-start constraint
+//      lifted);
+//   3. rebuilds the CP model over all remaining tasks — newly submitted
+//      jobs *and* previously scheduled but unstarted tasks, which are
+//      re-mapped and re-scheduled from scratch for maximum flexibility;
+//   4. solves it (combined-resource + matchmaking when the §V.D
+//      separation optimization is on, direct model otherwise);
+//   5. publishes a new Plan carrying every live task's assignment.
+//
+// §V.E deferral: jobs whose s_j lies more than `deferral_window` in the
+// future are parked in a deferral queue and only join the CP model once
+// now >= s_j - deferral_window; next_deferred_release() tells the driver
+// when to invoke reschedule() for that.
+//
+// The O metric (average matchmaking and scheduling time per job) is
+// accumulated from wall-clock measurements around steps 1-5, mirroring
+// the paper's System.nanoTime() instrumentation.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/types.h"
+#include "core/model_builder.h"
+#include "core/plan.h"
+#include "cp/solver.h"
+#include "mapreduce/cluster.h"
+#include "mapreduce/job.h"
+
+namespace mrcp {
+
+/// How much of the existing schedule each invocation reconsiders.
+enum class ReplanScope {
+  /// Paper Table 2: every task that has not *started* is re-mapped and
+  /// re-scheduled for maximum flexibility.
+  kAllUnstarted,
+  /// Low-overhead mode (a §VII "reduce scheduling times at high lambda"
+  /// mechanism): previously planned tasks keep their placement even if
+  /// not started; only newly arrived/released jobs are placed, into the
+  /// gaps of the frozen schedule. Cheaper solves, slightly worse P.
+  kNewJobsOnly,
+};
+
+struct MrcpConfig {
+  /// §V.D separation of matchmaking and scheduling (combined-resource
+  /// solve + min-gap matchmaking). Requires unit task demands.
+  bool use_separation = true;
+
+  ReplanScope replan_scope = ReplanScope::kAllUnstarted;
+
+  /// §V.E: defer jobs with far-future earliest start times.
+  bool defer_future_jobs = true;
+  /// A deferred job enters scheduling at s_j - deferral_window.
+  Time deferral_window = 0;
+
+  /// CP solver budgets (per invocation).
+  cp::SolveParams solve;
+
+  /// Re-validate every published plan (slow; for tests/debugging).
+  bool validate_plans = false;
+};
+
+struct MrcpStats {
+  std::uint64_t invocations = 0;
+  std::uint64_t jobs_submitted = 0;
+  std::uint64_t jobs_completed = 0;
+  std::uint64_t jobs_completed_late = 0;
+  double total_sched_seconds = 0.0;  ///< sum of per-invocation wall time
+  std::int64_t solver_decisions = 0;
+  std::int64_t solver_fails = 0;
+  std::uint64_t max_live_tasks = 0;  ///< largest model solved
+
+  /// O: average matchmaking and scheduling time per submitted job
+  /// (paper §VI: total scheduling time / jobs mapped and scheduled).
+  double average_sched_seconds_per_job() const {
+    if (jobs_submitted == 0) return 0.0;
+    return total_sched_seconds / static_cast<double>(jobs_submitted);
+  }
+};
+
+class MrcpRm {
+ public:
+  MrcpRm(Cluster cluster, MrcpConfig config);
+
+  /// A job has arrived (now == job.arrival_time in the simulator). The
+  /// job is queued; call reschedule() to actually plan it.
+  void submit(const Job& job, Time now);
+
+  /// Run the Table 2 matchmaking-and-scheduling algorithm at time `now`.
+  /// Returns the freshly published plan.
+  const Plan& reschedule(Time now);
+
+  const Plan& current_plan() const { return plan_; }
+  const Cluster& cluster() const { return cluster_; }
+
+  /// Earliest time a deferred job becomes eligible; kNoTime when the
+  /// deferral queue is empty.
+  Time next_deferred_release() const;
+
+  /// Jobs currently known to the RM (active + deferred), for testing.
+  std::size_t live_jobs() const { return active_.size() + deferred_.size(); }
+
+  const MrcpStats& stats() const { return stats_; }
+
+ private:
+  struct Assignment {
+    ResourceId resource = kNoResource;
+    Time start = kNoTime;
+    Time end = kNoTime;
+    bool assigned() const { return resource != kNoResource; }
+  };
+  struct JobState {
+    Job job;
+    std::vector<std::uint8_t> completed;   ///< per flat task index
+    std::vector<Assignment> assignments;   ///< per flat task index
+  };
+
+  void release_deferred(Time now);
+  void sweep_completed(Time now);
+  std::vector<LiveJob> collect_live_jobs(Time now) const;
+  void publish_plan(Time now);
+
+  Cluster cluster_;
+  MrcpConfig config_;
+  std::map<JobId, JobState> active_;
+  std::multimap<Time, Job> deferred_;  ///< release time -> job
+  Plan plan_;
+  MrcpStats stats_;
+};
+
+}  // namespace mrcp

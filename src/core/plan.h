@@ -1,0 +1,49 @@
+// The output of one MRCP-RM matchmaking-and-scheduling invocation: a
+// complete mapping of every live task to a resource and start time.
+//
+// Tasks are identified by (job id, flat task index) where flat index
+// enumerates the job's map tasks first, then its reduce tasks — matching
+// Job::task().
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "mapreduce/cluster.h"
+#include "mapreduce/job.h"
+
+namespace mrcp {
+
+struct PlannedTask {
+  JobId job = kNoJob;
+  int task_index = -1;  ///< flat index within the job (maps, then reduces)
+  TaskType type = TaskType::kMap;
+  ResourceId resource = kNoResource;
+  Time start = kNoTime;
+  Time end = kNoTime;
+  bool started = false;  ///< start <= invocation time: pinned, not re-planned
+
+  Time duration() const { return end - start; }
+};
+
+struct Plan {
+  /// Monotonically increasing per-RM; the simulator uses it to discard
+  /// start events that belong to superseded plans.
+  std::uint64_t epoch = 0;
+  Time planned_at = 0;
+  std::vector<PlannedTask> tasks;
+
+  std::string to_string() const;
+};
+
+/// Validate a plan against a cluster and the jobs it schedules: capacity
+/// sweeps per (resource, phase), map-before-reduce per job, earliest
+/// start times for tasks that have not started, matching durations.
+/// `jobs` maps job id -> Job for every job appearing in the plan.
+/// Returns empty string when the plan is consistent.
+std::string validate_plan(const Plan& plan, const Cluster& cluster,
+                          const std::vector<const Job*>& jobs_by_id);
+
+}  // namespace mrcp

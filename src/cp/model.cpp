@@ -1,0 +1,239 @@
+#include "cp/model.h"
+
+#include <algorithm>
+
+namespace mrcp::cp {
+
+CpResourceIndex Model::add_resource(int map_capacity, int reduce_capacity,
+                                    int net_capacity) {
+  MRCP_CHECK(map_capacity >= 0 && reduce_capacity >= 0 && net_capacity >= 0);
+  resources_.push_back(CpResource{map_capacity, reduce_capacity, net_capacity});
+  return static_cast<CpResourceIndex>(resources_.size() - 1);
+}
+
+CpJobIndex Model::add_job(Time earliest_start, Time deadline,
+                          std::int64_t external_id) {
+  MRCP_CHECK(earliest_start >= 0);
+  MRCP_CHECK(deadline > 0);
+  CpJob j;
+  j.earliest_start = earliest_start;
+  j.deadline = deadline;
+  j.external_id = external_id;
+  jobs_.push_back(std::move(j));
+  return static_cast<CpJobIndex>(jobs_.size() - 1);
+}
+
+CpTaskIndex Model::add_task(CpJobIndex job, Phase phase, Time duration, int demand,
+                            std::int64_t external_id, int net_demand) {
+  MRCP_CHECK(job >= 0 && static_cast<std::size_t>(job) < jobs_.size());
+  MRCP_CHECK(duration > 0);
+  MRCP_CHECK(demand >= 1);
+  MRCP_CHECK(net_demand >= 0);
+  CpTask t;
+  t.job = job;
+  t.phase = phase;
+  t.duration = duration;
+  t.demand = demand;
+  t.net_demand = net_demand;
+  t.external_id = external_id;
+  tasks_.push_back(std::move(t));
+  preds_.emplace_back();
+  const auto index = static_cast<CpTaskIndex>(tasks_.size() - 1);
+  if (phase == Phase::kMap) {
+    jobs_[static_cast<std::size_t>(job)].map_tasks.push_back(index);
+  } else {
+    jobs_[static_cast<std::size_t>(job)].reduce_tasks.push_back(index);
+  }
+  return index;
+}
+
+void Model::restrict_candidates(CpTaskIndex task,
+                                std::vector<CpResourceIndex> resources) {
+  MRCP_CHECK(task >= 0 && static_cast<std::size_t>(task) < tasks_.size());
+  for (CpResourceIndex r : resources) {
+    MRCP_CHECK(r >= 0 && static_cast<std::size_t>(r) < resources_.size());
+  }
+  tasks_[static_cast<std::size_t>(task)].candidates = std::move(resources);
+}
+
+void Model::pin_task(CpTaskIndex task, CpResourceIndex resource, Time start) {
+  MRCP_CHECK(task >= 0 && static_cast<std::size_t>(task) < tasks_.size());
+  MRCP_CHECK(resource >= 0 && static_cast<std::size_t>(resource) < resources_.size());
+  MRCP_CHECK(start >= 0);
+  CpTask& t = tasks_[static_cast<std::size_t>(task)];
+  t.pinned = true;
+  t.pinned_resource = resource;
+  t.pinned_start = start;
+}
+
+void Model::add_precedence(CpTaskIndex before, CpTaskIndex after) {
+  MRCP_CHECK(before >= 0 && static_cast<std::size_t>(before) < tasks_.size());
+  MRCP_CHECK(after >= 0 && static_cast<std::size_t>(after) < tasks_.size());
+  MRCP_CHECK_MSG(before != after, "precedence self-loop");
+  preds_[static_cast<std::size_t>(after)].push_back(before);
+  ++num_precedences_;
+}
+
+Time Model::static_earliest_start(CpTaskIndex task) const {
+  const CpTask& t = tasks_[static_cast<std::size_t>(task)];
+  if (t.pinned) return t.pinned_start;
+  const CpJob& j = jobs_[static_cast<std::size_t>(t.job)];
+  Time est = j.earliest_start;
+  if (t.phase == Phase::kReduce) {
+    // A reduce may not start before every map of the job could have ended.
+    for (CpTaskIndex m : j.map_tasks) {
+      const CpTask& mt = tasks_[static_cast<std::size_t>(m)];
+      const Time start_lb = mt.pinned ? mt.pinned_start : j.earliest_start;
+      est = std::max(est, start_lb + mt.duration);
+    }
+  }
+  // User precedences: recursive chains tighten this further, but the
+  // direct-predecessor bound is enough for a static LB (the search
+  // tracks exact fixed ends during placement).
+  for (CpTaskIndex p : preds_[static_cast<std::size_t>(task)]) {
+    const CpTask& pt = tasks_[static_cast<std::size_t>(p)];
+    const Time start_lb = pt.pinned
+                              ? pt.pinned_start
+                              : jobs_[static_cast<std::size_t>(pt.job)]
+                                    .earliest_start;
+    est = std::max(est, start_lb + pt.duration);
+  }
+  return est;
+}
+
+Time Model::completion_lower_bound(CpJobIndex job) const {
+  // Two valid lower bounds, combined with max:
+  //  (a) critical-task bound: every task ends no earlier than its static
+  //      earliest start plus its duration (folds in s_j, the map-phase
+  //      barrier, pinned starts, direct user predecessors);
+  //  (b) energetic bound: even with the whole cluster to itself, the
+  //      job's map phase needs ceil(map_work / total_map_slots) and its
+  //      reduce phase ceil(reduce_work / total_reduce_slots) from s_j —
+  //      phases are sequential.
+  const CpJob& j = jobs_[static_cast<std::size_t>(job)];
+  Time completion = j.earliest_start;
+  Time map_work = 0;
+  Time reduce_work = 0;
+  for (CpTaskIndex t : j.map_tasks) {
+    const CpTask& task = tasks_[static_cast<std::size_t>(t)];
+    completion =
+        std::max(completion, static_earliest_start(t) + task.duration);
+    if (!task.pinned) map_work += task.duration;
+  }
+  for (CpTaskIndex t : j.reduce_tasks) {
+    const CpTask& task = tasks_[static_cast<std::size_t>(t)];
+    completion =
+        std::max(completion, static_earliest_start(t) + task.duration);
+    if (!task.pinned) reduce_work += task.duration;
+  }
+  Time map_slots = 0;
+  Time reduce_slots = 0;
+  for (const CpResource& r : resources_) {
+    map_slots += r.map_capacity;
+    reduce_slots += r.reduce_capacity;
+  }
+  Time energetic = j.earliest_start;
+  if (map_work > 0 && map_slots > 0) {
+    energetic += (map_work + map_slots - 1) / map_slots;
+  }
+  if (reduce_work > 0 && reduce_slots > 0) {
+    energetic += (reduce_work + reduce_slots - 1) / reduce_slots;
+  }
+  return std::max(completion, energetic);
+}
+
+std::string Model::validate() const {
+  if (resources_.empty()) return "model has no resources";
+  for (std::size_t ti = 0; ti < tasks_.size(); ++ti) {
+    const CpTask& t = tasks_[ti];
+    const std::string where = "task " + std::to_string(ti) + ": ";
+    if (t.duration <= 0) return where + "non-positive duration";
+    if (t.demand < 1) return where + "demand < 1";
+    for (CpResourceIndex r : t.candidates) {
+      if (r < 0 || static_cast<std::size_t>(r) >= resources_.size()) {
+        return where + "candidate resource out of range";
+      }
+    }
+    // Demand must fit on at least one candidate resource's capacity
+    // (slot demand, and link demand where the resource constrains links).
+    bool fits = false;
+    auto check_fit = [&](const CpResource& res) {
+      if (res.capacity(t.phase) < t.demand) return false;
+      if (t.net_demand > 0 && res.net_capacity > 0 &&
+          res.net_capacity < t.net_demand) {
+        return false;
+      }
+      return true;
+    };
+    if (t.candidates.empty()) {
+      for (const CpResource& res : resources_) fits = fits || check_fit(res);
+    } else {
+      for (CpResourceIndex r : t.candidates) {
+        fits = fits || check_fit(resources_[static_cast<std::size_t>(r)]);
+      }
+    }
+    if (!fits) return where + "demand exceeds every candidate's capacity";
+    if (t.pinned) {
+      const auto& res = resources_[static_cast<std::size_t>(t.pinned_resource)];
+      if (!check_fit(res)) {
+        return where + "pinned to resource without capacity";
+      }
+      if (!t.candidates.empty() &&
+          std::find(t.candidates.begin(), t.candidates.end(), t.pinned_resource) ==
+              t.candidates.end()) {
+        return where + "pinned resource not among candidates";
+      }
+    }
+  }
+  for (std::size_t ji = 0; ji < jobs_.size(); ++ji) {
+    const CpJob& j = jobs_[ji];
+    const std::string where = "job " + std::to_string(ji) + ": ";
+    // Note: deadline <= earliest_start is allowed — in the open system a
+    // job's s_j is clamped to "now" on every RM invocation, so a job that
+    // is already past its deadline while waiting is simply (statically)
+    // late, not malformed.
+    if (j.map_tasks.empty() && j.reduce_tasks.empty()) return where + "no tasks";
+  }
+
+  // The combined precedence graph (user edges + per-job map->reduce
+  // barriers, the latter via one virtual node per job) must be acyclic.
+  if (num_precedences_ > 0) {
+    const std::size_t n = tasks_.size();
+    const std::size_t total = n + jobs_.size();
+    std::vector<std::vector<std::size_t>> adj(total);
+    std::vector<int> indeg(total, 0);
+    auto add_edge = [&](std::size_t u, std::size_t v) {
+      adj[u].push_back(v);
+      ++indeg[v];
+    };
+    for (std::size_t ti = 0; ti < n; ++ti) {
+      for (CpTaskIndex p : preds_[ti]) {
+        add_edge(static_cast<std::size_t>(p), ti);
+      }
+    }
+    for (std::size_t ji = 0; ji < jobs_.size(); ++ji) {
+      const std::size_t barrier = n + ji;
+      for (CpTaskIndex m : jobs_[ji].map_tasks) {
+        add_edge(static_cast<std::size_t>(m), barrier);
+      }
+      for (CpTaskIndex r : jobs_[ji].reduce_tasks) {
+        add_edge(barrier, static_cast<std::size_t>(r));
+      }
+    }
+    std::vector<std::size_t> queue;
+    for (std::size_t v = 0; v < total; ++v) {
+      if (indeg[v] == 0) queue.push_back(v);
+    }
+    std::size_t processed = 0;
+    while (processed < queue.size()) {
+      const std::size_t u = queue[processed++];
+      for (std::size_t v : adj[u]) {
+        if (--indeg[v] == 0) queue.push_back(v);
+      }
+    }
+    if (processed != total) return "precedence graph has a cycle";
+  }
+  return "";
+}
+
+}  // namespace mrcp::cp

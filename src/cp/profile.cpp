@@ -1,0 +1,123 @@
+#include "cp/profile.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace mrcp::cp {
+
+Profile::Profile(int capacity) : capacity_(capacity) {
+  MRCP_CHECK(capacity >= 1);
+}
+
+Time Profile::earliest_feasible(Time est, Time duration, int demand) const {
+  MRCP_CHECK(duration >= 1);
+  MRCP_CHECK(demand >= 1 && demand <= capacity_);
+
+  // Usage just before est: accumulate deltas at times <= est.
+  int usage = 0;
+  auto it = delta_.begin();
+  for (; it != delta_.end() && it->first <= est; ++it) usage += it->second;
+
+  // Sweep segments [seg_start, next_event) looking for a contiguous
+  // window of length `duration` with usage + demand <= capacity.
+  Time candidate = est;  // start of the current feasible stretch
+  bool in_feasible = usage + demand <= capacity_;
+  Time seg_start = est;
+  while (true) {
+    const Time next_change = (it == delta_.end()) ? kMaxTime : it->first;
+    if (in_feasible) {
+      // Feasible from `candidate`; does the stretch reach duration before
+      // the next usage change?
+      if (next_change - candidate >= duration) return candidate;
+    }
+    if (it == delta_.end()) {
+      // No more changes; if currently feasible the window is unbounded.
+      MRCP_CHECK_MSG(in_feasible, "profile never frees capacity");
+      return candidate;
+    }
+    seg_start = next_change;
+    while (it != delta_.end() && it->first == seg_start) {
+      usage += it->second;
+      ++it;
+    }
+    const bool feasible_now = usage + demand <= capacity_;
+    if (feasible_now && !in_feasible) candidate = seg_start;
+    in_feasible = feasible_now;
+  }
+}
+
+bool Profile::fits(Time start, Time duration, int demand) const {
+  MRCP_CHECK(duration >= 1);
+  int usage = 0;
+  auto it = delta_.begin();
+  for (; it != delta_.end() && it->first <= start; ++it) usage += it->second;
+  if (usage + demand > capacity_) return false;
+  for (; it != delta_.end() && it->first < start + duration; ++it) {
+    usage += it->second;
+    if (usage + demand > capacity_) return false;
+  }
+  return true;
+}
+
+void Profile::apply(Time start, Time duration, int delta) {
+  MRCP_CHECK(duration >= 1);
+  delta_[start] += delta;
+  if (delta_[start] == 0) delta_.erase(start);
+  delta_[start + duration] -= delta;
+  auto it = delta_.find(start + duration);
+  if (it != delta_.end() && it->second == 0) delta_.erase(it);
+}
+
+void Profile::add(Time start, Time duration, int demand) {
+  MRCP_CHECK(demand >= 1);
+  apply(start, duration, demand);
+}
+
+void Profile::remove(Time start, Time duration, int demand) {
+  MRCP_CHECK(demand >= 1);
+  apply(start, duration, -demand);
+}
+
+int Profile::usage_at(Time t) const {
+  int usage = 0;
+  for (const auto& [time, d] : delta_) {
+    if (time > t) break;
+    usage += d;
+  }
+  return usage;
+}
+
+Time Profile::next_event_after(Time t) const {
+  auto it = delta_.upper_bound(t);
+  if (it == delta_.end()) return kMaxTime;
+  return it->first;
+}
+
+int Profile::peak_usage() const {
+  int usage = 0;
+  int peak = 0;
+  for (const auto& [time, d] : delta_) {
+    usage += d;
+    peak = std::max(peak, usage);
+  }
+  return peak;
+}
+
+std::string Profile::to_string() const {
+  std::ostringstream os;
+  os << "Profile{cap=" << capacity_ << ", events=[";
+  int usage = 0;
+  bool first = true;
+  for (const auto& [time, d] : delta_) {
+    usage += d;
+    if (!first) os << ", ";
+    first = false;
+    os << time << ":" << usage;
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace mrcp::cp

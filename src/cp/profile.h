@@ -1,0 +1,61 @@
+// Timetable profile: the solver-side data structure behind the paper's
+// cumulative constraints (Table 1, Constraints 5 and 6).
+//
+// One Profile exists per (resource, phase) pair with capacity c. It
+// stores the usage step function of all intervals placed so far as a
+// sorted map of capacity deltas, and answers the query the set-times
+// search needs: the earliest start >= est at which an interval of the
+// given duration and demand fits without ever exceeding the capacity.
+// This is timetable filtering specialised to fully-decided intervals,
+// which is exactly the propagation the `pulse`-sum formulation of the
+// paper's OPL model performs on the incrementally fixed schedule.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "common/types.h"
+
+namespace mrcp::cp {
+
+class Profile {
+ public:
+  explicit Profile(int capacity);
+
+  int capacity() const { return capacity_; }
+
+  /// Earliest t >= est such that usage(u) + demand <= capacity for all
+  /// u in [t, t + duration). Always exists (the profile is finitely
+  /// supported), so this never fails. duration >= 1, demand in [1, cap].
+  Time earliest_feasible(Time est, Time duration, int demand) const;
+
+  /// True iff the interval [start, start+duration) fits with `demand`.
+  bool fits(Time start, Time duration, int demand) const;
+
+  /// Place / remove an interval. remove() must mirror a previous add().
+  void add(Time start, Time duration, int demand);
+  void remove(Time start, Time duration, int demand);
+
+  /// Usage at time t (number of busy slots).
+  int usage_at(Time t) const;
+
+  /// The first time strictly greater than t at which the usage step
+  /// function changes; kMaxTime when there is none. Used to enumerate
+  /// postponed start candidates during branching.
+  Time next_event_after(Time t) const;
+
+  /// Peak usage over the whole horizon (diagnostics/tests).
+  int peak_usage() const;
+
+  std::size_t num_events() const { return delta_.size(); }
+
+  std::string to_string() const;
+
+ private:
+  void apply(Time start, Time duration, int delta);
+
+  int capacity_;
+  std::map<Time, int> delta_;  ///< time -> usage change at that time
+};
+
+}  // namespace mrcp::cp

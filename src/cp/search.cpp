@@ -1,0 +1,440 @@
+#include "cp/search.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/stopwatch.h"
+
+namespace mrcp::cp {
+
+const char* job_ordering_name(JobOrdering ordering) {
+  switch (ordering) {
+    case JobOrdering::kJobId: return "job-id";
+    case JobOrdering::kEdf: return "edf";
+    case JobOrdering::kLeastLaxity: return "least-laxity";
+    case JobOrdering::kFcfs: return "fcfs";
+  }
+  return "?";
+}
+
+std::vector<int> make_job_ranks(const Model& model, JobOrdering ordering) {
+  const auto n = model.num_jobs();
+  std::vector<CpJobIndex> jobs(n);
+  std::iota(jobs.begin(), jobs.end(), 0);
+
+  // Remaining work per job (pinned/completed tasks excluded from the
+  // model do not contribute) for the laxity strategy:
+  // L_j = d_j - s_j - sum e_t (paper §VI.B).
+  std::vector<Time> work(n, 0);
+  if (ordering == JobOrdering::kLeastLaxity) {
+    for (const CpTask& t : model.tasks()) {
+      work[static_cast<std::size_t>(t.job)] += t.duration;
+    }
+  }
+
+  auto key = [&](CpJobIndex j) -> std::pair<Time, std::int64_t> {
+    const CpJob& job = model.job(j);
+    switch (ordering) {
+      case JobOrdering::kJobId:
+        return {0, job.external_id >= 0 ? job.external_id : j};
+      case JobOrdering::kEdf:
+        return {job.deadline, job.external_id};
+      case JobOrdering::kLeastLaxity:
+        return {job.deadline - job.earliest_start -
+                    work[static_cast<std::size_t>(j)],
+                job.external_id};
+      case JobOrdering::kFcfs:
+        return {job.earliest_start, job.external_id};
+    }
+    return {0, j};
+  };
+  std::stable_sort(jobs.begin(), jobs.end(), [&](CpJobIndex a, CpJobIndex b) {
+    return key(a) < key(b);
+  });
+
+  std::vector<int> rank(n);
+  for (std::size_t pos = 0; pos < jobs.size(); ++pos) {
+    rank[static_cast<std::size_t>(jobs[pos])] = static_cast<int>(pos);
+  }
+  return rank;
+}
+
+SetTimesSearch::SetTimesSearch(const Model& model, std::vector<int> job_rank,
+                               std::vector<std::uint8_t> lpt_within_job)
+    : model_(model),
+      job_rank_(std::move(job_rank)),
+      lpt_within_job_(std::move(lpt_within_job)) {
+  MRCP_CHECK(job_rank_.size() == model_.num_jobs());
+  if (lpt_within_job_.empty()) {
+    lpt_within_job_.assign(model_.num_jobs(), 0);
+  }
+  MRCP_CHECK(lpt_within_job_.size() == model_.num_jobs());
+
+  // Profiles for every (resource, phase) pair. Zero-capacity phases get a
+  // 1-capacity placeholder that is never used (tasks cannot select them:
+  // build_choices filters on capacity >= demand).
+  profiles_.reserve(model_.num_resources() * 2);
+  net_profiles_.reserve(model_.num_resources());
+  for (const CpResource& r : model_.resources()) {
+    profiles_.emplace_back(std::max(1, r.map_capacity));
+    profiles_.emplace_back(std::max(1, r.reduce_capacity));
+    net_profiles_.emplace_back(std::max(1, r.net_capacity));
+  }
+
+  placements_.assign(model_.num_tasks(), TaskPlacement{});
+  fixed_map_end_.assign(model_.num_jobs(), 0);
+  fixed_completion_.assign(model_.num_jobs(), 0);
+  job_late_.assign(model_.num_jobs(), 0);
+
+  // Root state: pinned tasks are pre-placed; statically-late jobs are
+  // counted from the start (their completion lower bound already exceeds
+  // the deadline, so every leaf below the root has them late).
+  for (std::size_t ji = 0; ji < model_.num_jobs(); ++ji) {
+    const CpJob& j = model_.job(static_cast<CpJobIndex>(ji));
+    fixed_map_end_[ji] = j.earliest_start;
+    if (model_.completion_lower_bound(static_cast<CpJobIndex>(ji)) > j.deadline) {
+      job_late_[ji] = 1;
+      ++late_count_;
+    }
+  }
+  for (std::size_t ti = 0; ti < model_.num_tasks(); ++ti) {
+    const CpTask& t = model_.task(static_cast<CpTaskIndex>(ti));
+    if (!t.pinned) continue;
+    profile(t.pinned_resource, t.phase).add(t.pinned_start, t.duration, t.demand);
+    if (net_constrained(t.pinned_resource, t)) {
+      net_profiles_[static_cast<std::size_t>(t.pinned_resource)].add(
+          t.pinned_start, t.duration, t.net_demand);
+    }
+    placements_[ti] = TaskPlacement{t.pinned_resource, t.pinned_start};
+    const Time end = t.pinned_start + t.duration;
+    const auto ji = static_cast<std::size_t>(t.job);
+    if (t.phase == Phase::kMap) {
+      fixed_map_end_[ji] = std::max(fixed_map_end_[ji], end);
+    }
+    fixed_completion_[ji] = std::max(fixed_completion_[ji], end);
+    // Lateness of pinned tasks is covered by completion_lower_bound above.
+  }
+
+  // Decision order: jobs by rank; within a job maps before reduces (the
+  // reduce earliest start needs the fixed map ends); within a phase, LPT
+  // or index order per the job's lpt_within_job flag.
+  order_.reserve(model_.num_tasks());
+  for (std::size_t ti = 0; ti < model_.num_tasks(); ++ti) {
+    if (!model_.task(static_cast<CpTaskIndex>(ti)).pinned) {
+      order_.push_back(static_cast<CpTaskIndex>(ti));
+    }
+  }
+  std::stable_sort(order_.begin(), order_.end(), [&](CpTaskIndex a, CpTaskIndex b) {
+    const CpTask& ta = model_.task(a);
+    const CpTask& tb = model_.task(b);
+    const int ra = job_rank_[static_cast<std::size_t>(ta.job)];
+    const int rb = job_rank_[static_cast<std::size_t>(tb.job)];
+    if (ra != rb) return ra < rb;
+    if (ta.phase != tb.phase) return ta.phase == Phase::kMap;
+    if (lpt_within_job_[static_cast<std::size_t>(ta.job)] != 0 &&
+        ta.duration != tb.duration) {
+      return ta.duration > tb.duration;
+    }
+    return a < b;
+  });
+
+  // User precedences (workflow DAGs): the decision order must fix every
+  // predecessor before its successor so earliest starts propagate along
+  // edges. Re-derive the order as a priority-topological sort that stays
+  // as close to the preference order above as the DAG permits.
+  if (model_.num_precedences() > 0) {
+    std::vector<int> position(model_.num_tasks(), -1);
+    for (std::size_t i = 0; i < order_.size(); ++i) {
+      position[static_cast<std::size_t>(order_[i])] = static_cast<int>(i);
+    }
+    std::vector<int> indeg(model_.num_tasks(), 0);
+    std::vector<std::vector<CpTaskIndex>> succs(model_.num_tasks());
+    for (CpTaskIndex t : order_) {
+      for (CpTaskIndex p : model_.predecessors(t)) {
+        if (model_.task(p).pinned) continue;  // already fixed at the root
+        succs[static_cast<std::size_t>(p)].push_back(t);
+        ++indeg[static_cast<std::size_t>(t)];
+      }
+    }
+    // Min-heap on preference position.
+    auto later = [&](CpTaskIndex a, CpTaskIndex b) {
+      return position[static_cast<std::size_t>(a)] >
+             position[static_cast<std::size_t>(b)];
+    };
+    std::vector<CpTaskIndex> heap;
+    for (CpTaskIndex t : order_) {
+      if (indeg[static_cast<std::size_t>(t)] == 0) heap.push_back(t);
+    }
+    std::make_heap(heap.begin(), heap.end(), later);
+    std::vector<CpTaskIndex> topo;
+    topo.reserve(order_.size());
+    while (!heap.empty()) {
+      std::pop_heap(heap.begin(), heap.end(), later);
+      const CpTaskIndex t = heap.back();
+      heap.pop_back();
+      topo.push_back(t);
+      for (CpTaskIndex s : succs[static_cast<std::size_t>(t)]) {
+        if (--indeg[static_cast<std::size_t>(s)] == 0) {
+          heap.push_back(s);
+          std::push_heap(heap.begin(), heap.end(), later);
+        }
+      }
+    }
+    MRCP_CHECK_MSG(topo.size() == order_.size(),
+                   "precedence graph has a cycle");
+    order_ = std::move(topo);
+  }
+}
+
+Profile& SetTimesSearch::profile(CpResourceIndex r, Phase phase) {
+  return profiles_[static_cast<std::size_t>(r) * 2 +
+                   static_cast<std::size_t>(phase)];
+}
+
+bool SetTimesSearch::net_constrained(CpResourceIndex r, const CpTask& t) const {
+  return t.net_demand > 0 &&
+         model_.resource(r).net_capacity > 0;
+}
+
+Time SetTimesSearch::earliest_feasible_on(CpResourceIndex r, const CpTask& t,
+                                          Time est) {
+  Profile& slots = profile(r, t.phase);
+  if (!net_constrained(r, t)) {
+    return slots.earliest_feasible(est, t.duration, t.demand);
+  }
+  Profile& net = net_profiles_[static_cast<std::size_t>(r)];
+  // Fixpoint of the two one-dimensional queries: each pass can only move
+  // the start later, and both are finitely supported, so this terminates.
+  Time start = est;
+  while (true) {
+    const Time s1 = slots.earliest_feasible(start, t.duration, t.demand);
+    const Time s2 = net.earliest_feasible(s1, t.duration, t.net_demand);
+    if (s2 == s1) return s1;
+    start = s2;
+  }
+}
+
+void SetTimesSearch::build_choices(CpTaskIndex task, Level& level) {
+  const CpTask& t = model_.task(task);
+  const CpJob& j = model_.job(t.job);
+  const auto ji = static_cast<std::size_t>(t.job);
+  Time est = t.phase == Phase::kMap
+                 ? j.earliest_start
+                 : std::max(j.earliest_start, fixed_map_end_[ji]);
+  // User-precedence predecessors are fixed before this task (topological
+  // decision order) — propagate their exact ends.
+  for (CpTaskIndex p : model_.predecessors(task)) {
+    const TaskPlacement& pp = placements_[static_cast<std::size_t>(p)];
+    MRCP_DCHECK(pp.decided());
+    est = std::max(est, pp.start + model_.task(p).duration);
+  }
+
+  level.choices.clear();
+  auto consider = [&](CpResourceIndex r) {
+    const CpResource& res = model_.resource(r);
+    if (res.capacity(t.phase) < t.demand) return;
+    if (t.net_demand > 0 && res.net_capacity > 0 &&
+        res.net_capacity < t.net_demand) {
+      return;
+    }
+    level.choices.push_back(Choice{r, earliest_feasible_on(r, t, est)});
+  };
+  if (t.candidates.empty()) {
+    for (CpResourceIndex r = 0; r < static_cast<CpResourceIndex>(model_.num_resources());
+         ++r) {
+      consider(r);
+    }
+  } else {
+    for (CpResourceIndex r : t.candidates) consider(r);
+  }
+  MRCP_CHECK_MSG(!level.choices.empty(), "task has no feasible resource");
+  std::stable_sort(level.choices.begin(), level.choices.end(),
+                   [](const Choice& a, const Choice& b) {
+                     if (a.start != b.start) return a.start < b.start;
+                     return a.resource < b.resource;
+                   });
+
+  // Postponed-start branches on the earliest resource: skip past the next
+  // profile change(s). This is the "second branch" of set-times search.
+  const Choice best = level.choices.front();
+  Profile& prof = profile(best.resource, t.phase);
+  Time from = best.start;
+  std::vector<Choice> postponed;
+  for (int k = 0; k < level.postpone_budget; ++k) {
+    const Time event = prof.next_event_after(from);
+    if (event == kMaxTime) break;
+    const Time start = earliest_feasible_on(best.resource, t, event);
+    if (start <= from) break;
+    postponed.push_back(Choice{best.resource, start});
+    from = start;
+  }
+  level.choices.insert(level.choices.end(), postponed.begin(), postponed.end());
+}
+
+void SetTimesSearch::apply(CpTaskIndex task, Level& level, const Choice& choice) {
+  const CpTask& t = model_.task(task);
+  const auto ji = static_cast<std::size_t>(t.job);
+  const CpJob& j = model_.job(t.job);
+
+  profile(choice.resource, t.phase).add(choice.start, t.duration, t.demand);
+  if (net_constrained(choice.resource, t)) {
+    net_profiles_[static_cast<std::size_t>(choice.resource)].add(
+        choice.start, t.duration, t.net_demand);
+  }
+  placements_[static_cast<std::size_t>(task)] =
+      TaskPlacement{choice.resource, choice.start};
+
+  level.applied = true;
+  level.applied_choice = choice;
+  level.prev_fixed_map_end = fixed_map_end_[ji];
+  level.prev_fixed_completion = fixed_completion_[ji];
+  level.prev_late = job_late_[ji] != 0;
+
+  const Time end = choice.start + t.duration;
+  if (t.phase == Phase::kMap) {
+    fixed_map_end_[ji] = std::max(fixed_map_end_[ji], end);
+  }
+  fixed_completion_[ji] = std::max(fixed_completion_[ji], end);
+  if (end > j.deadline && job_late_[ji] == 0) {
+    job_late_[ji] = 1;
+    ++late_count_;
+  }
+}
+
+void SetTimesSearch::undo(CpTaskIndex task, Level& level) {
+  MRCP_CHECK(level.applied);
+  const CpTask& t = model_.task(task);
+  const auto ji = static_cast<std::size_t>(t.job);
+
+  profile(level.applied_choice.resource, t.phase)
+      .remove(level.applied_choice.start, t.duration, t.demand);
+  if (net_constrained(level.applied_choice.resource, t)) {
+    net_profiles_[static_cast<std::size_t>(level.applied_choice.resource)]
+        .remove(level.applied_choice.start, t.duration, t.net_demand);
+  }
+  placements_[static_cast<std::size_t>(task)] = TaskPlacement{};
+
+  fixed_map_end_[ji] = level.prev_fixed_map_end;
+  fixed_completion_[ji] = level.prev_fixed_completion;
+  if (job_late_[ji] != 0 && !level.prev_late) {
+    job_late_[ji] = 0;
+    --late_count_;
+  }
+  level.applied = false;
+}
+
+Solution SetTimesSearch::run(const SearchLimits& limits, const Solution* incumbent,
+                             SearchStats* stats) {
+  Stopwatch timer;
+  SearchStats local_stats;
+  SearchStats& st = stats ? *stats : local_stats;
+  st = SearchStats{};
+
+  Solution best;
+  if (incumbent && incumbent->valid) best = *incumbent;
+
+  // Degenerate case: nothing to decide (all tasks pinned or no tasks).
+  if (order_.empty()) {
+    Solution sol;
+    sol.placements = placements_;
+    if (model_.num_tasks() == 0) {
+      sol.valid = true;
+      sol.job_completion.assign(model_.num_jobs(), 0);
+      sol.job_late.assign(model_.num_jobs(), 0);
+    } else {
+      evaluate_solution(model_, sol);
+    }
+    st.solutions = 1;
+    st.exhausted = true;
+    if (sol.better_than(best)) best = sol;
+    return best;
+  }
+
+  std::vector<Level> levels(order_.size());
+  for (Level& l : levels) l.postpone_budget = limits.postpone_tries;
+
+  std::size_t depth = 0;
+  bool level_fresh = true;  // does levels[depth] need (re)building?
+  bool done = false;
+
+  // The budget never interrupts the initial descent: the search must
+  // always return a complete schedule (it is the RM's only source of
+  // one), and the first descent costs only one placement per task.
+  auto over_budget = [&]() {
+    if (!best.valid) return false;
+    return st.fails > limits.max_fails ||
+           ((st.decisions & 0xFF) == 0 &&
+            timer.elapsed_seconds() > limits.time_limit_s);
+  };
+
+  while (!done) {
+    if (depth == order_.size()) {
+      // All tasks fixed: a complete solution.
+      Solution sol;
+      sol.placements = placements_;
+      evaluate_solution(model_, sol);
+      ++st.solutions;
+      if (sol.better_than(best)) best = sol;
+      if (limits.stop_after_first_solution) break;
+      // No schedule can beat zero late jobs on the primary objective, and
+      // the B&B prune (late_count >= incumbent) would reject every branch
+      // anyway; stop rather than burn the fail budget.
+      if (best.valid && best.num_late == 0) {
+        st.exhausted = true;
+        break;
+      }
+      // Backtrack to search for a strictly better leaf.
+      if (depth == 0) break;
+      --depth;
+      undo(order_[depth], levels[depth]);
+      level_fresh = false;
+      continue;
+    }
+
+    Level& level = levels[depth];
+    if (level_fresh) {
+      build_choices(order_[depth], level);
+      level.next_choice = 0;
+    }
+
+    if (level.next_choice >= level.choices.size()) {
+      // Exhausted this level: backtrack.
+      if (depth == 0) {
+        st.exhausted = true;
+        break;
+      }
+      --depth;
+      undo(order_[depth], levels[depth]);
+      level_fresh = false;
+      continue;
+    }
+
+    const Choice choice = level.choices[level.next_choice++];
+    apply(order_[depth], level, choice);
+    ++st.decisions;
+
+    // Branch-and-bound pruning: `late_count_` only grows as more tasks
+    // are fixed, so reaching the incumbent's objective kills the branch.
+    const bool pruned = best.valid && late_count_ >= best.num_late;
+    if (pruned) {
+      ++st.fails;
+      undo(order_[depth], level);
+      if (over_budget()) break;
+      continue;  // try next choice at this level
+    }
+
+    ++depth;
+    level_fresh = true;
+    if (over_budget()) break;
+  }
+
+  // Unwind any applied decisions so the object can be reused.
+  while (depth > 0) {
+    --depth;
+    if (levels[depth].applied) undo(order_[depth], levels[depth]);
+  }
+
+  return best;
+}
+
+}  // namespace mrcp::cp

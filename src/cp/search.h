@@ -1,0 +1,117 @@
+// Set-times branch-and-bound search.
+//
+// The search fixes one task per decision level, in a static order derived
+// from a job ranking (the paper's "job ordering strategies", §VI.B: job
+// id, EDF, least laxity first). For the chosen task it branches on the
+// alternative (candidate resource) and on postponed start times; within a
+// branch the start is the earliest time the resource's timetable admits
+// (set-times). Lateness indicators N_j are propagated eagerly: as soon as
+// a fixed task ends after its job's deadline the job is late, and a
+// branch is pruned when the number of certainly-late jobs reaches the
+// incumbent objective (branch-and-bound on sum N_j). Jobs whose static
+// completion lower bound already exceeds their deadline are counted late
+// from the root.
+//
+// The first descent (taking the first branch everywhere) is an EDF/LLF
+// list schedule, so the search is anytime: it always returns a feasible
+// schedule, improved for as long as the fail/time budget lasts.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cp/model.h"
+#include "cp/profile.h"
+#include "cp/solution.h"
+
+namespace mrcp::cp {
+
+struct SearchLimits {
+  std::int64_t max_fails = 2000;      ///< prune-events before giving up
+  double time_limit_s = 1.0;          ///< wall-clock cap for this search
+  int postpone_tries = 2;             ///< extra delayed-start branches per level
+  bool stop_after_first_solution = false;
+};
+
+struct SearchStats {
+  std::int64_t decisions = 0;
+  std::int64_t fails = 0;
+  std::int64_t solutions = 0;
+  bool exhausted = false;  ///< search space fully explored (proof of optimality)
+};
+
+class SetTimesSearch {
+ public:
+  /// `job_rank[j]` gives job j's scheduling priority (lower = fixed
+  /// earlier). Must be a permutation-like ranking of all jobs.
+  ///
+  /// `lpt_within_job[j]` selects the intra-job decision order: when set,
+  /// job j's tasks are fixed longest-first (LPT — reproduces the job's
+  /// minimum-makespan list schedule, so a job alone on the cluster always
+  /// achieves exactly its TE); when clear, tasks are fixed in index order
+  /// (FIFO — staggers task endings, which leaves earlier slot holes for
+  /// later-arriving urgent jobs). Empty means FIFO for every job.
+  SetTimesSearch(const Model& model, std::vector<int> job_rank,
+                 std::vector<std::uint8_t> lpt_within_job = {});
+
+  /// Run the search. If `incumbent` is a valid solution it seeds the
+  /// branch-and-bound upper bound (the paper's warm start across MRCP-RM
+  /// invocations). Returns the best solution found (always valid for a
+  /// structurally valid model).
+  Solution run(const SearchLimits& limits, const Solution* incumbent,
+               SearchStats* stats);
+
+ private:
+  struct Choice {
+    CpResourceIndex resource;
+    Time start;
+  };
+  struct Level {
+    std::vector<Choice> choices;
+    std::size_t next_choice = 0;
+    int postpone_budget = 0;
+    bool applied = false;
+    // Undo data for the applied choice:
+    Choice applied_choice{kAnyResource, kNoTime};
+    Time prev_fixed_map_end = 0;
+    Time prev_fixed_completion = 0;
+    bool prev_late = false;
+  };
+
+  Profile& profile(CpResourceIndex r, Phase phase);
+  /// Earliest start >= est feasible on BOTH the phase-slot profile and
+  /// (when the resource constrains links and the task uses them) the
+  /// network profile — computed as a fixpoint of the two queries.
+  Time earliest_feasible_on(CpResourceIndex r, const CpTask& t, Time est);
+  bool net_constrained(CpResourceIndex r, const CpTask& t) const;
+  void build_choices(CpTaskIndex task, Level& level);
+  void apply(CpTaskIndex task, Level& level, const Choice& choice);
+  void undo(CpTaskIndex task, Level& level);
+
+  const Model& model_;
+  std::vector<int> job_rank_;
+  std::vector<std::uint8_t> lpt_within_job_;
+  std::vector<CpTaskIndex> order_;  ///< non-pinned tasks, decision order
+
+  std::vector<Profile> profiles_;      ///< [resource * 2 + phase]
+  std::vector<Profile> net_profiles_;  ///< [resource], link usage
+  std::vector<TaskPlacement> placements_;
+  std::vector<Time> fixed_map_end_;     ///< per job: max end of fixed maps
+  std::vector<Time> fixed_completion_;  ///< per job: max end of all fixed tasks
+  std::vector<std::uint8_t> job_late_;
+  int late_count_ = 0;
+};
+
+/// Compute job ranks for the standard orderings.
+enum class JobOrdering {
+  kJobId,        ///< by external job id (paper strategy 1)
+  kEdf,          ///< earliest deadline first (paper strategy 2)
+  kLeastLaxity,  ///< least laxity first (paper strategy 3)
+  kFcfs          ///< by earliest start time (extension)
+};
+
+const char* job_ordering_name(JobOrdering ordering);
+
+std::vector<int> make_job_ranks(const Model& model, JobOrdering ordering);
+
+}  // namespace mrcp::cp

@@ -1,0 +1,141 @@
+#include "cp/solution.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace mrcp::cp {
+
+void evaluate_solution(const Model& model, Solution& sol) {
+  const auto num_jobs = model.num_jobs();
+  sol.job_completion.assign(num_jobs, 0);
+  sol.job_late.assign(num_jobs, 0);
+  sol.num_late = 0;
+  sol.total_completion = 0;
+
+  MRCP_CHECK(sol.placements.size() == model.num_tasks());
+  for (std::size_t ti = 0; ti < model.num_tasks(); ++ti) {
+    const CpTask& t = model.task(static_cast<CpTaskIndex>(ti));
+    const TaskPlacement& p = sol.placements[ti];
+    MRCP_CHECK_MSG(p.decided(), "evaluate_solution: undecided task");
+    const Time end = p.start + t.duration;
+    auto& completion = sol.job_completion[static_cast<std::size_t>(t.job)];
+    completion = std::max(completion, end);
+  }
+  for (std::size_t ji = 0; ji < num_jobs; ++ji) {
+    const CpJob& j = model.job(static_cast<CpJobIndex>(ji));
+    if (sol.job_completion[ji] > j.deadline) {
+      sol.job_late[ji] = 1;
+      ++sol.num_late;
+    }
+    sol.total_completion += sol.job_completion[ji];
+  }
+  sol.valid = true;
+}
+
+namespace {
+std::string err(const std::string& what) { return what; }
+}  // namespace
+
+std::string validate_solution(const Model& model, const Solution& sol) {
+  if (sol.placements.size() != model.num_tasks()) {
+    return err("placement count != task count");
+  }
+  // Per-(resource, phase) usage sweeps.
+  std::map<std::pair<CpResourceIndex, int>, std::map<Time, int>> deltas;
+
+  for (std::size_t ti = 0; ti < model.num_tasks(); ++ti) {
+    const CpTask& t = model.task(static_cast<CpTaskIndex>(ti));
+    const TaskPlacement& p = sol.placements[ti];
+    const std::string where = "task " + std::to_string(ti) + ": ";
+    if (!p.decided()) return where + "undecided";
+    if (p.resource < 0 ||
+        static_cast<std::size_t>(p.resource) >= model.num_resources()) {
+      return where + "resource out of range";
+    }
+    // Constraint 1/7: the chosen resource must be a candidate.
+    if (!t.candidates.empty() &&
+        std::find(t.candidates.begin(), t.candidates.end(), p.resource) ==
+            t.candidates.end()) {
+      return where + "resource not among candidates";
+    }
+    if (t.pinned && (p.resource != t.pinned_resource || p.start != t.pinned_start)) {
+      return where + "pinning violated";
+    }
+    // Constraint 2: map tasks start at/after s_j (pinned tasks exempt,
+    // paper §V.B line 12).
+    const CpJob& j = model.job(t.job);
+    if (!t.pinned && t.phase == Phase::kMap && p.start < j.earliest_start) {
+      return where + "map starts before s_j";
+    }
+    if (p.start < 0) return where + "negative start";
+    deltas[{p.resource, static_cast<int>(t.phase)}][p.start] += t.demand;
+    deltas[{p.resource, static_cast<int>(t.phase)}][p.start + t.duration] -=
+        t.demand;
+    // Third sweep dimension (key 2): per-resource network-link usage.
+    if (t.net_demand > 0 && model.resource(p.resource).net_capacity > 0) {
+      deltas[{p.resource, 2}][p.start] += t.net_demand;
+      deltas[{p.resource, 2}][p.start + t.duration] -= t.net_demand;
+    }
+  }
+
+  // User precedences (workflow DAG extension).
+  for (std::size_t ti = 0; ti < model.num_tasks(); ++ti) {
+    const auto task = static_cast<CpTaskIndex>(ti);
+    if (model.task(task).pinned) continue;  // running before the re-plan
+    for (CpTaskIndex p : model.predecessors(task)) {
+      const auto& pred_p = sol.placements[static_cast<std::size_t>(p)];
+      if (sol.placements[ti].start < pred_p.start + model.task(p).duration) {
+        return "task " + std::to_string(ti) +
+               ": starts before its predecessor ends";
+      }
+    }
+  }
+
+  // Constraint 3: reduces after all maps of the job.
+  for (std::size_t ji = 0; ji < model.num_jobs(); ++ji) {
+    const CpJob& j = model.job(static_cast<CpJobIndex>(ji));
+    Time latest_map_end = 0;
+    for (CpTaskIndex m : j.map_tasks) {
+      const auto& p = sol.placements[static_cast<std::size_t>(m)];
+      latest_map_end =
+          std::max(latest_map_end, p.start + model.task(m).duration);
+    }
+    for (CpTaskIndex r : j.reduce_tasks) {
+      const CpTask& rt = model.task(r);
+      const auto& p = sol.placements[static_cast<std::size_t>(r)];
+      if (!rt.pinned && p.start < latest_map_end) {
+        return "job " + std::to_string(ji) + ": reduce starts before map ends";
+      }
+    }
+  }
+
+  // Constraints 5/6 (and the network dimension): capacity sweeps.
+  for (const auto& [key, delta] : deltas) {
+    const CpResource& r = model.resource(key.first);
+    const int cap = key.second == 2 ? r.net_capacity
+                    : key.second == static_cast<int>(Phase::kMap)
+                        ? r.map_capacity
+                        : r.reduce_capacity;
+    int usage = 0;
+    for (const auto& [time, d] : delta) {
+      usage += d;
+      if (usage > cap) {
+        std::ostringstream os;
+        os << "resource " << key.first << " "
+           << (key.second == 2   ? "net"
+               : key.second == 0 ? "map"
+                                 : "reduce")
+           << " capacity exceeded at t=" << time << " (" << usage << " > "
+           << cap << ")";
+        return os.str();
+      }
+    }
+    if (usage != 0) return err("internal sweep error: usage does not return to 0");
+  }
+  return "";
+}
+
+}  // namespace mrcp::cp

@@ -1,0 +1,208 @@
+#include "cp/solver.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/stopwatch.h"
+
+namespace mrcp::cp {
+
+namespace {
+
+/// Per-job intra-order selection for the adaptive portfolio member: LPT
+/// for jobs whose deadline is tight relative to a capacity-aware
+/// makespan lower bound (LPT reproduces the minimum-makespan list
+/// schedule), FIFO for loose jobs (staggered task endings leave earlier
+/// holes for future arrivals).
+std::vector<std::uint8_t> adaptive_lpt_flags(const Model& model) {
+  // Total slot capacity per phase across all resources.
+  Time map_slots = 0;
+  Time reduce_slots = 0;
+  for (const CpResource& r : model.resources()) {
+    map_slots += r.map_capacity;
+    reduce_slots += r.reduce_capacity;
+  }
+  map_slots = std::max<Time>(map_slots, 1);
+  reduce_slots = std::max<Time>(reduce_slots, 1);
+
+  std::vector<Time> map_work(model.num_jobs(), 0);
+  std::vector<Time> map_max(model.num_jobs(), 0);
+  std::vector<Time> reduce_work(model.num_jobs(), 0);
+  std::vector<Time> reduce_max(model.num_jobs(), 0);
+  for (const CpTask& t : model.tasks()) {
+    const auto j = static_cast<std::size_t>(t.job);
+    if (t.phase == Phase::kMap) {
+      map_work[j] += t.duration;
+      map_max[j] = std::max(map_max[j], t.duration);
+    } else {
+      reduce_work[j] += t.duration;
+      reduce_max[j] = std::max(reduce_max[j], t.duration);
+    }
+  }
+  std::vector<std::uint8_t> flags(model.num_jobs(), 0);
+  for (std::size_t j = 0; j < model.num_jobs(); ++j) {
+    const CpJob& job = model.job(static_cast<CpJobIndex>(j));
+    const Time lb =
+        std::max(map_max[j], (map_work[j] + map_slots - 1) / map_slots) +
+        std::max(reduce_max[j],
+                 (reduce_work[j] + reduce_slots - 1) / reduce_slots);
+    if (lb <= 0) continue;
+    const Time budget = job.deadline - job.earliest_start;
+    // Tight: less than ~30% slack over the alone-on-the-cluster bound.
+    flags[j] = budget * 10 < lb * 13 ? 1 : 0;
+  }
+  return flags;
+}
+
+/// Ranks with one job promoted to the front (all ranks below its old rank
+/// shift up by one). Used by LNS to give a late job first pick.
+std::vector<int> promote_job(const std::vector<int>& ranks, std::size_t job) {
+  std::vector<int> out = ranks;
+  const int old_rank = out[job];
+  for (auto& r : out) {
+    if (r < old_rank) ++r;
+  }
+  out[job] = 0;
+  return out;
+}
+
+}  // namespace
+
+SolveResult solve(const Model& model, const SolveParams& params,
+                  const Solution* warm_start) {
+  MRCP_CHECK_MSG(model.validate().empty(), "invalid model passed to solve()");
+  Stopwatch timer;
+  SolveResult result;
+  SolveStats& stats = result.stats;
+
+  Solution best;
+  if (warm_start && warm_start->valid) best = *warm_start;
+
+  auto remaining = [&]() {
+    return params.time_limit_s - timer.elapsed_seconds();
+  };
+  auto account = [&](const SearchStats& st) {
+    stats.decisions += st.decisions;
+    stats.fails += st.fails;
+    stats.solutions += st.solutions;
+  };
+
+  // Phase 1: greedy portfolio over (job ordering, intra-job task order).
+  // LPT within jobs reproduces each job's minimum-makespan list schedule
+  // (a lone job finishes exactly at its TE); FIFO staggers task endings,
+  // which helps later tight-deadline arrivals find early slot holes.
+  std::vector<int> best_ranks;
+  std::vector<std::uint8_t> best_lpt(model.num_jobs(), 0);
+  MRCP_CHECK(!params.portfolio.empty());
+  // Intra-order variants, first-listed wins objective ties: adaptive
+  // (LPT only where the deadline demands it) is preferred — staggered
+  // task endings leave earlier holes for future arrivals, a benefit the
+  // per-solve objective cannot see; all-FIFO and all-LPT must strictly
+  // improve to be chosen.
+  const std::vector<std::uint8_t> adaptive = adaptive_lpt_flags(model);
+  const std::vector<std::vector<std::uint8_t>> intra_variants = {
+      adaptive, std::vector<std::uint8_t>(model.num_jobs(), 0),
+      std::vector<std::uint8_t>(model.num_jobs(), 1)};
+  for (JobOrdering ordering : params.portfolio) {
+    for (const std::vector<std::uint8_t>& lpt_variant : intra_variants) {
+      if (remaining() <= 0.0 && best.valid) break;
+      std::vector<int> ranks = make_job_ranks(model, ordering);
+      std::vector<std::uint8_t> lpt = lpt_variant;
+      SetTimesSearch search(model, ranks, lpt);
+      SearchLimits limits;
+      limits.max_fails = 0;
+      limits.stop_after_first_solution = true;
+      limits.postpone_tries = 0;
+      limits.time_limit_s = std::max(remaining(), 0.05);
+      SearchStats st;
+      Solution sol = search.run(limits, nullptr, &st);
+      account(st);
+      // Variant selection is keyed on the primary objective only: the
+      // completion-time tie-break would otherwise always pick all-LPT by
+      // an epsilon, re-synchronizing task endings and hurting future
+      // arrivals the current model cannot see.
+      const bool strictly_fewer_late =
+          sol.valid && (!best.valid || sol.num_late < best.num_late);
+      if (strictly_fewer_late) {
+        best = sol;
+        best_ranks = std::move(ranks);
+        best_lpt = std::move(lpt);
+        stats.best_ordering = ordering;
+      }
+    }
+  }
+  if (best_ranks.empty()) {
+    best_ranks = make_job_ranks(model, params.portfolio.front());
+  }
+
+  // Phases 2 and 3 can only help while some job is late.
+  const bool improvable = best.valid && best.num_late > 0;
+
+  // Phase 2: branch-and-bound improvement from the portfolio incumbent.
+  if (improvable && params.improvement_fails > 0 && remaining() > 0.0) {
+    SetTimesSearch search(model, best_ranks, best_lpt);
+    SearchLimits limits;
+    limits.max_fails = params.improvement_fails;
+    limits.postpone_tries = params.postpone_tries;
+    limits.time_limit_s = remaining();
+    SearchStats st;
+    Solution sol = search.run(limits, &best, &st);
+    account(st);
+    if (st.exhausted) stats.proved_optimal = true;
+    if (sol.better_than(best)) best = sol;
+  }
+
+  // Phase 3: LNS — promote a (random) late job to the front of the
+  // ranking and take a fresh first descent.
+  if (improvable && params.lns_iterations > 0) {
+    RandomStream rng(params.seed, 0x1A5);
+    for (int iter = 0; iter < params.lns_iterations; ++iter) {
+      if (best.num_late == 0 || remaining() <= 0.0) break;
+      // Collect currently-late jobs.
+      std::vector<std::size_t> late_jobs;
+      for (std::size_t j = 0; j < best.job_late.size(); ++j) {
+        if (best.job_late[j]) late_jobs.push_back(j);
+      }
+      if (late_jobs.empty()) break;
+      const std::size_t pick = static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(late_jobs.size()) - 1));
+      std::vector<int> ranks = promote_job(best_ranks, late_jobs[pick]);
+      std::vector<std::uint8_t> lpt = best_lpt;
+      // Neighbourhood moves: flip the late job's intra-job order, and
+      // occasionally swap two job priorities for diversification.
+      if (rng.bernoulli(0.5)) {
+        lpt[late_jobs[pick]] = lpt[late_jobs[pick]] != 0 ? 0 : 1;
+      }
+      if (model.num_jobs() >= 2 && rng.bernoulli(0.5)) {
+        const auto a = static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(model.num_jobs()) - 1));
+        const auto b = static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(model.num_jobs()) - 1));
+        std::swap(ranks[a], ranks[b]);
+      }
+      SetTimesSearch search(model, ranks, lpt);
+      SearchLimits limits;
+      limits.max_fails = 0;
+      limits.stop_after_first_solution = true;
+      limits.postpone_tries = 0;
+      limits.time_limit_s = std::max(remaining(), 0.01);
+      SearchStats st;
+      Solution sol = search.run(limits, nullptr, &st);
+      account(st);
+      if (sol.better_than(best)) {
+        best = sol;
+        best_ranks = std::move(ranks);
+        best_lpt = std::move(lpt);
+        ++stats.lns_improvements;
+      }
+    }
+  }
+
+  if (best.valid && best.num_late == 0) stats.proved_optimal = true;
+  stats.solve_seconds = timer.elapsed_seconds();
+  result.best = std::move(best);
+  return result;
+}
+
+}  // namespace mrcp::cp

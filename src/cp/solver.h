@@ -1,0 +1,62 @@
+// Anytime CP solver facade.
+//
+// This plays the role CPLEX's CP Optimizer plays in the paper: given a
+// Model it returns the best schedule it can find within a budget,
+// minimizing the number of late jobs. The strategy is
+//   1. a portfolio of first-descent searches, one per job-ordering
+//     strategy (EDF, least laxity, job id, FCFS) — these are the list
+//      schedules the paper's §VI.B ordering experiment compares;
+//   2. a set-times branch-and-bound improvement run seeded with the
+//      portfolio incumbent;
+//   3. large-neighbourhood search: randomized perturbations of the job
+//      ranking around late jobs, each evaluated with a cheap first
+//      descent, accepting improvements.
+// Phase 2 and 3 only run while jobs are still late — a zero-late
+// incumbent is optimal for the paper's objective.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cp/model.h"
+#include "cp/search.h"
+#include "cp/solution.h"
+
+namespace mrcp::cp {
+
+struct SolveParams {
+  /// Orderings to try in the greedy portfolio, in order.
+  std::vector<JobOrdering> portfolio = {JobOrdering::kEdf,
+                                        JobOrdering::kLeastLaxity,
+                                        JobOrdering::kJobId};
+  /// Fail budget of the branch-and-bound improvement run (0 disables it).
+  std::int64_t improvement_fails = 2000;
+  int postpone_tries = 2;
+  /// LNS restarts after the improvement run (0 disables LNS).
+  int lns_iterations = 20;
+  /// Overall wall-clock budget for the solve.
+  double time_limit_s = 0.5;
+  std::uint64_t seed = 1;
+};
+
+struct SolveStats {
+  std::int64_t decisions = 0;
+  std::int64_t fails = 0;
+  std::int64_t solutions = 0;
+  int lns_improvements = 0;
+  double solve_seconds = 0.0;
+  JobOrdering best_ordering = JobOrdering::kEdf;
+  bool proved_optimal = false;  ///< zero late jobs, or search exhausted
+};
+
+struct SolveResult {
+  Solution best;
+  SolveStats stats;
+};
+
+/// Solve the model. The model must pass Model::validate(). If
+/// `warm_start` is a valid solution for this model it seeds the bound.
+SolveResult solve(const Model& model, const SolveParams& params,
+                  const Solution* warm_start = nullptr);
+
+}  // namespace mrcp::cp

@@ -1,0 +1,61 @@
+#include "des/simulation.h"
+
+namespace mrcp::des {
+
+bool EventHandle::pending() const {
+  return state_ && !state_->cancelled && !state_->fired;
+}
+
+EventHandle Simulation::schedule_at(Time at, std::function<void()> fn) {
+  MRCP_CHECK_MSG(at >= now_, "cannot schedule event in the past");
+  MRCP_CHECK(fn != nullptr);
+  auto state = std::make_shared<EventHandle::State>();
+  queue_.push(Event{at, next_seq_++, std::move(fn), state});
+  ++pending_count_;
+  ++stats_.scheduled;
+  return EventHandle{std::move(state)};
+}
+
+EventHandle Simulation::schedule_after(Time delay, std::function<void()> fn) {
+  MRCP_CHECK(delay >= 0);
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+bool Simulation::cancel(EventHandle& handle) {
+  if (!handle.pending()) return false;
+  handle.state_->cancelled = true;
+  --pending_count_;
+  ++stats_.cancelled;
+  return true;
+}
+
+bool Simulation::step(Time until) {
+  while (!queue_.empty()) {
+    if (queue_.top().time > until) return false;
+    // Move the event out of the heap. top() is const; the copy of the
+    // std::function is unavoidable with std::priority_queue, but events
+    // carry small closures so this is cheap.
+    Event ev = queue_.top();
+    queue_.pop();
+    if (ev.state->cancelled) {
+      ++stats_.skipped_cancelled;
+      continue;
+    }
+    MRCP_DCHECK(ev.time >= now_);
+    now_ = ev.time;
+    ev.state->fired = true;
+    --pending_count_;
+    ++stats_.fired;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+void Simulation::run(Time until) {
+  stop_requested_ = false;
+  while (!stop_requested_ && step(until)) {
+  }
+}
+
+}  // namespace mrcp::des

@@ -1,0 +1,53 @@
+#include "mapreduce/cluster.h"
+
+#include <sstream>
+
+#include "common/check.h"
+
+namespace mrcp {
+
+Cluster Cluster::homogeneous(int m, int map_capacity, int reduce_capacity,
+                             int net_capacity) {
+  MRCP_CHECK(m >= 1);
+  Cluster c;
+  for (int i = 0; i < m; ++i) {
+    c.add_resource(map_capacity, reduce_capacity, net_capacity);
+  }
+  return c;
+}
+
+void Cluster::add_resource(int map_capacity, int reduce_capacity,
+                           int net_capacity) {
+  MRCP_CHECK(map_capacity >= 0 && reduce_capacity >= 0 && net_capacity >= 0);
+  MRCP_CHECK_MSG(map_capacity + reduce_capacity > 0, "resource with no slots");
+  Resource r;
+  r.id = static_cast<ResourceId>(resources_.size());
+  r.map_capacity = map_capacity;
+  r.reduce_capacity = reduce_capacity;
+  r.net_capacity = net_capacity;
+  resources_.push_back(r);
+  total_map_slots_ += map_capacity;
+  total_reduce_slots_ += reduce_capacity;
+}
+
+const Resource& Cluster::resource(ResourceId id) const {
+  MRCP_CHECK(id >= 0 && id < size());
+  return resources_[static_cast<std::size_t>(id)];
+}
+
+Resource Cluster::combined_resource() const {
+  Resource r;
+  r.id = 0;
+  r.map_capacity = total_map_slots_;
+  r.reduce_capacity = total_reduce_slots_;
+  return r;
+}
+
+std::string Cluster::to_string() const {
+  std::ostringstream os;
+  os << "Cluster{m=" << size() << ", map_slots=" << total_map_slots_
+     << ", reduce_slots=" << total_reduce_slots_ << "}";
+  return os.str();
+}
+
+}  // namespace mrcp

@@ -1,0 +1,63 @@
+// Cluster / resource model (paper §III.A).
+//
+// Each resource r has a map-task capacity c_r^mp (number of map slots)
+// and a reduce-task capacity c_r^rd (number of reduce slots): the number
+// of tasks of each phase it can run in parallel.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "mapreduce/job.h"
+
+namespace mrcp {
+
+struct Resource {
+  ResourceId id = kNoResource;
+  int map_capacity = 0;     ///< c_r^mp
+  int reduce_capacity = 0;  ///< c_r^rd
+  /// Network-link capacity shared by all tasks on this resource (§VII
+  /// "communication links" extension). 0 = unconstrained.
+  int net_capacity = 0;
+
+  int capacity(TaskType type) const {
+    return type == TaskType::kMap ? map_capacity : reduce_capacity;
+  }
+};
+
+class Cluster {
+ public:
+  Cluster() = default;
+
+  /// Homogeneous cluster: `m` resources, each with the given capacities.
+  /// net_capacity 0 means links are unconstrained.
+  static Cluster homogeneous(int m, int map_capacity, int reduce_capacity,
+                             int net_capacity = 0);
+
+  void add_resource(int map_capacity, int reduce_capacity,
+                    int net_capacity = 0);
+
+  int size() const { return static_cast<int>(resources_.size()); }
+  const Resource& resource(ResourceId id) const;
+  const std::vector<Resource>& resources() const { return resources_; }
+
+  int total_map_slots() const { return total_map_slots_; }
+  int total_reduce_slots() const { return total_reduce_slots_; }
+  int total_slots(TaskType type) const {
+    return type == TaskType::kMap ? total_map_slots_ : total_reduce_slots_;
+  }
+
+  /// The §V.D "single combined resource": one resource holding the summed
+  /// capacity of the whole cluster.
+  Resource combined_resource() const;
+
+  std::string to_string() const;
+
+ private:
+  std::vector<Resource> resources_;
+  int total_map_slots_ = 0;
+  int total_reduce_slots_ = 0;
+};
+
+}  // namespace mrcp

@@ -1,0 +1,52 @@
+// Facebook-derived workload generator (paper §VI.B.1, Table 4).
+//
+// The paper evaluates MRCP-RM against MinEDF-WC on a synthetic workload
+// generated from October 2009 Facebook trace fits, also used by Verma et
+// al. [8]:
+//   * 10 job types with fixed (k_mp, k_rd) and a fixed mix per 1000 jobs
+//     (Table 4);
+//   * map task execution times ~ LogNormal(9.9511, 1.6764) ms;
+//   * reduce task execution times ~ LogNormal(12.375, 1.6262) ms;
+//   * s_j = v_j (p = 0); d_j = s_j + TE * U[1, 2];
+//   * Poisson arrivals; 64 resources, each with 1 map + 1 reduce slot.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/distributions.h"
+#include "mapreduce/workload.h"
+
+namespace mrcp {
+
+/// One Table 4 row: job shape and its frequency per 1000 jobs.
+struct FacebookJobType {
+  int map_tasks;
+  int reduce_tasks;
+  int count_per_1000;
+};
+
+/// The Table 4 mix (sums to 1000).
+const std::array<FacebookJobType, 10>& facebook_job_mix();
+
+struct FacebookWorkloadConfig {
+  std::size_t num_jobs = 1000;
+  double arrival_rate = 0.0005;  ///< lambda, jobs per second (paper: 1e-4..5e-4)
+  double deadline_multiplier_ul = 2.0;  ///< d_M = 2 in the comparison
+
+  LogNormal map_exec_ms{9.9511, 1.6764};
+  LogNormal reduce_exec_ms{12.375, 1.6262};
+
+  int num_resources = 64;
+  int map_capacity = 1;
+  int reduce_capacity = 1;
+
+  std::uint64_t seed = 1;
+};
+
+/// Generate the workload. The job-type mix is exact (largest-remainder
+/// apportionment of Table 4 counts to `num_jobs`), with the type sequence
+/// shuffled; execution times and arrivals are sampled per config.
+Workload generate_facebook_workload(const FacebookWorkloadConfig& config);
+
+}  // namespace mrcp

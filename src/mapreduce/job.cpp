@@ -1,0 +1,142 @@
+#include "mapreduce/job.h"
+
+#include <algorithm>
+#include <queue>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace mrcp {
+
+const char* task_type_name(TaskType type) {
+  return type == TaskType::kMap ? "map" : "reduce";
+}
+
+const Task& Job::task(std::size_t flat_index) const {
+  MRCP_CHECK(flat_index < num_tasks());
+  if (flat_index < map_tasks.size()) return map_tasks[flat_index];
+  return reduce_tasks[flat_index - map_tasks.size()];
+}
+
+namespace {
+Time sum_time(const std::vector<Task>& tasks) {
+  Time total = 0;
+  for (const Task& t : tasks) total += t.exec_time;
+  return total;
+}
+Time max_time(const std::vector<Task>& tasks) {
+  Time best = 0;
+  for (const Task& t : tasks) best = std::max(best, t.exec_time);
+  return best;
+}
+}  // namespace
+
+Time Job::total_map_time() const { return sum_time(map_tasks); }
+Time Job::total_reduce_time() const { return sum_time(reduce_tasks); }
+Time Job::max_map_time() const { return max_time(map_tasks); }
+Time Job::max_reduce_time() const { return max_time(reduce_tasks); }
+
+Time lpt_makespan(std::vector<Time> durations, int machines) {
+  MRCP_CHECK(machines >= 1);
+  if (durations.empty()) return 0;
+  std::sort(durations.begin(), durations.end(), std::greater<>());
+  // min-heap of machine finish times
+  std::priority_queue<Time, std::vector<Time>, std::greater<>> finish;
+  for (int i = 0; i < machines; ++i) finish.push(0);
+  for (Time d : durations) {
+    Time earliest = finish.top();
+    finish.pop();
+    finish.push(earliest + d);
+  }
+  Time makespan = 0;
+  while (!finish.empty()) {
+    makespan = finish.top();
+    finish.pop();
+  }
+  return makespan;
+}
+
+Time Job::min_execution_time(int map_slots, int reduce_slots) const {
+  std::vector<Time> maps;
+  maps.reserve(map_tasks.size());
+  for (const Task& t : map_tasks) maps.push_back(t.exec_time);
+  std::vector<Time> reduces;
+  reduces.reserve(reduce_tasks.size());
+  for (const Task& t : reduce_tasks) reduces.push_back(t.exec_time);
+  Time te = lpt_makespan(std::move(maps), map_slots);
+  if (!reduces.empty()) te += lpt_makespan(std::move(reduces), reduce_slots);
+  return te;
+}
+
+std::string Job::to_string() const {
+  std::ostringstream os;
+  os << "Job{id=" << id << ", v=" << arrival_time << ", s=" << earliest_start
+     << ", d=" << deadline << ", maps=" << map_tasks.size()
+     << ", reduces=" << reduce_tasks.size() << ", work=" << total_work() << "}";
+  return os.str();
+}
+
+std::string validate_job(const Job& job) {
+  std::ostringstream os;
+  if (job.id < 0) return "job id is negative";
+  if (job.arrival_time < 0) return "arrival time is negative";
+  if (job.earliest_start < job.arrival_time)
+    return "earliest start precedes arrival";
+  if (job.deadline <= job.earliest_start) return "deadline at or before s_j";
+  if (job.num_tasks() == 0) return "job has no tasks";
+  for (const Task& t : job.map_tasks) {
+    if (t.type != TaskType::kMap) return "map list contains non-map task";
+    if (t.exec_time <= 0) return "map task with non-positive exec time";
+    if (t.res_req < 1) return "map task with res_req < 1";
+    if (t.net_demand < 0) return "map task with negative net demand";
+  }
+  for (const Task& t : job.reduce_tasks) {
+    if (t.type != TaskType::kReduce) return "reduce list contains non-reduce task";
+    if (t.exec_time <= 0) return "reduce task with non-positive exec time";
+    if (t.res_req < 1) return "reduce task with res_req < 1";
+    if (t.net_demand < 0) return "reduce task with negative net demand";
+  }
+
+  // User precedences: indices in range, no self-loops, and the combined
+  // graph (user edges plus the implicit all-maps-before-all-reduces
+  // barrier) must be acyclic. The barrier is modelled as a virtual node
+  // so the check stays O(tasks + edges) even for huge jobs.
+  if (!job.precedences.empty()) {
+    const int n = static_cast<int>(job.num_tasks());
+    const int k_m = static_cast<int>(job.num_map_tasks());
+    const int barrier = n;  // virtual node: maps -> barrier -> reduces
+    std::vector<std::vector<int>> adj(static_cast<std::size_t>(n) + 1);
+    std::vector<int> indeg(static_cast<std::size_t>(n) + 1, 0);
+    auto add_edge = [&](int u, int v) {
+      adj[static_cast<std::size_t>(u)].push_back(v);
+      ++indeg[static_cast<std::size_t>(v)];
+    };
+    for (const auto& [before, after] : job.precedences) {
+      if (before < 0 || before >= n || after < 0 || after >= n) {
+        return "precedence index out of range";
+      }
+      if (before == after) return "precedence self-loop";
+      add_edge(before, after);
+    }
+    for (int m = 0; m < k_m; ++m) add_edge(m, barrier);
+    for (int r = k_m; r < n; ++r) add_edge(barrier, r);
+    // Kahn's algorithm.
+    std::vector<int> queue;
+    for (int v = 0; v <= n; ++v) {
+      if (indeg[static_cast<std::size_t>(v)] == 0) queue.push_back(v);
+    }
+    std::size_t processed = 0;
+    while (processed < queue.size()) {
+      const int u = queue[processed++];
+      for (int v : adj[static_cast<std::size_t>(u)]) {
+        if (--indeg[static_cast<std::size_t>(v)] == 0) queue.push_back(v);
+      }
+    }
+    if (processed != static_cast<std::size_t>(n) + 1) {
+      return "precedence graph has a cycle";
+    }
+  }
+  return "";
+}
+
+}  // namespace mrcp

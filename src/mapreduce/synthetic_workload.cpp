@@ -1,0 +1,87 @@
+#include "mapreduce/synthetic_workload.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace mrcp {
+
+Workload generate_synthetic_workload(const SyntheticWorkloadConfig& config) {
+  MRCP_CHECK(config.num_jobs > 0);
+  MRCP_CHECK(config.e_max >= 1);
+  MRCP_CHECK(config.arrival_rate > 0.0);
+  MRCP_CHECK(config.deadline_multiplier_ul >= 1.0);
+  MRCP_CHECK(config.start_prob >= 0.0 && config.start_prob <= 1.0);
+
+  // Independent streams per stochastic component, so e.g. changing p does
+  // not perturb the sampled task sizes.
+  RandomStream arrivals(config.seed, 0);
+  RandomStream sizes(config.seed, 1);
+  RandomStream exec_times(config.seed, 2);
+  RandomStream starts(config.seed, 3);
+  RandomStream deadlines(config.seed, 4);
+
+  Workload w;
+  w.cluster = Cluster::homogeneous(config.num_resources, config.map_capacity,
+                                   config.reduce_capacity);
+  const int total_map_slots = w.cluster.total_map_slots();
+  const int total_reduce_slots = w.cluster.total_reduce_slots();
+
+  const Exponential interarrival{config.arrival_rate};
+  const DiscreteUniform map_exec{1, config.e_max};
+  const Bernoulli future_start{config.start_prob};
+  const DiscreteUniform start_offset{1, config.s_max};
+  const Uniform deadline_mult{1.0, config.deadline_multiplier_ul};
+
+  double arrival_seconds = 0.0;
+  w.jobs.reserve(config.num_jobs);
+  for (std::size_t i = 0; i < config.num_jobs; ++i) {
+    Job job;
+    job.id = static_cast<JobId>(i);
+    arrival_seconds += interarrival.sample(arrivals);
+    job.arrival_time = seconds_to_ticks(arrival_seconds);
+
+    const auto k_mp = config.num_map_tasks.sample(sizes);
+    const auto k_rd = config.num_reduce_tasks.sample(sizes);
+
+    Time sum_me = 0;
+    job.map_tasks.reserve(static_cast<std::size_t>(k_mp));
+    for (std::int64_t t = 0; t < k_mp; ++t) {
+      Task task;
+      task.type = TaskType::kMap;
+      const std::int64_t me_seconds = map_exec.sample(exec_times);
+      task.exec_time = me_seconds * kTicksPerSecond;
+      sum_me += me_seconds;
+      job.map_tasks.push_back(task);
+    }
+
+    // re = (3 * sum(me)) / k_rd + DU[1,10]; integer division in seconds is
+    // the natural reading of the paper's formula. The quotient can be 0
+    // for tiny jobs; the additive DU[1,10] keeps durations positive.
+    const std::int64_t base_re = (3 * sum_me) / k_rd;
+    job.reduce_tasks.reserve(static_cast<std::size_t>(k_rd));
+    for (std::int64_t t = 0; t < k_rd; ++t) {
+      Task task;
+      task.type = TaskType::kReduce;
+      const std::int64_t re_seconds = base_re + config.reduce_extra.sample(exec_times);
+      task.exec_time = re_seconds * kTicksPerSecond;
+      job.reduce_tasks.push_back(task);
+    }
+
+    job.earliest_start = job.arrival_time;
+    if (future_start.sample(starts)) {
+      job.earliest_start += start_offset.sample(starts) * kTicksPerSecond;
+    }
+
+    const Time te = job.min_execution_time(total_map_slots, total_reduce_slots);
+    const double mult = deadline_mult.sample(deadlines);
+    job.deadline =
+        job.earliest_start + static_cast<Time>(std::llround(static_cast<double>(te) * mult));
+
+    w.jobs.push_back(std::move(job));
+  }
+  return w;
+}
+
+}  // namespace mrcp

@@ -1,0 +1,68 @@
+#include "mapreduce/workload.h"
+
+#include <sstream>
+
+#include "common/stats.h"
+
+namespace mrcp {
+
+Workload::Summary Workload::summarize() const {
+  Summary s;
+  if (jobs.empty()) return s;
+  RunningStat maps, reduces, map_exec, reduce_exec, inter, laxity;
+  Time total_work = 0;
+  std::size_t future_start = 0;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const Job& j = jobs[i];
+    maps.add(static_cast<double>(j.num_map_tasks()));
+    reduces.add(static_cast<double>(j.num_reduce_tasks()));
+    for (const Task& t : j.map_tasks)
+      map_exec.add(ticks_to_seconds(t.exec_time));
+    for (const Task& t : j.reduce_tasks)
+      reduce_exec.add(ticks_to_seconds(t.exec_time));
+    if (i > 0)
+      inter.add(ticks_to_seconds(j.arrival_time - jobs[i - 1].arrival_time));
+    laxity.add(ticks_to_seconds(j.laxity()));
+    if (j.earliest_start > j.arrival_time) ++future_start;
+    total_work += j.total_work();
+  }
+  s.mean_map_tasks = maps.mean();
+  s.mean_reduce_tasks = reduces.mean();
+  s.mean_map_exec_seconds = map_exec.mean();
+  s.mean_reduce_exec_seconds = reduce_exec.mean();
+  s.mean_interarrival_seconds = inter.mean();
+  s.mean_laxity_seconds = laxity.mean();
+  s.fraction_future_start =
+      static_cast<double>(future_start) / static_cast<double>(jobs.size());
+  const Time span = jobs.back().arrival_time - jobs.front().arrival_time;
+  const int slots = cluster.total_map_slots() + cluster.total_reduce_slots();
+  if (span > 0 && slots > 0) {
+    s.offered_utilization = static_cast<double>(total_work) /
+                            (static_cast<double>(span) * slots);
+  }
+  return s;
+}
+
+std::string Workload::to_string() const {
+  std::ostringstream os;
+  os << "Workload{jobs=" << jobs.size() << ", " << cluster.to_string() << "}";
+  return os.str();
+}
+
+std::string validate_workload(const Workload& w) {
+  if (w.cluster.size() == 0) return "workload has empty cluster";
+  for (std::size_t i = 0; i < w.jobs.size(); ++i) {
+    const Job& j = w.jobs[i];
+    if (j.id != static_cast<JobId>(i)) {
+      return "job ids are not dense/in order at index " + std::to_string(i);
+    }
+    if (i > 0 && j.arrival_time < w.jobs[i - 1].arrival_time) {
+      return "arrival times not sorted at index " + std::to_string(i);
+    }
+    std::string err = validate_job(j);
+    if (!err.empty()) return "job " + std::to_string(j.id) + ": " + err;
+  }
+  return "";
+}
+
+}  // namespace mrcp

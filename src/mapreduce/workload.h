@@ -1,0 +1,43 @@
+// A workload is an arrival-ordered sequence of jobs plus the cluster it
+// targets. Generators for the paper's two workloads live in
+// synthetic_workload.h (Table 3) and facebook_workload.h (Table 4).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mapreduce/cluster.h"
+#include "mapreduce/job.h"
+
+namespace mrcp {
+
+struct Workload {
+  std::vector<Job> jobs;  ///< sorted by arrival_time, ids dense 0..n-1
+  Cluster cluster;
+
+  std::size_t size() const { return jobs.size(); }
+
+  /// Aggregate descriptive statistics, for sanity benches/tests.
+  struct Summary {
+    double mean_map_tasks = 0.0;
+    double mean_reduce_tasks = 0.0;
+    double mean_map_exec_seconds = 0.0;
+    double mean_reduce_exec_seconds = 0.0;
+    double mean_interarrival_seconds = 0.0;
+    double mean_laxity_seconds = 0.0;
+    double fraction_future_start = 0.0;  ///< fraction with s_j > v_j
+    /// Offered load: total task work per second of arrival span, divided
+    /// by total slot count — a utilisation estimate, should be < 1 for a
+    /// stable open system.
+    double offered_utilization = 0.0;
+  };
+  Summary summarize() const;
+
+  std::string to_string() const;
+};
+
+/// Validate a workload: every job valid, arrival order non-decreasing,
+/// ids dense and in order. Empty string when OK.
+std::string validate_workload(const Workload& w);
+
+}  // namespace mrcp

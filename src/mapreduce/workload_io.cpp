@@ -1,0 +1,226 @@
+#include "mapreduce/workload_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace mrcp {
+
+namespace {
+constexpr const char* kMagic = "mrcp-workload v1";
+}
+
+void save_workload(const Workload& workload, std::ostream& out) {
+  out << kMagic << '\n';
+  out << "cluster " << workload.cluster.size() << '\n';
+  for (const Resource& r : workload.cluster.resources()) {
+    out << "resource " << r.map_capacity << ' ' << r.reduce_capacity << ' '
+        << r.net_capacity << '\n';
+  }
+  out << "jobs " << workload.jobs.size() << '\n';
+  for (const Job& j : workload.jobs) {
+    out << "job " << j.id << ' ' << j.arrival_time << ' ' << j.earliest_start
+        << ' ' << j.deadline << ' ' << j.map_tasks.size() << ' '
+        << j.reduce_tasks.size() << '\n';
+    for (const Task& t : j.map_tasks) {
+      out << "task " << t.exec_time << ' ' << t.res_req << ' ' << t.net_demand
+          << '\n';
+    }
+    for (const Task& t : j.reduce_tasks) {
+      out << "task " << t.exec_time << ' ' << t.res_req << ' ' << t.net_demand
+          << '\n';
+    }
+    for (const auto& [before, after] : j.precedences) {
+      out << "precedence " << before << ' ' << after << '\n';
+    }
+  }
+}
+
+std::string workload_to_string(const Workload& workload) {
+  std::ostringstream os;
+  save_workload(workload, os);
+  return os.str();
+}
+
+bool save_workload_file(const Workload& workload, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  save_workload(workload, out);
+  return static_cast<bool>(out);
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::istream& in) : in_(in) {}
+
+  /// Next non-comment, non-empty line; false at EOF.
+  bool next_line(std::string& line) {
+    while (std::getline(in_, line)) {
+      ++line_number_;
+      // Trim trailing CR for files written on other platforms.
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty() || line[0] == '#') continue;
+      return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] std::string where() const {
+    return "line " + std::to_string(line_number_);
+  }
+
+ private:
+  std::istream& in_;
+  int line_number_ = 0;
+};
+
+bool fail(std::string* error, const std::string& message) {
+  if (error) *error = message;
+  return false;
+}
+
+/// Parse `expected_tag v1 v2 ...` into the given integers.
+template <typename... Ints>
+bool parse_tagged(const std::string& line, const std::string& expected_tag,
+                  Ints&... values) {
+  std::istringstream is(line);
+  std::string tag;
+  if (!(is >> tag) || tag != expected_tag) return false;
+  const bool ok = (static_cast<bool>(is >> values) && ...);
+  if (!ok) return false;
+  std::string extra;
+  return !(is >> extra);  // no trailing tokens
+}
+
+bool parse_workload(std::istream& in, Workload& workload, std::string* error) {
+  Parser parser(in);
+  std::string line;
+
+  if (!parser.next_line(line) || line != kMagic) {
+    return fail(error, "missing/unsupported header (expected '" +
+                           std::string(kMagic) + "')");
+  }
+  std::int64_t num_resources = 0;
+  if (!parser.next_line(line) ||
+      !parse_tagged(line, "cluster", num_resources) || num_resources < 1) {
+    return fail(error, parser.where() + ": expected 'cluster <m>'");
+  }
+  for (std::int64_t r = 0; r < num_resources; ++r) {
+    std::int64_t map_cap = 0;
+    std::int64_t reduce_cap = 0;
+    std::int64_t net_cap = 0;
+    if (!parser.next_line(line)) {
+      return fail(error, parser.where() + ": expected 'resource <mp> <rd>'");
+    }
+    // Three-field form (with link capacity) or the two-field legacy form.
+    if (!parse_tagged(line, "resource", map_cap, reduce_cap, net_cap) &&
+        !parse_tagged(line, "resource", map_cap, reduce_cap)) {
+      return fail(error, parser.where() + ": expected 'resource <mp> <rd>'");
+    }
+    if (map_cap < 0 || reduce_cap < 0 || net_cap < 0 ||
+        map_cap + reduce_cap == 0) {
+      return fail(error, parser.where() + ": invalid resource capacities");
+    }
+    workload.cluster.add_resource(static_cast<int>(map_cap),
+                                  static_cast<int>(reduce_cap),
+                                  static_cast<int>(net_cap));
+  }
+
+  std::int64_t num_jobs = 0;
+  if (!parser.next_line(line) || !parse_tagged(line, "jobs", num_jobs) ||
+      num_jobs < 0) {
+    return fail(error, parser.where() + ": expected 'jobs <n>'");
+  }
+  workload.jobs.reserve(static_cast<std::size_t>(num_jobs));
+
+  bool have_pending = false;
+  std::string pending;
+  for (std::int64_t ji = 0; ji < num_jobs; ++ji) {
+    if (!have_pending && !parser.next_line(pending)) {
+      return fail(error, parser.where() + ": unexpected EOF (expected 'job')");
+    }
+    have_pending = false;
+    std::int64_t id = 0;
+    std::int64_t arrival = 0;
+    std::int64_t est = 0;
+    std::int64_t deadline = 0;
+    std::int64_t k_map = 0;
+    std::int64_t k_reduce = 0;
+    if (!parse_tagged(pending, "job", id, arrival, est, deadline, k_map,
+                      k_reduce) ||
+        k_map < 0 || k_reduce < 0) {
+      return fail(error, parser.where() + ": malformed 'job' line");
+    }
+    Job job;
+    job.id = static_cast<JobId>(id);
+    job.arrival_time = arrival;
+    job.earliest_start = est;
+    job.deadline = deadline;
+    for (std::int64_t t = 0; t < k_map + k_reduce; ++t) {
+      std::int64_t exec = 0;
+      std::int64_t req = 0;
+      std::int64_t net = 0;
+      if (!parser.next_line(line)) {
+        return fail(error, parser.where() + ": expected 'task <exec> <req>'");
+      }
+      if (!parse_tagged(line, "task", exec, req, net) &&
+          !parse_tagged(line, "task", exec, req)) {
+        return fail(error, parser.where() + ": expected 'task <exec> <req>'");
+      }
+      const TaskType type = t < k_map ? TaskType::kMap : TaskType::kReduce;
+      (type == TaskType::kMap ? job.map_tasks : job.reduce_tasks)
+          .push_back(Task{type, exec, static_cast<int>(req),
+                          static_cast<int>(net)});
+    }
+    // Optional precedence lines until the next 'job' or EOF.
+    while (parser.next_line(line)) {
+      std::int64_t before = 0;
+      std::int64_t after = 0;
+      if (parse_tagged(line, "precedence", before, after)) {
+        job.precedences.emplace_back(static_cast<int>(before),
+                                     static_cast<int>(after));
+        continue;
+      }
+      pending = line;
+      have_pending = true;
+      break;
+    }
+    const std::string err = validate_job(job);
+    if (!err.empty()) {
+      return fail(error,
+                  "job " + std::to_string(job.id) + " invalid: " + err);
+    }
+    workload.jobs.push_back(std::move(job));
+  }
+  const std::string err = validate_workload(workload);
+  if (!err.empty()) return fail(error, "workload invalid: " + err);
+  return true;
+}
+
+}  // namespace
+
+Workload load_workload(std::istream& in, std::string* error) {
+  Workload workload;
+  if (!parse_workload(in, workload, error)) return Workload{};
+  if (error) error->clear();
+  return workload;
+}
+
+Workload workload_from_string(const std::string& text, std::string* error) {
+  std::istringstream is(text);
+  return load_workload(is, error);
+}
+
+Workload load_workload_file(const std::string& path, std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error) *error = "cannot open " + path;
+    return Workload{};
+  }
+  return load_workload(in, error);
+}
+
+}  // namespace mrcp

@@ -1,0 +1,39 @@
+// Workload (de)serialization.
+//
+// A plain line-oriented trace format so workloads can be generated once,
+// archived, inspected, and replayed across runs/tools:
+//
+//   mrcp-workload v1
+//   cluster <num_resources>
+//   resource <map_capacity> <reduce_capacity>        (x num_resources)
+//   jobs <num_jobs>
+//   job <id> <arrival> <earliest_start> <deadline> <k_map> <k_reduce>
+//   task <exec_time> <res_req>                       (k_map map tasks,
+//                                                     then k_reduce reduces)
+//   [precedence <before_flat_index> <after_flat_index>]*
+//
+// All times are integer ticks. Lines starting with '#' are comments.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "mapreduce/workload.h"
+
+namespace mrcp {
+
+/// Serialize to the trace format.
+void save_workload(const Workload& workload, std::ostream& out);
+std::string workload_to_string(const Workload& workload);
+/// Returns false on I/O error.
+bool save_workload_file(const Workload& workload, const std::string& path);
+
+/// Parse the trace format. On malformed input, `error` (if non-null)
+/// receives a description and the returned workload is empty.
+Workload load_workload(std::istream& in, std::string* error = nullptr);
+Workload workload_from_string(const std::string& text,
+                              std::string* error = nullptr);
+Workload load_workload_file(const std::string& path,
+                            std::string* error = nullptr);
+
+}  // namespace mrcp

@@ -1,0 +1,50 @@
+// Open-system cluster simulation drivers (paper §VI).
+//
+// Both drivers replay a Workload's Poisson arrival stream through the DES
+// kernel against the same simulated cluster; they differ in the resource
+// manager:
+//
+//   simulate_mrcp    — plan-based. Each arrival (and each §V.E deferral
+//                      release) invokes MrcpRm::reschedule(); the driver
+//                      executes the published plan, cancelling the
+//                      pending completion events of any re-planned
+//                      not-yet-started task. Scheduling takes zero
+//                      simulated time (the paper runs MRCP-RM on its own
+//                      CPU); its wall-clock cost is recorded as O.
+//
+//   simulate_minedf  — dynamic. Arrivals and task completions drive the
+//                      MinEDF-WC dispatch loop directly.
+//
+// With validate_execution on, every executed task interval is checked
+// after the run: per-resource per-phase capacity sweeps, map-before-
+// reduce precedence, earliest start times, and exact durations. This is
+// the simulation's ground truth — a resource manager bug cannot hide
+// behind its own bookkeeping.
+#pragma once
+
+#include "baseline/minedf_wc.h"
+#include "core/mrcp_rm.h"
+#include "mapreduce/workload.h"
+#include "sim/metrics.h"
+
+namespace mrcp::sim {
+
+struct SimOptions {
+  bool validate_execution = true;
+  /// Also re-validate every published plan inside the RM (slower).
+  bool validate_plans = false;
+};
+
+SimMetrics simulate_mrcp(const Workload& workload, const MrcpConfig& config,
+                         const SimOptions& options = {});
+
+SimMetrics simulate_minedf(const Workload& workload,
+                           const baseline::MinEdfConfig& config = {},
+                           const SimOptions& options = {});
+
+/// Shared validation helper (exposed for tests): checks executed
+/// intervals against the workload. Empty string when consistent.
+std::string validate_execution(const Workload& workload,
+                               const std::vector<ExecutedTask>& executed);
+
+}  // namespace mrcp::sim

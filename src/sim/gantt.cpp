@@ -1,0 +1,70 @@
+#include "sim/gantt.h"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "common/check.h"
+
+namespace mrcp::sim {
+
+std::string render_gantt(const Plan& plan, const Cluster& cluster,
+                         const GanttOptions& options) {
+  MRCP_CHECK(options.width >= 2);
+  if (plan.tasks.empty()) return "";
+
+  Time t_min = plan.tasks.front().start;
+  Time t_max = plan.tasks.front().end;
+  for (const PlannedTask& pt : plan.tasks) {
+    t_min = std::min(t_min, pt.start);
+    t_max = std::max(t_max, pt.end);
+  }
+  if (t_max <= t_min) t_max = t_min + 1;
+  const double scale =
+      static_cast<double>(options.width) / static_cast<double>(t_max - t_min);
+
+  // Row per (resource, phase) that actually appears.
+  const int rows = cluster.size() * 2;
+  std::vector<std::string> cells(
+      static_cast<std::size_t>(rows),
+      std::string(static_cast<std::size_t>(options.width), ' '));
+  std::vector<bool> used(static_cast<std::size_t>(rows), false);
+
+  for (const PlannedTask& pt : plan.tasks) {
+    const bool is_map = pt.type == TaskType::kMap;
+    if (is_map && !options.include_map) continue;
+    if (!is_map && !options.include_reduce) continue;
+    const auto row = static_cast<std::size_t>(pt.resource * 2 + (is_map ? 0 : 1));
+    used[row] = true;
+    auto bucket = [&](Time t) {
+      const int b = static_cast<int>(static_cast<double>(t - t_min) * scale);
+      return std::clamp(b, 0, options.width - 1);
+    };
+    const int b0 = bucket(pt.start);
+    const int b1 = std::max(bucket(pt.end - 1), b0);
+    const char digit = static_cast<char>('0' + (pt.job % 10));
+    for (int b = b0; b <= b1; ++b) {
+      char& c = cells[row][static_cast<std::size_t>(b)];
+      c = c == ' ' ? digit : '#';
+    }
+  }
+
+  std::ostringstream os;
+  os << "t = [" << ticks_to_seconds(t_min) << " s, " << ticks_to_seconds(t_max)
+     << " s], " << options.width << " buckets\n";
+  for (int r = 0; r < cluster.size(); ++r) {
+    for (int phase = 0; phase < 2; ++phase) {
+      const auto row = static_cast<std::size_t>(r * 2 + phase);
+      if (!used[row]) continue;
+      std::ostringstream label;
+      label << 'r' << r << '/' << (phase == 0 ? "map" : "reduce");
+      os << label.str() << std::string(12 - std::min<std::size_t>(
+                                                11, label.str().size()),
+                                       ' ')
+         << '|' << cells[row] << "|\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace mrcp::sim

@@ -1,0 +1,29 @@
+// ASCII Gantt rendering of plans — a quick visual check of what the
+// resource manager decided, one row per (resource, phase):
+//
+//   r0/map    |00 11  222|
+//   r0/reduce |      3333|
+//
+// Each column is one time bucket; the digit is the owning job id (mod
+// 10, '#' where more than one task of the same row shares the bucket —
+// which is legitimate when the row's capacity exceeds 1).
+#pragma once
+
+#include <string>
+
+#include "core/plan.h"
+#include "mapreduce/cluster.h"
+
+namespace mrcp::sim {
+
+struct GanttOptions {
+  int width = 80;          ///< time buckets across the chart
+  bool include_reduce = true;
+  bool include_map = true;
+};
+
+/// Render the plan. Empty plans render as an empty string.
+std::string render_gantt(const Plan& plan, const Cluster& cluster,
+                         const GanttOptions& options = {});
+
+}  // namespace mrcp::sim

@@ -1,0 +1,47 @@
+#include "sim/metrics.h"
+
+#include "common/check.h"
+
+namespace mrcp::sim {
+
+SimMetrics::Aggregate SimMetrics::aggregate(double warmup_fraction) const {
+  MRCP_CHECK(warmup_fraction >= 0.0 && warmup_fraction < 1.0);
+  Aggregate agg;
+  const auto first = static_cast<std::size_t>(
+      warmup_fraction * static_cast<double>(records.size()));
+  double turnaround_sum = 0.0;
+  std::size_t completed = 0;
+  for (std::size_t i = first; i < records.size(); ++i) {
+    const JobRecord& r = records[i];
+    ++agg.jobs;
+    MRCP_CHECK_MSG(r.completed(), "aggregate over incomplete simulation");
+    ++completed;
+    turnaround_sum += ticks_to_seconds(r.turnaround());
+    if (r.late) ++agg.late;
+  }
+  if (agg.jobs > 0) {
+    agg.percent_late =
+        100.0 * static_cast<double>(agg.late) / static_cast<double>(agg.jobs);
+  }
+  if (completed > 0) {
+    agg.mean_turnaround_s = turnaround_sum / static_cast<double>(completed);
+  }
+  return agg;
+}
+
+BatchMeansResult SimMetrics::turnaround_batch_ci(double warmup_fraction,
+                                                 std::size_t num_batches) const {
+  MRCP_CHECK(warmup_fraction >= 0.0 && warmup_fraction < 1.0);
+  const auto first = static_cast<std::size_t>(
+      warmup_fraction * static_cast<double>(records.size()));
+  std::vector<double> series;
+  series.reserve(records.size() - first);
+  for (std::size_t i = first; i < records.size(); ++i) {
+    MRCP_CHECK_MSG(records[i].completed(),
+                   "batch CI over incomplete simulation");
+    series.push_back(ticks_to_seconds(records[i].turnaround()));
+  }
+  return batch_means_ci(series, num_batches);
+}
+
+}  // namespace mrcp::sim

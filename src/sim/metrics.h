@@ -1,0 +1,76 @@
+// Simulation output: per-job records and the paper's performance metrics
+// (§VI):
+//   O — average matchmaking and scheduling time of a job (s),
+//   N — number of jobs that missed their deadline,
+//   T — average job turnaround time, sum(CT_j - s_j)/jobs (s),
+//   P — percentage of late jobs, N / jobs arrived (%).
+//
+// Aggregation over a warmup-trimmed range of jobs approximates the
+// paper's steady-state measurement (§VI.A "run long enough to ensure the
+// system operates at steady state").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/batch_means.h"
+#include "common/types.h"
+
+namespace mrcp::sim {
+
+struct JobRecord {
+  JobId id = kNoJob;
+  Time arrival = 0;
+  Time earliest_start = 0;
+  Time deadline = 0;
+  Time completion = kNoTime;  ///< kNoTime until the job finishes
+  bool late = false;
+
+  bool completed() const { return completion != kNoTime; }
+  Time turnaround() const { return completion - earliest_start; }
+};
+
+/// One executed task interval, for post-hoc execution validation.
+struct ExecutedTask {
+  JobId job = kNoJob;
+  int task_index = -1;
+  ResourceId resource = kNoResource;
+  Time start = 0;
+  Time end = 0;
+};
+
+struct SimMetrics {
+  std::vector<JobRecord> records;  ///< indexed by job id
+  /// Ground-truth executed intervals (validation input, trace export).
+  std::vector<ExecutedTask> executed;
+  double total_sched_seconds = 0.0;
+  std::uint64_t rm_invocations = 0;
+  std::uint64_t max_live_tasks = 0;
+
+  /// O in seconds: total scheduling time divided by submitted jobs.
+  double sched_overhead_per_job() const {
+    if (records.empty()) return 0.0;
+    return total_sched_seconds / static_cast<double>(records.size());
+  }
+
+  struct Aggregate {
+    std::size_t jobs = 0;
+    std::int64_t late = 0;          ///< N
+    double percent_late = 0.0;      ///< P (%)
+    double mean_turnaround_s = 0.0; ///< T (s)
+  };
+
+  /// Aggregate over jobs with id >= warmup_fraction * n (steady state).
+  Aggregate aggregate(double warmup_fraction = 0.0) const;
+
+  /// Within-run batch-means CI for the turnaround time T (seconds),
+  /// warmup-trimmed. Complements the across-replication CI of
+  /// sim::replicate: per-job turnarounds are autocorrelated (jobs share
+  /// congestion periods), so this is the statistically sound single-run
+  /// interval (see common/batch_means.h).
+  BatchMeansResult turnaround_batch_ci(double warmup_fraction = 0.1,
+                                       std::size_t num_batches = 20) const;
+};
+
+}  // namespace mrcp::sim

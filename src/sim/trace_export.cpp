@@ -1,0 +1,50 @@
+#include "sim/trace_export.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace mrcp::sim {
+
+namespace {
+constexpr const char* kHeader = "job,task,type,resource,start_s,end_s,started\n";
+
+void append_row(std::ostringstream& os, JobId job, int task, TaskType type,
+                ResourceId resource, Time start, Time end, bool started) {
+  os << job << ',' << task << ',' << task_type_name(type) << ',' << resource
+     << ',' << ticks_to_seconds(start) << ',' << ticks_to_seconds(end) << ','
+     << (started ? 1 : 0) << '\n';
+}
+}  // namespace
+
+std::string plan_to_csv(const Plan& plan) {
+  std::ostringstream os;
+  os << kHeader;
+  for (const PlannedTask& pt : plan.tasks) {
+    append_row(os, pt.job, pt.task_index, pt.type, pt.resource, pt.start,
+               pt.end, pt.started);
+  }
+  return os.str();
+}
+
+std::string execution_to_csv(const std::vector<ExecutedTask>& executed,
+                             const Workload& workload) {
+  std::ostringstream os;
+  os << kHeader;
+  for (const ExecutedTask& et : executed) {
+    const Job& job = workload.jobs[static_cast<std::size_t>(et.job)];
+    const TaskType type =
+        job.task(static_cast<std::size_t>(et.task_index)).type;
+    append_row(os, et.job, et.task_index, type, et.resource, et.start, et.end,
+               /*started=*/true);
+  }
+  return os.str();
+}
+
+bool write_text_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << content;
+  return static_cast<bool>(out);
+}
+
+}  // namespace mrcp::sim

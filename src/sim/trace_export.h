@@ -1,0 +1,27 @@
+// Schedule/trace export: plans and executed-task logs as CSV, one row
+// per task interval, suitable for Gantt-chart tooling or spreadsheet
+// inspection.
+//
+//   job,task,type,resource,start_s,end_s,started
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/plan.h"
+#include "mapreduce/workload.h"
+#include "sim/metrics.h"
+
+namespace mrcp::sim {
+
+/// CSV of a plan (includes the `started` column).
+std::string plan_to_csv(const Plan& plan);
+
+/// CSV of executed intervals; `workload` supplies the task types.
+std::string execution_to_csv(const std::vector<ExecutedTask>& executed,
+                             const Workload& workload);
+
+/// Write either CSV to a file; false on I/O error.
+bool write_text_file(const std::string& path, const std::string& content);
+
+}  // namespace mrcp::sim

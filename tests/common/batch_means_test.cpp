@@ -1,0 +1,106 @@
+#include "common/batch_means.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace mrcp {
+namespace {
+
+TEST(Lag1Autocorr, ZeroForConstantAndShortSeries) {
+  EXPECT_DOUBLE_EQ(lag1_autocorrelation(std::vector<double>{}), 0.0);
+  EXPECT_DOUBLE_EQ(lag1_autocorrelation(std::vector<double>{1.0}), 0.0);
+  EXPECT_DOUBLE_EQ(lag1_autocorrelation(std::vector<double>{3, 3, 3, 3}), 0.0);
+}
+
+TEST(Lag1Autocorr, PositiveForTrendingSeries) {
+  std::vector<double> v;
+  for (int i = 0; i < 100; ++i) v.push_back(i);
+  EXPECT_GT(lag1_autocorrelation(v), 0.9);
+}
+
+TEST(Lag1Autocorr, NegativeForAlternatingSeries) {
+  std::vector<double> v;
+  for (int i = 0; i < 100; ++i) v.push_back(i % 2 == 0 ? 1.0 : -1.0);
+  EXPECT_LT(lag1_autocorrelation(v), -0.9);
+}
+
+TEST(BatchMeans, DegenerateInputs) {
+  const auto empty = batch_means_ci(std::vector<double>{});
+  EXPECT_EQ(empty.batches, 0u);
+  const auto tiny = batch_means_ci(std::vector<double>{5.0, 7.0}, 20);
+  EXPECT_DOUBLE_EQ(tiny.mean, 6.0);
+  EXPECT_DOUBLE_EQ(tiny.half_width, 0.0);
+}
+
+TEST(BatchMeans, MeanMatchesPlainMeanWhenDivisible) {
+  std::vector<double> v;
+  RandomStream rng(3, 0);
+  for (int i = 0; i < 400; ++i) v.push_back(rng.uniform_real(0, 10));
+  const auto bm = batch_means_ci(v, 20);
+  RunningStat s;
+  for (double x : v) s.add(x);
+  EXPECT_EQ(bm.batch_size, 20u);
+  EXPECT_EQ(bm.discarded, 0u);
+  EXPECT_NEAR(bm.mean, s.mean(), 1e-12);
+}
+
+TEST(BatchMeans, DiscardsRemainderAtFront) {
+  std::vector<double> v(103, 1.0);
+  const auto bm = batch_means_ci(v, 20);
+  EXPECT_EQ(bm.batch_size, 5u);
+  EXPECT_EQ(bm.discarded, 3u);
+  EXPECT_DOUBLE_EQ(bm.mean, 1.0);
+}
+
+TEST(BatchMeans, IidSeriesMatchesClassicCiClosely) {
+  RandomStream rng(7, 0);
+  std::vector<double> v;
+  for (int i = 0; i < 2000; ++i) v.push_back(rng.uniform_real(0, 1));
+  const auto bm = batch_means_ci(v, 20);
+  // For iid data the batch-means CI estimates the same quantity as the
+  // classic CI; widths agree within statistical noise (factor ~2).
+  RunningStat s;
+  for (double x : v) s.add(x);
+  const auto classic = confidence_interval(s);
+  EXPECT_NEAR(bm.mean, classic.mean, 1e-12);
+  EXPECT_LT(bm.half_width, classic.half_width * 3.0);
+  EXPECT_GT(bm.half_width, classic.half_width / 3.0);
+  EXPECT_LT(std::abs(bm.batch_lag1_autocorr), 0.5);
+}
+
+TEST(BatchMeans, AutocorrelatedSeriesWiderThanNaive) {
+  // AR(1) with strong positive correlation: the naive per-observation CI
+  // is far too narrow; batch means must report a wider interval.
+  RandomStream rng(11, 0);
+  std::vector<double> v;
+  double x = 0.0;
+  for (int i = 0; i < 4000; ++i) {
+    x = 0.95 * x + rng.uniform_real(-1, 1);
+    v.push_back(x);
+  }
+  RunningStat s;
+  for (double y : v) s.add(y);
+  const auto naive = confidence_interval(s);
+  const auto bm = batch_means_ci(v, 20);
+  EXPECT_GT(bm.half_width, 2.0 * naive.half_width);
+}
+
+TEST(BatchMeans, MoreDataShrinksInterval) {
+  RandomStream rng(13, 0);
+  auto make = [&](int n) {
+    std::vector<double> v;
+    for (int i = 0; i < n; ++i) v.push_back(rng.uniform_real(0, 1));
+    return v;
+  };
+  const auto small = batch_means_ci(make(400), 20);
+  const auto large = batch_means_ci(make(40000), 20);
+  EXPECT_LT(large.half_width, small.half_width);
+}
+
+}  // namespace
+}  // namespace mrcp

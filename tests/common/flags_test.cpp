@@ -1,0 +1,117 @@
+#include "common/flags.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+namespace mrcp {
+namespace {
+
+Flags make_flags() {
+  Flags flags("test program");
+  flags.add_int("jobs", 100, "number of jobs")
+      .add_double("lambda", 0.01, "arrival rate")
+      .add_bool("verbose", false, "enable logging")
+      .add_string("out", "", "csv output path");
+  return flags;
+}
+
+// argv helper: const-casts string literals (argv contract is non-const).
+template <std::size_t N>
+bool parse(Flags& flags, std::array<const char*, N> args) {
+  std::array<char*, N> argv;
+  for (std::size_t i = 0; i < N; ++i) argv[i] = const_cast<char*>(args[i]);
+  return flags.parse(static_cast<int>(N), argv.data());
+}
+
+TEST(Flags, Defaults) {
+  Flags flags = make_flags();
+  EXPECT_TRUE(parse(flags, std::array<const char*, 1>{"prog"}));
+  EXPECT_EQ(flags.get_int("jobs"), 100);
+  EXPECT_DOUBLE_EQ(flags.get_double("lambda"), 0.01);
+  EXPECT_FALSE(flags.get_bool("verbose"));
+  EXPECT_EQ(flags.get_string("out"), "");
+}
+
+TEST(Flags, EqualsSyntax) {
+  Flags flags = make_flags();
+  EXPECT_TRUE(parse(flags, std::array<const char*, 4>{
+                               "prog", "--jobs=250", "--lambda=0.02",
+                               "--out=results.csv"}));
+  EXPECT_EQ(flags.get_int("jobs"), 250);
+  EXPECT_DOUBLE_EQ(flags.get_double("lambda"), 0.02);
+  EXPECT_EQ(flags.get_string("out"), "results.csv");
+}
+
+TEST(Flags, SpaceSyntax) {
+  Flags flags = make_flags();
+  EXPECT_TRUE(parse(flags, std::array<const char*, 5>{"prog", "--jobs", "42",
+                                                      "--lambda", "1.5"}));
+  EXPECT_EQ(flags.get_int("jobs"), 42);
+  EXPECT_DOUBLE_EQ(flags.get_double("lambda"), 1.5);
+}
+
+TEST(Flags, BareBoolSetsTrue) {
+  Flags flags = make_flags();
+  EXPECT_TRUE(parse(flags, std::array<const char*, 2>{"prog", "--verbose"}));
+  EXPECT_TRUE(flags.get_bool("verbose"));
+}
+
+TEST(Flags, BoolExplicitValues) {
+  Flags flags = make_flags();
+  EXPECT_TRUE(parse(flags, std::array<const char*, 2>{"prog", "--verbose=true"}));
+  EXPECT_TRUE(flags.get_bool("verbose"));
+  Flags flags2 = make_flags();
+  EXPECT_TRUE(
+      parse(flags2, std::array<const char*, 2>{"prog", "--verbose=false"}));
+  EXPECT_FALSE(flags2.get_bool("verbose"));
+}
+
+TEST(Flags, UnknownFlagFails) {
+  Flags flags = make_flags();
+  EXPECT_FALSE(parse(flags, std::array<const char*, 2>{"prog", "--nope"}));
+  EXPECT_FALSE(flags.ok());
+}
+
+TEST(Flags, MalformedIntFails) {
+  Flags flags = make_flags();
+  EXPECT_FALSE(parse(flags, std::array<const char*, 2>{"prog", "--jobs=abc"}));
+  EXPECT_FALSE(flags.ok());
+}
+
+TEST(Flags, MissingValueFails) {
+  Flags flags = make_flags();
+  EXPECT_FALSE(parse(flags, std::array<const char*, 2>{"prog", "--jobs"}));
+  EXPECT_FALSE(flags.ok());
+}
+
+TEST(Flags, PositionalArgumentFails) {
+  Flags flags = make_flags();
+  EXPECT_FALSE(parse(flags, std::array<const char*, 2>{"prog", "positional"}));
+  EXPECT_FALSE(flags.ok());
+}
+
+TEST(Flags, HelpReturnsFalseButOk) {
+  Flags flags = make_flags();
+  EXPECT_FALSE(parse(flags, std::array<const char*, 2>{"prog", "--help"}));
+  EXPECT_TRUE(flags.ok());
+}
+
+TEST(Flags, UsageListsAllFlags) {
+  Flags flags = make_flags();
+  const std::string usage = flags.usage();
+  EXPECT_NE(usage.find("--jobs"), std::string::npos);
+  EXPECT_NE(usage.find("--lambda"), std::string::npos);
+  EXPECT_NE(usage.find("--verbose"), std::string::npos);
+  EXPECT_NE(usage.find("--out"), std::string::npos);
+  EXPECT_NE(usage.find("number of jobs"), std::string::npos);
+}
+
+TEST(Flags, NegativeNumbers) {
+  Flags flags = make_flags();
+  EXPECT_TRUE(parse(flags, std::array<const char*, 3>{"prog", "--jobs", "-5"}));
+  EXPECT_EQ(flags.get_int("jobs"), -5);
+}
+
+}  // namespace
+}  // namespace mrcp

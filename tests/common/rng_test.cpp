@@ -1,0 +1,151 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/distributions.h"
+
+namespace mrcp {
+namespace {
+
+TEST(SplitMix64, KnownNonTrivialOutputs) {
+  // Distinct inputs map to distinct, non-trivial outputs.
+  EXPECT_NE(splitmix64(0), 0u);
+  EXPECT_NE(splitmix64(0), splitmix64(1));
+  EXPECT_NE(splitmix64(1), splitmix64(2));
+}
+
+TEST(ReplicationSeed, DistinctAcrossReplications) {
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t rep = 0; rep < 100; ++rep) {
+    seeds.insert(replication_seed(42, rep));
+  }
+  EXPECT_EQ(seeds.size(), 100u);
+}
+
+TEST(ReplicationSeed, DistinctAcrossBaseSeeds) {
+  EXPECT_NE(replication_seed(1, 0), replication_seed(2, 0));
+}
+
+TEST(RandomStream, DeterministicForSameSeedAndStream) {
+  RandomStream a(7, 3);
+  RandomStream b(7, 3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.uniform_int(0, 1000000), b.uniform_int(0, 1000000));
+  }
+}
+
+TEST(RandomStream, DifferentStreamsDiffer) {
+  RandomStream a(7, 0);
+  RandomStream b(7, 1);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform_int(0, 1000000) == b.uniform_int(0, 1000000)) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(RandomStream, UniformIntStaysInRangeAndHitsEndpoints) {
+  RandomStream rng(1, 0);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(3, 7);
+    ASSERT_GE(v, 3);
+    ASSERT_LE(v, 7);
+    saw_lo |= v == 3;
+    saw_hi |= v == 7;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RandomStream, UniformIntDegenerateRange) {
+  RandomStream rng(1, 0);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_int(5, 5), 5);
+}
+
+TEST(RandomStream, BernoulliExtremes) {
+  RandomStream rng(1, 0);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(RandomStream, BernoulliFrequency) {
+  RandomStream rng(9, 0);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(RandomStream, ExponentialMean) {
+  RandomStream rng(11, 0);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(0.01);
+  EXPECT_NEAR(sum / n, 100.0, 3.0);
+}
+
+TEST(RandomStream, UniformRealRange) {
+  RandomStream rng(3, 0);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform_real(1.0, 2.0);
+    ASSERT_GE(v, 1.0);
+    ASSERT_LT(v, 2.0);
+  }
+}
+
+TEST(Distributions, DiscreteUniformMean) {
+  const DiscreteUniform du{1, 100};
+  EXPECT_DOUBLE_EQ(du.mean(), 50.5);
+  RandomStream rng(5, 0);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(du.sample(rng));
+  EXPECT_NEAR(sum / n, 50.5, 1.5);
+}
+
+TEST(Distributions, LogNormalMeanMatchesClosedForm) {
+  // Paper's map-task distribution: LN(9.9511, 1.6764) in ms.
+  const LogNormal ln{9.9511, 1.6764};
+  const double expected = std::exp(9.9511 + 0.5 * 1.6764);
+  EXPECT_NEAR(ln.mean(), expected, 1e-9);
+  RandomStream rng(13, 0);
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += ln.sample(rng);
+  // Heavy-tailed: allow 10% relative error at this sample size.
+  EXPECT_NEAR(sum / n / expected, 1.0, 0.10);
+}
+
+TEST(Distributions, ExponentialStruct) {
+  const Exponential e{0.02};
+  EXPECT_DOUBLE_EQ(e.mean(), 50.0);
+}
+
+TEST(Distributions, UniformStruct) {
+  const Uniform u{1.0, 5.0};
+  EXPECT_DOUBLE_EQ(u.mean(), 3.0);
+  RandomStream rng(17, 0);
+  for (int i = 0; i < 100; ++i) {
+    const double v = u.sample(rng);
+    ASSERT_GE(v, 1.0);
+    ASSERT_LT(v, 5.0);
+  }
+}
+
+TEST(RandomStream, ShuffleIsPermutation) {
+  RandomStream rng(19, 0);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  auto orig = v;
+  rng.shuffle(v.begin(), v.end());
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+}  // namespace
+}  // namespace mrcp

@@ -1,0 +1,60 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace mrcp {
+namespace {
+
+TEST(TableTest, AlignedOutput) {
+  Table t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer", "22"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("longer"), std::string::npos);
+  // Separator line present.
+  EXPECT_NE(s.find("---"), std::string::npos);
+}
+
+TEST(TableTest, CsvOutput) {
+  Table t({"a", "b", "c"});
+  t.add_row({"1", "2", "3"});
+  t.add_row({"4", "5", "6"});
+  EXPECT_EQ(t.to_csv(), "a,b,c\n1,2,3\n4,5,6\n");
+}
+
+TEST(TableTest, CellFormatters) {
+  EXPECT_EQ(Table::cell(1.23456, 2), "1.23");
+  EXPECT_EQ(Table::cell(std::int64_t{42}), "42");
+  EXPECT_EQ(Table::cell(0.0, 3), "0.000");
+}
+
+TEST(TableTest, RowCount) {
+  Table t({"h"});
+  EXPECT_EQ(t.row_count(), 0u);
+  t.add_row({"r"});
+  EXPECT_EQ(t.row_count(), 1u);
+}
+
+TEST(TableTest, WriteCsvRoundTrip) {
+  Table t({"k", "v"});
+  t.add_row({"x", "9"});
+  const std::string path = testing::TempDir() + "/mrcp_table_test.csv";
+  ASSERT_TRUE(t.write_csv(path));
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, "k,v\nx,9\n");
+  std::remove(path.c_str());
+}
+
+TEST(TableTest, WriteCsvBadPathFails) {
+  Table t({"h"});
+  EXPECT_FALSE(t.write_csv("/nonexistent_dir_zzz/file.csv"));
+}
+
+}  // namespace
+}  // namespace mrcp

@@ -1,0 +1,166 @@
+#include "core/matchmaker.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.h"
+#include "cp/profile.h"
+
+namespace mrcp {
+namespace {
+
+TEST(Matchmaker, PaperMinGapExample) {
+  // §V.D: r1 busy until 10, r2 busy until 8; a task needing [11, 15)
+  // goes to r1 (gap 1 < gap 3).
+  Cluster cluster = Cluster::homogeneous(2, 1, 1);
+  std::vector<MatchItem> items = {
+      {TaskType::kMap, 2, 10, false, kNoResource},   // ends 10 (claims r0)
+      {TaskType::kMap, 5, 8, false, kNoResource},    // ends 8 (claims r1)
+      {TaskType::kMap, 11, 15, false, kNoResource},  // the §V.D task
+  };
+  const std::vector<ResourceId> assigned = matchmake(cluster, items);
+  EXPECT_NE(assigned[0], assigned[1]);
+  EXPECT_EQ(assigned[2], assigned[0]);  // joins the later-ending slot
+}
+
+TEST(Matchmaker, ParallelTasksSpreadAcrossSlots) {
+  Cluster cluster = Cluster::homogeneous(3, 1, 1);
+  std::vector<MatchItem> items = {
+      {TaskType::kMap, 0, 10, false, kNoResource},
+      {TaskType::kMap, 0, 10, false, kNoResource},
+      {TaskType::kMap, 0, 10, false, kNoResource},
+  };
+  const std::vector<ResourceId> assigned = matchmake(cluster, items);
+  EXPECT_NE(assigned[0], assigned[1]);
+  EXPECT_NE(assigned[1], assigned[2]);
+  EXPECT_NE(assigned[0], assigned[2]);
+}
+
+TEST(Matchmaker, ReusesSlotAfterCompletion) {
+  Cluster cluster = Cluster::homogeneous(1, 2, 1);
+  std::vector<MatchItem> items = {
+      {TaskType::kMap, 0, 10, false, kNoResource},
+      {TaskType::kMap, 10, 20, false, kNoResource},
+      {TaskType::kMap, 5, 9, false, kNoResource},
+  };
+  const std::vector<ResourceId> assigned = matchmake(cluster, items);
+  for (ResourceId r : assigned) EXPECT_EQ(r, 0);
+}
+
+TEST(Matchmaker, PinnedTaskForcedToItsResource) {
+  Cluster cluster = Cluster::homogeneous(2, 1, 1);
+  std::vector<MatchItem> items = {
+      {TaskType::kMap, 0, 50, true, 1},  // running on resource 1
+      {TaskType::kMap, 10, 20, false, kNoResource},
+  };
+  const std::vector<ResourceId> assigned = matchmake(cluster, items);
+  EXPECT_EQ(assigned[0], 1);
+  EXPECT_EQ(assigned[1], 0);  // only free slot
+}
+
+TEST(Matchmaker, MapAndReducePoolsIndependent) {
+  Cluster cluster = Cluster::homogeneous(1, 1, 1);
+  std::vector<MatchItem> items = {
+      {TaskType::kMap, 0, 10, false, kNoResource},
+      {TaskType::kReduce, 0, 10, false, kNoResource},
+  };
+  const std::vector<ResourceId> assigned = matchmake(cluster, items);
+  EXPECT_EQ(assigned[0], 0);
+  EXPECT_EQ(assigned[1], 0);
+}
+
+// Property: any interval set respecting the combined capacity can be
+// matchmade, and the per-resource capacity is then respected.
+class MatchmakerRandomProperty : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(MatchmakerRandomProperty, ValidAssignmentForFeasibleSchedules) {
+  RandomStream rng(GetParam(), 0);
+  const int m = static_cast<int>(rng.uniform_int(2, 5));
+  const int cap = static_cast<int>(rng.uniform_int(1, 3));
+  Cluster cluster = Cluster::homogeneous(m, cap, cap);
+
+  // Build a feasible combined schedule by greedy placement against the
+  // combined profiles (mirrors the solver's behavior).
+  cp::Profile map_profile(m * cap);
+  cp::Profile reduce_profile(m * cap);
+  std::vector<MatchItem> items;
+  for (int i = 0; i < 60; ++i) {
+    const TaskType type = rng.bernoulli(0.5) ? TaskType::kMap : TaskType::kReduce;
+    cp::Profile& prof = type == TaskType::kMap ? map_profile : reduce_profile;
+    const Time est = rng.uniform_int(0, 300);
+    const Time dur = rng.uniform_int(1, 60);
+    const Time start = prof.earliest_feasible(est, dur, 1);
+    prof.add(start, dur, 1);
+    items.push_back(MatchItem{type, start, start + dur, false, kNoResource});
+  }
+
+  const std::vector<ResourceId> assigned = matchmake(cluster, items);
+
+  // Sweep per (resource, type).
+  std::map<std::pair<ResourceId, int>, std::map<Time, int>> deltas;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    ASSERT_GE(assigned[i], 0);
+    ASSERT_LT(assigned[i], m);
+    deltas[{assigned[i], static_cast<int>(items[i].type)}][items[i].start] += 1;
+    deltas[{assigned[i], static_cast<int>(items[i].type)}][items[i].end] -= 1;
+  }
+  for (const auto& [key, delta] : deltas) {
+    int usage = 0;
+    for (const auto& [t, d] : delta) {
+      usage += d;
+      ASSERT_LE(usage, cap) << "resource " << key.first << " over capacity";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MatchmakerRandomProperty,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+TEST(Regrouping, PaperExample) {
+  // §V.D: 100 map + 100 reduce slots, nm=50, nr=30 -> 50 resources with
+  // c^mp = 2; 20 resources with c^rd = 3 and 10 with c^rd = 4.
+  const Cluster c = compute_regrouping(100, 100, 50, 30);
+  ASSERT_EQ(c.size(), 50);
+  EXPECT_EQ(c.total_map_slots(), 100);
+  EXPECT_EQ(c.total_reduce_slots(), 100);
+  int with_3 = 0;
+  int with_4 = 0;
+  int with_0 = 0;
+  for (const Resource& r : c.resources()) {
+    EXPECT_EQ(r.map_capacity, 2);
+    if (r.reduce_capacity == 3) ++with_3;
+    if (r.reduce_capacity == 4) ++with_4;
+    if (r.reduce_capacity == 0) ++with_0;
+  }
+  EXPECT_EQ(with_3, 20);
+  EXPECT_EQ(with_4, 10);
+  EXPECT_EQ(with_0, 20);  // the other 20 resources carry no reduce slots
+}
+
+TEST(Regrouping, EvenSplit) {
+  const Cluster c = compute_regrouping(100, 100, 50, 50);
+  ASSERT_EQ(c.size(), 50);
+  for (const Resource& r : c.resources()) {
+    EXPECT_EQ(r.map_capacity, 2);
+    EXPECT_EQ(r.reduce_capacity, 2);
+  }
+}
+
+TEST(Regrouping, MapOnly) {
+  const Cluster c = compute_regrouping(10, 0, 5, 0);
+  ASSERT_EQ(c.size(), 5);
+  EXPECT_EQ(c.total_map_slots(), 10);
+  EXPECT_EQ(c.total_reduce_slots(), 0);
+}
+
+TEST(Regrouping, SlotTotalsPreserved) {
+  const Cluster c = compute_regrouping(17, 23, 4, 6);
+  EXPECT_EQ(c.size(), 6);
+  EXPECT_EQ(c.total_map_slots(), 17);
+  EXPECT_EQ(c.total_reduce_slots(), 23);
+}
+
+}  // namespace
+}  // namespace mrcp

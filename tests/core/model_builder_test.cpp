@@ -1,0 +1,99 @@
+#include "core/model_builder.h"
+
+#include <gtest/gtest.h>
+
+namespace mrcp {
+namespace {
+
+std::vector<LiveJob> two_live_jobs() {
+  std::vector<LiveJob> jobs(2);
+  jobs[0].id = 10;
+  jobs[0].effective_earliest_start = 100;
+  jobs[0].deadline = 500;
+  jobs[0].tasks = {
+      LiveTask{0, TaskType::kMap, 30, 1, 0, false, kNoResource, kNoTime},
+      LiveTask{1, TaskType::kMap, 40, 1, 0, true, 2, 90},  // running on r2
+      LiveTask{2, TaskType::kReduce, 50, 1, 0, false, kNoResource, kNoTime},
+  };
+  jobs[1].id = 11;
+  jobs[1].effective_earliest_start = 120;
+  jobs[1].deadline = 900;
+  jobs[1].tasks = {
+      LiveTask{0, TaskType::kMap, 25, 1, 0, false, kNoResource, kNoTime},
+  };
+  return jobs;
+}
+
+TEST(ModelBuilder, DirectModelMirrorsCluster) {
+  const Cluster cluster = Cluster::homogeneous(4, 2, 3);
+  const BuiltModel built = build_direct_model(cluster, two_live_jobs());
+  EXPECT_FALSE(built.combined);
+  ASSERT_EQ(built.model.num_resources(), 4u);
+  EXPECT_EQ(built.model.resource(0).map_capacity, 2);
+  EXPECT_EQ(built.model.resource(0).reduce_capacity, 3);
+  EXPECT_EQ(built.model.num_jobs(), 2u);
+  EXPECT_EQ(built.model.num_tasks(), 4u);
+  EXPECT_EQ(built.model.validate(), "");
+}
+
+TEST(ModelBuilder, CombinedModelSumsCapacity) {
+  const Cluster cluster = Cluster::homogeneous(4, 2, 3);
+  const BuiltModel built = build_combined_model(cluster, two_live_jobs());
+  EXPECT_TRUE(built.combined);
+  ASSERT_EQ(built.model.num_resources(), 1u);
+  EXPECT_EQ(built.model.resource(0).map_capacity, 8);
+  EXPECT_EQ(built.model.resource(0).reduce_capacity, 12);
+  EXPECT_EQ(built.model.validate(), "");
+}
+
+TEST(ModelBuilder, TaskRefsRoundTrip) {
+  const Cluster cluster = Cluster::homogeneous(4, 1, 1);
+  const BuiltModel built = build_combined_model(cluster, two_live_jobs());
+  ASSERT_EQ(built.task_refs.size(), 4u);
+  EXPECT_EQ(built.task_refs[0], std::make_pair(JobId{10}, 0));
+  EXPECT_EQ(built.task_refs[1], std::make_pair(JobId{10}, 1));
+  EXPECT_EQ(built.task_refs[2], std::make_pair(JobId{10}, 2));
+  EXPECT_EQ(built.task_refs[3], std::make_pair(JobId{11}, 0));
+  ASSERT_EQ(built.job_refs.size(), 2u);
+  EXPECT_EQ(built.job_refs[0], 10);
+  EXPECT_EQ(built.job_refs[1], 11);
+}
+
+TEST(ModelBuilder, StartedTaskPinnedInDirectModel) {
+  const Cluster cluster = Cluster::homogeneous(4, 2, 3);
+  const BuiltModel built = build_direct_model(cluster, two_live_jobs());
+  const cp::CpTask& pinned = built.model.task(1);
+  EXPECT_TRUE(pinned.pinned);
+  EXPECT_EQ(pinned.pinned_resource, 2);
+  EXPECT_EQ(pinned.pinned_start, 90);
+}
+
+TEST(ModelBuilder, StartedTaskPinnedToCombinedResource) {
+  const Cluster cluster = Cluster::homogeneous(4, 2, 3);
+  const BuiltModel built = build_combined_model(cluster, two_live_jobs());
+  const cp::CpTask& pinned = built.model.task(1);
+  EXPECT_TRUE(pinned.pinned);
+  EXPECT_EQ(pinned.pinned_resource, 0);  // the combined resource
+  EXPECT_EQ(pinned.pinned_start, 90);
+}
+
+TEST(ModelBuilder, JobSlaCarriedThrough) {
+  const Cluster cluster = Cluster::homogeneous(4, 1, 1);
+  const BuiltModel built = build_direct_model(cluster, two_live_jobs());
+  EXPECT_EQ(built.model.job(0).earliest_start, 100);
+  EXPECT_EQ(built.model.job(0).deadline, 500);
+  EXPECT_EQ(built.model.job(0).external_id, 10);
+  EXPECT_EQ(built.model.job(1).earliest_start, 120);
+}
+
+TEST(ModelBuilder, PhaseStructurePreserved) {
+  const Cluster cluster = Cluster::homogeneous(4, 1, 1);
+  const BuiltModel built = build_direct_model(cluster, two_live_jobs());
+  EXPECT_EQ(built.model.job(0).map_tasks.size(), 2u);
+  EXPECT_EQ(built.model.job(0).reduce_tasks.size(), 1u);
+  EXPECT_EQ(built.model.task(2).phase, cp::Phase::kReduce);
+  EXPECT_EQ(built.model.task(2).duration, 50);
+}
+
+}  // namespace
+}  // namespace mrcp

@@ -1,0 +1,145 @@
+#include "core/plan.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+
+namespace mrcp {
+namespace {
+
+using testutil::make_job;
+
+struct Fixture {
+  Job job = make_job(0, 0, 0, 10000, {100, 200}, {300});
+  Cluster cluster = Cluster::homogeneous(2, 1, 1);
+  std::vector<const Job*> jobs_by_id{&job};
+
+  Plan good_plan() const {
+    Plan p;
+    p.planned_at = 0;
+    p.tasks = {
+        {0, 0, TaskType::kMap, 0, 0, 100, false},
+        {0, 1, TaskType::kMap, 1, 0, 200, false},
+        {0, 2, TaskType::kReduce, 0, 200, 500, false},
+    };
+    return p;
+  }
+};
+
+TEST(ValidatePlan, AcceptsGoodPlan) {
+  Fixture f;
+  EXPECT_EQ(validate_plan(f.good_plan(), f.cluster, f.jobs_by_id), "");
+}
+
+TEST(ValidatePlan, EmptyPlanIsValid) {
+  Fixture f;
+  Plan p;
+  EXPECT_EQ(validate_plan(p, f.cluster, f.jobs_by_id), "");
+}
+
+TEST(ValidatePlan, CatchesResourceOutOfRange) {
+  Fixture f;
+  Plan p = f.good_plan();
+  p.tasks[0].resource = 5;
+  EXPECT_NE(validate_plan(p, f.cluster, f.jobs_by_id), "");
+}
+
+TEST(ValidatePlan, CatchesWrongDuration) {
+  Fixture f;
+  Plan p = f.good_plan();
+  p.tasks[0].end = 150;  // task 0 takes 100 ticks
+  EXPECT_NE(validate_plan(p, f.cluster, f.jobs_by_id), "");
+}
+
+TEST(ValidatePlan, CatchesTypeMismatch) {
+  Fixture f;
+  Plan p = f.good_plan();
+  p.tasks[0].type = TaskType::kReduce;
+  EXPECT_NE(validate_plan(p, f.cluster, f.jobs_by_id), "");
+}
+
+TEST(ValidatePlan, CatchesCapacityOverload) {
+  Fixture f;
+  Plan p = f.good_plan();
+  p.tasks[1].resource = 0;  // both maps on the single-slot resource 0
+  EXPECT_NE(validate_plan(p, f.cluster, f.jobs_by_id), "");
+}
+
+TEST(ValidatePlan, CatchesReduceBeforeMaps) {
+  Fixture f;
+  Plan p = f.good_plan();
+  p.tasks[2].start = 150;  // map 1 ends at 200
+  p.tasks[2].end = 450;
+  EXPECT_NE(validate_plan(p, f.cluster, f.jobs_by_id), "");
+}
+
+TEST(ValidatePlan, CatchesEarlyStartForUnstartedMap) {
+  Job job = make_job(0, 0, 1000, 10000, {100}, {});
+  Cluster cluster = Cluster::homogeneous(1, 1, 1);
+  std::vector<const Job*> jobs_by_id{&job};
+  Plan p;
+  p.tasks = {{0, 0, TaskType::kMap, 0, 500, 600, false}};
+  EXPECT_NE(validate_plan(p, cluster, jobs_by_id), "");
+  // The same placement is fine when the task already started (it was
+  // legal when planned; s_j clamping happened later).
+  p.tasks[0].started = true;
+  EXPECT_EQ(validate_plan(p, cluster, jobs_by_id), "");
+}
+
+TEST(ValidatePlan, CatchesUnknownJob) {
+  Fixture f;
+  Plan p = f.good_plan();
+  p.tasks[0].job = 7;
+  EXPECT_NE(validate_plan(p, f.cluster, f.jobs_by_id), "");
+}
+
+TEST(ValidatePlan, CatchesBadTaskIndex) {
+  Fixture f;
+  Plan p = f.good_plan();
+  p.tasks[0].task_index = 9;
+  EXPECT_NE(validate_plan(p, f.cluster, f.jobs_by_id), "");
+}
+
+TEST(ValidatePlan, ChecksWorkflowPrecedences) {
+  Job job = make_job(0, 0, 0, 10000, {100, 100}, {});
+  job.precedences = {{0, 1}};
+  Cluster cluster = Cluster::homogeneous(2, 1, 1);
+  std::vector<const Job*> jobs_by_id{&job};
+  Plan p;
+  p.tasks = {
+      {0, 0, TaskType::kMap, 0, 0, 100, false},
+      {0, 1, TaskType::kMap, 1, 50, 150, false},  // overlaps its pred
+  };
+  EXPECT_NE(validate_plan(p, cluster, jobs_by_id), "");
+  p.tasks[1].start = 100;
+  p.tasks[1].end = 200;
+  EXPECT_EQ(validate_plan(p, cluster, jobs_by_id), "");
+}
+
+TEST(ValidatePlan, ChecksNetworkCapacity) {
+  Job job = make_job(0, 0, 0, 10000, {100, 100}, {});
+  for (Task& t : job.map_tasks) t.net_demand = 1;
+  Cluster cluster = Cluster::homogeneous(1, 2, 1, /*net_capacity=*/1);
+  std::vector<const Job*> jobs_by_id{&job};
+  Plan p;
+  p.tasks = {
+      {0, 0, TaskType::kMap, 0, 0, 100, false},
+      {0, 1, TaskType::kMap, 0, 0, 100, false},  // 2 link units on cap 1
+  };
+  EXPECT_NE(validate_plan(p, cluster, jobs_by_id), "");
+  p.tasks[1].start = 100;
+  p.tasks[1].end = 200;
+  EXPECT_EQ(validate_plan(p, cluster, jobs_by_id), "");
+}
+
+TEST(PlanToString, MentionsEpochAndCount) {
+  Plan p;
+  p.epoch = 7;
+  p.tasks.resize(3);
+  const std::string s = p.to_string();
+  EXPECT_NE(s.find("epoch=7"), std::string::npos);
+  EXPECT_NE(s.find("tasks=3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mrcp

@@ -1,0 +1,182 @@
+#include "cp/profile.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+
+namespace mrcp::cp {
+namespace {
+
+TEST(ProfileTest, EmptyProfileIsFreeEverywhere) {
+  Profile p(2);
+  EXPECT_EQ(p.earliest_feasible(0, 10, 1), 0);
+  EXPECT_EQ(p.earliest_feasible(100, 10, 2), 100);
+  EXPECT_TRUE(p.fits(0, 1000, 2));
+  EXPECT_EQ(p.usage_at(50), 0);
+}
+
+TEST(ProfileTest, FullCapacityBlocks) {
+  Profile p(1);
+  p.add(10, 20, 1);  // busy [10, 30)
+  EXPECT_EQ(p.earliest_feasible(0, 10, 1), 0);   // fits before
+  EXPECT_EQ(p.earliest_feasible(0, 11, 1), 30);  // too long to fit before
+  EXPECT_EQ(p.earliest_feasible(15, 5, 1), 30);
+  EXPECT_FALSE(p.fits(15, 5, 1));
+  EXPECT_TRUE(p.fits(30, 100, 1));
+}
+
+TEST(ProfileTest, PartialCapacityAllowsOverlap) {
+  Profile p(2);
+  p.add(10, 20, 1);
+  EXPECT_EQ(p.earliest_feasible(15, 5, 1), 15);  // second slot free
+  p.add(12, 10, 1);                              // [12, 22) second unit
+  EXPECT_EQ(p.earliest_feasible(15, 5, 1), 22);  // both busy until 22
+  EXPECT_EQ(p.usage_at(15), 2);
+  EXPECT_EQ(p.usage_at(25), 1);
+  EXPECT_EQ(p.usage_at(35), 0);
+}
+
+TEST(ProfileTest, DemandGreaterThanOne) {
+  Profile p(3);
+  p.add(0, 10, 2);
+  EXPECT_EQ(p.earliest_feasible(0, 5, 1), 0);
+  EXPECT_EQ(p.earliest_feasible(0, 5, 2), 10);
+  EXPECT_EQ(p.earliest_feasible(0, 5, 3), 10);
+}
+
+TEST(ProfileTest, GapBetweenIntervals) {
+  Profile p(1);
+  p.add(0, 10, 1);
+  p.add(20, 10, 1);
+  EXPECT_EQ(p.earliest_feasible(0, 10, 1), 10);  // exact gap [10,20)
+  EXPECT_EQ(p.earliest_feasible(0, 11, 1), 30);  // gap too small
+  EXPECT_EQ(p.earliest_feasible(12, 8, 1), 12);
+  EXPECT_EQ(p.earliest_feasible(12, 9, 1), 30);
+}
+
+TEST(ProfileTest, RemoveRestoresFreedom) {
+  Profile p(1);
+  p.add(5, 10, 1);
+  EXPECT_EQ(p.earliest_feasible(5, 1, 1), 15);
+  p.remove(5, 10, 1);
+  EXPECT_EQ(p.earliest_feasible(5, 1, 1), 5);
+  EXPECT_EQ(p.num_events(), 0u);
+}
+
+TEST(ProfileTest, NextEventAfter) {
+  Profile p(2);
+  p.add(10, 10, 1);
+  EXPECT_EQ(p.next_event_after(0), 10);
+  EXPECT_EQ(p.next_event_after(10), 20);
+  EXPECT_EQ(p.next_event_after(20), kMaxTime);
+}
+
+TEST(ProfileTest, PeakUsage) {
+  Profile p(5);
+  p.add(0, 10, 1);
+  p.add(5, 10, 2);
+  p.add(8, 4, 1);
+  EXPECT_EQ(p.peak_usage(), 4);
+}
+
+TEST(ProfileTest, AbuttingIntervalsDoNotStack) {
+  Profile p(1);
+  p.add(0, 10, 1);
+  p.add(10, 10, 1);
+  EXPECT_EQ(p.usage_at(9), 1);
+  EXPECT_EQ(p.usage_at(10), 1);
+  EXPECT_EQ(p.earliest_feasible(0, 1, 1), 20);
+}
+
+TEST(ProfileTest, EstInsideBusyRegion) {
+  Profile p(1);
+  p.add(0, 100, 1);
+  EXPECT_EQ(p.earliest_feasible(50, 10, 1), 100);
+}
+
+// Property test: earliest_feasible agrees with a brute-force check over a
+// randomly built profile, for both the feasibility of the returned start
+// and the infeasibility of all earlier starts.
+class ProfileRandomProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ProfileRandomProperty, EarliestFeasibleIsCorrectAndMinimal) {
+  RandomStream rng(GetParam(), 0);
+  const int capacity = static_cast<int>(rng.uniform_int(1, 4));
+  Profile p(capacity);
+
+  struct Iv {
+    Time s;
+    Time d;
+    int q;
+  };
+  std::vector<Iv> placed;
+  for (int i = 0; i < 40; ++i) {
+    const Time s = rng.uniform_int(0, 200);
+    const Time d = rng.uniform_int(1, 30);
+    const int q = static_cast<int>(rng.uniform_int(1, capacity));
+    // Only place if it fits (mimics solver usage).
+    if (p.fits(s, d, q)) {
+      p.add(s, d, q);
+      placed.push_back({s, d, q});
+    }
+  }
+
+  auto brute_usage = [&](Time t) {
+    int u = 0;
+    for (const Iv& iv : placed) {
+      if (iv.s <= t && t < iv.s + iv.d) u += iv.q;
+    }
+    return u;
+  };
+  auto brute_fits = [&](Time start, Time dur, int q) {
+    for (Time t = start; t < start + dur; ++t) {
+      if (brute_usage(t) + q > capacity) return false;
+    }
+    return true;
+  };
+
+  for (int trial = 0; trial < 25; ++trial) {
+    const Time est = rng.uniform_int(0, 250);
+    const Time dur = rng.uniform_int(1, 25);
+    const int q = static_cast<int>(rng.uniform_int(1, capacity));
+    const Time got = p.earliest_feasible(est, dur, q);
+    ASSERT_GE(got, est);
+    ASSERT_TRUE(brute_fits(got, dur, q))
+        << "claimed start " << got << " does not fit";
+    // Minimality: every earlier start in [est, got) must fail.
+    for (Time t = est; t < got && t < est + 400; ++t) {
+      ASSERT_FALSE(brute_fits(t, dur, q))
+          << "earlier start " << t << " also fits (got " << got << ")";
+    }
+    // usage_at agrees with brute force at a few sample points.
+    for (Time t : {est, got, got + dur}) {
+      ASSERT_EQ(p.usage_at(t), brute_usage(t)) << "t=" << t;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProfileRandomProperty,
+                         ::testing::Values<std::uint64_t>(1, 2, 3, 4, 5, 6, 7,
+                                                          8));
+
+TEST(ProfileTest, AddRemoveRandomSequenceLeavesEmpty) {
+  RandomStream rng(99, 0);
+  Profile p(3);
+  std::vector<std::tuple<Time, Time, int>> ivs;
+  for (int i = 0; i < 100; ++i) {
+    const Time s = rng.uniform_int(0, 1000);
+    const Time d = rng.uniform_int(1, 50);
+    const int q = static_cast<int>(rng.uniform_int(1, 3));
+    p.add(s, d, q);
+    ivs.emplace_back(s, d, q);
+  }
+  rng.shuffle(ivs.begin(), ivs.end());
+  for (const auto& [s, d, q] : ivs) p.remove(s, d, q);
+  EXPECT_EQ(p.num_events(), 0u);
+  EXPECT_EQ(p.peak_usage(), 0);
+}
+
+}  // namespace
+}  // namespace mrcp::cp

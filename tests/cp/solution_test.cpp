@@ -1,0 +1,175 @@
+#include "cp/solution.h"
+
+#include <gtest/gtest.h>
+
+namespace mrcp::cp {
+namespace {
+
+// Model: 1 resource (2 map / 1 reduce slots); job 0 with maps {20, 30} and
+// reduce {40}, s_j = 0, d_j = 100.
+Model base_model() {
+  Model m;
+  m.add_resource(2, 1);
+  const CpJobIndex j = m.add_job(0, 100, 7);
+  m.add_task(j, Phase::kMap, 20);
+  m.add_task(j, Phase::kMap, 30);
+  m.add_task(j, Phase::kReduce, 40);
+  return m;
+}
+
+Solution good_solution() {
+  Solution s;
+  s.placements = {{0, 0}, {0, 0}, {0, 30}};  // maps parallel, reduce at 30
+  return s;
+}
+
+TEST(EvaluateSolution, ComputesCompletionAndLateness) {
+  const Model m = base_model();
+  Solution s = good_solution();
+  evaluate_solution(m, s);
+  EXPECT_TRUE(s.valid);
+  EXPECT_EQ(s.job_completion[0], 70);
+  EXPECT_EQ(s.job_late[0], 0);
+  EXPECT_EQ(s.num_late, 0);
+  EXPECT_EQ(s.total_completion, 70);
+}
+
+TEST(EvaluateSolution, MarksLateJob) {
+  Model m;
+  m.add_resource(1, 1);
+  const CpJobIndex j = m.add_job(0, 25, 7);
+  m.add_task(j, Phase::kMap, 30);
+  Solution s;
+  s.placements = {{0, 0}};
+  evaluate_solution(m, s);
+  EXPECT_EQ(s.job_completion[0], 30);
+  EXPECT_EQ(s.job_late[0], 1);
+  EXPECT_EQ(s.num_late, 1);
+}
+
+TEST(ValidateSolution, AcceptsGoodSolution) {
+  const Model m = base_model();
+  Solution s = good_solution();
+  evaluate_solution(m, s);
+  EXPECT_EQ(validate_solution(m, s), "");
+}
+
+TEST(ValidateSolution, CatchesCapacityViolation) {
+  Model m;
+  m.add_resource(1, 1);  // only 1 map slot
+  const CpJobIndex j = m.add_job(0, 100);
+  m.add_task(j, Phase::kMap, 20);
+  m.add_task(j, Phase::kMap, 20);
+  Solution s;
+  s.placements = {{0, 0}, {0, 10}};  // overlap on a 1-capacity resource
+  EXPECT_NE(validate_solution(m, s), "");
+  s.placements = {{0, 0}, {0, 20}};  // sequential is fine
+  EXPECT_EQ(validate_solution(m, s), "");
+}
+
+TEST(ValidateSolution, CatchesPrecedenceViolation) {
+  const Model m = base_model();
+  Solution s;
+  s.placements = {{0, 0}, {0, 0}, {0, 29}};  // reduce starts before map end
+  EXPECT_NE(validate_solution(m, s), "");
+}
+
+TEST(ValidateSolution, CatchesEarliestStartViolation) {
+  Model m;
+  m.add_resource(1, 1);
+  const CpJobIndex j = m.add_job(50, 200);
+  m.add_task(j, Phase::kMap, 10);
+  Solution s;
+  s.placements = {{0, 40}};
+  EXPECT_NE(validate_solution(m, s), "");
+  s.placements = {{0, 50}};
+  EXPECT_EQ(validate_solution(m, s), "");
+}
+
+TEST(ValidateSolution, PinnedTaskExemptFromEarliestStart) {
+  Model m;
+  m.add_resource(1, 1);
+  const CpJobIndex j = m.add_job(50, 200);
+  const CpTaskIndex t = m.add_task(j, Phase::kMap, 10);
+  m.pin_task(t, 0, 40);  // started before the (clamped) s_j
+  Solution s;
+  s.placements = {{0, 40}};
+  EXPECT_EQ(validate_solution(m, s), "");
+}
+
+TEST(ValidateSolution, CatchesPinningViolation) {
+  Model m;
+  m.add_resource(2, 1);
+  const CpJobIndex j = m.add_job(0, 200);
+  const CpTaskIndex t = m.add_task(j, Phase::kMap, 10);
+  m.pin_task(t, 0, 15);
+  Solution s;
+  s.placements = {{0, 20}};  // wrong start
+  EXPECT_NE(validate_solution(m, s), "");
+  s.placements = {{0, 15}};
+  EXPECT_EQ(validate_solution(m, s), "");
+}
+
+TEST(ValidateSolution, CatchesNonCandidateResource) {
+  Model m;
+  m.add_resource(1, 1);
+  m.add_resource(1, 1);
+  const CpJobIndex j = m.add_job(0, 200);
+  const CpTaskIndex t = m.add_task(j, Phase::kMap, 10);
+  m.restrict_candidates(t, {1});
+  Solution s;
+  s.placements = {{0, 0}};
+  EXPECT_NE(validate_solution(m, s), "");
+  s.placements = {{1, 0}};
+  EXPECT_EQ(validate_solution(m, s), "");
+}
+
+TEST(ValidateSolution, CatchesUndecidedTask) {
+  const Model m = base_model();
+  Solution s;
+  s.placements.resize(3);  // default: undecided
+  EXPECT_NE(validate_solution(m, s), "");
+}
+
+TEST(ValidateSolution, CatchesWrongPlacementCount) {
+  const Model m = base_model();
+  Solution s;
+  s.placements = {{0, 0}};
+  EXPECT_NE(validate_solution(m, s), "");
+}
+
+TEST(SolutionOrdering, BetterThanComparesLateThenCompletion) {
+  Solution a;
+  a.valid = true;
+  a.num_late = 1;
+  a.total_completion = 100;
+  Solution b;
+  b.valid = true;
+  b.num_late = 2;
+  b.total_completion = 50;
+  EXPECT_TRUE(a.better_than(b));
+  EXPECT_FALSE(b.better_than(a));
+  b.num_late = 1;
+  b.total_completion = 99;
+  EXPECT_TRUE(b.better_than(a));
+  Solution invalid;
+  EXPECT_TRUE(a.better_than(invalid));
+  EXPECT_FALSE(invalid.better_than(a));
+}
+
+TEST(SolutionOrdering, MapsOnDifferentPhasesDontCollide) {
+  // Map and reduce capacity pools are independent: a 1/1 resource can run
+  // one map and one reduce simultaneously.
+  Model m;
+  m.add_resource(1, 1);
+  const CpJobIndex j0 = m.add_job(0, 200);
+  m.add_task(j0, Phase::kMap, 50);
+  const CpJobIndex j1 = m.add_job(0, 200);
+  m.add_task(j1, Phase::kReduce, 50);
+  Solution s;
+  s.placements = {{0, 0}, {0, 0}};
+  EXPECT_EQ(validate_solution(m, s), "");
+}
+
+}  // namespace
+}  // namespace mrcp::cp

@@ -1,0 +1,186 @@
+#include "cp/solver.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace mrcp::cp {
+namespace {
+
+SolveParams fast_params() {
+  SolveParams p;
+  p.improvement_fails = 5000;
+  p.lns_iterations = 30;
+  p.time_limit_s = 5.0;
+  p.seed = 3;
+  return p;
+}
+
+TEST(Solver, PortfolioFixesBadIdOrdering) {
+  // The instance from search_test: job-id order alone leaves one late
+  // job; the solver's EDF portfolio member finds the 0-late schedule.
+  Model m;
+  m.add_resource(1, 1);
+  const CpJobIndex j0 = m.add_job(0, 200, 0);
+  m.add_task(j0, Phase::kMap, 80);
+  const CpJobIndex j1 = m.add_job(0, 60, 1);
+  m.add_task(j1, Phase::kMap, 50);
+
+  const SolveResult result = solve(m, fast_params());
+  ASSERT_TRUE(result.best.valid);
+  EXPECT_EQ(result.best.num_late, 0);
+  EXPECT_TRUE(result.stats.proved_optimal);
+  EXPECT_EQ(validate_solution(m, result.best), "");
+}
+
+TEST(Solver, EmptyModelSolves) {
+  Model m;
+  m.add_resource(1, 1);
+  const SolveResult result = solve(m, fast_params());
+  EXPECT_TRUE(result.best.valid);
+  EXPECT_EQ(result.best.num_late, 0);
+}
+
+TEST(Solver, WarmStartNeverRegresses) {
+  Model m;
+  m.add_resource(1, 1);
+  const CpJobIndex j0 = m.add_job(0, 200, 0);
+  m.add_task(j0, Phase::kMap, 80);
+  const CpJobIndex j1 = m.add_job(0, 60, 1);
+  m.add_task(j1, Phase::kMap, 50);
+  const SolveResult first = solve(m, fast_params());
+  const SolveResult second = solve(m, fast_params(), &first.best);
+  EXPECT_LE(second.best.num_late, first.best.num_late);
+}
+
+TEST(Solver, DeterministicForSeed) {
+  Model m;
+  m.add_resource(2, 2);
+  for (int i = 0; i < 6; ++i) {
+    const CpJobIndex j = m.add_job(0, 150 + 10 * i, i);
+    m.add_task(j, Phase::kMap, 40 + 5 * i);
+    m.add_task(j, Phase::kReduce, 20);
+  }
+  const SolveResult a = solve(m, fast_params());
+  const SolveResult b = solve(m, fast_params());
+  ASSERT_EQ(a.best.num_late, b.best.num_late);
+  for (std::size_t i = 0; i < a.best.placements.size(); ++i) {
+    EXPECT_EQ(a.best.placements[i].start, b.best.placements[i].start);
+    EXPECT_EQ(a.best.placements[i].resource, b.best.placements[i].resource);
+  }
+}
+
+TEST(Solver, LnsImprovesOverSinglePortfolioWhenHelpful) {
+  // An instance where pure EDF is suboptimal: two tight-deadline jobs and
+  // one mid-deadline short job that EDF wedges between them. We only
+  // check the solver does at least as well as the plain EDF descent.
+  Model m;
+  m.add_resource(1, 1);
+  const CpJobIndex a = m.add_job(0, 100, 0);
+  m.add_task(a, Phase::kMap, 60);
+  const CpJobIndex b = m.add_job(0, 130, 1);
+  m.add_task(b, Phase::kMap, 60);
+  const CpJobIndex c = m.add_job(0, 260, 2);
+  m.add_task(c, Phase::kMap, 100);
+
+  SetTimesSearch edf(m, make_job_ranks(m, JobOrdering::kEdf));
+  SearchLimits greedy;
+  greedy.max_fails = 0;
+  greedy.stop_after_first_solution = true;
+  SearchStats st;
+  const Solution edf_sol = edf.run(greedy, nullptr, &st);
+
+  const SolveResult result = solve(m, fast_params());
+  EXPECT_LE(result.best.num_late, edf_sol.num_late);
+  EXPECT_EQ(validate_solution(m, result.best), "");
+}
+
+TEST(Solver, HonoursPinnedTasks) {
+  Model m;
+  m.add_resource(1, 1);
+  const CpJobIndex j = m.add_job(0, 1000, 0);
+  const CpTaskIndex t0 = m.add_task(j, Phase::kMap, 50);
+  m.add_task(j, Phase::kMap, 10);
+  m.pin_task(t0, 0, 100);
+  const SolveResult result = solve(m, fast_params());
+  EXPECT_EQ(result.best.placements[0].start, 100);
+  EXPECT_EQ(validate_solution(m, result.best), "");
+}
+
+TEST(Solver, ReportsBestOrdering) {
+  Model m;
+  m.add_resource(1, 1);
+  const CpJobIndex j = m.add_job(0, 100, 0);
+  m.add_task(j, Phase::kMap, 10);
+  const SolveResult result = solve(m, fast_params());
+  // Single job: first portfolio member (EDF) wins.
+  EXPECT_EQ(result.stats.best_ordering, JobOrdering::kEdf);
+}
+
+TEST(Solver, SolveSecondsPopulated) {
+  Model m;
+  m.add_resource(1, 1);
+  const CpJobIndex j = m.add_job(0, 100, 0);
+  m.add_task(j, Phase::kMap, 10);
+  const SolveResult result = solve(m, fast_params());
+  EXPECT_GE(result.stats.solve_seconds, 0.0);
+  EXPECT_LT(result.stats.solve_seconds, 5.0);
+}
+
+// Property sweep: random instances always yield valid solutions, and the
+// solver never does worse than the plain EDF first descent.
+class SolverRandomProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SolverRandomProperty, AlwaysValidAndNoWorseThanEdf) {
+  RandomStream rng(GetParam(), 0);
+  Model m;
+  const int num_resources = static_cast<int>(rng.uniform_int(1, 4));
+  for (int r = 0; r < num_resources; ++r) {
+    m.add_resource(static_cast<int>(rng.uniform_int(1, 3)),
+                   static_cast<int>(rng.uniform_int(1, 3)));
+  }
+  const int num_jobs = static_cast<int>(rng.uniform_int(2, 8));
+  for (int jj = 0; jj < num_jobs; ++jj) {
+    const Time est = rng.uniform_int(0, 100);
+    Time work = 0;
+    const int maps = static_cast<int>(rng.uniform_int(1, 5));
+    const int reduces = static_cast<int>(rng.uniform_int(0, 3));
+    std::vector<Time> map_durs;
+    std::vector<Time> reduce_durs;
+    for (int t = 0; t < maps; ++t) {
+      map_durs.push_back(rng.uniform_int(5, 60));
+      work += map_durs.back();
+    }
+    for (int t = 0; t < reduces; ++t) {
+      reduce_durs.push_back(rng.uniform_int(5, 60));
+      work += reduce_durs.back();
+    }
+    // Deadlines between "tight" and "loose".
+    const Time deadline = est + work / 2 + rng.uniform_int(20, 200);
+    const CpJobIndex cj = m.add_job(est, deadline, jj);
+    for (Time d : map_durs) m.add_task(cj, Phase::kMap, d);
+    for (Time d : reduce_durs) m.add_task(cj, Phase::kReduce, d);
+  }
+  ASSERT_EQ(m.validate(), "");
+
+  SetTimesSearch edf(m, make_job_ranks(m, JobOrdering::kEdf));
+  SearchLimits greedy;
+  greedy.max_fails = 0;
+  greedy.stop_after_first_solution = true;
+  SearchStats st;
+  const Solution edf_sol = edf.run(greedy, nullptr, &st);
+  ASSERT_TRUE(edf_sol.valid);
+
+  SolveParams params = fast_params();
+  params.seed = GetParam();
+  const SolveResult result = solve(m, params);
+  ASSERT_TRUE(result.best.valid);
+  EXPECT_EQ(validate_solution(m, result.best), "");
+  EXPECT_LE(result.best.num_late, edf_sol.num_late);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SolverRandomProperty,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace mrcp::cp

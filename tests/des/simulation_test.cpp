@@ -1,0 +1,183 @@
+#include "des/simulation.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace mrcp::des {
+namespace {
+
+TEST(Simulation, StartsAtZeroAndEmpty) {
+  Simulation sim;
+  EXPECT_EQ(sim.now(), 0);
+  EXPECT_TRUE(sim.empty());
+}
+
+TEST(Simulation, ProcessesEventsInTimeOrder) {
+  Simulation sim;
+  std::vector<int> fired;
+  sim.schedule_at(30, [&] { fired.push_back(3); });
+  sim.schedule_at(10, [&] { fired.push_back(1); });
+  sim.schedule_at(20, [&] { fired.push_back(2); });
+  sim.run();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30);
+}
+
+TEST(Simulation, TiesBreakFifo) {
+  Simulation sim;
+  std::vector<int> fired;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(5, [&, i] { fired.push_back(i); });
+  }
+  sim.run();
+  std::vector<int> expected(10);
+  for (int i = 0; i < 10; ++i) expected[static_cast<std::size_t>(i)] = i;
+  EXPECT_EQ(fired, expected);
+}
+
+TEST(Simulation, ScheduleAfterUsesCurrentTime) {
+  Simulation sim;
+  Time observed = -1;
+  sim.schedule_at(100, [&] {
+    sim.schedule_after(50, [&] { observed = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(observed, 150);
+}
+
+TEST(Simulation, EventsScheduledDuringRunAreProcessed) {
+  Simulation sim;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    ++count;
+    if (count < 5) sim.schedule_after(10, chain);
+  };
+  sim.schedule_at(0, chain);
+  sim.run();
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(sim.now(), 40);
+}
+
+TEST(Simulation, CancelPreventsExecution) {
+  Simulation sim;
+  bool fired = false;
+  EventHandle h = sim.schedule_at(10, [&] { fired = true; });
+  EXPECT_TRUE(h.pending());
+  EXPECT_TRUE(sim.cancel(h));
+  EXPECT_FALSE(h.pending());
+  sim.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(sim.stats().cancelled, 1u);
+  EXPECT_EQ(sim.stats().skipped_cancelled, 1u);
+}
+
+TEST(Simulation, DoubleCancelIsNoop) {
+  Simulation sim;
+  EventHandle h = sim.schedule_at(10, [] {});
+  EXPECT_TRUE(sim.cancel(h));
+  EXPECT_FALSE(sim.cancel(h));
+}
+
+TEST(Simulation, CancelAfterFireIsNoop) {
+  Simulation sim;
+  EventHandle h = sim.schedule_at(10, [] {});
+  sim.run();
+  EXPECT_FALSE(h.pending());
+  EXPECT_FALSE(sim.cancel(h));
+}
+
+TEST(Simulation, DefaultHandleIsInvalid) {
+  EventHandle h;
+  EXPECT_FALSE(h.valid());
+  EXPECT_FALSE(h.pending());
+  Simulation sim;
+  EXPECT_FALSE(sim.cancel(h));
+}
+
+TEST(Simulation, RunUntilStopsAtBoundaryInclusive) {
+  Simulation sim;
+  std::vector<Time> fired;
+  sim.schedule_at(10, [&] { fired.push_back(10); });
+  sim.schedule_at(20, [&] { fired.push_back(20); });
+  sim.schedule_at(30, [&] { fired.push_back(30); });
+  sim.run(20);
+  EXPECT_EQ(fired, (std::vector<Time>{10, 20}));
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.run();
+  EXPECT_EQ(fired.size(), 3u);
+}
+
+TEST(Simulation, StepProcessesOneEvent) {
+  Simulation sim;
+  int count = 0;
+  sim.schedule_at(1, [&] { ++count; });
+  sim.schedule_at(2, [&] { ++count; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(count, 2);
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulation, RequestStopHaltsRun) {
+  Simulation sim;
+  int count = 0;
+  sim.schedule_at(1, [&] {
+    ++count;
+    sim.request_stop();
+  });
+  sim.schedule_at(2, [&] { ++count; });
+  sim.run();
+  EXPECT_EQ(count, 1);
+  sim.run();  // resumes
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Simulation, StatsCountScheduledAndFired) {
+  Simulation sim;
+  for (int i = 0; i < 5; ++i) sim.schedule_at(i, [] {});
+  sim.run();
+  EXPECT_EQ(sim.stats().scheduled, 5u);
+  EXPECT_EQ(sim.stats().fired, 5u);
+}
+
+TEST(Simulation, PendingCountTracksQueue) {
+  Simulation sim;
+  EventHandle h1 = sim.schedule_at(1, [] {});
+  sim.schedule_at(2, [] {});
+  EXPECT_EQ(sim.pending_events(), 2u);
+  sim.cancel(h1);
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.run();
+  EXPECT_EQ(sim.pending_events(), 0u);
+  EXPECT_TRUE(sim.empty());
+}
+
+TEST(Simulation, ManyEventsStressOrdering) {
+  Simulation sim;
+  Time last = -1;
+  bool monotonic = true;
+  for (int i = 0; i < 10000; ++i) {
+    // Scatter times via a fixed mixing of i.
+    const Time t = (static_cast<Time>(i) * 2654435761U) % 100000;
+    sim.schedule_at(t, [&, t] {
+      if (t < last) monotonic = false;
+      last = t;
+    });
+  }
+  sim.run();
+  EXPECT_TRUE(monotonic);
+  EXPECT_EQ(sim.stats().fired, 10000u);
+}
+
+TEST(Simulation, SameTickScheduleNowIsAllowed) {
+  Simulation sim;
+  bool inner = false;
+  sim.schedule_at(5, [&] { sim.schedule_at(5, [&] { inner = true; }); });
+  sim.run();
+  EXPECT_TRUE(inner);
+}
+
+}  // namespace
+}  // namespace mrcp::des

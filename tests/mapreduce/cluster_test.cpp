@@ -1,0 +1,59 @@
+#include "mapreduce/cluster.h"
+
+#include <gtest/gtest.h>
+
+namespace mrcp {
+namespace {
+
+TEST(ClusterTest, Homogeneous) {
+  const Cluster c = Cluster::homogeneous(50, 2, 3);
+  EXPECT_EQ(c.size(), 50);
+  EXPECT_EQ(c.total_map_slots(), 100);
+  EXPECT_EQ(c.total_reduce_slots(), 150);
+  for (const Resource& r : c.resources()) {
+    EXPECT_EQ(r.map_capacity, 2);
+    EXPECT_EQ(r.reduce_capacity, 3);
+  }
+}
+
+TEST(ClusterTest, IdsAreDense) {
+  const Cluster c = Cluster::homogeneous(5, 1, 1);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(c.resource(i).id, i);
+  }
+}
+
+TEST(ClusterTest, Heterogeneous) {
+  Cluster c;
+  c.add_resource(4, 0);
+  c.add_resource(0, 6);
+  c.add_resource(1, 1);
+  EXPECT_EQ(c.size(), 3);
+  EXPECT_EQ(c.total_map_slots(), 5);
+  EXPECT_EQ(c.total_reduce_slots(), 7);
+  EXPECT_EQ(c.resource(0).capacity(TaskType::kMap), 4);
+  EXPECT_EQ(c.resource(1).capacity(TaskType::kReduce), 6);
+}
+
+TEST(ClusterTest, CombinedResource) {
+  const Cluster c = Cluster::homogeneous(50, 2, 2);
+  const Resource combined = c.combined_resource();
+  // The §V.D example: 50 resources with c^mp = c^rd = 2 combine into a
+  // single resource with 100 map and 100 reduce slots.
+  EXPECT_EQ(combined.map_capacity, 100);
+  EXPECT_EQ(combined.reduce_capacity, 100);
+}
+
+TEST(ClusterTest, TotalSlotsByType) {
+  const Cluster c = Cluster::homogeneous(3, 2, 5);
+  EXPECT_EQ(c.total_slots(TaskType::kMap), 6);
+  EXPECT_EQ(c.total_slots(TaskType::kReduce), 15);
+}
+
+TEST(ClusterTest, ToStringMentionsSize) {
+  const Cluster c = Cluster::homogeneous(7, 1, 1);
+  EXPECT_NE(c.to_string().find("m=7"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mrcp

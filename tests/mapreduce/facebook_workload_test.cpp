@@ -1,0 +1,127 @@
+#include "mapreduce/facebook_workload.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/stats.h"
+
+namespace mrcp {
+namespace {
+
+TEST(FacebookMix, Table4SumsTo1000) {
+  int total = 0;
+  for (const FacebookJobType& t : facebook_job_mix()) total += t.count_per_1000;
+  EXPECT_EQ(total, 1000);
+}
+
+TEST(FacebookMix, Table4Shapes) {
+  const auto& mix = facebook_job_mix();
+  EXPECT_EQ(mix[0].map_tasks, 1);
+  EXPECT_EQ(mix[0].reduce_tasks, 0);
+  EXPECT_EQ(mix[0].count_per_1000, 380);
+  EXPECT_EQ(mix[8].map_tasks, 2400);
+  EXPECT_EQ(mix[8].reduce_tasks, 360);
+  EXPECT_EQ(mix[9].map_tasks, 4800);
+  EXPECT_EQ(mix[9].reduce_tasks, 0);
+}
+
+FacebookWorkloadConfig small_config() {
+  FacebookWorkloadConfig c;
+  c.num_jobs = 100;
+  c.seed = 5;
+  return c;
+}
+
+TEST(FacebookWorkload, ExactMixAt1000Jobs) {
+  FacebookWorkloadConfig c = small_config();
+  c.num_jobs = 1000;
+  const Workload w = generate_facebook_workload(c);
+  ASSERT_EQ(w.size(), 1000u);
+  // Count jobs by (maps, reduces) shape.
+  std::map<std::pair<std::size_t, std::size_t>, int> counts;
+  for (const Job& j : w.jobs) {
+    ++counts[{j.num_map_tasks(), j.num_reduce_tasks()}];
+  }
+  for (const FacebookJobType& t : facebook_job_mix()) {
+    EXPECT_EQ((counts[{static_cast<std::size_t>(t.map_tasks),
+                       static_cast<std::size_t>(t.reduce_tasks)}]),
+              t.count_per_1000)
+        << "type with " << t.map_tasks << " maps";
+  }
+}
+
+TEST(FacebookWorkload, ApportionmentForNon1000Counts) {
+  FacebookWorkloadConfig c = small_config();
+  c.num_jobs = 137;
+  const Workload w = generate_facebook_workload(c);
+  EXPECT_EQ(w.size(), 137u);
+  EXPECT_EQ(validate_workload(w), "");
+}
+
+TEST(FacebookWorkload, EarliestStartEqualsArrival) {
+  const Workload w = generate_facebook_workload(small_config());
+  for (const Job& j : w.jobs) EXPECT_EQ(j.earliest_start, j.arrival_time);
+}
+
+TEST(FacebookWorkload, ClusterIs64x1x1ByDefault) {
+  const Workload w = generate_facebook_workload(small_config());
+  EXPECT_EQ(w.cluster.size(), 64);
+  EXPECT_EQ(w.cluster.total_map_slots(), 64);
+  EXPECT_EQ(w.cluster.total_reduce_slots(), 64);
+}
+
+TEST(FacebookWorkload, DeterministicForSeed) {
+  const Workload a = generate_facebook_workload(small_config());
+  const Workload b = generate_facebook_workload(small_config());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.jobs[i].arrival_time, b.jobs[i].arrival_time);
+    EXPECT_EQ(a.jobs[i].num_map_tasks(), b.jobs[i].num_map_tasks());
+  }
+}
+
+TEST(FacebookWorkload, MapExecTimesRoughlyLogNormalMean) {
+  FacebookWorkloadConfig c = small_config();
+  c.num_jobs = 300;
+  const Workload w = generate_facebook_workload(c);
+  RunningStat stat;
+  for (const Job& j : w.jobs) {
+    for (const Task& t : j.map_tasks) stat.add(static_cast<double>(t.exec_time));
+  }
+  // E[LN(9.9511, 1.6764)] ms.
+  const double expected = std::exp(9.9511 + 0.5 * 1.6764);
+  ASSERT_GT(stat.count(), 1000u);
+  EXPECT_NEAR(stat.mean() / expected, 1.0, 0.25);  // heavy tail: loose bound
+}
+
+TEST(FacebookWorkload, DeadlineIsWithinTeAndTwoTe) {
+  const Workload w = generate_facebook_workload(small_config());
+  const int ms = w.cluster.total_map_slots();
+  const int rs = w.cluster.total_reduce_slots();
+  for (const Job& j : w.jobs) {
+    const Time te = j.min_execution_time(ms, rs);
+    EXPECT_GE(j.deadline, j.earliest_start + te - 1);
+    EXPECT_LE(j.deadline, j.earliest_start + 2 * te + 1);
+  }
+}
+
+TEST(FacebookWorkload, ValidWorkload) {
+  const Workload w = generate_facebook_workload(small_config());
+  EXPECT_EQ(validate_workload(w), "");
+}
+
+TEST(FacebookWorkload, MapOnlyJobsHaveNoReduces) {
+  FacebookWorkloadConfig c = small_config();
+  c.num_jobs = 1000;
+  const Workload w = generate_facebook_workload(c);
+  std::size_t map_only = 0;
+  for (const Job& j : w.jobs) {
+    if (j.num_reduce_tasks() == 0) ++map_only;
+  }
+  // Types 1,2,4,5,7,10 are map-only: 380+160+80+60+40+20 = 740 per 1000.
+  EXPECT_EQ(map_only, 740u);
+}
+
+}  // namespace
+}  // namespace mrcp

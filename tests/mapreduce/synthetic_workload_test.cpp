@@ -1,0 +1,179 @@
+#include "mapreduce/synthetic_workload.h"
+
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+
+namespace mrcp {
+namespace {
+
+SyntheticWorkloadConfig small_config() {
+  SyntheticWorkloadConfig c;
+  c.num_jobs = 200;
+  c.seed = 7;
+  return c;
+}
+
+TEST(SyntheticWorkload, GeneratesRequestedJobCount) {
+  const Workload w = generate_synthetic_workload(small_config());
+  EXPECT_EQ(w.size(), 200u);
+  EXPECT_EQ(validate_workload(w), "");
+}
+
+TEST(SyntheticWorkload, DeterministicForSameSeed) {
+  const Workload a = generate_synthetic_workload(small_config());
+  const Workload b = generate_synthetic_workload(small_config());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.jobs[i].arrival_time, b.jobs[i].arrival_time);
+    EXPECT_EQ(a.jobs[i].deadline, b.jobs[i].deadline);
+    EXPECT_EQ(a.jobs[i].num_map_tasks(), b.jobs[i].num_map_tasks());
+  }
+}
+
+TEST(SyntheticWorkload, DifferentSeedsDiffer) {
+  SyntheticWorkloadConfig c1 = small_config();
+  SyntheticWorkloadConfig c2 = small_config();
+  c2.seed = 8;
+  const Workload a = generate_synthetic_workload(c1);
+  const Workload b = generate_synthetic_workload(c2);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    any_diff |= a.jobs[i].arrival_time != b.jobs[i].arrival_time;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(SyntheticWorkload, TaskCountsWithinTable3Ranges) {
+  const Workload w = generate_synthetic_workload(small_config());
+  for (const Job& j : w.jobs) {
+    EXPECT_GE(j.num_map_tasks(), 1u);
+    EXPECT_LE(j.num_map_tasks(), 100u);
+    EXPECT_GE(j.num_reduce_tasks(), 1u);
+    EXPECT_LE(j.num_reduce_tasks(), 100u);
+  }
+}
+
+TEST(SyntheticWorkload, MapExecTimesWithinEmax) {
+  SyntheticWorkloadConfig c = small_config();
+  c.e_max = 10;
+  const Workload w = generate_synthetic_workload(c);
+  for (const Job& j : w.jobs) {
+    for (const Task& t : j.map_tasks) {
+      EXPECT_GE(t.exec_time, 1 * kTicksPerSecond);
+      EXPECT_LE(t.exec_time, 10 * kTicksPerSecond);
+    }
+  }
+}
+
+TEST(SyntheticWorkload, ReduceTimeFollowsFormula) {
+  // re = (3 * sum(me)) / k_rd + DU[1,10]: all reduce tasks of one job
+  // share the base term, so within a job the spread is at most 9 seconds
+  // and each value is at least base + 1s.
+  const Workload w = generate_synthetic_workload(small_config());
+  for (const Job& j : w.jobs) {
+    const Time base =
+        (3 * j.total_map_time() / static_cast<Time>(j.num_reduce_tasks()) /
+         kTicksPerSecond) *
+        kTicksPerSecond;
+    for (const Task& t : j.reduce_tasks) {
+      EXPECT_GE(t.exec_time, base + 1 * kTicksPerSecond);
+      EXPECT_LE(t.exec_time, base + 10 * kTicksPerSecond);
+    }
+  }
+}
+
+TEST(SyntheticWorkload, EarliestStartRespectsP) {
+  SyntheticWorkloadConfig c = small_config();
+  c.num_jobs = 1000;
+  c.start_prob = 0.0;
+  Workload w = generate_synthetic_workload(c);
+  for (const Job& j : w.jobs) EXPECT_EQ(j.earliest_start, j.arrival_time);
+
+  c.start_prob = 1.0;
+  w = generate_synthetic_workload(c);
+  for (const Job& j : w.jobs) {
+    EXPECT_GT(j.earliest_start, j.arrival_time);
+    EXPECT_LE(j.earliest_start,
+              j.arrival_time + c.s_max * kTicksPerSecond);
+  }
+}
+
+TEST(SyntheticWorkload, FractionOfFutureStartsTracksP) {
+  SyntheticWorkloadConfig c = small_config();
+  c.num_jobs = 2000;
+  c.start_prob = 0.5;
+  const Workload w = generate_synthetic_workload(c);
+  EXPECT_NEAR(w.summarize().fraction_future_start, 0.5, 0.05);
+}
+
+TEST(SyntheticWorkload, DeadlineAtLeastTePlusStart) {
+  const Workload w = generate_synthetic_workload(small_config());
+  const int ms = w.cluster.total_map_slots();
+  const int rs = w.cluster.total_reduce_slots();
+  for (const Job& j : w.jobs) {
+    const Time te = j.min_execution_time(ms, rs);
+    // d_j = s_j + TE * U[1, d_UL] with d_UL >= 1.
+    EXPECT_GE(j.deadline, j.earliest_start + te - 1);
+    EXPECT_LE(j.deadline,
+              j.earliest_start +
+                  static_cast<Time>(static_cast<double>(te) *
+                                    small_config().deadline_multiplier_ul) +
+                  1);
+  }
+}
+
+TEST(SyntheticWorkload, ArrivalRateMatchesLambda) {
+  SyntheticWorkloadConfig c = small_config();
+  c.num_jobs = 5000;
+  c.arrival_rate = 0.01;
+  const Workload w = generate_synthetic_workload(c);
+  const double mean_inter = w.summarize().mean_interarrival_seconds;
+  EXPECT_NEAR(mean_inter, 100.0, 5.0);
+}
+
+TEST(SyntheticWorkload, ClusterMatchesConfig) {
+  SyntheticWorkloadConfig c = small_config();
+  c.num_resources = 25;
+  c.map_capacity = 3;
+  c.reduce_capacity = 1;
+  const Workload w = generate_synthetic_workload(c);
+  EXPECT_EQ(w.cluster.size(), 25);
+  EXPECT_EQ(w.cluster.total_map_slots(), 75);
+  EXPECT_EQ(w.cluster.total_reduce_slots(), 25);
+}
+
+// Parameterized sweep over e_max: mean map execution time should track
+// (1 + e_max) / 2 seconds (DU[1, e_max]).
+class SyntheticEmaxSweep : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(SyntheticEmaxSweep, MeanMapTimeTracksDistribution) {
+  SyntheticWorkloadConfig c = small_config();
+  c.num_jobs = 400;
+  c.e_max = GetParam();
+  const Workload w = generate_synthetic_workload(c);
+  const double mean_s = w.summarize().mean_map_exec_seconds;
+  const double expected = 0.5 * (1.0 + static_cast<double>(GetParam()));
+  EXPECT_NEAR(mean_s / expected, 1.0, 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Table3, SyntheticEmaxSweep,
+                         ::testing::Values<std::int64_t>(10, 50, 100));
+
+// Offered utilization stays below 1 for every default factor-at-a-time
+// configuration (the paper's experiments are all stable open systems).
+class SyntheticStability : public ::testing::TestWithParam<double> {};
+
+TEST_P(SyntheticStability, OfferedUtilizationBelowOne) {
+  SyntheticWorkloadConfig c = small_config();
+  c.num_jobs = 300;
+  c.arrival_rate = GetParam();
+  const Workload w = generate_synthetic_workload(c);
+  EXPECT_LT(w.summarize().offered_utilization, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Table3Lambdas, SyntheticStability,
+                         ::testing::Values(0.001, 0.01, 0.015, 0.02));
+
+}  // namespace
+}  // namespace mrcp

@@ -1,0 +1,156 @@
+#include "mapreduce/workload_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "../test_util.h"
+#include "mapreduce/facebook_workload.h"
+#include "mapreduce/synthetic_workload.h"
+
+namespace mrcp {
+namespace {
+
+using testutil::make_job;
+using testutil::make_workload;
+
+Workload sample_workload() {
+  Job j0 = make_job(0, 0, 0, 5000, {100, 200}, {300});
+  Job j1 = make_job(1, 1000, 1500, 9000, {50}, {});
+  j0.precedences = {{0, 1}};  // map 0 before map 1
+  return make_workload({j0, j1}, 3, 2, 1);
+}
+
+TEST(WorkloadIo, RoundTripPreservesEverything) {
+  const Workload original = sample_workload();
+  std::string error;
+  const Workload loaded =
+      workload_from_string(workload_to_string(original), &error);
+  ASSERT_EQ(error, "");
+  ASSERT_EQ(loaded.size(), original.size());
+  EXPECT_EQ(loaded.cluster.size(), 3);
+  EXPECT_EQ(loaded.cluster.resource(0).map_capacity, 2);
+  EXPECT_EQ(loaded.cluster.resource(0).reduce_capacity, 1);
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    const Job& a = original.jobs[i];
+    const Job& b = loaded.jobs[i];
+    EXPECT_EQ(a.id, b.id);
+    EXPECT_EQ(a.arrival_time, b.arrival_time);
+    EXPECT_EQ(a.earliest_start, b.earliest_start);
+    EXPECT_EQ(a.deadline, b.deadline);
+    ASSERT_EQ(a.num_tasks(), b.num_tasks());
+    for (std::size_t t = 0; t < a.num_tasks(); ++t) {
+      EXPECT_EQ(a.task(t).type, b.task(t).type);
+      EXPECT_EQ(a.task(t).exec_time, b.task(t).exec_time);
+      EXPECT_EQ(a.task(t).res_req, b.task(t).res_req);
+    }
+    EXPECT_EQ(a.precedences, b.precedences);
+  }
+}
+
+TEST(WorkloadIo, RoundTripGeneratedSynthetic) {
+  SyntheticWorkloadConfig c;
+  c.num_jobs = 25;
+  c.seed = 3;
+  const Workload original = generate_synthetic_workload(c);
+  std::string error;
+  const Workload loaded =
+      workload_from_string(workload_to_string(original), &error);
+  ASSERT_EQ(error, "");
+  ASSERT_EQ(loaded.size(), original.size());
+  EXPECT_EQ(validate_workload(loaded), "");
+  EXPECT_EQ(loaded.jobs.back().deadline, original.jobs.back().deadline);
+}
+
+TEST(WorkloadIo, RoundTripGeneratedFacebook) {
+  FacebookWorkloadConfig c;
+  c.num_jobs = 20;
+  c.seed = 3;
+  const Workload original = generate_facebook_workload(c);
+  std::string error;
+  const Workload loaded =
+      workload_from_string(workload_to_string(original), &error);
+  ASSERT_EQ(error, "");
+  ASSERT_EQ(loaded.size(), original.size());
+}
+
+TEST(WorkloadIo, FileRoundTrip) {
+  const Workload original = sample_workload();
+  const std::string path = testing::TempDir() + "/mrcp_io_test.workload";
+  ASSERT_TRUE(save_workload_file(original, path));
+  std::string error;
+  const Workload loaded = load_workload_file(path, &error);
+  EXPECT_EQ(error, "");
+  EXPECT_EQ(loaded.size(), original.size());
+  std::remove(path.c_str());
+}
+
+TEST(WorkloadIo, MissingFileReportsError) {
+  std::string error;
+  const Workload loaded = load_workload_file("/nonexistent/x.workload", &error);
+  EXPECT_NE(error, "");
+  EXPECT_EQ(loaded.size(), 0u);
+}
+
+TEST(WorkloadIo, RejectsBadHeader) {
+  std::string error;
+  workload_from_string("not-a-workload\n", &error);
+  EXPECT_NE(error, "");
+}
+
+TEST(WorkloadIo, RejectsTruncatedJob) {
+  const std::string text =
+      "mrcp-workload v1\ncluster 1\nresource 1 1\njobs 1\n"
+      "job 0 0 0 100 2 0\ntask 10 1\n";  // second task missing
+  std::string error;
+  workload_from_string(text, &error);
+  EXPECT_NE(error, "");
+}
+
+TEST(WorkloadIo, RejectsMalformedResource) {
+  const std::string text = "mrcp-workload v1\ncluster 1\nresource x y\n";
+  std::string error;
+  workload_from_string(text, &error);
+  EXPECT_NE(error, "");
+}
+
+TEST(WorkloadIo, RejectsInvalidJobSemantics) {
+  // deadline before earliest start.
+  const std::string text =
+      "mrcp-workload v1\ncluster 1\nresource 1 1\njobs 1\n"
+      "job 0 0 500 100 1 0\ntask 10 1\n";
+  std::string error;
+  workload_from_string(text, &error);
+  EXPECT_NE(error, "");
+}
+
+TEST(WorkloadIo, CommentsAndBlankLinesIgnored) {
+  const std::string text =
+      "# a comment\nmrcp-workload v1\n\ncluster 1\n# another\nresource 1 1\n"
+      "jobs 1\njob 0 0 0 100 1 0\ntask 10 1\n";
+  std::string error;
+  const Workload loaded = workload_from_string(text, &error);
+  EXPECT_EQ(error, "");
+  EXPECT_EQ(loaded.size(), 1u);
+}
+
+TEST(WorkloadIo, RejectsCyclicPrecedences) {
+  const std::string text =
+      "mrcp-workload v1\ncluster 1\nresource 1 1\njobs 1\n"
+      "job 0 0 0 100 2 0\ntask 10 1\ntask 10 1\n"
+      "precedence 0 1\nprecedence 1 0\n";
+  std::string error;
+  workload_from_string(text, &error);
+  EXPECT_NE(error, "");
+}
+
+TEST(WorkloadIo, RejectsTrailingGarbageOnLine) {
+  const std::string text =
+      "mrcp-workload v1\ncluster 1 extra\nresource 1 1\n";
+  std::string error;
+  workload_from_string(text, &error);
+  EXPECT_NE(error, "");
+}
+
+}  // namespace
+}  // namespace mrcp

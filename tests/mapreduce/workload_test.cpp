@@ -1,0 +1,88 @@
+#include "mapreduce/workload.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+
+namespace mrcp {
+namespace {
+
+using testutil::make_job;
+using testutil::make_workload;
+
+TEST(WorkloadSummary, EmptyWorkload) {
+  Workload w;
+  w.cluster = Cluster::homogeneous(1, 1, 1);
+  const auto s = w.summarize();
+  EXPECT_DOUBLE_EQ(s.mean_map_tasks, 0.0);
+  EXPECT_DOUBLE_EQ(s.offered_utilization, 0.0);
+}
+
+TEST(WorkloadSummary, CountsAndMeans) {
+  const Workload w = make_workload(
+      {
+          make_job(0, 0, 0, 100000, {1000, 3000}, {2000}),
+          make_job(1, 10000, 10000, 200000, {2000}, {4000, 6000, 8000}),
+      },
+      2, 1, 1);
+  const auto s = w.summarize();
+  EXPECT_DOUBLE_EQ(s.mean_map_tasks, 1.5);
+  EXPECT_DOUBLE_EQ(s.mean_reduce_tasks, 2.0);
+  EXPECT_DOUBLE_EQ(s.mean_map_exec_seconds, 2.0);  // (1+3+2)/3 s
+  EXPECT_DOUBLE_EQ(s.mean_reduce_exec_seconds, 5.0);
+  EXPECT_DOUBLE_EQ(s.mean_interarrival_seconds, 10.0);
+  EXPECT_DOUBLE_EQ(s.fraction_future_start, 0.0);
+}
+
+TEST(WorkloadSummary, FutureStartFraction) {
+  const Workload w = make_workload(
+      {
+          make_job(0, 0, 500, 100000, {1000}, {}),
+          make_job(1, 0, 0, 100000, {1000}, {}),
+      },
+      1, 1, 1);
+  EXPECT_DOUBLE_EQ(w.summarize().fraction_future_start, 0.5);
+}
+
+TEST(ValidateWorkload, RejectsEmptyCluster) {
+  Workload w;
+  w.jobs = {make_job(0, 0, 0, 100, {10}, {})};
+  EXPECT_NE(validate_workload(w), "");
+}
+
+TEST(ValidateWorkload, RejectsOutOfOrderIds) {
+  Workload w = make_workload(
+      {make_job(1, 0, 0, 100, {10}, {}), make_job(0, 5, 5, 100, {10}, {})},
+      1, 1, 1);
+  EXPECT_NE(validate_workload(w), "");
+}
+
+TEST(ValidateWorkload, RejectsUnsortedArrivals) {
+  Workload w = make_workload(
+      {make_job(0, 100, 100, 500, {10}, {}), make_job(1, 50, 50, 500, {10}, {})},
+      1, 1, 1);
+  EXPECT_NE(validate_workload(w), "");
+}
+
+TEST(ValidateWorkload, RejectsInvalidJobInside) {
+  Workload w = make_workload({make_job(0, 0, 0, 100, {10}, {})}, 1, 1, 1);
+  w.jobs[0].deadline = 0;  // breaks d_j > s_j
+  EXPECT_NE(validate_workload(w), "");
+}
+
+TEST(ValidateWorkload, AcceptsGoodWorkload) {
+  const Workload w = make_workload(
+      {make_job(0, 0, 0, 100000, {10}, {20}),
+       make_job(1, 100, 200, 100000, {30}, {})},
+      2, 2, 1);
+  EXPECT_EQ(validate_workload(w), "");
+}
+
+TEST(WorkloadToString, MentionsJobCount) {
+  const Workload w = make_workload({make_job(0, 0, 0, 100, {10}, {})}, 3, 1, 1);
+  EXPECT_NE(w.to_string().find("jobs=1"), std::string::npos);
+  EXPECT_NE(w.to_string().find("m=3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mrcp

@@ -1,0 +1,147 @@
+// Network-link (communication resource) tests — the paper's §VII
+// extension "systems with additional resources including storage devices
+// and communication links". Each resource can carry a link capacity; a
+// task's net_demand occupies it while running, across both phases.
+#include <gtest/gtest.h>
+
+#include "core/mrcp_rm.h"
+#include "cp/solver.h"
+#include "sim/cluster_sim.h"
+#include "test_util.h"
+
+namespace mrcp {
+namespace {
+
+using testutil::make_job;
+
+TEST(NetworkCp, LinkSerializesOtherwiseParallelTasks) {
+  // 2 map slots but a single link unit: two net-hungry maps serialize.
+  cp::Model m;
+  m.add_resource(2, 1, /*net_capacity=*/1);
+  const cp::CpJobIndex j = m.add_job(0, 10000, 0);
+  m.add_task(j, cp::Phase::kMap, 100, 1, 0, /*net_demand=*/1);
+  m.add_task(j, cp::Phase::kMap, 100, 1, 1, /*net_demand=*/1);
+  const cp::SolveResult r = cp::solve(m, cp::SolveParams{});
+  ASSERT_TRUE(r.best.valid);
+  EXPECT_EQ(cp::validate_solution(m, r.best), "");
+  EXPECT_EQ(r.best.job_completion[0], 200);  // serialized on the link
+}
+
+TEST(NetworkCp, ZeroNetDemandUnaffectedByLink) {
+  cp::Model m;
+  m.add_resource(2, 1, 1);
+  const cp::CpJobIndex j = m.add_job(0, 10000, 0);
+  m.add_task(j, cp::Phase::kMap, 100);
+  m.add_task(j, cp::Phase::kMap, 100);
+  const cp::SolveResult r = cp::solve(m, cp::SolveParams{});
+  EXPECT_EQ(r.best.job_completion[0], 100);  // parallel: no link usage
+}
+
+TEST(NetworkCp, LinkSharedAcrossPhases) {
+  // One map and one reduce, both on the link: a (1 map, 1 reduce, 1 net)
+  // resource cannot run them concurrently even though the slot pools are
+  // separate.
+  cp::Model m;
+  m.add_resource(1, 1, 1);
+  const cp::CpJobIndex j0 = m.add_job(0, 10000, 0);
+  m.add_task(j0, cp::Phase::kMap, 100, 1, 0, 1);
+  const cp::CpJobIndex j1 = m.add_job(0, 10000, 1);
+  m.add_task(j1, cp::Phase::kReduce, 100, 1, 1, 1);
+  const cp::SolveResult r = cp::solve(m, cp::SolveParams{});
+  EXPECT_EQ(cp::validate_solution(m, r.best), "");
+  const Time s0 = r.best.placements[0].start;
+  const Time s1 = r.best.placements[1].start;
+  EXPECT_TRUE(s0 + 100 <= s1 || s1 + 100 <= s0)
+      << "link-bound tasks overlap: " << s0 << " vs " << s1;
+}
+
+TEST(NetworkCp, UnconstrainedResourceIgnoresDemand) {
+  // net_capacity = 0 means no link bookkeeping at all.
+  cp::Model m;
+  m.add_resource(2, 1, 0);
+  const cp::CpJobIndex j = m.add_job(0, 10000, 0);
+  m.add_task(j, cp::Phase::kMap, 100, 1, 0, 5);
+  m.add_task(j, cp::Phase::kMap, 100, 1, 1, 5);
+  const cp::SolveResult r = cp::solve(m, cp::SolveParams{});
+  EXPECT_EQ(r.best.job_completion[0], 100);
+}
+
+TEST(NetworkCp, SearchPrefersResourceWithFreeLink) {
+  cp::Model m;
+  m.add_resource(1, 1, 1);
+  m.add_resource(1, 1, 1);
+  const cp::CpJobIndex j0 = m.add_job(0, 10000, 0);
+  m.add_task(j0, cp::Phase::kMap, 100, 1, 0, 1);
+  const cp::CpJobIndex j1 = m.add_job(0, 10000, 1);
+  m.add_task(j1, cp::Phase::kMap, 100, 1, 1, 1);
+  const cp::SolveResult r = cp::solve(m, cp::SolveParams{});
+  EXPECT_EQ(r.best.placements[0].start, 0);
+  EXPECT_EQ(r.best.placements[1].start, 0);
+  EXPECT_NE(r.best.placements[0].resource, r.best.placements[1].resource);
+}
+
+TEST(NetworkCp, ValidatorCatchesLinkOverload) {
+  cp::Model m;
+  m.add_resource(2, 1, 1);
+  const cp::CpJobIndex j = m.add_job(0, 10000, 0);
+  m.add_task(j, cp::Phase::kMap, 100, 1, 0, 1);
+  m.add_task(j, cp::Phase::kMap, 100, 1, 1, 1);
+  cp::Solution s;
+  s.placements = {{0, 0}, {0, 50}};  // overlapping link usage
+  EXPECT_NE(cp::validate_solution(m, s), "");
+  s.placements = {{0, 0}, {0, 100}};
+  EXPECT_EQ(cp::validate_solution(m, s), "");
+}
+
+TEST(NetworkCp, ModelValidateRejectsOversizedNetDemand) {
+  cp::Model m;
+  m.add_resource(1, 1, 2);
+  const cp::CpJobIndex j = m.add_job(0, 1000, 0);
+  m.add_task(j, cp::Phase::kMap, 10, 1, 0, 3);  // needs 3 link units, cap 2
+  EXPECT_NE(m.validate(), "");
+}
+
+TEST(NetworkRm, FallsBackToDirectModelAndRespectsLinks) {
+  // Cluster of link-constrained resources: the RM must use the direct
+  // formulation and keep link usage within capacity end-to-end.
+  Job job = make_job(0, 0, 0, 1000000, {100, 100, 100, 100}, {});
+  for (Task& t : job.map_tasks) t.net_demand = 1;
+  Workload w;
+  w.jobs = {job};
+  w.cluster = Cluster::homogeneous(2, 2, 1, /*net_capacity=*/1);
+
+  MrcpConfig cfg;
+  cfg.validate_plans = true;
+  const sim::SimMetrics m = sim::simulate_mrcp(w, cfg);
+  ASSERT_TRUE(m.records[0].completed());
+  // 4 unit-net maps over 2 links: at most 2 in parallel -> >= 200 ticks.
+  EXPECT_GE(m.records[0].completion, 200);
+}
+
+TEST(NetworkRm, MixedDemandsShareLinksCorrectly) {
+  Job heavy = make_job(0, 0, 0, 1000000, {100, 100}, {});
+  heavy.map_tasks[0].net_demand = 2;
+  heavy.map_tasks[1].net_demand = 2;
+  Job light = make_job(1, 0, 0, 1000000, {100}, {});
+  light.map_tasks[0].net_demand = 0;
+  Workload w;
+  w.jobs = {heavy, light};
+  w.cluster = Cluster::homogeneous(1, 3, 1, /*net_capacity=*/2);
+
+  MrcpConfig cfg;
+  cfg.validate_plans = true;
+  const sim::SimMetrics m = sim::simulate_mrcp(w, cfg);
+  // The two heavy maps each need the full link: serialized (>= 200);
+  // the light map is free to run any time.
+  EXPECT_GE(m.records[0].completion, 200);
+  EXPECT_EQ(m.records[1].completion, 100);
+}
+
+TEST(NetworkJob, ValidateRejectsNegativeDemand) {
+  Job job = make_job(0, 0, 0, 1000, {10}, {});
+  job.map_tasks[0].net_demand = -1;
+  EXPECT_NE(validate_job(job), "");
+}
+
+}  // namespace
+}  // namespace mrcp

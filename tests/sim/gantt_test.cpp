@@ -1,0 +1,89 @@
+#include "sim/gantt.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "core/mrcp_rm.h"
+
+namespace mrcp::sim {
+namespace {
+
+using testutil::make_job;
+
+Plan plan_for(const std::vector<Job>& jobs, const Cluster& cluster) {
+  MrcpConfig cfg;
+  cfg.solve.time_limit_s = 1.0;
+  cfg.defer_future_jobs = false;
+  MrcpRm rm(cluster, cfg);
+  for (const Job& j : jobs) rm.submit(j, 0);
+  return rm.reschedule(0);
+}
+
+TEST(Gantt, EmptyPlanRendersEmpty) {
+  Plan plan;
+  EXPECT_EQ(render_gantt(plan, Cluster::homogeneous(2, 1, 1)), "");
+}
+
+TEST(Gantt, RowsForUsedResourcePhases) {
+  const Cluster cluster = Cluster::homogeneous(2, 1, 1);
+  const Plan plan =
+      plan_for({make_job(0, 0, 0, 100000, {1000}, {500})}, cluster);
+  const std::string chart = render_gantt(plan, cluster);
+  EXPECT_NE(chart.find("/map"), std::string::npos);
+  EXPECT_NE(chart.find("/reduce"), std::string::npos);
+  // Job id digit appears.
+  EXPECT_NE(chart.find('0'), std::string::npos);
+}
+
+TEST(Gantt, PhaseFiltering) {
+  const Cluster cluster = Cluster::homogeneous(1, 1, 1);
+  const Plan plan =
+      plan_for({make_job(0, 0, 0, 100000, {1000}, {500})}, cluster);
+  GanttOptions opts;
+  opts.include_reduce = false;
+  const std::string chart = render_gantt(plan, cluster, opts);
+  EXPECT_NE(chart.find("/map"), std::string::npos);
+  EXPECT_EQ(chart.find("/reduce"), std::string::npos);
+}
+
+TEST(Gantt, WidthControlsLineLength) {
+  const Cluster cluster = Cluster::homogeneous(1, 1, 1);
+  const Plan plan = plan_for({make_job(0, 0, 0, 100000, {1000}, {})}, cluster);
+  GanttOptions opts;
+  opts.width = 20;
+  const std::string chart = render_gantt(plan, cluster, opts);
+  // Find the row line and measure the cell area between the pipes.
+  const auto bar = chart.find('|');
+  ASSERT_NE(bar, std::string::npos);
+  const auto end = chart.find('|', bar + 1);
+  ASSERT_NE(end, std::string::npos);
+  EXPECT_EQ(end - bar - 1, 20u);
+}
+
+TEST(Gantt, TwoJobsDistinctDigits) {
+  const Cluster cluster = Cluster::homogeneous(2, 1, 1);
+  const Plan plan = plan_for(
+      {
+          make_job(0, 0, 0, 100000, {1000}, {}),
+          make_job(1, 0, 0, 100000, {1000}, {}),
+      },
+      cluster);
+  const std::string chart = render_gantt(plan, cluster);
+  EXPECT_NE(chart.find('0'), std::string::npos);
+  EXPECT_NE(chart.find('1'), std::string::npos);
+}
+
+TEST(Gantt, SharedBucketMarksHash) {
+  // Capacity-2 row with two concurrent tasks in the same bucket.
+  const Cluster cluster = Cluster::homogeneous(1, 2, 1);
+  const Plan plan = plan_for(
+      {
+          make_job(0, 0, 0, 100000, {1000, 1000}, {}),
+      },
+      cluster);
+  const std::string chart = render_gantt(plan, cluster);
+  EXPECT_NE(chart.find('#'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mrcp::sim

@@ -1,0 +1,85 @@
+#include "sim/trace_export.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "../test_util.h"
+#include "sim/cluster_sim.h"
+
+namespace mrcp::sim {
+namespace {
+
+using testutil::make_job;
+using testutil::make_workload;
+
+TEST(TraceExport, PlanCsvHasOneRowPerTask) {
+  MrcpConfig cfg;
+  cfg.solve.time_limit_s = 1.0;
+  MrcpRm rm(Cluster::homogeneous(2, 1, 1), cfg);
+  rm.submit(make_job(0, 0, 0, 100000, {100, 200}, {300}), 0);
+  const Plan& plan = rm.reschedule(0);
+  const std::string csv = plan_to_csv(plan);
+  // Header + 3 task rows.
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 4);
+  EXPECT_NE(csv.find("job,task,type,resource,start_s,end_s,started"),
+            std::string::npos);
+  EXPECT_NE(csv.find("map"), std::string::npos);
+  EXPECT_NE(csv.find("reduce"), std::string::npos);
+}
+
+TEST(TraceExport, ExecutionCsvFromSimulation) {
+  const Workload w = make_workload(
+      {make_job(0, 0, 0, 100000, {100, 200}, {300})}, 2, 1, 1);
+  const SimMetrics m = simulate_mrcp(w, MrcpConfig{});
+  ASSERT_EQ(m.executed.size(), 3u);
+  const std::string csv = execution_to_csv(m.executed, w);
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 4);
+  // Executed rows are always marked started.
+  EXPECT_EQ(csv.find(",0\n"), std::string::npos);
+}
+
+TEST(TraceExport, ExecutedTraceMatchesRecords) {
+  const Workload w = make_workload(
+      {
+          make_job(0, 0, 0, 100000, {50, 60}, {40}),
+          make_job(1, 10, 10, 100000, {30}, {}),
+      },
+      2, 1, 1);
+  const SimMetrics m = simulate_mrcp(w, MrcpConfig{});
+  ASSERT_EQ(m.executed.size(), 4u);
+  // The latest executed end of each job equals its completion record.
+  Time latest0 = 0;
+  Time latest1 = 0;
+  for (const ExecutedTask& et : m.executed) {
+    (et.job == 0 ? latest0 : latest1) =
+        std::max(et.job == 0 ? latest0 : latest1, et.end);
+  }
+  EXPECT_EQ(latest0, m.records[0].completion);
+  EXPECT_EQ(latest1, m.records[1].completion);
+}
+
+TEST(TraceExport, MinedfTraceExposed) {
+  const Workload w = make_workload(
+      {make_job(0, 0, 0, 100000, {100}, {50})}, 1, 1, 1);
+  const SimMetrics m = simulate_minedf(w);
+  EXPECT_EQ(m.executed.size(), 2u);
+}
+
+TEST(TraceExport, WriteTextFileRoundTrip) {
+  const std::string path = testing::TempDir() + "/mrcp_trace_test.csv";
+  ASSERT_TRUE(write_text_file(path, "a,b\n1,2\n"));
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, "a,b\n1,2\n");
+  std::remove(path.c_str());
+}
+
+TEST(TraceExport, WriteTextFileBadPath) {
+  EXPECT_FALSE(write_text_file("/nonexistent_zzz/x.csv", "x"));
+}
+
+}  // namespace
+}  // namespace mrcp::sim

@@ -1,0 +1,183 @@
+// mrcp_sim — command-line driver for the whole library.
+//
+// Modes (--mode):
+//   generate  Generate a workload (synthetic Table 3 or facebook Table 4)
+//             and write it to --workload-out in the trace format.
+//   simulate  Load (or generate) a workload and run it through a resource
+//             manager (--rm mrcp|minedf|edf), printing O/N/T/P and
+//             optionally exporting the executed schedule as CSV.
+//   inspect   Load a workload and print its summary statistics.
+//
+// Examples:
+//   mrcp_sim --mode generate --generator synthetic --jobs 100
+//            --workload-out /tmp/w.workload
+//   mrcp_sim --mode simulate --workload /tmp/w.workload --rm mrcp
+//            --trace-out /tmp/schedule.csv
+//   mrcp_sim --mode simulate --generator facebook --jobs 200
+//            --lambda 0.0003 --rm minedf
+#include <cstdio>
+
+#include "common/flags.h"
+#include "mapreduce/facebook_workload.h"
+#include "mapreduce/synthetic_workload.h"
+#include "mapreduce/workload_io.h"
+#include "sim/cluster_sim.h"
+#include "sim/experiment.h"
+#include "sim/trace_export.h"
+
+using namespace mrcp;
+
+namespace {
+
+Workload build_workload(const Flags& flags, bool& ok) {
+  ok = true;
+  const std::string& path = flags.get_string("workload");
+  if (!path.empty()) {
+    std::string error;
+    Workload w = load_workload_file(path, &error);
+    if (!error.empty()) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      ok = false;
+    }
+    return w;
+  }
+  const std::string& gen = flags.get_string("generator");
+  if (gen == "synthetic") {
+    SyntheticWorkloadConfig c;
+    c.num_jobs = static_cast<std::size_t>(flags.get_int("jobs"));
+    c.arrival_rate = flags.get_double("lambda") > 0 ? flags.get_double("lambda")
+                                                    : 0.01;
+    c.e_max = flags.get_int("emax");
+    c.start_prob = flags.get_double("p");
+    c.s_max = flags.get_int("smax");
+    c.deadline_multiplier_ul = flags.get_double("dm");
+    c.num_resources = static_cast<int>(flags.get_int("resources"));
+    c.map_capacity = static_cast<int>(flags.get_int("map-slots"));
+    c.reduce_capacity = static_cast<int>(flags.get_int("reduce-slots"));
+    c.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+    return generate_synthetic_workload(c);
+  }
+  if (gen == "facebook") {
+    FacebookWorkloadConfig c;
+    c.num_jobs = static_cast<std::size_t>(flags.get_int("jobs"));
+    c.arrival_rate = flags.get_double("lambda") > 0 ? flags.get_double("lambda")
+                                                    : 0.0003;
+    c.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+    return generate_facebook_workload(c);
+  }
+  std::fprintf(stderr, "error: unknown --generator '%s' (synthetic|facebook)\n",
+               gen.c_str());
+  ok = false;
+  return Workload{};
+}
+
+int run_generate(const Flags& flags) {
+  bool ok = false;
+  const Workload w = build_workload(flags, ok);
+  if (!ok) return 1;
+  const std::string& out = flags.get_string("workload-out");
+  if (out.empty()) {
+    std::printf("%s", workload_to_string(w).c_str());
+    return 0;
+  }
+  if (!save_workload_file(w, out)) {
+    std::fprintf(stderr, "error: cannot write %s\n", out.c_str());
+    return 1;
+  }
+  std::printf("wrote %zu jobs to %s\n", w.size(), out.c_str());
+  return 0;
+}
+
+int run_inspect(const Flags& flags) {
+  bool ok = false;
+  const Workload w = build_workload(flags, ok);
+  if (!ok) return 1;
+  const auto s = w.summarize();
+  std::printf("%s\n", w.to_string().c_str());
+  std::printf("  mean map tasks/job:      %.2f\n", s.mean_map_tasks);
+  std::printf("  mean reduce tasks/job:   %.2f\n", s.mean_reduce_tasks);
+  std::printf("  mean map exec (s):       %.2f\n", s.mean_map_exec_seconds);
+  std::printf("  mean reduce exec (s):    %.2f\n", s.mean_reduce_exec_seconds);
+  std::printf("  mean inter-arrival (s):  %.2f\n", s.mean_interarrival_seconds);
+  std::printf("  mean laxity (s):         %.2f\n", s.mean_laxity_seconds);
+  std::printf("  fraction AR requests:    %.3f\n", s.fraction_future_start);
+  std::printf("  offered utilization:     %.3f\n", s.offered_utilization);
+  return 0;
+}
+
+int run_simulate(const Flags& flags) {
+  bool ok = false;
+  const Workload w = build_workload(flags, ok);
+  if (!ok) return 1;
+
+  const std::string& rm = flags.get_string("rm");
+  sim::SimMetrics metrics;
+  if (rm == "mrcp") {
+    MrcpConfig config;
+    config.solve.time_limit_s = flags.get_double("solver-budget-s");
+    config.use_separation = !flags.get_bool("no-separation");
+    config.defer_future_jobs = !flags.get_bool("no-deferral");
+    metrics = sim::simulate_mrcp(w, config);
+  } else if (rm == "minedf" || rm == "edf") {
+    baseline::MinEdfConfig config;
+    if (rm == "edf") config.allocation = baseline::AllocationPolicy::kMaximal;
+    metrics = sim::simulate_minedf(w, config);
+  } else {
+    std::fprintf(stderr, "error: unknown --rm '%s' (mrcp|minedf|edf)\n",
+                 rm.c_str());
+    return 1;
+  }
+
+  const sim::RunMetrics run =
+      sim::summarize_run(metrics, flags.get_double("warmup"));
+  std::printf("scheduler: %s over %zu jobs\n", rm.c_str(), w.size());
+  std::printf("  O = %.6f s/job\n", run.O_seconds);
+  std::printf("  T = %.1f s\n", run.T_seconds);
+  std::printf("  N = %.0f late\n", run.N_late);
+  std::printf("  P = %.2f %%\n", run.P_percent);
+
+  const std::string& trace_out = flags.get_string("trace-out");
+  if (!trace_out.empty()) {
+    if (!sim::write_text_file(trace_out,
+                              sim::execution_to_csv(metrics.executed, w))) {
+      std::fprintf(stderr, "error: cannot write %s\n", trace_out.c_str());
+      return 1;
+    }
+    std::printf("wrote executed schedule to %s\n", trace_out.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags("mrcp_sim — workload generation, inspection and simulation");
+  flags.add_string("mode", "simulate", "generate | simulate | inspect")
+      .add_string("workload", "", "load workload from this trace file")
+      .add_string("workload-out", "", "generate: write workload here")
+      .add_string("generator", "synthetic", "synthetic | facebook")
+      .add_string("rm", "mrcp", "resource manager: mrcp | minedf | edf")
+      .add_int("jobs", 100, "generated jobs")
+      .add_double("lambda", 0.0, "arrival rate (0 = generator default)")
+      .add_int("emax", 50, "synthetic: map exec upper bound (s)")
+      .add_double("p", 0.5, "synthetic: AR probability")
+      .add_int("smax", 50000, "synthetic: max start offset (s)")
+      .add_double("dm", 5.0, "synthetic: deadline multiplier bound")
+      .add_int("resources", 50, "synthetic: number of resources")
+      .add_int("map-slots", 2, "synthetic: map slots per resource")
+      .add_int("reduce-slots", 2, "synthetic: reduce slots per resource")
+      .add_int("seed", 1, "generator seed")
+      .add_double("warmup", 0.1, "warmup fraction for metrics")
+      .add_double("solver-budget-s", 0.1, "mrcp: CP budget per invocation")
+      .add_bool("no-separation", false, "mrcp: disable §V.D separation")
+      .add_bool("no-deferral", false, "mrcp: disable §V.E deferral")
+      .add_string("trace-out", "", "simulate: write executed schedule CSV");
+  if (!flags.parse(argc, argv)) return flags.ok() ? 0 : 1;
+
+  const std::string& mode = flags.get_string("mode");
+  if (mode == "generate") return run_generate(flags);
+  if (mode == "inspect") return run_inspect(flags);
+  if (mode == "simulate") return run_simulate(flags);
+  std::fprintf(stderr, "error: unknown --mode '%s'\n", mode.c_str());
+  return 1;
+}
