@@ -1,9 +1,23 @@
 // google-benchmark microbenchmarks of the CP engine: timetable profile
 // operations and full solves at several instance sizes. These bound the
 // per-invocation cost that makes up the paper's O metric.
+//
+// In addition to the google-benchmark suite, the binary always writes
+// BENCH_cp_micro.json (self-timed: profile query ns/op, solve wall-time
+// at 1 and all-hardware threads, and the resulting speedup) so the perf
+// trajectory of the hot path is tracked in a machine-readable form.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <map>
+#include <utility>
+#include <vector>
+
 #include "common/rng.h"
+#include "common/stopwatch.h"
+#include "common/thread_pool.h"
 #include "cp/profile.h"
 #include "cp/solver.h"
 
@@ -109,7 +123,189 @@ void BM_SolveWithImprovement(benchmark::State& state) {
 }
 BENCHMARK(BM_SolveWithImprovement)->Arg(2)->Arg(10);
 
+/// Parallel portfolio/LNS: same solve, swept over worker threads.
+void BM_SolveThreads(benchmark::State& state) {
+  const Model m = make_model(25, 3);
+  SolveParams params;
+  params.improvement_fails = 0;
+  params.lns_iterations = 20;
+  params.lns_batch = 4;
+  params.time_limit_s = 60.0;
+  params.num_threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    SolveResult result = solve(m, params);
+    benchmark::DoNotOptimize(result.best.num_late);
+  }
+  state.counters["tasks"] = static_cast<double>(m.num_tasks());
+}
+BENCHMARK(BM_SolveThreads)->Arg(1)->Arg(2)->Arg(4);
+
+/// The pre-flat-timeline profile (sorted map of usage deltas), kept
+/// here as the bench baseline the JSON compares against.
+class MapProfileBaseline {
+ public:
+  explicit MapProfileBaseline(int capacity) : capacity_(capacity) {}
+
+  Time earliest_feasible(Time est, Time duration, int demand) const {
+    int usage = 0;
+    auto it = delta_.begin();
+    for (; it != delta_.end() && it->first <= est; ++it) usage += it->second;
+    Time candidate = est;
+    bool in_feasible = usage + demand <= capacity_;
+    while (true) {
+      const Time next_change = (it == delta_.end()) ? kMaxTime : it->first;
+      if (in_feasible && next_change - candidate >= duration) return candidate;
+      if (it == delta_.end()) return candidate;
+      const Time seg_start = next_change;
+      while (it != delta_.end() && it->first == seg_start) {
+        usage += it->second;
+        ++it;
+      }
+      const bool feasible_now = usage + demand <= capacity_;
+      if (feasible_now && !in_feasible) candidate = seg_start;
+      in_feasible = feasible_now;
+    }
+  }
+
+  void add(Time start, Time duration, int demand) {
+    apply(start, duration, demand);
+  }
+  void remove(Time start, Time duration, int demand) {
+    apply(start, duration, -demand);
+  }
+
+ private:
+  void apply(Time start, Time duration, int delta) {
+    delta_[start] += delta;
+    if (delta_[start] == 0) delta_.erase(start);
+    delta_[start + duration] -= delta;
+    auto it = delta_.find(start + duration);
+    if (it != delta_.end() && it->second == 0) delta_.erase(it);
+  }
+
+  int capacity_;
+  std::map<Time, int> delta_;
+};
+
+/// Self-timed measurements for BENCH_cp_micro.json: median-of-3 runs,
+/// coarse but machine-comparable across commits.
+double best_of_seconds(int runs, const std::function<void()>& fn) {
+  double best = 1e300;
+  for (int i = 0; i < runs; ++i) {
+    Stopwatch sw;
+    fn();
+    best = std::min(best, sw.elapsed_seconds());
+  }
+  return best;
+}
+
+void write_bench_json(const char* path) {
+  // Profile query cost on a ~10k-event timetable (the earliest_feasible
+  // shape the innermost search loop issues).
+  constexpr int kIntervals = 5000;
+  constexpr int kQueries = 200000;
+  RandomStream rng(2, 0);
+  Profile p(64);
+  for (int i = 0; i < kIntervals; ++i) {
+    const Time est = rng.uniform_int(0, 100000);
+    const Time dur = rng.uniform_int(1, 500);
+    p.add(p.earliest_feasible(est, dur, 1), dur, 1);
+  }
+  MapProfileBaseline pmap(64);
+  {
+    RandomStream rmap(2, 0);
+    for (int i = 0; i < kIntervals; ++i) {
+      const Time est = rmap.uniform_int(0, 100000);
+      const Time dur = rmap.uniform_int(1, 500);
+      pmap.add(pmap.earliest_feasible(est, dur, 1), dur, 1);
+    }
+  }
+  Time sink = 0;
+  const double query_s = best_of_seconds(3, [&] {
+    Time q = 0;
+    for (int i = 0; i < kQueries; ++i) {
+      q = (q + 7919) % 100000;
+      sink += p.earliest_feasible(q, 100, 1);
+    }
+  });
+  // Far fewer queries for the map baseline: each one is a linear scan.
+  constexpr int kMapQueries = kQueries / 50;
+  const double map_query_s = best_of_seconds(3, [&] {
+    Time q = 0;
+    for (int i = 0; i < kMapQueries; ++i) {
+      q = (q + 7919) % 100000;
+      sink += pmap.earliest_feasible(q, 100, 1);
+    }
+  });
+  const double add_remove_s = best_of_seconds(3, [&] {
+    RandomStream r2(1, 0);
+    Profile q(64);
+    std::vector<std::pair<Time, Time>> ivs;
+    ivs.reserve(kIntervals);
+    for (int i = 0; i < kIntervals; ++i) {
+      ivs.emplace_back(r2.uniform_int(0, 100000), r2.uniform_int(1, 500));
+    }
+    for (const auto& [s, d] : ivs) q.add(s, d, 1);
+    for (const auto& [s, d] : ivs) q.remove(s, d, 1);
+    sink += static_cast<Time>(q.num_events());
+  });
+
+  // Solve wall-time on the Table 3 / Fig. 2-3-shaped combined-resource
+  // model, single-threaded vs all hardware threads.
+  const Model m = make_model(25, 3);
+  SolveParams params;
+  params.improvement_fails = 0;
+  params.lns_iterations = 20;
+  params.lns_batch = 4;
+  params.time_limit_s = 60.0;
+  // At least 2 workers so the pool path is always measured, even on a
+  // single-core machine (where it records the overhead, not a speedup).
+  const int hw = std::max(2, ThreadPool::resolve_num_threads(0));
+  int num_late = 0;
+  params.num_threads = 1;
+  const double solve_1t_s =
+      best_of_seconds(3, [&] { num_late = solve(m, params).best.num_late; });
+  params.num_threads = hw;
+  const double solve_nt_s =
+      best_of_seconds(3, [&] { num_late = solve(m, params).best.num_late; });
+
+  std::FILE* f = std::fopen(path, "w");
+  if (!f) {
+    std::fprintf(stderr, "error: cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"profile_events\": %zu,\n", p.num_events());
+  std::fprintf(f, "  \"profile_earliest_feasible_ns_per_op\": %.1f,\n",
+               query_s * 1e9 / kQueries);
+  std::fprintf(f, "  \"profile_earliest_feasible_ns_per_op_map_baseline\": %.1f,\n",
+               map_query_s * 1e9 / kMapQueries);
+  std::fprintf(f, "  \"profile_query_speedup_vs_map\": %.1f,\n",
+               query_s > 0 ? (map_query_s / kMapQueries) / (query_s / kQueries)
+                           : 0.0);
+  std::fprintf(f, "  \"profile_add_remove_ns_per_op\": %.1f,\n",
+               add_remove_s * 1e9 / (2.0 * kIntervals));
+  std::fprintf(f, "  \"solve_workload\": \"table3-combined-25jobs\",\n");
+  std::fprintf(f, "  \"solve_tasks\": %zu,\n", m.num_tasks());
+  std::fprintf(f, "  \"solve_num_late\": %d,\n", num_late);
+  std::fprintf(f, "  \"solve_wall_s_1_thread\": %.6f,\n", solve_1t_s);
+  std::fprintf(f, "  \"solve_wall_s_%d_threads\": %.6f,\n", hw, solve_nt_s);
+  std::fprintf(f, "  \"solve_threads\": %d,\n", hw);
+  std::fprintf(f, "  \"solve_speedup\": %.3f,\n",
+               solve_nt_s > 0 ? solve_1t_s / solve_nt_s : 0.0);
+  std::fprintf(f, "  \"checksum\": %lld\n", static_cast<long long>(sink));
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path);
+}
+
 }  // namespace
 }  // namespace mrcp::cp
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  mrcp::cp::write_bench_json("BENCH_cp_micro.json");
+  return 0;
+}

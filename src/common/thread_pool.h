@@ -1,0 +1,54 @@
+// A small fixed-size worker pool for CPU-bound fan-out.
+//
+// The CP solver uses one to run portfolio members and LNS neighbourhoods
+// concurrently (docs/cp_engine.md); the experiment runner's per-thread
+// replication scheme predates it and stays as is. Tasks are plain
+// closures; submit() enqueues, wait_idle() is the barrier the caller
+// uses between deterministic phases. The pool is reusable across
+// submit/wait rounds and joins its workers on destruction.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mrcp {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to >= 1).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueue a task. Tasks must not throw.
+  void submit(std::function<void()> task);
+
+  /// Block until every task submitted so far has finished executing.
+  void wait_idle();
+
+  /// Resolve a user-facing thread-count knob: values >= 1 are taken
+  /// literally, anything else means one thread per hardware thread.
+  static int resolve_num_threads(int requested);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  std::size_t unfinished_ = 0;  ///< queued + currently running tasks
+  bool stop_ = false;
+};
+
+}  // namespace mrcp

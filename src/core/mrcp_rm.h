@@ -63,7 +63,10 @@ struct MrcpConfig {
   /// A deferred job enters scheduling at s_j - deferral_window.
   Time deferral_window = 0;
 
-  /// CP solver budgets (per invocation).
+  /// CP solver budgets (per invocation). `solve.num_threads` selects the
+  /// solver's parallel portfolio/LNS worker count; results for a fixed
+  /// seed are thread-count independent, so turning this up is purely a
+  /// latency (O metric) optimization.
   cp::SolveParams solve;
 
   /// Re-validate every published plan (slow; for tests/debugging).

@@ -11,63 +11,150 @@ Profile::Profile(int capacity) : capacity_(capacity) {
   MRCP_CHECK(capacity >= 1);
 }
 
+std::size_t Profile::first_after(Time t) const {
+  auto it = std::upper_bound(
+      timeline_.begin(), timeline_.end(), t,
+      [](Time value, const Event& e) { return value < e.time; });
+  return static_cast<std::size_t>(it - timeline_.begin());
+}
+
+std::size_t Profile::next_violation(std::size_t i, int limit) const {
+  const std::size_t n = timeline_.size();
+  while (i < n) {
+    if (i % kBlockSize == 0 && blocks_[i / kBlockSize].max_usage <= limit) {
+      i += kBlockSize;
+      continue;
+    }
+    if (timeline_[i].usage > limit) return i;
+    ++i;
+  }
+  return n;
+}
+
+std::size_t Profile::next_ok(std::size_t i, int limit) const {
+  const std::size_t n = timeline_.size();
+  while (i < n) {
+    if (i % kBlockSize == 0 && blocks_[i / kBlockSize].min_usage > limit) {
+      i += kBlockSize;
+      continue;
+    }
+    if (timeline_[i].usage <= limit) return i;
+    ++i;
+  }
+  return n;
+}
+
+void Profile::rebuild_blocks_from(std::size_t event_index) {
+  const std::size_t n = timeline_.size();
+  const std::size_t num_blocks = (n + kBlockSize - 1) / kBlockSize;
+  blocks_.resize(num_blocks);
+  for (std::size_t b = event_index / kBlockSize; b < num_blocks; ++b) {
+    const std::size_t lo = b * kBlockSize;
+    const std::size_t hi = std::min(lo + kBlockSize, n);
+    Block block{timeline_[lo].usage, timeline_[lo].usage};
+    for (std::size_t i = lo + 1; i < hi; ++i) {
+      block.min_usage = std::min(block.min_usage, timeline_[i].usage);
+      block.max_usage = std::max(block.max_usage, timeline_[i].usage);
+    }
+    blocks_[b] = block;
+  }
+}
+
 Time Profile::earliest_feasible(Time est, Time duration, int demand) const {
   MRCP_CHECK(duration >= 1);
   MRCP_CHECK(demand >= 1 && demand <= capacity_);
+  const int limit = capacity_ - demand;  // usage must stay <= limit
 
-  // Usage just before est: accumulate deltas at times <= est.
-  int usage = 0;
-  auto it = delta_.begin();
-  for (; it != delta_.end() && it->first <= est; ++it) usage += it->second;
-
-  // Sweep segments [seg_start, next_event) looking for a contiguous
-  // window of length `duration` with usage + demand <= capacity.
-  Time candidate = est;  // start of the current feasible stretch
-  bool in_feasible = usage + demand <= capacity_;
-  Time seg_start = est;
+  // Locate the segment containing est; step to the first ok segment if
+  // est itself is overloaded. The profile is finitely supported, so the
+  // final level is 0 and an ok segment always exists.
+  std::size_t i = first_after(est);  // first entry strictly after est
+  Time candidate;
+  if (i == 0 || timeline_[i - 1].usage <= limit) {
+    candidate = est;
+  } else {
+    i = next_ok(i, limit);
+    MRCP_DCHECK(i < timeline_.size());
+    candidate = timeline_[i].time;
+    ++i;
+  }
+  // Invariant: usage <= limit on [candidate, time of entry i).
   while (true) {
-    const Time next_change = (it == delta_.end()) ? kMaxTime : it->first;
-    if (in_feasible) {
-      // Feasible from `candidate`; does the stretch reach duration before
-      // the next usage change?
-      if (next_change - candidate >= duration) return candidate;
-    }
-    if (it == delta_.end()) {
-      // No more changes; if currently feasible the window is unbounded.
-      MRCP_CHECK_MSG(in_feasible, "profile never frees capacity");
-      return candidate;
-    }
-    seg_start = next_change;
-    while (it != delta_.end() && it->first == seg_start) {
-      usage += it->second;
-      ++it;
-    }
-    const bool feasible_now = usage + demand <= capacity_;
-    if (feasible_now && !in_feasible) candidate = seg_start;
-    in_feasible = feasible_now;
+    const std::size_t k = next_violation(i, limit);
+    const Time window_end = k < timeline_.size() ? timeline_[k].time : kMaxTime;
+    if (window_end - candidate >= duration) return candidate;
+    const std::size_t m = next_ok(k + 1, limit);
+    MRCP_DCHECK(m < timeline_.size());
+    candidate = timeline_[m].time;
+    i = m + 1;
   }
 }
 
 bool Profile::fits(Time start, Time duration, int demand) const {
   MRCP_CHECK(duration >= 1);
-  int usage = 0;
-  auto it = delta_.begin();
-  for (; it != delta_.end() && it->first <= start; ++it) usage += it->second;
-  if (usage + demand > capacity_) return false;
-  for (; it != delta_.end() && it->first < start + duration; ++it) {
-    usage += it->second;
-    if (usage + demand > capacity_) return false;
+  const int limit = capacity_ - demand;
+  if (limit < 0) return false;
+  std::size_t i = first_after(start);
+  if (i > 0 && timeline_[i - 1].usage > limit) return false;
+  const Time end = start + duration;
+  for (; i < timeline_.size() && timeline_[i].time < end; ++i) {
+    if (timeline_[i].usage > limit) return false;
   }
+  return true;
+}
+
+std::size_t Profile::ensure_event(Time t) {
+  auto it = std::lower_bound(
+      timeline_.begin(), timeline_.end(), t,
+      [](const Event& e, Time value) { return e.time < value; });
+  const auto idx = static_cast<std::size_t>(it - timeline_.begin());
+  if (it != timeline_.end() && it->time == t) return idx;
+  const int level = idx > 0 ? timeline_[idx - 1].usage : 0;
+  timeline_.insert(it, Event{t, level});
+  return idx;
+}
+
+bool Profile::drop_if_redundant(std::size_t i) {
+  const int prev = i > 0 ? timeline_[i - 1].usage : 0;
+  if (timeline_[i].usage != prev) return false;
+  timeline_.erase(timeline_.begin() + static_cast<std::ptrdiff_t>(i));
   return true;
 }
 
 void Profile::apply(Time start, Time duration, int delta) {
   MRCP_CHECK(duration >= 1);
-  delta_[start] += delta;
-  if (delta_[start] == 0) delta_.erase(start);
-  delta_[start + duration] -= delta;
-  auto it = delta_.find(start + duration);
-  if (it != delta_.end() && it->second == 0) delta_.erase(it);
+  const Time end = start + duration;
+
+  // Fast path: the interval begins at or after the last change point, so
+  // the whole edit is an amortized-O(1) tail append (the common case the
+  // set-times search produces when it fixes tasks in time order).
+  if (timeline_.empty() || start >= timeline_.back().time) {
+    const int base = timeline_.empty() ? 0 : timeline_.back().usage;
+    const std::size_t first_touched =
+        timeline_.empty() ? 0 : timeline_.size() - 1;
+    if (!timeline_.empty() && timeline_.back().time == start) {
+      timeline_.back().usage += delta;
+      drop_if_redundant(timeline_.size() - 1);
+    } else if (delta != 0) {
+      timeline_.push_back(Event{start, base + delta});
+    }
+    if (!timeline_.empty() && timeline_.back().time != end &&
+        timeline_.back().usage != base) {
+      timeline_.push_back(Event{end, base});
+    }
+    rebuild_blocks_from(first_touched);
+    return;
+  }
+
+  std::size_t lo = ensure_event(start);
+  std::size_t hi = ensure_event(end);
+  MRCP_DCHECK(lo < hi);
+  for (std::size_t i = lo; i < hi; ++i) timeline_[i].usage += delta;
+  // Re-canonicalize the two edit boundaries (interior entries keep their
+  // pairwise-distinct levels: they all shifted by the same delta).
+  if (drop_if_redundant(lo)) --hi;
+  drop_if_redundant(hi);
+  rebuild_blocks_from(lo > 0 ? lo - 1 : 0);
 }
 
 void Profile::add(Time start, Time duration, int demand) {
@@ -81,40 +168,29 @@ void Profile::remove(Time start, Time duration, int demand) {
 }
 
 int Profile::usage_at(Time t) const {
-  int usage = 0;
-  for (const auto& [time, d] : delta_) {
-    if (time > t) break;
-    usage += d;
-  }
-  return usage;
+  const std::size_t i = first_after(t);
+  return i > 0 ? timeline_[i - 1].usage : 0;
 }
 
 Time Profile::next_event_after(Time t) const {
-  auto it = delta_.upper_bound(t);
-  if (it == delta_.end()) return kMaxTime;
-  return it->first;
+  const std::size_t i = first_after(t);
+  return i < timeline_.size() ? timeline_[i].time : kMaxTime;
 }
 
 int Profile::peak_usage() const {
-  int usage = 0;
   int peak = 0;
-  for (const auto& [time, d] : delta_) {
-    usage += d;
-    peak = std::max(peak, usage);
-  }
+  for (const Block& b : blocks_) peak = std::max(peak, b.max_usage);
   return peak;
 }
 
 std::string Profile::to_string() const {
   std::ostringstream os;
   os << "Profile{cap=" << capacity_ << ", events=[";
-  int usage = 0;
   bool first = true;
-  for (const auto& [time, d] : delta_) {
-    usage += d;
+  for (const Event& e : timeline_) {
     if (!first) os << ", ";
     first = false;
-    os << time << ":" << usage;
+    os << e.time << ":" << e.usage;
   }
   os << "]}";
   return os.str();

@@ -2,17 +2,26 @@
 // cumulative constraints (Table 1, Constraints 5 and 6).
 //
 // One Profile exists per (resource, phase) pair with capacity c. It
-// stores the usage step function of all intervals placed so far as a
-// sorted map of capacity deltas, and answers the query the set-times
-// search needs: the earliest start >= est at which an interval of the
-// given duration and demand fits without ever exceeding the capacity.
-// This is timetable filtering specialised to fully-decided intervals,
-// which is exactly the propagation the `pulse`-sum formulation of the
-// paper's OPL model performs on the incrementally fixed schedule.
+// stores the usage step function of all intervals placed so far and
+// answers the query the set-times search needs: the earliest start >=
+// est at which an interval of the given duration and demand fits
+// without ever exceeding the capacity. This is timetable filtering
+// specialised to fully-decided intervals, which is exactly the
+// propagation the `pulse`-sum formulation of the paper's OPL model
+// performs on the incrementally fixed schedule.
+//
+// Representation: a flat sorted timeline of (time, usage) change points
+// — entry i means the usage level is `usage` on [time_i, time_{i+1}).
+// Queries enter the timeline with a binary search instead of rescanning
+// a delta map from the beginning, appends at or after the last event
+// (the common case set-times search produces) are amortized O(1), and a
+// per-block min/max skip index lets the feasibility sweep jump whole
+// infeasible (or known-feasible) stretches instead of walking them.
 #pragma once
 
-#include <map>
+#include <cstddef>
 #include <string>
+#include <vector>
 
 #include "common/types.h"
 
@@ -47,15 +56,41 @@ class Profile {
   /// Peak usage over the whole horizon (diagnostics/tests).
   int peak_usage() const;
 
-  std::size_t num_events() const { return delta_.size(); }
+  std::size_t num_events() const { return timeline_.size(); }
 
   std::string to_string() const;
 
  private:
+  /// Usage level `usage` holds on [time, next entry's time).
+  struct Event {
+    Time time;
+    int usage;
+  };
+  /// min/max usage over one block of kBlockSize consecutive events.
+  struct Block {
+    int min_usage;
+    int max_usage;
+  };
+  static constexpr std::size_t kBlockSize = 64;
+
   void apply(Time start, Time duration, int delta);
+  /// Index of the entry at exactly time t, inserting one (with the
+  /// surrounding usage level, i.e. a no-op change point) if absent.
+  std::size_t ensure_event(Time t);
+  /// Drop entry i if it no longer changes the level; true if dropped.
+  bool drop_if_redundant(std::size_t i);
+  /// Index of the first entry with time > t (== size() if none).
+  std::size_t first_after(Time t) const;
+  /// First index >= i whose usage exceeds `limit` (== size() if none).
+  std::size_t next_violation(std::size_t i, int limit) const;
+  /// First index >= i whose usage is <= `limit` (== size() if none).
+  std::size_t next_ok(std::size_t i, int limit) const;
+  void rebuild_blocks_from(std::size_t event_index);
 
   int capacity_;
-  std::map<Time, int> delta_;  ///< time -> usage change at that time
+  std::vector<Event> timeline_;  ///< canonical: times increasing, levels
+                                 ///< distinct from their predecessor
+  std::vector<Block> blocks_;    ///< skip index over timeline_
 };
 
 }  // namespace mrcp::cp

@@ -1,6 +1,7 @@
 #include "cp/search.h"
 
 #include <algorithm>
+#include <limits>
 #include <numeric>
 
 #include "common/stopwatch.h"
@@ -34,17 +35,22 @@ std::vector<int> make_job_ranks(const Model& model, JobOrdering ordering) {
 
   auto key = [&](CpJobIndex j) -> std::pair<Time, std::int64_t> {
     const CpJob& job = model.job(j);
+    // Jobs with unset external ids (-1) fall back to the model index so
+    // the secondary key is always a total order — otherwise EDF/LLF/FCFS
+    // ties would collapse to equal keys and the ranking would depend on
+    // stable_sort input order alone.
+    const std::int64_t id = job.external_id >= 0 ? job.external_id : j;
     switch (ordering) {
       case JobOrdering::kJobId:
-        return {0, job.external_id >= 0 ? job.external_id : j};
+        return {0, id};
       case JobOrdering::kEdf:
-        return {job.deadline, job.external_id};
+        return {job.deadline, id};
       case JobOrdering::kLeastLaxity:
         return {job.deadline - job.earliest_start -
                     work[static_cast<std::size_t>(j)],
-                job.external_id};
+                id};
       case JobOrdering::kFcfs:
-        return {job.earliest_start, job.external_id};
+        return {job.earliest_start, id};
     }
     return {0, j};
   };
@@ -367,6 +373,20 @@ Solution SetTimesSearch::run(const SearchLimits& limits, const Solution* incumbe
             timer.elapsed_seconds() > limits.time_limit_s);
   };
 
+  std::atomic<int>* shared = limits.shared_late_bound;
+  auto shared_bound = [&]() {
+    return shared ? shared->load(std::memory_order_relaxed)
+                  : std::numeric_limits<int>::max();
+  };
+  auto publish_shared = [&](int num_late) {
+    if (!shared) return;
+    int cur = shared->load(std::memory_order_relaxed);
+    while (num_late < cur &&
+           !shared->compare_exchange_weak(cur, num_late,
+                                          std::memory_order_relaxed)) {
+    }
+  };
+
   while (!done) {
     if (depth == order_.size()) {
       // All tasks fixed: a complete solution.
@@ -374,6 +394,7 @@ Solution SetTimesSearch::run(const SearchLimits& limits, const Solution* incumbe
       sol.placements = placements_;
       evaluate_solution(model_, sol);
       ++st.solutions;
+      publish_shared(sol.num_late);
       if (sol.better_than(best)) best = sol;
       if (limits.stop_after_first_solution) break;
       // No schedule can beat zero late jobs on the primary objective, and
@@ -415,10 +436,20 @@ Solution SetTimesSearch::run(const SearchLimits& limits, const Solution* incumbe
 
     // Branch-and-bound pruning: `late_count_` only grows as more tasks
     // are fixed, so reaching the incumbent's objective kills the branch.
-    const bool pruned = best.valid && late_count_ >= best.num_late;
-    if (pruned) {
+    // The shared bound cuts strictly-worse branches only (late_count_
+    // must *exceed* it) — see SearchLimits::shared_late_bound.
+    const bool pruned_local = best.valid && late_count_ >= best.num_late;
+    const bool pruned_shared = !pruned_local && late_count_ > shared_bound();
+    if (pruned_local || pruned_shared) {
       ++st.fails;
       undo(order_[depth], level);
+      if (pruned_shared && limits.stop_after_first_solution) {
+        // The descent's eventual solution could only be strictly worse
+        // than the sibling that published the bound; rerouting here
+        // would make the first solution depend on sibling timing, so
+        // abort the whole search instead.
+        break;
+      }
       if (over_budget()) break;
       continue;  // try next choice at this level
     }

@@ -17,6 +17,7 @@
 // schedule, improved for as long as the fail/time budget lasts.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -31,6 +32,17 @@ struct SearchLimits {
   double time_limit_s = 1.0;          ///< wall-clock cap for this search
   int postpone_tries = 2;             ///< extra delayed-start branches per level
   bool stop_after_first_solution = false;
+  /// Shared incumbent late-count for parallel portfolio/LNS workers
+  /// (nullptr = none). Every solution found is published with a
+  /// fetch-min; a branch whose certain-late count strictly exceeds the
+  /// bound is pruned. The strict inequality is what keeps the solver's
+  /// deterministic winner fold exact: a search that ties the bound is
+  /// never cut, so it returns the same solution it would sequentially,
+  /// and a cut search could only have returned a solution that loses
+  /// every tie-break. A first-solution search aborts (returns no
+  /// solution) instead of rerouting past the cut, so its result never
+  /// depends on sibling timing. See docs/cp_engine.md.
+  std::atomic<int>* shared_late_bound = nullptr;
 };
 
 struct SearchStats {

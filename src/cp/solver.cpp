@@ -1,10 +1,15 @@
 #include "cp/solver.h"
 
 #include <algorithm>
+#include <atomic>
+#include <limits>
+#include <memory>
+#include <utility>
 
 #include "common/check.h"
 #include "common/rng.h"
 #include "common/stopwatch.h"
+#include "common/thread_pool.h"
 
 namespace mrcp::cp {
 
@@ -88,6 +93,25 @@ SolveResult solve(const Model& model, const SolveParams& params,
     stats.solutions += st.solutions;
   };
 
+  const int num_threads = ThreadPool::resolve_num_threads(params.num_threads);
+  std::unique_ptr<ThreadPool> pool;
+  if (num_threads > 1) pool = std::make_unique<ThreadPool>(num_threads);
+  // Shared incumbent late-count: workers publish every solution they
+  // find and cut branches that strictly exceed it. The winner fold below
+  // stays bit-identical to the sequential semantics because a search
+  // that ties the bound is never cut (see SearchLimits::shared_late_bound).
+  std::atomic<int> shared_late{best.valid ? best.num_late
+                                          : std::numeric_limits<int>::max()};
+  auto descent_limits = [&](double floor_s) {
+    SearchLimits limits;
+    limits.max_fails = 0;
+    limits.stop_after_first_solution = true;
+    limits.postpone_tries = 0;
+    limits.time_limit_s = std::max(remaining(), floor_s);
+    limits.shared_late_bound = &shared_late;
+    return limits;
+  };
+
   // Phase 1: greedy portfolio over (job ordering, intra-job task order).
   // LPT within jobs reproduces each job's minimum-makespan list schedule
   // (a lone job finishes exactly at its TE); FIFO staggers task endings,
@@ -104,32 +128,62 @@ SolveResult solve(const Model& model, const SolveParams& params,
   const std::vector<std::vector<std::uint8_t>> intra_variants = {
       adaptive, std::vector<std::uint8_t>(model.num_jobs(), 0),
       std::vector<std::uint8_t>(model.num_jobs(), 1)};
+
+  struct Member {
+    JobOrdering ordering;
+    std::vector<int> ranks;
+    std::vector<std::uint8_t> lpt;
+  };
+  std::vector<Member> members;
+  members.reserve(params.portfolio.size() * intra_variants.size());
   for (JobOrdering ordering : params.portfolio) {
+    const std::vector<int> ranks = make_job_ranks(model, ordering);
     for (const std::vector<std::uint8_t>& lpt_variant : intra_variants) {
-      if (remaining() <= 0.0 && best.valid) break;
-      std::vector<int> ranks = make_job_ranks(model, ordering);
-      std::vector<std::uint8_t> lpt = lpt_variant;
-      SetTimesSearch search(model, ranks, lpt);
-      SearchLimits limits;
-      limits.max_fails = 0;
-      limits.stop_after_first_solution = true;
-      limits.postpone_tries = 0;
-      limits.time_limit_s = std::max(remaining(), 0.05);
-      SearchStats st;
-      Solution sol = search.run(limits, nullptr, &st);
-      account(st);
-      // Variant selection is keyed on the primary objective only: the
-      // completion-time tie-break would otherwise always pick all-LPT by
-      // an epsilon, re-synchronizing task endings and hurting future
-      // arrivals the current model cannot see.
-      const bool strictly_fewer_late =
-          sol.valid && (!best.valid || sol.num_late < best.num_late);
-      if (strictly_fewer_late) {
-        best = sol;
-        best_ranks = std::move(ranks);
-        best_lpt = std::move(lpt);
-        stats.best_ordering = ordering;
+      members.push_back(Member{ordering, ranks, lpt_variant});
+    }
+  }
+
+  std::vector<Solution> member_sols(members.size());
+  std::vector<SearchStats> member_stats(members.size());
+  std::vector<std::uint8_t> member_ran(members.size(), 1);
+  auto run_member = [&](std::size_t i) {
+    const SearchLimits limits = descent_limits(0.05);
+    SetTimesSearch search(model, members[i].ranks, members[i].lpt);
+    member_sols[i] = search.run(limits, nullptr, &member_stats[i]);
+  };
+  if (pool) {
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      pool->submit([&run_member, i] { run_member(i); });
+    }
+    pool->wait_idle();
+  } else {
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      // An exhausted budget terminates the whole portfolio phase (the
+      // check is monotone, so every remaining member is skipped), not
+      // just the current intra-variant group.
+      if (remaining() <= 0.0 && best.valid) {
+        member_ran[i] = 0;
+        continue;
       }
+      run_member(i);
+    }
+  }
+  // Deterministic winner fold, in member order — identical to running
+  // the members sequentially. Selection is keyed on the primary
+  // objective only: the completion-time tie-break would otherwise always
+  // pick all-LPT by an epsilon, re-synchronizing task endings and
+  // hurting future arrivals the current model cannot see.
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    if (!member_ran[i]) continue;
+    account(member_stats[i]);
+    Solution& sol = member_sols[i];
+    const bool strictly_fewer_late =
+        sol.valid && (!best.valid || sol.num_late < best.num_late);
+    if (strictly_fewer_late) {
+      best = std::move(sol);
+      best_ranks = std::move(members[i].ranks);
+      best_lpt = std::move(members[i].lpt);
+      stats.best_ordering = members[i].ordering;
     }
   }
   if (best_ranks.empty()) {
@@ -154,10 +208,20 @@ SolveResult solve(const Model& model, const SolveParams& params,
   }
 
   // Phase 3: LNS — promote a (random) late job to the front of the
-  // ranking and take a fresh first descent.
+  // ranking and take a fresh first descent. Neighbourhoods are generated
+  // and evaluated `lns_batch` at a time; every neighbourhood of a round
+  // derives from the incumbent at the start of the round, with the RNG
+  // drawn in generation order, and acceptance folds in that same order —
+  // so the outcome depends on lns_batch but not on num_threads.
   if (improvable && params.lns_iterations > 0) {
     RandomStream rng(params.seed, 0x1A5);
-    for (int iter = 0; iter < params.lns_iterations; ++iter) {
+    const int batch = std::max(1, params.lns_batch);
+    struct Neighbourhood {
+      std::vector<int> ranks;
+      std::vector<std::uint8_t> lpt;
+    };
+    int iters_left = params.lns_iterations;
+    while (iters_left > 0) {
       if (best.num_late == 0 || remaining() <= 0.0) break;
       // Collect currently-late jobs.
       std::vector<std::size_t> late_jobs;
@@ -165,36 +229,55 @@ SolveResult solve(const Model& model, const SolveParams& params,
         if (best.job_late[j]) late_jobs.push_back(j);
       }
       if (late_jobs.empty()) break;
-      const std::size_t pick = static_cast<std::size_t>(rng.uniform_int(
-          0, static_cast<std::int64_t>(late_jobs.size()) - 1));
-      std::vector<int> ranks = promote_job(best_ranks, late_jobs[pick]);
-      std::vector<std::uint8_t> lpt = best_lpt;
-      // Neighbourhood moves: flip the late job's intra-job order, and
-      // occasionally swap two job priorities for diversification.
-      if (rng.bernoulli(0.5)) {
-        lpt[late_jobs[pick]] = lpt[late_jobs[pick]] != 0 ? 0 : 1;
+
+      const int round = std::min(batch, iters_left);
+      iters_left -= round;
+      std::vector<Neighbourhood> nbhs;
+      nbhs.reserve(static_cast<std::size_t>(round));
+      for (int r = 0; r < round; ++r) {
+        const std::size_t pick = static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(late_jobs.size()) - 1));
+        std::vector<int> ranks = promote_job(best_ranks, late_jobs[pick]);
+        std::vector<std::uint8_t> lpt = best_lpt;
+        // Neighbourhood moves: flip the late job's intra-job order, and
+        // occasionally swap two job priorities for diversification.
+        if (rng.bernoulli(0.5)) {
+          lpt[late_jobs[pick]] = lpt[late_jobs[pick]] != 0 ? 0 : 1;
+        }
+        if (model.num_jobs() >= 2 && rng.bernoulli(0.5)) {
+          const auto a = static_cast<std::size_t>(rng.uniform_int(
+              0, static_cast<std::int64_t>(model.num_jobs()) - 1));
+          const auto b = static_cast<std::size_t>(rng.uniform_int(
+              0, static_cast<std::int64_t>(model.num_jobs()) - 1));
+          std::swap(ranks[a], ranks[b]);
+        }
+        nbhs.push_back(Neighbourhood{std::move(ranks), std::move(lpt)});
       }
-      if (model.num_jobs() >= 2 && rng.bernoulli(0.5)) {
-        const auto a = static_cast<std::size_t>(rng.uniform_int(
-            0, static_cast<std::int64_t>(model.num_jobs()) - 1));
-        const auto b = static_cast<std::size_t>(rng.uniform_int(
-            0, static_cast<std::int64_t>(model.num_jobs()) - 1));
-        std::swap(ranks[a], ranks[b]);
+
+      shared_late.store(best.num_late, std::memory_order_relaxed);
+      std::vector<Solution> round_sols(nbhs.size());
+      std::vector<SearchStats> round_stats(nbhs.size());
+      auto run_neighbourhood = [&](std::size_t r) {
+        const SearchLimits limits = descent_limits(0.01);
+        SetTimesSearch search(model, nbhs[r].ranks, nbhs[r].lpt);
+        round_sols[r] = search.run(limits, nullptr, &round_stats[r]);
+      };
+      if (pool && nbhs.size() > 1) {
+        for (std::size_t r = 0; r < nbhs.size(); ++r) {
+          pool->submit([&run_neighbourhood, r] { run_neighbourhood(r); });
+        }
+        pool->wait_idle();
+      } else {
+        for (std::size_t r = 0; r < nbhs.size(); ++r) run_neighbourhood(r);
       }
-      SetTimesSearch search(model, ranks, lpt);
-      SearchLimits limits;
-      limits.max_fails = 0;
-      limits.stop_after_first_solution = true;
-      limits.postpone_tries = 0;
-      limits.time_limit_s = std::max(remaining(), 0.01);
-      SearchStats st;
-      Solution sol = search.run(limits, nullptr, &st);
-      account(st);
-      if (sol.better_than(best)) {
-        best = sol;
-        best_ranks = std::move(ranks);
-        best_lpt = std::move(lpt);
-        ++stats.lns_improvements;
+      for (std::size_t r = 0; r < nbhs.size(); ++r) {
+        account(round_stats[r]);
+        if (round_sols[r].better_than(best)) {
+          best = std::move(round_sols[r]);
+          best_ranks = std::move(nbhs[r].ranks);
+          best_lpt = std::move(nbhs[r].lpt);
+          ++stats.lns_improvements;
+        }
       }
     }
   }

@@ -13,6 +13,13 @@
 //      descent, accepting improvements.
 // Phase 2 and 3 only run while jobs are still late — a zero-late
 // incumbent is optimal for the paper's objective.
+//
+// With num_threads > 1 the portfolio members and each LNS round's
+// neighbourhoods run concurrently on a ThreadPool, sharing an atomic
+// incumbent late-count that prunes strictly-worse branches. Winner
+// selection happens deterministically after the barrier, so for a fixed
+// seed the result is independent of thread count and timing (as long as
+// the wall-clock budget does not bind) — see docs/cp_engine.md.
 #pragma once
 
 #include <cstdint>
@@ -34,9 +41,21 @@ struct SolveParams {
   int postpone_tries = 2;
   /// LNS restarts after the improvement run (0 disables LNS).
   int lns_iterations = 20;
+  /// LNS neighbourhoods generated and evaluated per round. All of a
+  /// round's neighbourhoods are derived from the incumbent at the start
+  /// of the round (RNG draws in a fixed order) and their acceptance is
+  /// folded in generation order, so results depend on this value but —
+  /// for a fixed value — not on num_threads. 1 reproduces the purely
+  /// sequential accept-then-regenerate behaviour.
+  int lns_batch = 1;
   /// Overall wall-clock budget for the solve.
   double time_limit_s = 0.5;
   std::uint64_t seed = 1;
+  /// Worker threads for the portfolio and LNS phases: 1 = run in the
+  /// calling thread (default), 0 = one worker per hardware thread, n >
+  /// 1 = exactly n workers. For a fixed seed the returned solution is
+  /// identical for every value whenever time_limit_s does not bind.
+  int num_threads = 1;
 };
 
 struct SolveStats {

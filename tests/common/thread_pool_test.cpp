@@ -1,0 +1,72 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+namespace mrcp {
+namespace {
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, ReusableAcrossRounds) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int round = 0; round < 5; ++round) {
+    for (int i = 0; i < 10; ++i) {
+      pool.submit([&counter] { counter.fetch_add(1); });
+    }
+    pool.wait_idle();
+    EXPECT_EQ(counter.load(), (round + 1) * 10);
+  }
+}
+
+TEST(ThreadPool, WaitIdleWithNothingSubmittedReturns) {
+  ThreadPool pool(3);
+  pool.wait_idle();  // must not deadlock
+}
+
+TEST(ThreadPool, DestructorDrainsQueue) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 20; ++i) {
+      pool.submit([&counter] { counter.fetch_add(1); });
+    }
+  }  // destructor joins; queued tasks have run or been completed
+  EXPECT_EQ(counter.load(), 20);
+}
+
+TEST(ThreadPool, TasksObserveEachOthersWrites) {
+  // submit/wait_idle must form a happens-before edge usable for the
+  // solver's collect-then-fold pattern.
+  ThreadPool pool(4);
+  std::vector<int> results(64, 0);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    pool.submit([&results, i] { results[i] = static_cast<int>(i) + 1; });
+  }
+  pool.wait_idle();
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i], static_cast<int>(i) + 1);
+  }
+}
+
+TEST(ThreadPool, ClampsThreadCount) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1);
+  EXPECT_GE(ThreadPool::resolve_num_threads(0), 1);
+  EXPECT_EQ(ThreadPool::resolve_num_threads(3), 3);
+}
+
+}  // namespace
+}  // namespace mrcp

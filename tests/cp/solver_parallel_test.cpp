@@ -1,0 +1,130 @@
+// Determinism of the parallel portfolio/LNS solver: for a fixed seed
+// (and a budget that does not bind), solve() must return identical
+// num_late and placements for every thread count. The winner fold runs
+// after the barrier and the shared incumbent bound only cuts
+// strictly-worse branches, so 1, 4 and all-hardware threads must agree
+// bit-for-bit (docs/cp_engine.md states the guarantee).
+#include "cp/solver.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+
+namespace mrcp::cp {
+namespace {
+
+SolveParams parallel_params(std::uint64_t seed) {
+  SolveParams p;
+  p.improvement_fails = 2000;
+  p.lns_iterations = 24;
+  p.lns_batch = 4;
+  p.time_limit_s = 60.0;  // must not bind: timing-dependent cutoffs
+                          // are the one non-deterministic knob
+  p.seed = seed;
+  return p;
+}
+
+/// Random open-stream instance in the tier-1 scenario shape (mixed
+/// tight/loose deadlines, map+reduce phases, several resources).
+Model random_model(std::uint64_t seed) {
+  RandomStream rng(seed, 0);
+  Model m;
+  const int num_resources = static_cast<int>(rng.uniform_int(1, 4));
+  for (int r = 0; r < num_resources; ++r) {
+    m.add_resource(static_cast<int>(rng.uniform_int(1, 3)),
+                   static_cast<int>(rng.uniform_int(1, 3)));
+  }
+  const int num_jobs = static_cast<int>(rng.uniform_int(3, 10));
+  for (int j = 0; j < num_jobs; ++j) {
+    const Time est = rng.uniform_int(0, 100);
+    Time work = 0;
+    std::vector<Time> maps;
+    std::vector<Time> reduces;
+    const int nm = static_cast<int>(rng.uniform_int(1, 6));
+    const int nr = static_cast<int>(rng.uniform_int(0, 4));
+    for (int t = 0; t < nm; ++t) {
+      maps.push_back(rng.uniform_int(5, 60));
+      work += maps.back();
+    }
+    for (int t = 0; t < nr; ++t) {
+      reduces.push_back(rng.uniform_int(5, 60));
+      work += reduces.back();
+    }
+    const Time deadline = est + work / 2 + rng.uniform_int(20, 150);
+    const CpJobIndex cj = m.add_job(est, deadline, j);
+    for (Time d : maps) m.add_task(cj, Phase::kMap, d);
+    for (Time d : reduces) m.add_task(cj, Phase::kReduce, d);
+  }
+  return m;
+}
+
+void expect_identical(const Solution& a, const Solution& b,
+                      const std::string& what) {
+  ASSERT_EQ(a.valid, b.valid) << what;
+  ASSERT_EQ(a.num_late, b.num_late) << what;
+  ASSERT_EQ(a.total_completion, b.total_completion) << what;
+  ASSERT_EQ(a.placements.size(), b.placements.size()) << what;
+  for (std::size_t i = 0; i < a.placements.size(); ++i) {
+    EXPECT_EQ(a.placements[i].resource, b.placements[i].resource)
+        << what << " task " << i;
+    EXPECT_EQ(a.placements[i].start, b.placements[i].start)
+        << what << " task " << i;
+  }
+}
+
+class SolverThreadDeterminism : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(SolverThreadDeterminism, SameResultForOneAndFourThreads) {
+  const Model m = random_model(GetParam());
+  ASSERT_EQ(m.validate(), "");
+
+  SolveParams p1 = parallel_params(GetParam());
+  p1.num_threads = 1;
+  SolveParams p4 = p1;
+  p4.num_threads = 4;
+  SolveParams p_auto = p1;
+  p_auto.num_threads = 0;  // all hardware threads
+
+  const SolveResult r1 = solve(m, p1);
+  const SolveResult r4 = solve(m, p4);
+  const SolveResult ra = solve(m, p_auto);
+  ASSERT_TRUE(r1.best.valid);
+  EXPECT_EQ(validate_solution(m, r4.best), "");
+  expect_identical(r1.best, r4.best, "1 vs 4 threads");
+  expect_identical(r1.best, ra.best, "1 vs auto threads");
+  EXPECT_EQ(r1.stats.best_ordering, r4.stats.best_ordering);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SolverThreadDeterminism,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+TEST(SolverParallel, WarmStartDeterministicAcrossThreads) {
+  const Model m = random_model(7);
+  SolveParams p = parallel_params(7);
+  p.num_threads = 1;
+  const SolveResult warm = solve(m, p);
+  SolveParams p4 = p;
+  p4.num_threads = 4;
+  const SolveResult r1 = solve(m, p, &warm.best);
+  const SolveResult r4 = solve(m, p4, &warm.best);
+  expect_identical(r1.best, r4.best, "warm-started 1 vs 4 threads");
+  EXPECT_LE(r4.best.num_late, warm.best.num_late);
+}
+
+TEST(SolverParallel, LnsBatchOneMatchesSeedSemantics) {
+  // lns_batch = 1 must reproduce the strictly sequential
+  // accept-then-regenerate loop regardless of the thread count.
+  const Model m = random_model(3);
+  SolveParams a = parallel_params(3);
+  a.lns_batch = 1;
+  a.num_threads = 1;
+  SolveParams b = a;
+  b.num_threads = 4;
+  expect_identical(solve(m, a).best, solve(m, b).best, "lns_batch=1");
+}
+
+}  // namespace
+}  // namespace mrcp::cp

@@ -115,6 +115,7 @@ int run_simulate(const Flags& flags) {
   if (rm == "mrcp") {
     MrcpConfig config;
     config.solve.time_limit_s = flags.get_double("solver-budget-s");
+    config.solve.num_threads = static_cast<int>(flags.get_int("solver-threads"));
     config.use_separation = !flags.get_bool("no-separation");
     config.defer_future_jobs = !flags.get_bool("no-deferral");
     metrics = sim::simulate_mrcp(w, config);
@@ -169,6 +170,8 @@ int main(int argc, char** argv) {
       .add_int("seed", 1, "generator seed")
       .add_double("warmup", 0.1, "warmup fraction for metrics")
       .add_double("solver-budget-s", 0.1, "mrcp: CP budget per invocation")
+      .add_int("solver-threads", 1,
+               "mrcp: CP solver worker threads (0 = all hardware threads)")
       .add_bool("no-separation", false, "mrcp: disable §V.D separation")
       .add_bool("no-deferral", false, "mrcp: disable §V.E deferral")
       .add_string("trace-out", "", "simulate: write executed schedule CSV");
