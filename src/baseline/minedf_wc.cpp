@@ -39,6 +39,14 @@ void build_queue(MinEdfWcScheduler::PhaseQueue& queue, const Job& job,
 
 }  // namespace
 
+void MinEdfWcScheduler::PhaseQueue::requeue(int task_index, Time duration) {
+  MRCP_CHECK_MSG(head > 0, "requeue without a prior pop");
+  --head;
+  order[head] = task_index;
+  suffix_sum[head] = suffix_sum[head + 1] + duration;
+  suffix_max[head] = std::max(suffix_max[head + 1], duration);
+}
+
 PhaseStats MinEdfWcScheduler::PhaseQueue::remaining_stats(Time now) const {
   PhaseStats stats;
   stats.sum = suffix_sum[head];
@@ -56,8 +64,66 @@ MinEdfWcScheduler::MinEdfWcScheduler(const Cluster& cluster, LaunchFn launch,
       launch_(std::move(launch)),
       config_(config),
       free_map_(cluster.total_map_slots()),
-      free_reduce_(cluster.total_reduce_slots()) {
+      free_reduce_(cluster.total_reduce_slots()),
+      avail_map_(cluster.total_map_slots()),
+      avail_reduce_(cluster.total_reduce_slots()) {
   MRCP_CHECK(launch_ != nullptr);
+}
+
+void MinEdfWcScheduler::handle_resource_down(int map_slots, int reduce_slots) {
+  MRCP_CHECK(map_slots >= 0 && reduce_slots >= 0);
+  ++stats_.resource_down_events;
+  avail_map_ -= map_slots;
+  avail_reduce_ -= reduce_slots;
+  MRCP_CHECK_MSG(avail_map_ >= 0 && avail_reduce_ >= 0,
+                 "more slots failed than the cluster has");
+  // Busy slots on the failed resource are subtracted here too; each of
+  // their tasks departs via handle_task_killed (or finishes at this very
+  // tick), which adds the slot back — restoring free = avail - running.
+  free_map_ -= map_slots;
+  free_reduce_ -= reduce_slots;
+}
+
+void MinEdfWcScheduler::handle_resource_up(int map_slots, int reduce_slots) {
+  MRCP_CHECK(map_slots >= 0 && reduce_slots >= 0);
+  ++stats_.resource_up_events;
+  avail_map_ += map_slots;
+  avail_reduce_ += reduce_slots;
+  free_map_ += map_slots;
+  free_reduce_ += reduce_slots;
+}
+
+void MinEdfWcScheduler::handle_task_killed(JobId job, int task_index,
+                                           Time planned_end, Time now) {
+  auto it = jobs_.find(job);
+  MRCP_CHECK_MSG(it != jobs_.end(), "killed task of unknown job");
+  JobRun& run = it->second;
+  const Task& task = run.job.task(static_cast<std::size_t>(task_index));
+  MRCP_CHECK_MSG(planned_end > now, "killed task had already ended");
+  auto drop_exact_end = [planned_end](std::vector<Time>& ends) {
+    for (std::size_t i = 0; i < ends.size(); ++i) {
+      if (ends[i] == planned_end) {
+        ends[i] = ends.back();
+        ends.pop_back();
+        return;
+      }
+    }
+    MRCP_CHECK_MSG(false, "killed task not among running ends");
+  };
+  if (task.type == TaskType::kMap) {
+    MRCP_CHECK(run.running_maps > 0);
+    --run.running_maps;
+    drop_exact_end(run.maps.running_ends);
+    run.maps.requeue(task_index, task.exec_time);
+    ++free_map_;
+  } else {
+    MRCP_CHECK(run.running_reduces > 0);
+    --run.running_reduces;
+    drop_exact_end(run.reduces.running_ends);
+    run.reduces.requeue(task_index, task.exec_time);
+    ++free_reduce_;
+  }
+  ++stats_.tasks_requeued;
 }
 
 void MinEdfWcScheduler::submit(const Job& job, Time now) {
@@ -172,31 +238,34 @@ void MinEdfWcScheduler::dispatch(Time now) {
     if (config_.allocation == AllocationPolicy::kMaximal) {
       // Plain EDF: grab everything; the EDF pass order is the only
       // prioritization.
-      prof.map_slots = cluster_.total_map_slots();
-      prof.reduce_slots = cluster_.total_reduce_slots();
+      prof.map_slots = avail_map_;
+      prof.reduce_slots = avail_reduce_;
       prof.feasible = true;
     } else {
       // Remaining work = pending tasks plus the residual of running
       // tasks; ignoring the running residual would make the estimator
-      // think a busy slot can immediately serve pending work.
+      // think a busy slot can immediately serve pending work. The
+      // estimator is capped by the currently-up slot pool (clamped to 1
+      // during a total-phase outage; grants are bounded by the free
+      // counters anyway, so nothing launches then).
       const PhaseStats map_stats = run.maps.remaining_stats(now);
       const PhaseStats reduce_stats = run.reduces.remaining_stats(now);
       prof = minimal_slot_profile(map_stats, reduce_stats, now,
-                                  run.job.deadline,
-                                  cluster_.total_map_slots(),
-                                  cluster_.total_reduce_slots(), config_.bound);
+                                  run.job.deadline, std::max(1, avail_map_),
+                                  std::max(1, avail_reduce_), config_.bound);
     }
 
     int want_m = std::max(0, prof.map_slots - run.running_maps);
-    want_m =
-        std::min({want_m, static_cast<int>(run.maps.pending()), free_m});
+    want_m = std::max(
+        0, std::min({want_m, static_cast<int>(run.maps.pending()), free_m}));
     grant_m[id] = want_m;
     free_m -= want_m;
 
     if (run.reduces_eligible()) {
       int want_r = std::max(0, prof.reduce_slots - run.running_reduces);
-      want_r =
-          std::min({want_r, static_cast<int>(run.reduces.pending()), free_r});
+      want_r = std::max(
+          0,
+          std::min({want_r, static_cast<int>(run.reduces.pending()), free_r}));
       grant_r[id] = want_r;
       free_r -= want_r;
     }

@@ -59,6 +59,9 @@ struct MinEdfStats {
   std::uint64_t jobs_completed = 0;
   std::uint64_t dispatches = 0;
   std::uint64_t tasks_launched = 0;
+  std::uint64_t tasks_requeued = 0;  ///< killed by failures, re-queued
+  std::uint64_t resource_down_events = 0;
+  std::uint64_t resource_up_events = 0;
   double total_sched_seconds = 0.0;
 
   double average_sched_seconds_per_job() const {
@@ -79,6 +82,24 @@ class MinEdfWcScheduler {
 
   void submit(const Job& job, Time now);
   void on_task_finished(JobId job, int task_index, Time now);
+
+  /// A resource with the given slot counts failed: its slots leave the
+  /// pool. Free counters may go transiently negative until the driver
+  /// reports every task that was running on it via handle_task_killed()
+  /// (or a same-tick on_task_finished()); no dispatch happens here —
+  /// call wake(now) once the failure is fully processed.
+  void handle_resource_down(int map_slots, int reduce_slots);
+  /// The resource was repaired: its (idle) slots rejoin the pool. Call
+  /// wake(now) afterwards to hand them out.
+  void handle_resource_up(int map_slots, int reduce_slots);
+
+  /// A running task was killed at `now` by a resource failure. Its slot
+  /// is accounted back (see handle_resource_down) and the task re-enters
+  /// the front of its phase queue, to be re-dispatched EDF-style. The
+  /// task's previously planned end time identifies it among the job's
+  /// running tasks. No dispatch — call wake(now) after the batch.
+  void handle_task_killed(JobId job, int task_index, Time planned_end,
+                          Time now);
 
   /// Earliest future s_j among jobs not yet eligible; kNoTime when all
   /// jobs are eligible. The driver should call wake() at that time.
@@ -106,6 +127,9 @@ class MinEdfWcScheduler {
 
     std::size_t pending() const { return order.size() - head; }
     int pop_front() { return order[head++]; }
+    /// Push a previously popped task back to the front (failure
+    /// recovery); O(1), restores the suffix statistics for its slot.
+    void requeue(int task_index, Time duration);
     /// Remaining work = pending durations + residuals of running tasks.
     PhaseStats remaining_stats(Time now) const;
   };
@@ -135,6 +159,10 @@ class MinEdfWcScheduler {
   MinEdfConfig config_;
   int free_map_ = 0;
   int free_reduce_ = 0;
+  /// Slots on currently-up resources; caps the ARIA profile under
+  /// failures (equal to the cluster totals while nothing is down).
+  int avail_map_ = 0;
+  int avail_reduce_ = 0;
   std::map<JobId, JobRun> jobs_;
   MinEdfStats stats_;
 };

@@ -13,6 +13,45 @@ namespace mrcp {
 MrcpRm::MrcpRm(Cluster cluster, MrcpConfig config)
     : cluster_(std::move(cluster)), config_(std::move(config)) {
   MRCP_CHECK(cluster_.size() >= 1);
+  pristine_cluster_ = cluster_;
+  down_.assign(static_cast<std::size_t>(cluster_.size()), 0);
+}
+
+void MrcpRm::handle_resource_down(ResourceId resource, Time now) {
+  MRCP_CHECK(resource >= 0 && resource < cluster_.size());
+  const auto ri = static_cast<std::size_t>(resource);
+  MRCP_CHECK_MSG(down_[ri] == 0, "resource failed twice without repair");
+  down_[ri] = 1;
+  ++stats_.resource_down_events;
+  cluster_.set_resource_capacity(resource, 0, 0);
+  MRCP_CHECK_MSG(
+      cluster_.total_map_slots() > 0 || cluster_.total_reduce_slots() > 0,
+      "every resource is down");
+  // Any assignment still running or planned on the failed resource
+  // becomes unassigned work; assignments that already ended stay and are
+  // swept as completed by the next reschedule().
+  for (auto& [id, st] : active_) {
+    for (std::size_t ti = 0; ti < st.assignments.size(); ++ti) {
+      if (st.completed[ti]) continue;
+      Assignment& as = st.assignments[ti];
+      if (as.assigned() && as.resource == resource && as.end > now) {
+        as = Assignment{};
+        ++stats_.tasks_reset_by_failure;
+      }
+    }
+  }
+}
+
+void MrcpRm::handle_resource_up(ResourceId resource, Time now) {
+  MRCP_CHECK(resource >= 0 && resource < cluster_.size());
+  (void)now;
+  const auto ri = static_cast<std::size_t>(resource);
+  MRCP_CHECK_MSG(down_[ri] != 0, "repair of a resource that is not down");
+  down_[ri] = 0;
+  ++stats_.resource_up_events;
+  const Resource& base = pristine_cluster_.resource(resource);
+  cluster_.set_resource_capacity(resource, base.map_capacity,
+                                 base.reduce_capacity);
 }
 
 void MrcpRm::submit(const Job& job, Time now) {

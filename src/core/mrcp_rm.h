@@ -82,6 +82,10 @@ struct MrcpStats {
   std::int64_t solver_decisions = 0;
   std::int64_t solver_fails = 0;
   std::uint64_t max_live_tasks = 0;  ///< largest model solved
+  std::uint64_t resource_down_events = 0;
+  std::uint64_t resource_up_events = 0;
+  /// Assignments reset by handle_resource_down (killed + unstarted).
+  std::uint64_t tasks_reset_by_failure = 0;
 
   /// O: average matchmaking and scheduling time per submitted job
   /// (paper §VI: total scheduling time / jobs mapped and scheduled).
@@ -102,6 +106,18 @@ class MrcpRm {
   /// Run the Table 2 matchmaking-and-scheduling algorithm at time `now`.
   /// Returns the freshly published plan.
   const Plan& reschedule(Time now);
+
+  /// A resource failed at `now`: its slot capacity leaves the model and
+  /// every non-completed assignment on it — running tasks the driver
+  /// just killed as well as planned-but-unstarted ones — is reset, so
+  /// the next reschedule() re-enters them as unstarted work (the Table 2
+  /// classification applied to failure recovery). The caller must invoke
+  /// reschedule(now) afterwards to publish a repaired plan.
+  void handle_resource_down(ResourceId resource, Time now);
+
+  /// The resource was repaired at `now`: its capacity rejoins the model.
+  /// Call reschedule(now) to let the solver take advantage of it.
+  void handle_resource_up(ResourceId resource, Time now);
 
   const Plan& current_plan() const { return plan_; }
   const Cluster& cluster() const { return cluster_; }
@@ -133,7 +149,9 @@ class MrcpRm {
   std::vector<LiveJob> collect_live_jobs(Time now) const;
   void publish_plan(Time now);
 
-  Cluster cluster_;
+  Cluster cluster_;            ///< working capacities (failed => zeroed)
+  Cluster pristine_cluster_;   ///< capacities as constructed
+  std::vector<std::uint8_t> down_;  ///< per-resource failed flag
   MrcpConfig config_;
   std::map<JobId, JobState> active_;
   std::multimap<Time, Job> deferred_;  ///< release time -> job

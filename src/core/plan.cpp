@@ -16,6 +16,10 @@ std::string Plan::to_string() const {
 
 std::string validate_plan(const Plan& plan, const Cluster& cluster,
                           const std::vector<const Job*>& jobs_by_id) {
+  bool links_constrained = false;
+  for (const Resource& r : cluster.resources()) {
+    links_constrained = links_constrained || r.net_capacity > 0;
+  }
   // (resource, phase) -> time -> usage delta
   std::map<std::pair<ResourceId, int>, std::map<Time, int>> deltas;
   // job -> latest map end / earliest reduce start in this plan
@@ -54,8 +58,10 @@ std::string validate_plan(const Plan& plan, const Cluster& cluster,
 
     deltas[{pt.resource, static_cast<int>(pt.type)}][pt.start] += task.res_req;
     deltas[{pt.resource, static_cast<int>(pt.type)}][pt.end] -= task.res_req;
-    if (task.net_demand > 0 &&
-        cluster.resource(pt.resource).net_capacity > 0) {
+    // Swept against every resource once links are constrained anywhere:
+    // a zero-capacity resource then rejects net demand instead of
+    // silently skipping the check.
+    if (task.net_demand > 0 && links_constrained) {
       deltas[{pt.resource, 2}][pt.start] += task.net_demand;
       deltas[{pt.resource, 2}][pt.end] -= task.net_demand;
     }

@@ -142,8 +142,16 @@ Time Model::completion_lower_bound(CpJobIndex job) const {
   return std::max(completion, energetic);
 }
 
+bool Model::links_constrained() const {
+  for (const CpResource& r : resources_) {
+    if (r.net_capacity > 0) return true;
+  }
+  return false;
+}
+
 std::string Model::validate() const {
   if (resources_.empty()) return "model has no resources";
+  const bool links = links_constrained();
   for (std::size_t ti = 0; ti < tasks_.size(); ++ti) {
     const CpTask& t = tasks_[ti];
     const std::string where = "task " + std::to_string(ti) + ": ";
@@ -159,8 +167,9 @@ std::string Model::validate() const {
     bool fits = false;
     auto check_fit = [&](const CpResource& res) {
       if (res.capacity(t.phase) < t.demand) return false;
-      if (t.net_demand > 0 && res.net_capacity > 0 &&
-          res.net_capacity < t.net_demand) {
+      // With links constrained cluster-wide, a zero-capacity resource
+      // cannot host a net-demanding task (it is not "unconstrained").
+      if (t.net_demand > 0 && links && res.net_capacity < t.net_demand) {
         return false;
       }
       return true;

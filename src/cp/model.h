@@ -135,6 +135,13 @@ class Model {
   /// (ignores capacity). Used by the search to detect must-be-late jobs.
   Time completion_lower_bound(CpJobIndex job) const;
 
+  /// True when any resource has net_capacity > 0: the cluster models
+  /// communication links. A net-demanding task must then fit its
+  /// resource's link capacity — a zero-capacity resource has none. With
+  /// every capacity zero, links are unconstrained and net_demand is
+  /// ignored everywhere.
+  bool links_constrained() const;
+
   /// Structural validation; empty string when consistent.
   std::string validate() const;
 

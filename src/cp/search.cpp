@@ -86,6 +86,7 @@ SetTimesSearch::SetTimesSearch(const Model& model, std::vector<int> job_rank,
     profiles_.emplace_back(std::max(1, r.reduce_capacity));
     net_profiles_.emplace_back(std::max(1, r.net_capacity));
   }
+  links_constrained_ = model_.links_constrained();
 
   placements_.assign(model_.num_tasks(), TaskPlacement{});
   fixed_map_end_.assign(model_.num_jobs(), 0);
@@ -239,7 +240,9 @@ void SetTimesSearch::build_choices(CpTaskIndex task, Level& level) {
   auto consider = [&](CpResourceIndex r) {
     const CpResource& res = model_.resource(r);
     if (res.capacity(t.phase) < t.demand) return;
-    if (t.net_demand > 0 && res.net_capacity > 0 &&
+    // In a links-constrained cluster a zero-capacity resource offers no
+    // link at all — it is not a valid home for a net-demanding task.
+    if (t.net_demand > 0 && links_constrained_ &&
         res.net_capacity < t.net_demand) {
       return;
     }

@@ -101,6 +101,7 @@ class SetTimesSearch {
   void undo(CpTaskIndex task, Level& level);
 
   const Model& model_;
+  bool links_constrained_ = false;  ///< cached Model::links_constrained()
   std::vector<int> job_rank_;
   std::vector<std::uint8_t> lpt_within_job_;
   std::vector<CpTaskIndex> order_;  ///< non-pinned tasks, decision order

@@ -75,7 +75,10 @@ std::string validate_solution(const Model& model, const Solution& sol) {
     deltas[{p.resource, static_cast<int>(t.phase)}][p.start + t.duration] -=
         t.demand;
     // Third sweep dimension (key 2): per-resource network-link usage.
-    if (t.net_demand > 0 && model.resource(p.resource).net_capacity > 0) {
+    // Swept whenever the cluster constrains links at all — placing a
+    // net-demanding task on a zero-capacity resource must *fail* the
+    // sweep, not skip it.
+    if (t.net_demand > 0 && model.links_constrained()) {
       deltas[{p.resource, 2}][p.start] += t.net_demand;
       deltas[{p.resource, 2}][p.start + t.duration] -= t.net_demand;
     }

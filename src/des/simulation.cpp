@@ -53,9 +53,11 @@ bool Simulation::step(Time until) {
 }
 
 void Simulation::run(Time until) {
-  stop_requested_ = false;
+  // A stop requested before run() halts it before the first event; the
+  // flag is consumed on exit so the next run() starts fresh either way.
   while (!stop_requested_ && step(until)) {
   }
+  stop_requested_ = false;
 }
 
 }  // namespace mrcp::des

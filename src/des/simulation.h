@@ -85,7 +85,9 @@ class Simulation {
   /// Returns false when no such event exists.
   bool step(Time until = kMaxTime);
 
-  /// Stop the current run() after the in-flight event returns.
+  /// Stop the current run() after the in-flight event returns. Calling
+  /// this before run() makes that run() return before processing any
+  /// event; the request is consumed when run() returns.
   void request_stop() { stop_requested_ = true; }
 
   bool empty() const { return pending_count_ == 0; }

@@ -30,6 +30,17 @@ void Cluster::add_resource(int map_capacity, int reduce_capacity,
   total_reduce_slots_ += reduce_capacity;
 }
 
+void Cluster::set_resource_capacity(ResourceId id, int map_capacity,
+                                    int reduce_capacity) {
+  MRCP_CHECK(id >= 0 && id < size());
+  MRCP_CHECK(map_capacity >= 0 && reduce_capacity >= 0);
+  Resource& r = resources_[static_cast<std::size_t>(id)];
+  total_map_slots_ += map_capacity - r.map_capacity;
+  total_reduce_slots_ += reduce_capacity - r.reduce_capacity;
+  r.map_capacity = map_capacity;
+  r.reduce_capacity = reduce_capacity;
+}
+
 const Resource& Cluster::resource(ResourceId id) const {
   MRCP_CHECK(id >= 0 && id < size());
   return resources_[static_cast<std::size_t>(id)];

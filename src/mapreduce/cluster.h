@@ -38,6 +38,12 @@ class Cluster {
   void add_resource(int map_capacity, int reduce_capacity,
                     int net_capacity = 0);
 
+  /// Overwrite a resource's slot capacities, keeping its link capacity.
+  /// Unlike add_resource this permits zero slots — the fault layer uses
+  /// it to take a failed resource out of service (and to restore it).
+  void set_resource_capacity(ResourceId id, int map_capacity,
+                             int reduce_capacity);
+
   int size() const { return static_cast<int>(resources_.size()); }
   const Resource& resource(ResourceId id) const;
   const std::vector<Resource>& resources() const { return resources_; }

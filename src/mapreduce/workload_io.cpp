@@ -155,6 +155,15 @@ bool parse_workload(std::istream& in, Workload& workload, std::string* error) {
       return fail(error, parser.where() + ": malformed 'job' line");
     }
     Job job;
+    // Ids index per-job arrays throughout the simulator: enforce dense
+    // in-order ids here, with a message that names the offending line
+    // (validate_workload would catch this too, but only after the whole
+    // file parsed and without the location).
+    if (id != ji) {
+      return fail(error, parser.where() + ": job ids must be dense and in " +
+                             "order (expected " + std::to_string(ji) +
+                             ", got " + std::to_string(id) + ")");
+    }
     job.id = static_cast<JobId>(id);
     job.arrival_time = arrival;
     job.earliest_start = est;

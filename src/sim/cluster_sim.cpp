@@ -4,6 +4,7 @@
 #include <functional>
 #include <map>
 #include <sstream>
+#include <utility>
 
 #include "baseline/minedf_wc.h"
 #include "common/check.h"
@@ -16,6 +17,11 @@ namespace {
 std::vector<JobRecord> make_records(const Workload& workload) {
   std::vector<JobRecord> records(workload.jobs.size());
   for (const Job& job : workload.jobs) {
+    // validate_workload guarantees dense in-order ids; keep the bound
+    // explicit so a caller bypassing validation fails loudly, not UB.
+    MRCP_CHECK_MSG(
+        job.id >= 0 && static_cast<std::size_t>(job.id) < records.size(),
+        "job id out of range (ids must be dense)");
     JobRecord& r = records[static_cast<std::size_t>(job.id)];
     r.id = job.id;
     r.arrival = job.arrival_time;
@@ -25,17 +31,21 @@ std::vector<JobRecord> make_records(const Workload& workload) {
   return records;
 }
 
-void finish_job(JobRecord& record, Time now) {
-  MRCP_CHECK_MSG(!record.completed(), "job completed twice");
-  record.completion = now;
-  record.late = now > record.deadline;
+bool cluster_constrains_links(const Cluster& cluster) {
+  for (const Resource& r : cluster.resources()) {
+    if (r.net_capacity > 0) return true;
+  }
+  return false;
 }
 
 }  // namespace
 
 std::string validate_execution(const Workload& workload,
-                               const std::vector<ExecutedTask>& executed) {
-  // Every task of every job executed exactly once.
+                               const std::vector<ExecutedTask>& executed,
+                               const std::vector<ExecutedTask>& killed,
+                               const std::vector<DownInterval>& downtime) {
+  // Every task of every job executed successfully exactly once (killed
+  // attempts are extra occupancy on top, never a completion).
   std::size_t expected = 0;
   for (const Job& j : workload.jobs) expected += j.num_tasks();
   if (executed.size() != expected) {
@@ -43,6 +53,10 @@ std::string validate_execution(const Workload& workload,
     os << "executed " << executed.size() << " tasks, expected " << expected;
     return os.str();
   }
+  // When any resource constrains its links, a net-demanding task *must*
+  // be swept against its resource's link capacity — a zero-capacity
+  // resource then has no room for it (rather than silently skipping).
+  const bool links_constrained = cluster_constrains_links(workload.cluster);
   std::map<std::pair<JobId, int>, const ExecutedTask*> seen;
   std::map<std::pair<ResourceId, int>, std::map<Time, int>> deltas;
   std::map<JobId, Time> latest_map_end;
@@ -73,8 +87,7 @@ std::string validate_execution(const Workload& workload,
     }
     deltas[{et.resource, static_cast<int>(task.type)}][et.start] += task.res_req;
     deltas[{et.resource, static_cast<int>(task.type)}][et.end] -= task.res_req;
-    if (task.net_demand > 0 &&
-        workload.cluster.resource(et.resource).net_capacity > 0) {
+    if (task.net_demand > 0 && links_constrained) {
       deltas[{et.resource, 2}][et.start] += task.net_demand;
       deltas[{et.resource, 2}][et.end] -= task.net_demand;
     }
@@ -83,6 +96,70 @@ std::string validate_execution(const Workload& workload,
       if (!inserted) it->second = std::max(it->second, et.end);
     }
   }
+
+  // Downtime intervals, grouped per resource.
+  std::vector<std::vector<const DownInterval*>> down_by_res(
+      static_cast<std::size_t>(workload.cluster.size()));
+  for (const DownInterval& d : downtime) {
+    if (d.resource < 0 || d.resource >= workload.cluster.size()) {
+      return "downtime interval with bad resource";
+    }
+    if (d.end != kNoTime && d.end <= d.start) {
+      return "downtime interval with non-positive length";
+    }
+    down_by_res[static_cast<std::size_t>(d.resource)].push_back(&d);
+  }
+
+  // Killed attempts: partial occupancy ending exactly at a failure of
+  // their resource. They join the capacity sweeps — a slot lost mid-task
+  // was still a slot held.
+  for (const ExecutedTask& k : killed) {
+    std::ostringstream where;
+    where << "killed attempt job " << k.job << " task " << k.task_index << ": ";
+    if (k.job < 0 || static_cast<std::size_t>(k.job) >= workload.jobs.size()) {
+      return where.str() + "unknown job";
+    }
+    const Job& job = workload.jobs[static_cast<std::size_t>(k.job)];
+    if (k.task_index < 0 ||
+        static_cast<std::size_t>(k.task_index) >= job.num_tasks()) {
+      return where.str() + "bad task index";
+    }
+    if (k.resource < 0 || k.resource >= workload.cluster.size()) {
+      return where.str() + "bad resource";
+    }
+    const Task& task = job.task(static_cast<std::size_t>(k.task_index));
+    if (k.end < k.start) return where.str() + "negative attempt length";
+    if (k.end - k.start >= task.exec_time) {
+      return where.str() + "attempt ran to completion yet counts as killed";
+    }
+    bool at_failure = false;
+    for (const DownInterval* d : down_by_res[static_cast<std::size_t>(k.resource)]) {
+      at_failure = at_failure || d->start == k.end;
+    }
+    if (!at_failure) {
+      return where.str() + "kill time matches no failure of its resource";
+    }
+    deltas[{k.resource, static_cast<int>(task.type)}][k.start] += task.res_req;
+    deltas[{k.resource, static_cast<int>(task.type)}][k.end] -= task.res_req;
+    if (task.net_demand > 0 && links_constrained) {
+      deltas[{k.resource, 2}][k.start] += task.net_demand;
+      deltas[{k.resource, 2}][k.end] -= task.net_demand;
+    }
+  }
+
+  // No successful interval may overlap its resource's downtime.
+  for (const ExecutedTask& et : executed) {
+    for (const DownInterval* d : down_by_res[static_cast<std::size_t>(et.resource)]) {
+      const Time down_end = d->end == kNoTime ? kMaxTime : d->end;
+      if (et.start < down_end && d->start < et.end) {
+        std::ostringstream os;
+        os << "job " << et.job << " task " << et.task_index
+           << " ran during downtime of resource " << et.resource;
+        return os.str();
+      }
+    }
+  }
+
   // Precedence: reduces strictly after all maps of the job.
   for (const ExecutedTask& et : executed) {
     const Job& job = workload.jobs[static_cast<std::size_t>(et.job)];
@@ -135,18 +212,42 @@ std::string validate_execution(const Workload& workload,
   return "";
 }
 
+std::string validate_execution(const Workload& workload,
+                               const std::vector<ExecutedTask>& executed) {
+  return validate_execution(workload, executed, {}, {});
+}
+
 SimMetrics simulate_mrcp(const Workload& workload, const MrcpConfig& config,
                          const SimOptions& options) {
   MRCP_CHECK_MSG(validate_workload(workload).empty(), "invalid workload");
+  const FaultConfig& faults = options.faults;
+  {
+    const std::string fault_err = faults.validate();
+    MRCP_CHECK_MSG(fault_err.empty(), fault_err.c_str());
+  }
+
+  SimMetrics metrics;
+
+  // Stragglers are an up-front workload transform: both the RM and the
+  // post-hoc validator see the true (slowed) durations.
+  Workload straggled;
+  const Workload* active_workload = &workload;
+  if (faults.stragglers_enabled()) {
+    straggled = workload;
+    metrics.failure.straggler_tasks = apply_stragglers(straggled, faults);
+    active_workload = &straggled;
+  }
+  const Workload& w = *active_workload;
 
   des::Simulation des;
   MrcpConfig rm_config = config;
   rm_config.validate_plans = rm_config.validate_plans || options.validate_plans;
-  MrcpRm rm(workload.cluster, rm_config);
+  MrcpRm rm(w.cluster, rm_config);
+  FaultInjector injector(w.cluster.size(), faults);
 
-  SimMetrics metrics;
-  metrics.records = make_records(workload);
+  metrics.records = make_records(w);
   std::vector<ExecutedTask> executed;
+  std::size_t jobs_left = w.jobs.size();
 
   // Per-task driver state.
   struct TaskState {
@@ -156,9 +257,9 @@ SimMetrics simulate_mrcp(const Workload& workload, const MrcpConfig& config,
     Time start = kNoTime;
     Time end = kNoTime;
   };
-  std::vector<std::vector<TaskState>> tasks(workload.jobs.size());
-  std::vector<std::size_t> remaining(workload.jobs.size());
-  for (const Job& job : workload.jobs) {
+  std::vector<std::vector<TaskState>> tasks(w.jobs.size());
+  std::vector<std::size_t> remaining(w.jobs.size());
+  for (const Job& job : w.jobs) {
     tasks[static_cast<std::size_t>(job.id)].resize(job.num_tasks());
     remaining[static_cast<std::size_t>(job.id)] = job.num_tasks();
   }
@@ -169,7 +270,7 @@ SimMetrics simulate_mrcp(const Workload& workload, const MrcpConfig& config,
   // Forward declarations via std::function so the plan applier can
   // schedule completion events that re-enter nothing (completions do not
   // trigger rescheduling in MRCP-RM: the plan already extends beyond
-  // them; only arrivals and deferral releases do).
+  // them; only arrivals, deferral releases and faults do).
   std::function<void(const Plan&)> apply_plan;
   std::function<void()> update_deferral_wakeup;
 
@@ -182,7 +283,15 @@ SimMetrics simulate_mrcp(const Workload& workload, const MrcpConfig& config,
         ExecutedTask{job_id, task_index, ts.resource, ts.start, ts.end});
     MRCP_CHECK(remaining[ji] > 0);
     if (--remaining[ji] == 0) {
-      finish_job(metrics.records[ji], des.now());
+      JobRecord& record = metrics.records[ji];
+      finish_job_record(record, des.now());
+      if (record.late && record.failure_affected) {
+        ++metrics.failure.jobs_late_failure_affected;
+      }
+      MRCP_CHECK(jobs_left > 0);
+      // Once the workload drains, stop injecting faults so the event
+      // list can empty.
+      if (--jobs_left == 0) injector.stop(des);
     }
   };
 
@@ -245,7 +354,40 @@ SimMetrics simulate_mrcp(const Workload& workload, const MrcpConfig& config,
     });
   };
 
-  for (const Job& job : workload.jobs) {
+  auto on_resource_down = [&](ResourceId r, Time t) {
+    // Kill every attempt occupying the failed resource at t: any task
+    // whose interval began before t, plus tasks explicitly committed at
+    // this very tick (started flag). A merely *planned* task starting at
+    // t has not begun — the RM re-places it below. Tasks ending exactly
+    // at t completed normally.
+    for (std::size_t ji = 0; ji < tasks.size(); ++ji) {
+      for (std::size_t ti = 0; ti < tasks[ji].size(); ++ti) {
+        TaskState& ts = tasks[ji][ti];
+        if (!ts.end_event.pending() || ts.resource != r) continue;
+        const bool occupies = ts.start < t || (ts.started && ts.start == t);
+        if (!occupies || ts.end <= t) continue;
+        des.cancel(ts.end_event);
+        metrics.killed.push_back(ExecutedTask{static_cast<JobId>(ji),
+                                              static_cast<int>(ti), r, ts.start,
+                                              t});
+        ++metrics.failure.tasks_killed;
+        metrics.failure.wasted_ticks += t - ts.start;
+        metrics.records[ji].failure_affected = true;
+        ts = TaskState{};
+      }
+    }
+    rm.handle_resource_down(r, t);
+    apply_plan(rm.reschedule(t));
+    update_deferral_wakeup();
+  };
+  auto on_resource_up = [&](ResourceId r, Time t) {
+    rm.handle_resource_up(r, t);
+    apply_plan(rm.reschedule(t));
+    update_deferral_wakeup();
+  };
+  injector.start(des, on_resource_down, on_resource_up);
+
+  for (const Job& job : w.jobs) {
     des.schedule_at(job.arrival_time, [&, &job = job] {
       rm.submit(job, des.now());
       const Plan& plan = rm.reschedule(des.now());
@@ -267,9 +409,13 @@ SimMetrics simulate_mrcp(const Workload& workload, const MrcpConfig& config,
   metrics.total_sched_seconds = rm_stats.total_sched_seconds;
   metrics.rm_invocations = rm_stats.invocations;
   metrics.max_live_tasks = rm_stats.max_live_tasks;
+  metrics.downtime = injector.downtime();
+  metrics.failure.resource_failures = injector.failures();
+  metrics.failure.resource_repairs = injector.repairs();
 
   if (options.validate_execution) {
-    const std::string err = validate_execution(workload, executed);
+    const std::string err =
+        validate_execution(w, executed, metrics.killed, metrics.downtime);
     MRCP_CHECK_MSG(err.empty(), err.c_str());
   }
   metrics.executed = std::move(executed);
@@ -286,15 +432,31 @@ SimMetrics simulate_minedf(const Workload& workload,
     MRCP_CHECK_MSG(j.precedences.empty(),
                    "MinEDF-WC does not support workflow precedences");
   }
+  const FaultConfig& faults = options.faults;
+  {
+    const std::string fault_err = faults.validate();
+    MRCP_CHECK_MSG(fault_err.empty(), fault_err.c_str());
+  }
+
+  SimMetrics metrics;
+  Workload straggled;
+  const Workload* active_workload = &workload;
+  if (faults.stragglers_enabled()) {
+    straggled = workload;
+    metrics.failure.straggler_tasks = apply_stragglers(straggled, faults);
+    active_workload = &straggled;
+  }
+  const Workload& w = *active_workload;
 
   des::Simulation des;
-  SimMetrics metrics;
-  metrics.records = make_records(workload);
+  FaultInjector injector(w.cluster.size(), faults);
+  metrics.records = make_records(w);
   std::vector<ExecutedTask> executed;
-  std::vector<std::size_t> remaining(workload.jobs.size());
-  for (const Job& job : workload.jobs) {
+  std::vector<std::size_t> remaining(w.jobs.size());
+  for (const Job& job : w.jobs) {
     remaining[static_cast<std::size_t>(job.id)] = job.num_tasks();
   }
+  std::size_t jobs_left = w.jobs.size();
 
   baseline::MinEdfWcScheduler* sched_ptr = nullptr;
   des::EventHandle eligibility_wakeup;
@@ -306,24 +468,38 @@ SimMetrics simulate_minedf(const Workload& workload,
   struct SlotState {
     ResourceId resource;
     Time busy_until = 0;
+    bool down = false;
   };
   std::vector<SlotState> map_slots;
   std::vector<SlotState> reduce_slots;
-  for (const Resource& r : workload.cluster.resources()) {
-    for (int s = 0; s < r.map_capacity; ++s) map_slots.push_back({r.id, 0});
-    for (int s = 0; s < r.reduce_capacity; ++s) reduce_slots.push_back({r.id, 0});
+  for (const Resource& r : w.cluster.resources()) {
+    for (int s = 0; s < r.map_capacity; ++s) map_slots.push_back({r.id, 0, false});
+    for (int s = 0; s < r.reduce_capacity; ++s) {
+      reduce_slots.push_back({r.id, 0, false});
+    }
   }
   auto claim_slot = [](std::vector<SlotState>& slots, Time start,
-                       Time end) -> ResourceId {
-    for (SlotState& s : slots) {
-      if (s.busy_until <= start) {
+                       Time end) -> std::size_t {
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      SlotState& s = slots[i];
+      if (!s.down && s.busy_until <= start) {
         s.busy_until = end;
-        return s.resource;
+        return i;
       }
     }
-    MRCP_CHECK_MSG(false, "MinEDF-WC launched beyond total capacity");
-    return kNoResource;
+    MRCP_CHECK_MSG(false, "MinEDF-WC launched beyond available capacity");
+    return 0;
   };
+
+  // Running tasks with the slot they occupy, for failure kills.
+  struct RunningTask {
+    bool is_map = false;
+    std::size_t slot = 0;
+    Time start = kNoTime;
+    Time end = kNoTime;
+    des::EventHandle end_event;
+  };
+  std::map<std::pair<JobId, int>, RunningTask> running;
 
   auto update_eligibility_wakeup = [&]() {
     if (sched_ptr == nullptr) return;
@@ -339,26 +515,85 @@ SimMetrics simulate_minedf(const Workload& workload,
   };
 
   baseline::MinEdfWcScheduler sched(
-      workload.cluster,
+      w.cluster,
       [&](JobId job_id, int task_index, Time start, Time end) {
-        const Job& job = workload.jobs[static_cast<std::size_t>(job_id)];
+        const Job& job = w.jobs[static_cast<std::size_t>(job_id)];
         const Task& task = job.task(static_cast<std::size_t>(task_index));
-        const ResourceId res =
-            claim_slot(task.type == TaskType::kMap ? map_slots : reduce_slots,
-                       start, end);
-        des.schedule_at(end, [&, job_id, task_index, res, start, end] {
-          executed.push_back(ExecutedTask{job_id, task_index, res, start, end});
-          const auto ji = static_cast<std::size_t>(job_id);
-          MRCP_CHECK(remaining[ji] > 0);
-          if (--remaining[ji] == 0) finish_job(metrics.records[ji], des.now());
-          sched_ptr->on_task_finished(job_id, task_index, des.now());
-          update_eligibility_wakeup();
-        });
+        const bool is_map = task.type == TaskType::kMap;
+        auto& slots = is_map ? map_slots : reduce_slots;
+        const std::size_t slot = claim_slot(slots, start, end);
+        const ResourceId res = slots[slot].resource;
+        RunningTask rt{is_map, slot, start, end, {}};
+        rt.end_event =
+            des.schedule_at(end, [&, job_id, task_index, res, start, end] {
+              running.erase({job_id, task_index});
+              executed.push_back(
+                  ExecutedTask{job_id, task_index, res, start, end});
+              const auto ji = static_cast<std::size_t>(job_id);
+              MRCP_CHECK(remaining[ji] > 0);
+              if (--remaining[ji] == 0) {
+                JobRecord& record = metrics.records[ji];
+                finish_job_record(record, des.now());
+                if (record.late && record.failure_affected) {
+                  ++metrics.failure.jobs_late_failure_affected;
+                }
+                MRCP_CHECK(jobs_left > 0);
+                if (--jobs_left == 0) injector.stop(des);
+              }
+              sched_ptr->on_task_finished(job_id, task_index, des.now());
+              update_eligibility_wakeup();
+            });
+        running.emplace(std::make_pair(job_id, task_index), std::move(rt));
       },
       config);
   sched_ptr = &sched;
 
-  for (const Job& job : workload.jobs) {
+  auto on_resource_down = [&](ResourceId r, Time t) {
+    for (SlotState& s : map_slots) {
+      if (s.resource == r) s.down = true;
+    }
+    for (SlotState& s : reduce_slots) {
+      if (s.resource == r) s.down = true;
+    }
+    const Resource& res = w.cluster.resource(r);
+    sched.handle_resource_down(res.map_capacity, res.reduce_capacity);
+    // Kill the attempts running on r; a task that ends exactly at t is a
+    // normal completion (its end event fires later this tick).
+    for (auto it = running.begin(); it != running.end();) {
+      RunningTask& rt = it->second;
+      auto& slots = rt.is_map ? map_slots : reduce_slots;
+      if (slots[rt.slot].resource != r || rt.end <= t) {
+        ++it;
+        continue;
+      }
+      des.cancel(rt.end_event);
+      slots[rt.slot].busy_until = t;
+      const auto [job_id, task_index] = it->first;
+      metrics.killed.push_back(ExecutedTask{job_id, task_index, r, rt.start, t});
+      ++metrics.failure.tasks_killed;
+      metrics.failure.wasted_ticks += t - rt.start;
+      metrics.records[static_cast<std::size_t>(job_id)].failure_affected = true;
+      sched.handle_task_killed(job_id, task_index, rt.end, t);
+      it = running.erase(it);
+    }
+    sched.wake(t);
+    update_eligibility_wakeup();
+  };
+  auto on_resource_up = [&](ResourceId r, Time t) {
+    for (SlotState& s : map_slots) {
+      if (s.resource == r) s.down = false;
+    }
+    for (SlotState& s : reduce_slots) {
+      if (s.resource == r) s.down = false;
+    }
+    const Resource& res = w.cluster.resource(r);
+    sched.handle_resource_up(res.map_capacity, res.reduce_capacity);
+    sched.wake(t);
+    update_eligibility_wakeup();
+  };
+  injector.start(des, on_resource_down, on_resource_up);
+
+  for (const Job& job : w.jobs) {
     des.schedule_at(job.arrival_time, [&, &job = job] {
       sched.submit(job, des.now());
       update_eligibility_wakeup();
@@ -372,9 +607,13 @@ SimMetrics simulate_minedf(const Workload& workload,
   }
   metrics.total_sched_seconds = sched.stats().total_sched_seconds;
   metrics.rm_invocations = sched.stats().dispatches;
+  metrics.downtime = injector.downtime();
+  metrics.failure.resource_failures = injector.failures();
+  metrics.failure.resource_repairs = injector.repairs();
 
   if (options.validate_execution) {
-    const std::string err = validate_execution(workload, executed);
+    const std::string err =
+        validate_execution(w, executed, metrics.killed, metrics.downtime);
     MRCP_CHECK_MSG(err.empty(), err.c_str());
   }
   metrics.executed = std::move(executed);

@@ -25,6 +25,7 @@
 #include "baseline/minedf_wc.h"
 #include "core/mrcp_rm.h"
 #include "mapreduce/workload.h"
+#include "sim/fault_injector.h"
 #include "sim/metrics.h"
 
 namespace mrcp::sim {
@@ -33,6 +34,11 @@ struct SimOptions {
   bool validate_execution = true;
   /// Also re-validate every published plan inside the RM (slower).
   bool validate_plans = false;
+  /// Fault injection (resource failures, stragglers). Defaults to all
+  /// knobs off, in which case both drivers behave bit-identically to a
+  /// fault-free build. Both drivers see the same fault trace for a given
+  /// config, so the policies are compared under identical failures.
+  FaultConfig faults;
 };
 
 SimMetrics simulate_mrcp(const Workload& workload, const MrcpConfig& config,
@@ -46,5 +52,14 @@ SimMetrics simulate_minedf(const Workload& workload,
 /// intervals against the workload. Empty string when consistent.
 std::string validate_execution(const Workload& workload,
                                const std::vector<ExecutedTask>& executed);
+
+/// Fault-aware variant: killed attempts join the capacity sweeps (they
+/// held slots until their kill time, which must coincide with a failure
+/// of their resource), and no successful interval may overlap its
+/// resource's downtime.
+std::string validate_execution(const Workload& workload,
+                               const std::vector<ExecutedTask>& executed,
+                               const std::vector<ExecutedTask>& killed,
+                               const std::vector<DownInterval>& downtime);
 
 }  // namespace mrcp::sim

@@ -1,0 +1,141 @@
+#include "sim/fault_injector.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace mrcp::sim {
+
+namespace {
+constexpr std::size_t kNoOpenInterval = static_cast<std::size_t>(-1);
+}  // namespace
+
+std::string FaultConfig::validate() const {
+  if (mtbf_s < 0.0) return "mtbf_s must be >= 0";
+  if (failures_enabled() && mttr_s <= 0.0) {
+    return "mttr_s must be > 0 when failures are enabled";
+  }
+  if (straggler_prob < 0.0 || straggler_prob > 1.0) {
+    return "straggler_prob must be in [0, 1]";
+  }
+  if (straggler_prob > 0.0 && straggler_factor < 1.0) {
+    return "straggler_factor must be >= 1";
+  }
+  if (max_concurrent_down < -1) return "max_concurrent_down must be >= -1";
+  return "";
+}
+
+FaultInjector::FaultInjector(int num_resources, const FaultConfig& config)
+    : config_(config) {
+  MRCP_CHECK(num_resources >= 1);
+  const std::string err = config_.validate();
+  MRCP_CHECK_MSG(err.empty(), err.c_str());
+  cap_ = config_.max_concurrent_down >= 0
+             ? std::min(config_.max_concurrent_down, num_resources)
+             : num_resources - 1;
+  const auto n = static_cast<std::size_t>(num_resources);
+  streams_.reserve(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    streams_.emplace_back(config_.seed, static_cast<std::uint64_t>(r));
+  }
+  pending_.resize(n);
+  down_.assign(n, 0);
+  open_.assign(n, kNoOpenInterval);
+}
+
+Time FaultInjector::draw_ticks(ResourceId r, double mean_s) {
+  const double s = streams_[static_cast<std::size_t>(r)].exponential(1.0 / mean_s);
+  return std::max<Time>(1, seconds_to_ticks(s));
+}
+
+void FaultInjector::schedule_failure(des::Simulation& des, ResourceId r) {
+  const Time delay = draw_ticks(r, config_.mtbf_s);
+  pending_[static_cast<std::size_t>(r)] =
+      des.schedule_after(delay, [this, &des, r] { on_failure(des, r); });
+}
+
+void FaultInjector::start(des::Simulation& des, TransitionFn on_down,
+                          TransitionFn on_up) {
+  if (!config_.failures_enabled() || cap_ == 0) return;
+  MRCP_CHECK(on_down != nullptr && on_up != nullptr);
+  on_down_ = std::move(on_down);
+  on_up_ = std::move(on_up);
+  for (std::size_t r = 0; r < streams_.size(); ++r) {
+    schedule_failure(des, static_cast<ResourceId>(r));
+  }
+}
+
+void FaultInjector::stop(des::Simulation& des) {
+  for (des::EventHandle& h : pending_) {
+    if (h.pending()) des.cancel(h);
+  }
+}
+
+void FaultInjector::on_failure(des::Simulation& des, ResourceId r) {
+  if (down_count_ >= cap_) {
+    // The concurrency cap holds this failure back; the resource survives
+    // until its next exponential draw. The draw sequence — and therefore
+    // the whole trace — still depends only on the injector's own state.
+    ++suppressed_;
+    schedule_failure(des, r);
+    return;
+  }
+  const Time now = des.now();
+  const auto ri = static_cast<std::size_t>(r);
+  down_[ri] = 1;
+  ++down_count_;
+  ++failures_;
+  open_[ri] = downtime_.size();
+  downtime_.push_back(DownInterval{r, now, kNoTime});
+  const Time repair_delay = draw_ticks(r, config_.mttr_s);
+  pending_[ri] =
+      des.schedule_after(repair_delay, [this, &des, r] { on_repair(des, r); });
+  on_down_(r, now);
+}
+
+void FaultInjector::on_repair(des::Simulation& des, ResourceId r) {
+  const Time now = des.now();
+  const auto ri = static_cast<std::size_t>(r);
+  MRCP_CHECK(down_[ri] != 0);
+  down_[ri] = 0;
+  --down_count_;
+  ++repairs_;
+  MRCP_CHECK(open_[ri] != kNoOpenInterval);
+  downtime_[open_[ri]].end = now;
+  open_[ri] = kNoOpenInterval;
+  schedule_failure(des, r);
+  on_up_(r, now);
+}
+
+bool is_straggler(const FaultConfig& config, JobId job, int task_index) {
+  if (config.straggler_prob <= 0.0) return false;
+  std::uint64_t h = splitmix64(
+      static_cast<std::uint64_t>(job) * 0x9E3779B97F4A7C15ULL +
+      static_cast<std::uint64_t>(task_index) + 1);
+  h = splitmix64(h ^ config.seed);
+  // 53-bit mantissa -> uniform double in [0, 1).
+  const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+  return u < config.straggler_prob;
+}
+
+std::size_t apply_stragglers(Workload& workload, const FaultConfig& config) {
+  if (!config.stragglers_enabled()) return 0;
+  std::size_t count = 0;
+  for (Job& job : workload.jobs) {
+    for (std::size_t ti = 0; ti < job.num_tasks(); ++ti) {
+      if (!is_straggler(config, job.id, static_cast<int>(ti))) continue;
+      Task& task = ti < job.map_tasks.size()
+                       ? job.map_tasks[ti]
+                       : job.reduce_tasks[ti - job.map_tasks.size()];
+      const double slowed =
+          static_cast<double>(task.exec_time) * config.straggler_factor;
+      task.exec_time = std::max<Time>(
+          task.exec_time, static_cast<Time>(std::llround(slowed)));
+      ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace mrcp::sim

@@ -1,0 +1,129 @@
+// Seeded fault injection for the cluster simulation.
+//
+// Clouds fail; the paper's evaluation assumes they do not. This layer
+// closes that gap with two orthogonal fault classes:
+//
+//   * Resource failures — each resource alternates up/down phases with
+//     exponentially distributed lengths (mean MTBF up, mean MTTR down),
+//     the classic machine-availability model. On a failure the driver
+//     kills the resource's running tasks and notifies the resource
+//     manager; on a repair the resource rejoins the cluster.
+//
+//   * Stragglers — each task is independently slowed down by a fixed
+//     factor with probability `straggler_prob` (the LATE/Mantri regime).
+//     Stragglers are applied as an up-front workload transform so both
+//     resource managers plan against the same (slowed) ground truth.
+//
+// Determinism: every resource owns its own RandomStream derived from
+// (seed, resource id), and failure/repair draws happen only inside the
+// injector's own event chain — never in response to scheduling activity.
+// The injected fault trace is therefore a pure function of
+// (seed, mtbf, mttr, cluster size): identical across resource-manager
+// policies, repeated runs, and solver thread counts. Stragglers are a
+// pure hash of (seed, job id, task index) — no stream state at all.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "des/simulation.h"
+#include "mapreduce/workload.h"
+#include "sim/metrics.h"
+
+namespace mrcp::sim {
+
+struct FaultConfig {
+  /// Mean time between failures per resource, seconds. 0 disables
+  /// resource failures entirely.
+  double mtbf_s = 0.0;
+  /// Mean time to repair a failed resource, seconds.
+  double mttr_s = 60.0;
+  /// Probability that a task is a straggler. 0 disables stragglers.
+  double straggler_prob = 0.0;
+  /// Execution-time multiplier applied to straggler tasks (>= 1).
+  double straggler_factor = 1.0;
+  /// Seed of the fault trace; independent of the workload seed.
+  std::uint64_t seed = 1;
+  /// At most this many resources down simultaneously; -1 means
+  /// `cluster size - 1` (the cluster never fully disappears, which
+  /// would leave the resource managers with no feasible placement).
+  int max_concurrent_down = -1;
+
+  bool failures_enabled() const { return mtbf_s > 0.0; }
+  bool stragglers_enabled() const {
+    return straggler_prob > 0.0 && straggler_factor != 1.0;
+  }
+  bool enabled() const { return failures_enabled() || stragglers_enabled(); }
+
+  /// Empty string when consistent.
+  std::string validate() const;
+};
+
+/// Schedules resource down/up events into a DES run. The driver owns the
+/// callbacks; the injector owns the up/down state and the downtime log.
+class FaultInjector {
+ public:
+  /// Called with (resource, now) after the injector's own bookkeeping.
+  using TransitionFn = std::function<void(ResourceId, Time)>;
+
+  FaultInjector(int num_resources, const FaultConfig& config);
+
+  /// Schedule the first failure of every resource. No-op when resource
+  /// failures are disabled.
+  void start(des::Simulation& des, TransitionFn on_down, TransitionFn on_up);
+
+  /// Cancel all pending failure/repair events (call when the workload
+  /// has drained, so the event list can empty). Open downtime intervals
+  /// stay open (end == kNoTime).
+  void stop(des::Simulation& des);
+
+  bool is_down(ResourceId r) const {
+    return down_[static_cast<std::size_t>(r)] != 0;
+  }
+  int down_count() const { return down_count_; }
+
+  /// All downtime intervals recorded so far, in failure order. An
+  /// interval with end == kNoTime was still open when stop() ran.
+  const std::vector<DownInterval>& downtime() const { return downtime_; }
+
+  std::uint64_t failures() const { return failures_; }
+  std::uint64_t repairs() const { return repairs_; }
+  /// Failures suppressed by the max_concurrent_down cap.
+  std::uint64_t suppressed_failures() const { return suppressed_; }
+
+ private:
+  void schedule_failure(des::Simulation& des, ResourceId r);
+  void on_failure(des::Simulation& des, ResourceId r);
+  void on_repair(des::Simulation& des, ResourceId r);
+  Time draw_ticks(ResourceId r, double mean_s);
+
+  FaultConfig config_;
+  int cap_;
+  std::vector<RandomStream> streams_;      ///< one per resource
+  std::vector<des::EventHandle> pending_;  ///< next transition per resource
+  std::vector<std::uint8_t> down_;
+  std::vector<std::size_t> open_;  ///< downtime_ index of the open interval
+  std::vector<DownInterval> downtime_;
+  int down_count_ = 0;
+  std::uint64_t failures_ = 0;
+  std::uint64_t repairs_ = 0;
+  std::uint64_t suppressed_ = 0;
+  TransitionFn on_down_;
+  TransitionFn on_up_;
+};
+
+/// Pure predicate: is (job, task_index) a straggler under `config`?
+/// Stateless hash of (seed, job, task) — stable under any evaluation
+/// order.
+bool is_straggler(const FaultConfig& config, JobId job, int task_index);
+
+/// Inflate the exec_time of every straggler task in place. Returns the
+/// number of tasks slowed down. No-op (returns 0) when stragglers are
+/// disabled.
+std::size_t apply_stragglers(Workload& workload, const FaultConfig& config);
+
+}  // namespace mrcp::sim

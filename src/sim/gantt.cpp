@@ -49,6 +49,32 @@ std::string render_gantt(const Plan& plan, const Cluster& cluster,
     }
   }
 
+  if (options.downtime != nullptr) {
+    auto bucket = [&](Time t) {
+      const int b = static_cast<int>(static_cast<double>(t - t_min) * scale);
+      return std::clamp(b, 0, options.width - 1);
+    };
+    for (const DownInterval& d : *options.downtime) {
+      if (d.resource < 0 || d.resource >= cluster.size()) continue;
+      const Time down_end = d.end == kNoTime ? t_max : d.end;
+      if (down_end <= t_min || d.start >= t_max) continue;
+      const int b0 = bucket(std::max(d.start, t_min));
+      const int b1 = std::max(bucket(std::min(down_end, t_max) - 1), b0);
+      for (int phase = 0; phase < 2; ++phase) {
+        if ((phase == 0 && !options.include_map) ||
+            (phase == 1 && !options.include_reduce)) {
+          continue;
+        }
+        const auto row = static_cast<std::size_t>(d.resource * 2 + phase);
+        used[row] = true;
+        for (int b = b0; b <= b1; ++b) {
+          char& c = cells[row][static_cast<std::size_t>(b)];
+          if (c == ' ') c = 'X';
+        }
+      }
+    }
+  }
+
   std::ostringstream os;
   os << "t = [" << ticks_to_seconds(t_min) << " s, " << ticks_to_seconds(t_max)
      << " s], " << options.width << " buckets\n";

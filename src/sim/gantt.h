@@ -6,13 +6,17 @@
 //
 // Each column is one time bucket; the digit is the owning job id (mod
 // 10, '#' where more than one task of the same row shares the bucket —
-// which is legitimate when the row's capacity exceeds 1).
+// which is legitimate when the row's capacity exceeds 1). Injected
+// resource outages render as 'X' in otherwise-empty buckets of the
+// affected resource's rows.
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "core/plan.h"
 #include "mapreduce/cluster.h"
+#include "sim/metrics.h"
 
 namespace mrcp::sim {
 
@@ -20,6 +24,9 @@ struct GanttOptions {
   int width = 80;          ///< time buckets across the chart
   bool include_reduce = true;
   bool include_map = true;
+  /// Outage intervals to overlay (e.g. `SimMetrics::downtime`). Buckets
+  /// inside an outage that no task occupies render as 'X'.
+  const std::vector<DownInterval>* downtime = nullptr;
 };
 
 /// Render the plan. Empty plans render as an empty string.

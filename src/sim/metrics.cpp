@@ -1,18 +1,45 @@
 #include "sim/metrics.h"
 
+#include <algorithm>
+#include <numeric>
+
 #include "common/check.h"
 
 namespace mrcp::sim {
 
+void finish_job_record(JobRecord& record, Time now) {
+  MRCP_CHECK_MSG(!record.completed(), "job completed twice");
+  record.completion = now;
+  record.late = now > record.deadline;
+}
+
+namespace {
+
+/// Record indices in arrival order (stable: ties keep id order). The
+/// warmup cut must discard the *earliest-arriving* jobs, not the
+/// lowest-numbered ones — identical only when ids are arrival-sorted.
+std::vector<std::size_t> arrival_order(const std::vector<JobRecord>& records) {
+  std::vector<std::size_t> order(records.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&records](std::size_t a, std::size_t b) {
+                     return records[a].arrival < records[b].arrival;
+                   });
+  return order;
+}
+
+}  // namespace
+
 SimMetrics::Aggregate SimMetrics::aggregate(double warmup_fraction) const {
   MRCP_CHECK(warmup_fraction >= 0.0 && warmup_fraction < 1.0);
   Aggregate agg;
+  const std::vector<std::size_t> order = arrival_order(records);
   const auto first = static_cast<std::size_t>(
-      warmup_fraction * static_cast<double>(records.size()));
+      warmup_fraction * static_cast<double>(order.size()));
   double turnaround_sum = 0.0;
   std::size_t completed = 0;
-  for (std::size_t i = first; i < records.size(); ++i) {
-    const JobRecord& r = records[i];
+  for (std::size_t i = first; i < order.size(); ++i) {
+    const JobRecord& r = records[order[i]];
     ++agg.jobs;
     MRCP_CHECK_MSG(r.completed(), "aggregate over incomplete simulation");
     ++completed;
@@ -32,14 +59,15 @@ SimMetrics::Aggregate SimMetrics::aggregate(double warmup_fraction) const {
 BatchMeansResult SimMetrics::turnaround_batch_ci(double warmup_fraction,
                                                  std::size_t num_batches) const {
   MRCP_CHECK(warmup_fraction >= 0.0 && warmup_fraction < 1.0);
+  const std::vector<std::size_t> order = arrival_order(records);
   const auto first = static_cast<std::size_t>(
-      warmup_fraction * static_cast<double>(records.size()));
+      warmup_fraction * static_cast<double>(order.size()));
   std::vector<double> series;
-  series.reserve(records.size() - first);
-  for (std::size_t i = first; i < records.size(); ++i) {
-    MRCP_CHECK_MSG(records[i].completed(),
-                   "batch CI over incomplete simulation");
-    series.push_back(ticks_to_seconds(records[i].turnaround()));
+  series.reserve(order.size() - first);
+  for (std::size_t i = first; i < order.size(); ++i) {
+    const JobRecord& r = records[order[i]];
+    MRCP_CHECK_MSG(r.completed(), "batch CI over incomplete simulation");
+    series.push_back(ticks_to_seconds(r.turnaround()));
   }
   return batch_means_ci(series, num_batches);
 }

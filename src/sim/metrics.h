@@ -26,10 +26,16 @@ struct JobRecord {
   Time deadline = 0;
   Time completion = kNoTime;  ///< kNoTime until the job finishes
   bool late = false;
+  /// At least one of the job's tasks was killed by a resource failure.
+  bool failure_affected = false;
 
   bool completed() const { return completion != kNoTime; }
   Time turnaround() const { return completion - earliest_start; }
 };
+
+/// Mark `record` complete at `now`. Aborts on double completion — the
+/// drivers' "every task finished exactly once" invariant.
+void finish_job_record(JobRecord& record, Time now);
 
 /// One executed task interval, for post-hoc execution validation.
 struct ExecutedTask {
@@ -40,10 +46,38 @@ struct ExecutedTask {
   Time end = 0;
 };
 
+/// One resource outage. end == kNoTime means the resource was still down
+/// when the simulation drained.
+struct DownInterval {
+  ResourceId resource = kNoResource;
+  Time start = 0;
+  Time end = kNoTime;
+};
+
+/// Failure-attribution counters (all zero when fault injection is off).
+struct FailureMetrics {
+  std::uint64_t resource_failures = 0;
+  std::uint64_t resource_repairs = 0;
+  std::uint64_t tasks_killed = 0;     ///< attempts lost to failures
+  std::uint64_t straggler_tasks = 0;  ///< tasks slowed by the straggler model
+  Time wasted_ticks = 0;              ///< work executed by killed attempts
+  /// Late jobs that had at least one task killed — an upper bound on
+  /// "late because of failures" (the job may have been late regardless).
+  std::uint64_t jobs_late_failure_affected = 0;
+
+  double wasted_seconds() const { return ticks_to_seconds(wasted_ticks); }
+};
+
 struct SimMetrics {
   std::vector<JobRecord> records;  ///< indexed by job id
   /// Ground-truth executed intervals (validation input, trace export).
   std::vector<ExecutedTask> executed;
+  /// Attempts killed by resource failures; `end` is the kill time, so
+  /// end - start is the work wasted by that attempt.
+  std::vector<ExecutedTask> killed;
+  /// Injected resource outages, in failure order.
+  std::vector<DownInterval> downtime;
+  FailureMetrics failure;
   double total_sched_seconds = 0.0;
   std::uint64_t rm_invocations = 0;
   std::uint64_t max_live_tasks = 0;
@@ -61,7 +95,10 @@ struct SimMetrics {
     double mean_turnaround_s = 0.0; ///< T (s)
   };
 
-  /// Aggregate over jobs with id >= warmup_fraction * n (steady state).
+  /// Aggregate over the jobs remaining after discarding the first
+  /// warmup_fraction of records *in arrival order* (steady state). For
+  /// workloads with arrival-sorted ids — the trace-format invariant —
+  /// this equals the id-order cut.
   Aggregate aggregate(double warmup_fraction = 0.0) const;
 
   /// Within-run batch-means CI for the turnaround time T (seconds),

@@ -40,6 +40,17 @@ std::string execution_to_csv(const std::vector<ExecutedTask>& executed,
   return os.str();
 }
 
+std::string downtime_to_csv(const std::vector<DownInterval>& downtime) {
+  std::ostringstream os;
+  os << "resource,down_s,up_s\n";
+  for (const DownInterval& d : downtime) {
+    os << d.resource << ',' << ticks_to_seconds(d.start) << ',';
+    if (d.end != kNoTime) os << ticks_to_seconds(d.end);
+    os << '\n';
+  }
+  return os.str();
+}
+
 bool write_text_file(const std::string& path, const std::string& content) {
   std::ofstream out(path);
   if (!out) return false;

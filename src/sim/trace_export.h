@@ -21,6 +21,10 @@ std::string plan_to_csv(const Plan& plan);
 std::string execution_to_csv(const std::vector<ExecutedTask>& executed,
                              const Workload& workload);
 
+/// CSV of injected resource outages: `resource,down_s,up_s`. An interval
+/// still open at simulation end leaves `up_s` empty.
+std::string downtime_to_csv(const std::vector<DownInterval>& downtime);
+
 /// Write either CSV to a file; false on I/O error.
 bool write_text_file(const std::string& path, const std::string& content);
 

@@ -134,6 +134,44 @@ TEST(Simulation, RequestStopHaltsRun) {
   EXPECT_EQ(count, 2);
 }
 
+TEST(Simulation, RequestStopBeforeRunHaltsBeforeFirstEvent) {
+  Simulation sim;
+  int count = 0;
+  sim.schedule_at(1, [&] { ++count; });
+  sim.request_stop();
+  sim.run();
+  EXPECT_EQ(count, 0);
+  EXPECT_EQ(sim.now(), 0);
+  sim.run();  // the stop request was consumed by the first run()
+  EXPECT_EQ(count, 1);
+}
+
+TEST(Simulation, CancelDuringOwnCallbackIsNoop) {
+  Simulation sim;
+  EventHandle h;
+  bool cancel_result = true;
+  h = sim.schedule_at(10, [&] {
+    // The event is firing right now — it is no longer cancellable.
+    cancel_result = sim.cancel(h);
+  });
+  sim.run();
+  EXPECT_FALSE(cancel_result);
+  EXPECT_EQ(sim.stats().fired, 1u);
+  EXPECT_EQ(sim.stats().cancelled, 0u);
+}
+
+TEST(Simulation, CancelFiredHandleDoesNotAffectLaterEvents) {
+  Simulation sim;
+  int count = 0;
+  EventHandle h = sim.schedule_at(1, [&] { ++count; });
+  sim.schedule_at(2, [&] { ++count; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.cancel(h));  // already fired
+  sim.run();
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(sim.stats().cancelled, 0u);
+}
+
 TEST(Simulation, StatsCountScheduledAndFired) {
   Simulation sim;
   for (int i = 0; i < 5; ++i) sim.schedule_at(i, [] {});

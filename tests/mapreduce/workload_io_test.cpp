@@ -144,6 +144,33 @@ TEST(WorkloadIo, RejectsCyclicPrecedences) {
   EXPECT_NE(error, "");
 }
 
+TEST(WorkloadIo, RejectsGappyJobIds) {
+  // Job ids index per-job arrays throughout the simulator; a sparse id
+  // (0 then 5) must be a load error with the offending line named, not
+  // out-of-bounds indexing later.
+  const std::string text =
+      "mrcp-workload v1\ncluster 1\nresource 1 1\njobs 2\n"
+      "job 0 0 0 100 1 0\ntask 10 1\n"
+      "job 5 10 10 200 1 0\ntask 10 1\n";
+  std::string error;
+  const Workload loaded = workload_from_string(text, &error);
+  EXPECT_NE(error, "");
+  EXPECT_NE(error.find("dense"), std::string::npos) << error;
+  EXPECT_NE(error.find("got 5"), std::string::npos) << error;
+  EXPECT_EQ(loaded.size(), 0u);
+}
+
+TEST(WorkloadIo, RejectsOutOfOrderJobIds) {
+  const std::string text =
+      "mrcp-workload v1\ncluster 1\nresource 1 1\njobs 2\n"
+      "job 1 0 0 100 1 0\ntask 10 1\n"
+      "job 0 10 10 200 1 0\ntask 10 1\n";
+  std::string error;
+  workload_from_string(text, &error);
+  EXPECT_NE(error, "");
+  EXPECT_NE(error.find("dense"), std::string::npos) << error;
+}
+
 TEST(WorkloadIo, RejectsTrailingGarbageOnLine) {
   const std::string text =
       "mrcp-workload v1\ncluster 1 extra\nresource 1 1\n";

@@ -161,6 +161,35 @@ TEST(ValidateExecution, AcceptsCleanExecution) {
   EXPECT_EQ(validate_execution(w, executed), "");
 }
 
+TEST(ValidateExecution, NetDemandOnZeroCapacityResourceFails) {
+  // Mixed cluster: resource 0 has no link capacity, resource 1 does.
+  // Running a net-demanding task on resource 0 must fail validation —
+  // not silently skip the network sweep.
+  Workload w;
+  w.cluster.add_resource(1, 1, /*net=*/0);
+  w.cluster.add_resource(1, 1, /*net=*/10);
+  Job j = make_job(0, 0, 0, 1000, {10}, {});
+  j.map_tasks[0].net_demand = 5;
+  w.jobs.push_back(j);
+
+  const std::vector<ExecutedTask> on_zero_cap = {{0, 0, 0, 0, 10}};
+  EXPECT_NE(validate_execution(w, on_zero_cap), "");
+  const std::vector<ExecutedTask> on_linked = {{0, 0, 1, 0, 10}};
+  EXPECT_EQ(validate_execution(w, on_linked), "");
+}
+
+TEST(ValidateExecution, AllZeroNetClusterIgnoresNetDemand) {
+  // When no resource models links, net demand is unconstrained (the
+  // legacy no-network workloads).
+  Workload w;
+  w.cluster.add_resource(1, 1, /*net=*/0);
+  Job j = make_job(0, 0, 0, 1000, {10}, {});
+  j.map_tasks[0].net_demand = 5;
+  w.jobs.push_back(j);
+  const std::vector<ExecutedTask> executed = {{0, 0, 0, 0, 10}};
+  EXPECT_EQ(validate_execution(w, executed), "");
+}
+
 TEST(SimulateMrcp, TurnaroundBatchCiMatchesAggregateMean) {
   std::vector<Job> jobs;
   for (int i = 0; i < 40; ++i) {

@@ -1,0 +1,227 @@
+#include "sim/fault_injector.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "../test_util.h"
+#include "des/simulation.h"
+
+namespace mrcp::sim {
+namespace {
+
+using testutil::make_job;
+using testutil::make_workload;
+
+FaultConfig failing_config(double mtbf_s = 100.0, double mttr_s = 20.0,
+                           std::uint64_t seed = 7) {
+  FaultConfig c;
+  c.mtbf_s = mtbf_s;
+  c.mttr_s = mttr_s;
+  c.seed = seed;
+  return c;
+}
+
+TEST(FaultConfig, Validation) {
+  EXPECT_EQ(FaultConfig{}.validate(), "");
+  EXPECT_EQ(failing_config().validate(), "");
+
+  FaultConfig bad = failing_config();
+  bad.mtbf_s = -1.0;
+  EXPECT_NE(bad.validate(), "");
+
+  bad = failing_config();
+  bad.mttr_s = 0.0;
+  EXPECT_NE(bad.validate(), "");
+
+  bad = FaultConfig{};
+  bad.straggler_prob = 1.5;
+  EXPECT_NE(bad.validate(), "");
+
+  bad = FaultConfig{};
+  bad.straggler_prob = 0.5;
+  bad.straggler_factor = 0.5;
+  EXPECT_NE(bad.validate(), "");
+
+  bad = FaultConfig{};
+  bad.max_concurrent_down = -2;
+  EXPECT_NE(bad.validate(), "");
+}
+
+TEST(FaultConfig, EnabledPredicates) {
+  FaultConfig off;
+  EXPECT_FALSE(off.enabled());
+  EXPECT_FALSE(off.failures_enabled());
+  EXPECT_FALSE(off.stragglers_enabled());
+
+  // straggler_factor == 1 is a no-op even with prob > 0.
+  FaultConfig unity;
+  unity.straggler_prob = 0.5;
+  EXPECT_FALSE(unity.stragglers_enabled());
+
+  FaultConfig on = failing_config();
+  EXPECT_TRUE(on.enabled());
+}
+
+TEST(FaultInjector, DisabledStartSchedulesNothing) {
+  des::Simulation des;
+  FaultInjector injector(4, FaultConfig{});
+  injector.start(des, [](ResourceId, Time) {}, [](ResourceId, Time) {});
+  EXPECT_TRUE(des.empty());
+  des.run();
+  EXPECT_EQ(injector.failures(), 0u);
+  EXPECT_TRUE(injector.downtime().empty());
+}
+
+/// Run an injector for `horizon` ticks, returning its downtime trace.
+/// `noisy` callbacks schedule extra unrelated DES events, standing in for
+/// the scheduling activity of a resource manager — the trace must not
+/// depend on them.
+std::vector<DownInterval> record_trace(const FaultConfig& config, int resources,
+                                       Time horizon, bool noisy) {
+  des::Simulation des;
+  FaultInjector injector(resources, config);
+  auto transition = [&des, noisy](ResourceId, Time) {
+    if (noisy) des.schedule_after(1, [] {});
+  };
+  injector.start(des, transition, transition);
+  des.run(horizon);
+  injector.stop(des);
+  des.run();
+  return injector.downtime();
+}
+
+TEST(FaultInjector, TraceIsPolicyIndependent) {
+  const FaultConfig config = failing_config(/*mtbf_s=*/50.0, /*mttr_s=*/10.0);
+  const Time horizon = seconds_to_ticks(2000);
+  const auto quiet = record_trace(config, 5, horizon, /*noisy=*/false);
+  const auto noisy = record_trace(config, 5, horizon, /*noisy=*/true);
+
+  ASSERT_FALSE(quiet.empty());
+  ASSERT_EQ(quiet.size(), noisy.size());
+  for (std::size_t i = 0; i < quiet.size(); ++i) {
+    EXPECT_EQ(quiet[i].resource, noisy[i].resource);
+    EXPECT_EQ(quiet[i].start, noisy[i].start);
+    EXPECT_EQ(quiet[i].end, noisy[i].end);
+  }
+}
+
+TEST(FaultInjector, TraceChangesWithSeed) {
+  const Time horizon = seconds_to_ticks(2000);
+  const auto a = record_trace(failing_config(50.0, 10.0, 1), 5, horizon, false);
+  const auto b = record_trace(failing_config(50.0, 10.0, 2), 5, horizon, false);
+  ASSERT_FALSE(a.empty());
+  bool differs = a.size() != b.size();
+  for (std::size_t i = 0; !differs && i < a.size(); ++i) {
+    differs = a[i].resource != b[i].resource || a[i].start != b[i].start;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(FaultInjector, TracksUpDownState) {
+  des::Simulation des;
+  FaultInjector injector(3, failing_config(40.0, 10.0));
+  int max_down = 0;
+  injector.start(
+      des,
+      [&](ResourceId r, Time) {
+        EXPECT_TRUE(injector.is_down(r));
+        max_down = std::max(max_down, injector.down_count());
+      },
+      [&](ResourceId r, Time) { EXPECT_FALSE(injector.is_down(r)); });
+  des.run(seconds_to_ticks(5000));
+  injector.stop(des);
+  des.run();
+
+  EXPECT_GT(injector.failures(), 0u);
+  EXPECT_LE(max_down, 2);  // default cap: m - 1
+  EXPECT_EQ(injector.failures(), injector.downtime().size());
+  // Every closed interval pairs a failure with a repair.
+  std::size_t open = 0;
+  for (const DownInterval& d : injector.downtime()) {
+    EXPECT_GE(d.resource, 0);
+    EXPECT_LT(d.resource, 3);
+    if (d.end == kNoTime) {
+      ++open;
+    } else {
+      EXPECT_GT(d.end, d.start);
+    }
+  }
+  EXPECT_EQ(injector.repairs() + open, injector.failures());
+}
+
+TEST(FaultInjector, ConcurrencyCapSuppressesFailures) {
+  des::Simulation des;
+  FaultConfig config = failing_config(/*mtbf_s=*/5.0, /*mttr_s=*/50.0);
+  config.max_concurrent_down = 1;
+  FaultInjector injector(4, config);
+  int max_down = 0;
+  injector.start(
+      des,
+      [&](ResourceId, Time) {
+        max_down = std::max(max_down, injector.down_count());
+      },
+      [](ResourceId, Time) {});
+  des.run(seconds_to_ticks(2000));
+  injector.stop(des);
+  des.run();
+
+  EXPECT_EQ(max_down, 1);
+  EXPECT_GT(injector.suppressed_failures(), 0u);
+}
+
+TEST(Stragglers, HashIsDeterministicAndSeedSensitive) {
+  FaultConfig config;
+  config.straggler_prob = 0.3;
+  config.straggler_factor = 2.0;
+  config.seed = 11;
+
+  int hits = 0;
+  bool seed_matters = false;
+  FaultConfig other = config;
+  other.seed = 12;
+  for (JobId j = 0; j < 100; ++j) {
+    for (int t = 0; t < 5; ++t) {
+      const bool a = is_straggler(config, j, t);
+      EXPECT_EQ(a, is_straggler(config, j, t));  // pure function
+      if (a) ++hits;
+      if (a != is_straggler(other, j, t)) seed_matters = true;
+    }
+  }
+  // ~150 expected of 500; any generator this far off is broken.
+  EXPECT_GT(hits, 75);
+  EXPECT_LT(hits, 250);
+  EXPECT_TRUE(seed_matters);
+}
+
+TEST(Stragglers, ApplyInflatesExecTimes) {
+  FaultConfig config;
+  config.straggler_prob = 1.0;  // every task
+  config.straggler_factor = 3.0;
+  config.seed = 5;
+
+  Workload w = make_workload(
+      {make_job(0, 0, 0, 100000, {1000, 2000}, {3000})}, 1, 2, 2);
+  const std::size_t slowed = apply_stragglers(w, config);
+  EXPECT_EQ(slowed, 3u);
+  EXPECT_EQ(w.jobs[0].map_tasks[0].exec_time, 3000);
+  EXPECT_EQ(w.jobs[0].map_tasks[1].exec_time, 6000);
+  EXPECT_EQ(w.jobs[0].reduce_tasks[0].exec_time, 9000);
+}
+
+TEST(Stragglers, DisabledIsNoop) {
+  FaultConfig config;  // prob = 0
+  Workload w = make_workload(
+      {make_job(0, 0, 0, 100000, {1000}, {2000})}, 1, 2, 2);
+  EXPECT_EQ(apply_stragglers(w, config), 0u);
+  EXPECT_EQ(w.jobs[0].map_tasks[0].exec_time, 1000);
+
+  // factor == 1 with prob > 0 is likewise a no-op.
+  config.straggler_prob = 1.0;
+  config.straggler_factor = 1.0;
+  EXPECT_EQ(apply_stragglers(w, config), 0u);
+}
+
+}  // namespace
+}  // namespace mrcp::sim

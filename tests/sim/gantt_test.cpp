@@ -73,6 +73,29 @@ TEST(Gantt, TwoJobsDistinctDigits) {
   EXPECT_NE(chart.find('1'), std::string::npos);
 }
 
+TEST(Gantt, DowntimeOverlayMarksX) {
+  const Cluster cluster = Cluster::homogeneous(2, 1, 1);
+  const Plan plan = plan_for(
+      {make_job(0, 0, 0, 100000, {1000}, {})}, cluster);
+  // Outage on resource 1 (which runs nothing) inside the plan's span.
+  const std::vector<DownInterval> downtime = {{1, 200, 800}};
+  GanttOptions options;
+  options.downtime = &downtime;
+  const std::string chart = render_gantt(plan, cluster, options);
+  EXPECT_NE(chart.find('X'), std::string::npos);
+  EXPECT_NE(chart.find("r1/"), std::string::npos);  // row now rendered
+
+  // Tasks win the bucket: an overlay on the busy resource never
+  // overwrites the job digit.
+  const std::vector<DownInterval> on_busy = {{0, 0, 1000}};
+  options.downtime = &on_busy;
+  const std::string busy_chart = render_gantt(plan, cluster, options);
+  EXPECT_NE(busy_chart.find('0'), std::string::npos);
+
+  // Without the overlay, no X appears.
+  EXPECT_EQ(render_gantt(plan, cluster).find('X'), std::string::npos);
+}
+
 TEST(Gantt, SharedBucketMarksHash) {
   // Capacity-2 row with two concurrent tasks in the same bucket.
   const Cluster cluster = Cluster::homogeneous(1, 2, 1);

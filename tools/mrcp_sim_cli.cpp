@@ -110,6 +110,20 @@ int run_simulate(const Flags& flags) {
   const Workload w = build_workload(flags, ok);
   if (!ok) return 1;
 
+  sim::SimOptions options;
+  options.faults.mtbf_s = flags.get_double("mtbf");
+  options.faults.mttr_s = flags.get_double("mttr");
+  options.faults.straggler_prob = flags.get_double("straggler-prob");
+  options.faults.straggler_factor = flags.get_double("straggler-factor");
+  options.faults.seed = static_cast<std::uint64_t>(flags.get_int("fault-seed"));
+  {
+    const std::string err = options.faults.validate();
+    if (!err.empty()) {
+      std::fprintf(stderr, "error: fault config: %s\n", err.c_str());
+      return 1;
+    }
+  }
+
   const std::string& rm = flags.get_string("rm");
   sim::SimMetrics metrics;
   if (rm == "mrcp") {
@@ -118,11 +132,11 @@ int run_simulate(const Flags& flags) {
     config.solve.num_threads = static_cast<int>(flags.get_int("solver-threads"));
     config.use_separation = !flags.get_bool("no-separation");
     config.defer_future_jobs = !flags.get_bool("no-deferral");
-    metrics = sim::simulate_mrcp(w, config);
+    metrics = sim::simulate_mrcp(w, config, options);
   } else if (rm == "minedf" || rm == "edf") {
     baseline::MinEdfConfig config;
     if (rm == "edf") config.allocation = baseline::AllocationPolicy::kMaximal;
-    metrics = sim::simulate_minedf(w, config);
+    metrics = sim::simulate_minedf(w, config, options);
   } else {
     std::fprintf(stderr, "error: unknown --rm '%s' (mrcp|minedf|edf)\n",
                  rm.c_str());
@@ -136,6 +150,19 @@ int run_simulate(const Flags& flags) {
   std::printf("  T = %.1f s\n", run.T_seconds);
   std::printf("  N = %.0f late\n", run.N_late);
   std::printf("  P = %.2f %%\n", run.P_percent);
+  if (options.faults.enabled()) {
+    const sim::FailureMetrics& f = metrics.failure;
+    std::printf("faults:\n");
+    std::printf("  failures = %lld, repairs = %lld\n",
+                static_cast<long long>(f.resource_failures),
+                static_cast<long long>(f.resource_repairs));
+    std::printf("  tasks killed = %lld, wasted work = %.1f s\n",
+                static_cast<long long>(f.tasks_killed), f.wasted_seconds());
+    std::printf("  stragglers = %lld\n",
+                static_cast<long long>(f.straggler_tasks));
+    std::printf("  late jobs failure-affected = %lld\n",
+                static_cast<long long>(f.jobs_late_failure_affected));
+  }
 
   const std::string& trace_out = flags.get_string("trace-out");
   if (!trace_out.empty()) {
@@ -145,6 +172,15 @@ int run_simulate(const Flags& flags) {
       return 1;
     }
     std::printf("wrote executed schedule to %s\n", trace_out.c_str());
+  }
+  const std::string& downtime_out = flags.get_string("downtime-out");
+  if (!downtime_out.empty()) {
+    if (!sim::write_text_file(downtime_out,
+                              sim::downtime_to_csv(metrics.downtime))) {
+      std::fprintf(stderr, "error: cannot write %s\n", downtime_out.c_str());
+      return 1;
+    }
+    std::printf("wrote downtime intervals to %s\n", downtime_out.c_str());
   }
   return 0;
 }
@@ -174,7 +210,14 @@ int main(int argc, char** argv) {
                "mrcp: CP solver worker threads (0 = all hardware threads)")
       .add_bool("no-separation", false, "mrcp: disable §V.D separation")
       .add_bool("no-deferral", false, "mrcp: disable §V.E deferral")
-      .add_string("trace-out", "", "simulate: write executed schedule CSV");
+      .add_double("mtbf", 0.0, "mean time between failures per resource (s, "
+                               "0 = no failures)")
+      .add_double("mttr", 60.0, "mean time to repair (s)")
+      .add_double("straggler-prob", 0.0, "per-task straggler probability")
+      .add_double("straggler-factor", 1.0, "straggler exec-time multiplier")
+      .add_int("fault-seed", 1, "fault-injection seed")
+      .add_string("trace-out", "", "simulate: write executed schedule CSV")
+      .add_string("downtime-out", "", "simulate: write outage intervals CSV");
   if (!flags.parse(argc, argv)) return flags.ok() ? 0 : 1;
 
   const std::string& mode = flags.get_string("mode");
