@@ -1,0 +1,97 @@
+#!/usr/bin/env bash
+# Static analysis + custom lint rules for the MRCP-RM tree.
+#
+#   scripts/lint.sh            # custom rules, plus clang-tidy if installed
+#   scripts/lint.sh --tidy     # require clang-tidy (fail when missing)
+#   scripts/lint.sh --no-tidy  # custom rules only
+#
+# clang-tidy needs a compile database; the script configures one into
+# build-tidy/ on first use. The custom rules need nothing but grep, so
+# they run everywhere (including machines with no clang toolchain).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+TIDY_MODE=auto
+case "${1:-}" in
+  --tidy) TIDY_MODE=require ;;
+  --no-tidy) TIDY_MODE=skip ;;
+  "") ;;
+  *) echo "usage: $0 [--tidy|--no-tidy]" >&2; exit 2 ;;
+esac
+
+SRC_DIRS=(src tools tests bench examples)
+fail=0
+
+# ---------------------------------------------------------------------------
+# Custom rules. Each is a grep over the tree; a match is a finding.
+# ---------------------------------------------------------------------------
+
+# Reproducibility rule: all randomness must flow through RandomStream
+# (seeded SplitMix64 -> mt19937_64). std::rand is global-state and
+# unseeded; a bare std::random_device or default-constructed engine
+# makes replications non-reproducible.
+check_pattern() {
+  local name="$1" pattern="$2"
+  shift 2
+  local matches
+  # grep -n over tracked source; allow-list via 'lint-ok: <rule>' comment.
+  matches=$(grep -rnE --include='*.cpp' --include='*.h' "$pattern" \
+              "${SRC_DIRS[@]}" 2>/dev/null | grep -v "lint-ok: $name" || true)
+  if [[ -n "$matches" ]]; then
+    echo "lint: rule '$name' violated:" >&2
+    echo "$matches" >&2
+    fail=1
+  fi
+}
+
+check_pattern no-std-rand '\bstd::rand\b|\bsrand\s*\('
+check_pattern no-unseeded-rng \
+  'std::mt19937(_64)?\s+[A-Za-z_][A-Za-z0-9_]*\s*;|std::random_device'
+# Ownership rule: no naked new outside placement/test fixtures — the
+# codebase uses values, vectors and unique_ptr exclusively.
+check_pattern no-naked-new '=\s*new\s+[A-Za-z_]|return\s+new\s+[A-Za-z_]'
+# Determinism rule: wall-clock time must come from Stopwatch (solver
+# budgets) — raw clock calls sneak nondeterminism into results.
+check_pattern no-raw-clock 'std::time\s*\(|\bgettimeofday\s*\('
+
+if [[ $fail -ne 0 ]]; then
+  echo "lint: custom rules FAILED" >&2
+else
+  echo "lint: custom rules OK"
+fi
+
+# ---------------------------------------------------------------------------
+# clang-tidy (configuration in .clang-tidy).
+# ---------------------------------------------------------------------------
+if [[ $TIDY_MODE == skip ]]; then
+  exit $fail
+fi
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  if [[ $TIDY_MODE == require ]]; then
+    echo "lint: clang-tidy not found (required by --tidy)" >&2
+    exit 1
+  fi
+  echo "lint: clang-tidy not installed; skipping static analysis"
+  exit $fail
+fi
+
+if [[ ! -f build-tidy/compile_commands.json ]]; then
+  cmake -B build-tidy -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+        -DMRCP_BUILD_BENCH=OFF -DMRCP_BUILD_EXAMPLES=OFF >/dev/null
+fi
+
+mapfile -t files < <(find src tools -name '*.cpp' | sort)
+if command -v run-clang-tidy >/dev/null 2>&1; then
+  run-clang-tidy -p build-tidy -quiet "${files[@]}" || fail=1
+else
+  for f in "${files[@]}"; do
+    clang-tidy -p build-tidy --quiet "$f" || fail=1
+  done
+fi
+
+if [[ $fail -eq 0 ]]; then
+  echo "lint: OK"
+else
+  echo "lint: FAILED" >&2
+fi
+exit $fail

@@ -53,7 +53,7 @@ class RandomStream {
   }
 
  private:
-  std::mt19937_64 engine_;
+  std::mt19937_64 engine_;  // seeded in every ctor (lint-ok: no-unseeded-rng)
 };
 
 }  // namespace mrcp

@@ -7,6 +7,7 @@
 #include "common/stopwatch.h"
 #include "core/matchmaker.h"
 #include "core/model_builder.h"
+#include "cp/audit.h"
 
 namespace mrcp {
 
@@ -213,10 +214,19 @@ const Plan& MrcpRm::reschedule(Time now) {
     params.seed = config_.solve.seed + plan_.epoch * 0x9E3779B9ULL;
     cp::SolveResult result = cp::solve(built.model, params);
     MRCP_CHECK_MSG(result.best.valid, "solver returned no solution");
-    if (config_.validate_plans) {
+    // Audit builds always validate (MRCP_AUDIT_ENABLED is a compile-time
+    // constant, so the check folds away in default builds), and small
+    // models additionally face the brute-force constraint oracle.
+    if (config_.validate_plans || MRCP_AUDIT_ENABLED) {
       const std::string err = validate_solution(built.model, result.best);
       MRCP_CHECK_MSG(err.empty(), err.c_str());
     }
+    MRCP_AUDIT_ONLY({
+      if (built.model.num_tasks() <= cp::audit::kAuditModelSizeLimit) {
+        MRCP_AUDIT_CHECK(
+            cp::audit::brute_force_check_solution(built.model, result.best));
+      }
+    })
     stats_.solver_decisions += result.stats.decisions;
     stats_.solver_fails += result.stats.fails;
 
@@ -286,7 +296,7 @@ void MrcpRm::publish_plan(Time now) {
       plan_.tasks.push_back(pt);
     }
   }
-  if (config_.validate_plans && !plan_.tasks.empty()) {
+  if ((config_.validate_plans || MRCP_AUDIT_ENABLED) && !plan_.tasks.empty()) {
     JobId max_id = 0;
     for (const auto& [id, st] : active_) max_id = std::max(max_id, id);
     std::vector<const Job*> jobs_by_id(static_cast<std::size_t>(max_id) + 1,

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 #include <numeric>
+#include <sstream>
 
 #include "common/stopwatch.h"
 
@@ -87,6 +88,16 @@ SetTimesSearch::SetTimesSearch(const Model& model, std::vector<int> job_rank,
     net_profiles_.emplace_back(std::max(1, r.net_capacity));
   }
   links_constrained_ = model_.links_constrained();
+#if MRCP_AUDIT_ENABLED
+  audit_small_ = model_.num_tasks() <= audit::kAuditModelSizeLimit;
+  audit_profiles_.reserve(model_.num_resources() * 2);
+  audit_net_profiles_.reserve(model_.num_resources());
+  for (const CpResource& r : model_.resources()) {
+    audit_profiles_.emplace_back(std::max(1, r.map_capacity));
+    audit_profiles_.emplace_back(std::max(1, r.reduce_capacity));
+    audit_net_profiles_.emplace_back(std::max(1, r.net_capacity));
+  }
+#endif
 
   placements_.assign(model_.num_tasks(), TaskPlacement{});
   fixed_map_end_.assign(model_.num_jobs(), 0);
@@ -112,6 +123,15 @@ SetTimesSearch::SetTimesSearch(const Model& model, std::vector<int> job_rank,
       net_profiles_[static_cast<std::size_t>(t.pinned_resource)].add(
           t.pinned_start, t.duration, t.net_demand);
     }
+    MRCP_AUDIT_ONLY({
+      audit_profiles_[static_cast<std::size_t>(t.pinned_resource) * 2 +
+                      static_cast<std::size_t>(t.phase)]
+          .add(t.pinned_start, t.duration, t.demand);
+      if (net_constrained(t.pinned_resource, t)) {
+        audit_net_profiles_[static_cast<std::size_t>(t.pinned_resource)].add(
+            t.pinned_start, t.duration, t.net_demand);
+      }
+    })
     placements_[ti] = TaskPlacement{t.pinned_resource, t.pinned_start};
     const Time end = t.pinned_start + t.duration;
     const auto ji = static_cast<std::size_t>(t.job);
@@ -163,6 +183,22 @@ SetTimesSearch::SetTimesSearch(const Model& model, std::vector<int> job_rank,
         ++indeg[static_cast<std::size_t>(t)];
       }
     }
+    // The implicit MapReduce barrier (all maps before all reduces of a
+    // job) is only encoded in the preference order above, which the
+    // topological re-derivation is free to override: a cross-job user
+    // edge can otherwise hoist a reduce ahead of its own job's last map,
+    // and the reduce would then be placed against a stale fixed map end.
+    // Make the barrier explicit so the topo order always respects it.
+    for (const CpJob& j : model_.jobs()) {
+      for (CpTaskIndex mt : j.map_tasks) {
+        if (model_.task(mt).pinned) continue;
+        for (CpTaskIndex rt : j.reduce_tasks) {
+          if (model_.task(rt).pinned) continue;
+          succs[static_cast<std::size_t>(mt)].push_back(rt);
+          ++indeg[static_cast<std::size_t>(rt)];
+        }
+      }
+    }
     // Min-heap on preference position.
     auto later = [&](CpTaskIndex a, CpTaskIndex b) {
       return position[static_cast<std::size_t>(a)] >
@@ -198,6 +234,57 @@ Profile& SetTimesSearch::profile(CpResourceIndex r, Phase phase) {
                    static_cast<std::size_t>(phase)];
 }
 
+#if MRCP_AUDIT_ENABLED
+void SetTimesSearch::audit_slot_query(CpResourceIndex r, Phase phase, Time est,
+                                      Time duration, int demand, Time got) {
+  if (!audit_small_) return;
+  MRCP_AUDIT_CHECK(audit::check_earliest_feasible_answer(profile(r, phase), est,
+                                                         duration, demand, got));
+  const audit::ReferenceProfile& ref =
+      audit_profiles_[static_cast<std::size_t>(r) * 2 +
+                      static_cast<std::size_t>(phase)];
+  const Time ref_got = ref.earliest_feasible(est, duration, demand);
+  if (ref_got != got) {
+    std::ostringstream os;
+    os << "cumulative audit: slot earliest_feasible(est=" << est
+       << ", dur=" << duration << ", demand=" << demand << ") = " << got
+       << " but reference sweep says " << ref_got << " on resource " << r;
+    MRCP_CHECK_MSG(false, os.str().c_str());
+  }
+}
+
+void SetTimesSearch::audit_net_query(CpResourceIndex r, Time est, Time duration,
+                                     int net_demand, Time got) {
+  if (!audit_small_) return;
+  Profile& net = net_profiles_[static_cast<std::size_t>(r)];
+  MRCP_AUDIT_CHECK(audit::check_earliest_feasible_answer(net, est, duration,
+                                                         net_demand, got));
+  const audit::ReferenceProfile& ref =
+      audit_net_profiles_[static_cast<std::size_t>(r)];
+  const Time ref_got = ref.earliest_feasible(est, duration, net_demand);
+  if (ref_got != got) {
+    std::ostringstream os;
+    os << "cumulative audit: net earliest_feasible(est=" << est
+       << ", dur=" << duration << ", demand=" << net_demand << ") = " << got
+       << " but reference sweep says " << ref_got << " on resource " << r;
+    MRCP_CHECK_MSG(false, os.str().c_str());
+  }
+}
+
+void SetTimesSearch::audit_cross_check(CpResourceIndex r, const CpTask& t) {
+  if (!audit_small_) return;
+  MRCP_AUDIT_CHECK(audit::check_profile_against_reference(
+      profile(r, t.phase),
+      audit_profiles_[static_cast<std::size_t>(r) * 2 +
+                      static_cast<std::size_t>(t.phase)]));
+  if (net_constrained(r, t)) {
+    MRCP_AUDIT_CHECK(audit::check_profile_against_reference(
+        net_profiles_[static_cast<std::size_t>(r)],
+        audit_net_profiles_[static_cast<std::size_t>(r)]));
+  }
+}
+#endif
+
 bool SetTimesSearch::net_constrained(CpResourceIndex r, const CpTask& t) const {
   return t.net_demand > 0 &&
          model_.resource(r).net_capacity > 0;
@@ -207,7 +294,9 @@ Time SetTimesSearch::earliest_feasible_on(CpResourceIndex r, const CpTask& t,
                                           Time est) {
   Profile& slots = profile(r, t.phase);
   if (!net_constrained(r, t)) {
-    return slots.earliest_feasible(est, t.duration, t.demand);
+    const Time s = slots.earliest_feasible(est, t.duration, t.demand);
+    MRCP_AUDIT_ONLY(audit_slot_query(r, t.phase, est, t.duration, t.demand, s);)
+    return s;
   }
   Profile& net = net_profiles_[static_cast<std::size_t>(r)];
   // Fixpoint of the two one-dimensional queries: each pass can only move
@@ -216,6 +305,10 @@ Time SetTimesSearch::earliest_feasible_on(CpResourceIndex r, const CpTask& t,
   while (true) {
     const Time s1 = slots.earliest_feasible(start, t.duration, t.demand);
     const Time s2 = net.earliest_feasible(s1, t.duration, t.net_demand);
+    MRCP_AUDIT_ONLY({
+      audit_slot_query(r, t.phase, start, t.duration, t.demand, s1);
+      audit_net_query(r, s1, t.duration, t.net_demand, s2);
+    })
     if (s2 == s1) return s1;
     start = s2;
   }
@@ -290,6 +383,16 @@ void SetTimesSearch::apply(CpTaskIndex task, Level& level, const Choice& choice)
     net_profiles_[static_cast<std::size_t>(choice.resource)].add(
         choice.start, t.duration, t.net_demand);
   }
+  MRCP_AUDIT_ONLY({
+    audit_profiles_[static_cast<std::size_t>(choice.resource) * 2 +
+                    static_cast<std::size_t>(t.phase)]
+        .add(choice.start, t.duration, t.demand);
+    if (net_constrained(choice.resource, t)) {
+      audit_net_profiles_[static_cast<std::size_t>(choice.resource)].add(
+          choice.start, t.duration, t.net_demand);
+    }
+    audit_cross_check(choice.resource, t);
+  })
   placements_[static_cast<std::size_t>(task)] =
       TaskPlacement{choice.resource, choice.start};
 
@@ -321,6 +424,17 @@ void SetTimesSearch::undo(CpTaskIndex task, Level& level) {
     net_profiles_[static_cast<std::size_t>(level.applied_choice.resource)]
         .remove(level.applied_choice.start, t.duration, t.net_demand);
   }
+  MRCP_AUDIT_ONLY({
+    audit_profiles_[static_cast<std::size_t>(level.applied_choice.resource) * 2 +
+                    static_cast<std::size_t>(t.phase)]
+        .remove(level.applied_choice.start, t.duration, t.demand);
+    if (net_constrained(level.applied_choice.resource, t)) {
+      audit_net_profiles_[static_cast<std::size_t>(
+                              level.applied_choice.resource)]
+          .remove(level.applied_choice.start, t.duration, t.net_demand);
+    }
+    audit_cross_check(level.applied_choice.resource, t);
+  })
   placements_[static_cast<std::size_t>(task)] = TaskPlacement{};
 
   fixed_map_end_[ji] = level.prev_fixed_map_end;
@@ -388,6 +502,7 @@ Solution SetTimesSearch::run(const SearchLimits& limits, const Solution* incumbe
            !shared->compare_exchange_weak(cur, num_late,
                                           std::memory_order_relaxed)) {
     }
+    if (limits.bound_auditor) limits.bound_auditor->on_publish(num_late, *shared);
   };
 
   while (!done) {
@@ -446,6 +561,9 @@ Solution SetTimesSearch::run(const SearchLimits& limits, const Solution* incumbe
     if (pruned_local || pruned_shared) {
       ++st.fails;
       undo(order_[depth], level);
+      // Keep this level's remaining choices: a rebuild would reset
+      // next_choice and re-apply the pruned branch forever.
+      level_fresh = false;
       if (pruned_shared && limits.stop_after_first_solution) {
         // The descent's eventual solution could only be strictly worse
         // than the sibling that published the bound; rerouting here

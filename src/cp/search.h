@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "cp/audit.h"
 #include "cp/model.h"
 #include "cp/profile.h"
 #include "cp/solution.h"
@@ -43,6 +44,11 @@ struct SearchLimits {
   /// solution) instead of rerouting past the cut, so its result never
   /// depends on sibling timing. See docs/cp_engine.md.
   std::atomic<int>* shared_late_bound = nullptr;
+  /// Optional monitor for shared_late_bound publishes (available in every
+  /// build; installed automatically by solve() in MRCP_AUDIT builds).
+  /// Publishes are rare — one per solution found — so the null check is
+  /// free next to the search itself.
+  audit::SharedBoundAuditor* bound_auditor = nullptr;
 };
 
 struct SearchStats {
@@ -91,6 +97,18 @@ class SetTimesSearch {
   };
 
   Profile& profile(CpResourceIndex r, Phase phase);
+#if MRCP_AUDIT_ENABLED
+  /// Audit one slot-profile earliest_feasible answer: monotone,
+  /// idempotent, minimal, and equal to the O(n^2) reference oracle.
+  void audit_slot_query(CpResourceIndex r, Phase phase, Time est,
+                        Time duration, int demand, Time got);
+  /// Same for a network-profile query.
+  void audit_net_query(CpResourceIndex r, Time est, Time duration,
+                       int net_demand, Time got);
+  /// Cross-check the fast profiles touched by placing/removing `t` on
+  /// resource `r` against their shadow reference oracles.
+  void audit_cross_check(CpResourceIndex r, const CpTask& t);
+#endif
   /// Earliest start >= est feasible on BOTH the phase-slot profile and
   /// (when the resource constrains links and the task uses them) the
   /// network profile — computed as a fixpoint of the two queries.
@@ -108,6 +126,14 @@ class SetTimesSearch {
 
   std::vector<Profile> profiles_;      ///< [resource * 2 + phase]
   std::vector<Profile> net_profiles_;  ///< [resource], link usage
+#if MRCP_AUDIT_ENABLED
+  /// Shadow oracles mirroring every profile mutation; cross-checked
+  /// against the fast profiles after each apply/undo and every
+  /// earliest-feasible query (audit builds only, small models only).
+  std::vector<audit::ReferenceProfile> audit_profiles_;
+  std::vector<audit::ReferenceProfile> audit_net_profiles_;
+  bool audit_small_ = false;
+#endif
   std::vector<TaskPlacement> placements_;
   std::vector<Time> fixed_map_end_;     ///< per job: max end of fixed maps
   std::vector<Time> fixed_completion_;  ///< per job: max end of all fixed tasks

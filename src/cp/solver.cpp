@@ -8,6 +8,7 @@
 
 #include "common/check.h"
 #include "common/rng.h"
+#include "cp/audit.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
 
@@ -102,6 +103,7 @@ SolveResult solve(const Model& model, const SolveParams& params,
   // that ties the bound is never cut (see SearchLimits::shared_late_bound).
   std::atomic<int> shared_late{best.valid ? best.num_late
                                           : std::numeric_limits<int>::max()};
+  MRCP_AUDIT_ONLY(audit::SharedBoundAuditor bound_auditor;)
   auto descent_limits = [&](double floor_s) {
     SearchLimits limits;
     limits.max_fails = 0;
@@ -109,6 +111,7 @@ SolveResult solve(const Model& model, const SolveParams& params,
     limits.postpone_tries = 0;
     limits.time_limit_s = std::max(remaining(), floor_s);
     limits.shared_late_bound = &shared_late;
+    MRCP_AUDIT_ONLY(limits.bound_auditor = &bound_auditor;)
     return limits;
   };
 
@@ -168,6 +171,25 @@ SolveResult solve(const Model& model, const SolveParams& params,
       run_member(i);
     }
   }
+  // Post-barrier audit, before the fold consumes the member solutions:
+  // every member that ran must have produced a constraint-satisfying
+  // solution, and the fold below must land exactly on the best late-count
+  // in the member set — a pure function of (warm start, member order),
+  // which is what makes the winner independent of thread count and
+  // completion timing.
+  MRCP_AUDIT_ONLY(
+      int audit_expected_late = best.valid ? best.num_late
+                                           : std::numeric_limits<int>::max();
+      for (std::size_t i = 0; i < members.size(); ++i) {
+        if (!member_ran[i] || !member_sols[i].valid) continue;
+        MRCP_AUDIT_CHECK(validate_solution(model, member_sols[i]));
+        if (model.num_tasks() <= audit::kAuditModelSizeLimit) {
+          MRCP_AUDIT_CHECK(
+              audit::brute_force_check_solution(model, member_sols[i]));
+        }
+        audit_expected_late =
+            std::min(audit_expected_late, member_sols[i].num_late);
+      })
   // Deterministic winner fold, in member order — identical to running
   // the members sequentially. Selection is keyed on the primary
   // objective only: the completion-time tie-break would otherwise always
@@ -186,6 +208,13 @@ SolveResult solve(const Model& model, const SolveParams& params,
       stats.best_ordering = members[i].ordering;
     }
   }
+  MRCP_AUDIT_ONLY({
+    const int folded = best.valid ? best.num_late
+                                  : std::numeric_limits<int>::max();
+    MRCP_CHECK_MSG(folded == audit_expected_late,
+                   "portfolio fold audit: folded incumbent does not equal "
+                   "the best member late-count");
+  })
   if (best_ranks.empty()) {
     best_ranks = make_job_ranks(model, params.portfolio.front());
   }
@@ -254,6 +283,10 @@ SolveResult solve(const Model& model, const SolveParams& params,
         nbhs.push_back(Neighbourhood{std::move(ranks), std::move(lpt)});
       }
 
+      // Between rounds no worker is running (post-barrier), and the fold
+      // above already absorbed every published solution, so this reset
+      // can never raise the bound — audited in MRCP_AUDIT builds.
+      MRCP_AUDIT_ONLY(bound_auditor.on_reset(best.num_late, shared_late);)
       shared_late.store(best.num_late, std::memory_order_relaxed);
       std::vector<Solution> round_sols(nbhs.size());
       std::vector<SearchStats> round_stats(nbhs.size());
@@ -270,6 +303,11 @@ SolveResult solve(const Model& model, const SolveParams& params,
       } else {
         for (std::size_t r = 0; r < nbhs.size(); ++r) run_neighbourhood(r);
       }
+      MRCP_AUDIT_ONLY(
+          for (std::size_t r = 0; r < nbhs.size(); ++r) {
+            if (!round_sols[r].valid) continue;
+            MRCP_AUDIT_CHECK(validate_solution(model, round_sols[r]));
+          })
       for (std::size_t r = 0; r < nbhs.size(); ++r) {
         account(round_stats[r]);
         if (round_sols[r].better_than(best)) {
@@ -282,6 +320,18 @@ SolveResult solve(const Model& model, const SolveParams& params,
     }
   }
 
+  // Final-answer audit: the returned schedule must satisfy every model
+  // constraint (independent brute-force oracle on small models), and the
+  // shared bound must have stayed a running minimum throughout.
+  MRCP_AUDIT_ONLY({
+    if (best.valid) {
+      MRCP_AUDIT_CHECK(validate_solution(model, best));
+      if (model.num_tasks() <= audit::kAuditModelSizeLimit) {
+        MRCP_AUDIT_CHECK(audit::brute_force_check_solution(model, best));
+      }
+    }
+    MRCP_AUDIT_CHECK(bound_auditor.error());
+  })
   if (best.valid && best.num_late == 0) stats.proved_optimal = true;
   stats.solve_seconds = timer.elapsed_seconds();
   result.best = std::move(best);

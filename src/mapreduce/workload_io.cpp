@@ -1,6 +1,8 @@
 #include "mapreduce/workload_io.h"
 
+#include <algorithm>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 #include "common/check.h"
@@ -9,7 +11,22 @@ namespace mrcp {
 
 namespace {
 constexpr const char* kMagic = "mrcp-workload v1";
+
+/// Fuzz-hardening bounds. Counts in the header are attacker-controlled
+/// (the format is an interchange format), so they must not drive
+/// allocations or arithmetic before the corresponding lines have
+/// actually been parsed.
+constexpr std::int64_t kMaxReserveJobs = 1 << 16;
+constexpr std::int64_t kMaxTasksPerJob = 1 << 24;
+
+/// True iff v fits in int — the narrower type used by Task::res_req,
+/// net demands, capacities and precedence indices. Rejecting here keeps
+/// a 2^32+k res_req from silently truncating to k.
+bool fits_int(std::int64_t v) {
+  return v >= std::numeric_limits<int>::min() &&
+         v <= std::numeric_limits<int>::max();
 }
+}  // namespace
 
 void save_workload(const Workload& workload, std::ostream& out) {
   out << kMagic << '\n';
@@ -120,7 +137,8 @@ bool parse_workload(std::istream& in, Workload& workload, std::string* error) {
         !parse_tagged(line, "resource", map_cap, reduce_cap)) {
       return fail(error, parser.where() + ": expected 'resource <mp> <rd>'");
     }
-    if (map_cap < 0 || reduce_cap < 0 || net_cap < 0 ||
+    if (map_cap < 0 || reduce_cap < 0 || net_cap < 0 || !fits_int(map_cap) ||
+        !fits_int(reduce_cap) || !fits_int(net_cap) ||
         map_cap + reduce_cap == 0) {
       return fail(error, parser.where() + ": invalid resource capacities");
     }
@@ -134,7 +152,11 @@ bool parse_workload(std::istream& in, Workload& workload, std::string* error) {
       num_jobs < 0) {
     return fail(error, parser.where() + ": expected 'jobs <n>'");
   }
-  workload.jobs.reserve(static_cast<std::size_t>(num_jobs));
+  // Reserve only up to a cap: the count is untrusted input, and a bogus
+  // huge value must not trigger a giant allocation before any job line
+  // has been seen (larger legitimate workloads just grow amortized).
+  workload.jobs.reserve(
+      static_cast<std::size_t>(std::min(num_jobs, kMaxReserveJobs)));
 
   bool have_pending = false;
   std::string pending;
@@ -151,7 +173,10 @@ bool parse_workload(std::istream& in, Workload& workload, std::string* error) {
     std::int64_t k_reduce = 0;
     if (!parse_tagged(pending, "job", id, arrival, est, deadline, k_map,
                       k_reduce) ||
-        k_map < 0 || k_reduce < 0) {
+        k_map < 0 || k_reduce < 0 || k_map > kMaxTasksPerJob ||
+        k_reduce > kMaxTasksPerJob) {
+      // The per-count cap also keeps `k_map + k_reduce` below from
+      // overflowing (signed overflow would be UB on hostile input).
       return fail(error, parser.where() + ": malformed 'job' line");
     }
     Job job;
@@ -175,8 +200,9 @@ bool parse_workload(std::istream& in, Workload& workload, std::string* error) {
       if (!parser.next_line(line)) {
         return fail(error, parser.where() + ": expected 'task <exec> <req>'");
       }
-      if (!parse_tagged(line, "task", exec, req, net) &&
-          !parse_tagged(line, "task", exec, req)) {
+      if ((!parse_tagged(line, "task", exec, req, net) &&
+           !parse_tagged(line, "task", exec, req)) ||
+          !fits_int(req) || !fits_int(net)) {
         return fail(error, parser.where() + ": expected 'task <exec> <req>'");
       }
       const TaskType type = t < k_map ? TaskType::kMap : TaskType::kReduce;
@@ -189,6 +215,9 @@ bool parse_workload(std::istream& in, Workload& workload, std::string* error) {
       std::int64_t before = 0;
       std::int64_t after = 0;
       if (parse_tagged(line, "precedence", before, after)) {
+        if (!fits_int(before) || !fits_int(after)) {
+          return fail(error, parser.where() + ": precedence index overflow");
+        }
         job.precedences.emplace_back(static_cast<int>(before),
                                      static_cast<int>(after));
         continue;

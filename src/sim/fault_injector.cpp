@@ -111,8 +111,8 @@ void FaultInjector::on_repair(des::Simulation& des, ResourceId r) {
 bool is_straggler(const FaultConfig& config, JobId job, int task_index) {
   if (config.straggler_prob <= 0.0) return false;
   std::uint64_t h = splitmix64(
-      static_cast<std::uint64_t>(job) * 0x9E3779B97F4A7C15ULL +
-      static_cast<std::uint64_t>(task_index) + 1);
+      static_cast<std::uint64_t>(job) * std::uint64_t{0x9E3779B97F4A7C15} +
+      static_cast<std::uint64_t>(task_index) + std::uint64_t{1});
   h = splitmix64(h ^ config.seed);
   // 53-bit mantissa -> uniform double in [0, 1).
   const double u = static_cast<double>(h >> 11) * 0x1.0p-53;

@@ -75,13 +75,18 @@ TEST(SolverEdge, ProvedOptimalOnZeroLate) {
 }
 
 TEST(SolverEdge, NotProvedOptimalWhenLateAndBudgetTiny) {
+  // Two slots, four identical jobs: two finish on time, two must be
+  // late. The alternative/postpone branching tree is far larger than a
+  // one-fail budget, and lateness only shows up deep in the tree (no
+  // job is statically late), so the cut-off search must not claim an
+  // optimality proof.
   Model m;
   m.add_resource(1, 1);
-  // Two jobs that cannot both meet their deadlines.
-  const CpJobIndex a = m.add_job(0, 50, 0);
-  m.add_task(a, Phase::kMap, 60);
-  const CpJobIndex b = m.add_job(0, 60, 1);
-  m.add_task(b, Phase::kMap, 60);
+  m.add_resource(1, 1);
+  for (int j = 0; j < 4; ++j) {
+    const CpJobIndex job = m.add_job(0, 70, j);
+    m.add_task(job, Phase::kMap, 60);
+  }
   SolveParams p;
   p.improvement_fails = 1;  // cannot exhaust the space
   p.lns_iterations = 0;

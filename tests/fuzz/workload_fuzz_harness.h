@@ -1,0 +1,58 @@
+// Shared property harness for workload_io fuzzing.
+//
+// One function, two drivers: the libFuzzer target (tests/fuzz/
+// workload_io_fuzzer.cpp, built when MRCP_BUILD_FUZZERS=ON) feeds it
+// coverage-guided inputs, and the always-on gtest suite (tests/
+// mapreduce/workload_fuzz_test.cpp) feeds it a fixed regression corpus
+// plus deterministic mutations — so every CI run replays the properties
+// even without a fuzzing toolchain.
+//
+// Properties checked on arbitrary bytes:
+//   * the parser never crashes, hangs, or throws on any input;
+//   * a rejected input yields an empty workload and a non-empty error;
+//   * an accepted input roundtrips: serialize -> reparse -> serialize is
+//     a fixpoint, and the reparse is accepted (what the parser lets in,
+//     the writer can represent, bit-for-bit).
+#pragma once
+
+#include <string>
+
+#include "mapreduce/workload.h"
+#include "mapreduce/workload_io.h"
+
+namespace mrcp::fuzz {
+
+/// Runs the parse/roundtrip property on `text`. Returns an empty string
+/// when the property holds, else a description of the violation.
+inline std::string workload_roundtrip_check(const std::string& text) {
+  std::string error;
+  const Workload parsed = workload_from_string(text, &error);
+  if (!error.empty()) {
+    // Rejected: the contract says the returned workload is empty.
+    if (!parsed.jobs.empty() || parsed.cluster.size() != 0) {
+      return "rejected input returned a non-empty workload";
+    }
+    return "";
+  }
+  // Accepted: must validate and roundtrip exactly.
+  const std::string revalidate = validate_workload(parsed);
+  if (!revalidate.empty()) {
+    return "accepted workload fails validate_workload: " + revalidate;
+  }
+  const std::string serialized = workload_to_string(parsed);
+  std::string error2;
+  const Workload reparsed = workload_from_string(serialized, &error2);
+  if (!error2.empty()) {
+    return "serialized form of accepted input was rejected: " + error2;
+  }
+  if (workload_to_string(reparsed) != serialized) {
+    return "serialize -> parse -> serialize is not a fixpoint";
+  }
+  if (reparsed.jobs.size() != parsed.jobs.size() ||
+      reparsed.cluster.size() != parsed.cluster.size()) {
+    return "reparsed workload has different shape";
+  }
+  return "";
+}
+
+}  // namespace mrcp::fuzz

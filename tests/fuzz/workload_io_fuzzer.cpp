@@ -1,0 +1,24 @@
+// libFuzzer entry point for the workload_io parser (clang only; built
+// when MRCP_BUILD_FUZZERS=ON). Run with e.g.
+//   ./fuzz_workload_io -max_len=4096 corpus/
+// Any property violation aborts, which libFuzzer reports with the
+// offending input saved for the fixed-corpus regression test.
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "../fuzz/workload_fuzz_harness.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  const std::string violation = mrcp::fuzz::workload_roundtrip_check(text);
+  if (!violation.empty()) {
+    std::fprintf(stderr, "workload_io property violation: %s\n",
+                 violation.c_str());
+    std::abort();
+  }
+  return 0;
+}

@@ -1,0 +1,185 @@
+// Fixed-corpus and deterministic-mutation fuzzing of the workload trace
+// parser, running under plain ctest in every build. The coverage-guided
+// libFuzzer driver (tests/fuzz/workload_io_fuzzer.cpp) shares the same
+// property harness; inputs it ever minimizes belong in kCorpus below so
+// regressions stay caught without a fuzzing toolchain.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "../fuzz/workload_fuzz_harness.h"
+#include "../test_util.h"
+#include "common/rng.h"
+#include "mapreduce/workload_io.h"
+
+namespace mrcp {
+namespace {
+
+using fuzz::workload_roundtrip_check;
+
+std::string valid_workload_text() {
+  Workload w = testutil::make_workload(
+      {testutil::make_job(0, 0, 0, 50, {4, 6}, {3}),
+       testutil::make_job(1, 2, 5, 80, {7}, {2, 2})},
+      2, 2, 1);
+  return workload_to_string(w);
+}
+
+// Hand-picked tricky inputs: header variations, truncations, count
+// mismatches, overflow attempts, comment/CRLF handling, and the
+// narrowing-truncation regressions fixed alongside this suite.
+const std::vector<std::string> kCorpus = {
+    "",
+    "\n\n\n",
+    "mrcp-workload v1",
+    "mrcp-workload v1\n",
+    "mrcp-workload v2\ncluster 1\n",
+    "# comment only\n# another\n",
+    "mrcp-workload v1\ncluster 0\n",
+    "mrcp-workload v1\ncluster -1\n",
+    "mrcp-workload v1\ncluster 1\nresource 0 0\njobs 0\n",
+    "mrcp-workload v1\ncluster 1\nresource 1 1\njobs 0\n",
+    "mrcp-workload v1\ncluster 1\nresource 1 1\njobs 1\n",
+    "mrcp-workload v1\ncluster 1\nresource 1 1\njobs 1\n"
+    "job 0 0 0 10 1 0\ntask 5 1\n",
+    // Dense-id violation.
+    "mrcp-workload v1\ncluster 1\nresource 1 1\njobs 1\n"
+    "job 3 0 0 10 1 0\ntask 5 1\n",
+    // Deadline at earliest start.
+    "mrcp-workload v1\ncluster 1\nresource 1 1\njobs 1\n"
+    "job 0 0 5 5 1 0\ntask 5 1\n",
+    // Trailing garbage on a line.
+    "mrcp-workload v1\ncluster 1\nresource 1 1 0 9\njobs 0\n",
+    // CRLF + comments interleaved.
+    "mrcp-workload v1\r\n# hi\r\ncluster 1\r\nresource 1 1\r\njobs 0\r\n",
+    // Huge jobs count with no job lines: must fail fast, not allocate.
+    "mrcp-workload v1\ncluster 1\nresource 1 1\njobs 900000000000000000\n",
+    // Task count that would overflow k_map + k_reduce.
+    "mrcp-workload v1\ncluster 1\nresource 1 1\njobs 1\n"
+    "job 0 0 0 10 9223372036854775807 9223372036854775807\n",
+    // res_req that used to truncate to 1 through static_cast<int>.
+    "mrcp-workload v1\ncluster 1\nresource 1 1\njobs 1\n"
+    "job 0 0 0 10 1 0\ntask 5 4294967297\n",
+    // Same for a resource capacity and a net demand.
+    "mrcp-workload v1\ncluster 1\nresource 4294967297 1\njobs 0\n",
+    "mrcp-workload v1\ncluster 1\nresource 1 1 1\njobs 1\n"
+    "job 0 0 0 10 1 0\ntask 5 1 4294967297\n",
+    // Precedence index overflow and self-loop.
+    "mrcp-workload v1\ncluster 1\nresource 1 1\njobs 1\n"
+    "job 0 0 0 10 1 1\ntask 5 1\ntask 3 1\nprecedence 0 4294967296\n",
+    "mrcp-workload v1\ncluster 1\nresource 1 1\njobs 1\n"
+    "job 0 0 0 10 1 1\ntask 5 1\ntask 3 1\nprecedence 1 1\n",
+    // Valid precedence.
+    "mrcp-workload v1\ncluster 1\nresource 1 1\njobs 1\n"
+    "job 0 0 0 10 2 1\ntask 5 1\ntask 3 1\ntask 2 1\nprecedence 0 1\n",
+    // Non-numeric fields.
+    "mrcp-workload v1\ncluster x\n",
+    "mrcp-workload v1\ncluster 1\nresource a b\njobs 0\n",
+    "mrcp-workload v1\ncluster 1\nresource 1 1\njobs 1\n"
+    "job 0 0 0 10 1 0\ntask five 1\n",
+};
+
+TEST(WorkloadFuzzTest, FixedCorpusHoldsProperties) {
+  for (std::size_t i = 0; i < kCorpus.size(); ++i) {
+    EXPECT_EQ(workload_roundtrip_check(kCorpus[i]), "") << "corpus entry " << i;
+  }
+}
+
+TEST(WorkloadFuzzTest, ValidWorkloadRoundtrips) {
+  const std::string text = valid_workload_text();
+  std::string error;
+  const Workload w = workload_from_string(text, &error);
+  ASSERT_EQ(error, "");
+  ASSERT_EQ(w.jobs.size(), 2u);
+  EXPECT_EQ(workload_roundtrip_check(text), "");
+}
+
+TEST(WorkloadFuzzTest, TruncationRegressionsAreRejectedNotMangled) {
+  // A res_req of 2^32+1 must be a parse error, not res_req == 1.
+  std::string error;
+  Workload w = workload_from_string(
+      "mrcp-workload v1\ncluster 1\nresource 1 1\njobs 1\n"
+      "job 0 0 0 10 1 0\ntask 5 4294967297\n",
+      &error);
+  EXPECT_NE(error, "");
+  EXPECT_TRUE(w.jobs.empty());
+
+  w = workload_from_string(
+      "mrcp-workload v1\ncluster 1\nresource 4294967297 1\njobs 0\n", &error);
+  EXPECT_NE(error, "");
+  EXPECT_EQ(w.cluster.size(), 0u);
+}
+
+// Deterministic mutation fuzzing: byte flips, truncations, line drops,
+// line duplications and digit perturbations of a valid trace. Every
+// mutant must either parse (and then roundtrip) or be cleanly rejected.
+TEST(WorkloadFuzzTest, DeterministicMutationsHoldProperties) {
+  const std::string base = valid_workload_text();
+  ASSERT_EQ(workload_roundtrip_check(base), "");
+  RandomStream rng(2024, 0xF022);
+
+  for (int trial = 0; trial < 3000; ++trial) {
+    std::string mutant = base;
+    const int kind = static_cast<int>(rng.uniform_int(0, 4));
+    switch (kind) {
+      case 0: {  // flip a byte
+        const std::size_t i = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(mutant.size()) - 1));
+        mutant[i] = static_cast<char>(rng.uniform_int(1, 126));
+        break;
+      }
+      case 1: {  // truncate
+        const std::size_t n = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(mutant.size())));
+        mutant.resize(n);
+        break;
+      }
+      case 2: {  // drop one line
+        std::vector<std::string> lines;
+        std::size_t pos = 0;
+        while (pos <= mutant.size()) {
+          const std::size_t nl = mutant.find('\n', pos);
+          if (nl == std::string::npos) break;
+          lines.push_back(mutant.substr(pos, nl - pos));
+          pos = nl + 1;
+        }
+        if (lines.empty()) break;
+        lines.erase(lines.begin() +
+                    static_cast<std::ptrdiff_t>(rng.uniform_int(
+                        0, static_cast<std::int64_t>(lines.size()) - 1)));
+        mutant.clear();
+        for (const std::string& l : lines) mutant += l + "\n";
+        break;
+      }
+      case 3: {  // duplicate a random line at the end
+        const std::size_t start = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(mutant.size()) - 1));
+        const std::size_t nl = mutant.find('\n', start);
+        mutant += mutant.substr(start, nl == std::string::npos
+                                           ? std::string::npos
+                                           : nl - start + 1);
+        break;
+      }
+      default: {  // perturb a digit (number-boundary mutations)
+        for (std::size_t i = 0; i < mutant.size(); ++i) {
+          const std::size_t j =
+              (i + static_cast<std::size_t>(rng.uniform_int(
+                       0, static_cast<std::int64_t>(mutant.size()) - 1))) %
+              mutant.size();
+          if (mutant[j] >= '0' && mutant[j] <= '9') {
+            mutant[j] = static_cast<char>('0' + rng.uniform_int(0, 9));
+            break;
+          }
+        }
+        break;
+      }
+    }
+    ASSERT_EQ(workload_roundtrip_check(mutant), "")
+        << "trial " << trial << " kind " << kind << "\n--- mutant ---\n"
+        << mutant;
+  }
+}
+
+}  // namespace
+}  // namespace mrcp
