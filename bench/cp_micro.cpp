@@ -262,12 +262,18 @@ void write_bench_json(const char* path) {
   // single-core machine (where it records the overhead, not a speedup).
   const int hw = std::max(2, ThreadPool::resolve_num_threads(0));
   int num_late = 0;
+  SolveResult last;
   params.num_threads = 1;
-  const double solve_1t_s =
-      best_of_seconds(3, [&] { num_late = solve(m, params).best.num_late; });
+  const double solve_1t_s = best_of_seconds(3, [&] {
+    last = solve(m, params);
+    num_late = last.best.num_late;
+  });
+  const SolveResult result_1t = last;
   params.num_threads = hw;
-  const double solve_nt_s =
-      best_of_seconds(3, [&] { num_late = solve(m, params).best.num_late; });
+  const double solve_nt_s = best_of_seconds(3, [&] {
+    last = solve(m, params);
+    num_late = last.best.num_late;
+  });
 
   std::FILE* f = std::fopen(path, "w");
   if (!f) {
@@ -288,6 +294,9 @@ void write_bench_json(const char* path) {
   std::fprintf(f, "  \"solve_workload\": \"table3-combined-25jobs\",\n");
   std::fprintf(f, "  \"solve_tasks\": %zu,\n", m.num_tasks());
   std::fprintf(f, "  \"solve_num_late\": %d,\n", num_late);
+  std::fprintf(f, "  \"solve_status\": \"%s\",\n",
+               solve_status_name(result_1t.status));
+  std::fprintf(f, "  \"solve_budget_used_s\": %.6f,\n", result_1t.wall_seconds);
   std::fprintf(f, "  \"solve_wall_s_1_thread\": %.6f,\n", solve_1t_s);
   std::fprintf(f, "  \"solve_wall_s_%d_threads\": %.6f,\n", hw, solve_nt_s);
   std::fprintf(f, "  \"solve_threads\": %d,\n", hw);

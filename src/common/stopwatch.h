@@ -31,4 +31,28 @@ class Stopwatch {
   std::chrono::steady_clock::time_point start_;
 };
 
+/// An absolute point in wall-clock time, fixed at construction. Unlike a
+/// Stopwatch budget (elapsed vs. a per-phase allowance), a Deadline is
+/// shared: passing the same Deadline through several phases makes them
+/// jointly respect one cutoff. Used as the degraded-mode hard watchdog
+/// (docs/degraded_mode.md).
+class Deadline {
+ public:
+  explicit Deadline(double seconds_from_now)
+      : at_(std::chrono::steady_clock::now() +
+            std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                std::chrono::duration<double>(seconds_from_now))) {}
+
+  bool expired() const { return std::chrono::steady_clock::now() >= at_; }
+
+  /// Seconds until expiry; negative once expired.
+  double remaining_seconds() const {
+    return std::chrono::duration<double>(at_ - std::chrono::steady_clock::now())
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point at_;
+};
+
 }  // namespace mrcp

@@ -1,10 +1,12 @@
 #include "core/mrcp_rm.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/check.h"
 #include "common/log.h"
 #include "common/stopwatch.h"
+#include "core/fallback_scheduler.h"
 #include "core/matchmaker.h"
 #include "core/model_builder.h"
 #include "cp/audit.h"
@@ -24,10 +26,11 @@ void MrcpRm::handle_resource_down(ResourceId resource, Time now) {
   MRCP_CHECK_MSG(down_[ri] == 0, "resource failed twice without repair");
   down_[ri] = 1;
   ++stats_.resource_down_events;
+  dirty_ = true;
   cluster_.set_resource_capacity(resource, 0, 0);
-  MRCP_CHECK_MSG(
-      cluster_.total_map_slots() > 0 || cluster_.total_reduce_slots() > 0,
-      "every resource is down");
+  // A fully-down cluster is survivable: park_unplaceable() parks every
+  // live job until a repair restores capacity (pre-degradation code
+  // aborted here — see docs/degraded_mode.md).
   // Any assignment still running or planned on the failed resource
   // becomes unassigned work; assignments that already ended stay and are
   // swept as completed by the next reschedule().
@@ -50,6 +53,7 @@ void MrcpRm::handle_resource_up(ResourceId resource, Time now) {
   MRCP_CHECK_MSG(down_[ri] != 0, "repair of a resource that is not down");
   down_[ri] = 0;
   ++stats_.resource_up_events;
+  dirty_ = true;
   const Resource& base = pristine_cluster_.resource(resource);
   cluster_.set_resource_capacity(resource, base.map_capacity,
                                  base.reduce_capacity);
@@ -65,16 +69,33 @@ void MrcpRm::submit(const Job& job, Time now) {
     deferred_.emplace(job.earliest_start - config_.deferral_window, job);
     return;
   }
+  // Overload backpressure (docs/degraded_mode.md): while invocations run
+  // degraded, hold new arrivals in the deferral queue — a streak-scaled
+  // delay lets a burst amortize into one recovery solve instead of
+  // triggering a doomed full re-solve per arrival. Never taken on the
+  // healthy path (streak 0), so default behaviour is unchanged.
+  if (config_.degrade_backpressure && degraded_streak_ > 0) {
+    const Time hold =
+        config_.backpressure_hold *
+        static_cast<Time>(std::min<std::uint64_t>(degraded_streak_, 8));
+    deferred_.emplace(now + hold, job);
+    ++stats_.jobs_backpressured;
+    return;
+  }
   JobState st;
   st.job = job;
   st.completed.assign(job.num_tasks(), 0);
   st.assignments.assign(job.num_tasks(), Assignment{});
   active_.emplace(job.id, std::move(st));
+  dirty_ = true;
 }
 
 Time MrcpRm::next_deferred_release() const {
-  if (deferred_.empty()) return kNoTime;
-  return deferred_.begin()->first;
+  Time next = deferred_.empty() ? kNoTime : deferred_.begin()->first;
+  if (park_retry_at_ != kNoTime && (next == kNoTime || park_retry_at_ < next)) {
+    next = park_retry_at_;
+  }
+  return next;
 }
 
 void MrcpRm::release_deferred(Time now) {
@@ -87,6 +108,7 @@ void MrcpRm::release_deferred(Time now) {
     st.job = std::move(job);
     const JobId id = st.job.id;
     active_.emplace(id, std::move(st));
+    dirty_ = true;
   }
 }
 
@@ -113,13 +135,17 @@ void MrcpRm::sweep_completed(Time now) {
       ++stats_.jobs_completed;
       if (completion > st.job.deadline) ++stats_.jobs_completed_late;
       it = active_.erase(it);
+      // The live set shrank: a degraded-streak skip must not republish
+      // the stale plan past this point.
+      dirty_ = true;
     } else {
       ++it;
     }
   }
 }
 
-std::vector<LiveJob> MrcpRm::collect_live_jobs(Time now) const {
+std::vector<LiveJob> MrcpRm::collect_live_jobs(Time now,
+                                               bool freeze_planned) const {
   std::vector<LiveJob> live;
   live.reserve(active_.size());
   for (const auto& [id, st] : active_) {
@@ -138,10 +164,15 @@ std::vector<LiveJob> MrcpRm::collect_live_jobs(Time now) const {
       lt.res_req = task.res_req;
       lt.net_demand = task.net_demand;
       const Assignment& as = st.assignments[ti];
-      const bool freeze_planned =
-          config_.replan_scope == ReplanScope::kNewJobsOnly;
-      if (as.assigned() && (as.start <= now || freeze_planned)) {
-        // Running: pinned (Table 2 lines 11-12). In kNewJobsOnly scope,
+      // Freezing never pins a planned assignment onto a down resource:
+      // handle_resource_down resets those, so one surviving here would
+      // be a stale-plan resurrection — treat the task as free instead.
+      const bool frozen =
+          freeze_planned && as.assigned() &&
+          down_[static_cast<std::size_t>(as.resource)] == 0;
+      if (as.assigned() && (as.start <= now || frozen)) {
+        // Running: pinned (Table 2 lines 11-12). With freeze_planned
+        // (kNewJobsOnly scope, and the degraded-mode retry rungs),
         // planned-but-unstarted tasks are frozen in place too.
         lt.started = true;
         lt.resource = as.resource;
@@ -160,9 +191,157 @@ std::vector<LiveJob> MrcpRm::collect_live_jobs(Time now) const {
       }
       lj.precedences.emplace_back(before, after);
     }
+    if (freeze_planned) {
+      // A frozen assignment is only sound while every predecessor of the
+      // task is still accounted for. When a failure resets a map (or a
+      // workflow predecessor) to free, the dependent's old start time
+      // assumed a completion that no longer exists — keeping it pinned
+      // would let the plan run a reduce before its maps. Demote such
+      // dependents back to free, to fixpoint (demotions cascade along
+      // precedence chains). Tasks that actually started are never
+      // demoted: a started task's predecessors all completed, and
+      // completed tasks are never reset.
+      std::map<int, std::size_t> by_flat;
+      for (std::size_t i = 0; i < lj.tasks.size(); ++i) {
+        by_flat.emplace(lj.tasks[i].task_index, i);
+      }
+      auto really_started = [&](const LiveTask& lt) {
+        return lt.started &&
+               st.assignments[static_cast<std::size_t>(lt.task_index)].start <=
+                   now;
+      };
+      bool changed = true;
+      while (changed) {
+        changed = false;
+        bool any_free_map = false;
+        for (const LiveTask& lt : lj.tasks) {
+          any_free_map |= lt.type == TaskType::kMap && !lt.started;
+        }
+        for (LiveTask& lt : lj.tasks) {
+          if (!lt.started || really_started(lt)) continue;
+          bool free_pred = any_free_map && lt.type == TaskType::kReduce;
+          for (const auto& [before, after] : lj.precedences) {
+            if (after != lt.task_index) continue;
+            const auto bit = by_flat.find(before);
+            free_pred |= bit != by_flat.end() && !lj.tasks[bit->second].started;
+          }
+          if (free_pred) {
+            lt.started = false;
+            lt.resource = kNoResource;
+            lt.start = kNoTime;
+            changed = true;
+          }
+        }
+      }
+    }
     live.push_back(std::move(lj));
   }
   return live;
+}
+
+namespace {
+
+/// Mirror of Model::validate()'s per-task fit check against a concrete
+/// cluster: can some resource host the task at all?
+bool task_fits_somewhere(const Cluster& cluster, const LiveTask& lt,
+                         bool links_constrained) {
+  for (const Resource& r : cluster.resources()) {
+    if (r.capacity(lt.type) < lt.res_req) continue;
+    if (lt.net_demand > 0 && links_constrained &&
+        r.net_capacity < lt.net_demand) {
+      continue;
+    }
+    return true;
+  }
+  return false;
+}
+
+bool cluster_links_constrained(const Cluster& cluster) {
+  for (const Resource& r : cluster.resources()) {
+    if (r.net_capacity > 0) return true;
+  }
+  return false;
+}
+
+/// Keep only a job's started tasks (and the precedence edges among
+/// them); the rest is parked. Returns false when nothing remains.
+bool keep_started_tasks_only(LiveJob& lj) {
+  std::vector<LiveTask> kept;
+  for (const LiveTask& lt : lj.tasks) {
+    if (lt.started) kept.push_back(lt);
+  }
+  if (kept.empty()) return false;
+  std::vector<std::pair<int, int>> kept_edges;
+  auto present = [&](int task_index) {
+    for (const LiveTask& lt : kept) {
+      if (lt.task_index == task_index) return true;
+    }
+    return false;
+  };
+  for (const auto& [before, after] : lj.precedences) {
+    if (present(before) && present(after)) kept_edges.emplace_back(before, after);
+  }
+  lj.tasks = std::move(kept);
+  lj.precedences = std::move(kept_edges);
+  return true;
+}
+
+}  // namespace
+
+void MrcpRm::park_unplaceable(std::vector<LiveJob>& live, Time now) {
+  parked_.clear();
+  const bool cur_links = cluster_links_constrained(cluster_);
+  const bool pristine_links = cluster_links_constrained(pristine_cluster_);
+  for (auto it = live.begin(); it != live.end();) {
+    LiveJob& lj = *it;
+    bool park = false;
+    for (const LiveTask& lt : lj.tasks) {
+      if (lt.started) continue;  // occupies capacity it already holds
+      if (task_fits_somewhere(cluster_, lt, cur_links)) continue;
+      // Unplaceable against the current (post-failure) capacities. If
+      // even the pristine cluster cannot host it, no amount of repair
+      // will help — that is a workload error and stays fatal, exactly
+      // like the pre-degradation model-validate abort.
+      MRCP_CHECK_MSG(task_fits_somewhere(pristine_cluster_, lt, pristine_links),
+                     "task demand exceeds every resource in the cluster");
+      park = true;
+      break;
+    }
+    if (!park) {
+      ++it;
+      continue;
+    }
+    // Park the whole job's unstarted work (a partial park would split
+    // the job's map->reduce barrier between two planning regimes): its
+    // planned-but-unstarted assignments are released so they cannot
+    // double-book capacity against the model, and only started tasks —
+    // which hold real slots the solver must plan around — stay live.
+    parked_.insert(lj.id);
+    ++stats_.jobs_parked;
+    JobState& st = active_.at(lj.id);
+    for (std::size_t ti = 0; ti < st.assignments.size(); ++ti) {
+      if (st.completed[ti]) continue;
+      Assignment& as = st.assignments[ti];
+      if (as.assigned() && as.start > now) as = Assignment{};
+    }
+    it = keep_started_tasks_only(lj) ? it + 1 : live.erase(it);
+  }
+}
+
+void MrcpRm::strip_parked(std::vector<LiveJob>& live) const {
+  for (auto it = live.begin(); it != live.end();) {
+    if (parked_.count(it->id) == 0) {
+      ++it;
+      continue;
+    }
+    it = keep_started_tasks_only(*it) ? it + 1 : live.erase(it);
+  }
+}
+
+DegradationCounts MrcpRm::degradation_counts() const {
+  DegradationCounts counts = ledger_.counts();
+  counts.jobs_backpressured = stats_.jobs_backpressured;
+  return counts;
 }
 
 const Plan& MrcpRm::reschedule(Time now) {
@@ -171,7 +350,33 @@ const Plan& MrcpRm::reschedule(Time now) {
 
   release_deferred(now);
   sweep_completed(now);
-  const std::vector<LiveJob> live = collect_live_jobs(now);
+
+  InvocationRecord rec;
+  rec.sim_time = now;
+
+  // Backpressure short-circuit: while degraded, an invocation whose live
+  // set did not change since the last full pass (arrivals were
+  // backpressure-deferred, nothing completed early, no fault activity)
+  // republishes the current plan instead of burning another doomed
+  // solve. Gated on the streak, so the healthy path never takes it.
+  if (degraded_streak_ > 0 && !dirty_ && parked_.empty()) {
+    rec.outcome = InvocationOutcome::kSkipped;
+    publish_plan(now);
+    rec.epoch = plan_.epoch;
+    ledger_.record(rec);
+    stats_.total_sched_seconds += timer.elapsed_seconds();
+    return plan_;
+  }
+  dirty_ = false;
+  park_retry_at_ = kNoTime;
+
+  std::vector<LiveJob> live = collect_live_jobs(
+      now, config_.replan_scope == ReplanScope::kNewJobsOnly);
+  park_unplaceable(live, now);
+  rec.parked_jobs = parked_.size();
+
+  InvocationOutcome outcome =
+      parked_.empty() ? InvocationOutcome::kIdle : InvocationOutcome::kParked;
 
   if (!live.empty()) {
     // Separation (§V.D) needs unit demands; fall back to the direct
@@ -206,37 +411,143 @@ const Plan& MrcpRm::reschedule(Time now) {
 
     BuiltModel built = combined ? build_combined_model(cluster_, live)
                                 : build_direct_model(cluster_, live);
+    // After park_unplaceable() every free task has a capable host, so a
+    // validation failure here is an internal invariant violation, not a
+    // runtime condition — it stays fatal.
     const std::string model_err = built.model.validate();
     MRCP_CHECK_MSG(model_err.empty(), model_err.c_str());
 
     cp::SolveParams params = config_.solve;
     // Vary the LNS seed across invocations, deterministically.
     params.seed = config_.solve.seed + plan_.epoch * 0x9E3779B9ULL;
+    // One absolute watchdog bounds the whole invocation; each attempt
+    // additionally gets 64x its own soft budget. The margins are wide on
+    // purpose: a first descent legitimately overshoots the soft budget
+    // (nothing interrupts a descent that has no solution yet), and the
+    // watchdog must only catch runaways — with default budgets no search
+    // ever aborts, even on a loaded machine, and the solve is bit-for-bit
+    // the pre-degradation one. Shrinking the budget shrinks the watchdog
+    // proportionally, which is how near-zero budgets force degradation.
+    const double invocation_budget_s =
+        config_.solver_deadline_s > 0.0 ? config_.solver_deadline_s
+                                        : config_.solve.time_limit_s * 256.0;
+    Deadline invocation_deadline(invocation_budget_s);
+    Deadline primary_deadline(std::min(
+        invocation_deadline.remaining_seconds(), params.time_limit_s * 64.0));
+    params.hard_deadline = &primary_deadline;
+
+    auto account = [&](const cp::SolveResult& r) {
+      ++stats_.solve_attempts;
+      ++rec.attempts;
+      rec.last_status = r.status;
+      rec.solve_wall_seconds += r.wall_seconds;
+      stats_.solve_wall_seconds += r.wall_seconds;
+      stats_.solver_decisions += r.stats.decisions;
+      stats_.solver_fails += r.stats.fails;
+    };
+
     cp::SolveResult result = cp::solve(built.model, params);
-    MRCP_CHECK_MSG(result.best.valid, "solver returned no solution");
+    account(result);
+
+    cp::Solution chosen;
+    const BuiltModel* solved = &built;
+    BuiltModel shrunk_built;  // owns the frozen model when a retry rung wins
+
+    if (result.best.valid) {
+      outcome = InvocationOutcome::kCpPrimary;
+      chosen = std::move(result.best);
+    } else {
+      // Escalation ladder (docs/degraded_mode.md): the hard watchdog cut
+      // every descent short. Shrink the model by freezing all planned
+      // assignments in place (LNS-style neighbourhood fixing), double
+      // the soft budget per rung, seed each rung with the EDF fallback's
+      // schedule for that model, and finally publish the fallback plan
+      // outright.
+      MRCP_CHECK_MSG(config_.fallback_enabled, "solver returned no solution");
+      cp::Solution parachute;  // EDF seed returned by an aborted retry
+      BuiltModel parachute_built;
+      for (int retry = 1;
+           retry <= config_.max_solve_retries && !invocation_deadline.expired();
+           ++retry) {
+        // The combined-resource abstraction is unsound with frozen
+        // fragments (see the kNewJobsOnly comment above), so retries
+        // always solve the direct model.
+        std::vector<LiveJob> frozen = collect_live_jobs(now, true);
+        strip_parked(frozen);
+        if (frozen.empty()) break;
+        BuiltModel shrunk = build_direct_model(cluster_, frozen);
+        const std::string frozen_err = shrunk.model.validate();
+        MRCP_CHECK_MSG(frozen_err.empty(), frozen_err.c_str());
+
+        cp::SolveParams retry_params = params;
+        retry_params.time_limit_s =
+            config_.solve.time_limit_s * static_cast<double>(1 << retry);
+        retry_params.improvement_fails = 0;  // descent-only: cheapest
+        retry_params.lns_iterations = 0;     // complete schedule wins
+        Deadline retry_deadline(
+            std::min(invocation_deadline.remaining_seconds(),
+                     retry_params.time_limit_s * 64.0));
+        retry_params.hard_deadline = &retry_deadline;
+
+        const cp::Solution seed = fallback_schedule(shrunk.model);
+        cp::SolveResult rr = cp::solve(shrunk.model, retry_params,
+                                       seed.valid ? &seed : nullptr);
+        account(rr);
+        if (rr.best.valid && rr.stats.solutions > 0) {
+          // The rung completed a descent of its own (at worst tying the
+          // EDF incumbent, never worse — warm starts only prune).
+          outcome = InvocationOutcome::kCpRetry;
+          chosen = std::move(rr.best);
+          shrunk_built = std::move(shrunk);
+          solved = &shrunk_built;
+          break;
+        }
+        if (rr.best.valid && !parachute.valid) {
+          // Aborted again: rr.best is exactly the EDF seed. Keep it as a
+          // minimal-churn fallback plan while the budget escalates.
+          parachute = std::move(rr.best);
+          parachute_built = std::move(shrunk);
+        }
+      }
+      if (!chosen.valid) {
+        outcome = InvocationOutcome::kFallback;
+        ++stats_.fallback_plans;
+        if (parachute.valid) {
+          // Frozen-model EDF plan: respects every previous placement.
+          chosen = std::move(parachute);
+          shrunk_built = std::move(parachute_built);
+          solved = &shrunk_built;
+        } else {
+          // Full-model EDF plan — deterministic, never times out.
+          chosen = fallback_schedule(built.model);
+          MRCP_CHECK_MSG(chosen.valid,
+                         "fallback scheduler failed on a validated model");
+        }
+      }
+    }
+
+    const BuiltModel& bm = *solved;
     // Audit builds always validate (MRCP_AUDIT_ENABLED is a compile-time
     // constant, so the check folds away in default builds), and small
-    // models additionally face the brute-force constraint oracle.
+    // models additionally face the brute-force constraint oracle —
+    // fallback-produced plans included.
     if (config_.validate_plans || MRCP_AUDIT_ENABLED) {
-      const std::string err = validate_solution(built.model, result.best);
+      const std::string err = validate_solution(bm.model, chosen);
       MRCP_CHECK_MSG(err.empty(), err.c_str());
     }
     MRCP_AUDIT_ONLY({
-      if (built.model.num_tasks() <= cp::audit::kAuditModelSizeLimit) {
-        MRCP_AUDIT_CHECK(
-            cp::audit::brute_force_check_solution(built.model, result.best));
+      if (bm.model.num_tasks() <= cp::audit::kAuditModelSizeLimit) {
+        MRCP_AUDIT_CHECK(cp::audit::brute_force_check_solution(bm.model, chosen));
       }
     })
-    stats_.solver_decisions += result.stats.decisions;
-    stats_.solver_fails += result.stats.fails;
 
     // Map CP placements back onto cluster resources.
-    std::vector<ResourceId> resources(built.task_refs.size(), kNoResource);
-    if (combined) {
-      std::vector<MatchItem> items(built.task_refs.size());
-      for (std::size_t i = 0; i < built.task_refs.size(); ++i) {
-        const cp::CpTask& ct = built.model.task(static_cast<cp::CpTaskIndex>(i));
-        const auto& placement = result.best.placements[i];
+    std::vector<ResourceId> resources(bm.task_refs.size(), kNoResource);
+    if (bm.combined) {
+      std::vector<MatchItem> items(bm.task_refs.size());
+      for (std::size_t i = 0; i < bm.task_refs.size(); ++i) {
+        const cp::CpTask& ct = bm.model.task(static_cast<cp::CpTaskIndex>(i));
+        const auto& placement = chosen.placements[i];
         MatchItem& item = items[i];
         item.type = ct.phase == cp::Phase::kMap ? TaskType::kMap
                                                 : TaskType::kReduce;
@@ -244,7 +555,7 @@ const Plan& MrcpRm::reschedule(Time now) {
         item.end = placement.start + ct.duration;
         item.pinned = ct.pinned;
         if (ct.pinned) {
-          const auto& [job_id, task_index] = built.task_refs[i];
+          const auto& [job_id, task_index] = bm.task_refs[i];
           item.pinned_resource =
               active_.at(job_id)
                   .assignments[static_cast<std::size_t>(task_index)]
@@ -253,25 +564,35 @@ const Plan& MrcpRm::reschedule(Time now) {
       }
       resources = matchmake(cluster_, items);
     } else {
-      for (std::size_t i = 0; i < built.task_refs.size(); ++i) {
-        resources[i] =
-            static_cast<ResourceId>(result.best.placements[i].resource);
+      for (std::size_t i = 0; i < bm.task_refs.size(); ++i) {
+        resources[i] = static_cast<ResourceId>(chosen.placements[i].resource);
       }
     }
 
     // Commit the new assignments.
-    for (std::size_t i = 0; i < built.task_refs.size(); ++i) {
-      const auto& [job_id, task_index] = built.task_refs[i];
-      const cp::CpTask& ct = built.model.task(static_cast<cp::CpTaskIndex>(i));
+    for (std::size_t i = 0; i < bm.task_refs.size(); ++i) {
+      const auto& [job_id, task_index] = bm.task_refs[i];
+      const cp::CpTask& ct = bm.model.task(static_cast<cp::CpTaskIndex>(i));
       Assignment& as =
           active_.at(job_id).assignments[static_cast<std::size_t>(task_index)];
       as.resource = resources[i];
-      as.start = result.best.placements[i].start;
+      as.start = chosen.placements[i].start;
       as.end = as.start + ct.duration;
     }
+    rec.live_tasks = bm.model.num_tasks();
   }
 
+  rec.outcome = outcome;
+  const bool degraded = outcome == InvocationOutcome::kCpRetry ||
+                        outcome == InvocationOutcome::kFallback ||
+                        outcome == InvocationOutcome::kParked ||
+                        !parked_.empty();
+  degraded_streak_ = degraded ? degraded_streak_ + 1 : 0;
+  if (!parked_.empty()) park_retry_at_ = now + config_.park_retry_delay;
+
   publish_plan(now);
+  rec.epoch = plan_.epoch;
+  ledger_.record(rec);
   stats_.total_sched_seconds += timer.elapsed_seconds();
   return plan_;
 }
@@ -280,11 +601,21 @@ void MrcpRm::publish_plan(Time now) {
   ++plan_.epoch;
   plan_.planned_at = now;
   plan_.tasks.clear();
+  plan_.parked_tasks = 0;
   for (const auto& [id, st] : active_) {
     for (std::size_t ti = 0; ti < st.job.num_tasks(); ++ti) {
       if (st.completed[ti]) continue;
       const Assignment& as = st.assignments[ti];
-      MRCP_CHECK(as.assigned());
+      if (!as.assigned()) {
+        // Only a parked job may publish unassigned work: its unstarted
+        // tasks wait for capacity and are deliberately absent from the
+        // plan (the driver cancels their stale events; see
+        // docs/degraded_mode.md). Anything else is an internal error.
+        MRCP_CHECK_MSG(parked_.count(id) != 0,
+                       "unassigned live task outside a parked job");
+        ++plan_.parked_tasks;
+        continue;
+      }
       PlannedTask pt;
       pt.job = id;
       pt.task_index = static_cast<int>(ti);

@@ -28,9 +28,11 @@
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <set>
 #include <vector>
 
 #include "common/types.h"
+#include "core/degradation.h"
 #include "core/model_builder.h"
 #include "core/plan.h"
 #include "cp/solver.h"
@@ -71,6 +73,36 @@ struct MrcpConfig {
 
   /// Re-validate every published plan (slow; for tests/debugging).
   bool validate_plans = false;
+
+  // ---- Graceful degradation (docs/degraded_mode.md) ----
+
+  /// When the CP solve returns no schedule (hard watchdog expired before
+  /// any descent completed), escalate: shrink+backoff retries, then the
+  /// deterministic EDF fallback scheduler. Off restores the fatal
+  /// pre-degradation behaviour (abort on an empty solve) — tests only.
+  bool fallback_enabled = true;
+  /// Shrunk-model retries before falling back: each freezes every
+  /// planned assignment in place (LNS-style neighbourhood fixing),
+  /// doubles the soft budget, and is seeded with the EDF fallback's
+  /// incumbent. 0 = straight to the fallback.
+  int max_solve_retries = 2;
+  /// Absolute wall-clock watchdog for a whole reschedule() invocation,
+  /// shared by every attempt. 0 = auto: 256x solve.time_limit_s — far
+  /// above any descent that fits the soft budget, so default-budget runs
+  /// never hit it and stay byte-identical to the pre-degradation code.
+  double solver_deadline_s = 0.0;
+  /// Backpressure: while invocations run degraded, newly submitted jobs
+  /// are held in the deferral queue (hold scales with the degraded
+  /// streak) so a burst amortizes into one recovery solve instead of
+  /// thrashing a full re-solve per arrival.
+  bool degrade_backpressure = true;
+  /// Base hold per degraded-streak step, in ticks; the applied hold is
+  /// min(streak, 8) * this.
+  Time backpressure_hold = 10'000;
+  /// A parked (currently unplaceable) job is retried this many ticks
+  /// later via next_deferred_release(), in addition to the reschedule
+  /// every repair event triggers anyway.
+  Time park_retry_delay = 5'000;
 };
 
 struct MrcpStats {
@@ -86,6 +118,11 @@ struct MrcpStats {
   std::uint64_t resource_up_events = 0;
   /// Assignments reset by handle_resource_down (killed + unstarted).
   std::uint64_t tasks_reset_by_failure = 0;
+  std::uint64_t solve_attempts = 0;      ///< cp::solve calls (all rungs)
+  std::uint64_t fallback_plans = 0;      ///< invocations resolved by the EDF fallback
+  std::uint64_t jobs_backpressured = 0;  ///< submissions deferred by backpressure
+  std::uint64_t jobs_parked = 0;         ///< job-epochs parked as unplaceable
+  double solve_wall_seconds = 0.0;       ///< wall clock inside cp::solve
 
   /// O: average matchmaking and scheduling time per submitted job
   /// (paper §VI: total scheduling time / jobs mapped and scheduled).
@@ -131,6 +168,12 @@ class MrcpRm {
 
   const MrcpStats& stats() const { return stats_; }
 
+  /// Per-invocation degraded-mode attribution (docs/degraded_mode.md).
+  const DegradationLedger& ledger() const { return ledger_; }
+  /// Ledger counters plus the RM-side backpressure counter, ready to
+  /// embed in sim::SimMetrics.
+  DegradationCounts degradation_counts() const;
+
  private:
   struct Assignment {
     ResourceId resource = kNoResource;
@@ -146,7 +189,20 @@ class MrcpRm {
 
   void release_deferred(Time now);
   void sweep_completed(Time now);
-  std::vector<LiveJob> collect_live_jobs(Time now) const;
+  /// Live jobs for the CP model. `freeze_planned` additionally pins
+  /// planned-but-unstarted assignments (kNewJobsOnly semantics; also the
+  /// shrunk model of degraded-mode retries).
+  std::vector<LiveJob> collect_live_jobs(Time now, bool freeze_planned) const;
+  /// Park jobs with a free task no *current* (post-failure) resource can
+  /// host: their unstarted assignments are released and only their
+  /// started tasks stay in `live` (they occupy real capacity). A task
+  /// even the pristine cluster cannot host is a workload error and stays
+  /// fatal. Rebuilds `parked_`.
+  void park_unplaceable(std::vector<LiveJob>& live, Time now);
+  /// Drop the unstarted tasks of already-parked jobs from a re-collected
+  /// live set (retry rungs re-collect; parking must not be re-decided
+  /// mid-invocation).
+  void strip_parked(std::vector<LiveJob>& live) const;
   void publish_plan(Time now);
 
   Cluster cluster_;            ///< working capacities (failed => zeroed)
@@ -157,6 +213,17 @@ class MrcpRm {
   std::multimap<Time, Job> deferred_;  ///< release time -> job
   Plan plan_;
   MrcpStats stats_;
+
+  // ---- Degraded-mode state (docs/degraded_mode.md) ----
+  std::set<JobId> parked_;       ///< jobs with unplaced tasks this epoch
+  Time park_retry_at_ = kNoTime; ///< next parked-work retry wakeup
+  std::uint64_t degraded_streak_ = 0;  ///< consecutive degraded invocations
+  /// Live-set changed since the last full solve (arrival, release,
+  /// failure, repair)? While degraded, an unchanged set lets
+  /// reschedule() republish instead of re-solving (backpressure
+  /// short-circuit); on the healthy path (streak 0) it is never read.
+  bool dirty_ = true;
+  DegradationLedger ledger_;
 };
 
 }  // namespace mrcp

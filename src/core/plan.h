@@ -34,6 +34,12 @@ struct Plan {
   std::uint64_t epoch = 0;
   Time planned_at = 0;
   std::vector<PlannedTask> tasks;
+  /// Live (non-completed) tasks deliberately absent from `tasks`: the
+  /// unstarted work of parked jobs that no currently-up resource can
+  /// host (docs/degraded_mode.md). When nonzero the driver must cancel
+  /// any stale events it still holds for absent tasks; the RM retries
+  /// the parked work via next_deferred_release() and on every repair.
+  std::size_t parked_tasks = 0;
 
   std::string to_string() const;
 };

@@ -349,7 +349,12 @@ void SetTimesSearch::build_choices(CpTaskIndex task, Level& level) {
   } else {
     for (CpResourceIndex r : t.candidates) consider(r);
   }
-  MRCP_CHECK_MSG(!level.choices.empty(), "task has no feasible resource");
+  // A task no resource can host is a dead end, not a crash: the caller
+  // backtracks through the empty level (and reports exhaustion at the
+  // root). Unreachable for models that pass Model::validate(), which
+  // requires a capable candidate per task — kept recoverable so the
+  // degraded-mode pipeline can treat it as kInfeasible.
+  if (level.choices.empty()) return;
   std::stable_sort(level.choices.begin(), level.choices.end(),
                    [](const Choice& a, const Choice& b) {
                      if (a.start != b.start) return a.start < b.start;
@@ -480,9 +485,10 @@ Solution SetTimesSearch::run(const SearchLimits& limits, const Solution* incumbe
   bool level_fresh = true;  // does levels[depth] need (re)building?
   bool done = false;
 
-  // The budget never interrupts the initial descent: the search must
-  // always return a complete schedule (it is the RM's only source of
-  // one), and the first descent costs only one placement per task.
+  // The soft budget never interrupts the initial descent: the search
+  // must normally return a complete schedule (it is the RM's primary
+  // source of one), and the first descent costs only one placement per
+  // task. Only the hard watchdog below can cut a descent short.
   auto over_budget = [&]() {
     if (!best.valid) return false;
     return st.fails > limits.max_fails ||
@@ -506,6 +512,16 @@ Solution SetTimesSearch::run(const SearchLimits& limits, const Solution* incumbe
   };
 
   while (!done) {
+    // Hard watchdog: unlike the soft budget this aborts even before a
+    // first solution exists (the RM's degraded-mode ladder recovers via
+    // the EDF fallback scheduler). Checked every 8 decisions so the
+    // healthy path pays one null test per iteration.
+    if (limits.hard_deadline != nullptr && (st.decisions & 0x7) == 0 &&
+        limits.hard_deadline->expired()) {
+      st.aborted = true;
+      break;
+    }
+
     if (depth == order_.size()) {
       // All tasks fixed: a complete solution.
       Solution sol;

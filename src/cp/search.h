@@ -14,13 +14,17 @@
 //
 // The first descent (taking the first branch everywhere) is an EDF/LLF
 // list schedule, so the search is anytime: it always returns a feasible
-// schedule, improved for as long as the fail/time budget lasts.
+// schedule, improved for as long as the fail/time budget lasts. The one
+// exception is the optional hard watchdog (SearchLimits::hard_deadline),
+// which may abort even the first descent — callers that set it must be
+// prepared for an invalid result (SearchStats::aborted).
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <vector>
 
+#include "common/stopwatch.h"
 #include "cp/audit.h"
 #include "cp/model.h"
 #include "cp/profile.h"
@@ -49,6 +53,15 @@ struct SearchLimits {
   /// Publishes are rare — one per solution found — so the null check is
   /// free next to the search itself.
   audit::SharedBoundAuditor* bound_auditor = nullptr;
+  /// Optional hard watchdog. The soft budget above never interrupts a
+  /// search that has no solution yet (anytime guarantee: the first
+  /// descent always completes), but an expired hard deadline aborts the
+  /// search even mid-descent, possibly leaving the caller without a
+  /// solution (SearchStats::aborted). The degraded-mode pipeline
+  /// (docs/degraded_mode.md) recovers via the EDF fallback scheduler;
+  /// nullptr (the default) preserves the always-return-a-schedule
+  /// behaviour exactly.
+  const Deadline* hard_deadline = nullptr;
 };
 
 struct SearchStats {
@@ -56,6 +69,7 @@ struct SearchStats {
   std::int64_t fails = 0;
   std::int64_t solutions = 0;
   bool exhausted = false;  ///< search space fully explored (proof of optimality)
+  bool aborted = false;    ///< hard deadline expired before completion
 };
 
 class SetTimesSearch {

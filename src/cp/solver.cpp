@@ -75,6 +75,16 @@ std::vector<int> promote_job(const std::vector<int>& ranks, std::size_t job) {
 
 }  // namespace
 
+const char* solve_status_name(SolveStatus status) {
+  switch (status) {
+    case SolveStatus::kOptimal: return "optimal";
+    case SolveStatus::kFeasible: return "feasible";
+    case SolveStatus::kBudgetExhausted: return "budget-exhausted";
+    case SolveStatus::kInfeasible: return "infeasible";
+  }
+  return "unknown";
+}
+
 SolveResult solve(const Model& model, const SolveParams& params,
                   const Solution* warm_start) {
   MRCP_CHECK_MSG(model.validate().empty(), "invalid model passed to solve()");
@@ -86,12 +96,17 @@ SolveResult solve(const Model& model, const SolveParams& params,
   if (warm_start && warm_start->valid) best = *warm_start;
 
   auto remaining = [&]() {
-    return params.time_limit_s - timer.elapsed_seconds();
+    double r = params.time_limit_s - timer.elapsed_seconds();
+    if (params.hard_deadline != nullptr) {
+      r = std::min(r, params.hard_deadline->remaining_seconds());
+    }
+    return r;
   };
   auto account = [&](const SearchStats& st) {
     stats.decisions += st.decisions;
     stats.fails += st.fails;
     stats.solutions += st.solutions;
+    stats.aborted = stats.aborted || st.aborted;
   };
 
   const int num_threads = ThreadPool::resolve_num_threads(params.num_threads);
@@ -111,6 +126,7 @@ SolveResult solve(const Model& model, const SolveParams& params,
     limits.postpone_tries = 0;
     limits.time_limit_s = std::max(remaining(), floor_s);
     limits.shared_late_bound = &shared_late;
+    limits.hard_deadline = params.hard_deadline;
     MRCP_AUDIT_ONLY(limits.bound_auditor = &bound_auditor;)
     return limits;
   };
@@ -229,6 +245,7 @@ SolveResult solve(const Model& model, const SolveParams& params,
     limits.max_fails = params.improvement_fails;
     limits.postpone_tries = params.postpone_tries;
     limits.time_limit_s = remaining();
+    limits.hard_deadline = params.hard_deadline;
     SearchStats st;
     Solution sol = search.run(limits, &best, &st);
     account(st);
@@ -334,6 +351,17 @@ SolveResult solve(const Model& model, const SolveParams& params,
   })
   if (best.valid && best.num_late == 0) stats.proved_optimal = true;
   stats.solve_seconds = timer.elapsed_seconds();
+  result.wall_seconds = stats.solve_seconds;
+  if (best.valid) {
+    result.status =
+        stats.proved_optimal ? SolveStatus::kOptimal : SolveStatus::kFeasible;
+  } else {
+    // No solution at all: either the hard deadline cut every descent
+    // short (recoverable — the caller escalates per the degraded-mode
+    // ladder) or the searches genuinely exhausted an empty space.
+    result.status = stats.aborted ? SolveStatus::kBudgetExhausted
+                                  : SolveStatus::kInfeasible;
+  }
   result.best = std::move(best);
   return result;
 }

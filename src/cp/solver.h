@@ -56,7 +56,24 @@ struct SolveParams {
   /// 1 = exactly n workers. For a fixed seed the returned solution is
   /// identical for every value whenever time_limit_s does not bind.
   int num_threads = 1;
+  /// Optional hard watchdog shared by every phase (portfolio descents,
+  /// B&B improvement, LNS): once expired, running searches abort at the
+  /// next check — even mid-descent, so the solve may return no solution
+  /// at all (SolveStatus::kBudgetExhausted). Callers own the Deadline;
+  /// nullptr (the default) keeps the anytime guarantee that a validated
+  /// model always yields a schedule. See docs/degraded_mode.md.
+  const Deadline* hard_deadline = nullptr;
 };
+
+/// What the solver can promise about its result.
+enum class SolveStatus : std::uint8_t {
+  kOptimal,          ///< proved optimal (zero late jobs or exhausted search)
+  kFeasible,         ///< best-effort schedule found within the budget
+  kBudgetExhausted,  ///< hard deadline expired before any solution existed
+  kInfeasible,       ///< search space exhausted without a solution
+};
+
+const char* solve_status_name(SolveStatus status);
 
 struct SolveStats {
   std::int64_t decisions = 0;
@@ -66,11 +83,20 @@ struct SolveStats {
   double solve_seconds = 0.0;
   JobOrdering best_ordering = JobOrdering::kEdf;
   bool proved_optimal = false;  ///< zero late jobs, or search exhausted
+  bool aborted = false;         ///< some search hit the hard deadline
 };
 
 struct SolveResult {
   Solution best;
   SolveStats stats;
+  /// What `best` is: with the default params (no hard deadline) this is
+  /// always kOptimal or kFeasible and `best.valid` holds; a hard
+  /// deadline adds the kBudgetExhausted outcome where `best` is invalid
+  /// and the caller must fall back (docs/degraded_mode.md).
+  SolveStatus status = SolveStatus::kFeasible;
+  /// Wall-clock seconds this solve actually consumed (== stats.solve_seconds,
+  /// surfaced here so budget-bound solves are visible next to `status`).
+  double wall_seconds = 0.0;
 };
 
 /// Solve the model. The model must pass Model::validate(). If

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <functional>
 #include <map>
+#include <set>
 #include <sstream>
 #include <utility>
 
@@ -296,6 +297,28 @@ SimMetrics simulate_mrcp(const Workload& workload, const MrcpConfig& config,
   };
 
   apply_plan = [&](const Plan& plan) {
+    if (plan.parked_tasks > 0) {
+      // A degraded plan may omit the unstarted tasks of parked jobs
+      // (no currently-up resource can host them). Any end event still
+      // pending from a previous epoch for such a task is stale — cancel
+      // it and forget the placement; the RM re-plans the task once
+      // capacity returns.
+      std::set<std::pair<JobId, int>> in_plan;
+      for (const PlannedTask& pt : plan.tasks) {
+        in_plan.emplace(pt.job, pt.task_index);
+      }
+      for (std::size_t ji = 0; ji < tasks.size(); ++ji) {
+        for (std::size_t ti = 0; ti < tasks[ji].size(); ++ti) {
+          TaskState& ts = tasks[ji][ti];
+          if (ts.started || !ts.end_event.pending()) continue;
+          if (in_plan.count({static_cast<JobId>(ji), static_cast<int>(ti)})) {
+            continue;
+          }
+          des.cancel(ts.end_event);
+          ts = TaskState{};
+        }
+      }
+    }
     for (const PlannedTask& pt : plan.tasks) {
       const auto ji = static_cast<std::size_t>(pt.job);
       TaskState& ts = tasks[ji][static_cast<std::size_t>(pt.task_index)];
@@ -406,6 +429,7 @@ SimMetrics simulate_mrcp(const Workload& workload, const MrcpConfig& config,
   // sweeps completions when reschedule() runs, and the final tasks finish
   // after the last arrival-triggered invocation.
   const MrcpStats& rm_stats = rm.stats();
+  metrics.degradation = rm.degradation_counts();
   metrics.total_sched_seconds = rm_stats.total_sched_seconds;
   metrics.rm_invocations = rm_stats.invocations;
   metrics.max_live_tasks = rm_stats.max_live_tasks;

@@ -16,6 +16,7 @@
 
 #include "common/batch_means.h"
 #include "common/types.h"
+#include "core/degradation.h"
 
 namespace mrcp::sim {
 
@@ -78,6 +79,8 @@ struct SimMetrics {
   /// Injected resource outages, in failure order.
   std::vector<DownInterval> downtime;
   FailureMetrics failure;
+  /// Degraded-mode attribution (MRCP-RM only; zero for baselines).
+  DegradationCounts degradation;
   double total_sched_seconds = 0.0;
   std::uint64_t rm_invocations = 0;
   std::uint64_t max_live_tasks = 0;

@@ -132,6 +132,10 @@ int run_simulate(const Flags& flags) {
     config.solve.num_threads = static_cast<int>(flags.get_int("solver-threads"));
     config.use_separation = !flags.get_bool("no-separation");
     config.defer_future_jobs = !flags.get_bool("no-deferral");
+    config.fallback_enabled = flags.get_bool("fallback");
+    config.max_solve_retries = static_cast<int>(flags.get_int("max-solve-retries"));
+    config.solver_deadline_s = flags.get_double("solver-deadline");
+    config.degrade_backpressure = flags.get_bool("degrade-backpressure");
     metrics = sim::simulate_mrcp(w, config, options);
   } else if (rm == "minedf" || rm == "edf") {
     baseline::MinEdfConfig config;
@@ -162,6 +166,28 @@ int run_simulate(const Flags& flags) {
                 static_cast<long long>(f.straggler_tasks));
     std::printf("  late jobs failure-affected = %lld\n",
                 static_cast<long long>(f.jobs_late_failure_affected));
+  }
+
+  if (flags.get_bool("stats") && rm == "mrcp") {
+    const DegradationCounts& d = metrics.degradation;
+    std::printf("solver:\n");
+    std::printf("  invocations = %llu, solve attempts = %llu\n",
+                static_cast<unsigned long long>(metrics.rm_invocations),
+                static_cast<unsigned long long>(d.solve_attempts));
+    std::printf("  solve wall = %.3f s, max live tasks = %llu\n",
+                d.solve_wall_seconds,
+                static_cast<unsigned long long>(metrics.max_live_tasks));
+    std::printf("degradation:\n");
+    std::printf("  primary = %llu, retry = %llu, fallback = %llu\n",
+                static_cast<unsigned long long>(d.primary),
+                static_cast<unsigned long long>(d.retry),
+                static_cast<unsigned long long>(d.fallback));
+    std::printf("  parked = %llu, skipped = %llu, idle = %llu\n",
+                static_cast<unsigned long long>(d.parked),
+                static_cast<unsigned long long>(d.skipped),
+                static_cast<unsigned long long>(d.idle));
+    std::printf("  jobs backpressured = %llu\n",
+                static_cast<unsigned long long>(d.jobs_backpressured));
   }
 
   const std::string& trace_out = flags.get_string("trace-out");
@@ -210,6 +236,15 @@ int main(int argc, char** argv) {
                "mrcp: CP solver worker threads (0 = all hardware threads)")
       .add_bool("no-separation", false, "mrcp: disable §V.D separation")
       .add_bool("no-deferral", false, "mrcp: disable §V.E deferral")
+      .add_bool("fallback", true,
+                "mrcp: EDF fallback when CP yields nothing (=false disables)")
+      .add_int("max-solve-retries", 2,
+               "mrcp: shrink/backoff retries before the fallback")
+      .add_double("solver-deadline", 0.0,
+                  "mrcp: wall-clock watchdog per invocation (s, 0 = auto)")
+      .add_bool("degrade-backpressure", true,
+                "mrcp: hold burst arrivals while running degraded")
+      .add_bool("stats", false, "simulate: print solver/degradation stats")
       .add_double("mtbf", 0.0, "mean time between failures per resource (s, "
                                "0 = no failures)")
       .add_double("mttr", 60.0, "mean time to repair (s)")
