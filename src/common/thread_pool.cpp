@@ -5,11 +5,16 @@
 
 namespace mrcp {
 
+namespace {
+/// Worker index within its owning pool; -1 on non-worker threads.
+thread_local int tl_worker_id = -1;
+}  // namespace
+
 ThreadPool::ThreadPool(int num_threads) {
   const int n = std::max(1, num_threads);
   workers_.reserve(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -36,15 +41,67 @@ void ThreadPool::wait_idle() {
   idle_cv_.wait(lock, [this] { return unfinished_ == 0; });
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::run_indexed(std::size_t n,
+                             const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  Batch batch;
+  batch.fn = &fn;
+  batch.n = n;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    batch_ = &batch;
+  }
+  work_cv_.notify_all();
+  // Wait until every call has returned AND no worker still holds a
+  // pointer to the stack-owned batch (active_workers == 0) — only then is
+  // it safe to let `batch` go out of scope.
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [&] {
+    return batch.done == batch.n && batch.active_workers == 0;
+  });
+  batch_ = nullptr;
+}
+
+int ThreadPool::current_worker_id() { return tl_worker_id; }
+
+void ThreadPool::worker_loop(int worker_id) {
+  tl_worker_id = worker_id;
   for (;;) {
     std::function<void()> task;
+    Batch* batch = nullptr;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stop_ set and nothing left to run
-      task = std::move(queue_.front());
-      queue_.pop_front();
+      work_cv_.wait(lock, [this] {
+        return stop_ || !queue_.empty() ||
+               (batch_ != nullptr &&
+                batch_->next.load(std::memory_order_relaxed) < batch_->n);
+      });
+      if (batch_ != nullptr &&
+          batch_->next.load(std::memory_order_relaxed) < batch_->n) {
+        batch = batch_;
+        ++batch->active_workers;
+      } else if (!queue_.empty()) {
+        task = std::move(queue_.front());
+        queue_.pop_front();
+      } else {
+        return;  // stop_ set and nothing left to run
+      }
+    }
+    if (batch != nullptr) {
+      std::size_t ran = 0;
+      for (;;) {
+        const std::size_t i = batch->next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= batch->n) break;
+        (*batch->fn)(i);
+        ++ran;
+      }
+      std::lock_guard<std::mutex> lock(mu_);
+      batch->done += ran;
+      --batch->active_workers;
+      if (batch->done == batch->n && batch->active_workers == 0) {
+        idle_cv_.notify_all();
+      }
+      continue;
     }
     task();
     {

@@ -2,12 +2,24 @@
 //
 // The CP solver uses one to run portfolio members and LNS neighbourhoods
 // concurrently (docs/cp_engine.md); the experiment runner's per-thread
-// replication scheme predates it and stays as is. Tasks are plain
-// closures; submit() enqueues, wait_idle() is the barrier the caller
-// uses between deterministic phases. The pool is reusable across
-// submit/wait rounds and joins its workers on destruction.
+// replication scheme predates it and stays as is. Two submission styles:
+//
+//  * submit() enqueues a plain closure; wait_idle() is the barrier the
+//    caller uses between deterministic phases.
+//  * run_indexed(n, fn) runs fn(0..n-1) as ONE batch: workers pull
+//    indices from a shared atomic counter instead of the mutex-guarded
+//    queue, so a fan-out of n small tasks costs one notify_all and n
+//    relaxed fetch_adds rather than n lock/notify/wake cycles — the
+//    difference matters when the tasks are a few hundred microseconds
+//    each (the CP portfolio's shape, docs/perf.md). Blocks until the
+//    batch completes.
+//
+// The pool is reusable across rounds and joins its workers on
+// destruction. current_worker_id() lets batch tasks index per-thread
+// scratch (e.g. the solver's cached search objects) without a mutex.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -35,15 +47,43 @@ class ThreadPool {
   /// Block until every task submitted so far has finished executing.
   void wait_idle();
 
+  /// Run fn(0), fn(1), ..., fn(n-1) across the workers as a single
+  /// batched submission and block until all calls have returned. Calls
+  /// are claimed dynamically (an atomic counter), so completion order is
+  /// unspecified — callers needing determinism must write results into
+  /// per-index slots and fold after the barrier, exactly as with
+  /// submit()+wait_idle(). fn must not throw. Only one batch may be
+  /// active at a time (the blocking call enforces this for a single
+  /// caller thread; concurrent callers must serialize externally).
+  void run_indexed(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// Index of the calling pool worker in [0, num_threads()), or -1 when
+  /// called from a thread that is not a worker of any ThreadPool. Workers
+  /// of different pools reuse ids; callers pair it with the pool they
+  /// submitted to.
+  static int current_worker_id();
+
   /// Resolve a user-facing thread-count knob: values >= 1 are taken
   /// literally, anything else means one thread per hardware thread.
   static int resolve_num_threads(int requested);
 
  private:
-  void worker_loop();
+  /// State of one run_indexed() call, stack-owned by the caller. Workers
+  /// claim indices via `next`; `done`/`active_workers` (guarded by mu_)
+  /// let the caller wait until no worker can still touch this object.
+  struct Batch {
+    const std::function<void(std::size_t)>* fn = nullptr;
+    std::size_t n = 0;
+    std::atomic<std::size_t> next{0};
+    std::size_t done = 0;            ///< completed calls (guarded by mu_)
+    int active_workers = 0;          ///< workers inside the batch (guarded by mu_)
+  };
+
+  void worker_loop(int worker_id);
 
   std::vector<std::thread> workers_;
   std::deque<std::function<void()>> queue_;
+  Batch* batch_ = nullptr;  ///< active run_indexed batch (guarded by mu_)
   std::mutex mu_;
   std::condition_variable work_cv_;
   std::condition_variable idle_cv_;

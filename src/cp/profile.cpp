@@ -18,29 +18,53 @@ std::size_t Profile::first_after(Time t) const {
   return static_cast<std::size_t>(it - timeline_.begin());
 }
 
+// Both sweeps are block-first: finish the (possibly partial) entry block
+// element-wise, then hop whole blocks on the summary alone, and only then
+// scan inside the one block the summary could not exclude. The entry
+// block must be scanned element-wise even when its summary would allow a
+// skip in the other direction — the summary also covers entries before
+// `i`, so it can prove nothing about the suffix the caller asked for.
 std::size_t Profile::next_violation(std::size_t i, int limit) const {
   const std::size_t n = timeline_.size();
-  while (i < n) {
-    if (i % kBlockSize == 0 && blocks_[i / kBlockSize].max_usage <= limit) {
-      i += kBlockSize;
-      continue;
+  if (i % kBlockSize != 0) {
+    const std::size_t entry_end =
+        std::min(n, (i / kBlockSize + 1) * kBlockSize);
+    for (; i < entry_end; ++i) {
+      if (timeline_[i].usage > limit) return i;
     }
-    if (timeline_[i].usage > limit) return i;
-    ++i;
   }
+  if (i >= n) return n;
+  std::size_t b = i / kBlockSize;
+  while (b < blocks_.size() && blocks_[b].max_usage <= limit) ++b;
+  i = b * kBlockSize;
+  const std::size_t block_end = std::min(n, i + kBlockSize);
+  for (; i < block_end; ++i) {
+    if (timeline_[i].usage > limit) return i;
+  }
+  // A block whose max_usage exceeds the limit contains a violation, so
+  // the scan above returned unless the block loop ran off the end.
+  MRCP_DCHECK(b >= blocks_.size());
   return n;
 }
 
 std::size_t Profile::next_ok(std::size_t i, int limit) const {
   const std::size_t n = timeline_.size();
-  while (i < n) {
-    if (i % kBlockSize == 0 && blocks_[i / kBlockSize].min_usage > limit) {
-      i += kBlockSize;
-      continue;
+  if (i % kBlockSize != 0) {
+    const std::size_t entry_end =
+        std::min(n, (i / kBlockSize + 1) * kBlockSize);
+    for (; i < entry_end; ++i) {
+      if (timeline_[i].usage <= limit) return i;
     }
-    if (timeline_[i].usage <= limit) return i;
-    ++i;
   }
+  if (i >= n) return n;
+  std::size_t b = i / kBlockSize;
+  while (b < blocks_.size() && blocks_[b].min_usage > limit) ++b;
+  i = b * kBlockSize;
+  const std::size_t block_end = std::min(n, i + kBlockSize);
+  for (; i < block_end; ++i) {
+    if (timeline_[i].usage <= limit) return i;
+  }
+  MRCP_DCHECK(b >= blocks_.size());
   return n;
 }
 

@@ -66,59 +66,57 @@ std::vector<int> make_job_ranks(const Model& model, JobOrdering ordering) {
   return rank;
 }
 
-SetTimesSearch::SetTimesSearch(const Model& model, std::vector<int> job_rank,
-                               std::vector<std::uint8_t> lpt_within_job)
-    : model_(model),
-      job_rank_(std::move(job_rank)),
-      lpt_within_job_(std::move(lpt_within_job)) {
-  MRCP_CHECK(job_rank_.size() == model_.num_jobs());
-  if (lpt_within_job_.empty()) {
-    lpt_within_job_.assign(model_.num_jobs(), 0);
-  }
-  MRCP_CHECK(lpt_within_job_.size() == model_.num_jobs());
-
+SearchRoot::SearchRoot(const Model& model) : model_(&model) {
   // Profiles for every (resource, phase) pair. Zero-capacity phases get a
   // 1-capacity placeholder that is never used (tasks cannot select them:
   // build_choices filters on capacity >= demand).
-  profiles_.reserve(model_.num_resources() * 2);
-  net_profiles_.reserve(model_.num_resources());
-  for (const CpResource& r : model_.resources()) {
+  profiles_.reserve(model.num_resources() * 2);
+  net_profiles_.reserve(model.num_resources());
+  for (const CpResource& r : model.resources()) {
     profiles_.emplace_back(std::max(1, r.map_capacity));
     profiles_.emplace_back(std::max(1, r.reduce_capacity));
     net_profiles_.emplace_back(std::max(1, r.net_capacity));
   }
-  links_constrained_ = model_.links_constrained();
+  links_constrained_ = model.links_constrained();
 #if MRCP_AUDIT_ENABLED
-  audit_small_ = model_.num_tasks() <= audit::kAuditModelSizeLimit;
-  audit_profiles_.reserve(model_.num_resources() * 2);
-  audit_net_profiles_.reserve(model_.num_resources());
-  for (const CpResource& r : model_.resources()) {
+  audit_small_ = model.num_tasks() <= audit::kAuditModelSizeLimit;
+  audit_profiles_.reserve(model.num_resources() * 2);
+  audit_net_profiles_.reserve(model.num_resources());
+  for (const CpResource& r : model.resources()) {
     audit_profiles_.emplace_back(std::max(1, r.map_capacity));
     audit_profiles_.emplace_back(std::max(1, r.reduce_capacity));
     audit_net_profiles_.emplace_back(std::max(1, r.net_capacity));
   }
 #endif
 
-  placements_.assign(model_.num_tasks(), TaskPlacement{});
-  fixed_map_end_.assign(model_.num_jobs(), 0);
-  fixed_completion_.assign(model_.num_jobs(), 0);
-  job_late_.assign(model_.num_jobs(), 0);
+  placements_.assign(model.num_tasks(), TaskPlacement{});
+  fixed_map_end_.assign(model.num_jobs(), 0);
+  fixed_completion_.assign(model.num_jobs(), 0);
+  job_late_.assign(model.num_jobs(), 0);
 
   // Root state: pinned tasks are pre-placed; statically-late jobs are
   // counted from the start (their completion lower bound already exceeds
   // the deadline, so every leaf below the root has them late).
-  for (std::size_t ji = 0; ji < model_.num_jobs(); ++ji) {
-    const CpJob& j = model_.job(static_cast<CpJobIndex>(ji));
+  for (std::size_t ji = 0; ji < model.num_jobs(); ++ji) {
+    const CpJob& j = model.job(static_cast<CpJobIndex>(ji));
     fixed_map_end_[ji] = j.earliest_start;
-    if (model_.completion_lower_bound(static_cast<CpJobIndex>(ji)) > j.deadline) {
+    if (model.completion_lower_bound(static_cast<CpJobIndex>(ji)) > j.deadline) {
       job_late_[ji] = 1;
       ++late_count_;
     }
   }
-  for (std::size_t ti = 0; ti < model_.num_tasks(); ++ti) {
-    const CpTask& t = model_.task(static_cast<CpTaskIndex>(ti));
-    if (!t.pinned) continue;
-    profile(t.pinned_resource, t.phase).add(t.pinned_start, t.duration, t.demand);
+  auto net_constrained = [&](CpResourceIndex r, const CpTask& t) {
+    return t.net_demand > 0 && model.resource(r).net_capacity > 0;
+  };
+  for (std::size_t ti = 0; ti < model.num_tasks(); ++ti) {
+    const CpTask& t = model.task(static_cast<CpTaskIndex>(ti));
+    if (!t.pinned) {
+      free_tasks_.push_back(static_cast<CpTaskIndex>(ti));
+      continue;
+    }
+    profiles_[static_cast<std::size_t>(t.pinned_resource) * 2 +
+              static_cast<std::size_t>(t.phase)]
+        .add(t.pinned_start, t.duration, t.demand);
     if (net_constrained(t.pinned_resource, t)) {
       net_profiles_[static_cast<std::size_t>(t.pinned_resource)].add(
           t.pinned_start, t.duration, t.net_demand);
@@ -142,15 +140,100 @@ SetTimesSearch::SetTimesSearch(const Model& model, std::vector<int> job_rank,
     // Lateness of pinned tasks is covered by completion_lower_bound above.
   }
 
+  // User precedences (workflow DAGs): the decision order must fix every
+  // predecessor before its successor so earliest starts propagate along
+  // edges. The graph (user edges plus the implicit MapReduce barrier —
+  // see reset()) is rank-independent, so it is built once here; reset()
+  // re-derives each ranking's order as a priority-topological sort over
+  // it.
+  if (model.num_precedences() > 0) {
+    succs_.assign(model.num_tasks(), {});
+    indeg_.assign(model.num_tasks(), 0);
+    for (CpTaskIndex t : free_tasks_) {
+      for (CpTaskIndex p : model.predecessors(t)) {
+        if (model.task(p).pinned) continue;  // already fixed at the root
+        succs_[static_cast<std::size_t>(p)].push_back(t);
+        ++indeg_[static_cast<std::size_t>(t)];
+      }
+    }
+    // The implicit MapReduce barrier (all maps before all reduces of a
+    // job) is only encoded in the rank-derived preference order, which
+    // the topological re-derivation is free to override: a cross-job user
+    // edge can otherwise hoist a reduce ahead of its own job's last map,
+    // and the reduce would then be placed against a stale fixed map end.
+    // Make the barrier explicit so the topo order always respects it.
+    for (const CpJob& j : model.jobs()) {
+      for (CpTaskIndex mt : j.map_tasks) {
+        if (model.task(mt).pinned) continue;
+        for (CpTaskIndex rt : j.reduce_tasks) {
+          if (model.task(rt).pinned) continue;
+          succs_[static_cast<std::size_t>(mt)].push_back(rt);
+          ++indeg_[static_cast<std::size_t>(rt)];
+        }
+      }
+    }
+  }
+}
+
+SetTimesSearch::SetTimesSearch(const SearchRoot& root)
+    : root_(root),
+      model_(root.model()),
+      links_constrained_(root.links_constrained_),
+      profiles_(root.profiles_),
+      net_profiles_(root.net_profiles_),
+#if MRCP_AUDIT_ENABLED
+      audit_profiles_(root.audit_profiles_),
+      audit_net_profiles_(root.audit_net_profiles_),
+      audit_small_(root.audit_small_),
+#endif
+      placements_(root.placements_),
+      fixed_map_end_(root.fixed_map_end_),
+      fixed_completion_(root.fixed_completion_),
+      job_late_(root.job_late_),
+      late_count_(root.late_count_) {
+}
+
+SetTimesSearch::SetTimesSearch(std::unique_ptr<SearchRoot> owned_root)
+    : owned_root_(std::move(owned_root)),
+      root_(*owned_root_),
+      model_(root_.model()),
+      links_constrained_(root_.links_constrained_),
+      profiles_(root_.profiles_),
+      net_profiles_(root_.net_profiles_),
+#if MRCP_AUDIT_ENABLED
+      audit_profiles_(root_.audit_profiles_),
+      audit_net_profiles_(root_.audit_net_profiles_),
+      audit_small_(root_.audit_small_),
+#endif
+      placements_(root_.placements_),
+      fixed_map_end_(root_.fixed_map_end_),
+      fixed_completion_(root_.fixed_completion_),
+      job_late_(root_.job_late_),
+      late_count_(root_.late_count_) {
+}
+
+SetTimesSearch::SetTimesSearch(const Model& model, std::vector<int> job_rank,
+                               std::vector<std::uint8_t> lpt_within_job)
+    : SetTimesSearch(std::make_unique<SearchRoot>(model)) {
+  reset(job_rank, lpt_within_job);
+}
+
+void SetTimesSearch::reset(const std::vector<int>& job_rank,
+                           const std::vector<std::uint8_t>& lpt_within_job) {
+  MRCP_CHECK(job_rank.size() == model_.num_jobs());
+  job_rank_ = job_rank;
+  if (lpt_within_job.empty()) {
+    lpt_within_job_.assign(model_.num_jobs(), 0);
+  } else {
+    MRCP_CHECK(lpt_within_job.size() == model_.num_jobs());
+    lpt_within_job_ = lpt_within_job;
+  }
+  MRCP_AUDIT_ONLY(audit_at_root();)
+
   // Decision order: jobs by rank; within a job maps before reduces (the
   // reduce earliest start needs the fixed map ends); within a phase, LPT
   // or index order per the job's lpt_within_job flag.
-  order_.reserve(model_.num_tasks());
-  for (std::size_t ti = 0; ti < model_.num_tasks(); ++ti) {
-    if (!model_.task(static_cast<CpTaskIndex>(ti)).pinned) {
-      order_.push_back(static_cast<CpTaskIndex>(ti));
-    }
-  }
+  order_ = root_.free_tasks_;
   std::stable_sort(order_.begin(), order_.end(), [&](CpTaskIndex a, CpTaskIndex b) {
     const CpTask& ta = model_.task(a);
     const CpTask& tb = model_.task(b);
@@ -165,67 +248,42 @@ SetTimesSearch::SetTimesSearch(const Model& model, std::vector<int> job_rank,
     return a < b;
   });
 
-  // User precedences (workflow DAGs): the decision order must fix every
-  // predecessor before its successor so earliest starts propagate along
-  // edges. Re-derive the order as a priority-topological sort that stays
-  // as close to the preference order above as the DAG permits.
+  // Re-derive the order as a priority-topological sort over the root's
+  // precedence DAG (user edges + map→reduce barrier) that stays as close
+  // to the preference order above as the DAG permits.
   if (model_.num_precedences() > 0) {
-    std::vector<int> position(model_.num_tasks(), -1);
+    topo_position_.assign(model_.num_tasks(), -1);
     for (std::size_t i = 0; i < order_.size(); ++i) {
-      position[static_cast<std::size_t>(order_[i])] = static_cast<int>(i);
+      topo_position_[static_cast<std::size_t>(order_[i])] = static_cast<int>(i);
     }
-    std::vector<int> indeg(model_.num_tasks(), 0);
-    std::vector<std::vector<CpTaskIndex>> succs(model_.num_tasks());
-    for (CpTaskIndex t : order_) {
-      for (CpTaskIndex p : model_.predecessors(t)) {
-        if (model_.task(p).pinned) continue;  // already fixed at the root
-        succs[static_cast<std::size_t>(p)].push_back(t);
-        ++indeg[static_cast<std::size_t>(t)];
-      }
-    }
-    // The implicit MapReduce barrier (all maps before all reduces of a
-    // job) is only encoded in the preference order above, which the
-    // topological re-derivation is free to override: a cross-job user
-    // edge can otherwise hoist a reduce ahead of its own job's last map,
-    // and the reduce would then be placed against a stale fixed map end.
-    // Make the barrier explicit so the topo order always respects it.
-    for (const CpJob& j : model_.jobs()) {
-      for (CpTaskIndex mt : j.map_tasks) {
-        if (model_.task(mt).pinned) continue;
-        for (CpTaskIndex rt : j.reduce_tasks) {
-          if (model_.task(rt).pinned) continue;
-          succs[static_cast<std::size_t>(mt)].push_back(rt);
-          ++indeg[static_cast<std::size_t>(rt)];
-        }
-      }
-    }
+    topo_indeg_ = root_.indeg_;
     // Min-heap on preference position.
     auto later = [&](CpTaskIndex a, CpTaskIndex b) {
-      return position[static_cast<std::size_t>(a)] >
-             position[static_cast<std::size_t>(b)];
+      return topo_position_[static_cast<std::size_t>(a)] >
+             topo_position_[static_cast<std::size_t>(b)];
     };
-    std::vector<CpTaskIndex> heap;
+    topo_heap_.clear();
     for (CpTaskIndex t : order_) {
-      if (indeg[static_cast<std::size_t>(t)] == 0) heap.push_back(t);
+      if (topo_indeg_[static_cast<std::size_t>(t)] == 0) topo_heap_.push_back(t);
     }
-    std::make_heap(heap.begin(), heap.end(), later);
-    std::vector<CpTaskIndex> topo;
-    topo.reserve(order_.size());
-    while (!heap.empty()) {
-      std::pop_heap(heap.begin(), heap.end(), later);
-      const CpTaskIndex t = heap.back();
-      heap.pop_back();
-      topo.push_back(t);
-      for (CpTaskIndex s : succs[static_cast<std::size_t>(t)]) {
-        if (--indeg[static_cast<std::size_t>(s)] == 0) {
-          heap.push_back(s);
-          std::push_heap(heap.begin(), heap.end(), later);
+    std::make_heap(topo_heap_.begin(), topo_heap_.end(), later);
+    topo_out_.clear();
+    topo_out_.reserve(order_.size());
+    while (!topo_heap_.empty()) {
+      std::pop_heap(topo_heap_.begin(), topo_heap_.end(), later);
+      const CpTaskIndex t = topo_heap_.back();
+      topo_heap_.pop_back();
+      topo_out_.push_back(t);
+      for (CpTaskIndex s : root_.succs_[static_cast<std::size_t>(t)]) {
+        if (--topo_indeg_[static_cast<std::size_t>(s)] == 0) {
+          topo_heap_.push_back(s);
+          std::push_heap(topo_heap_.begin(), topo_heap_.end(), later);
         }
       }
     }
-    MRCP_CHECK_MSG(topo.size() == order_.size(),
+    MRCP_CHECK_MSG(topo_out_.size() == order_.size(),
                    "precedence graph has a cycle");
-    order_ = std::move(topo);
+    std::swap(order_, topo_out_);
   }
 }
 
@@ -281,6 +339,33 @@ void SetTimesSearch::audit_cross_check(CpResourceIndex r, const CpTask& t) {
     MRCP_AUDIT_CHECK(audit::check_profile_against_reference(
         net_profiles_[static_cast<std::size_t>(r)],
         audit_net_profiles_[static_cast<std::size_t>(r)]));
+  }
+}
+
+void SetTimesSearch::audit_at_root() const {
+  // reset() relies on run() having unwound every decision: the mutable
+  // state must be exactly the root state.
+  MRCP_CHECK_MSG(late_count_ == root_.late_count_,
+                 "search reuse audit: late_count diverged from root");
+  MRCP_CHECK_MSG(placements_.size() == root_.placements_.size(),
+                 "search reuse audit: placement count diverged from root");
+  for (std::size_t i = 0; i < placements_.size(); ++i) {
+    MRCP_CHECK_MSG(placements_[i].resource == root_.placements_[i].resource &&
+                       placements_[i].start == root_.placements_[i].start,
+                   "search reuse audit: placements diverged from root");
+  }
+  MRCP_CHECK_MSG(fixed_map_end_ == root_.fixed_map_end_ &&
+                     fixed_completion_ == root_.fixed_completion_ &&
+                     job_late_ == root_.job_late_,
+                 "search reuse audit: per-job state diverged from root");
+  for (std::size_t i = 0; i < profiles_.size(); ++i) {
+    MRCP_CHECK_MSG(profiles_[i].to_string() == root_.profiles_[i].to_string(),
+                   "search reuse audit: slot profile diverged from root");
+  }
+  for (std::size_t i = 0; i < net_profiles_.size(); ++i) {
+    MRCP_CHECK_MSG(
+        net_profiles_[i].to_string() == root_.net_profiles_[i].to_string(),
+        "search reuse audit: net profile diverged from root");
   }
 }
 #endif
@@ -366,16 +451,17 @@ void SetTimesSearch::build_choices(CpTaskIndex task, Level& level) {
   const Choice best = level.choices.front();
   Profile& prof = profile(best.resource, t.phase);
   Time from = best.start;
-  std::vector<Choice> postponed;
+  postponed_scratch_.clear();
   for (int k = 0; k < level.postpone_budget; ++k) {
     const Time event = prof.next_event_after(from);
     if (event == kMaxTime) break;
     const Time start = earliest_feasible_on(best.resource, t, event);
     if (start <= from) break;
-    postponed.push_back(Choice{best.resource, start});
+    postponed_scratch_.push_back(Choice{best.resource, start});
     from = start;
   }
-  level.choices.insert(level.choices.end(), postponed.begin(), postponed.end());
+  level.choices.insert(level.choices.end(), postponed_scratch_.begin(),
+                       postponed_scratch_.end());
 }
 
 void SetTimesSearch::apply(CpTaskIndex task, Level& level, const Choice& choice) {
@@ -453,6 +539,8 @@ void SetTimesSearch::undo(CpTaskIndex task, Level& level) {
 
 Solution SetTimesSearch::run(const SearchLimits& limits, const Solution* incumbent,
                              SearchStats* stats) {
+  MRCP_CHECK_MSG(job_rank_.size() == model_.num_jobs(),
+                 "SetTimesSearch::run() before reset()");
   Stopwatch timer;
   SearchStats local_stats;
   SearchStats& st = stats ? *stats : local_stats;
@@ -478,8 +566,14 @@ Solution SetTimesSearch::run(const SearchLimits& limits, const Solution* incumbe
     return best;
   }
 
-  std::vector<Level> levels(order_.size());
-  for (Level& l : levels) l.postpone_budget = limits.postpone_tries;
+  // Level storage persists across runs/resets (same thread), so choice
+  // vectors keep their capacity and deep backtracks stop reallocating.
+  if (levels_.size() < order_.size()) levels_.resize(order_.size());
+  for (std::size_t d = 0; d < order_.size(); ++d) {
+    levels_[d].postpone_budget = limits.postpone_tries;
+    levels_[d].applied = false;
+  }
+  std::vector<Level>& levels = levels_;
 
   std::size_t depth = 0;
   bool level_fresh = true;  // does levels[depth] need (re)building?
@@ -497,12 +591,16 @@ Solution SetTimesSearch::run(const SearchLimits& limits, const Solution* incumbe
   };
 
   std::atomic<int>* shared = limits.shared_late_bound;
-  auto shared_bound = [&]() {
-    return shared ? shared->load(std::memory_order_relaxed)
-                  : std::numeric_limits<int>::max();
-  };
+  // The shared bound is read through a periodically refreshed cache so
+  // the per-decision prune test stays off the shared cache line. The
+  // cache is always >= the true bound (the bound is a running minimum),
+  // so a stale value only prunes less — the determinism argument in
+  // SearchLimits::shared_late_bound covers every refresh schedule.
+  int shared_cache = shared ? shared->load(std::memory_order_relaxed)
+                            : std::numeric_limits<int>::max();
   auto publish_shared = [&](int num_late) {
-    if (!shared) return;
+    if (!shared || num_late >= shared_cache) return;
+    shared_cache = num_late;
     int cur = shared->load(std::memory_order_relaxed);
     while (num_late < cur &&
            !shared->compare_exchange_weak(cur, num_late,
@@ -520,6 +618,10 @@ Solution SetTimesSearch::run(const SearchLimits& limits, const Solution* incumbe
         limits.hard_deadline->expired()) {
       st.aborted = true;
       break;
+    }
+    if (shared != nullptr && (st.decisions & 0x3F) == 0) {
+      shared_cache = std::min(shared_cache,
+                              shared->load(std::memory_order_relaxed));
     }
 
     if (depth == order_.size()) {
@@ -573,7 +675,7 @@ Solution SetTimesSearch::run(const SearchLimits& limits, const Solution* incumbe
     // The shared bound cuts strictly-worse branches only (late_count_
     // must *exceed* it) — see SearchLimits::shared_late_bound.
     const bool pruned_local = best.valid && late_count_ >= best.num_late;
-    const bool pruned_shared = !pruned_local && late_count_ > shared_bound();
+    const bool pruned_shared = !pruned_local && late_count_ > shared_cache;
     if (pruned_local || pruned_shared) {
       ++st.fails;
       undo(order_[depth], level);

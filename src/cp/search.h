@@ -18,10 +18,20 @@
 // exception is the optional hard watchdog (SearchLimits::hard_deadline),
 // which may abort even the first descent — callers that set it must be
 // prepared for an invalid result (SearchStats::aborted).
+//
+// Root state is factored into SearchRoot: everything that depends only on
+// the Model (pinned-task replay into the timetables, the static lateness
+// lower bounds, the precedence DAG with the implicit map→reduce barrier)
+// is computed once and shared by any number of SetTimesSearch instances.
+// A search is re-targeted at a new (job ranking, intra-job order) with
+// reset(), which costs only the decision-order rebuild — the portfolio
+// and LNS phases of solve() rely on this to run one cached search per
+// worker thread instead of reconstructing per member (docs/perf.md).
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/stopwatch.h"
@@ -46,7 +56,10 @@ struct SearchLimits {
   /// and a cut search could only have returned a solution that loses
   /// every tie-break. A first-solution search aborts (returns no
   /// solution) instead of rerouting past the cut, so its result never
-  /// depends on sibling timing. See docs/cp_engine.md.
+  /// depends on sibling timing. The search reads the atomic through a
+  /// periodically refreshed local cache (a stale bound only prunes
+  /// less, which the argument above already covers), so the hot loop
+  /// does not hammer the shared cache line. See docs/cp_engine.md.
   std::atomic<int>* shared_late_bound = nullptr;
   /// Optional monitor for shared_late_bound publishes (available in every
   /// build; installed automatically by solve() in MRCP_AUDIT builds).
@@ -72,8 +85,58 @@ struct SearchStats {
   bool aborted = false;    ///< hard deadline expired before completion
 };
 
+/// Immutable per-model root state shared by every SetTimesSearch over the
+/// same Model: the timetable profiles with all pinned tasks replayed, the
+/// pre-computed pinned placements and per-job fixed end/lateness state,
+/// the list of free (non-pinned) tasks, and the precedence DAG (user
+/// edges plus the implicit map→reduce barrier) used by the priority-topo
+/// decision-order rebuild. Building one costs what a full search
+/// construction used to; every search created from it (and every reset())
+/// then pays only for what a new job ranking actually changes.
+///
+/// Thread-safety: const after construction; any number of searches on any
+/// threads may share one root.
+class SearchRoot {
+ public:
+  explicit SearchRoot(const Model& model);
+
+  const Model& model() const { return *model_; }
+
+ private:
+  friend class SetTimesSearch;
+
+  const Model* model_;
+  bool links_constrained_ = false;
+  std::vector<Profile> profiles_;      ///< [resource * 2 + phase], pinned replayed
+  std::vector<Profile> net_profiles_;  ///< [resource], pinned replayed
+#if MRCP_AUDIT_ENABLED
+  std::vector<audit::ReferenceProfile> audit_profiles_;
+  std::vector<audit::ReferenceProfile> audit_net_profiles_;
+  bool audit_small_ = false;
+#endif
+  std::vector<TaskPlacement> placements_;  ///< pinned tasks placed, rest unset
+  std::vector<Time> fixed_map_end_;
+  std::vector<Time> fixed_completion_;
+  std::vector<std::uint8_t> job_late_;  ///< statically-late jobs
+  int late_count_ = 0;
+  std::vector<CpTaskIndex> free_tasks_;  ///< non-pinned tasks, index order
+  /// Precedence DAG over free tasks (user edges + map→reduce barrier);
+  /// populated only when the model has user precedences — without them
+  /// the preference order already respects the barrier.
+  std::vector<std::vector<CpTaskIndex>> succs_;
+  std::vector<int> indeg_;
+};
+
 class SetTimesSearch {
  public:
+  /// Create a search over a shared root. The search holds a reference to
+  /// `root` (which must outlive it) and starts un-targeted: call reset()
+  /// with a job ranking before run().
+  explicit SetTimesSearch(const SearchRoot& root);
+
+  /// Convenience constructor owning a private root; equivalent to
+  /// SearchRoot(model) + SetTimesSearch(root) + reset(ranks, lpt).
+  ///
   /// `job_rank[j]` gives job j's scheduling priority (lower = fixed
   /// earlier). Must be a permutation-like ranking of all jobs.
   ///
@@ -86,10 +149,21 @@ class SetTimesSearch {
   SetTimesSearch(const Model& model, std::vector<int> job_rank,
                  std::vector<std::uint8_t> lpt_within_job = {});
 
+  /// Re-target the search at a new (job ranking, intra-job order). Only
+  /// the decision order is recomputed — the timetables, placements and
+  /// lateness state are already back at the root state because run()
+  /// always unwinds its decisions (verified against the root in
+  /// MRCP_AUDIT builds). Scratch buffers (choice lists, topo heaps) keep
+  /// their capacity across resets, so a reused search allocates nothing
+  /// in steady state. Same `lpt_within_job` semantics as the constructor.
+  void reset(const std::vector<int>& job_rank,
+             const std::vector<std::uint8_t>& lpt_within_job = {});
+
   /// Run the search. If `incumbent` is a valid solution it seeds the
   /// branch-and-bound upper bound (the paper's warm start across MRCP-RM
   /// invocations). Returns the best solution found (always valid for a
-  /// structurally valid model).
+  /// structurally valid model). The search object is reusable afterwards:
+  /// every decision is undone on exit, restoring the root state.
   Solution run(const SearchLimits& limits, const Solution* incumbent,
                SearchStats* stats);
 
@@ -110,6 +184,9 @@ class SetTimesSearch {
     bool prev_late = false;
   };
 
+  /// Delegation target for the owning (convenience) constructor.
+  explicit SetTimesSearch(std::unique_ptr<SearchRoot> owned_root);
+
   Profile& profile(CpResourceIndex r, Phase phase);
 #if MRCP_AUDIT_ENABLED
   /// Audit one slot-profile earliest_feasible answer: monotone,
@@ -122,6 +199,9 @@ class SetTimesSearch {
   /// Cross-check the fast profiles touched by placing/removing `t` on
   /// resource `r` against their shadow reference oracles.
   void audit_cross_check(CpResourceIndex r, const CpTask& t);
+  /// Verify the mutable state equals the root state (called by reset():
+  /// run() must have unwound every decision).
+  void audit_at_root() const;
 #endif
   /// Earliest start >= est feasible on BOTH the phase-slot profile and
   /// (when the resource constrains links and the task uses them) the
@@ -132,6 +212,9 @@ class SetTimesSearch {
   void apply(CpTaskIndex task, Level& level, const Choice& choice);
   void undo(CpTaskIndex task, Level& level);
 
+  /// Owning storage for the convenience constructor; unused when sharing.
+  std::unique_ptr<SearchRoot> owned_root_;
+  const SearchRoot& root_;
   const Model& model_;
   bool links_constrained_ = false;  ///< cached Model::links_constrained()
   std::vector<int> job_rank_;
@@ -153,6 +236,16 @@ class SetTimesSearch {
   std::vector<Time> fixed_completion_;  ///< per job: max end of all fixed tasks
   std::vector<std::uint8_t> job_late_;
   int late_count_ = 0;
+
+  /// Scratch reused across run()s and reset()s (capacity persists, so a
+  /// cached search stops reallocating choice vectors on deep backtracks
+  /// and topo buffers on reorder — the free-list the hot path needs).
+  std::vector<Level> levels_;
+  std::vector<Choice> postponed_scratch_;
+  std::vector<int> topo_position_;
+  std::vector<int> topo_indeg_;
+  std::vector<CpTaskIndex> topo_heap_;
+  std::vector<CpTaskIndex> topo_out_;
 };
 
 /// Compute job ranks for the standard orderings.

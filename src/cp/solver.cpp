@@ -73,6 +73,16 @@ std::vector<int> promote_job(const std::vector<int>& ranks, std::size_t job) {
   return out;
 }
 
+/// One worker's result slot, cache-line padded: the portfolio and LNS
+/// phases write these concurrently from different threads, and without
+/// the alignment two neighbouring slots share a line and every write
+/// ping-pongs it between cores (false sharing).
+struct alignas(64) ResultSlot {
+  Solution sol;
+  SearchStats stats;
+  bool ran = false;
+};
+
 }  // namespace
 
 const char* solve_status_name(SolveStatus status) {
@@ -112,6 +122,26 @@ SolveResult solve(const Model& model, const SolveParams& params,
   const int num_threads = ThreadPool::resolve_num_threads(params.num_threads);
   std::unique_ptr<ThreadPool> pool;
   if (num_threads > 1) pool = std::make_unique<ThreadPool>(num_threads);
+
+  // Shared immutable root (pinned-task replay, static lateness, the
+  // precedence DAG) plus one cached search object per executor thread:
+  // portfolio members and LNS neighbourhoods re-target a cached search
+  // with reset() — O(decision-order rebuild) — instead of reconstructing
+  // profiles and re-running the priority-topo sort per member, which is
+  // what made two solver threads slower than one (docs/perf.md). Slot
+  // layout: pool workers use their worker id; the calling thread (the
+  // sequential path and the B&B phase) uses the last slot.
+  const SearchRoot root(model);
+  std::vector<std::unique_ptr<SetTimesSearch>> searches(
+      static_cast<std::size_t>(pool ? num_threads + 1 : 1));
+  auto local_search = [&]() -> SetTimesSearch& {
+    const int wid = pool ? ThreadPool::current_worker_id() : -1;
+    auto& slot = searches[wid >= 0 ? static_cast<std::size_t>(wid)
+                                   : searches.size() - 1];
+    if (!slot) slot = std::make_unique<SetTimesSearch>(root);
+    return *slot;
+  };
+
   // Shared incumbent late-count: workers publish every solution they
   // find and cut branches that strictly exceed it. The winner fold below
   // stays bit-identical to the sequential semantics because a search
@@ -162,30 +192,23 @@ SolveResult solve(const Model& model, const SolveParams& params,
     }
   }
 
-  std::vector<Solution> member_sols(members.size());
-  std::vector<SearchStats> member_stats(members.size());
-  std::vector<std::uint8_t> member_ran(members.size(), 1);
+  std::vector<ResultSlot> member_results(members.size());
   auto run_member = [&](std::size_t i) {
+    // An exhausted budget skips the member before any setup — the same
+    // monotone check on both the sequential and the pool path, so both
+    // do identical work when the budget binds (slot stays ran = false).
+    if (remaining() <= 0.0 && best.valid) return;
+    ResultSlot& out = member_results[i];
+    out.ran = true;
     const SearchLimits limits = descent_limits(0.05);
-    SetTimesSearch search(model, members[i].ranks, members[i].lpt);
-    member_sols[i] = search.run(limits, nullptr, &member_stats[i]);
+    SetTimesSearch& search = local_search();
+    search.reset(members[i].ranks, members[i].lpt);
+    out.sol = search.run(limits, nullptr, &out.stats);
   };
   if (pool) {
-    for (std::size_t i = 0; i < members.size(); ++i) {
-      pool->submit([&run_member, i] { run_member(i); });
-    }
-    pool->wait_idle();
+    pool->run_indexed(members.size(), run_member);
   } else {
-    for (std::size_t i = 0; i < members.size(); ++i) {
-      // An exhausted budget terminates the whole portfolio phase (the
-      // check is monotone, so every remaining member is skipped), not
-      // just the current intra-variant group.
-      if (remaining() <= 0.0 && best.valid) {
-        member_ran[i] = 0;
-        continue;
-      }
-      run_member(i);
-    }
+    for (std::size_t i = 0; i < members.size(); ++i) run_member(i);
   }
   // Post-barrier audit, before the fold consumes the member solutions:
   // every member that ran must have produced a constraint-satisfying
@@ -197,14 +220,14 @@ SolveResult solve(const Model& model, const SolveParams& params,
       int audit_expected_late = best.valid ? best.num_late
                                            : std::numeric_limits<int>::max();
       for (std::size_t i = 0; i < members.size(); ++i) {
-        if (!member_ran[i] || !member_sols[i].valid) continue;
-        MRCP_AUDIT_CHECK(validate_solution(model, member_sols[i]));
+        if (!member_results[i].ran || !member_results[i].sol.valid) continue;
+        MRCP_AUDIT_CHECK(validate_solution(model, member_results[i].sol));
         if (model.num_tasks() <= audit::kAuditModelSizeLimit) {
           MRCP_AUDIT_CHECK(
-              audit::brute_force_check_solution(model, member_sols[i]));
+              audit::brute_force_check_solution(model, member_results[i].sol));
         }
         audit_expected_late =
-            std::min(audit_expected_late, member_sols[i].num_late);
+            std::min(audit_expected_late, member_results[i].sol.num_late);
       })
   // Deterministic winner fold, in member order — identical to running
   // the members sequentially. Selection is keyed on the primary
@@ -212,9 +235,9 @@ SolveResult solve(const Model& model, const SolveParams& params,
   // pick all-LPT by an epsilon, re-synchronizing task endings and
   // hurting future arrivals the current model cannot see.
   for (std::size_t i = 0; i < members.size(); ++i) {
-    if (!member_ran[i]) continue;
-    account(member_stats[i]);
-    Solution& sol = member_sols[i];
+    if (!member_results[i].ran) continue;
+    account(member_results[i].stats);
+    Solution& sol = member_results[i].sol;
     const bool strictly_fewer_late =
         sol.valid && (!best.valid || sol.num_late < best.num_late);
     if (strictly_fewer_late) {
@@ -234,13 +257,15 @@ SolveResult solve(const Model& model, const SolveParams& params,
   if (best_ranks.empty()) {
     best_ranks = make_job_ranks(model, params.portfolio.front());
   }
+  stats.portfolio_seconds = timer.elapsed_seconds();
 
   // Phases 2 and 3 can only help while some job is late.
   const bool improvable = best.valid && best.num_late > 0;
 
   // Phase 2: branch-and-bound improvement from the portfolio incumbent.
   if (improvable && params.improvement_fails > 0 && remaining() > 0.0) {
-    SetTimesSearch search(model, best_ranks, best_lpt);
+    SetTimesSearch& search = local_search();
+    search.reset(best_ranks, best_lpt);
     SearchLimits limits;
     limits.max_fails = params.improvement_fails;
     limits.postpone_tries = params.postpone_tries;
@@ -252,6 +277,8 @@ SolveResult solve(const Model& model, const SolveParams& params,
     if (st.exhausted) stats.proved_optimal = true;
     if (sol.better_than(best)) best = sol;
   }
+  stats.improvement_seconds =
+      timer.elapsed_seconds() - stats.portfolio_seconds;
 
   // Phase 3: LNS — promote a (random) late job to the front of the
   // ranking and take a fresh first descent. Neighbourhoods are generated
@@ -267,6 +294,7 @@ SolveResult solve(const Model& model, const SolveParams& params,
       std::vector<std::uint8_t> lpt;
     };
     int iters_left = params.lns_iterations;
+    std::vector<ResultSlot> round_results;
     while (iters_left > 0) {
       if (best.num_late == 0 || remaining() <= 0.0) break;
       // Collect currently-late jobs.
@@ -305,30 +333,27 @@ SolveResult solve(const Model& model, const SolveParams& params,
       // can never raise the bound — audited in MRCP_AUDIT builds.
       MRCP_AUDIT_ONLY(bound_auditor.on_reset(best.num_late, shared_late);)
       shared_late.store(best.num_late, std::memory_order_relaxed);
-      std::vector<Solution> round_sols(nbhs.size());
-      std::vector<SearchStats> round_stats(nbhs.size());
+      round_results.assign(nbhs.size(), ResultSlot{});
       auto run_neighbourhood = [&](std::size_t r) {
         const SearchLimits limits = descent_limits(0.01);
-        SetTimesSearch search(model, nbhs[r].ranks, nbhs[r].lpt);
-        round_sols[r] = search.run(limits, nullptr, &round_stats[r]);
+        SetTimesSearch& search = local_search();
+        search.reset(nbhs[r].ranks, nbhs[r].lpt);
+        round_results[r].sol = search.run(limits, nullptr, &round_results[r].stats);
       };
       if (pool && nbhs.size() > 1) {
-        for (std::size_t r = 0; r < nbhs.size(); ++r) {
-          pool->submit([&run_neighbourhood, r] { run_neighbourhood(r); });
-        }
-        pool->wait_idle();
+        pool->run_indexed(nbhs.size(), run_neighbourhood);
       } else {
         for (std::size_t r = 0; r < nbhs.size(); ++r) run_neighbourhood(r);
       }
       MRCP_AUDIT_ONLY(
           for (std::size_t r = 0; r < nbhs.size(); ++r) {
-            if (!round_sols[r].valid) continue;
-            MRCP_AUDIT_CHECK(validate_solution(model, round_sols[r]));
+            if (!round_results[r].sol.valid) continue;
+            MRCP_AUDIT_CHECK(validate_solution(model, round_results[r].sol));
           })
       for (std::size_t r = 0; r < nbhs.size(); ++r) {
-        account(round_stats[r]);
-        if (round_sols[r].better_than(best)) {
-          best = std::move(round_sols[r]);
+        account(round_results[r].stats);
+        if (round_results[r].sol.better_than(best)) {
+          best = std::move(round_results[r].sol);
           best_ranks = std::move(nbhs[r].ranks);
           best_lpt = std::move(nbhs[r].lpt);
           ++stats.lns_improvements;
@@ -336,6 +361,8 @@ SolveResult solve(const Model& model, const SolveParams& params,
       }
     }
   }
+  stats.lns_seconds = timer.elapsed_seconds() - stats.portfolio_seconds -
+                      stats.improvement_seconds;
 
   // Final-answer audit: the returned schedule must satisfy every model
   // constraint (independent brute-force oracle on small models), and the

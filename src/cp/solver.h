@@ -81,6 +81,12 @@ struct SolveStats {
   std::int64_t solutions = 0;
   int lns_improvements = 0;
   double solve_seconds = 0.0;
+  /// Per-phase wall-clock breakdown (sums to ~solve_seconds): greedy
+  /// portfolio, branch-and-bound improvement, LNS. Feeds the perf bench
+  /// (bench/cp_micro.cpp) so regressions are attributable to a phase.
+  double portfolio_seconds = 0.0;
+  double improvement_seconds = 0.0;
+  double lns_seconds = 0.0;
   JobOrdering best_ordering = JobOrdering::kEdf;
   bool proved_optimal = false;  ///< zero late jobs, or search exhausted
   bool aborted = false;         ///< some search hit the hard deadline

@@ -68,5 +68,57 @@ TEST(ThreadPool, ClampsThreadCount) {
   EXPECT_EQ(ThreadPool::resolve_num_threads(3), 3);
 }
 
+TEST(ThreadPool, RunIndexedCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  for (const std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{7},
+                              std::size_t{1000}}) {
+    std::vector<std::atomic<int>> hits(n);
+    for (auto& h : hits) h.store(0);
+    pool.run_indexed(n, [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "n=" << n << " index " << i;
+    }
+  }
+}
+
+TEST(ThreadPool, RunIndexedFormsHappensBeforeEdge) {
+  // Plain (non-atomic) writes into per-index slots must be visible to
+  // the caller after run_indexed returns — the solver's padded result
+  // slots rely on this barrier.
+  ThreadPool pool(4);
+  std::vector<int> results(512, 0);
+  pool.run_indexed(results.size(),
+                   [&](std::size_t i) { results[i] = static_cast<int>(i) + 1; });
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    ASSERT_EQ(results[i], static_cast<int>(i) + 1);
+  }
+}
+
+TEST(ThreadPool, RunIndexedReusableAndInteropsWithSubmit) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int round = 0; round < 5; ++round) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+    pool.run_indexed(10, [&](std::size_t) { counter.fetch_add(1); });
+    pool.wait_idle();
+    EXPECT_EQ(counter.load(), (round + 1) * 11);
+  }
+}
+
+TEST(ThreadPool, CurrentWorkerIdInRangeInsideBatchMinusOneOutside) {
+  EXPECT_EQ(ThreadPool::current_worker_id(), -1);
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> seen_ids(64);
+  for (auto& s : seen_ids) s.store(-2);
+  pool.run_indexed(seen_ids.size(), [&](std::size_t i) {
+    seen_ids[i].store(ThreadPool::current_worker_id());
+  });
+  for (auto& s : seen_ids) {
+    EXPECT_GE(s.load(), 0);
+    EXPECT_LT(s.load(), pool.num_threads());
+  }
+  EXPECT_EQ(ThreadPool::current_worker_id(), -1);
+}
+
 }  // namespace
 }  // namespace mrcp

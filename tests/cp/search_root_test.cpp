@@ -1,0 +1,220 @@
+// SearchRoot sharing and SetTimesSearch::reset() determinism: a search
+// cached across reset()s must behave exactly like a freshly constructed
+// one for every (job ranking, intra-job order) — including models with
+// pinned tasks and user-precedence DAGs, warm starts, and repeated runs
+// of the same configuration. run() unwinds every decision on exit, so
+// reset() only rebuilds the decision order; these tests are the
+// executable statement of that contract (audited internally by
+// audit_at_root() in MRCP_AUDIT builds).
+#include "cp/search.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "cp/model.h"
+#include "cp/solution.h"
+
+namespace mrcp::cp {
+namespace {
+
+SearchLimits first_descent_limits() {
+  SearchLimits l;
+  l.max_fails = 0;
+  l.stop_after_first_solution = true;
+  l.postpone_tries = 0;
+  l.time_limit_s = 5.0;
+  return l;
+}
+
+SearchLimits bnb_limits() {
+  SearchLimits l;
+  l.max_fails = 2000;
+  l.postpone_tries = 2;
+  l.time_limit_s = 5.0;
+  return l;
+}
+
+/// Random instance optionally exercising every piece of root state
+/// SearchRoot precomputes: pinned tasks (timetable replay, fixed
+/// completions, possibly statically-late jobs) and a user-precedence DAG
+/// (the priority-topo decision-order rebuild).
+Model random_model(std::uint64_t seed, bool with_pins,
+                   bool with_precedences) {
+  RandomStream rng(seed, 0x5E);
+  Model m;
+  const CpResourceIndex r0 = m.add_resource(2, 2);
+  m.add_resource(3, 1);
+  std::vector<CpTaskIndex> prev_maps;
+  const int num_jobs = static_cast<int>(rng.uniform_int(4, 8));
+  for (int j = 0; j < num_jobs; ++j) {
+    const Time est = rng.uniform_int(0, 60);
+    const CpJobIndex cj = m.add_job(est, est + rng.uniform_int(60, 180), j);
+    std::vector<CpTaskIndex> maps;
+    const int nm = static_cast<int>(rng.uniform_int(1, 4));
+    for (int t = 0; t < nm; ++t) {
+      maps.push_back(m.add_task(cj, Phase::kMap, rng.uniform_int(5, 40)));
+    }
+    const int nr = static_cast<int>(rng.uniform_int(0, 2));
+    for (int t = 0; t < nr; ++t) {
+      m.add_task(cj, Phase::kReduce, rng.uniform_int(5, 40));
+    }
+    if (with_pins && j == 0) {
+      // Pin the first job's first map: exercises the pinned replay and
+      // the fixed map-end/completion root state.
+      m.pin_task(maps.front(), r0, est);
+    }
+    if (with_precedences) {
+      for (std::size_t t = 1; t < maps.size(); ++t) {
+        m.add_precedence(maps[t - 1], maps[t]);
+      }
+      if (!prev_maps.empty() && rng.bernoulli(0.6)) {
+        m.add_precedence(prev_maps.front(), maps.back());
+      }
+    }
+    prev_maps = maps;
+  }
+  return m;
+}
+
+void expect_identical(const Solution& a, const Solution& b,
+                      const std::string& what) {
+  ASSERT_EQ(a.valid, b.valid) << what;
+  ASSERT_EQ(a.num_late, b.num_late) << what;
+  ASSERT_EQ(a.total_completion, b.total_completion) << what;
+  ASSERT_EQ(a.placements.size(), b.placements.size()) << what;
+  for (std::size_t i = 0; i < a.placements.size(); ++i) {
+    ASSERT_EQ(a.placements[i].resource, b.placements[i].resource)
+        << what << " task " << i;
+    ASSERT_EQ(a.placements[i].start, b.placements[i].start)
+        << what << " task " << i;
+  }
+}
+
+struct Config {
+  JobOrdering ordering;
+  std::uint8_t lpt;  ///< all-FIFO (0) or all-LPT (1) intra-job order
+};
+
+const Config kConfigs[] = {
+    {JobOrdering::kEdf, 0},         {JobOrdering::kEdf, 1},
+    {JobOrdering::kLeastLaxity, 0}, {JobOrdering::kLeastLaxity, 1},
+    {JobOrdering::kJobId, 0},       {JobOrdering::kFcfs, 1},
+};
+
+class SearchRootReuse
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, bool, bool>> {
+};
+
+TEST_P(SearchRootReuse, ReusedSearchMatchesFreshAcrossConfigs) {
+  const auto [seed, with_pins, with_precedences] = GetParam();
+  const Model m = random_model(seed, with_pins, with_precedences);
+  ASSERT_EQ(m.validate(), "");
+
+  const SearchRoot root(m);
+  SetTimesSearch reused(root);
+  const SearchLimits limits = first_descent_limits();
+  for (const Config& cfg : kConfigs) {
+    const std::vector<int> ranks = make_job_ranks(m, cfg.ordering);
+    const std::vector<std::uint8_t> lpt(m.num_jobs(), cfg.lpt);
+
+    SetTimesSearch fresh(m, ranks, lpt);
+    SearchStats fresh_stats;
+    const Solution want = fresh.run(limits, nullptr, &fresh_stats);
+    ASSERT_TRUE(want.valid);
+    ASSERT_EQ(validate_solution(m, want), "");
+
+    reused.reset(ranks, lpt);
+    SearchStats reused_stats;
+    const Solution got = reused.run(limits, nullptr, &reused_stats);
+    expect_identical(want, got,
+                     std::string("reused vs fresh, ordering ") +
+                         job_ordering_name(cfg.ordering) +
+                         (cfg.lpt ? " lpt" : " fifo"));
+    EXPECT_EQ(fresh_stats.decisions, reused_stats.decisions);
+    EXPECT_EQ(fresh_stats.fails, reused_stats.fails);
+  }
+}
+
+TEST_P(SearchRootReuse, RepeatedSameConfigRunsAreIdentical) {
+  const auto [seed, with_pins, with_precedences] = GetParam();
+  const Model m = random_model(seed, with_pins, with_precedences);
+  ASSERT_EQ(m.validate(), "");
+
+  const SearchRoot root(m);
+  SetTimesSearch search(root);
+  const std::vector<int> ranks = make_job_ranks(m, JobOrdering::kEdf);
+  const SearchLimits limits = first_descent_limits();
+
+  search.reset(ranks);
+  SearchStats st0;
+  const Solution first = search.run(limits, nullptr, &st0);
+  for (int rep = 0; rep < 3; ++rep) {
+    search.reset(ranks);
+    SearchStats st;
+    const Solution again = search.run(limits, nullptr, &st);
+    expect_identical(first, again, "repeat " + std::to_string(rep));
+    EXPECT_EQ(st0.decisions, st.decisions);
+  }
+}
+
+TEST_P(SearchRootReuse, WarmStartedBnBMatchesFresh) {
+  const auto [seed, with_pins, with_precedences] = GetParam();
+  const Model m = random_model(seed, with_pins, with_precedences);
+  ASSERT_EQ(m.validate(), "");
+
+  const std::vector<int> ranks = make_job_ranks(m, JobOrdering::kLeastLaxity);
+  const SearchRoot root(m);
+  SetTimesSearch reused(root);
+
+  // First descent produces the incumbent, then a full branch-and-bound
+  // run (backtracking, postponement) from the same reused object must
+  // match a fresh search byte for byte.
+  reused.reset(ranks);
+  SearchStats st_inc;
+  const Solution incumbent =
+      reused.run(first_descent_limits(), nullptr, &st_inc);
+  ASSERT_TRUE(incumbent.valid);
+
+  SetTimesSearch fresh(m, ranks);
+  SearchStats fresh_stats;
+  const Solution want = fresh.run(bnb_limits(), &incumbent, &fresh_stats);
+
+  reused.reset(ranks);
+  SearchStats reused_stats;
+  const Solution got = reused.run(bnb_limits(), &incumbent, &reused_stats);
+  expect_identical(want, got, "warm-started B&B reused vs fresh");
+  EXPECT_EQ(fresh_stats.decisions, reused_stats.decisions);
+  EXPECT_EQ(fresh_stats.fails, reused_stats.fails);
+  EXPECT_EQ(fresh_stats.exhausted, reused_stats.exhausted);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, SearchRootReuse,
+    ::testing::Combine(::testing::Range<std::uint64_t>(1, 6),
+                       ::testing::Bool(), ::testing::Bool()));
+
+TEST(SearchRootShared, ManySearchesOneRootAgree) {
+  // Several searches over one root, interleaved, must not interfere:
+  // the root is immutable and each search owns its mutable state.
+  const Model m = random_model(11, true, true);
+  ASSERT_EQ(m.validate(), "");
+  const SearchRoot root(m);
+  const std::vector<int> ranks = make_job_ranks(m, JobOrdering::kEdf);
+
+  SetTimesSearch a(root);
+  SetTimesSearch b(root);
+  a.reset(ranks);
+  b.reset(ranks);
+  SearchStats sa;
+  SearchStats sb;
+  const Solution ra = a.run(first_descent_limits(), nullptr, &sa);
+  const Solution rb = b.run(first_descent_limits(), nullptr, &sb);
+  expect_identical(ra, rb, "two searches, one root");
+}
+
+}  // namespace
+}  // namespace mrcp::cp

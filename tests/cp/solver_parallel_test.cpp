@@ -114,6 +114,69 @@ TEST(SolverParallel, WarmStartDeterministicAcrossThreads) {
   EXPECT_LE(r4.best.num_late, warm.best.num_late);
 }
 
+/// Random instance with a dense user-precedence DAG layered on top of
+/// the implicit map→reduce barrier: chains inside jobs plus cross-job
+/// edges. Exercises the SearchRoot precedence graph and the priority-topo
+/// decision-order rebuild in the cached-search reset path.
+Model precedence_heavy_model(std::uint64_t seed) {
+  RandomStream rng(seed, 0x9E);
+  Model m;
+  m.add_resource(2, 2);
+  m.add_resource(3, 1);
+  std::vector<CpTaskIndex> all_maps;
+  const int num_jobs = 6;
+  for (int j = 0; j < num_jobs; ++j) {
+    const Time est = rng.uniform_int(0, 50);
+    const CpJobIndex cj = m.add_job(est, est + rng.uniform_int(80, 200), j);
+    std::vector<CpTaskIndex> maps;
+    const int nm = static_cast<int>(rng.uniform_int(2, 5));
+    for (int t = 0; t < nm; ++t) {
+      maps.push_back(m.add_task(cj, Phase::kMap, rng.uniform_int(5, 40)));
+    }
+    const int nr = static_cast<int>(rng.uniform_int(1, 3));
+    for (int t = 0; t < nr; ++t) {
+      m.add_task(cj, Phase::kReduce, rng.uniform_int(5, 40));
+    }
+    // Chain the job's maps: map_0 -> map_1 -> ... (workflow stages).
+    for (std::size_t t = 1; t < maps.size(); ++t) {
+      m.add_precedence(maps[t - 1], maps[t]);
+    }
+    // Cross-job edge: this job's first map waits for an earlier job's
+    // map — acyclic because edges only point from lower to higher jobs.
+    if (!all_maps.empty() && rng.bernoulli(0.7)) {
+      const auto pick = static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(all_maps.size()) - 1));
+      m.add_precedence(all_maps[pick], maps.front());
+    }
+    all_maps.insert(all_maps.end(), maps.begin(), maps.end());
+  }
+  return m;
+}
+
+TEST(SolverParallel, PrecedenceHeavyIdenticalAtOneTwoAndEightThreads) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const Model m = precedence_heavy_model(seed);
+    ASSERT_EQ(m.validate(), "");
+    ASSERT_GT(m.num_precedences(), 0u);
+
+    SolveParams p1 = parallel_params(seed);
+    p1.num_threads = 1;
+    SolveParams p2 = p1;
+    p2.num_threads = 2;
+    SolveParams p8 = p1;
+    p8.num_threads = 8;
+
+    const SolveResult r1 = solve(m, p1);
+    const SolveResult r2 = solve(m, p2);
+    const SolveResult r8 = solve(m, p8);
+    ASSERT_TRUE(r1.best.valid);
+    EXPECT_EQ(validate_solution(m, r8.best), "");
+    expect_identical(r1.best, r2.best, "precedence-heavy 1 vs 2 threads");
+    expect_identical(r1.best, r8.best, "precedence-heavy 1 vs 8 threads");
+    EXPECT_EQ(r1.stats.best_ordering, r8.stats.best_ordering);
+  }
+}
+
 TEST(SolverParallel, LnsBatchOneMatchesSeedSemantics) {
   // lns_batch = 1 must reproduce the strictly sequential
   // accept-then-regenerate loop regardless of the thread count.
