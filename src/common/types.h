@@ -28,9 +28,18 @@ inline constexpr Time kNoTime = std::numeric_limits<Time>::min();
 /// variables are clamped to [0, kMaxTime].
 inline constexpr Time kMaxTime = std::numeric_limits<Time>::max() / 4;
 
-/// Convert seconds (double) to ticks, rounding to nearest.
+/// Convert seconds (double) to ticks, rounding to nearest with halves
+/// away from zero (std::llround semantics, usable in constexpr context).
+/// Negative inputs (slack/lateness deltas) round symmetrically: the old
+/// `x + 0.5` truncation rounded -0.5 ticks up to 0 instead of to -1.
+/// Results are clamped to [-kMaxTime, kMaxTime] so an out-of-range
+/// double cannot overflow the Time domain.
 constexpr Time seconds_to_ticks(double seconds) {
-  return static_cast<Time>(seconds * static_cast<double>(kTicksPerSecond) + 0.5);
+  const double scaled = seconds * static_cast<double>(kTicksPerSecond);
+  if (scaled >= static_cast<double>(kMaxTime)) return kMaxTime;
+  if (scaled <= -static_cast<double>(kMaxTime)) return -kMaxTime;
+  return scaled >= 0.0 ? static_cast<Time>(scaled + 0.5)
+                       : static_cast<Time>(scaled - 0.5);
 }
 
 /// Convert ticks to seconds.

@@ -41,6 +41,10 @@ struct InvocationRecord {
   double solve_wall_seconds = 0.0;  ///< wall clock inside cp::solve
   std::size_t live_tasks = 0;       ///< tasks in the solved model
   std::size_t parked_jobs = 0;      ///< jobs parked as unplaceable
+  // ---- Incremental-mode attribution (docs/incremental.md) ----
+  std::size_t dirty_jobs = 0;    ///< jobs re-solved this invocation
+  std::size_t frozen_tasks = 0;  ///< boundary tasks pinned, not re-solved
+  bool model_cache_hit = false;  ///< persistent model + root were reused
 };
 
 /// Aggregate counters over a ledger; embedded in sim::SimMetrics and

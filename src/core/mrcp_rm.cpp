@@ -1,10 +1,13 @@
 #include "core/mrcp_rm.h"
 
 #include <algorithm>
+#include <memory>
+#include <span>
 #include <utility>
 
 #include "common/check.h"
 #include "common/log.h"
+#include "common/rng.h"
 #include "common/stopwatch.h"
 #include "core/fallback_scheduler.h"
 #include "core/matchmaker.h"
@@ -41,6 +44,9 @@ void MrcpRm::handle_resource_down(ResourceId resource, Time now) {
       if (as.assigned() && as.resource == resource && as.end > now) {
         as = Assignment{};
         ++stats_.tasks_reset_by_failure;
+        // The job lost work to the failure: it must be re-solved, not
+        // frozen, by the next incremental invocation.
+        dirty_jobs_.insert(id);
       }
     }
   }
@@ -54,6 +60,10 @@ void MrcpRm::handle_resource_up(ResourceId resource, Time now) {
   down_[ri] = 0;
   ++stats_.resource_up_events;
   dirty_ = true;
+  // A repair can unblock parked work: parked jobs join the dirty set so
+  // the next incremental invocation re-attempts them (reschedule() also
+  // folds parked_ in defensively — see the comment there).
+  dirty_jobs_.insert(parked_.begin(), parked_.end());
   const Resource& base = pristine_cluster_.resource(resource);
   cluster_.set_resource_capacity(resource, base.map_capacity,
                                  base.reduce_capacity);
@@ -86,7 +96,14 @@ void MrcpRm::submit(const Job& job, Time now) {
   st.job = job;
   st.completed.assign(job.num_tasks(), 0);
   st.assignments.assign(job.num_tasks(), Assignment{});
+  dirty_jobs_.insert(job.id);
   active_.emplace(job.id, std::move(st));
+  dirty_ = true;
+}
+
+void MrcpRm::mark_dirty(JobId id) {
+  MRCP_CHECK_MSG(active_.count(id) != 0, "mark_dirty of a non-active job");
+  dirty_jobs_.insert(id);
   dirty_ = true;
 }
 
@@ -107,6 +124,7 @@ void MrcpRm::release_deferred(Time now) {
     st.assignments.assign(job.num_tasks(), Assignment{});
     st.job = std::move(job);
     const JobId id = st.job.id;
+    dirty_jobs_.insert(id);
     active_.emplace(id, std::move(st));
     dirty_ = true;
   }
@@ -134,6 +152,11 @@ void MrcpRm::sweep_completed(Time now) {
     if (all_done) {
       ++stats_.jobs_completed;
       if (completion > st.job.deadline) ++stats_.jobs_completed_late;
+      // Dirty-set invariant: dirty_jobs_ ⊆ active jobs. A completed
+      // job's placements leave the boundary by dropping out of the live
+      // set — the remaining frozen assignments stay feasible (capacity
+      // only got freer), so completion dirties nothing else.
+      dirty_jobs_.erase(it->first);
       it = active_.erase(it);
       // The live set shrank: a degraded-streak skip must not republish
       // the stale plan past this point.
@@ -144,11 +167,39 @@ void MrcpRm::sweep_completed(Time now) {
   }
 }
 
-std::vector<LiveJob> MrcpRm::collect_live_jobs(Time now,
-                                               bool freeze_planned) const {
+std::vector<LiveJob> MrcpRm::collect_live_jobs(Time now, bool freeze_planned,
+                                               std::set<JobId>* dirty) {
   std::vector<LiveJob> live;
   live.reserve(active_.size());
   for (const auto& [id, st] : active_) {
+    // Incremental mode (dirty != nullptr): freezing is per job — jobs
+    // outside the dirty set form the frozen boundary, dirty jobs are
+    // re-solved from free. A clean job is only sound to freeze when
+    // every non-completed task still has an assignment and every
+    // planned-but-unstarted one sits on an up resource; anything else
+    // means the dirty-set bookkeeping missed an event, so the job is
+    // promoted to dirty (counted — the audit tests assert this safety
+    // net never fires).
+    bool job_freeze = freeze_planned;
+    if (dirty != nullptr) {
+      job_freeze = dirty->count(id) == 0;
+      if (job_freeze) {
+        for (std::size_t ti = 0; ti < st.job.num_tasks(); ++ti) {
+          if (st.completed[ti]) continue;
+          const Assignment& as = st.assignments[ti];
+          const bool sound =
+              as.assigned() &&
+              (as.start <= now ||
+               down_[static_cast<std::size_t>(as.resource)] == 0);
+          if (!sound) {
+            job_freeze = false;
+            dirty->insert(id);
+            ++stats_.dirty_promotions;
+            break;
+          }
+        }
+      }
+    }
     LiveJob lj;
     lj.id = id;
     // Table 2 lines 1-4: an earliest start time in the past becomes `now`.
@@ -168,7 +219,7 @@ std::vector<LiveJob> MrcpRm::collect_live_jobs(Time now,
       // handle_resource_down resets those, so one surviving here would
       // be a stale-plan resurrection — treat the task as free instead.
       const bool frozen =
-          freeze_planned && as.assigned() &&
+          job_freeze && as.assigned() &&
           down_[static_cast<std::size_t>(as.resource)] == 0;
       if (as.assigned() && (as.start <= now || frozen)) {
         // Running: pinned (Table 2 lines 11-12). With freeze_planned
@@ -191,7 +242,12 @@ std::vector<LiveJob> MrcpRm::collect_live_jobs(Time now,
       }
       lj.precedences.emplace_back(before, after);
     }
-    if (freeze_planned) {
+    // Incremental per-job freezing never needs the demotion fixpoint: a
+    // frozen (clean) job has *every* live task marked started, so no
+    // frozen task can have a free predecessor, and a dirty job has no
+    // frozen tasks at all. The fixpoint below serves the whole-model
+    // freeze of kNewJobsOnly and the degraded-mode retry rungs.
+    if (freeze_planned && dirty == nullptr) {
       // A frozen assignment is only sound while every predecessor of the
       // task is still accounted for. When a failure resets a map (or a
       // workflow predecessor) to free, the dependent's old start time
@@ -261,6 +317,53 @@ bool cluster_links_constrained(const Cluster& cluster) {
     if (r.net_capacity > 0) return true;
   }
   return false;
+}
+
+std::uint64_t fp_mix(std::uint64_t h, std::uint64_t v) {
+  // splitmix64 finalizer over the running hash: cheaper than byte-wise
+  // FNV (the fingerprint walks every live task every invocation) with
+  // full 64-bit diffusion per field.
+  return splitmix64(h ^ (v + 0x9e3779b97f4a7c15ULL));
+}
+
+/// Content fingerprint of everything build_direct_model() consumes: the
+/// cluster's working capacities plus the full live set (ids, windows,
+/// per-task shape and pin state, precedences). Two invocations with
+/// equal fingerprints would build structurally identical models, so the
+/// persistent model + SearchRoot can be reused; the audit layer
+/// cross-checks equality on every hit (collisions are detectable, not
+/// silently trusted).
+std::uint64_t live_fingerprint(const Cluster& cluster,
+                               std::span<const LiveJob> live) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const Resource& r : cluster.resources()) {
+    h = fp_mix(h, static_cast<std::uint64_t>(r.map_capacity));
+    h = fp_mix(h, static_cast<std::uint64_t>(r.reduce_capacity));
+    h = fp_mix(h, static_cast<std::uint64_t>(r.net_capacity));
+  }
+  h = fp_mix(h, live.size());
+  for (const LiveJob& lj : live) {
+    h = fp_mix(h, static_cast<std::uint64_t>(lj.id));
+    h = fp_mix(h, static_cast<std::uint64_t>(lj.effective_earliest_start));
+    h = fp_mix(h, static_cast<std::uint64_t>(lj.deadline));
+    h = fp_mix(h, lj.tasks.size());
+    for (const LiveTask& lt : lj.tasks) {
+      h = fp_mix(h, static_cast<std::uint64_t>(lt.task_index));
+      h = fp_mix(h, static_cast<std::uint64_t>(lt.type));
+      h = fp_mix(h, static_cast<std::uint64_t>(lt.exec_time));
+      h = fp_mix(h, static_cast<std::uint64_t>(lt.res_req));
+      h = fp_mix(h, static_cast<std::uint64_t>(lt.net_demand));
+      h = fp_mix(h, static_cast<std::uint64_t>(lt.started));
+      h = fp_mix(h, static_cast<std::uint64_t>(lt.resource));
+      h = fp_mix(h, static_cast<std::uint64_t>(lt.start));
+    }
+    h = fp_mix(h, lj.precedences.size());
+    for (const auto& [before, after] : lj.precedences) {
+      h = fp_mix(h, static_cast<std::uint64_t>(before));
+      h = fp_mix(h, static_cast<std::uint64_t>(after));
+    }
+  }
+  return h;
 }
 
 /// Keep only a job's started tasks (and the precedence edges among
@@ -338,6 +441,36 @@ void MrcpRm::strip_parked(std::vector<LiveJob>& live) const {
   }
 }
 
+cp::Solution MrcpRm::warm_start_from_assignments(const BuiltModel& built) const {
+  cp::Solution sol;
+  const std::size_t n = built.task_refs.size();
+  sol.placements.assign(n, cp::TaskPlacement{});
+  for (std::size_t i = 0; i < n; ++i) {
+    const cp::CpTask& ct = built.model.task(static_cast<cp::CpTaskIndex>(i));
+    if (ct.pinned) {
+      sol.placements[i] = cp::TaskPlacement{ct.pinned_resource, ct.pinned_start};
+      continue;
+    }
+    const auto& [job_id, task_index] = built.task_refs[i];
+    const Assignment& as =
+        active_.at(job_id).assignments[static_cast<std::size_t>(task_index)];
+    // Any free task without a usable previous placement voids the warm
+    // start: evaluate_solution needs every task decided, and a partial
+    // seed would mix two plan generations.
+    if (!as.assigned() || down_[static_cast<std::size_t>(as.resource)] != 0) {
+      return cp::Solution{};
+    }
+    sol.placements[i] = cp::TaskPlacement{
+        static_cast<cp::CpResourceIndex>(as.resource), as.start};
+  }
+  evaluate_solution(built.model, sol);
+  // The old placements can violate the new model (an earliest start
+  // clamped past a planned start, capacity lost to a fault): then they
+  // are not a solution and cannot seed the bound.
+  if (!validate_solution(built.model, sol).empty()) return cp::Solution{};
+  return sol;
+}
+
 DegradationCounts MrcpRm::degradation_counts() const {
   DegradationCounts counts = ledger_.counts();
   counts.jobs_backpressured = stats_.jobs_backpressured;
@@ -354,6 +487,16 @@ const Plan& MrcpRm::reschedule(Time now) {
   InvocationRecord rec;
   rec.sim_time = now;
 
+  const bool incremental = config_.replan_scope == ReplanScope::kDirtyOnly;
+  if (incremental) {
+    // Parked jobs always rejoin the dirty set before the fast-path
+    // check: every invocation re-attempts them, so a job parked in a
+    // previous epoch whose blocking resource has since recovered
+    // re-enters the solve instead of staying stripped, and an
+    // empty-dirty skip can never starve parked work.
+    dirty_jobs_.insert(parked_.begin(), parked_.end());
+  }
+
   // Backpressure short-circuit: while degraded, an invocation whose live
   // set did not change since the last full pass (arrivals were
   // backpressure-deferred, nothing completed early, no fault activity)
@@ -367,13 +510,40 @@ const Plan& MrcpRm::reschedule(Time now) {
     stats_.total_sched_seconds += timer.elapsed_seconds();
     return plan_;
   }
+
+  // Incremental fast path: an empty dirty set means every unstarted
+  // task of every active job still holds a sound assignment — the
+  // current plan is re-published unchanged (a repair with nothing parked
+  // lands here: re-optimizing clean jobs onto the recovered capacity is
+  // a quality opportunity the incremental scope deliberately forgoes).
+  if (incremental && dirty_jobs_.empty() && !active_.empty()) {
+    rec.outcome = InvocationOutcome::kSkipped;
+    publish_plan(now);
+    rec.epoch = plan_.epoch;
+    ledger_.record(rec);
+    stats_.total_sched_seconds += timer.elapsed_seconds();
+    return plan_;
+  }
   dirty_ = false;
   park_retry_at_ = kNoTime;
 
-  std::vector<LiveJob> live = collect_live_jobs(
-      now, config_.replan_scope == ReplanScope::kNewJobsOnly);
+  std::vector<LiveJob> live =
+      incremental
+          ? collect_live_jobs(now, /*freeze_planned=*/false, &dirty_jobs_)
+          : collect_live_jobs(now,
+                              config_.replan_scope == ReplanScope::kNewJobsOnly);
   park_unplaceable(live, now);
   rec.parked_jobs = parked_.size();
+  if (incremental) {
+    rec.dirty_jobs = dirty_jobs_.size();
+    for (const LiveJob& lj : live) {
+      for (const LiveTask& lt : lj.tasks) {
+        rec.frozen_tasks += lt.started && lt.start > now ? 1 : 0;
+      }
+    }
+  } else {
+    rec.dirty_jobs = active_.size();
+  }
 
   InvocationOutcome outcome =
       parked_.empty() ? InvocationOutcome::kIdle : InvocationOutcome::kParked;
@@ -398,24 +568,60 @@ const Plan& MrcpRm::reschedule(Time now) {
     stats_.max_live_tasks = std::max(stats_.max_live_tasks,
                                      static_cast<std::uint64_t>(live_tasks));
     // The §V.D combined-resource abstraction is only sound when every
-    // non-running task is re-placed: frozen *future* tasks (kNewJobsOnly)
-    // fragment concrete slots, and an interval can fit the summed
-    // capacity while fitting no single slot. The frozen-scope mode
-    // therefore solves the direct per-resource model — which is cheap
-    // there, since only the newly arrived jobs' tasks are free.
+    // non-running task is re-placed: frozen *future* tasks (kNewJobsOnly
+    // and the kDirtyOnly frozen boundary) fragment concrete slots, and
+    // an interval can fit the summed capacity while fitting no single
+    // slot. The frozen-scope modes therefore solve the direct
+    // per-resource model — which is cheap there, since only the dirty
+    // jobs' tasks are free.
     // ... and per-resource link constraints likewise cannot be expressed
     // on the combined resource.
     const bool combined =
         config_.use_separation && unit_demands && !links_active &&
         config_.replan_scope == ReplanScope::kAllUnstarted;
 
-    BuiltModel built = combined ? build_combined_model(cluster_, live)
-                                : build_direct_model(cluster_, live);
-    // After park_unplaceable() every free task has a capable host, so a
-    // validation failure here is an internal invariant violation, not a
-    // runtime condition — it stays fatal.
-    const std::string model_err = built.model.validate();
-    MRCP_CHECK_MSG(model_err.empty(), model_err.c_str());
+    BuiltModel local_built;
+    const BuiltModel* built = nullptr;
+    const cp::SearchRoot* shared_root = nullptr;
+    if (incremental && config_.reuse_model_cache) {
+      // Persistent model: reuse the cached model + SearchRoot whenever
+      // the live-state fingerprint recurs (park-retry storms, repeated
+      // re-solves of one dirty region) — the whole model-build and
+      // pinned-replay cost drops out of the invocation.
+      const std::uint64_t fp = live_fingerprint(cluster_, live);
+      if (model_cache_ != nullptr && model_cache_->fingerprint == fp) {
+        ++stats_.model_cache_hits;
+        rec.model_cache_hit = true;
+        if (config_.validate_plans || MRCP_AUDIT_ENABLED) {
+          // A fingerprint collision would silently solve a stale model;
+          // audit builds verify the cached model against a fresh build.
+          BuiltModel fresh = build_direct_model(cluster_, live);
+          MRCP_CHECK_MSG(
+              structurally_equal(fresh.model, model_cache_->built.model),
+              "model cache hit does not match a freshly built model");
+        }
+      } else {
+        ++stats_.model_cache_misses;
+        auto entry = std::make_unique<ModelCacheEntry>();
+        entry->fingerprint = fp;
+        entry->built = build_direct_model(cluster_, live);
+        const std::string model_err = entry->built.model.validate();
+        MRCP_CHECK_MSG(model_err.empty(), model_err.c_str());
+        entry->root.emplace(entry->built.model);
+        model_cache_ = std::move(entry);
+      }
+      built = &model_cache_->built;
+      shared_root = &*model_cache_->root;
+    } else {
+      local_built = combined ? build_combined_model(cluster_, live)
+                             : build_direct_model(cluster_, live);
+      // After park_unplaceable() every free task has a capable host, so a
+      // validation failure here is an internal invariant violation, not a
+      // runtime condition — it stays fatal.
+      const std::string model_err = local_built.model.validate();
+      MRCP_CHECK_MSG(model_err.empty(), model_err.c_str());
+      built = &local_built;
+    }
 
     cp::SolveParams params = config_.solve;
     // Vary the LNS seed across invocations, deterministically.
@@ -446,11 +652,28 @@ const Plan& MrcpRm::reschedule(Time now) {
       stats_.solver_fails += r.stats.fails;
     };
 
-    cp::SolveResult result = cp::solve(built.model, params);
+    // Warm start: seed the solve with the previous invocation's
+    // assignments when they still form a feasible solution of the new
+    // model. The incumbent bound prunes strictly-worse branches, and the
+    // deterministic winner fold keeps the seed only when no descent
+    // strictly beats it — the published plan is never worse than the one
+    // the invocation started from.
+    cp::Solution warm;
+    const cp::Solution* warm_ptr = nullptr;
+    if (incremental && config_.warm_start_previous) {
+      warm = warm_start_from_assignments(*built);
+      if (warm.valid) {
+        warm_ptr = &warm;
+        ++stats_.warm_starts_used;
+      }
+    }
+
+    cp::SolveResult result = cp::solve(built->model, params, warm_ptr,
+                                       shared_root);
     account(result);
 
     cp::Solution chosen;
-    const BuiltModel* solved = &built;
+    const BuiltModel* solved = built;
     BuiltModel shrunk_built;  // owns the frozen model when a retry rung wins
 
     if (result.best.valid) {
@@ -519,7 +742,7 @@ const Plan& MrcpRm::reschedule(Time now) {
           solved = &shrunk_built;
         } else {
           // Full-model EDF plan — deterministic, never times out.
-          chosen = fallback_schedule(built.model);
+          chosen = fallback_schedule(built->model);
           MRCP_CHECK_MSG(chosen.valid,
                          "fallback scheduler failed on a validated model");
         }
@@ -581,6 +804,11 @@ const Plan& MrcpRm::reschedule(Time now) {
     }
     rec.live_tasks = bm.model.num_tasks();
   }
+
+  // The invocation consumed the dirty set: every dirty job either got
+  // fresh assignments committed above or was parked (and parked jobs
+  // re-enter the dirty set at the next invocation's fold).
+  dirty_jobs_.clear();
 
   rec.outcome = outcome;
   const bool degraded = outcome == InvocationOutcome::kCpRetry ||

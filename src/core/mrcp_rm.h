@@ -27,6 +27,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <optional>
 #include <set>
 #include <vector>
@@ -51,6 +52,16 @@ enum class ReplanScope {
   /// not started; only newly arrived/released jobs are placed, into the
   /// gaps of the frozen schedule. Cheaper solves, slightly worse P.
   kNewJobsOnly,
+  /// Incremental rescheduling (docs/incremental.md): the RM tracks the
+  /// set of jobs touched since the last solve — arrivals, deferral and
+  /// backpressure releases, fault-reset assignments, parked work — and
+  /// re-solves only those against a frozen boundary of untouched
+  /// assignments (the frozen-model machinery of the degradation ladder
+  /// promoted to the primary path). The CP model and its SearchRoot
+  /// persist across invocations and are reused whenever the live state
+  /// fingerprint recurs; per-invocation cost tracks the dirty set, not
+  /// the live set (bench/epoch_scaling.cpp).
+  kDirtyOnly,
 };
 
 struct MrcpConfig {
@@ -103,6 +114,20 @@ struct MrcpConfig {
   /// later via next_deferred_release(), in addition to the reschedule
   /// every repair event triggers anyway.
   Time park_retry_delay = 5'000;
+
+  // ---- Incremental mode (ReplanScope::kDirtyOnly; docs/incremental.md) ----
+
+  /// Keep the built CP model + SearchRoot across invocations and reuse
+  /// them when the live-state fingerprint is unchanged (park-retry
+  /// storms, repeated re-solves of the same dirty region). Off rebuilds
+  /// from scratch every invocation — the incremental-vs-full
+  /// differential tests compare the two for byte-identical plans.
+  bool reuse_model_cache = true;
+  /// Seed each incremental solve with the previous invocation's
+  /// assignments when they still satisfy every constraint (warm start:
+  /// the incumbent bound prunes descents; the solver never returns a
+  /// worse plan than the one it started from).
+  bool warm_start_previous = true;
 };
 
 struct MrcpStats {
@@ -123,6 +148,15 @@ struct MrcpStats {
   std::uint64_t jobs_backpressured = 0;  ///< submissions deferred by backpressure
   std::uint64_t jobs_parked = 0;         ///< job-epochs parked as unplaceable
   double solve_wall_seconds = 0.0;       ///< wall clock inside cp::solve
+  // ---- Incremental mode (docs/incremental.md) ----
+  std::uint64_t model_cache_hits = 0;    ///< persistent model + root reused
+  std::uint64_t model_cache_misses = 0;  ///< incremental solves that rebuilt
+  std::uint64_t warm_starts_used = 0;    ///< solves seeded by the old plan
+  /// Clean jobs force-promoted to dirty by the collect-time safety net
+  /// (an unstarted task without a live assignment on an up resource).
+  /// Nonzero means the dirty-set bookkeeping missed an event — the audit
+  /// tests assert it stays 0.
+  std::uint64_t dirty_promotions = 0;
 
   /// O: average matchmaking and scheduling time per submitted job
   /// (paper §VI: total scheduling time / jobs mapped and scheduled).
@@ -166,6 +200,13 @@ class MrcpRm {
   /// Jobs currently known to the RM (active + deferred), for testing.
   std::size_t live_jobs() const { return active_.size() + deferred_.size(); }
 
+  /// Force a job into the dirty set (incremental mode): its unstarted
+  /// tasks are re-solved on the next reschedule() instead of staying
+  /// frozen. Bench/test hook — every real event marks dirty jobs itself.
+  void mark_dirty(JobId id);
+  /// Jobs queued for re-solving by the next incremental invocation.
+  const std::set<JobId>& dirty_jobs() const { return dirty_jobs_; }
+
   const MrcpStats& stats() const { return stats_; }
 
   /// Per-invocation degraded-mode attribution (docs/degraded_mode.md).
@@ -191,8 +232,19 @@ class MrcpRm {
   void sweep_completed(Time now);
   /// Live jobs for the CP model. `freeze_planned` additionally pins
   /// planned-but-unstarted assignments (kNewJobsOnly semantics; also the
-  /// shrunk model of degraded-mode retries).
-  std::vector<LiveJob> collect_live_jobs(Time now, bool freeze_planned) const;
+  /// shrunk model of degraded-mode retries). With `dirty` non-null
+  /// (incremental mode) freezing is per job: jobs absent from `dirty`
+  /// form the frozen boundary, dirty jobs are re-solved from free. A
+  /// clean job that cannot be frozen soundly — an unstarted task with no
+  /// assignment, or one stranded on a down resource — is promoted into
+  /// `dirty` (and counted in stats_.dirty_promotions: the promotion is a
+  /// safety net, correct bookkeeping never needs it).
+  std::vector<LiveJob> collect_live_jobs(Time now, bool freeze_planned,
+                                         std::set<JobId>* dirty = nullptr);
+  /// Previous-plan warm start for an incremental solve: the old
+  /// assignments of every non-pinned task, when they are all present, on
+  /// up resources, and still satisfy the model. Invalid solution when not.
+  cp::Solution warm_start_from_assignments(const BuiltModel& built) const;
   /// Park jobs with a free task no *current* (post-failure) resource can
   /// host: their unstarted assignments are released and only their
   /// started tasks stay in `live` (they occupy real capacity). A task
@@ -224,6 +276,24 @@ class MrcpRm {
   /// short-circuit); on the healthy path (streak 0) it is never read.
   bool dirty_ = true;
   DegradationLedger ledger_;
+
+  // ---- Incremental-mode state (docs/incremental.md) ----
+
+  /// Jobs touched since the last solve: arrivals, deferral/backpressure
+  /// releases, assignments reset by failures, and (folded in at every
+  /// invocation) parked jobs. Only these are re-solved in kDirtyOnly
+  /// mode; everything else is frozen boundary. Maintained in every
+  /// scope so switching modes mid-run stays consistent.
+  std::set<JobId> dirty_jobs_;
+  /// Persistent model + search root, reused while the live-state
+  /// fingerprint is unchanged. unique_ptr for address stability: the
+  /// SearchRoot holds a pointer into `built.model`.
+  struct ModelCacheEntry {
+    std::uint64_t fingerprint = 0;
+    BuiltModel built;
+    std::optional<cp::SearchRoot> root;
+  };
+  std::unique_ptr<ModelCacheEntry> model_cache_;
 };
 
 }  // namespace mrcp

@@ -145,6 +145,13 @@ class Model {
   /// Structural validation; empty string when consistent.
   std::string validate() const;
 
+  /// Deep structural equality: same resources, jobs, tasks (including
+  /// pins, candidates and external ids) and precedence edges. Used by the
+  /// incremental resource manager's audit layer to cross-check that a
+  /// fingerprint-matched cached model really equals a freshly built one
+  /// (docs/incremental.md).
+  friend bool structurally_equal(const Model& a, const Model& b);
+
  private:
   std::vector<CpTask> tasks_;
   std::vector<CpJob> jobs_;

@@ -1,0 +1,66 @@
+// Boundary tests for the tick/second conversions in common/types.h.
+//
+// seconds_to_ticks must follow std::llround semantics: round to nearest,
+// halves away from zero — in particular negative slack/lateness values
+// round symmetrically with positive ones (the pre-fix `x + 0.5` cast
+// truncated toward zero, mapping -0.5 ticks to 0 instead of -1).
+#include "common/types.h"
+
+#include <gtest/gtest.h>
+
+namespace mrcp {
+namespace {
+
+TEST(SecondsToTicks, RoundsPositiveToNearest) {
+  EXPECT_EQ(seconds_to_ticks(0.0), 0);
+  EXPECT_EQ(seconds_to_ticks(1.0), 1000);
+  EXPECT_EQ(seconds_to_ticks(0.0004), 0);
+  EXPECT_EQ(seconds_to_ticks(0.0006), 1);
+  EXPECT_EQ(seconds_to_ticks(1.2344), 1234);
+  EXPECT_EQ(seconds_to_ticks(1.2346), 1235);
+}
+
+TEST(SecondsToTicks, HalfTickBoundaries) {
+  // 0.0004999 s = 0.4999 ticks -> 0; 0.0005 s = 0.5 ticks -> 1 (half
+  // away from zero), and symmetrically for negative inputs.
+  EXPECT_EQ(seconds_to_ticks(0.0004999), 0);
+  EXPECT_EQ(seconds_to_ticks(0.0005), 1);
+  EXPECT_EQ(seconds_to_ticks(-0.0004999), 0);
+  EXPECT_EQ(seconds_to_ticks(-0.0005), -1);
+  EXPECT_EQ(seconds_to_ticks(0.0015), 2);
+  EXPECT_EQ(seconds_to_ticks(-0.0015), -2);
+}
+
+TEST(SecondsToTicks, NegativeValuesRoundToNearest) {
+  EXPECT_EQ(seconds_to_ticks(-1.0), -1000);
+  EXPECT_EQ(seconds_to_ticks(-0.0004), 0);
+  EXPECT_EQ(seconds_to_ticks(-0.0006), -1);
+  EXPECT_EQ(seconds_to_ticks(-1.2344), -1234);
+  EXPECT_EQ(seconds_to_ticks(-1.2346), -1235);
+}
+
+TEST(SecondsToTicks, ClampsToMaxTime) {
+  EXPECT_EQ(seconds_to_ticks(1e300), kMaxTime);
+  EXPECT_EQ(seconds_to_ticks(-1e300), -kMaxTime);
+  // Exactly at the clamp edge (kMaxTime ticks expressed in seconds).
+  const double edge = ticks_to_seconds(kMaxTime);
+  EXPECT_EQ(seconds_to_ticks(edge), kMaxTime);
+  EXPECT_EQ(seconds_to_ticks(-edge), -kMaxTime);
+}
+
+TEST(SecondsToTicks, RoundTripsWithTicksToSeconds) {
+  for (Time t : {Time{0}, Time{1}, Time{999}, Time{1000}, Time{123456},
+                 Time{-1}, Time{-999}, Time{-123456}}) {
+    EXPECT_EQ(seconds_to_ticks(ticks_to_seconds(t)), t) << "t=" << t;
+  }
+}
+
+TEST(SecondsToTicks, IsConstexpr) {
+  static_assert(seconds_to_ticks(1.5) == 1500);
+  static_assert(seconds_to_ticks(-0.0005) == -1);
+  static_assert(seconds_to_ticks(1e300) == kMaxTime);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace mrcp

@@ -136,6 +136,11 @@ int run_simulate(const Flags& flags) {
     config.max_solve_retries = static_cast<int>(flags.get_int("max-solve-retries"));
     config.solver_deadline_s = flags.get_double("solver-deadline");
     config.degrade_backpressure = flags.get_bool("degrade-backpressure");
+    if (flags.get_bool("incremental")) {
+      config.replan_scope = ReplanScope::kDirtyOnly;
+    }
+    config.reuse_model_cache = !flags.get_bool("no-model-cache");
+    config.warm_start_previous = !flags.get_bool("no-warm-start");
     metrics = sim::simulate_mrcp(w, config, options);
   } else if (rm == "minedf" || rm == "edf") {
     baseline::MinEdfConfig config;
@@ -244,6 +249,13 @@ int main(int argc, char** argv) {
                   "mrcp: wall-clock watchdog per invocation (s, 0 = auto)")
       .add_bool("degrade-backpressure", true,
                 "mrcp: hold burst arrivals while running degraded")
+      .add_bool("incremental", false,
+                "mrcp: dirty-set incremental rescheduling (persistent model, "
+                "frozen boundary — docs/incremental.md)")
+      .add_bool("no-model-cache", false,
+                "mrcp: incremental without the persistent model/root cache")
+      .add_bool("no-warm-start", false,
+                "mrcp: incremental without previous-plan warm starts")
       .add_bool("stats", false, "simulate: print solver/degradation stats")
       .add_double("mtbf", 0.0, "mean time between failures per resource (s, "
                                "0 = no failures)")
