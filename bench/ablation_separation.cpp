@@ -35,13 +35,13 @@ BatchResult schedule_batch(const Workload& workload, bool use_separation,
   MrcpRm rm(workload.cluster, config);
   // Submit the whole batch at t = 0 and run one invocation (the paper's
   // batch setting for this measurement).
-  for (const Job& job : workload.jobs) rm.submit(job, 0);
+  for (const Job& job : workload.jobs) rm.submit(job, Time{0});
   Stopwatch timer;
-  const Plan& plan = rm.reschedule(0);
+  const Plan& plan = rm.reschedule(Time{0});
   BatchResult result;
   result.solve_seconds = timer.elapsed_seconds();
   // Late jobs = jobs whose last planned task ends after the deadline.
-  std::vector<Time> completion(workload.size(), 0);
+  std::vector<Time> completion(workload.size(), Time{0});
   for (const PlannedTask& pt : plan.tasks) {
     auto& c = completion[static_cast<std::size_t>(pt.job)];
     c = std::max(c, pt.end);
@@ -81,8 +81,8 @@ int main(int argc, char** argv) {
                                rep);
     Workload workload = generate_synthetic_workload(wc);
     for (Job& j : workload.jobs) {
-      j.arrival_time = 0;
-      j.earliest_start = 0;
+      j.arrival_time = Time{0};
+      j.earliest_start = Time{0};
       // Keep the original deadline *spans*.
     }
 

@@ -32,7 +32,7 @@ void BM_ProfileAddRemove(benchmark::State& state) {
   std::vector<std::pair<Time, Time>> intervals;
   intervals.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
-    const Time s = rng.uniform_int(0, 100000);
+    const Time s{rng.uniform_int(0, 100000)};
     intervals.emplace_back(s, rng.uniform_int(1, 500));
   }
   for (auto _ : state) {
@@ -51,15 +51,15 @@ void BM_ProfileEarliestFeasible(benchmark::State& state) {
   RandomStream rng(2, 0);
   Profile p(64);
   for (std::size_t i = 0; i < n; ++i) {
-    const Time est = rng.uniform_int(0, 100000);
-    const Time dur = rng.uniform_int(1, 500);
+    const Time est{rng.uniform_int(0, 100000)};
+    const Time dur{rng.uniform_int(1, 500)};
     const Time start = p.earliest_feasible(est, dur, 1);
     p.add(start, dur, 1);
   }
-  Time query = 0;
+  Time query;
   for (auto _ : state) {
-    query = (query + 7919) % 100000;
-    benchmark::DoNotOptimize(p.earliest_feasible(query, 100, 1));
+    query = (query + Time{7919}) % Time{100000};
+    benchmark::DoNotOptimize(p.earliest_feasible(query, Time{100}, 1));
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
@@ -72,24 +72,24 @@ Model make_model(int jobs, std::uint64_t seed) {
   Model m;
   m.add_resource(100, 100);  // combined: 50 resources x (2, 2)
   for (int j = 0; j < jobs; ++j) {
-    const Time est = rng.uniform_int(0, 1000) * 1000;
-    Time work = 0;
+    const Time est{rng.uniform_int(0, 1000) * 1000};
+    Time work;
     std::vector<Time> maps;
     std::vector<Time> reduces;
     const auto k_m = rng.uniform_int(1, 100);
     const auto k_r = rng.uniform_int(1, 100);
     for (std::int64_t t = 0; t < k_m; ++t) {
-      maps.push_back(rng.uniform_int(1, 50) * 1000);
+      maps.push_back(Time{rng.uniform_int(1, 50) * 1000});
       work += maps.back();
     }
     const Time base = 3 * work / k_r;
     for (std::int64_t t = 0; t < k_r; ++t) {
-      reduces.push_back(base + rng.uniform_int(1, 10) * 1000);
+      reduces.push_back(base + Time{rng.uniform_int(1, 10) * 1000});
     }
-    const Time te = work / 100 + base + 10000;
+    const Time te = work / 100 + base + Time{10000};
     const Time deadline =
-        est + static_cast<Time>(static_cast<double>(te) *
-                                rng.uniform_real(1.0, 5.0));
+        est + Time{static_cast<std::int64_t>(static_cast<double>(te.count()) *
+                                             rng.uniform_real(1.0, 5.0))};
     const CpJobIndex cj = m.add_job(est, deadline, j);
     for (Time d : maps) m.add_task(cj, Phase::kMap, d);
     for (Time d : reduces) m.add_task(cj, Phase::kReduce, d);
@@ -227,34 +227,34 @@ void write_bench_json(const char* path) {
   RandomStream rng(2, 0);
   Profile p(64);
   for (int i = 0; i < kIntervals; ++i) {
-    const Time est = rng.uniform_int(0, 100000);
-    const Time dur = rng.uniform_int(1, 500);
+    const Time est{rng.uniform_int(0, 100000)};
+    const Time dur{rng.uniform_int(1, 500)};
     p.add(p.earliest_feasible(est, dur, 1), dur, 1);
   }
   MapProfileBaseline pmap(64);
   {
     RandomStream rmap(2, 0);
     for (int i = 0; i < kIntervals; ++i) {
-      const Time est = rmap.uniform_int(0, 100000);
-      const Time dur = rmap.uniform_int(1, 500);
+      const Time est{rmap.uniform_int(0, 100000)};
+      const Time dur{rmap.uniform_int(1, 500)};
       pmap.add(pmap.earliest_feasible(est, dur, 1), dur, 1);
     }
   }
-  Time sink = 0;
+  Time sink;
   const double query_s = best_of_seconds(3, [&] {
-    Time q = 0;
+    Time q;
     for (int i = 0; i < kQueries; ++i) {
-      q = (q + 7919) % 100000;
-      sink += p.earliest_feasible(q, 100, 1);
+      q = (q + Time{7919}) % Time{100000};
+      sink += p.earliest_feasible(q, Time{100}, 1);
     }
   });
   // Far fewer queries for the map baseline: each one is a linear scan.
   constexpr int kMapQueries = kQueries / 50;
   const double map_query_s = best_of_seconds(3, [&] {
-    Time q = 0;
+    Time q;
     for (int i = 0; i < kMapQueries; ++i) {
-      q = (q + 7919) % 100000;
-      sink += pmap.earliest_feasible(q, 100, 1);
+      q = (q + Time{7919}) % Time{100000};
+      sink += pmap.earliest_feasible(q, Time{100}, 1);
     }
   });
   const double add_remove_s = best_of_seconds(3, [&] {
@@ -379,7 +379,7 @@ void write_bench_json(const char* path) {
   std::fprintf(f, "  \"solve_threads\": %d,\n", large_hw.threads);
   std::fprintf(f, "  \"solve_speedup\": %.3f,\n",
                large_hw.wall_s > 0 ? large_1t.wall_s / large_hw.wall_s : 0.0);
-  std::fprintf(f, "  \"checksum\": %lld\n", static_cast<long long>(sink));
+  std::fprintf(f, "  \"checksum\": %lld\n", static_cast<long long>(sink.count()));
   std::fprintf(f, "}\n");
   std::fclose(f);
   std::printf("wrote %s\n", path);

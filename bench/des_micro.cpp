@@ -12,7 +12,7 @@ void BM_ScheduleAndRun(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   RandomStream rng(1, 0);
   std::vector<Time> times(n);
-  for (auto& t : times) t = rng.uniform_int(0, 1000000);
+  for (auto& t : times) t = Time{rng.uniform_int(0, 1000000)};
   for (auto _ : state) {
     Simulation sim;
     std::uint64_t fired = 0;
@@ -39,7 +39,7 @@ void BM_CancelHeavy(benchmark::State& state) {
     std::uint64_t fired = 0;
     for (std::size_t i = 0; i < n; ++i) {
       handles.push_back(
-          sim.schedule_at(rng.uniform_int(0, 1000000), [&fired] { ++fired; }));
+          sim.schedule_at(Time{rng.uniform_int(0, 1000000)}, [&fired] { ++fired; }));
     }
     for (std::size_t i = 0; i < n; ++i) {
       if (i % 10 != 0) sim.cancel(handles[i]);
@@ -60,9 +60,9 @@ void BM_NestedScheduling(benchmark::State& state) {
     Simulation sim;
     std::uint64_t count = 0;
     std::function<void()> chain = [&] {
-      if (++count < depth) sim.schedule_after(1, chain);
+      if (++count < depth) sim.schedule_after(Time{1}, chain);
     };
-    sim.schedule_at(0, chain);
+    sim.schedule_at(Time{0}, chain);
     sim.run();
     benchmark::DoNotOptimize(count);
   }

@@ -41,18 +41,18 @@ using namespace mrcp;
 
 namespace {
 
-constexpr Time kEarliestStart = 1'000'000;  // far future: nothing starts
-constexpr Time kEpochStep = 1'000;
+constexpr Time kEarliestStart = Time{1'000'000};  // far future: nothing starts
+constexpr Time kEpochStep = Time{1'000};
 
 Job make_bench_job(JobId id) {
   Job j;
   j.id = id;
-  j.arrival_time = 0;
+  j.arrival_time = Time{0};
   j.earliest_start = kEarliestStart;
-  j.deadline = kEarliestStart + 10'000'000;  // loose: lateness never binds
-  j.map_tasks.push_back(Task{TaskType::kMap, 800, 1});
-  j.map_tasks.push_back(Task{TaskType::kMap, 1200, 1});
-  j.reduce_tasks.push_back(Task{TaskType::kReduce, 1000, 1});
+  j.deadline = kEarliestStart + Time{10'000'000};  // loose: lateness never binds
+  j.map_tasks.push_back(Task{TaskType::kMap, Time{800}, 1});
+  j.map_tasks.push_back(Task{TaskType::kMap, Time{1200}, 1});
+  j.reduce_tasks.push_back(Task{TaskType::kReduce, Time{1000}, 1});
   return j;
 }
 
@@ -74,8 +74,8 @@ MrcpRm make_rm(int resources, int jobs, ReplanScope scope, bool separation,
   config.defer_future_jobs = false;  // far-future jobs must stay live
   config.solve = bench_solve_params();
   MrcpRm rm(Cluster::homogeneous(resources, 4, 4), config);
-  for (JobId id = 0; id < jobs; ++id) rm.submit(make_bench_job(id), 0);
-  *t = 0;
+  for (JobId id = 0; id < jobs; ++id) rm.submit(make_bench_job(id), Time{0});
+  *t = Time{0};
   rm.reschedule(*t);
   return rm;
 }
@@ -122,7 +122,7 @@ int main(int argc, char** argv) {
   double full_combined_s = 0.0;
   double full_direct_s = 0.0;
   for (const bool separation : {true, false}) {
-    Time t = 0;
+    Time t;
     MrcpRm rm = make_rm(resources, jobs, ReplanScope::kAllUnstarted,
                         separation, &t);
     double total = 0.0;
@@ -140,7 +140,7 @@ int main(int argc, char** argv) {
               jobs * 3, full_combined_s, full_direct_s);
 
   // ---- Incremental (kDirtyOnly) ----
-  Time t = 0;
+  Time t;
   Stopwatch init_sw;
   MrcpRm rm = make_rm(resources, jobs, ReplanScope::kDirtyOnly,
                       /*separation=*/false, &t);

@@ -44,16 +44,16 @@ void print_plan(const char* label, const Plan& plan) {
 int main() {
   MrcpConfig config;
   config.defer_future_jobs = true;
-  config.deferral_window = 120 * kTicksPerSecond;  // wake 2 min before s_j
+  config.deferral_window = Time{120} * kTicksPerSecond;  // wake 2 min before s_j
 
   MrcpRm rm(Cluster::homogeneous(2, 2, 1), config);
 
   // An on-demand job (s_j = arrival) and two reservations for later.
-  rm.submit(make_ar_job(0, 0, 0, 600, 3, 60), 0);
-  rm.submit(make_ar_job(1, 0, 300, 1200, 2, 90), 0);    // reserved at t=300s
-  rm.submit(make_ar_job(2, 0, 4000, 6000, 4, 120), 0);  // far future
+  rm.submit(make_ar_job(0, Time{0}, Time{0}, Time{600}, 3, Time{60}), Time{0});
+  rm.submit(make_ar_job(1, Time{0}, Time{300}, Time{1200}, 2, Time{90}), Time{0});    // reserved at t=300s
+  rm.submit(make_ar_job(2, Time{0}, Time{4000}, Time{6000}, 4, Time{120}), Time{0});  // far future
 
-  const Plan& p0 = rm.reschedule(0);
+  const Plan& p0 = rm.reschedule(Time{0});
   print_plan("t=0: jobs 1 and 2 deferred (releases at s_j - window):", p0);
   std::printf("next deferral release: %.0f s\n\n",
               ticks_to_seconds(rm.next_deferred_release()));
@@ -63,12 +63,12 @@ int main() {
   const Plan& p_mid = rm.reschedule(rm.next_deferred_release());
   print_plan("t=180 s: job 1 released, scheduled at its s_j = 300 s:", p_mid);
 
-  const Plan& p1 = rm.reschedule(3880 * kTicksPerSecond);
+  const Plan& p1 = rm.reschedule(Time{3880} * kTicksPerSecond);
   print_plan("t=3880 s: job 2 released, scheduled at its s_j = 4000 s:", p1);
 
   // Every job-2 task must start at or after its reservation time.
   for (const PlannedTask& pt : p1.tasks) {
-    if (pt.job == 2 && pt.start < 4000 * kTicksPerSecond) {
+    if (pt.job == 2 && pt.start < Time{4000} * kTicksPerSecond) {
       std::printf("ERROR: task scheduled before its reservation!\n");
       return 1;
     }

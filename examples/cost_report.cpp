@@ -76,13 +76,13 @@ int main(int argc, char** argv) {
   MrcpRm rm(w.cluster, rm_cfg);
   for (std::size_t i = 0; i < std::min<std::size_t>(3, w.size()); ++i) {
     Job j = w.jobs[i];
-    j.arrival_time = 0;
-    j.earliest_start = 0;
-    rm.submit(j, 0);
+    j.arrival_time = Time{0};
+    j.earliest_start = Time{0};
+    rm.submit(j, Time{0});
   }
   sim::GanttOptions gopts;
   gopts.width = 64;
   std::printf("\nfirst-plan Gantt (3 jobs):\n%s",
-              sim::render_gantt(rm.reschedule(0), w.cluster, gopts).c_str());
+              sim::render_gantt(rm.reschedule(Time{0}), w.cluster, gopts).c_str());
   return 0;
 }

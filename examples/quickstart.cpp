@@ -22,7 +22,7 @@ Job make_job(JobId id, Time earliest_start, Time deadline,
              std::initializer_list<Time> reduce_secs) {
   Job j;
   j.id = id;
-  j.arrival_time = 0;
+  j.arrival_time = Time{0};
   j.earliest_start = earliest_start;
   j.deadline = deadline;
   for (Time s : map_secs) {
@@ -49,14 +49,14 @@ int main() {
   MrcpRm rm(cluster, config);
 
   // Three jobs with SLAs. Job 20 is an advance reservation (s_j = 60 s).
-  rm.submit(make_job(10, 0, 200 * kTicksPerSecond, {30, 30, 20}, {40}), 0);
-  rm.submit(make_job(11, 0, 90 * kTicksPerSecond, {25, 25}, {15}), 0);
-  rm.submit(make_job(20, 60 * kTicksPerSecond, 400 * kTicksPerSecond,
-                     {50, 50, 50, 50}, {60, 60}),
-            0);
+  rm.submit(make_job(10, Time{0}, Time{200} * kTicksPerSecond, {Time{30}, Time{30}, Time{20}}, {Time{40}}), Time{0});
+  rm.submit(make_job(11, Time{0}, Time{90} * kTicksPerSecond, {Time{25}, Time{25}}, {Time{15}}), Time{0});
+  rm.submit(make_job(20, Time{60} * kTicksPerSecond, Time{400} * kTicksPerSecond,
+                     {Time{50}, Time{50}, Time{50}, Time{50}}, {Time{60}, Time{60}}),
+            Time{0});
 
   // Run the Table 2 matchmaking-and-scheduling algorithm at t = 0.
-  const Plan& plan = rm.reschedule(0);
+  const Plan& plan = rm.reschedule(Time{0});
 
   Table table({"job", "task", "type", "resource", "start(s)", "end(s)"});
   for (const PlannedTask& pt : plan.tasks) {

@@ -24,9 +24,9 @@ Job make_pipeline(JobId id, Time start_s, Time deadline_s, int width,
                   Time ingest_s, Time transform_s, Time aggregate_s) {
   Job j;
   j.id = id;
-  j.arrival_time = 0;
-  j.earliest_start = start_s * kTicksPerSecond;
-  j.deadline = deadline_s * kTicksPerSecond;
+  j.arrival_time = Time{0};
+  j.earliest_start = Time{start_s} * kTicksPerSecond;
+  j.deadline = Time{deadline_s} * kTicksPerSecond;
   for (int lane = 0; lane < width; ++lane) {
     j.map_tasks.push_back(Task{TaskType::kMap, ingest_s * kTicksPerSecond, 1});
   }
@@ -49,10 +49,10 @@ int main() {
   config.validate_plans = true;  // belt-and-braces for the demo
   MrcpRm rm(Cluster::homogeneous(4, 2, 1), config);
 
-  rm.submit(make_pipeline(0, 0, 400, /*width=*/3, 40, 60, 50), 0);
-  rm.submit(make_pipeline(1, 0, 600, /*width=*/2, 80, 30, 40), 0);
+  rm.submit(make_pipeline(0, Time{0}, Time{400}, /*width=*/3, Time{40}, Time{60}, Time{50}), Time{0});
+  rm.submit(make_pipeline(1, Time{0}, Time{600}, /*width=*/2, Time{80}, Time{30}, Time{40}), Time{0});
 
-  const Plan& plan = rm.reschedule(0);
+  const Plan& plan = rm.reschedule(Time{0});
 
   Table table({"job", "task", "stage", "resource", "start(s)", "end(s)"});
   for (const PlannedTask& pt : plan.tasks) {

@@ -19,16 +19,16 @@ Time completion_upper_bound(const std::vector<Time>& durations, int slots) {
 
 Time aria_completion_estimate(const PhaseStats& stats, int slots,
                               AriaBound bound) {
-  if (stats.empty()) return 0;
+  if (stats.empty()) return Time{0};
   MRCP_CHECK(slots >= 1);
   if (bound == AriaBound::kUpper) {
     // Graham bound: ceil((sum - max) / slots) + max.
-    return (stats.sum - stats.max + slots - 1) / slots + stats.max;
+    return ceil_div(stats.sum - stats.max, slots) + stats.max;
   }
-  const Time avg = (stats.sum + stats.count - 1) / stats.count;
+  const Time avg = ceil_div(stats.sum, stats.count);
   // T_low = N*avg/n_slots, T_up = (N-1)*avg/n_slots + max (Verma et al.).
-  const Time t_low = (stats.sum + slots - 1) / slots;
-  const Time t_up = ((stats.count - 1) * avg + slots - 1) / slots + stats.max;
+  const Time t_low = ceil_div(stats.sum, slots);
+  const Time t_up = ceil_div((stats.count - 1) * avg, slots) + stats.max;
   return (t_low + t_up) / 2;
 }
 
@@ -47,13 +47,13 @@ int min_slots_for_estimate(const PhaseStats& stats, Time budget, int max_slots,
                            AriaBound bound) {
   if (stats.empty()) return 0;
   MRCP_CHECK(max_slots >= 1);
-  if (budget <= 0) return 0;
+  if (budget <= Time{0}) return 0;
   if (bound == AriaBound::kUpper) {
     if (budget < stats.max) return 0;  // unbeatable even with infinite slots
     if (budget >= stats.sum) return 1;
     const Time slack = budget - stats.max;
-    if (slack <= 0) return 0;
-    int n = static_cast<int>((stats.sum - stats.max + slack - 1) / slack);
+    if (slack <= Time{0}) return 0;
+    int n = static_cast<int>((stats.sum - stats.max + slack - Time{1}) / slack);
     n = std::max(n, 1);
     while (n <= max_slots &&
            aria_completion_estimate(stats, n, bound) > budget) {
@@ -94,7 +94,7 @@ SlotProfile minimal_slot_profile(const PhaseStats& map_stats,
   best.feasible = false;
 
   const Time budget = deadline - now;
-  if (budget <= 0) return best;
+  if (budget <= Time{0}) return best;
 
   if (map_stats.empty()) {
     const int nr =
@@ -122,7 +122,7 @@ SlotProfile minimal_slot_profile(const PhaseStats& map_stats,
   for (int nm = 1; nm <= max_map_slots; ++nm) {
     const Time t_map = aria_completion_estimate(map_stats, nm, bound);
     const Time residual = budget - t_map;
-    if (residual <= 0) continue;
+    if (residual <= Time{0}) continue;
     const int nr =
         min_slots_for_estimate(reduce_stats, residual, max_reduce_slots, bound);
     if (nr == 0) continue;

@@ -51,8 +51,8 @@ enum class AriaBound {
 /// can maintain these incrementally instead of materializing duration
 /// vectors on every dispatch.
 struct PhaseStats {
-  Time sum = 0;
-  Time max = 0;
+  Time sum;
+  Time max;
   std::int64_t count = 0;
 
   bool empty() const { return count == 0; }

@@ -27,8 +27,8 @@ void build_queue(MinEdfWcScheduler::PhaseQueue& queue, const Job& job,
              job.task(static_cast<std::size_t>(b)).exec_time;
     });
   }
-  queue.suffix_sum.assign(count + 1, 0);
-  queue.suffix_max.assign(count + 1, 0);
+  queue.suffix_sum.assign(count + 1, Time{0});
+  queue.suffix_max.assign(count + 1, Time{0});
   for (std::size_t i = count; i > 0; --i) {
     const Time d =
         job.task(static_cast<std::size_t>(queue.order[i - 1])).exec_time;

@@ -1,0 +1,74 @@
+// Annotated synchronization primitives.
+//
+// Thin wrappers over the std primitives that carry the Clang Thread
+// Safety capability attributes (src/common/annotations.h). libstdc++'s
+// std::mutex has no such attributes, so code locking it directly is
+// invisible to -Wthread-safety; routing every lock through mrcp::Mutex
+// and mrcp::MutexLock makes the whole lock discipline checkable at
+// compile time. Off clang the attributes vanish and these are
+// zero-overhead forwarders.
+//
+// CondVar wraps std::condition_variable_any so it can block on the
+// annotated Mutex directly (wait() unlocks/relocks the capability the
+// caller already holds — annotated MRCP_REQUIRES). Prefer the explicit
+//     MutexLock lock(mu_);
+//     while (!condition) cv_.wait(mu_);
+// loop over a predicate lambda: the analysis checks the condition
+// expression against the held lock set in place, whereas a lambda body
+// is analyzed as a separate unlocked function and would need an escape
+// hatch.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "common/annotations.h"
+
+namespace mrcp {
+
+/// Standard exclusive mutex, annotated as a thread-safety capability.
+class MRCP_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() MRCP_ACQUIRE() { mu_.lock(); }
+  void unlock() MRCP_RELEASE() { mu_.unlock(); }
+  bool try_lock() MRCP_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII scoped lock over Mutex (std::lock_guard shape, annotated).
+class MRCP_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) MRCP_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() MRCP_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable that blocks on an annotated Mutex. wait() must be
+/// called with the mutex held (it unlocks while blocked and relocks
+/// before returning, like std::condition_variable::wait).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void wait(Mutex& mu) MRCP_REQUIRES(mu) { cv_.wait(mu); }
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace mrcp

@@ -20,7 +20,7 @@ ThreadPool::ThreadPool(int num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
   work_cv_.notify_all();
@@ -29,7 +29,7 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     queue_.push_back(std::move(task));
     ++unfinished_;
   }
@@ -37,8 +37,8 @@ void ThreadPool::submit(std::function<void()> task) {
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_cv_.wait(lock, [this] { return unfinished_ == 0; });
+  MutexLock lock(mu_);
+  while (unfinished_ != 0) idle_cv_.wait(mu_);
 }
 
 void ThreadPool::run_indexed(std::size_t n,
@@ -48,18 +48,20 @@ void ThreadPool::run_indexed(std::size_t n,
   batch.fn = &fn;
   batch.n = n;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     batch_ = &batch;
   }
   work_cv_.notify_all();
   // Wait until every call has returned AND no worker still holds a
   // pointer to the stack-owned batch (active_workers == 0) — only then is
   // it safe to let `batch` go out of scope.
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_cv_.wait(lock, [&] {
-    return batch.done == batch.n && batch.active_workers == 0;
-  });
-  batch_ = nullptr;
+  {
+    MutexLock lock(mu_);
+    while (!(batch.done == batch.n && batch.active_workers == 0)) {
+      idle_cv_.wait(mu_);
+    }
+    batch_ = nullptr;
+  }
 }
 
 int ThreadPool::current_worker_id() { return tl_worker_id; }
@@ -70,12 +72,12 @@ void ThreadPool::worker_loop(int worker_id) {
     std::function<void()> task;
     Batch* batch = nullptr;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [this] {
-        return stop_ || !queue_.empty() ||
+      MutexLock lock(mu_);
+      while (!(stop_ || !queue_.empty() ||
                (batch_ != nullptr &&
-                batch_->next.load(std::memory_order_relaxed) < batch_->n);
-      });
+                batch_->next.load(std::memory_order_relaxed) < batch_->n))) {
+        work_cv_.wait(mu_);
+      }
       if (batch_ != nullptr &&
           batch_->next.load(std::memory_order_relaxed) < batch_->n) {
         batch = batch_;
@@ -95,7 +97,7 @@ void ThreadPool::worker_loop(int worker_id) {
         (*batch->fn)(i);
         ++ran;
       }
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       batch->done += ran;
       --batch->active_workers;
       if (batch->done == batch->n && batch->active_workers == 0) {
@@ -105,7 +107,7 @@ void ThreadPool::worker_loop(int worker_id) {
     }
     task();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (--unfinished_ == 0) idle_cv_.notify_all();
     }
   }

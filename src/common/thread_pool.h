@@ -20,13 +20,14 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/annotations.h"
+#include "common/mutex.h"
 
 namespace mrcp {
 
@@ -42,10 +43,10 @@ class ThreadPool {
   int num_threads() const { return static_cast<int>(workers_.size()); }
 
   /// Enqueue a task. Tasks must not throw.
-  void submit(std::function<void()> task);
+  void submit(std::function<void()> task) MRCP_EXCLUDES(mu_);
 
   /// Block until every task submitted so far has finished executing.
-  void wait_idle();
+  void wait_idle() MRCP_EXCLUDES(mu_);
 
   /// Run fn(0), fn(1), ..., fn(n-1) across the workers as a single
   /// batched submission and block until all calls have returned. Calls
@@ -55,7 +56,8 @@ class ThreadPool {
   /// submit()+wait_idle(). fn must not throw. Only one batch may be
   /// active at a time (the blocking call enforces this for a single
   /// caller thread; concurrent callers must serialize externally).
-  void run_indexed(std::size_t n, const std::function<void(std::size_t)>& fn);
+  void run_indexed(std::size_t n, const std::function<void(std::size_t)>& fn)
+      MRCP_EXCLUDES(mu_);
 
   /// Index of the calling pool worker in [0, num_threads()), or -1 when
   /// called from a thread that is not a worker of any ThreadPool. Workers
@@ -69,8 +71,11 @@ class ThreadPool {
 
  private:
   /// State of one run_indexed() call, stack-owned by the caller. Workers
-  /// claim indices via `next`; `done`/`active_workers` (guarded by mu_)
-  /// let the caller wait until no worker can still touch this object.
+  /// claim indices via `next`; `done`/`active_workers` let the caller
+  /// wait until no worker can still touch this object. Both are guarded
+  /// by the owning pool's mu_ — inexpressible as a GUARDED_BY here
+  /// (nested struct, capability lives in the enclosing pool), so the
+  /// discipline is enforced at the ThreadPool::batch_ access sites.
   struct Batch {
     const std::function<void(std::size_t)>* fn = nullptr;
     std::size_t n = 0;
@@ -79,16 +84,19 @@ class ThreadPool {
     int active_workers = 0;          ///< workers inside the batch (guarded by mu_)
   };
 
-  void worker_loop(int worker_id);
+  void worker_loop(int worker_id) MRCP_EXCLUDES(mu_);
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
-  Batch* batch_ = nullptr;  ///< active run_indexed batch (guarded by mu_)
-  std::mutex mu_;
-  std::condition_variable work_cv_;
-  std::condition_variable idle_cv_;
-  std::size_t unfinished_ = 0;  ///< queued + currently running tasks
-  bool stop_ = false;
+  std::deque<std::function<void()>> queue_ MRCP_GUARDED_BY(mu_);
+  /// Active run_indexed batch. The pointer itself and the pointee's
+  /// done/active_workers fields are all protected by mu_ (`next` is
+  /// atomic and claimed lock-free).
+  Batch* batch_ MRCP_GUARDED_BY(mu_) = nullptr;
+  Mutex mu_;
+  CondVar work_cv_;
+  CondVar idle_cv_;
+  std::size_t unfinished_ MRCP_GUARDED_BY(mu_) = 0;  ///< queued + running tasks
+  bool stop_ MRCP_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace mrcp

@@ -7,26 +7,99 @@
 // seconds; using ms ticks represents both exactly and keeps the CP engine's
 // domains integral (the paper's CP Optimizer likewise works on discrete
 // interval variables without enumerating time).
+//
+// `Ticks` is a strong type, not an integer alias. The PR-6 class of bug —
+// a raw count in the wrong unit flowing silently into tick arithmetic —
+// is a compile error now: ticks add and subtract with ticks, scale by a
+// dimensionless integer, and divide by ticks to yield a dimensionless
+// ratio, but ticks*ticks does not exist (the unit ticks^2 is always a
+// mistake) and seconds cross the boundary only through seconds_to_ticks /
+// ticks_to_seconds. Construction from a raw count is explicit
+// (`Time{250}`), so every unit entry point is visible to review and to
+// the mrcp-lint raw-time-literal rule (docs/static_analysis.md).
 #pragma once
 
 #include <cstdint>
 #include <limits>
+#include <ostream>
 
 namespace mrcp {
 
-/// Time in integer ticks (1 tick = 1 ms).
-using Time = std::int64_t;
+/// Time in integer ticks (1 tick = 1 ms). Wrapper over int64 with
+/// dimension-checked arithmetic; see the header comment.
+class Ticks {
+ public:
+  constexpr Ticks() = default;
+  constexpr explicit Ticks(std::int64_t count) : count_(count) {}
+
+  /// Raw tick count. The escape hatch into integer space — use it for
+  /// hashing/serialization, not to smuggle arithmetic past the type.
+  constexpr std::int64_t count() const { return count_; }
+
+  constexpr Ticks& operator+=(Ticks o) {
+    count_ += o.count_;
+    return *this;
+  }
+  constexpr Ticks& operator-=(Ticks o) {
+    count_ -= o.count_;
+    return *this;
+  }
+
+  friend constexpr Ticks operator+(Ticks a, Ticks b) {
+    return Ticks{a.count_ + b.count_};
+  }
+  friend constexpr Ticks operator-(Ticks a, Ticks b) {
+    return Ticks{a.count_ - b.count_};
+  }
+  constexpr Ticks operator-() const { return Ticks{-count_}; }
+
+  // Scaling by a dimensionless integer. Ticks*Ticks is deliberately not
+  // provided; neither is any double overload (go through ticks_to_seconds).
+  friend constexpr Ticks operator*(Ticks a, std::int64_t k) {
+    return Ticks{a.count_ * k};
+  }
+  friend constexpr Ticks operator*(std::int64_t k, Ticks a) {
+    return Ticks{k * a.count_};
+  }
+  friend constexpr Ticks operator/(Ticks a, std::int64_t k) {
+    return Ticks{a.count_ / k};
+  }
+  /// ticks / ticks is a dimensionless ratio (truncating).
+  friend constexpr std::int64_t operator/(Ticks a, Ticks b) {
+    return a.count_ / b.count_;
+  }
+  friend constexpr Ticks operator%(Ticks a, Ticks b) {
+    return Ticks{a.count_ % b.count_};
+  }
+
+  friend constexpr bool operator==(Ticks a, Ticks b) = default;
+  friend constexpr auto operator<=>(Ticks a, Ticks b) = default;
+
+  /// Streams the raw count (what an int64 Time printed before).
+  friend std::ostream& operator<<(std::ostream& os, Ticks t) {
+    return os << t.count_;
+  }
+
+ private:
+  std::int64_t count_ = 0;
+};
+
+using Time = Ticks;
 
 /// Number of ticks per second; used when converting Table 3 parameters
 /// (given in seconds) into tick space.
-inline constexpr Time kTicksPerSecond = 1000;
+inline constexpr std::int64_t kTicksPerSecond = 1000;
 
 /// Sentinel for "no time" / unset.
-inline constexpr Time kNoTime = std::numeric_limits<Time>::min();
+inline constexpr Time kNoTime{std::numeric_limits<std::int64_t>::min()};
 
 /// Largest representable schedule horizon. Domains of CP start-time
 /// variables are clamped to [0, kMaxTime].
-inline constexpr Time kMaxTime = std::numeric_limits<Time>::max() / 4;
+inline constexpr Time kMaxTime{std::numeric_limits<std::int64_t>::max() / 4};
+
+/// Zero ticks; the natural origin/accumulator seed (`Time{}` works too,
+/// a named constant reads better in comparisons).
+inline constexpr Time kTimeZero{0};
 
 /// Convert seconds (double) to ticks, rounding to nearest with halves
 /// away from zero (std::llround semantics, usable in constexpr context).
@@ -36,15 +109,28 @@ inline constexpr Time kMaxTime = std::numeric_limits<Time>::max() / 4;
 /// double cannot overflow the Time domain.
 constexpr Time seconds_to_ticks(double seconds) {
   const double scaled = seconds * static_cast<double>(kTicksPerSecond);
-  if (scaled >= static_cast<double>(kMaxTime)) return kMaxTime;
-  if (scaled <= -static_cast<double>(kMaxTime)) return -kMaxTime;
-  return scaled >= 0.0 ? static_cast<Time>(scaled + 0.5)
-                       : static_cast<Time>(scaled - 0.5);
+  if (scaled >= static_cast<double>(kMaxTime.count())) return kMaxTime;
+  if (scaled <= -static_cast<double>(kMaxTime.count())) return -kMaxTime;
+  return scaled >= 0.0 ? Time{static_cast<std::int64_t>(scaled + 0.5)}
+                       : Time{static_cast<std::int64_t>(scaled - 0.5)};
+}
+
+/// Convert a whole number of seconds to ticks, exactly.
+constexpr Time seconds_to_ticks(std::int64_t seconds) {
+  return Time{seconds * kTicksPerSecond};
+}
+
+/// Ceiling division of a non-negative tick quantity by a positive
+/// dimensionless count (e.g. total work spread over k slots). Lives here
+/// because the epsilon term needs the raw count — call sites stay free
+/// of unit-escaping arithmetic.
+constexpr Ticks ceil_div(Ticks t, std::int64_t k) {
+  return Ticks{(t.count() + k - 1) / k};
 }
 
 /// Convert ticks to seconds.
 constexpr double ticks_to_seconds(Time t) {
-  return static_cast<double>(t) / static_cast<double>(kTicksPerSecond);
+  return static_cast<double>(t.count()) / static_cast<double>(kTicksPerSecond);
 }
 
 /// Identifier types. 32-bit indices are ample (workloads are <10^6 jobs).

@@ -31,8 +31,8 @@ struct CostRates {
 struct BusyInterval {
   ResourceId resource = kNoResource;
   TaskType type = TaskType::kMap;
-  Time start = 0;
-  Time end = 0;
+  Time start;
+  Time end;
 };
 
 struct CostBreakdown {

@@ -34,7 +34,7 @@ const char* invocation_outcome_name(InvocationOutcome outcome);
 
 struct InvocationRecord {
   std::uint64_t epoch = 0;  ///< plan epoch this invocation published
-  Time sim_time = 0;
+  Time sim_time;
   int attempts = 0;  ///< cp::solve calls made (0 = none ran)
   cp::SolveStatus last_status = cp::SolveStatus::kFeasible;  ///< of last attempt
   InvocationOutcome outcome = InvocationOutcome::kIdle;

@@ -180,7 +180,7 @@ cp::Solution fallback_schedule(const cp::Model& model) {
   sol.placements.assign(model.num_tasks(), TaskPlacement{});
 
   Timetables tables(model);
-  std::vector<Time> fixed_map_end(model.num_jobs(), 0);
+  std::vector<Time> fixed_map_end(model.num_jobs(), Time{0});
   for (std::size_t ji = 0; ji < model.num_jobs(); ++ji) {
     fixed_map_end[ji] = model.job(static_cast<CpJobIndex>(ji)).earliest_start;
   }

@@ -11,14 +11,14 @@ namespace {
 
 struct Slot {
   ResourceId resource;
-  Time last_end = 0;
+  Time last_end;
 };
 
 std::vector<Slot> make_slots(const Cluster& cluster, TaskType type) {
   std::vector<Slot> slots;
   for (const Resource& r : cluster.resources()) {
     const int cap = r.capacity(type);
-    for (int s = 0; s < cap; ++s) slots.push_back(Slot{r.id, 0});
+    for (int s = 0; s < cap; ++s) slots.push_back(Slot{r.id, Time{0}});
   }
   return slots;
 }

@@ -33,8 +33,8 @@ namespace mrcp {
 /// One scheduled interval to be matchmade.
 struct MatchItem {
   TaskType type = TaskType::kMap;
-  Time start = 0;
-  Time end = 0;
+  Time start;
+  Time end;
   bool pinned = false;               ///< already running on `pinned_resource`
   ResourceId pinned_resource = kNoResource;
 };

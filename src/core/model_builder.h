@@ -25,7 +25,7 @@ namespace mrcp {
 struct LiveTask {
   int task_index = -1;  ///< flat index within the job
   TaskType type = TaskType::kMap;
-  Time exec_time = 0;
+  Time exec_time;
   int res_req = 1;
   int net_demand = 0;
   bool started = false;          ///< running now: pinned in the model
@@ -37,8 +37,8 @@ struct LiveTask {
 struct LiveJob {
   JobId id = kNoJob;
   /// s_j clamped to the invocation time (paper Table 2 lines 1-4).
-  Time effective_earliest_start = 0;
-  Time deadline = 0;
+  Time effective_earliest_start;
+  Time deadline;
   std::vector<LiveTask> tasks;  ///< completed tasks are omitted
   /// User precedences between *live* tasks, as flat indices (edges whose
   /// predecessor already completed are satisfied and must be filtered

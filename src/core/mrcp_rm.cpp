@@ -87,7 +87,7 @@ void MrcpRm::submit(const Job& job, Time now) {
   if (config_.degrade_backpressure && degraded_streak_ > 0) {
     const Time hold =
         config_.backpressure_hold *
-        static_cast<Time>(std::min<std::uint64_t>(degraded_streak_, 8));
+        static_cast<std::int64_t>(std::min<std::uint64_t>(degraded_streak_, 8));
     deferred_.emplace(now + hold, job);
     ++stats_.jobs_backpressured;
     return;
@@ -134,7 +134,7 @@ void MrcpRm::sweep_completed(Time now) {
   for (auto it = active_.begin(); it != active_.end();) {
     JobState& st = it->second;
     bool all_done = true;
-    Time completion = 0;
+    Time completion;
     for (std::size_t ti = 0; ti < st.completed.size(); ++ti) {
       if (st.completed[ti]) {
         completion = std::max(completion, st.assignments[ti].end);
@@ -344,18 +344,18 @@ std::uint64_t live_fingerprint(const Cluster& cluster,
   h = fp_mix(h, live.size());
   for (const LiveJob& lj : live) {
     h = fp_mix(h, static_cast<std::uint64_t>(lj.id));
-    h = fp_mix(h, static_cast<std::uint64_t>(lj.effective_earliest_start));
-    h = fp_mix(h, static_cast<std::uint64_t>(lj.deadline));
+    h = fp_mix(h, static_cast<std::uint64_t>(lj.effective_earliest_start.count()));
+    h = fp_mix(h, static_cast<std::uint64_t>(lj.deadline.count()));
     h = fp_mix(h, lj.tasks.size());
     for (const LiveTask& lt : lj.tasks) {
       h = fp_mix(h, static_cast<std::uint64_t>(lt.task_index));
       h = fp_mix(h, static_cast<std::uint64_t>(lt.type));
-      h = fp_mix(h, static_cast<std::uint64_t>(lt.exec_time));
+      h = fp_mix(h, static_cast<std::uint64_t>(lt.exec_time.count()));
       h = fp_mix(h, static_cast<std::uint64_t>(lt.res_req));
       h = fp_mix(h, static_cast<std::uint64_t>(lt.net_demand));
       h = fp_mix(h, static_cast<std::uint64_t>(lt.started));
       h = fp_mix(h, static_cast<std::uint64_t>(lt.resource));
-      h = fp_mix(h, static_cast<std::uint64_t>(lt.start));
+      h = fp_mix(h, static_cast<std::uint64_t>(lt.start.count()));
     }
     h = fp_mix(h, lj.precedences.size());
     for (const auto& [before, after] : lj.precedences) {

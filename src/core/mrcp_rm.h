@@ -74,7 +74,7 @@ struct MrcpConfig {
   /// §V.E: defer jobs with far-future earliest start times.
   bool defer_future_jobs = true;
   /// A deferred job enters scheduling at s_j - deferral_window.
-  Time deferral_window = 0;
+  Time deferral_window;
 
   /// CP solver budgets (per invocation). `solve.num_threads` selects the
   /// solver's parallel portfolio/LNS worker count; results for a fixed
@@ -107,13 +107,13 @@ struct MrcpConfig {
   /// streak) so a burst amortizes into one recovery solve instead of
   /// thrashing a full re-solve per arrival.
   bool degrade_backpressure = true;
-  /// Base hold per degraded-streak step, in ticks; the applied hold is
+  /// Base hold per degraded-streak step (10 s); the applied hold is
   /// min(streak, 8) * this.
-  Time backpressure_hold = 10'000;
-  /// A parked (currently unplaceable) job is retried this many ticks
-  /// later via next_deferred_release(), in addition to the reschedule
-  /// every repair event triggers anyway.
-  Time park_retry_delay = 5'000;
+  Time backpressure_hold = seconds_to_ticks(std::int64_t{10});
+  /// A parked (currently unplaceable) job is retried 5 s later via
+  /// next_deferred_release(), in addition to the reschedule every repair
+  /// event triggers anyway.
+  Time park_retry_delay = seconds_to_ticks(std::int64_t{5});
 
   // ---- Incremental mode (ReplanScope::kDirtyOnly; docs/incremental.md) ----
 

@@ -32,7 +32,7 @@ struct Plan {
   /// Monotonically increasing per-RM; the simulator uses it to discard
   /// start events that belong to superseded plans.
   std::uint64_t epoch = 0;
-  Time planned_at = 0;
+  Time planned_at;
   std::vector<PlannedTask> tasks;
   /// Live (non-completed) tasks deliberately absent from `tasks`: the
   /// unstarted work of parked jobs that no currently-up resource can

@@ -12,7 +12,7 @@ namespace mrcp::cp::audit {
 // ---------------------------------------------------------------------------
 
 void ReferenceProfile::add(Time start, Time duration, int demand) {
-  MRCP_CHECK(duration >= 1);
+  MRCP_CHECK(duration >= Time{1});
   MRCP_CHECK(demand >= 1);
   intervals_.push_back(Interval{start, duration, demand});
 }
@@ -101,7 +101,7 @@ std::string mismatch(const char* what, Time t, long long fast_value,
 std::string check_profile_against_reference(const Profile& fast,
                                             const ReferenceProfile& ref) {
   if (fast.capacity() != ref.capacity()) {
-    return mismatch("capacity", 0, fast.capacity(), ref.capacity());
+    return mismatch("capacity", Time{0}, fast.capacity(), ref.capacity());
   }
   // Walk the union of both change-point sets (a level the fast profile
   // dropped shows up at a reference point, and vice versa), comparing
@@ -117,13 +117,13 @@ std::string check_profile_against_reference(const Profile& fast,
       return mismatch("usage", p, fast.usage_at(p), ref.usage_at(p));
     }
     if (p > std::numeric_limits<Time>::min() &&
-        fast.usage_at(p - 1) != ref.usage_at(p - 1)) {
-      return mismatch("usage", p - 1, fast.usage_at(p - 1), ref.usage_at(p - 1));
+        fast.usage_at(p - Time{1}) != ref.usage_at(p - Time{1})) {
+      return mismatch("usage", p - Time{1}, fast.usage_at(p - Time{1}), ref.usage_at(p - Time{1}));
     }
   }
   // After the last fast event the level must be zero and stay zero — a
   // reference interval extending past it would make ref non-zero there.
-  const Time horizon = points.empty() ? 0 : points.back();
+  const Time horizon = points.empty() ? Time{0} : points.back();
   if (fast.usage_at(horizon) != 0 || ref.usage_at(horizon) != 0) {
     return mismatch("tail usage", horizon, fast.usage_at(horizon),
                     ref.usage_at(horizon));
@@ -178,7 +178,7 @@ std::string check_earliest_feasible_answer(const Profile& profile, Time est,
 
 void SharedBoundAuditor::on_publish(int published_late,
                                     const std::atomic<int>& bound) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   low_water_ = std::min(low_water_, published_late);
   // Every publish recorded so far completed its fetch-min before we
   // acquired the lock, so a correct running-minimum bound must now read
@@ -195,7 +195,7 @@ void SharedBoundAuditor::on_publish(int published_late,
 
 void SharedBoundAuditor::on_reset(int new_value,
                                   const std::atomic<int>& bound) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const int observed = bound.load(std::memory_order_seq_cst);
   if (new_value > observed && error_.empty()) {
     std::ostringstream os;
@@ -207,12 +207,12 @@ void SharedBoundAuditor::on_reset(int new_value,
 }
 
 int SharedBoundAuditor::low_water_mark() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return low_water_;
 }
 
 std::string SharedBoundAuditor::error() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return error_;
 }
 
@@ -230,7 +230,7 @@ std::string brute_force_check_solution(const Model& model,
   for (CpTaskIndex ti = 0; ti < n; ++ti) {
     const CpTask& t = model.task(ti);
     const TaskPlacement& p = sol.placements[static_cast<std::size_t>(ti)];
-    if (!p.decided() || p.start < 0 || p.resource < 0 ||
+    if (!p.decided() || p.start < Time{0} || p.resource < 0 ||
         static_cast<std::size_t>(p.resource) >= model.num_resources()) {
       os << "brute-force audit: task " << ti << " undecided or out of range";
       return os.str();
@@ -359,7 +359,7 @@ void enum_recurse(EnumState& st, std::size_t scheduled) {
     int late = 0;
     for (std::size_t ji = 0; ji < st.model.num_jobs(); ++ji) {
       const CpJob& j = st.model.job(static_cast<CpJobIndex>(ji));
-      Time completion = 0;
+      Time completion{};
       for (CpTaskIndex m : j.map_tasks) {
         const auto& p = st.placements[static_cast<std::size_t>(m)];
         completion = std::max(completion, p.start + st.model.task(m).duration);

@@ -28,10 +28,11 @@
 #include <atomic>
 #include <cstdint>
 #include <limits>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/annotations.h"
+#include "common/mutex.h"
 #include "cp/model.h"
 #include "cp/profile.h"
 #include "cp/solution.h"
@@ -113,23 +114,25 @@ class SharedBoundAuditor {
 
   /// Record a worker's publish of a solution with `published_late` late
   /// jobs into `bound`.
-  void on_publish(int published_late, const std::atomic<int>& bound);
+  void on_publish(int published_late, const std::atomic<int>& bound)
+      MRCP_EXCLUDES(mu_);
 
   /// Record the solver's between-round reset of the bound to
   /// `new_value`; must not raise the bound (checked against its current
   /// value before the caller stores).
-  void on_reset(int new_value, const std::atomic<int>& bound);
+  void on_reset(int new_value, const std::atomic<int>& bound)
+      MRCP_EXCLUDES(mu_);
 
   /// Minimum late-count recorded so far.
-  int low_water_mark() const;
+  int low_water_mark() const MRCP_EXCLUDES(mu_);
 
   /// Empty when every observation kept the bound monotone non-increasing.
-  std::string error() const;
+  std::string error() const MRCP_EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  int low_water_ = std::numeric_limits<int>::max();
-  std::string error_;
+  mutable Mutex mu_;
+  int low_water_ MRCP_GUARDED_BY(mu_) = std::numeric_limits<int>::max();
+  std::string error_ MRCP_GUARDED_BY(mu_);
 };
 
 /// Brute-force feasibility oracle for a complete Solution: re-derives

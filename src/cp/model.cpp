@@ -13,8 +13,8 @@ CpResourceIndex Model::add_resource(int map_capacity, int reduce_capacity,
 
 CpJobIndex Model::add_job(Time earliest_start, Time deadline,
                           std::int64_t external_id) {
-  MRCP_CHECK(earliest_start >= 0);
-  MRCP_CHECK(deadline > 0);
+  MRCP_CHECK(earliest_start >= Time{0});
+  MRCP_CHECK(deadline > Time{0});
   CpJob j;
   j.earliest_start = earliest_start;
   j.deadline = deadline;
@@ -26,7 +26,7 @@ CpJobIndex Model::add_job(Time earliest_start, Time deadline,
 CpTaskIndex Model::add_task(CpJobIndex job, Phase phase, Time duration, int demand,
                             std::int64_t external_id, int net_demand) {
   MRCP_CHECK(job >= 0 && static_cast<std::size_t>(job) < jobs_.size());
-  MRCP_CHECK(duration > 0);
+  MRCP_CHECK(duration > Time{0});
   MRCP_CHECK(demand >= 1);
   MRCP_CHECK(net_demand >= 0);
   CpTask t;
@@ -59,7 +59,7 @@ void Model::restrict_candidates(CpTaskIndex task,
 void Model::pin_task(CpTaskIndex task, CpResourceIndex resource, Time start) {
   MRCP_CHECK(task >= 0 && static_cast<std::size_t>(task) < tasks_.size());
   MRCP_CHECK(resource >= 0 && static_cast<std::size_t>(resource) < resources_.size());
-  MRCP_CHECK(start >= 0);
+  MRCP_CHECK(start >= Time{0});
   CpTask& t = tasks_[static_cast<std::size_t>(task)];
   t.pinned = true;
   t.pinned_resource = resource;
@@ -112,8 +112,8 @@ Time Model::completion_lower_bound(CpJobIndex job) const {
   //      phases are sequential.
   const CpJob& j = jobs_[static_cast<std::size_t>(job)];
   Time completion = j.earliest_start;
-  Time map_work = 0;
-  Time reduce_work = 0;
+  Time map_work{};
+  Time reduce_work{};
   for (CpTaskIndex t : j.map_tasks) {
     const CpTask& task = tasks_[static_cast<std::size_t>(t)];
     completion =
@@ -126,18 +126,18 @@ Time Model::completion_lower_bound(CpJobIndex job) const {
         std::max(completion, static_earliest_start(t) + task.duration);
     if (!task.pinned) reduce_work += task.duration;
   }
-  Time map_slots = 0;
-  Time reduce_slots = 0;
+  std::int64_t map_slots = 0;
+  std::int64_t reduce_slots = 0;
   for (const CpResource& r : resources_) {
     map_slots += r.map_capacity;
     reduce_slots += r.reduce_capacity;
   }
   Time energetic = j.earliest_start;
-  if (map_work > 0 && map_slots > 0) {
-    energetic += (map_work + map_slots - 1) / map_slots;
+  if (map_work > Time{0} && map_slots > 0) {
+    energetic += ceil_div(map_work, map_slots);
   }
-  if (reduce_work > 0 && reduce_slots > 0) {
-    energetic += (reduce_work + reduce_slots - 1) / reduce_slots;
+  if (reduce_work > Time{0} && reduce_slots > 0) {
+    energetic += ceil_div(reduce_work, reduce_slots);
   }
   return std::max(completion, energetic);
 }
@@ -155,7 +155,7 @@ std::string Model::validate() const {
   for (std::size_t ti = 0; ti < tasks_.size(); ++ti) {
     const CpTask& t = tasks_[ti];
     const std::string where = "task " + std::to_string(ti) + ": ";
-    if (t.duration <= 0) return where + "non-positive duration";
+    if (t.duration <= Time{0}) return where + "non-positive duration";
     if (t.demand < 1) return where + "demand < 1";
     for (CpResourceIndex r : t.candidates) {
       if (r < 0 || static_cast<std::size_t>(r) >= resources_.size()) {

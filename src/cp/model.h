@@ -44,7 +44,7 @@ enum class Phase : std::uint8_t { kMap = 0, kReduce = 1 };
 struct CpTask {
   CpJobIndex job = -1;
   Phase phase = Phase::kMap;
-  Time duration = 0;
+  Time duration;
   int demand = 1;
   /// Network-link units consumed while running; constrained by the
   /// resource's net_capacity when that is > 0 (a second cumulative
@@ -58,7 +58,7 @@ struct CpTask {
   /// Pinned tasks are already running: resource and start are fixed.
   bool pinned = false;
   CpResourceIndex pinned_resource = kAnyResource;
-  Time pinned_start = 0;
+  Time pinned_start;
 
   /// External identity, carried through so the resource manager can map
   /// solutions back to its own job/task ids. Not interpreted by the solver.
@@ -68,8 +68,8 @@ struct CpTask {
 };
 
 struct CpJob {
-  Time earliest_start = 0;  ///< s_j (already clamped to "now" by the RM)
-  Time deadline = 0;        ///< d_j
+  Time earliest_start;      ///< s_j (already clamped to "now" by the RM)
+  Time deadline;            ///< d_j
   std::int64_t external_id = -1;
   std::vector<CpTaskIndex> map_tasks;
   std::vector<CpTaskIndex> reduce_tasks;

@@ -85,7 +85,7 @@ void Profile::rebuild_blocks_from(std::size_t event_index) {
 }
 
 Time Profile::earliest_feasible(Time est, Time duration, int demand) const {
-  MRCP_CHECK(duration >= 1);
+  MRCP_CHECK(duration >= Time{1});
   MRCP_CHECK(demand >= 1 && demand <= capacity_);
   const int limit = capacity_ - demand;  // usage must stay <= limit
 
@@ -115,7 +115,7 @@ Time Profile::earliest_feasible(Time est, Time duration, int demand) const {
 }
 
 bool Profile::fits(Time start, Time duration, int demand) const {
-  MRCP_CHECK(duration >= 1);
+  MRCP_CHECK(duration >= Time{1});
   const int limit = capacity_ - demand;
   if (limit < 0) return false;
   std::size_t i = first_after(start);
@@ -146,7 +146,7 @@ bool Profile::drop_if_redundant(std::size_t i) {
 }
 
 void Profile::apply(Time start, Time duration, int delta) {
-  MRCP_CHECK(duration >= 1);
+  MRCP_CHECK(duration >= Time{1});
   const Time end = start + duration;
 
   // Fast path: the interval begins at or after the last change point, so

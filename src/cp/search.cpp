@@ -27,7 +27,7 @@ std::vector<int> make_job_ranks(const Model& model, JobOrdering ordering) {
   // Remaining work per job (pinned/completed tasks excluded from the
   // model do not contribute) for the laxity strategy:
   // L_j = d_j - s_j - sum e_t (paper §VI.B).
-  std::vector<Time> work(n, 0);
+  std::vector<Time> work(n, Time{0});
   if (ordering == JobOrdering::kLeastLaxity) {
     for (const CpTask& t : model.tasks()) {
       work[static_cast<std::size_t>(t.job)] += t.duration;
@@ -43,7 +43,7 @@ std::vector<int> make_job_ranks(const Model& model, JobOrdering ordering) {
     const std::int64_t id = job.external_id >= 0 ? job.external_id : j;
     switch (ordering) {
       case JobOrdering::kJobId:
-        return {0, id};
+        return {Time{0}, id};
       case JobOrdering::kEdf:
         return {job.deadline, id};
       case JobOrdering::kLeastLaxity:
@@ -53,7 +53,7 @@ std::vector<int> make_job_ranks(const Model& model, JobOrdering ordering) {
       case JobOrdering::kFcfs:
         return {job.earliest_start, id};
     }
-    return {0, j};
+    return {Time{0}, j};
   };
   std::stable_sort(jobs.begin(), jobs.end(), [&](CpJobIndex a, CpJobIndex b) {
     return key(a) < key(b);
@@ -90,8 +90,8 @@ SearchRoot::SearchRoot(const Model& model) : model_(&model) {
 #endif
 
   placements_.assign(model.num_tasks(), TaskPlacement{});
-  fixed_map_end_.assign(model.num_jobs(), 0);
-  fixed_completion_.assign(model.num_jobs(), 0);
+  fixed_map_end_.assign(model.num_jobs(), Time{0});
+  fixed_completion_.assign(model.num_jobs(), Time{0});
   job_late_.assign(model.num_jobs(), 0);
 
   // Root state: pinned tasks are pre-placed; statically-late jobs are
@@ -555,7 +555,7 @@ Solution SetTimesSearch::run(const SearchLimits& limits, const Solution* incumbe
     sol.placements = placements_;
     if (model_.num_tasks() == 0) {
       sol.valid = true;
-      sol.job_completion.assign(model_.num_jobs(), 0);
+      sol.job_completion.assign(model_.num_jobs(), Time{0});
       sol.job_late.assign(model_.num_jobs(), 0);
     } else {
       evaluate_solution(model_, sol);

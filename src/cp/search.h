@@ -179,8 +179,8 @@ class SetTimesSearch {
     bool applied = false;
     // Undo data for the applied choice:
     Choice applied_choice{kAnyResource, kNoTime};
-    Time prev_fixed_map_end = 0;
-    Time prev_fixed_completion = 0;
+    Time prev_fixed_map_end;
+    Time prev_fixed_completion;
     bool prev_late = false;
   };
 

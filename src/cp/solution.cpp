@@ -10,10 +10,10 @@ namespace mrcp::cp {
 
 void evaluate_solution(const Model& model, Solution& sol) {
   const auto num_jobs = model.num_jobs();
-  sol.job_completion.assign(num_jobs, 0);
+  sol.job_completion.assign(num_jobs, Time{0});
   sol.job_late.assign(num_jobs, 0);
   sol.num_late = 0;
-  sol.total_completion = 0;
+  sol.total_completion = Time{0};
 
   MRCP_CHECK(sol.placements.size() == model.num_tasks());
   for (std::size_t ti = 0; ti < model.num_tasks(); ++ti) {
@@ -70,7 +70,7 @@ std::string validate_solution(const Model& model, const Solution& sol) {
     if (!t.pinned && t.phase == Phase::kMap && p.start < j.earliest_start) {
       return where + "map starts before s_j";
     }
-    if (p.start < 0) return where + "negative start";
+    if (p.start < Time{0}) return where + "negative start";
     deltas[{p.resource, static_cast<int>(t.phase)}][p.start] += t.demand;
     deltas[{p.resource, static_cast<int>(t.phase)}][p.start + t.duration] -=
         t.demand;
@@ -100,7 +100,7 @@ std::string validate_solution(const Model& model, const Solution& sol) {
   // Constraint 3: reduces after all maps of the job.
   for (std::size_t ji = 0; ji < model.num_jobs(); ++ji) {
     const CpJob& j = model.job(static_cast<CpJobIndex>(ji));
-    Time latest_map_end = 0;
+    Time latest_map_end{};
     for (CpTaskIndex m : j.map_tasks) {
       const auto& p = sol.placements[static_cast<std::size_t>(m)];
       latest_map_end =

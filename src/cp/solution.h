@@ -22,7 +22,7 @@ struct Solution {
   std::vector<std::uint8_t> job_late;     ///< N_j
 
   int num_late = 0;            ///< objective: sum N_j
-  Time total_completion = 0;   ///< tie-break: sum of job completions
+  Time total_completion;       ///< tie-break: sum of job completions
   bool valid = false;
 
   /// Lexicographic objective comparison (fewer late jobs, then earlier

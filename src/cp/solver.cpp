@@ -24,19 +24,19 @@ namespace {
 /// holes for future arrivals).
 std::vector<std::uint8_t> adaptive_lpt_flags(const Model& model) {
   // Total slot capacity per phase across all resources.
-  Time map_slots = 0;
-  Time reduce_slots = 0;
+  std::int64_t map_slots = 0;
+  std::int64_t reduce_slots = 0;
   for (const CpResource& r : model.resources()) {
     map_slots += r.map_capacity;
     reduce_slots += r.reduce_capacity;
   }
-  map_slots = std::max<Time>(map_slots, 1);
-  reduce_slots = std::max<Time>(reduce_slots, 1);
+  map_slots = std::max<std::int64_t>(map_slots, 1);
+  reduce_slots = std::max<std::int64_t>(reduce_slots, 1);
 
-  std::vector<Time> map_work(model.num_jobs(), 0);
-  std::vector<Time> map_max(model.num_jobs(), 0);
-  std::vector<Time> reduce_work(model.num_jobs(), 0);
-  std::vector<Time> reduce_max(model.num_jobs(), 0);
+  std::vector<Time> map_work(model.num_jobs(), Time{0});
+  std::vector<Time> map_max(model.num_jobs(), Time{0});
+  std::vector<Time> reduce_work(model.num_jobs(), Time{0});
+  std::vector<Time> reduce_max(model.num_jobs(), Time{0});
   for (const CpTask& t : model.tasks()) {
     const auto j = static_cast<std::size_t>(t.job);
     if (t.phase == Phase::kMap) {
@@ -51,10 +51,10 @@ std::vector<std::uint8_t> adaptive_lpt_flags(const Model& model) {
   for (std::size_t j = 0; j < model.num_jobs(); ++j) {
     const CpJob& job = model.job(static_cast<CpJobIndex>(j));
     const Time lb =
-        std::max(map_max[j], (map_work[j] + map_slots - 1) / map_slots) +
+        std::max(map_max[j], ceil_div(map_work[j], map_slots)) +
         std::max(reduce_max[j],
-                 (reduce_work[j] + reduce_slots - 1) / reduce_slots);
-    if (lb <= 0) continue;
+                 ceil_div(reduce_work[j], reduce_slots));
+    if (lb <= Time{0}) continue;
     const Time budget = job.deadline - job.earliest_start;
     // Tight: less than ~30% slack over the alone-on-the-cluster bound.
     flags[j] = budget * 10 < lb * 13 ? 1 : 0;

@@ -17,7 +17,7 @@ EventHandle Simulation::schedule_at(Time at, std::function<void()> fn) {
 }
 
 EventHandle Simulation::schedule_after(Time delay, std::function<void()> fn) {
-  MRCP_CHECK(delay >= 0);
+  MRCP_CHECK(delay >= Time{0});
   return schedule_at(now_ + delay, std::move(fn));
 }
 

@@ -108,7 +108,7 @@ class Simulation {
     }
   };
 
-  Time now_ = 0;
+  Time now_;
   std::uint64_t next_seq_ = 0;
   std::size_t pending_count_ = 0;
   bool stop_requested_ = false;

@@ -56,7 +56,7 @@ std::vector<int> apportion_types(std::size_t n) {
 Time sample_exec_ms(const LogNormal& dist, RandomStream& rng) {
   // LogNormal values are milliseconds; 1 tick = 1 ms. Clamp to >= 1 tick.
   const double ms = dist.sample(rng);
-  return std::max<Time>(1, static_cast<Time>(std::llround(ms)));
+  return std::max(Time{1}, Time{std::llround(ms)});
 }
 
 }  // namespace
@@ -106,7 +106,7 @@ Workload generate_facebook_workload(const FacebookWorkloadConfig& config) {
     const Time te = job.min_execution_time(total_map_slots, total_reduce_slots);
     const double mult = deadline_mult.sample(deadlines);
     job.deadline = job.earliest_start +
-                   static_cast<Time>(std::llround(static_cast<double>(te) * mult));
+                   Time{std::llround(static_cast<double>(te.count()) * mult)};
 
     w.jobs.push_back(std::move(job));
   }

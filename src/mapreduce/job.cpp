@@ -20,12 +20,12 @@ const Task& Job::task(std::size_t flat_index) const {
 
 namespace {
 Time sum_time(const std::vector<Task>& tasks) {
-  Time total = 0;
+  Time total{};
   for (const Task& t : tasks) total += t.exec_time;
   return total;
 }
 Time max_time(const std::vector<Task>& tasks) {
-  Time best = 0;
+  Time best{};
   for (const Task& t : tasks) best = std::max(best, t.exec_time);
   return best;
 }
@@ -38,17 +38,17 @@ Time Job::max_reduce_time() const { return max_time(reduce_tasks); }
 
 Time lpt_makespan(std::vector<Time> durations, int machines) {
   MRCP_CHECK(machines >= 1);
-  if (durations.empty()) return 0;
+  if (durations.empty()) return Time{0};
   std::sort(durations.begin(), durations.end(), std::greater<>());
   // min-heap of machine finish times
   std::priority_queue<Time, std::vector<Time>, std::greater<>> finish;
-  for (int i = 0; i < machines; ++i) finish.push(0);
+  for (int i = 0; i < machines; ++i) finish.push(Time{0});
   for (Time d : durations) {
     Time earliest = finish.top();
     finish.pop();
     finish.push(earliest + d);
   }
-  Time makespan = 0;
+  Time makespan{};
   while (!finish.empty()) {
     makespan = finish.top();
     finish.pop();
@@ -79,20 +79,20 @@ std::string Job::to_string() const {
 std::string validate_job(const Job& job) {
   std::ostringstream os;
   if (job.id < 0) return "job id is negative";
-  if (job.arrival_time < 0) return "arrival time is negative";
+  if (job.arrival_time < Time{0}) return "arrival time is negative";
   if (job.earliest_start < job.arrival_time)
     return "earliest start precedes arrival";
   if (job.deadline <= job.earliest_start) return "deadline at or before s_j";
   if (job.num_tasks() == 0) return "job has no tasks";
   for (const Task& t : job.map_tasks) {
     if (t.type != TaskType::kMap) return "map list contains non-map task";
-    if (t.exec_time <= 0) return "map task with non-positive exec time";
+    if (t.exec_time <= Time{0}) return "map task with non-positive exec time";
     if (t.res_req < 1) return "map task with res_req < 1";
     if (t.net_demand < 0) return "map task with negative net demand";
   }
   for (const Task& t : job.reduce_tasks) {
     if (t.type != TaskType::kReduce) return "reduce list contains non-reduce task";
-    if (t.exec_time <= 0) return "reduce task with non-positive exec time";
+    if (t.exec_time <= Time{0}) return "reduce task with non-positive exec time";
     if (t.res_req < 1) return "reduce task with res_req < 1";
     if (t.net_demand < 0) return "reduce task with negative net demand";
   }

@@ -23,7 +23,7 @@ const char* task_type_name(TaskType type);
 /// resource manager, not here.
 struct Task {
   TaskType type = TaskType::kMap;
-  Time exec_time = 0;  ///< e_t, in ticks; includes input read + shuffle (paper §III.A)
+  Time exec_time;  ///< e_t, in ticks; includes input read + shuffle (paper §III.A)
   int res_req = 1;     ///< q_t, slots consumed while running
   /// Network-link bandwidth units consumed while running (the paper's
   /// §VII "communication links" extension). 0 = no link usage. Only
@@ -34,9 +34,9 @@ struct Task {
 /// A MapReduce job with its SLA.
 struct Job {
   JobId id = kNoJob;
-  Time arrival_time = 0;    ///< v_j: when the job enters the system
-  Time earliest_start = 0;  ///< s_j >= v_j: SLA earliest start (AR requests)
-  Time deadline = 0;        ///< d_j: end-to-end SLA deadline
+  Time arrival_time;        ///< v_j: when the job enters the system
+  Time earliest_start;      ///< s_j >= v_j: SLA earliest start (AR requests)
+  Time deadline;            ///< d_j: end-to-end SLA deadline
 
   std::vector<Task> map_tasks;
   std::vector<Task> reduce_tasks;

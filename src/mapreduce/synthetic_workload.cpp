@@ -45,39 +45,39 @@ Workload generate_synthetic_workload(const SyntheticWorkloadConfig& config) {
     const auto k_mp = config.num_map_tasks.sample(sizes);
     const auto k_rd = config.num_reduce_tasks.sample(sizes);
 
-    Time sum_me = 0;
+    std::int64_t sum_me_seconds = 0;
     job.map_tasks.reserve(static_cast<std::size_t>(k_mp));
     for (std::int64_t t = 0; t < k_mp; ++t) {
       Task task;
       task.type = TaskType::kMap;
       const std::int64_t me_seconds = map_exec.sample(exec_times);
-      task.exec_time = me_seconds * kTicksPerSecond;
-      sum_me += me_seconds;
+      task.exec_time = seconds_to_ticks(me_seconds);
+      sum_me_seconds += me_seconds;
       job.map_tasks.push_back(task);
     }
 
     // re = (3 * sum(me)) / k_rd + DU[1,10]; integer division in seconds is
     // the natural reading of the paper's formula. The quotient can be 0
     // for tiny jobs; the additive DU[1,10] keeps durations positive.
-    const std::int64_t base_re = (3 * sum_me) / k_rd;
+    const std::int64_t base_re = (3 * sum_me_seconds) / k_rd;
     job.reduce_tasks.reserve(static_cast<std::size_t>(k_rd));
     for (std::int64_t t = 0; t < k_rd; ++t) {
       Task task;
       task.type = TaskType::kReduce;
       const std::int64_t re_seconds = base_re + config.reduce_extra.sample(exec_times);
-      task.exec_time = re_seconds * kTicksPerSecond;
+      task.exec_time = seconds_to_ticks(re_seconds);
       job.reduce_tasks.push_back(task);
     }
 
     job.earliest_start = job.arrival_time;
     if (future_start.sample(starts)) {
-      job.earliest_start += start_offset.sample(starts) * kTicksPerSecond;
+      job.earliest_start += seconds_to_ticks(start_offset.sample(starts));
     }
 
     const Time te = job.min_execution_time(total_map_slots, total_reduce_slots);
     const double mult = deadline_mult.sample(deadlines);
     job.deadline =
-        job.earliest_start + static_cast<Time>(std::llround(static_cast<double>(te) * mult));
+        job.earliest_start + Time{std::llround(static_cast<double>(te.count()) * mult)};
 
     w.jobs.push_back(std::move(job));
   }

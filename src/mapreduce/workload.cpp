@@ -10,7 +10,7 @@ Workload::Summary Workload::summarize() const {
   Summary s;
   if (jobs.empty()) return s;
   RunningStat maps, reduces, map_exec, reduce_exec, inter, laxity;
-  Time total_work = 0;
+  Time total_work{};
   std::size_t future_start = 0;
   for (std::size_t i = 0; i < jobs.size(); ++i) {
     const Job& j = jobs[i];
@@ -36,9 +36,9 @@ Workload::Summary Workload::summarize() const {
       static_cast<double>(future_start) / static_cast<double>(jobs.size());
   const Time span = jobs.back().arrival_time - jobs.front().arrival_time;
   const int slots = cluster.total_map_slots() + cluster.total_reduce_slots();
-  if (span > 0 && slots > 0) {
-    s.offered_utilization = static_cast<double>(total_work) /
-                            (static_cast<double>(span) * slots);
+  if (span > Time{0} && slots > 0) {
+    s.offered_utilization = static_cast<double>(total_work.count()) /
+                            (static_cast<double>(span.count()) * slots);
   }
   return s;
 }

@@ -190,9 +190,9 @@ bool parse_workload(std::istream& in, Workload& workload, std::string* error) {
                              ", got " + std::to_string(id) + ")");
     }
     job.id = static_cast<JobId>(id);
-    job.arrival_time = arrival;
-    job.earliest_start = est;
-    job.deadline = deadline;
+    job.arrival_time = Time{arrival};
+    job.earliest_start = Time{est};
+    job.deadline = Time{deadline};
     for (std::int64_t t = 0; t < k_map + k_reduce; ++t) {
       std::int64_t exec = 0;
       std::int64_t req = 0;
@@ -207,7 +207,7 @@ bool parse_workload(std::istream& in, Workload& workload, std::string* error) {
       }
       const TaskType type = t < k_map ? TaskType::kMap : TaskType::kReduce;
       (type == TaskType::kMap ? job.map_tasks : job.reduce_tasks)
-          .push_back(Task{type, exec, static_cast<int>(req),
+          .push_back(Task{type, Time{exec}, static_cast<int>(req),
                           static_cast<int>(net)});
     }
     // Optional precedence lines until the next 'job' or EOF.

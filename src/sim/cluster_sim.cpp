@@ -491,15 +491,15 @@ SimMetrics simulate_minedf(const Workload& workload,
   // so validate_execution stays meaningful for the baseline too.
   struct SlotState {
     ResourceId resource;
-    Time busy_until = 0;
+    Time busy_until;
     bool down = false;
   };
   std::vector<SlotState> map_slots;
   std::vector<SlotState> reduce_slots;
   for (const Resource& r : w.cluster.resources()) {
-    for (int s = 0; s < r.map_capacity; ++s) map_slots.push_back({r.id, 0, false});
+    for (int s = 0; s < r.map_capacity; ++s) map_slots.push_back({r.id, Time{0}, false});
     for (int s = 0; s < r.reduce_capacity; ++s) {
-      reduce_slots.push_back({r.id, 0, false});
+      reduce_slots.push_back({r.id, Time{0}, false});
     }
   }
   auto claim_slot = [](std::vector<SlotState>& slots, Time start,

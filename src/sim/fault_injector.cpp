@@ -46,7 +46,7 @@ FaultInjector::FaultInjector(int num_resources, const FaultConfig& config)
 
 Time FaultInjector::draw_ticks(ResourceId r, double mean_s) {
   const double s = streams_[static_cast<std::size_t>(r)].exponential(1.0 / mean_s);
-  return std::max<Time>(1, seconds_to_ticks(s));
+  return std::max(Time{1}, seconds_to_ticks(s));
 }
 
 void FaultInjector::schedule_failure(des::Simulation& des, ResourceId r) {
@@ -129,9 +129,9 @@ std::size_t apply_stragglers(Workload& workload, const FaultConfig& config) {
                        ? job.map_tasks[ti]
                        : job.reduce_tasks[ti - job.map_tasks.size()];
       const double slowed =
-          static_cast<double>(task.exec_time) * config.straggler_factor;
+          static_cast<double>(task.exec_time.count()) * config.straggler_factor;
       task.exec_time = std::max<Time>(
-          task.exec_time, static_cast<Time>(std::llround(slowed)));
+          task.exec_time, Time{std::llround(slowed)});
       ++count;
     }
   }

@@ -19,9 +19,9 @@ std::string render_gantt(const Plan& plan, const Cluster& cluster,
     t_min = std::min(t_min, pt.start);
     t_max = std::max(t_max, pt.end);
   }
-  if (t_max <= t_min) t_max = t_min + 1;
+  if (t_max <= t_min) t_max = t_min + Time{1};
   const double scale =
-      static_cast<double>(options.width) / static_cast<double>(t_max - t_min);
+      static_cast<double>(options.width) / static_cast<double>((t_max - t_min).count());
 
   // Row per (resource, phase) that actually appears.
   const int rows = cluster.size() * 2;
@@ -37,11 +37,11 @@ std::string render_gantt(const Plan& plan, const Cluster& cluster,
     const auto row = static_cast<std::size_t>(pt.resource * 2 + (is_map ? 0 : 1));
     used[row] = true;
     auto bucket = [&](Time t) {
-      const int b = static_cast<int>(static_cast<double>(t - t_min) * scale);
+      const int b = static_cast<int>(static_cast<double>((t - t_min).count()) * scale);
       return std::clamp(b, 0, options.width - 1);
     };
     const int b0 = bucket(pt.start);
-    const int b1 = std::max(bucket(pt.end - 1), b0);
+    const int b1 = std::max(bucket(pt.end - Time{1}), b0);
     const char digit = static_cast<char>('0' + (pt.job % 10));
     for (int b = b0; b <= b1; ++b) {
       char& c = cells[row][static_cast<std::size_t>(b)];
@@ -51,7 +51,7 @@ std::string render_gantt(const Plan& plan, const Cluster& cluster,
 
   if (options.downtime != nullptr) {
     auto bucket = [&](Time t) {
-      const int b = static_cast<int>(static_cast<double>(t - t_min) * scale);
+      const int b = static_cast<int>(static_cast<double>((t - t_min).count()) * scale);
       return std::clamp(b, 0, options.width - 1);
     };
     for (const DownInterval& d : *options.downtime) {
@@ -59,7 +59,7 @@ std::string render_gantt(const Plan& plan, const Cluster& cluster,
       const Time down_end = d.end == kNoTime ? t_max : d.end;
       if (down_end <= t_min || d.start >= t_max) continue;
       const int b0 = bucket(std::max(d.start, t_min));
-      const int b1 = std::max(bucket(std::min(down_end, t_max) - 1), b0);
+      const int b1 = std::max(bucket(std::min(down_end, t_max) - Time{1}), b0);
       for (int phase = 0; phase < 2; ++phase) {
         if ((phase == 0 && !options.include_map) ||
             (phase == 1 && !options.include_reduce)) {

@@ -22,9 +22,9 @@ namespace mrcp::sim {
 
 struct JobRecord {
   JobId id = kNoJob;
-  Time arrival = 0;
-  Time earliest_start = 0;
-  Time deadline = 0;
+  Time arrival;
+  Time earliest_start;
+  Time deadline;
   Time completion = kNoTime;  ///< kNoTime until the job finishes
   bool late = false;
   /// At least one of the job's tasks was killed by a resource failure.
@@ -43,15 +43,15 @@ struct ExecutedTask {
   JobId job = kNoJob;
   int task_index = -1;
   ResourceId resource = kNoResource;
-  Time start = 0;
-  Time end = 0;
+  Time start;
+  Time end;
 };
 
 /// One resource outage. end == kNoTime means the resource was still down
 /// when the simulation drained.
 struct DownInterval {
   ResourceId resource = kNoResource;
-  Time start = 0;
+  Time start;
   Time end = kNoTime;
 };
 
@@ -61,7 +61,7 @@ struct FailureMetrics {
   std::uint64_t resource_repairs = 0;
   std::uint64_t tasks_killed = 0;     ///< attempts lost to failures
   std::uint64_t straggler_tasks = 0;  ///< tasks slowed by the straggler model
-  Time wasted_ticks = 0;              ///< work executed by killed attempts
+  Time wasted_ticks;              ///< work executed by killed attempts
   /// Late jobs that had at least one task killed — an upper bound on
   /// "late because of failures" (the job may have been late regardless).
   std::uint64_t jobs_late_failure_affected = 0;

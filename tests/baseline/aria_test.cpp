@@ -6,61 +6,61 @@ namespace mrcp::baseline {
 namespace {
 
 TEST(CompletionUpperBound, EmptyIsZero) {
-  EXPECT_EQ(completion_upper_bound({}, 3), 0);
+  EXPECT_EQ(completion_upper_bound({}, 3), Time{0});
 }
 
 TEST(CompletionUpperBound, SingleSlotSums) {
-  EXPECT_EQ(completion_upper_bound({10, 20, 30}, 1), 60);
+  EXPECT_EQ(completion_upper_bound({Time{10}, Time{20}, Time{30}}, 1), Time{60});
 }
 
 TEST(CompletionUpperBound, GrahamBound) {
   // (sum - max)/n + max = (60-30)/2 + 30 = 45.
-  EXPECT_EQ(completion_upper_bound({10, 20, 30}, 2), 45);
+  EXPECT_EQ(completion_upper_bound({Time{10}, Time{20}, Time{30}}, 2), Time{45});
   // n=3: (30)/3 + 30 = 40.
-  EXPECT_EQ(completion_upper_bound({10, 20, 30}, 3), 40);
+  EXPECT_EQ(completion_upper_bound({Time{10}, Time{20}, Time{30}}, 3), Time{40});
 }
 
 TEST(CompletionUpperBound, CeilingDivision) {
   // (sum - max) = 25, n = 4 -> ceil(25/4) = 7, + max 10 = 17.
-  EXPECT_EQ(completion_upper_bound({10, 10, 10, 5}, 4), 17);
+  EXPECT_EQ(completion_upper_bound({Time{10}, Time{10}, Time{10}, Time{5}}, 4), Time{17});
 }
 
 TEST(CompletionUpperBound, BoundIsAtLeastMax) {
-  EXPECT_GE(completion_upper_bound({5, 50}, 100), 50);
+  EXPECT_GE(completion_upper_bound({Time{5}, Time{50}}, 100), Time{50});
 }
 
 TEST(MinSlots, EmptyNeedsZero) {
-  EXPECT_EQ(min_slots_for_budget({}, 100, 8), 0);
+  EXPECT_EQ(min_slots_for_budget({}, Time{100}, 8), 0);
 }
 
 TEST(MinSlots, GenerousBudgetNeedsOne) {
-  EXPECT_EQ(min_slots_for_budget({10, 20, 30}, 60, 8), 1);
-  EXPECT_EQ(min_slots_for_budget({10, 20, 30}, 1000, 8), 1);
+  EXPECT_EQ(min_slots_for_budget({Time{10}, Time{20}, Time{30}}, Time{60}, 8), 1);
+  EXPECT_EQ(min_slots_for_budget({Time{10}, Time{20}, Time{30}}, Time{1000}, 8), 1);
 }
 
 TEST(MinSlots, TightBudgetNeedsMore) {
   // Budget 45 achievable with 2 slots (see GrahamBound).
-  EXPECT_EQ(min_slots_for_budget({10, 20, 30}, 45, 8), 2);
+  EXPECT_EQ(min_slots_for_budget({Time{10}, Time{20}, Time{30}}, Time{45}, 8), 2);
   // Budget 44 needs 3 slots: bound(3) = 40 <= 44.
-  EXPECT_EQ(min_slots_for_budget({10, 20, 30}, 44, 8), 3);
+  EXPECT_EQ(min_slots_for_budget({Time{10}, Time{20}, Time{30}}, Time{44}, 8), 3);
 }
 
 TEST(MinSlots, ImpossibleBudgetReturnsZero) {
   // Even unlimited slots cannot beat the longest task.
-  EXPECT_EQ(min_slots_for_budget({10, 20, 30}, 29, 8), 0);
-  EXPECT_EQ(min_slots_for_budget({10, 20, 30}, 0, 8), 0);
+  EXPECT_EQ(min_slots_for_budget({Time{10}, Time{20}, Time{30}}, Time{29}, 8), 0);
+  EXPECT_EQ(min_slots_for_budget({Time{10}, Time{20}, Time{30}}, Time{0}, 8), 0);
 }
 
 TEST(MinSlots, CapByMaxSlots) {
   // Needs 3 slots but only 2 available -> infeasible.
-  EXPECT_EQ(min_slots_for_budget({10, 20, 30}, 44, 2), 0);
+  EXPECT_EQ(min_slots_for_budget({Time{10}, Time{20}, Time{30}}, Time{44}, 2), 0);
 }
 
 TEST(MinSlots, InverseOfBound) {
   // For a mix of durations and budgets, min_slots_for_budget returns the
   // smallest n whose bound fits.
-  const std::vector<Time> durs{7, 13, 22, 9, 30, 18};
-  for (Time budget = 30; budget <= 99; budget += 3) {
+  const std::vector<Time> durs{Time{7}, Time{13}, Time{22}, Time{9}, Time{30}, Time{18}};
+  for (Time budget = Time{30}; budget <= Time{99}; budget += Time{3}) {
     const int n = min_slots_for_budget(durs, budget, 16);
     if (n == 0) {
       EXPECT_GT(completion_upper_bound(durs, 16), budget);
@@ -76,28 +76,28 @@ TEST(MinSlots, InverseOfBound) {
 TEST(AriaAverage, AverageOfLowAndUpBounds) {
   // {60,60,60} on 2 slots: T_low = ceil(180/2) = 90,
   // T_up = ceil(2*60/2) + 60 = 120, T_avg = 105.
-  EXPECT_EQ(aria_completion_estimate(std::vector<Time>{60, 60, 60}, 2, AriaBound::kAverage), 105);
+  EXPECT_EQ(aria_completion_estimate(std::vector<Time>{Time{60}, Time{60}, Time{60}}, 2, AriaBound::kAverage), Time{105});
   // kUpper delegates to the Graham bound.
-  EXPECT_EQ(aria_completion_estimate(std::vector<Time>{60, 60, 60}, 2, AriaBound::kUpper), 120);
+  EXPECT_EQ(aria_completion_estimate(std::vector<Time>{Time{60}, Time{60}, Time{60}}, 2, AriaBound::kUpper), Time{120});
 }
 
 TEST(AriaAverage, EmptyAndSingle) {
-  EXPECT_EQ(aria_completion_estimate(std::vector<Time>{}, 4, AriaBound::kAverage), 0);
+  EXPECT_EQ(aria_completion_estimate(std::vector<Time>{}, 4, AriaBound::kAverage), Time{0});
   // Single task: low = ceil(d/n), up = 0/n + d = d.
-  EXPECT_EQ(aria_completion_estimate(std::vector<Time>{50}, 1, AriaBound::kAverage), 50);
+  EXPECT_EQ(aria_completion_estimate(std::vector<Time>{Time{50}}, 1, AriaBound::kAverage), Time{50});
 }
 
 TEST(AriaAverage, CanClaimFeasibilityTheScheduleMisses) {
   // Budget 110 on {60,60,60}: the average estimate accepts 2 slots
   // (105 <= 110) although the true list-schedule completion is 120 —
   // the optimistic allocation that makes MinEDF-WC miss deadlines.
-  EXPECT_EQ(min_slots_for_estimate(std::vector<Time>{60, 60, 60}, 110, 2, AriaBound::kAverage),
+  EXPECT_EQ(min_slots_for_estimate(std::vector<Time>{Time{60}, Time{60}, Time{60}}, Time{110}, 2, AriaBound::kAverage),
             2);
-  EXPECT_EQ(min_slots_for_estimate(std::vector<Time>{60, 60, 60}, 110, 2, AriaBound::kUpper), 0);
+  EXPECT_EQ(min_slots_for_estimate(std::vector<Time>{Time{60}, Time{60}, Time{60}}, Time{110}, 2, AriaBound::kUpper), 0);
 }
 
 TEST(AriaAverage, MonotoneNonIncreasingInSlots) {
-  const std::vector<Time> durs{7, 13, 22, 9, 30, 18, 44, 5};
+  const std::vector<Time> durs{Time{7}, Time{13}, Time{22}, Time{9}, Time{30}, Time{18}, Time{44}, Time{5}};
   Time prev = aria_completion_estimate(durs, 1, AriaBound::kAverage);
   for (int n = 2; n <= 10; ++n) {
     const Time est = aria_completion_estimate(durs, n, AriaBound::kAverage);
@@ -107,14 +107,14 @@ TEST(AriaAverage, MonotoneNonIncreasingInSlots) {
 }
 
 TEST(MinimalSlotProfile, MapOnlyJob) {
-  const SlotProfile p = minimal_slot_profile(std::vector<Time>{10, 20, 30}, std::vector<Time>{}, 0, 45, 8, 8);
+  const SlotProfile p = minimal_slot_profile(std::vector<Time>{Time{10}, Time{20}, Time{30}}, std::vector<Time>{}, Time{0}, Time{45}, 8, 8);
   EXPECT_TRUE(p.feasible);
   EXPECT_EQ(p.map_slots, 2);
   EXPECT_EQ(p.reduce_slots, 0);
 }
 
 TEST(MinimalSlotProfile, ReduceOnlyJob) {
-  const SlotProfile p = minimal_slot_profile(std::vector<Time>{}, std::vector<Time>{10, 20, 30}, 0, 45, 8, 8);
+  const SlotProfile p = minimal_slot_profile(std::vector<Time>{}, std::vector<Time>{Time{10}, Time{20}, Time{30}}, Time{0}, Time{45}, 8, 8);
   EXPECT_TRUE(p.feasible);
   EXPECT_EQ(p.map_slots, 0);
   EXPECT_EQ(p.reduce_slots, 2);
@@ -123,7 +123,7 @@ TEST(MinimalSlotProfile, ReduceOnlyJob) {
 TEST(MinimalSlotProfile, TwoPhaseSplitsBudget) {
   // Maps {30}, reduces {30}; deadline 70 from t=0: maps take 30 with one
   // slot, reduces 30 with one slot -> (1, 1) works.
-  const SlotProfile p = minimal_slot_profile(std::vector<Time>{30}, std::vector<Time>{30}, 0, 70, 8, 8);
+  const SlotProfile p = minimal_slot_profile(std::vector<Time>{Time{30}}, std::vector<Time>{Time{30}}, Time{0}, Time{70}, 8, 8);
   EXPECT_TRUE(p.feasible);
   EXPECT_EQ(p.map_slots, 1);
   EXPECT_EQ(p.reduce_slots, 1);
@@ -134,39 +134,39 @@ TEST(MinimalSlotProfile, TightDeadlineNeedsParallelism) {
   // nm=2: bound = ceil(75/2)+25 = 63 > 75-40... sweep should find a
   // feasible minimal combination; verify feasibility + bound arithmetic.
   const SlotProfile p =
-      minimal_slot_profile(std::vector<Time>{25, 25, 25, 25}, std::vector<Time>{20, 20}, 0, 75, 8, 8);
+      minimal_slot_profile(std::vector<Time>{Time{25}, Time{25}, Time{25}, Time{25}}, std::vector<Time>{Time{20}, Time{20}}, Time{0}, Time{75}, 8, 8);
   ASSERT_TRUE(p.feasible);
-  const Time t_map = completion_upper_bound({25, 25, 25, 25}, p.map_slots);
-  const Time t_red = completion_upper_bound({20, 20}, p.reduce_slots);
-  EXPECT_LE(t_map + t_red, 75);
+  const Time t_map = completion_upper_bound({Time{25}, Time{25}, Time{25}, Time{25}}, p.map_slots);
+  const Time t_red = completion_upper_bound({Time{20}, Time{20}}, p.reduce_slots);
+  EXPECT_LE(t_map + t_red, Time{75});
   // Minimality: no profile with fewer total slots is feasible.
   const int total = p.map_slots + p.reduce_slots;
   for (int nm = 1; nm < 8; ++nm) {
     for (int nr = 1; nm + nr < total; ++nr) {
-      EXPECT_GT(completion_upper_bound({25, 25, 25, 25}, nm) +
-                    completion_upper_bound({20, 20}, nr),
-                75)
+      EXPECT_GT(completion_upper_bound({Time{25}, Time{25}, Time{25}, Time{25}}, nm) +
+                    completion_upper_bound({Time{20}, Time{20}}, nr),
+                Time{75})
           << "smaller profile (" << nm << "," << nr << ") would fit";
     }
   }
 }
 
 TEST(MinimalSlotProfile, InfeasibleDeadlineReturnsMaxSlots) {
-  const SlotProfile p = minimal_slot_profile(std::vector<Time>{100}, std::vector<Time>{100}, 0, 50, 4, 4);
+  const SlotProfile p = minimal_slot_profile(std::vector<Time>{Time{100}}, std::vector<Time>{Time{100}}, Time{0}, Time{50}, 4, 4);
   EXPECT_FALSE(p.feasible);
   EXPECT_EQ(p.map_slots, 4);
   EXPECT_EQ(p.reduce_slots, 4);
 }
 
 TEST(MinimalSlotProfile, PastDeadline) {
-  const SlotProfile p = minimal_slot_profile(std::vector<Time>{10}, std::vector<Time>{10}, 100, 50, 4, 4);
+  const SlotProfile p = minimal_slot_profile(std::vector<Time>{Time{10}}, std::vector<Time>{Time{10}}, Time{100}, Time{50}, 4, 4);
   EXPECT_FALSE(p.feasible);
 }
 
 TEST(MinimalSlotProfile, NowOffsetsBudget) {
   // Same instance as TwoPhaseSplitsBudget but starting at t = 30 with
   // deadline 100: identical budget of 70.
-  const SlotProfile p = minimal_slot_profile(std::vector<Time>{30}, std::vector<Time>{30}, 30, 100, 8, 8);
+  const SlotProfile p = minimal_slot_profile(std::vector<Time>{Time{30}}, std::vector<Time>{Time{30}}, Time{30}, Time{100}, 8, 8);
   EXPECT_TRUE(p.feasible);
   EXPECT_EQ(p.map_slots, 1);
   EXPECT_EQ(p.reduce_slots, 1);

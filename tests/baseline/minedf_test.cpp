@@ -65,34 +65,34 @@ struct Harness {
 
 TEST(MinEdfWc, SingleJobRunsAllMapsThenReduces) {
   Harness h(Cluster::homogeneous(2, 1, 1));
-  h.sched->submit(make_job(0, 0, 0, 10000, {100, 100, 100}, {50}), 0);
+  h.sched->submit(make_job(0, Time{0}, Time{0}, Time{10000}, {Time{100}, Time{100}, Time{100}}, {Time{50}}), Time{0});
   // Two map slots: two maps start immediately.
   ASSERT_EQ(h.launches.size(), 2u);
-  EXPECT_EQ(h.launches[0].start, 0);
-  EXPECT_EQ(h.launches[1].start, 0);
-  h.run_until(100);
+  EXPECT_EQ(h.launches[0].start, Time{0});
+  EXPECT_EQ(h.launches[1].start, Time{0});
+  h.run_until(Time{100});
   // Third map launched at 100; after it finishes at 200, the reduce goes.
   ASSERT_GE(h.launches.size(), 3u);
-  EXPECT_EQ(h.launches[2].start, 100);
-  h.run_until(200);
+  EXPECT_EQ(h.launches[2].start, Time{100});
+  h.run_until(Time{200});
   ASSERT_EQ(h.launches.size(), 4u);
   const Launch& red = h.launches[3];
-  EXPECT_EQ(red.start, 200);
-  EXPECT_EQ(red.end, 250);
-  h.run_until(250);
+  EXPECT_EQ(red.start, Time{200});
+  EXPECT_EQ(red.end, Time{250});
+  h.run_until(Time{250});
   EXPECT_EQ(h.sched->live_jobs(), 0u);
   EXPECT_EQ(h.sched->stats().jobs_completed, 1u);
 }
 
 TEST(MinEdfWc, ReducesWaitForAllMaps) {
   Harness h(Cluster::homogeneous(4, 1, 1));
-  h.sched->submit(make_job(0, 0, 0, 10000, {100, 300}, {50}), 0);
-  h.run_until(100);  // first map done, second still running
+  h.sched->submit(make_job(0, Time{0}, Time{0}, Time{10000}, {Time{100}, Time{300}}, {Time{50}}), Time{0});
+  h.run_until(Time{100});  // first map done, second still running
   for (const Launch& l : h.launches) {
     const bool is_reduce = l.task_index >= 2;
     EXPECT_FALSE(is_reduce) << "reduce launched before maps finished";
   }
-  h.run_until(300);
+  h.run_until(Time{300});
   bool reduce_launched = false;
   for (const Launch& l : h.launches) reduce_launched |= l.task_index == 2;
   EXPECT_TRUE(reduce_launched);
@@ -102,7 +102,7 @@ TEST(MinEdfWc, WorkConservationUsesAllFreeSlots) {
   // One job with many maps and a loose deadline: MinEDF grants the
   // minimum, WC tops it up to every free slot.
   Harness h(Cluster::homogeneous(4, 1, 1));
-  h.sched->submit(make_job(0, 0, 0, 1000000, {10, 10, 10, 10}, {}), 0);
+  h.sched->submit(make_job(0, Time{0}, Time{0}, Time{1000000}, {Time{10}, Time{10}, Time{10}, Time{10}}, {}), Time{0});
   EXPECT_EQ(h.launches.size(), 4u);  // all four slots busy at once
 }
 
@@ -114,12 +114,12 @@ TEST(MinEdfWc, UrgentJobGetsMinimumSlotsSpareGoesToNext) {
   // maps by 100+150+150 = 400. The spare slot goes work-conservingly to
   // job 0.
   Harness h(Cluster::homogeneous(2, 1, 1));
-  h.sched->submit(make_job(0, 0, 0, 1000000, {100, 100, 100, 100}, {}), 0);
+  h.sched->submit(make_job(0, Time{0}, Time{0}, Time{1000000}, {Time{100}, Time{100}, Time{100}, Time{100}}, {}), Time{0});
   ASSERT_EQ(h.launches.size(), 2u);
-  h.sched->submit(make_job(1, 10, 10, 400, {150, 150}, {}), 10);
+  h.sched->submit(make_job(1, Time{10}, Time{10}, Time{400}, {Time{150}, Time{150}}, {}), Time{10});
   // No free slots: nothing new yet.
   EXPECT_EQ(h.launches.size(), 2u);
-  h.run_until(100);
+  h.run_until(Time{100});
   ASSERT_EQ(h.launches.size(), 4u);
   EXPECT_EQ(h.launches[2].job, 1);
   EXPECT_EQ(h.launches[3].job, 0);
@@ -129,9 +129,9 @@ TEST(MinEdfWc, UrgentJobTakesBothSlotsWhenDeadlineDemandsIt) {
   // Same shape but job 1's deadline (350) is only achievable with both
   // slots running its 150-tick maps in parallel from t=100.
   Harness h(Cluster::homogeneous(2, 1, 1));
-  h.sched->submit(make_job(0, 0, 0, 1000000, {100, 100, 100, 100}, {}), 0);
-  h.sched->submit(make_job(1, 10, 10, 350, {150, 150}, {}), 10);
-  h.run_until(100);
+  h.sched->submit(make_job(0, Time{0}, Time{0}, Time{1000000}, {Time{100}, Time{100}, Time{100}, Time{100}}, {}), Time{0});
+  h.sched->submit(make_job(1, Time{10}, Time{10}, Time{350}, {Time{150}, Time{150}}, {}), Time{10});
+  h.run_until(Time{100});
   ASSERT_EQ(h.launches.size(), 4u);
   EXPECT_EQ(h.launches[2].job, 1);
   EXPECT_EQ(h.launches[3].job, 1);
@@ -140,39 +140,39 @@ TEST(MinEdfWc, UrgentJobTakesBothSlotsWhenDeadlineDemandsIt) {
 TEST(MinEdfWc, LptDispatchRunsLongestTaskFirst) {
   Harness h(Cluster::homogeneous(1, 1, 1), AriaBound::kUpper,
             TaskDispatchOrder::kLpt);
-  h.sched->submit(make_job(0, 0, 0, 1000000, {50, 200, 100}, {}), 0);
+  h.sched->submit(make_job(0, Time{0}, Time{0}, Time{1000000}, {Time{50}, Time{200}, Time{100}}, {}), Time{0});
   ASSERT_EQ(h.launches.size(), 1u);
   // Flat index 1 has the longest duration (200).
   EXPECT_EQ(h.launches[0].task_index, 1);
-  h.run_until(200);
+  h.run_until(Time{200});
   ASSERT_EQ(h.launches.size(), 2u);
   EXPECT_EQ(h.launches[1].task_index, 2);  // 100 next
 }
 
 TEST(MinEdfWc, FifoDispatchRunsTasksInSplitOrder) {
   Harness h(Cluster::homogeneous(1, 1, 1));  // default: FIFO
-  h.sched->submit(make_job(0, 0, 0, 1000000, {50, 200, 100}, {}), 0);
+  h.sched->submit(make_job(0, Time{0}, Time{0}, Time{1000000}, {Time{50}, Time{200}, Time{100}}, {}), Time{0});
   ASSERT_EQ(h.launches.size(), 1u);
   EXPECT_EQ(h.launches[0].task_index, 0);
-  h.run_until(50);
+  h.run_until(Time{50});
   ASSERT_EQ(h.launches.size(), 2u);
   EXPECT_EQ(h.launches[1].task_index, 1);
 }
 
 TEST(MinEdfWc, RespectsEarliestStart) {
   Harness h(Cluster::homogeneous(2, 1, 1));
-  h.sched->submit(make_job(0, 0, 500, 10000, {100}, {}), 0);
+  h.sched->submit(make_job(0, Time{0}, Time{500}, Time{10000}, {Time{100}}, {}), Time{0});
   EXPECT_TRUE(h.launches.empty());  // not eligible yet
-  EXPECT_EQ(h.sched->next_eligible_time(0), 500);
-  h.sched->wake(500);
+  EXPECT_EQ(h.sched->next_eligible_time(Time{0}), Time{500});
+  h.sched->wake(Time{500});
   ASSERT_EQ(h.launches.size(), 1u);
-  EXPECT_EQ(h.launches[0].start, 500);
+  EXPECT_EQ(h.launches[0].start, Time{500});
 }
 
 TEST(MinEdfWc, MapOnlyJobCompletes) {
   Harness h(Cluster::homogeneous(1, 1, 1));
-  h.sched->submit(make_job(0, 0, 0, 10000, {10, 10}, {}), 0);
-  h.run_until(100);
+  h.sched->submit(make_job(0, Time{0}, Time{0}, Time{10000}, {Time{10}, Time{10}}, {}), Time{0});
+  h.run_until(Time{100});
   EXPECT_EQ(h.sched->stats().jobs_completed, 1u);
   EXPECT_EQ(h.sched->free_map_slots(), 1);
   EXPECT_EQ(h.sched->free_reduce_slots(), 1);
@@ -182,12 +182,12 @@ TEST(MinEdfWc, SlotAccountingNeverNegative) {
   Harness h(Cluster::homogeneous(2, 2, 1));
   for (int i = 0; i < 5; ++i) {
     h.sched->submit(
-        make_job(i, i * 10, i * 10, 100000, {30, 40}, {20}), i * 10);
-    h.run_until(i * 10);
+        make_job(i, Time{i * 10}, Time{i * 10}, Time{100000}, {Time{30}, Time{40}}, {Time{20}}), Time{i * 10});
+    h.run_until(Time{i * 10});
     EXPECT_GE(h.sched->free_map_slots(), 0);
     EXPECT_GE(h.sched->free_reduce_slots(), 0);
   }
-  h.run_until(1000000);
+  h.run_until(Time{1000000});
   EXPECT_EQ(h.sched->stats().jobs_completed, 5u);
   EXPECT_EQ(h.sched->free_map_slots(), 4);
   EXPECT_EQ(h.sched->free_reduce_slots(), 2);
@@ -195,42 +195,42 @@ TEST(MinEdfWc, SlotAccountingNeverNegative) {
 
 TEST(MinEdfWc, NextEligibleTimePicksEarliestFutureStart) {
   Harness h(Cluster::homogeneous(4, 1, 1));
-  h.sched->submit(make_job(0, 0, 900, 100000, {10}, {}), 0);
-  h.sched->submit(make_job(1, 0, 400, 100000, {10}, {}), 0);
-  h.sched->submit(make_job(2, 0, 0, 100000, {10}, {}), 0);
-  EXPECT_EQ(h.sched->next_eligible_time(0), 400);
-  h.sched->wake(400);
-  EXPECT_EQ(h.sched->next_eligible_time(400), 900);
-  h.sched->wake(900);
-  EXPECT_EQ(h.sched->next_eligible_time(900), kNoTime);
+  h.sched->submit(make_job(0, Time{0}, Time{900}, Time{100000}, {Time{10}}, {}), Time{0});
+  h.sched->submit(make_job(1, Time{0}, Time{400}, Time{100000}, {Time{10}}, {}), Time{0});
+  h.sched->submit(make_job(2, Time{0}, Time{0}, Time{100000}, {Time{10}}, {}), Time{0});
+  EXPECT_EQ(h.sched->next_eligible_time(Time{0}), Time{400});
+  h.sched->wake(Time{400});
+  EXPECT_EQ(h.sched->next_eligible_time(Time{400}), Time{900});
+  h.sched->wake(Time{900});
+  EXPECT_EQ(h.sched->next_eligible_time(Time{900}), kNoTime);
 }
 
 TEST(MinEdfWc, ReduceOnlyJobRunsImmediately) {
   Harness h(Cluster::homogeneous(2, 1, 1));
-  h.sched->submit(make_job(0, 0, 0, 100000, {}, {50, 60}), 0);
+  h.sched->submit(make_job(0, Time{0}, Time{0}, Time{100000}, {}, {Time{50}, Time{60}}), Time{0});
   // No maps: reduces are eligible at once.
   ASSERT_EQ(h.launches.size(), 2u);
-  h.run_until(1000);
+  h.run_until(Time{1000});
   EXPECT_EQ(h.sched->stats().jobs_completed, 1u);
 }
 
 TEST(MinEdfWc, RemainingStatsIncludeRunningResiduals) {
   Harness h(Cluster::homogeneous(1, 1, 1));
-  h.sched->submit(make_job(0, 0, 0, 100000, {100, 40}, {}), 0);
+  h.sched->submit(make_job(0, Time{0}, Time{0}, Time{100000}, {Time{100}, Time{40}}, {}), Time{0});
   ASSERT_EQ(h.launches.size(), 1u);  // one map running [0, 100)
   // Internal behaviour is covered indirectly: at t=0 the running task
   // holds the only slot, so nothing else launches until 100.
-  h.run_until(99);
+  h.run_until(Time{99});
   EXPECT_EQ(h.launches.size(), 1u);
-  h.run_until(100);
+  h.run_until(Time{100});
   EXPECT_EQ(h.launches.size(), 2u);
-  EXPECT_EQ(h.launches[1].start, 100);
+  EXPECT_EQ(h.launches[1].start, Time{100});
 }
 
 TEST(MinEdfWc, StatsTrackSubmissionsAndLaunches) {
   Harness h(Cluster::homogeneous(1, 1, 1));
-  h.sched->submit(make_job(0, 0, 0, 10000, {10}, {5}), 0);
-  h.run_until(100);
+  h.sched->submit(make_job(0, Time{0}, Time{0}, Time{10000}, {Time{10}}, {Time{5}}), Time{0});
+  h.run_until(Time{100});
   EXPECT_EQ(h.sched->stats().jobs_submitted, 1u);
   EXPECT_EQ(h.sched->stats().tasks_launched, 2u);
   EXPECT_GT(h.sched->stats().dispatches, 0u);
@@ -242,11 +242,11 @@ TEST(MinEdfWc, AverageBoundCanMissDeadlines) {
   // the actual list schedule finishes at 120 > 110 — the baseline's
   // characteristic optimistic allocation (paper Fig. 2).
   Harness h(Cluster::homogeneous(2, 1, 1), AriaBound::kAverage);
-  h.sched->submit(make_job(0, 0, 0, 110, {60, 60, 60}, {}), 0);
-  h.run_until(1000);
-  Time completion = 0;
+  h.sched->submit(make_job(0, Time{0}, Time{0}, Time{110}, {Time{60}, Time{60}, Time{60}}, {}), Time{0});
+  h.run_until(Time{1000});
+  Time completion;
   for (const Launch& l : h.launches) completion = std::max(completion, l.end);
-  EXPECT_EQ(completion, 120);  // misses the 110 deadline
+  EXPECT_EQ(completion, Time{120});  // misses the 110 deadline
 }
 
 TEST(MinEdfWc, MaximalAllocationGrabsAllSlotsEdfFirst) {
@@ -260,8 +260,8 @@ TEST(MinEdfWc, MaximalAllocationGrabsAllSlotsEdfFirst) {
       Cluster::homogeneous(4, 1, 1),
       [&](JobId j, int t, Time s, Time e) { launches.push_back({j, t, s, e}); },
       cfg);
-  sched.submit(make_job(0, 0, 0, 1000000, {10, 10, 10}, {}), 0);
-  sched.submit(make_job(1, 0, 0, 2000000, {10, 10}, {}), 0);
+  sched.submit(make_job(0, Time{0}, Time{0}, Time{1000000}, {Time{10}, Time{10}, Time{10}}, {}), Time{0});
+  sched.submit(make_job(1, Time{0}, Time{0}, Time{2000000}, {Time{10}, Time{10}}, {}), Time{0});
   ASSERT_EQ(launches.size(), 4u);
   int job0_launches = 0;
   for (const Launch& l : launches) job0_launches += l.job == 0 ? 1 : 0;
@@ -271,12 +271,12 @@ TEST(MinEdfWc, MaximalAllocationGrabsAllSlotsEdfFirst) {
 TEST(MinEdfWc, NeverLaunchesBeyondCapacity) {
   Harness h(Cluster::homogeneous(2, 1, 1));
   for (int i = 0; i < 4; ++i) {
-    h.sched->submit(make_job(i, 0, 0, 1000 + i, {50, 50}, {}), 0);
+    h.sched->submit(make_job(i, Time{0}, Time{0}, Time{1000 + i}, {Time{50}, Time{50}}, {}), Time{0});
   }
   // At most 2 concurrent map launches at t=0.
   int at_zero = 0;
   for (const Launch& l : h.launches) {
-    if (l.start == 0) ++at_zero;
+    if (l.start == Time{0}) ++at_zero;
   }
   EXPECT_EQ(at_zero, 2);
 }

@@ -12,31 +12,31 @@ namespace mrcp {
 namespace {
 
 TEST(SecondsToTicks, RoundsPositiveToNearest) {
-  EXPECT_EQ(seconds_to_ticks(0.0), 0);
-  EXPECT_EQ(seconds_to_ticks(1.0), 1000);
-  EXPECT_EQ(seconds_to_ticks(0.0004), 0);
-  EXPECT_EQ(seconds_to_ticks(0.0006), 1);
-  EXPECT_EQ(seconds_to_ticks(1.2344), 1234);
-  EXPECT_EQ(seconds_to_ticks(1.2346), 1235);
+  EXPECT_EQ(seconds_to_ticks(0.0), Time{0});
+  EXPECT_EQ(seconds_to_ticks(1.0), Time{1000});
+  EXPECT_EQ(seconds_to_ticks(0.0004), Time{0});
+  EXPECT_EQ(seconds_to_ticks(0.0006), Time{1});
+  EXPECT_EQ(seconds_to_ticks(1.2344), Time{1234});
+  EXPECT_EQ(seconds_to_ticks(1.2346), Time{1235});
 }
 
 TEST(SecondsToTicks, HalfTickBoundaries) {
   // 0.0004999 s = 0.4999 ticks -> 0; 0.0005 s = 0.5 ticks -> 1 (half
   // away from zero), and symmetrically for negative inputs.
-  EXPECT_EQ(seconds_to_ticks(0.0004999), 0);
-  EXPECT_EQ(seconds_to_ticks(0.0005), 1);
-  EXPECT_EQ(seconds_to_ticks(-0.0004999), 0);
-  EXPECT_EQ(seconds_to_ticks(-0.0005), -1);
-  EXPECT_EQ(seconds_to_ticks(0.0015), 2);
-  EXPECT_EQ(seconds_to_ticks(-0.0015), -2);
+  EXPECT_EQ(seconds_to_ticks(0.0004999), Time{0});
+  EXPECT_EQ(seconds_to_ticks(0.0005), Time{1});
+  EXPECT_EQ(seconds_to_ticks(-0.0004999), Time{0});
+  EXPECT_EQ(seconds_to_ticks(-0.0005), Time{-1});
+  EXPECT_EQ(seconds_to_ticks(0.0015), Time{2});
+  EXPECT_EQ(seconds_to_ticks(-0.0015), Time{-2});
 }
 
 TEST(SecondsToTicks, NegativeValuesRoundToNearest) {
-  EXPECT_EQ(seconds_to_ticks(-1.0), -1000);
-  EXPECT_EQ(seconds_to_ticks(-0.0004), 0);
-  EXPECT_EQ(seconds_to_ticks(-0.0006), -1);
-  EXPECT_EQ(seconds_to_ticks(-1.2344), -1234);
-  EXPECT_EQ(seconds_to_ticks(-1.2346), -1235);
+  EXPECT_EQ(seconds_to_ticks(-1.0), Time{-1000});
+  EXPECT_EQ(seconds_to_ticks(-0.0004), Time{0});
+  EXPECT_EQ(seconds_to_ticks(-0.0006), Time{-1});
+  EXPECT_EQ(seconds_to_ticks(-1.2344), Time{-1234});
+  EXPECT_EQ(seconds_to_ticks(-1.2346), Time{-1235});
 }
 
 TEST(SecondsToTicks, ClampsToMaxTime) {
@@ -56,8 +56,8 @@ TEST(SecondsToTicks, RoundTripsWithTicksToSeconds) {
 }
 
 TEST(SecondsToTicks, IsConstexpr) {
-  static_assert(seconds_to_ticks(1.5) == 1500);
-  static_assert(seconds_to_ticks(-0.0005) == -1);
+  static_assert(seconds_to_ticks(1.5) == Time{1500});
+  static_assert(seconds_to_ticks(-0.0005) == Time{-1});
   static_assert(seconds_to_ticks(1e300) == kMaxTime);
   SUCCEED();
 }

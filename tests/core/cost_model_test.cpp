@@ -19,9 +19,9 @@ TEST(CostModel, EmptyIntervalsCostNothing) {
 TEST(CostModel, BusySecondsPerPhase) {
   // 2 map intervals of 10 s, 1 reduce of 5 s (times in ticks = ms).
   const std::vector<BusyInterval> intervals = {
-      {0, TaskType::kMap, 0, 10000},
-      {1, TaskType::kMap, 0, 10000},
-      {0, TaskType::kReduce, 10000, 15000},
+      {0, TaskType::kMap, Time{0}, Time{10000}},
+      {1, TaskType::kMap, Time{0}, Time{10000}},
+      {0, TaskType::kReduce, Time{10000}, Time{15000}},
   };
   const CostBreakdown cost = intervals_cost(intervals, CostRates{2.0, 3.0, 0.0});
   EXPECT_DOUBLE_EQ(cost.map_busy_seconds, 20.0);
@@ -35,9 +35,9 @@ TEST(CostModel, UptimeIsLeaseWindowPerResource) {
   // Resource 0 busy [0,10s) and [20s,30s): lease window 30 s (gaps are
   // paid — the lease holds the machine).
   const std::vector<BusyInterval> intervals = {
-      {0, TaskType::kMap, 0, 10000},
-      {0, TaskType::kMap, 20000, 30000},
-      {1, TaskType::kReduce, 5000, 8000},
+      {0, TaskType::kMap, Time{0}, Time{10000}},
+      {0, TaskType::kMap, Time{20000}, Time{30000}},
+      {1, TaskType::kReduce, Time{5000}, Time{8000}},
   };
   const CostBreakdown cost = intervals_cost(intervals, CostRates{0.0, 0.0, 1.0});
   EXPECT_DOUBLE_EQ(cost.uptime_seconds, 30.0 + 3.0);
@@ -47,12 +47,12 @@ TEST(CostModel, UptimeIsLeaseWindowPerResource) {
 TEST(CostModel, PackingOntoFewerResourcesIsCheaperOnUptime) {
   // Same busy time, spread vs packed.
   const std::vector<BusyInterval> spread = {
-      {0, TaskType::kMap, 0, 10000},
-      {1, TaskType::kMap, 0, 10000},
+      {0, TaskType::kMap, Time{0}, Time{10000}},
+      {1, TaskType::kMap, Time{0}, Time{10000}},
   };
   const std::vector<BusyInterval> packed = {
-      {0, TaskType::kMap, 0, 10000},
-      {0, TaskType::kMap, 10000, 20000},
+      {0, TaskType::kMap, Time{0}, Time{10000}},
+      {0, TaskType::kMap, Time{10000}, Time{20000}},
   };
   const CostRates rates{0.0, 0.0, 1.0};
   EXPECT_DOUBLE_EQ(intervals_cost(spread, rates).uptime_cost, 20.0);
@@ -60,12 +60,12 @@ TEST(CostModel, PackingOntoFewerResourcesIsCheaperOnUptime) {
   // ...uptime equal here; but with idle gaps the packed variant pays for
   // its single lease only:
   const std::vector<BusyInterval> sparse_two = {
-      {0, TaskType::kMap, 0, 10000},
-      {1, TaskType::kMap, 30000, 40000},
+      {0, TaskType::kMap, Time{0}, Time{10000}},
+      {1, TaskType::kMap, Time{30000}, Time{40000}},
   };
   const std::vector<BusyInterval> sparse_one = {
-      {0, TaskType::kMap, 0, 10000},
-      {0, TaskType::kMap, 30000, 40000},
+      {0, TaskType::kMap, Time{0}, Time{10000}},
+      {0, TaskType::kMap, Time{30000}, Time{40000}},
   };
   EXPECT_DOUBLE_EQ(intervals_cost(sparse_two, rates).uptime_cost, 20.0);
   EXPECT_DOUBLE_EQ(intervals_cost(sparse_one, rates).uptime_cost, 40.0);
@@ -75,8 +75,8 @@ TEST(CostModel, PlanCostMatchesManualIntervals) {
   MrcpConfig cfg;
   cfg.solve.time_limit_s = 1.0;
   MrcpRm rm(Cluster::homogeneous(2, 1, 1), cfg);
-  rm.submit(make_job(0, 0, 0, 100000, {10000, 20000}, {5000}), 0);
-  const Plan& plan = rm.reschedule(0);
+  rm.submit(make_job(0, Time{0}, Time{0}, Time{100000}, {Time{10000}, Time{20000}}, {Time{5000}}), Time{0});
+  const Plan& plan = rm.reschedule(Time{0});
   const CostRates rates{1.0, 10.0, 0.1};
   const CostBreakdown cost = plan_cost(plan, rates);
   EXPECT_DOUBLE_EQ(cost.map_busy_seconds, 30.0);
@@ -87,7 +87,7 @@ TEST(CostModel, PlanCostMatchesManualIntervals) {
 }
 
 TEST(CostModel, ZeroRatesZeroCostButSecondsReported) {
-  const std::vector<BusyInterval> intervals = {{0, TaskType::kMap, 0, 1000}};
+  const std::vector<BusyInterval> intervals = {{0, TaskType::kMap, Time{0}, Time{1000}}};
   const CostBreakdown cost = intervals_cost(intervals, CostRates{});
   EXPECT_DOUBLE_EQ(cost.total(), 0.0);
   EXPECT_DOUBLE_EQ(cost.map_busy_seconds, 1.0);

@@ -29,9 +29,9 @@ cp::Model big_model() {
   cp::Model m;
   m.add_resource(4, 4);
   for (int j = 0; j < 6; ++j) {
-    const cp::CpJobIndex cj = m.add_job(0, 500 + 100 * j, j);
-    for (int t = 0; t < 8; ++t) m.add_task(cj, cp::Phase::kMap, 50);
-    for (int t = 0; t < 2; ++t) m.add_task(cj, cp::Phase::kReduce, 30);
+    const cp::CpJobIndex cj = m.add_job(Time{0}, Time{500 + 100 * j}, j);
+    for (int t = 0; t < 8; ++t) m.add_task(cj, cp::Phase::kMap, Time{50});
+    for (int t = 0; t < 2; ++t) m.add_task(cj, cp::Phase::kReduce, Time{30});
   }
   return m;
 }
@@ -58,8 +58,8 @@ TEST(SolveStatus, Names) {
 TEST(SolveStatus, UnconstrainedSolveReportsOptimalAndWallClock) {
   cp::Model m;
   m.add_resource(1, 1);
-  const cp::CpJobIndex j = m.add_job(0, 500, 0);
-  m.add_task(j, cp::Phase::kMap, 50);
+  const cp::CpJobIndex j = m.add_job(Time{0}, Time{500}, 0);
+  m.add_task(j, cp::Phase::kMap, Time{50});
   cp::SolveParams params;
   params.time_limit_s = 5.0;
   const cp::SolveResult r = cp::solve(m, params);
@@ -94,9 +94,9 @@ TEST(SolveStatus, SeededSolveUnderExpiredWatchdogReturnsSeedAsFeasible) {
   cp::Model m;
   m.add_resource(4, 4);
   for (int j = 0; j < 6; ++j) {
-    const cp::CpJobIndex cj = m.add_job(0, 150 + 10 * j, j);
-    for (int t = 0; t < 8; ++t) m.add_task(cj, cp::Phase::kMap, 50);
-    for (int t = 0; t < 2; ++t) m.add_task(cj, cp::Phase::kReduce, 30);
+    const cp::CpJobIndex cj = m.add_job(Time{0}, Time{150 + 10 * j}, j);
+    for (int t = 0; t < 8; ++t) m.add_task(cj, cp::Phase::kMap, Time{50});
+    for (int t = 0; t < 2; ++t) m.add_task(cj, cp::Phase::kReduce, Time{30});
   }
   const cp::Solution seed = fallback_schedule(m);
   ASSERT_TRUE(seed.valid);
@@ -117,13 +117,13 @@ TEST(SolveStatus, SeededSolveUnderExpiredWatchdogReturnsSeedAsFeasible) {
 TEST(DegradedMode, TinyBudgetFallsBackAndLedgerAttributes) {
   MrcpConfig cfg = degraded_config();
   cfg.max_solve_retries = 0;  // primary -> fallback directly
-  cfg.backpressure_hold = 1'000;
+  cfg.backpressure_hold = Time{1'000};
   MrcpRm rm(Cluster::homogeneous(2, 2, 2), cfg);
 
-  std::vector<Time> maps(10, 50);
-  rm.submit(make_job(0, 0, 0, 2'000, maps, {30, 30}), 0);
-  rm.submit(make_job(1, 0, 0, 2'500, maps, {30, 30}), 0);
-  const Plan& p1 = rm.reschedule(0);
+  std::vector<Time> maps(10, Time{50});
+  rm.submit(make_job(0, Time{0}, Time{0}, Time{2'000}, maps, {Time{30}, Time{30}}), Time{0});
+  rm.submit(make_job(1, Time{0}, Time{0}, Time{2'500}, maps, {Time{30}, Time{30}}), Time{0});
+  const Plan& p1 = rm.reschedule(Time{0});
   EXPECT_FALSE(p1.tasks.empty());
 
   ASSERT_EQ(rm.ledger().records().size(), 1u);
@@ -138,25 +138,25 @@ TEST(DegradedMode, TinyBudgetFallsBackAndLedgerAttributes) {
 
   // Unchanged live set while degraded: the next invocation republishes
   // instead of re-solving.
-  rm.reschedule(1);
+  rm.reschedule(Time{1});
   ASSERT_EQ(rm.ledger().records().size(), 2u);
   EXPECT_EQ(rm.ledger().records()[1].outcome, InvocationOutcome::kSkipped);
   EXPECT_EQ(rm.ledger().records()[1].attempts, 0);
 
   // Arrivals during a degraded streak are backpressure-deferred.
-  rm.submit(make_job(2, 2, 2, 3'000, {50}, {}), 2);
+  rm.submit(make_job(2, Time{2}, Time{2}, Time{3'000}, {Time{50}}, {}), Time{2});
   EXPECT_EQ(rm.stats().jobs_backpressured, 1u);
   EXPECT_EQ(rm.degradation_counts().jobs_backpressured, 1u);
-  EXPECT_EQ(rm.next_deferred_release(), 2 + cfg.backpressure_hold);
+  EXPECT_EQ(rm.next_deferred_release(), Time{2} + cfg.backpressure_hold);
 
   // At the hold's expiry the deferred job joins a full (dirty) pass.
-  rm.reschedule(2 + cfg.backpressure_hold);
+  rm.reschedule(Time{2} + cfg.backpressure_hold);
   ASSERT_EQ(rm.ledger().records().size(), 3u);
   EXPECT_EQ(rm.ledger().records()[2].outcome, InvocationOutcome::kFallback);
 
   // Far in the future everything has completed: idle invocation, and
   // every invocation is attributed to exactly one outcome.
-  rm.reschedule(10'000'000);
+  rm.reschedule(Time{10'000'000});
   const DegradationCounts& counts = rm.ledger().counts();
   EXPECT_EQ(counts.idle, 1u);
   EXPECT_EQ(counts.invocations(), rm.stats().invocations);
@@ -168,9 +168,9 @@ TEST(DegradedMode, RetryRungsAreAttemptedBeforeFallback) {
   MrcpConfig cfg = degraded_config();
   cfg.max_solve_retries = 2;
   MrcpRm rm(Cluster::homogeneous(2, 2, 2), cfg);
-  std::vector<Time> maps(10, 50);
-  rm.submit(make_job(0, 0, 0, 2'000, maps, {30, 30}), 0);
-  rm.reschedule(0);
+  std::vector<Time> maps(10, Time{50});
+  rm.submit(make_job(0, Time{0}, Time{0}, Time{2'000}, maps, {Time{30}, Time{30}}), Time{0});
+  rm.reschedule(Time{0});
   ASSERT_EQ(rm.ledger().records().size(), 1u);
   const InvocationRecord& rec = rm.ledger().records()[0];
   // Degraded either way; if the invocation deadline had room for rungs,
@@ -186,20 +186,20 @@ TEST(DegradedModeDeathTest, FallbackDisabledRestoresFatalBehaviour) {
   MrcpConfig cfg = degraded_config();
   cfg.fallback_enabled = false;
   MrcpRm rm(Cluster::homogeneous(2, 2, 2), cfg);
-  std::vector<Time> maps(10, 50);
-  rm.submit(make_job(0, 0, 0, 2'000, maps, {30, 30}), 0);
-  EXPECT_DEATH(rm.reschedule(0), "solver returned no solution");
+  std::vector<Time> maps(10, Time{50});
+  rm.submit(make_job(0, Time{0}, Time{0}, Time{2'000}, maps, {Time{30}, Time{30}}), Time{0});
+  EXPECT_DEATH(rm.reschedule(Time{0}), "solver returned no solution");
 }
 
 // ---- Burst workload through the full simulator ----
 
 TEST(DegradedMode, BurstWorkloadWithTinyBudgetSimulatesToCompletion) {
   std::vector<Job> jobs;
-  std::vector<Time> maps(8, 30'000);
+  std::vector<Time> maps(8, Time{30'000});
   for (int i = 0; i < 12; ++i) {
-    const Time arrival = static_cast<Time>(i);
-    jobs.push_back(make_job(i, arrival, arrival, 2'000'000 + 50'000 * i, maps,
-                            {20'000, 20'000}));
+    const Time arrival{i};
+    jobs.push_back(make_job(i, arrival, arrival, Time{2'000'000 + 50'000 * i},
+                            maps, {Time{20'000}, Time{20'000}}));
   }
   const Workload w = make_workload(std::move(jobs), 2, 2, 2);
 
@@ -229,29 +229,29 @@ TEST(DegradedMode, AllResourcesDownParksAndRecovers) {
   cfg.validate_plans = true;
   cfg.solve.time_limit_s = 2.0;
   MrcpRm rm(Cluster::homogeneous(1, 1, 1), cfg);
-  rm.submit(make_job(0, 0, 0, 100'000, {100}, {50}), 0);
-  rm.reschedule(0);
+  rm.submit(make_job(0, Time{0}, Time{0}, Time{100'000}, {Time{100}}, {Time{50}}), Time{0});
+  rm.reschedule(Time{0});
 
   // Pre-degradation this aborted ("every resource is down"); now the
   // work is parked until a repair.
-  rm.handle_resource_down(0, 10);
-  const Plan& parked = rm.reschedule(10);
+  rm.handle_resource_down(0, Time{10});
+  const Plan& parked = rm.reschedule(Time{10});
   EXPECT_TRUE(parked.tasks.empty());
   EXPECT_EQ(parked.parked_tasks, 2u);
   EXPECT_EQ(rm.ledger().records().back().outcome, InvocationOutcome::kParked);
   EXPECT_EQ(rm.ledger().records().back().parked_jobs, 1u);
   EXPECT_GE(rm.stats().jobs_parked, 1u);
   // Parked work retries on a timer even without a repair event.
-  EXPECT_EQ(rm.next_deferred_release(), 10 + cfg.park_retry_delay);
+  EXPECT_EQ(rm.next_deferred_release(), Time{10} + cfg.park_retry_delay);
 
-  rm.handle_resource_up(0, 100);
-  const Plan& repaired = rm.reschedule(100);
+  rm.handle_resource_up(0, Time{100});
+  const Plan& repaired = rm.reschedule(Time{100});
   EXPECT_EQ(repaired.parked_tasks, 0u);
   EXPECT_EQ(repaired.tasks.size(), 2u);
   EXPECT_EQ(rm.ledger().records().back().outcome,
             InvocationOutcome::kCpPrimary);
 
-  rm.reschedule(1'000'000);
+  rm.reschedule(Time{1'000'000});
   EXPECT_EQ(rm.stats().jobs_completed, 1u);
 }
 
@@ -272,17 +272,17 @@ TEST(DegradedMode, FailureDemotesFrozenReduceWhoseMapWasKilled) {
   MrcpRm rm(c, cfg);
 
   // Deadline forces the two maps in parallel across r0/r1.
-  rm.submit(make_job(0, 0, 0, 160, {100, 100}, {50}), 0);
-  const Plan& p1 = rm.reschedule(0);
+  rm.submit(make_job(0, Time{0}, Time{0}, Time{160}, {Time{100}, Time{100}}, {Time{50}}), Time{0});
+  const Plan& p1 = rm.reschedule(Time{0});
   bool map_on_r0 = false;
   for (const PlannedTask& pt : p1.tasks) {
     map_on_r0 |= pt.type == TaskType::kMap && pt.resource == 0;
   }
   ASSERT_TRUE(map_on_r0);
 
-  rm.handle_resource_down(0, 50);
-  const Plan& p2 = rm.reschedule(50);
-  Time latest_map_end = 0;
+  rm.handle_resource_down(0, Time{50});
+  const Plan& p2 = rm.reschedule(Time{50});
+  Time latest_map_end;
   const PlannedTask* reduce = nullptr;
   for (const PlannedTask& pt : p2.tasks) {
     EXPECT_NE(pt.resource, 0);  // nothing resurrects onto the down node
@@ -296,7 +296,7 @@ TEST(DegradedMode, FailureDemotesFrozenReduceWhoseMapWasKilled) {
   // Killed map re-runs after r1's own map: reduce starts at 200, not at
   // its stale planned 100.
   EXPECT_GE(reduce->start, latest_map_end);
-  EXPECT_GE(reduce->start, 200);
+  EXPECT_GE(reduce->start, Time{200});
 }
 
 TEST(DegradedMode, MidEpochFailureDuringFallbackEpochStaysValid) {
@@ -307,22 +307,22 @@ TEST(DegradedMode, MidEpochFailureDuringFallbackEpochStaysValid) {
   // violation fatal, so completing the run is the assertion.
   MrcpConfig cfg = degraded_config();
   MrcpRm rm(Cluster::homogeneous(2, 1, 1), cfg);
-  std::vector<Time> maps(6, 100);
-  rm.submit(make_job(0, 0, 0, 5'000, maps, {50}), 0);
-  const Plan& p1 = rm.reschedule(0);
+  std::vector<Time> maps(6, Time{100});
+  rm.submit(make_job(0, Time{0}, Time{0}, Time{5'000}, maps, {Time{50}}), Time{0});
+  const Plan& p1 = rm.reschedule(Time{0});
   EXPECT_EQ(rm.ledger().records().back().outcome, InvocationOutcome::kFallback);
   EXPECT_FALSE(p1.tasks.empty());
 
-  rm.handle_resource_down(0, 150);
-  const Plan& p2 = rm.reschedule(150);
+  rm.handle_resource_down(0, Time{150});
+  const Plan& p2 = rm.reschedule(Time{150});
   for (const PlannedTask& pt : p2.tasks) {
     if (!pt.started) {
       EXPECT_NE(pt.resource, 0);
     }
   }
-  rm.handle_resource_up(0, 400);
-  rm.reschedule(400);
-  rm.reschedule(1'000'000);
+  rm.handle_resource_up(0, Time{400});
+  rm.reschedule(Time{400});
+  rm.reschedule(Time{1'000'000});
   EXPECT_EQ(rm.stats().jobs_completed, 1u);
 }
 

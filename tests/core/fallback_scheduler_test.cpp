@@ -27,10 +27,10 @@ TEST(FallbackScheduler, EmptyModelIsValid) {
 TEST(FallbackScheduler, SchedulesSimpleJobOnTime) {
   Model m;
   m.add_resource(2, 1);
-  const CpJobIndex j = m.add_job(0, 200, 0);
-  m.add_task(j, Phase::kMap, 50);
-  m.add_task(j, Phase::kMap, 50);
-  m.add_task(j, Phase::kReduce, 30);
+  const CpJobIndex j = m.add_job(Time{0}, Time{200}, 0);
+  m.add_task(j, Phase::kMap, Time{50});
+  m.add_task(j, Phase::kMap, Time{50});
+  m.add_task(j, Phase::kReduce, Time{30});
   const Solution sol = fallback_schedule(m);
   ASSERT_TRUE(sol.valid);
   EXPECT_EQ(validate_solution(m, sol), "");
@@ -42,10 +42,10 @@ TEST(FallbackScheduler, EdfOrderPrioritizesTightDeadline) {
   // job late, EDF order completes both on time.
   Model m;
   m.add_resource(1, 1);
-  const CpJobIndex j0 = m.add_job(0, 200, 0);
-  m.add_task(j0, Phase::kMap, 80);
-  const CpJobIndex j1 = m.add_job(0, 60, 1);
-  m.add_task(j1, Phase::kMap, 50);
+  const CpJobIndex j0 = m.add_job(Time{0}, Time{200}, 0);
+  m.add_task(j0, Phase::kMap, Time{80});
+  const CpJobIndex j1 = m.add_job(Time{0}, Time{60}, 1);
+  m.add_task(j1, Phase::kMap, Time{50});
   const Solution sol = fallback_schedule(m);
   ASSERT_TRUE(sol.valid);
   EXPECT_EQ(validate_solution(m, sol), "");
@@ -57,38 +57,38 @@ TEST(FallbackScheduler, RespectsPinnedTasks) {
   // must wait, and the reduce must start after both maps.
   Model m;
   m.add_resource(1, 1);
-  const CpJobIndex j = m.add_job(0, 500, 0);
-  const CpTaskIndex pinned = m.add_task(j, Phase::kMap, 100);
-  m.add_task(j, Phase::kMap, 50);
-  const CpTaskIndex reduce = m.add_task(j, Phase::kReduce, 20);
-  m.pin_task(pinned, 0, 0);
+  const CpJobIndex j = m.add_job(Time{0}, Time{500}, 0);
+  const CpTaskIndex pinned = m.add_task(j, Phase::kMap, Time{100});
+  m.add_task(j, Phase::kMap, Time{50});
+  const CpTaskIndex reduce = m.add_task(j, Phase::kReduce, Time{20});
+  m.pin_task(pinned, 0, Time{0});
   const Solution sol = fallback_schedule(m);
   ASSERT_TRUE(sol.valid);
   EXPECT_EQ(validate_solution(m, sol), "");
-  EXPECT_EQ(sol.placements[static_cast<std::size_t>(pinned)].start, 0);
-  EXPECT_GE(sol.placements[static_cast<std::size_t>(reduce)].start, 150);
+  EXPECT_EQ(sol.placements[static_cast<std::size_t>(pinned)].start, Time{0});
+  EXPECT_GE(sol.placements[static_cast<std::size_t>(reduce)].start, Time{150});
 }
 
 TEST(FallbackScheduler, RespectsWorkflowPrecedences) {
   Model m;
   m.add_resource(2, 2);
-  const CpJobIndex j = m.add_job(0, 1000, 0);
-  const CpTaskIndex a = m.add_task(j, Phase::kMap, 40);
-  const CpTaskIndex b = m.add_task(j, Phase::kMap, 40);
+  const CpJobIndex j = m.add_job(Time{0}, Time{1000}, 0);
+  const CpTaskIndex a = m.add_task(j, Phase::kMap, Time{40});
+  const CpTaskIndex b = m.add_task(j, Phase::kMap, Time{40});
   m.add_precedence(a, b);
   const Solution sol = fallback_schedule(m);
   ASSERT_TRUE(sol.valid);
   EXPECT_EQ(validate_solution(m, sol), "");
   EXPECT_GE(sol.placements[static_cast<std::size_t>(b)].start,
-            sol.placements[static_cast<std::size_t>(a)].start + 40);
+            sol.placements[static_cast<std::size_t>(a)].start + Time{40});
 }
 
 TEST(FallbackScheduler, HonorsCandidateRestrictions) {
   Model m;
   m.add_resource(1, 1);
   m.add_resource(1, 1);
-  const CpJobIndex j = m.add_job(0, 400, 0);
-  const CpTaskIndex t = m.add_task(j, Phase::kMap, 50);
+  const CpJobIndex j = m.add_job(Time{0}, Time{400}, 0);
+  const CpTaskIndex t = m.add_task(j, Phase::kMap, Time{50});
   m.restrict_candidates(t, {1});
   const Solution sol = fallback_schedule(m);
   ASSERT_TRUE(sol.valid);
@@ -102,8 +102,8 @@ TEST(FallbackScheduler, ReturnsInvalidWhenNoHostExists) {
   // the scheduler itself must stay total).
   Model m;
   m.add_resource(2, 2);
-  const CpJobIndex j = m.add_job(0, 400, 0);
-  m.add_task(j, Phase::kMap, 50, 3);
+  const CpJobIndex j = m.add_job(Time{0}, Time{400}, 0);
+  m.add_task(j, Phase::kMap, Time{50}, 3);
   const Solution sol = fallback_schedule(m);
   EXPECT_FALSE(sol.valid);
 }
@@ -114,15 +114,15 @@ TEST(FallbackScheduler, Deterministic) {
   m.add_resource(2, 2);
   m.add_resource(1, 1);
   for (int j = 0; j < 8; ++j) {
-    const Time est = rng.uniform_int(0, 100);
-    const CpJobIndex cj = m.add_job(est, est + rng.uniform_int(100, 600), j);
+    const Time est{rng.uniform_int(0, 100)};
+    const CpJobIndex cj = m.add_job(est, est + Time{rng.uniform_int(100, 600)}, j);
     const auto maps = rng.uniform_int(1, 4);
     const auto reduces = rng.uniform_int(1, 2);
     for (std::int64_t t = 0; t < maps; ++t) {
-      m.add_task(cj, Phase::kMap, rng.uniform_int(10, 60));
+      m.add_task(cj, Phase::kMap, Time{rng.uniform_int(10, 60)});
     }
     for (std::int64_t t = 0; t < reduces; ++t) {
-      m.add_task(cj, Phase::kReduce, rng.uniform_int(10, 40));
+      m.add_task(cj, Phase::kReduce, Time{rng.uniform_int(10, 40)});
     }
   }
   const Solution s1 = fallback_schedule(m);
@@ -146,15 +146,15 @@ TEST(FallbackScheduler, RandomModelsAlwaysValid) {
     }
     const auto jobs = rng.uniform_int(1, 6);
     for (std::int64_t j = 0; j < jobs; ++j) {
-      const Time est = rng.uniform_int(0, 50);
+      const Time est{rng.uniform_int(0, 50)};
       const CpJobIndex cj =
-          m.add_job(est, est + rng.uniform_int(50, 400), static_cast<int>(j));
+          m.add_job(est, est + Time{rng.uniform_int(50, 400)}, static_cast<int>(j));
       const auto maps = rng.uniform_int(1, 3);
       for (std::int64_t t = 0; t < maps; ++t) {
-        m.add_task(cj, Phase::kMap, rng.uniform_int(5, 50));
+        m.add_task(cj, Phase::kMap, Time{rng.uniform_int(5, 50)});
       }
       if (rng.uniform_int(0, 1) == 1) {
-        m.add_task(cj, Phase::kReduce, rng.uniform_int(5, 30));
+        m.add_task(cj, Phase::kReduce, Time{rng.uniform_int(5, 30)});
       }
     }
     ASSERT_EQ(m.validate(), "");
@@ -174,14 +174,14 @@ TEST(FallbackScheduler, SeededCpNeverWorseThanFallbackAlone) {
     m.add_resource(2, 2);
     const auto jobs = rng.uniform_int(2, 6);
     for (std::int64_t j = 0; j < jobs; ++j) {
-      const Time est = rng.uniform_int(0, 40);
+      const Time est{rng.uniform_int(0, 40)};
       const CpJobIndex cj =
-          m.add_job(est, est + rng.uniform_int(40, 250), static_cast<int>(j));
+          m.add_job(est, est + Time{rng.uniform_int(40, 250)}, static_cast<int>(j));
       const auto maps = rng.uniform_int(1, 3);
       for (std::int64_t t = 0; t < maps; ++t) {
-        m.add_task(cj, Phase::kMap, rng.uniform_int(5, 60));
+        m.add_task(cj, Phase::kMap, Time{rng.uniform_int(5, 60)});
       }
-      m.add_task(cj, Phase::kReduce, rng.uniform_int(5, 40));
+      m.add_task(cj, Phase::kReduce, Time{rng.uniform_int(5, 40)});
     }
     const Solution fallback = fallback_schedule(m);
     ASSERT_TRUE(fallback.valid) << "seed " << seed;

@@ -62,14 +62,14 @@ const PlannedTask* find_task(const Plan& plan, JobId job, int task_index) {
 
 TEST(Incremental, EmptyDirtySetRepublishesWithoutSolving) {
   MrcpRm rm(Cluster::homogeneous(2, 2, 2), incremental_config());
-  rm.submit(make_job(0, 0, 1'000, 50'000, {100, 100}, {80}), 0);
-  rm.submit(make_job(1, 0, 1'000, 60'000, {100}, {80}), 0);
-  const Plan p1 = rm.reschedule(0);
+  rm.submit(make_job(0, Time{0}, Time{1'000}, Time{50'000}, {Time{100}, Time{100}}, {Time{80}}), Time{0});
+  rm.submit(make_job(1, Time{0}, Time{1'000}, Time{60'000}, {Time{100}}, {Time{80}}), Time{0});
+  const Plan p1 = rm.reschedule(Time{0});
   EXPECT_EQ(rm.ledger().records().back().outcome, InvocationOutcome::kCpPrimary);
   EXPECT_TRUE(rm.dirty_jobs().empty());
 
   // Nothing happened: the next invocation must not solve at all.
-  const Plan& p2 = rm.reschedule(10);
+  const Plan& p2 = rm.reschedule(Time{10});
   const InvocationRecord& rec = rm.ledger().records().back();
   EXPECT_EQ(rec.outcome, InvocationOutcome::kSkipped);
   EXPECT_EQ(rec.attempts, 0);
@@ -77,20 +77,20 @@ TEST(Incremental, EmptyDirtySetRepublishesWithoutSolving) {
   EXPECT_TRUE(plans_equal(p1, p2));
   EXPECT_EQ(rm.stats().solve_attempts, 1u);
 
-  rm.reschedule(1'000'000);
+  rm.reschedule(Time{1'000'000});
   EXPECT_EQ(rm.stats().jobs_completed, 2u);
 }
 
 TEST(Incremental, ArrivalResolvesOnlyTheNewJobAgainstFrozenBoundary) {
   MrcpRm rm(Cluster::homogeneous(2, 2, 2), incremental_config());
-  rm.submit(make_job(0, 0, 1'000, 50'000, {100, 100}, {80}), 0);
-  rm.submit(make_job(1, 0, 1'000, 60'000, {100}, {80}), 0);
-  const Plan p1 = rm.reschedule(0);
+  rm.submit(make_job(0, Time{0}, Time{1'000}, Time{50'000}, {Time{100}, Time{100}}, {Time{80}}), Time{0});
+  rm.submit(make_job(1, Time{0}, Time{1'000}, Time{60'000}, {Time{100}}, {Time{80}}), Time{0});
+  const Plan p1 = rm.reschedule(Time{0});
 
-  rm.submit(make_job(2, 10, 1'000, 70'000, {100}, {80}), 10);
+  rm.submit(make_job(2, Time{10}, Time{1'000}, Time{70'000}, {Time{100}}, {Time{80}}), Time{10});
   EXPECT_EQ(rm.dirty_jobs().size(), 1u);
   EXPECT_EQ(*rm.dirty_jobs().begin(), 2);
-  const Plan& p2 = rm.reschedule(10);
+  const Plan& p2 = rm.reschedule(Time{10});
 
   const InvocationRecord& rec = rm.ledger().records().back();
   EXPECT_EQ(rec.outcome, InvocationOutcome::kCpPrimary);
@@ -109,16 +109,16 @@ TEST(Incremental, ArrivalResolvesOnlyTheNewJobAgainstFrozenBoundary) {
 
 TEST(Incremental, RepeatedDirtyRegionHitsTheModelCacheAndWarmStarts) {
   MrcpRm rm(Cluster::homogeneous(2, 2, 2), incremental_config());
-  rm.submit(make_job(0, 0, 1'000, 50'000, {100, 100}, {80}), 0);
-  rm.submit(make_job(1, 0, 1'000, 60'000, {100}, {80}), 0);
-  const Plan p1 = rm.reschedule(0);  // initial: everything dirty, cache miss
+  rm.submit(make_job(0, Time{0}, Time{1'000}, Time{50'000}, {Time{100}, Time{100}}, {Time{80}}), Time{0});
+  rm.submit(make_job(1, Time{0}, Time{1'000}, Time{60'000}, {Time{100}}, {Time{80}}), Time{0});
+  const Plan p1 = rm.reschedule(Time{0});  // initial: everything dirty, cache miss
 
   rm.mark_dirty(0);
-  const Plan p2 = rm.reschedule(10);  // new fingerprint: miss
+  const Plan p2 = rm.reschedule(Time{10});  // new fingerprint: miss
   EXPECT_FALSE(rm.ledger().records().back().model_cache_hit);
 
   rm.mark_dirty(0);
-  const Plan& p3 = rm.reschedule(20);  // same dirty region again: hit
+  const Plan& p3 = rm.reschedule(Time{20});  // same dirty region again: hit
   const InvocationRecord& rec = rm.ledger().records().back();
   EXPECT_TRUE(rec.model_cache_hit);
   EXPECT_EQ(rm.stats().model_cache_hits, 1u);
@@ -147,18 +147,18 @@ TEST(Incremental, FaultDirtiesAffectedJobsAndReplansThemSoundly) {
   c.add_resource(1, 0);
   c.add_resource(1, 1);
   MrcpRm rm(c, incremental_config());
-  rm.submit(make_job(0, 0, 0, 160, {100, 100}, {50}), 0);
-  const Plan& p1 = rm.reschedule(0);
+  rm.submit(make_job(0, Time{0}, Time{0}, Time{160}, {Time{100}, Time{100}}, {Time{50}}), Time{0});
+  const Plan& p1 = rm.reschedule(Time{0});
   bool map_on_r0 = false;
   for (const PlannedTask& pt : p1.tasks) {
     map_on_r0 |= pt.type == TaskType::kMap && pt.resource == 0;
   }
   ASSERT_TRUE(map_on_r0);
 
-  rm.handle_resource_down(0, 50);
+  rm.handle_resource_down(0, Time{50});
   EXPECT_EQ(rm.dirty_jobs().count(0), 1u);
-  const Plan& p2 = rm.reschedule(50);
-  Time latest_map_end = 0;
+  const Plan& p2 = rm.reschedule(Time{50});
+  Time latest_map_end;
   const PlannedTask* reduce = nullptr;
   for (const PlannedTask& pt : p2.tasks) {
     EXPECT_NE(pt.resource, 0);  // nothing resurrects onto the down node
@@ -170,40 +170,40 @@ TEST(Incremental, FaultDirtiesAffectedJobsAndReplansThemSoundly) {
   }
   ASSERT_NE(reduce, nullptr);
   EXPECT_GE(reduce->start, latest_map_end);
-  EXPECT_GE(reduce->start, 200);
+  EXPECT_GE(reduce->start, Time{200});
   EXPECT_EQ(rm.stats().dirty_promotions, 0u);
 }
 
 TEST(Incremental, ParkedJobRejoinsTheDirtySetWhenItsResourceRecovers) {
   MrcpConfig cfg = incremental_config();
   MrcpRm rm(Cluster::homogeneous(1, 1, 1), cfg);
-  rm.submit(make_job(0, 0, 0, 100'000, {100}, {50}), 0);
-  rm.reschedule(0);
+  rm.submit(make_job(0, Time{0}, Time{0}, Time{100'000}, {Time{100}}, {Time{50}}), Time{0});
+  rm.reschedule(Time{0});
 
-  rm.handle_resource_down(0, 10);
-  const Plan& parked = rm.reschedule(10);
+  rm.handle_resource_down(0, Time{10});
+  const Plan& parked = rm.reschedule(Time{10});
   EXPECT_TRUE(parked.tasks.empty());
   EXPECT_EQ(parked.parked_tasks, 2u);
   EXPECT_EQ(rm.ledger().records().back().outcome, InvocationOutcome::kParked);
   // Parked work retries on a timer even without a repair event …
-  EXPECT_EQ(rm.next_deferred_release(), 10 + cfg.park_retry_delay);
+  EXPECT_EQ(rm.next_deferred_release(), Time{10} + cfg.park_retry_delay);
 
   // … and a retry while the resource is still down parks again instead
   // of taking the empty-dirty fast path (the parked fold keeps the job
   // in the dirty set every invocation).
-  rm.reschedule(10 + cfg.park_retry_delay);
+  rm.reschedule(Time{10} + cfg.park_retry_delay);
   EXPECT_EQ(rm.ledger().records().back().outcome, InvocationOutcome::kParked);
 
   // The repair dirties the parked job; the next invocation re-solves it.
-  rm.handle_resource_up(0, 100);
+  rm.handle_resource_up(0, Time{100});
   EXPECT_EQ(rm.dirty_jobs().count(0), 1u);
-  const Plan& repaired = rm.reschedule(100);
+  const Plan& repaired = rm.reschedule(Time{100});
   EXPECT_EQ(repaired.parked_tasks, 0u);
   EXPECT_EQ(repaired.tasks.size(), 2u);
   EXPECT_EQ(rm.ledger().records().back().outcome,
             InvocationOutcome::kCpPrimary);
 
-  rm.reschedule(1'000'000);
+  rm.reschedule(Time{1'000'000});
   EXPECT_EQ(rm.stats().jobs_completed, 1u);
   EXPECT_EQ(rm.stats().dirty_promotions, 0u);
 }
@@ -215,12 +215,12 @@ Job random_job(RandomStream& rng, JobId id, Time now) {
   const int reduces = static_cast<int>(rng.uniform_int(0, 2));
   std::vector<Time> map_durs;
   std::vector<Time> reduce_durs;
-  for (int i = 0; i < maps; ++i) map_durs.push_back(rng.uniform_int(50, 400));
+  for (int i = 0; i < maps; ++i) map_durs.push_back(Time{rng.uniform_int(50, 400)});
   for (int i = 0; i < reduces; ++i) {
-    reduce_durs.push_back(rng.uniform_int(50, 300));
+    reduce_durs.push_back(Time{rng.uniform_int(50, 300)});
   }
-  const Time earliest = now + rng.uniform_int(0, 300);
-  const Time deadline = earliest + rng.uniform_int(500, 3'000);
+  const Time earliest = now + Time{rng.uniform_int(0, 300)};
+  const Time deadline = earliest + Time{rng.uniform_int(500, 3'000)};
   return make_job(id, now, earliest, deadline, map_durs, reduce_durs);
 }
 
@@ -235,7 +235,7 @@ void run_differential(std::uint64_t seed) {
   MrcpRm a(cluster, incremental_config(/*reuse_cache=*/true));
   MrcpRm b(cluster, incremental_config(/*reuse_cache=*/false));
 
-  Time t = 0;
+  Time t;
   JobId next_id = 0;
   std::vector<bool> down(static_cast<std::size_t>(m), false);
   auto submit_both = [&](const Job& job) {
@@ -255,7 +255,7 @@ void run_differential(std::uint64_t seed) {
   reschedule_both();
 
   for (int step = 0; step < 8; ++step) {
-    t += rng.uniform_int(1, 500);
+    t += Time{rng.uniform_int(1, 500)};
     switch (rng.uniform_int(0, 3)) {
       case 0:
         submit_both(random_job(rng, next_id++, t));
@@ -306,9 +306,9 @@ void run_differential(std::uint64_t seed) {
   reschedule_both();
   // Two drain passes: the first releases any backpressure-deferred jobs
   // and plans them into its own future; the second sweeps them complete.
-  t += 10'000'000;
+  t += Time{10'000'000};
   reschedule_both();
-  t += 10'000'000;
+  t += Time{10'000'000};
   reschedule_both();
   ASSERT_EQ(a.stats().jobs_completed, a.stats().jobs_submitted);
   ASSERT_EQ(b.stats().jobs_completed, a.stats().jobs_completed);
@@ -332,13 +332,13 @@ TEST(Incremental, FaultStormNeverTripsTheDirtyPromotionSafetyNet) {
     RandomStream rng(seed, 11);
     const int m = 3;
     MrcpRm rm(Cluster::homogeneous(m, 2, 2), incremental_config());
-    Time t = 0;
+    Time t;
     JobId next_id = 0;
     std::vector<bool> down(static_cast<std::size_t>(m), false);
     rm.submit(random_job(rng, next_id++, t), t);
     rm.reschedule(t);
     for (int step = 0; step < 12; ++step) {
-      t += rng.uniform_int(1, 300);
+      t += Time{rng.uniform_int(1, 300)};
       const std::int64_t roll = rng.uniform_int(0, 9);
       if (roll < 2 && next_id < 8) {
         rm.submit(random_job(rng, next_id++, t), t);
@@ -377,8 +377,8 @@ TEST(Incremental, FaultStormNeverTripsTheDirtyPromotionSafetyNet) {
       }
     }
     rm.reschedule(t);
-    rm.reschedule(t + 10'000'000);
-    rm.reschedule(t + 20'000'000);
+    rm.reschedule(t + Time{10'000'000});
+    rm.reschedule(t + Time{20'000'000});
     ASSERT_EQ(rm.stats().jobs_completed, rm.stats().jobs_submitted)
         << "seed " << seed;
     ASSERT_EQ(rm.stats().dirty_promotions, 0u) << "seed " << seed;
@@ -398,7 +398,7 @@ TEST(Incremental, DesParkedWorkRetriesWhileTheSimulatorIsIdle) {
   for (const ReplanScope scope :
        {ReplanScope::kAllUnstarted, ReplanScope::kDirtyOnly}) {
     const Job job =
-        make_job(0, 0, 0, 10'000'000, {30'000, 30'000, 30'000}, {10'000});
+        make_job(0, Time{0}, Time{0}, Time{10'000'000}, {Time{30'000}, Time{30'000}, Time{30'000}}, {Time{10'000}});
     const Workload w = make_workload({job}, 2, 1, 1);
     MrcpConfig cfg;
     cfg.replan_scope = scope;

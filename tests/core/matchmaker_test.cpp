@@ -15,9 +15,9 @@ TEST(Matchmaker, PaperMinGapExample) {
   // goes to r1 (gap 1 < gap 3).
   Cluster cluster = Cluster::homogeneous(2, 1, 1);
   std::vector<MatchItem> items = {
-      {TaskType::kMap, 2, 10, false, kNoResource},   // ends 10 (claims r0)
-      {TaskType::kMap, 5, 8, false, kNoResource},    // ends 8 (claims r1)
-      {TaskType::kMap, 11, 15, false, kNoResource},  // the §V.D task
+      {TaskType::kMap, Time{2}, Time{10}, false, kNoResource},   // ends 10 (claims r0)
+      {TaskType::kMap, Time{5}, Time{8}, false, kNoResource},    // ends 8 (claims r1)
+      {TaskType::kMap, Time{11}, Time{15}, false, kNoResource},  // the §V.D task
   };
   const std::vector<ResourceId> assigned = matchmake(cluster, items);
   EXPECT_NE(assigned[0], assigned[1]);
@@ -27,9 +27,9 @@ TEST(Matchmaker, PaperMinGapExample) {
 TEST(Matchmaker, ParallelTasksSpreadAcrossSlots) {
   Cluster cluster = Cluster::homogeneous(3, 1, 1);
   std::vector<MatchItem> items = {
-      {TaskType::kMap, 0, 10, false, kNoResource},
-      {TaskType::kMap, 0, 10, false, kNoResource},
-      {TaskType::kMap, 0, 10, false, kNoResource},
+      {TaskType::kMap, Time{0}, Time{10}, false, kNoResource},
+      {TaskType::kMap, Time{0}, Time{10}, false, kNoResource},
+      {TaskType::kMap, Time{0}, Time{10}, false, kNoResource},
   };
   const std::vector<ResourceId> assigned = matchmake(cluster, items);
   EXPECT_NE(assigned[0], assigned[1]);
@@ -40,9 +40,9 @@ TEST(Matchmaker, ParallelTasksSpreadAcrossSlots) {
 TEST(Matchmaker, ReusesSlotAfterCompletion) {
   Cluster cluster = Cluster::homogeneous(1, 2, 1);
   std::vector<MatchItem> items = {
-      {TaskType::kMap, 0, 10, false, kNoResource},
-      {TaskType::kMap, 10, 20, false, kNoResource},
-      {TaskType::kMap, 5, 9, false, kNoResource},
+      {TaskType::kMap, Time{0}, Time{10}, false, kNoResource},
+      {TaskType::kMap, Time{10}, Time{20}, false, kNoResource},
+      {TaskType::kMap, Time{5}, Time{9}, false, kNoResource},
   };
   const std::vector<ResourceId> assigned = matchmake(cluster, items);
   for (ResourceId r : assigned) EXPECT_EQ(r, 0);
@@ -51,8 +51,8 @@ TEST(Matchmaker, ReusesSlotAfterCompletion) {
 TEST(Matchmaker, PinnedTaskForcedToItsResource) {
   Cluster cluster = Cluster::homogeneous(2, 1, 1);
   std::vector<MatchItem> items = {
-      {TaskType::kMap, 0, 50, true, 1},  // running on resource 1
-      {TaskType::kMap, 10, 20, false, kNoResource},
+      {TaskType::kMap, Time{0}, Time{50}, true, 1},  // running on resource 1
+      {TaskType::kMap, Time{10}, Time{20}, false, kNoResource},
   };
   const std::vector<ResourceId> assigned = matchmake(cluster, items);
   EXPECT_EQ(assigned[0], 1);
@@ -62,8 +62,8 @@ TEST(Matchmaker, PinnedTaskForcedToItsResource) {
 TEST(Matchmaker, MapAndReducePoolsIndependent) {
   Cluster cluster = Cluster::homogeneous(1, 1, 1);
   std::vector<MatchItem> items = {
-      {TaskType::kMap, 0, 10, false, kNoResource},
-      {TaskType::kReduce, 0, 10, false, kNoResource},
+      {TaskType::kMap, Time{0}, Time{10}, false, kNoResource},
+      {TaskType::kReduce, Time{0}, Time{10}, false, kNoResource},
   };
   const std::vector<ResourceId> assigned = matchmake(cluster, items);
   EXPECT_EQ(assigned[0], 0);
@@ -89,8 +89,8 @@ TEST_P(MatchmakerRandomProperty, ValidAssignmentForFeasibleSchedules) {
   for (int i = 0; i < 60; ++i) {
     const TaskType type = rng.bernoulli(0.5) ? TaskType::kMap : TaskType::kReduce;
     cp::Profile& prof = type == TaskType::kMap ? map_profile : reduce_profile;
-    const Time est = rng.uniform_int(0, 300);
-    const Time dur = rng.uniform_int(1, 60);
+    const Time est{rng.uniform_int(0, 300)};
+    const Time dur{rng.uniform_int(1, 60)};
     const Time start = prof.earliest_feasible(est, dur, 1);
     prof.add(start, dur, 1);
     items.push_back(MatchItem{type, start, start + dur, false, kNoResource});

@@ -8,18 +8,18 @@ namespace {
 std::vector<LiveJob> two_live_jobs() {
   std::vector<LiveJob> jobs(2);
   jobs[0].id = 10;
-  jobs[0].effective_earliest_start = 100;
-  jobs[0].deadline = 500;
+  jobs[0].effective_earliest_start = Time{100};
+  jobs[0].deadline = Time{500};
   jobs[0].tasks = {
-      LiveTask{0, TaskType::kMap, 30, 1, 0, false, kNoResource, kNoTime},
-      LiveTask{1, TaskType::kMap, 40, 1, 0, true, 2, 90},  // running on r2
-      LiveTask{2, TaskType::kReduce, 50, 1, 0, false, kNoResource, kNoTime},
+      LiveTask{0, TaskType::kMap, Time{30}, 1, 0, false, kNoResource, kNoTime},
+      LiveTask{1, TaskType::kMap, Time{40}, 1, 0, true, 2, Time{90}},  // running on r2
+      LiveTask{2, TaskType::kReduce, Time{50}, 1, 0, false, kNoResource, kNoTime},
   };
   jobs[1].id = 11;
-  jobs[1].effective_earliest_start = 120;
-  jobs[1].deadline = 900;
+  jobs[1].effective_earliest_start = Time{120};
+  jobs[1].deadline = Time{900};
   jobs[1].tasks = {
-      LiveTask{0, TaskType::kMap, 25, 1, 0, false, kNoResource, kNoTime},
+      LiveTask{0, TaskType::kMap, Time{25}, 1, 0, false, kNoResource, kNoTime},
   };
   return jobs;
 }
@@ -65,7 +65,7 @@ TEST(ModelBuilder, StartedTaskPinnedInDirectModel) {
   const cp::CpTask& pinned = built.model.task(1);
   EXPECT_TRUE(pinned.pinned);
   EXPECT_EQ(pinned.pinned_resource, 2);
-  EXPECT_EQ(pinned.pinned_start, 90);
+  EXPECT_EQ(pinned.pinned_start, Time{90});
 }
 
 TEST(ModelBuilder, StartedTaskPinnedToCombinedResource) {
@@ -74,16 +74,16 @@ TEST(ModelBuilder, StartedTaskPinnedToCombinedResource) {
   const cp::CpTask& pinned = built.model.task(1);
   EXPECT_TRUE(pinned.pinned);
   EXPECT_EQ(pinned.pinned_resource, 0);  // the combined resource
-  EXPECT_EQ(pinned.pinned_start, 90);
+  EXPECT_EQ(pinned.pinned_start, Time{90});
 }
 
 TEST(ModelBuilder, JobSlaCarriedThrough) {
   const Cluster cluster = Cluster::homogeneous(4, 1, 1);
   const BuiltModel built = build_direct_model(cluster, two_live_jobs());
-  EXPECT_EQ(built.model.job(0).earliest_start, 100);
-  EXPECT_EQ(built.model.job(0).deadline, 500);
+  EXPECT_EQ(built.model.job(0).earliest_start, Time{100});
+  EXPECT_EQ(built.model.job(0).deadline, Time{500});
   EXPECT_EQ(built.model.job(0).external_id, 10);
-  EXPECT_EQ(built.model.job(1).earliest_start, 120);
+  EXPECT_EQ(built.model.job(1).earliest_start, Time{120});
 }
 
 TEST(ModelBuilder, PhaseStructurePreserved) {
@@ -92,7 +92,7 @@ TEST(ModelBuilder, PhaseStructurePreserved) {
   EXPECT_EQ(built.model.job(0).map_tasks.size(), 2u);
   EXPECT_EQ(built.model.job(0).reduce_tasks.size(), 1u);
   EXPECT_EQ(built.model.task(2).phase, cp::Phase::kReduce);
-  EXPECT_EQ(built.model.task(2).duration, 50);
+  EXPECT_EQ(built.model.task(2).duration, Time{50});
 }
 
 }  // namespace

@@ -10,17 +10,17 @@ namespace {
 using testutil::make_job;
 
 struct Fixture {
-  Job job = make_job(0, 0, 0, 10000, {100, 200}, {300});
+  Job job = make_job(0, Time{0}, Time{0}, Time{10000}, {Time{100}, Time{200}}, {Time{300}});
   Cluster cluster = Cluster::homogeneous(2, 1, 1);
   std::vector<const Job*> jobs_by_id{&job};
 
   Plan good_plan() const {
     Plan p;
-    p.planned_at = 0;
+    p.planned_at = Time{0};
     p.tasks = {
-        {0, 0, TaskType::kMap, 0, 0, 100, false},
-        {0, 1, TaskType::kMap, 1, 0, 200, false},
-        {0, 2, TaskType::kReduce, 0, 200, 500, false},
+        {0, 0, TaskType::kMap, 0, Time{0}, Time{100}, false},
+        {0, 1, TaskType::kMap, 1, Time{0}, Time{200}, false},
+        {0, 2, TaskType::kReduce, 0, Time{200}, Time{500}, false},
     };
     return p;
   }
@@ -47,7 +47,7 @@ TEST(ValidatePlan, CatchesResourceOutOfRange) {
 TEST(ValidatePlan, CatchesWrongDuration) {
   Fixture f;
   Plan p = f.good_plan();
-  p.tasks[0].end = 150;  // task 0 takes 100 ticks
+  p.tasks[0].end = Time{150};  // task 0 takes 100 ticks
   EXPECT_NE(validate_plan(p, f.cluster, f.jobs_by_id), "");
 }
 
@@ -68,17 +68,17 @@ TEST(ValidatePlan, CatchesCapacityOverload) {
 TEST(ValidatePlan, CatchesReduceBeforeMaps) {
   Fixture f;
   Plan p = f.good_plan();
-  p.tasks[2].start = 150;  // map 1 ends at 200
-  p.tasks[2].end = 450;
+  p.tasks[2].start = Time{150};  // map 1 ends at 200
+  p.tasks[2].end = Time{450};
   EXPECT_NE(validate_plan(p, f.cluster, f.jobs_by_id), "");
 }
 
 TEST(ValidatePlan, CatchesEarlyStartForUnstartedMap) {
-  Job job = make_job(0, 0, 1000, 10000, {100}, {});
+  Job job = make_job(0, Time{0}, Time{1000}, Time{10000}, {Time{100}}, {});
   Cluster cluster = Cluster::homogeneous(1, 1, 1);
   std::vector<const Job*> jobs_by_id{&job};
   Plan p;
-  p.tasks = {{0, 0, TaskType::kMap, 0, 500, 600, false}};
+  p.tasks = {{0, 0, TaskType::kMap, 0, Time{500}, Time{600}, false}};
   EXPECT_NE(validate_plan(p, cluster, jobs_by_id), "");
   // The same placement is fine when the task already started (it was
   // legal when planned; s_j clamping happened later).
@@ -101,34 +101,34 @@ TEST(ValidatePlan, CatchesBadTaskIndex) {
 }
 
 TEST(ValidatePlan, ChecksWorkflowPrecedences) {
-  Job job = make_job(0, 0, 0, 10000, {100, 100}, {});
+  Job job = make_job(0, Time{0}, Time{0}, Time{10000}, {Time{100}, Time{100}}, {});
   job.precedences = {{0, 1}};
   Cluster cluster = Cluster::homogeneous(2, 1, 1);
   std::vector<const Job*> jobs_by_id{&job};
   Plan p;
   p.tasks = {
-      {0, 0, TaskType::kMap, 0, 0, 100, false},
-      {0, 1, TaskType::kMap, 1, 50, 150, false},  // overlaps its pred
+      {0, 0, TaskType::kMap, 0, Time{0}, Time{100}, false},
+      {0, 1, TaskType::kMap, 1, Time{50}, Time{150}, false},  // overlaps its pred
   };
   EXPECT_NE(validate_plan(p, cluster, jobs_by_id), "");
-  p.tasks[1].start = 100;
-  p.tasks[1].end = 200;
+  p.tasks[1].start = Time{100};
+  p.tasks[1].end = Time{200};
   EXPECT_EQ(validate_plan(p, cluster, jobs_by_id), "");
 }
 
 TEST(ValidatePlan, ChecksNetworkCapacity) {
-  Job job = make_job(0, 0, 0, 10000, {100, 100}, {});
+  Job job = make_job(0, Time{0}, Time{0}, Time{10000}, {Time{100}, Time{100}}, {});
   for (Task& t : job.map_tasks) t.net_demand = 1;
   Cluster cluster = Cluster::homogeneous(1, 2, 1, /*net_capacity=*/1);
   std::vector<const Job*> jobs_by_id{&job};
   Plan p;
   p.tasks = {
-      {0, 0, TaskType::kMap, 0, 0, 100, false},
-      {0, 1, TaskType::kMap, 0, 0, 100, false},  // 2 link units on cap 1
+      {0, 0, TaskType::kMap, 0, Time{0}, Time{100}, false},
+      {0, 1, TaskType::kMap, 0, Time{0}, Time{100}, false},  // 2 link units on cap 1
   };
   EXPECT_NE(validate_plan(p, cluster, jobs_by_id), "");
-  p.tasks[1].start = 100;
-  p.tasks[1].end = 200;
+  p.tasks[1].start = Time{100};
+  p.tasks[1].end = Time{200};
   EXPECT_EQ(validate_plan(p, cluster, jobs_by_id), "");
 }
 

@@ -13,9 +13,9 @@
 //    models with known optima.
 #include <gtest/gtest.h>
 
-#include <array>
 #include <atomic>
 #include <thread>
+#include <tuple>
 #include <vector>
 
 #include "common/rng.h"
@@ -36,7 +36,7 @@ TEST(ReferenceProfileTest, MatchesFastProfileUnderRandomMutation) {
     const int capacity = static_cast<int>(rng.uniform_int(1, 4));
     Profile fast(capacity);
     audit::ReferenceProfile ref(capacity);
-    std::vector<std::array<Time, 3>> live;  // {start, duration, demand}
+    std::vector<std::tuple<Time, Time, int>> live;  // {start, duration, demand}
 
     for (int step = 0; step < 120; ++step) {
       const bool remove = !live.empty() && rng.bernoulli(0.4);
@@ -44,23 +44,23 @@ TEST(ReferenceProfileTest, MatchesFastProfileUnderRandomMutation) {
         const std::size_t i = static_cast<std::size_t>(
             rng.uniform_int(0, static_cast<std::int64_t>(live.size()) - 1));
         const auto [s, d, q] = live[i];
-        fast.remove(s, d, static_cast<int>(q));
-        ref.remove(s, d, static_cast<int>(q));
+        fast.remove(s, d, q);
+        ref.remove(s, d, q);
         live.erase(live.begin() + static_cast<std::ptrdiff_t>(i));
       } else {
-        const Time s = rng.uniform_int(0, 200);
-        const Time d = rng.uniform_int(1, 30);
+        const Time s{rng.uniform_int(0, 200)};
+        const Time d{rng.uniform_int(1, 30)};
         const int q = static_cast<int>(rng.uniform_int(1, capacity));
         fast.add(s, d, q);
         ref.add(s, d, q);
-        live.push_back({s, d, q});
+        live.emplace_back(s, d, q);
       }
       ASSERT_EQ(audit::check_profile_against_reference(fast, ref), "")
           << "trial " << trial << " step " << step;
 
       // Random feasibility queries must agree too.
-      const Time est = rng.uniform_int(0, 250);
-      const Time dur = rng.uniform_int(1, 25);
+      const Time est{rng.uniform_int(0, 250)};
+      const Time dur{rng.uniform_int(1, 25)};
       const int dem = static_cast<int>(rng.uniform_int(1, capacity));
       ASSERT_EQ(fast.earliest_feasible(est, dur, dem),
                 ref.earliest_feasible(est, dur, dem))
@@ -75,12 +75,12 @@ TEST(EarliestFeasibleAuditTest, AcceptsCorrectAnswers) {
   RandomStream rng(7, 0xB0B);
   Profile profile(2);
   for (int i = 0; i < 40; ++i) {
-    profile.add(rng.uniform_int(0, 100), rng.uniform_int(1, 20),
+    profile.add(Time{rng.uniform_int(0, 100)}, Time{rng.uniform_int(1, 20)},
                 static_cast<int>(rng.uniform_int(1, 2)));
   }
   for (int q = 0; q < 200; ++q) {
-    const Time est = rng.uniform_int(0, 150);
-    const Time dur = rng.uniform_int(1, 15);
+    const Time est{rng.uniform_int(0, 150)};
+    const Time dur{rng.uniform_int(1, 15)};
     const int dem = static_cast<int>(rng.uniform_int(1, 2));
     const Time got = profile.earliest_feasible(est, dur, dem);
     EXPECT_EQ(audit::check_earliest_feasible_answer(profile, est, dur, dem, got),
@@ -92,24 +92,24 @@ TEST(EarliestFeasibleAuditTest, AcceptsCorrectAnswers) {
 TEST(EarliestFeasibleAuditTest, RejectsNonMonotoneAnswer) {
   Profile profile(1);
   const std::string err =
-      audit::check_earliest_feasible_answer(profile, 10, 5, 1, 9);
+      audit::check_earliest_feasible_answer(profile, Time{10}, Time{5}, 1, Time{9});
   EXPECT_NE(err, "");
 }
 
 TEST(EarliestFeasibleAuditTest, RejectsInfeasibleAnswer) {
   Profile profile(1);
-  profile.add(0, 10, 1);  // resource fully busy on [0, 10)
+  profile.add(Time{0}, Time{10}, 1);  // resource fully busy on [0, 10)
   const std::string err =
-      audit::check_earliest_feasible_answer(profile, 0, 5, 1, 3);
+      audit::check_earliest_feasible_answer(profile, Time{0}, Time{5}, 1, Time{3});
   EXPECT_NE(err, "");  // [3, 8) overlaps the busy stretch
 }
 
 TEST(EarliestFeasibleAuditTest, RejectsNonMinimalAnswer) {
   Profile profile(1);
-  profile.add(0, 10, 1);
+  profile.add(Time{0}, Time{10}, 1);
   // Earliest feasible is 10; claiming 20 is feasible but not minimal.
   const std::string err =
-      audit::check_earliest_feasible_answer(profile, 0, 5, 1, 20);
+      audit::check_earliest_feasible_answer(profile, Time{0}, Time{5}, 1, Time{20});
   EXPECT_NE(err, "");
 }
 
@@ -194,13 +194,13 @@ TEST(SharedBoundAuditorTest, RealSearchKeepsBoundMonotone) {
   m.add_resource(1, 1);
   RandomStream rng(11, 0xFEED);
   for (int j = 0; j < 5; ++j) {
-    const Time est = rng.uniform_int(0, 5);
-    const CpJobIndex job = m.add_job(est, est + rng.uniform_int(4, 14), j);
+    const Time est{rng.uniform_int(0, 5)};
+    const CpJobIndex job = m.add_job(est, est + Time{rng.uniform_int(4, 14)}, j);
     const int maps = static_cast<int>(rng.uniform_int(1, 3));
     for (int k = 0; k < maps; ++k) {
-      m.add_task(job, Phase::kMap, rng.uniform_int(1, 6));
+      m.add_task(job, Phase::kMap, Time{rng.uniform_int(1, 6)});
     }
-    m.add_task(job, Phase::kReduce, rng.uniform_int(1, 4));
+    m.add_task(job, Phase::kReduce, Time{rng.uniform_int(1, 4)});
   }
   ASSERT_EQ(m.validate(), "");
 
@@ -238,8 +238,8 @@ TEST(PropagationIdempotenceTest, SecondPassIsNoOp) {
     };
     std::vector<Placed> placed;
     for (int t = 0; t < 25; ++t) {
-      const Time est = rng.uniform_int(0, 40);
-      const Time dur = rng.uniform_int(1, 10);
+      const Time est{rng.uniform_int(0, 40)};
+      const Time dur{rng.uniform_int(1, 10)};
       const int dem = static_cast<int>(rng.uniform_int(1, capacity));
       const Time start = profile.earliest_feasible(est, dur, dem);
       ASSERT_EQ(audit::check_earliest_feasible_answer(profile, est, dur, dem,
@@ -269,11 +269,11 @@ TEST(PropagationIdempotenceTest, SecondPassIsNoOp) {
 Model two_job_model() {
   Model m;
   m.add_resource(1, 1);
-  const CpJobIndex a = m.add_job(0, 10, 0);
-  m.add_task(a, Phase::kMap, 4);
-  m.add_task(a, Phase::kReduce, 3);
-  const CpJobIndex b = m.add_job(0, 8, 1);
-  m.add_task(b, Phase::kMap, 5);
+  const CpJobIndex a = m.add_job(Time{0}, Time{10}, 0);
+  m.add_task(a, Phase::kMap, Time{4});
+  m.add_task(a, Phase::kReduce, Time{3});
+  const CpJobIndex b = m.add_job(Time{0}, Time{8}, 1);
+  m.add_task(b, Phase::kMap, Time{5});
   return m;
 }
 
@@ -281,10 +281,10 @@ TEST(BruteForceOracleTest, AcceptsValidSolution) {
   const Model m = two_job_model();
   ASSERT_EQ(m.validate(), "");
   Solution sol;
-  sol.placements = {{0, 0}, {0, 4}, {0, 0}};  // maps overlap? no: map cap 1
+  sol.placements = {{0, Time{0}}, {0, Time{4}}, {0, Time{0}}};  // maps overlap? no: map cap 1
   // Task 0 (job a map) on [0,4), task 2 (job b map) also at 0 — capacity 1
   // would be violated; place job b's map after.
-  sol.placements = {{0, 0}, {0, 9}, {0, 4}};
+  sol.placements = {{0, Time{0}}, {0, Time{9}}, {0, Time{4}}};
   evaluate_solution(m, sol);
   EXPECT_EQ(validate_solution(m, sol), "");
   EXPECT_EQ(audit::brute_force_check_solution(m, sol), "");
@@ -293,7 +293,7 @@ TEST(BruteForceOracleTest, AcceptsValidSolution) {
 TEST(BruteForceOracleTest, RejectsCapacityViolation) {
   const Model m = two_job_model();
   Solution sol;
-  sol.placements = {{0, 0}, {0, 4}, {0, 2}};  // both maps overlap on cap 1
+  sol.placements = {{0, Time{0}}, {0, Time{4}}, {0, Time{2}}};  // both maps overlap on cap 1
   evaluate_solution(m, sol);
   EXPECT_NE(audit::brute_force_check_solution(m, sol), "");
 }
@@ -301,7 +301,7 @@ TEST(BruteForceOracleTest, RejectsCapacityViolation) {
 TEST(BruteForceOracleTest, RejectsReduceBeforeMaps) {
   const Model m = two_job_model();
   Solution sol;
-  sol.placements = {{0, 0}, {0, 2}, {0, 9}};  // reduce starts mid-map
+  sol.placements = {{0, Time{0}}, {0, Time{2}}, {0, Time{9}}};  // reduce starts mid-map
   evaluate_solution(m, sol);
   EXPECT_NE(audit::brute_force_check_solution(m, sol), "");
 }
@@ -312,12 +312,12 @@ TEST(ExhaustiveOracleTest, KnownOptimumZeroLate) {
   // One resource, two jobs, loose deadlines: everything fits on time.
   Model m;
   m.add_resource(2, 1);
-  const CpJobIndex a = m.add_job(0, 100, 0);
-  m.add_task(a, Phase::kMap, 3);
-  m.add_task(a, Phase::kMap, 3);
-  m.add_task(a, Phase::kReduce, 2);
-  const CpJobIndex b = m.add_job(0, 100, 1);
-  m.add_task(b, Phase::kMap, 4);
+  const CpJobIndex a = m.add_job(Time{0}, Time{100}, 0);
+  m.add_task(a, Phase::kMap, Time{3});
+  m.add_task(a, Phase::kMap, Time{3});
+  m.add_task(a, Phase::kReduce, Time{2});
+  const CpJobIndex b = m.add_job(Time{0}, Time{100}, 1);
+  m.add_task(b, Phase::kMap, Time{4});
   ASSERT_EQ(m.validate(), "");
   EXPECT_EQ(audit::exhaustive_min_late(m), 0);
 }
@@ -327,10 +327,10 @@ TEST(ExhaustiveOracleTest, KnownOptimumOneLate) {
   // one must be late whatever the order.
   Model m;
   m.add_resource(1, 1);
-  const CpJobIndex a = m.add_job(0, 5, 0);
-  m.add_task(a, Phase::kMap, 5);
-  const CpJobIndex b = m.add_job(0, 5, 1);
-  m.add_task(b, Phase::kMap, 5);
+  const CpJobIndex a = m.add_job(Time{0}, Time{5}, 0);
+  m.add_task(a, Phase::kMap, Time{5});
+  const CpJobIndex b = m.add_job(Time{0}, Time{5}, 1);
+  m.add_task(b, Phase::kMap, Time{5});
   ASSERT_EQ(m.validate(), "");
   EXPECT_EQ(audit::exhaustive_min_late(m), 1);
 }
@@ -339,10 +339,10 @@ TEST(ExhaustiveOracleTest, OrderingMattersEdfStyle) {
   // Tight job must go first for zero late: EDF-shaped instance.
   Model m;
   m.add_resource(1, 1);
-  const CpJobIndex tight = m.add_job(0, 3, 0);
-  m.add_task(tight, Phase::kMap, 3);
-  const CpJobIndex loose = m.add_job(0, 100, 1);
-  m.add_task(loose, Phase::kMap, 4);
+  const CpJobIndex tight = m.add_job(Time{0}, Time{3}, 0);
+  m.add_task(tight, Phase::kMap, Time{3});
+  const CpJobIndex loose = m.add_job(Time{0}, Time{100}, 1);
+  m.add_task(loose, Phase::kMap, Time{4});
   ASSERT_EQ(m.validate(), "");
   EXPECT_EQ(audit::exhaustive_min_late(m), 0);
 }
@@ -350,8 +350,8 @@ TEST(ExhaustiveOracleTest, OrderingMattersEdfStyle) {
 TEST(ExhaustiveOracleTest, RespectsBudget) {
   Model m;
   m.add_resource(2, 2);
-  const CpJobIndex j = m.add_job(0, 100, 0);
-  for (int t = 0; t < 6; ++t) m.add_task(j, Phase::kMap, 2);
+  const CpJobIndex j = m.add_job(Time{0}, Time{100}, 0);
+  for (int t = 0; t < 6; ++t) m.add_task(j, Phase::kMap, Time{2});
   ASSERT_EQ(m.validate(), "");
   EXPECT_EQ(audit::exhaustive_min_late(m, /*max_schedules=*/1), -1);
 }
@@ -359,12 +359,12 @@ TEST(ExhaustiveOracleTest, RespectsBudget) {
 TEST(ExhaustiveOracleTest, AgreesWithSolverOnPinnedModel) {
   Model m;
   m.add_resource(1, 1);
-  const CpJobIndex a = m.add_job(0, 6, 0);
-  const CpTaskIndex t0 = m.add_task(a, Phase::kMap, 4);
-  const CpJobIndex b = m.add_job(0, 4, 1);
-  m.add_task(b, Phase::kMap, 3);
+  const CpJobIndex a = m.add_job(Time{0}, Time{6}, 0);
+  const CpTaskIndex t0 = m.add_task(a, Phase::kMap, Time{4});
+  const CpJobIndex b = m.add_job(Time{0}, Time{4}, 1);
+  m.add_task(b, Phase::kMap, Time{3});
   // Job a's map is already running: job b cannot finish by 4.
-  m.pin_task(t0, 0, 0);
+  m.pin_task(t0, 0, Time{0});
   ASSERT_EQ(m.validate(), "");
   EXPECT_EQ(audit::exhaustive_min_late(m), 1);
 

@@ -56,7 +56,7 @@ GeneratedModel generate_model(std::uint64_t seed) {
   int tasks_left = 7;
   std::vector<CpTaskIndex> all_tasks;
   for (int ji = 0; ji < num_jobs; ++ji) {
-    const Time est = rng.uniform_int(0, 10);
+    const Time est{rng.uniform_int(0, 10)};
     const int num_maps =
         static_cast<int>(rng.uniform_int(1, std::min<std::int64_t>(3, tasks_left)));
     tasks_left -= num_maps;
@@ -64,18 +64,18 @@ GeneratedModel generate_model(std::uint64_t seed) {
         rng.uniform_int(0, std::min<std::int64_t>(2, tasks_left)));
     tasks_left -= num_reduces;
 
-    Time total_work = 0;
+    Time total_work;
     // Deadline set after tasks are known; add_job first, patch via a
     // second job if needed — Model has no deadline setter, so draw the
     // durations first.
     std::vector<Time> map_durs(static_cast<std::size_t>(num_maps));
     std::vector<Time> reduce_durs(static_cast<std::size_t>(num_reduces));
     for (Time& d : map_durs) {
-      d = rng.uniform_int(1, 8);
+      d = Time{rng.uniform_int(1, 8)};
       total_work += d;
     }
     for (Time& d : reduce_durs) {
-      d = rng.uniform_int(1, 8);
+      d = Time{rng.uniform_int(1, 8)};
       total_work += d;
     }
     // Slack factor from ~0.5 (often must be late) to ~2.5 (loose).

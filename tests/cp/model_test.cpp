@@ -8,12 +8,12 @@ namespace {
 Model two_job_model() {
   Model m;
   m.add_resource(2, 2);
-  const CpJobIndex j0 = m.add_job(0, 100, 10);
-  m.add_task(j0, Phase::kMap, 20);
-  m.add_task(j0, Phase::kMap, 30);
-  m.add_task(j0, Phase::kReduce, 40);
-  const CpJobIndex j1 = m.add_job(50, 300, 11);
-  m.add_task(j1, Phase::kMap, 10);
+  const CpJobIndex j0 = m.add_job(Time{0}, Time{100}, 10);
+  m.add_task(j0, Phase::kMap, Time{20});
+  m.add_task(j0, Phase::kMap, Time{30});
+  m.add_task(j0, Phase::kReduce, Time{40});
+  const CpJobIndex j1 = m.add_job(Time{50}, Time{300}, 11);
+  m.add_task(j1, Phase::kMap, Time{10});
   return m;
 }
 
@@ -26,7 +26,7 @@ TEST(CpModel, Accessors) {
   EXPECT_EQ(m.job(0).reduce_tasks.size(), 1u);
   EXPECT_EQ(m.job(1).map_tasks.size(), 1u);
   EXPECT_EQ(m.task(2).phase, Phase::kReduce);
-  EXPECT_EQ(m.task(2).duration, 40);
+  EXPECT_EQ(m.task(2).duration, Time{40});
   EXPECT_EQ(m.job(0).external_id, 10);
 }
 
@@ -42,15 +42,15 @@ TEST(CpModel, RejectsEmptyResources) {
 TEST(CpModel, RejectsJobWithoutTasks) {
   Model m;
   m.add_resource(1, 1);
-  m.add_job(0, 10);
+  m.add_job(Time{0}, Time{10});
   EXPECT_NE(m.validate(), "");
 }
 
 TEST(CpModel, RejectsDemandExceedingCapacity) {
   Model m;
   m.add_resource(1, 1);
-  const CpJobIndex j = m.add_job(0, 100);
-  m.add_task(j, Phase::kMap, 10, /*demand=*/2);
+  const CpJobIndex j = m.add_job(Time{0}, Time{100});
+  m.add_task(j, Phase::kMap, Time{10}, /*demand=*/2);
   EXPECT_NE(m.validate(), "");
 }
 
@@ -58,8 +58,8 @@ TEST(CpModel, DemandFitsSomeCandidate) {
   Model m;
   m.add_resource(1, 1);
   m.add_resource(4, 1);
-  const CpJobIndex j = m.add_job(0, 100);
-  const CpTaskIndex t = m.add_task(j, Phase::kMap, 10, /*demand=*/3);
+  const CpJobIndex j = m.add_job(Time{0}, Time{100});
+  const CpTaskIndex t = m.add_task(j, Phase::kMap, Time{10}, /*demand=*/3);
   EXPECT_EQ(m.validate(), "");
   // Restricting to the small resource breaks it.
   m.restrict_candidates(t, {0});
@@ -68,50 +68,50 @@ TEST(CpModel, DemandFitsSomeCandidate) {
 
 TEST(CpModel, StaticEarliestStartMaps) {
   const Model m = two_job_model();
-  EXPECT_EQ(m.static_earliest_start(0), 0);
-  EXPECT_EQ(m.static_earliest_start(3), 50);  // job 1's s_j
+  EXPECT_EQ(m.static_earliest_start(0), Time{0});
+  EXPECT_EQ(m.static_earliest_start(3), Time{50});  // job 1's s_j
 }
 
 TEST(CpModel, StaticEarliestStartReduceAfterMaps) {
   const Model m = two_job_model();
   // Reduce of job 0: maps could end at earliest max(0+20, 0+30) = 30.
-  EXPECT_EQ(m.static_earliest_start(2), 30);
+  EXPECT_EQ(m.static_earliest_start(2), Time{30});
 }
 
 TEST(CpModel, StaticEarliestStartPinnedTask) {
   Model m = two_job_model();
-  m.pin_task(0, 0, 5);
-  EXPECT_EQ(m.static_earliest_start(0), 5);
+  m.pin_task(0, 0, Time{5});
+  EXPECT_EQ(m.static_earliest_start(0), Time{5});
   // Reduce bound uses the pinned map start: max(5+20, 0+30) = 30.
-  EXPECT_EQ(m.static_earliest_start(2), 30);
-  m.pin_task(1, 0, 40);  // second map pinned at 40, ends 70
-  EXPECT_EQ(m.static_earliest_start(2), 70);
+  EXPECT_EQ(m.static_earliest_start(2), Time{30});
+  m.pin_task(1, 0, Time{40});  // second map pinned at 40, ends 70
+  EXPECT_EQ(m.static_earliest_start(2), Time{70});
 }
 
 TEST(CpModel, CompletionLowerBound) {
   const Model m = two_job_model();
   // Job 0: maps end >= 30, reduce ends >= 30 + 40 = 70.
-  EXPECT_EQ(m.completion_lower_bound(0), 70);
+  EXPECT_EQ(m.completion_lower_bound(0), Time{70});
   // Job 1: single 10-tick map from s_j = 50 -> 60.
-  EXPECT_EQ(m.completion_lower_bound(1), 60);
+  EXPECT_EQ(m.completion_lower_bound(1), Time{60});
 }
 
 TEST(CpModel, CompletionLowerBoundMapOnlyJob) {
   Model m;
   m.add_resource(1, 1);
-  const CpJobIndex j = m.add_job(10, 100);
-  m.add_task(j, Phase::kMap, 25);
-  EXPECT_EQ(m.completion_lower_bound(j), 35);
+  const CpJobIndex j = m.add_job(Time{10}, Time{100});
+  m.add_task(j, Phase::kMap, Time{25});
+  EXPECT_EQ(m.completion_lower_bound(j), Time{35});
 }
 
 TEST(CpModel, PinnedResourceMustBeCandidate) {
   Model m;
   m.add_resource(1, 1);
   m.add_resource(1, 1);
-  const CpJobIndex j = m.add_job(0, 100);
-  const CpTaskIndex t = m.add_task(j, Phase::kMap, 10);
+  const CpJobIndex j = m.add_job(Time{0}, Time{100});
+  const CpTaskIndex t = m.add_task(j, Phase::kMap, Time{10});
   m.restrict_candidates(t, {0});
-  m.pin_task(t, 1, 0);
+  m.pin_task(t, 1, Time{0});
   EXPECT_NE(m.validate(), "");
 }
 
@@ -119,9 +119,9 @@ TEST(CpModel, PinnedNeedsCapacity) {
   Model m;
   m.add_resource(1, 0);  // no reduce slots
   m.add_resource(1, 1);
-  const CpJobIndex j = m.add_job(0, 100);
-  const CpTaskIndex t = m.add_task(j, Phase::kReduce, 10);
-  m.pin_task(t, 0, 0);
+  const CpJobIndex j = m.add_job(Time{0}, Time{100});
+  const CpTaskIndex t = m.add_task(j, Phase::kReduce, Time{10});
+  m.pin_task(t, 0, Time{0});
   EXPECT_NE(m.validate(), "");
 }
 

@@ -45,9 +45,9 @@ void check_queries_at(const Profile& fast, const audit::ReferenceProfile& ref,
 void check_around_change_points(const Profile& fast,
                                 const audit::ReferenceProfile& ref) {
   for (const Time t : ref.change_points()) {
-    check_queries_at(fast, ref, std::max<Time>(0, t - 1));
+    check_queries_at(fast, ref, std::max(Time{0}, t - Time{1}));
     check_queries_at(fast, ref, t);
-    check_queries_at(fast, ref, t + 1);
+    check_queries_at(fast, ref, t + Time{1});
   }
 }
 
@@ -61,9 +61,9 @@ TEST(ProfileBlockSweep, SaturatedPlateausWithSparseHoles) {
   // 400 adjacent near-saturated segments with alternating levels (equal
   // neighbouring levels would merge into one change point), a deep hole
   // every 37 segments -> ~400 change points (> 6 blocks).
-  Time t = 0;
+  Time t;
   for (int seg = 0; seg < 400; ++seg) {
-    const Time dur = 5 + (seg % 3);
+    const Time dur{5 + (seg % 3)};
     const int demand = (seg % 37 == 0) ? 1
                        : (seg % 2 != 0) ? kCapacity
                                         : kCapacity - 1;
@@ -74,7 +74,7 @@ TEST(ProfileBlockSweep, SaturatedPlateausWithSparseHoles) {
   ASSERT_GT(fast.num_events(), 64u * 3u);
   check_around_change_points(fast, ref);
   // Far-right queries past the support must return est itself.
-  check_queries_at(fast, ref, t + 12345);
+  check_queries_at(fast, ref, t + Time{12345});
 }
 
 TEST(ProfileBlockSweep, RandomDifferentialLongTimeline) {
@@ -84,8 +84,8 @@ TEST(ProfileBlockSweep, RandomDifferentialLongTimeline) {
   audit::ReferenceProfile ref(kCapacity);
   std::vector<std::tuple<Time, Time, int>> live;
   for (int step = 0; step < 600; ++step) {
-    const Time start = rng.uniform_int(0, 20000);
-    const Time dur = rng.uniform_int(1, 400);
+    const Time start{rng.uniform_int(0, 20000)};
+    const Time dur{rng.uniform_int(1, 400)};
     const int demand = static_cast<int>(rng.uniform_int(1, kCapacity));
     if (ref.fits(start, dur, demand)) {
       fast.add(start, dur, demand);
@@ -95,7 +95,7 @@ TEST(ProfileBlockSweep, RandomDifferentialLongTimeline) {
     if (step % 50 == 49) {
       // Interleaved queries at random and boundary-adjacent points.
       for (int q = 0; q < 20; ++q) {
-        check_queries_at(fast, ref, rng.uniform_int(0, 25000));
+        check_queries_at(fast, ref, Time{rng.uniform_int(0, 25000)});
       }
     }
   }
@@ -110,8 +110,8 @@ TEST(ProfileBlockSweep, RemovalStormKeepsSweepsExact) {
   audit::ReferenceProfile ref(kCapacity);
   std::vector<std::tuple<Time, Time, int>> live;
   for (int i = 0; i < 500; ++i) {
-    const Time start = rng.uniform_int(0, 30000);
-    const Time dur = rng.uniform_int(1, 300);
+    const Time start{rng.uniform_int(0, 30000)};
+    const Time dur{rng.uniform_int(1, 300)};
     const int demand = static_cast<int>(rng.uniform_int(1, kCapacity));
     if (!ref.fits(start, dur, demand)) continue;
     fast.add(start, dur, demand);
@@ -131,7 +131,7 @@ TEST(ProfileBlockSweep, RemovalStormKeepsSweepsExact) {
     live.pop_back();
     if (i % 25 == 0) {
       for (int q = 0; q < 10; ++q) {
-        check_queries_at(fast, ref, rng.uniform_int(0, 35000));
+        check_queries_at(fast, ref, Time{rng.uniform_int(0, 35000)});
       }
     }
   }

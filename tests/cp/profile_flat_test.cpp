@@ -118,10 +118,9 @@ TEST_P(FlatProfileDifferential, AgreesWithMapReferenceOverRandomOps) {
     if (dice < 4 || placed.empty()) {
       // Add: mix of clustered short intervals and tail appends (the
       // set-times pattern the fast path serves).
-      const Time s = rng.bernoulli(0.3)
-                         ? rng.uniform_int(0, 200)
-                         : rng.uniform_int(0, 100000);
-      const Time d = rng.uniform_int(1, 500);
+      const Time s{rng.bernoulli(0.3) ? rng.uniform_int(0, 200)
+                                      : rng.uniform_int(0, 100000)};
+      const Time d{rng.uniform_int(1, 500)};
       const int q = static_cast<int>(rng.uniform_int(1, capacity));
       flat.add(s, d, q);
       ref.add(s, d, q);
@@ -135,8 +134,8 @@ TEST_P(FlatProfileDifferential, AgreesWithMapReferenceOverRandomOps) {
       ref.remove(s, d, q);
       placed.erase(placed.begin() + static_cast<std::ptrdiff_t>(i));
     } else {
-      const Time t = rng.uniform_int(0, 110000);
-      const Time dur = rng.uniform_int(1, 800);
+      const Time t{rng.uniform_int(0, 110000)};
+      const Time dur{rng.uniform_int(1, 800)};
       const int q = static_cast<int>(rng.uniform_int(1, capacity));
       ASSERT_EQ(flat.earliest_feasible(t, dur, q),
                 ref.earliest_feasible(t, dur, q))
@@ -173,12 +172,12 @@ TEST(FlatProfileDifferentialTest, OverloadedProfileAgrees) {
   Profile flat(2);
   ReferenceProfile ref(2);
   for (int i = 0; i < 5; ++i) {
-    flat.add(10, 20, 2);
-    ref.add(10, 20, 2);
+    flat.add(Time{10}, Time{20}, 2);
+    ref.add(Time{10}, Time{20}, 2);
   }
-  for (Time t : {0, 5, 9, 10, 15, 29, 30, 31}) {
+  for (Time t : {Time{0}, Time{5}, Time{9}, Time{10}, Time{15}, Time{29}, Time{30}, Time{31}}) {
     EXPECT_EQ(flat.usage_at(t), ref.usage_at(t)) << t;
-    EXPECT_EQ(flat.earliest_feasible(t, 5, 1), ref.earliest_feasible(t, 5, 1))
+    EXPECT_EQ(flat.earliest_feasible(t, Time{5}, 1), ref.earliest_feasible(t, Time{5}, 1))
         << t;
   }
   EXPECT_EQ(flat.peak_usage(), 10);

@@ -11,89 +11,89 @@ namespace {
 
 TEST(ProfileTest, EmptyProfileIsFreeEverywhere) {
   Profile p(2);
-  EXPECT_EQ(p.earliest_feasible(0, 10, 1), 0);
-  EXPECT_EQ(p.earliest_feasible(100, 10, 2), 100);
-  EXPECT_TRUE(p.fits(0, 1000, 2));
-  EXPECT_EQ(p.usage_at(50), 0);
+  EXPECT_EQ(p.earliest_feasible(Time{0}, Time{10}, 1), Time{0});
+  EXPECT_EQ(p.earliest_feasible(Time{100}, Time{10}, 2), Time{100});
+  EXPECT_TRUE(p.fits(Time{0}, Time{1000}, 2));
+  EXPECT_EQ(p.usage_at(Time{50}), 0);
 }
 
 TEST(ProfileTest, FullCapacityBlocks) {
   Profile p(1);
-  p.add(10, 20, 1);  // busy [10, 30)
-  EXPECT_EQ(p.earliest_feasible(0, 10, 1), 0);   // fits before
-  EXPECT_EQ(p.earliest_feasible(0, 11, 1), 30);  // too long to fit before
-  EXPECT_EQ(p.earliest_feasible(15, 5, 1), 30);
-  EXPECT_FALSE(p.fits(15, 5, 1));
-  EXPECT_TRUE(p.fits(30, 100, 1));
+  p.add(Time{10}, Time{20}, 1);  // busy [10, 30)
+  EXPECT_EQ(p.earliest_feasible(Time{0}, Time{10}, 1), Time{0});   // fits before
+  EXPECT_EQ(p.earliest_feasible(Time{0}, Time{11}, 1), Time{30});  // too long to fit before
+  EXPECT_EQ(p.earliest_feasible(Time{15}, Time{5}, 1), Time{30});
+  EXPECT_FALSE(p.fits(Time{15}, Time{5}, 1));
+  EXPECT_TRUE(p.fits(Time{30}, Time{100}, 1));
 }
 
 TEST(ProfileTest, PartialCapacityAllowsOverlap) {
   Profile p(2);
-  p.add(10, 20, 1);
-  EXPECT_EQ(p.earliest_feasible(15, 5, 1), 15);  // second slot free
-  p.add(12, 10, 1);                              // [12, 22) second unit
-  EXPECT_EQ(p.earliest_feasible(15, 5, 1), 22);  // both busy until 22
-  EXPECT_EQ(p.usage_at(15), 2);
-  EXPECT_EQ(p.usage_at(25), 1);
-  EXPECT_EQ(p.usage_at(35), 0);
+  p.add(Time{10}, Time{20}, 1);
+  EXPECT_EQ(p.earliest_feasible(Time{15}, Time{5}, 1), Time{15});  // second slot free
+  p.add(Time{12}, Time{10}, 1);                              // [12, 22) second unit
+  EXPECT_EQ(p.earliest_feasible(Time{15}, Time{5}, 1), Time{22});  // both busy until 22
+  EXPECT_EQ(p.usage_at(Time{15}), 2);
+  EXPECT_EQ(p.usage_at(Time{25}), 1);
+  EXPECT_EQ(p.usage_at(Time{35}), 0);
 }
 
 TEST(ProfileTest, DemandGreaterThanOne) {
   Profile p(3);
-  p.add(0, 10, 2);
-  EXPECT_EQ(p.earliest_feasible(0, 5, 1), 0);
-  EXPECT_EQ(p.earliest_feasible(0, 5, 2), 10);
-  EXPECT_EQ(p.earliest_feasible(0, 5, 3), 10);
+  p.add(Time{0}, Time{10}, 2);
+  EXPECT_EQ(p.earliest_feasible(Time{0}, Time{5}, 1), Time{0});
+  EXPECT_EQ(p.earliest_feasible(Time{0}, Time{5}, 2), Time{10});
+  EXPECT_EQ(p.earliest_feasible(Time{0}, Time{5}, 3), Time{10});
 }
 
 TEST(ProfileTest, GapBetweenIntervals) {
   Profile p(1);
-  p.add(0, 10, 1);
-  p.add(20, 10, 1);
-  EXPECT_EQ(p.earliest_feasible(0, 10, 1), 10);  // exact gap [10,20)
-  EXPECT_EQ(p.earliest_feasible(0, 11, 1), 30);  // gap too small
-  EXPECT_EQ(p.earliest_feasible(12, 8, 1), 12);
-  EXPECT_EQ(p.earliest_feasible(12, 9, 1), 30);
+  p.add(Time{0}, Time{10}, 1);
+  p.add(Time{20}, Time{10}, 1);
+  EXPECT_EQ(p.earliest_feasible(Time{0}, Time{10}, 1), Time{10});  // exact gap [10,20)
+  EXPECT_EQ(p.earliest_feasible(Time{0}, Time{11}, 1), Time{30});  // gap too small
+  EXPECT_EQ(p.earliest_feasible(Time{12}, Time{8}, 1), Time{12});
+  EXPECT_EQ(p.earliest_feasible(Time{12}, Time{9}, 1), Time{30});
 }
 
 TEST(ProfileTest, RemoveRestoresFreedom) {
   Profile p(1);
-  p.add(5, 10, 1);
-  EXPECT_EQ(p.earliest_feasible(5, 1, 1), 15);
-  p.remove(5, 10, 1);
-  EXPECT_EQ(p.earliest_feasible(5, 1, 1), 5);
+  p.add(Time{5}, Time{10}, 1);
+  EXPECT_EQ(p.earliest_feasible(Time{5}, Time{1}, 1), Time{15});
+  p.remove(Time{5}, Time{10}, 1);
+  EXPECT_EQ(p.earliest_feasible(Time{5}, Time{1}, 1), Time{5});
   EXPECT_EQ(p.num_events(), 0u);
 }
 
 TEST(ProfileTest, NextEventAfter) {
   Profile p(2);
-  p.add(10, 10, 1);
-  EXPECT_EQ(p.next_event_after(0), 10);
-  EXPECT_EQ(p.next_event_after(10), 20);
-  EXPECT_EQ(p.next_event_after(20), kMaxTime);
+  p.add(Time{10}, Time{10}, 1);
+  EXPECT_EQ(p.next_event_after(Time{0}), Time{10});
+  EXPECT_EQ(p.next_event_after(Time{10}), Time{20});
+  EXPECT_EQ(p.next_event_after(Time{20}), kMaxTime);
 }
 
 TEST(ProfileTest, PeakUsage) {
   Profile p(5);
-  p.add(0, 10, 1);
-  p.add(5, 10, 2);
-  p.add(8, 4, 1);
+  p.add(Time{0}, Time{10}, 1);
+  p.add(Time{5}, Time{10}, 2);
+  p.add(Time{8}, Time{4}, 1);
   EXPECT_EQ(p.peak_usage(), 4);
 }
 
 TEST(ProfileTest, AbuttingIntervalsDoNotStack) {
   Profile p(1);
-  p.add(0, 10, 1);
-  p.add(10, 10, 1);
-  EXPECT_EQ(p.usage_at(9), 1);
-  EXPECT_EQ(p.usage_at(10), 1);
-  EXPECT_EQ(p.earliest_feasible(0, 1, 1), 20);
+  p.add(Time{0}, Time{10}, 1);
+  p.add(Time{10}, Time{10}, 1);
+  EXPECT_EQ(p.usage_at(Time{9}), 1);
+  EXPECT_EQ(p.usage_at(Time{10}), 1);
+  EXPECT_EQ(p.earliest_feasible(Time{0}, Time{1}, 1), Time{20});
 }
 
 TEST(ProfileTest, EstInsideBusyRegion) {
   Profile p(1);
-  p.add(0, 100, 1);
-  EXPECT_EQ(p.earliest_feasible(50, 10, 1), 100);
+  p.add(Time{0}, Time{100}, 1);
+  EXPECT_EQ(p.earliest_feasible(Time{50}, Time{10}, 1), Time{100});
 }
 
 // Property test: earliest_feasible agrees with a brute-force check over a
@@ -113,8 +113,8 @@ TEST_P(ProfileRandomProperty, EarliestFeasibleIsCorrectAndMinimal) {
   };
   std::vector<Iv> placed;
   for (int i = 0; i < 40; ++i) {
-    const Time s = rng.uniform_int(0, 200);
-    const Time d = rng.uniform_int(1, 30);
+    const Time s{rng.uniform_int(0, 200)};
+    const Time d{rng.uniform_int(1, 30)};
     const int q = static_cast<int>(rng.uniform_int(1, capacity));
     // Only place if it fits (mimics solver usage).
     if (p.fits(s, d, q)) {
@@ -131,22 +131,22 @@ TEST_P(ProfileRandomProperty, EarliestFeasibleIsCorrectAndMinimal) {
     return u;
   };
   auto brute_fits = [&](Time start, Time dur, int q) {
-    for (Time t = start; t < start + dur; ++t) {
+    for (Time t = start; t < start + dur; t += Time{1}) {
       if (brute_usage(t) + q > capacity) return false;
     }
     return true;
   };
 
   for (int trial = 0; trial < 25; ++trial) {
-    const Time est = rng.uniform_int(0, 250);
-    const Time dur = rng.uniform_int(1, 25);
+    const Time est{rng.uniform_int(0, 250)};
+    const Time dur{rng.uniform_int(1, 25)};
     const int q = static_cast<int>(rng.uniform_int(1, capacity));
     const Time got = p.earliest_feasible(est, dur, q);
     ASSERT_GE(got, est);
     ASSERT_TRUE(brute_fits(got, dur, q))
         << "claimed start " << got << " does not fit";
     // Minimality: every earlier start in [est, got) must fail.
-    for (Time t = est; t < got && t < est + 400; ++t) {
+    for (Time t = est; t < got && t < est + Time{400}; t += Time{1}) {
       ASSERT_FALSE(brute_fits(t, dur, q))
           << "earlier start " << t << " also fits (got " << got << ")";
     }
@@ -166,8 +166,8 @@ TEST(ProfileTest, AddRemoveRandomSequenceLeavesEmpty) {
   Profile p(3);
   std::vector<std::tuple<Time, Time, int>> ivs;
   for (int i = 0; i < 100; ++i) {
-    const Time s = rng.uniform_int(0, 1000);
-    const Time d = rng.uniform_int(1, 50);
+    const Time s{rng.uniform_int(0, 1000)};
+    const Time d{rng.uniform_int(1, 50)};
     const int q = static_cast<int>(rng.uniform_int(1, 3));
     p.add(s, d, q);
     ivs.emplace_back(s, d, q);

@@ -33,10 +33,10 @@ SearchLimits limits_with(std::int64_t fails, int postpone) {
 TEST(Postpone, RootPostponeHasNoEventToSkipTo) {
   Model m;
   m.add_resource(1, 1);
-  const CpJobIndex a = m.add_job(0, 300, 0);
-  m.add_task(a, Phase::kMap, 100);
-  const CpJobIndex b = m.add_job(0, 120, 1);
-  m.add_task(b, Phase::kMap, 100);
+  const CpJobIndex a = m.add_job(Time{0}, Time{300}, 0);
+  m.add_task(a, Phase::kMap, Time{100});
+  const CpJobIndex b = m.add_job(Time{0}, Time{120}, 1);
+  m.add_task(b, Phase::kMap, Time{100});
 
   SetTimesSearch search(m, make_job_ranks(m, JobOrdering::kJobId));
   SearchStats st;
@@ -58,15 +58,15 @@ TEST(Postpone, RootPostponeHasNoEventToSkipTo) {
 TEST(Postpone, SkipsPastPinnedTaskToMeetDeadline) {
   Model m;
   m.add_resource(1, 1);
-  const CpJobIndex filler = m.add_job(0, 100000, 9);
-  const CpTaskIndex pin1 = m.add_task(filler, Phase::kMap, 50);
-  const CpTaskIndex pin2 = m.add_task(filler, Phase::kMap, 50);
-  m.pin_task(pin1, 0, 0);
-  m.pin_task(pin2, 0, 110);
-  const CpJobIndex a = m.add_job(0, 100000, 0);
-  m.add_task(a, Phase::kMap, 60);
-  const CpJobIndex b = m.add_job(0, 219, 1);
-  m.add_task(b, Phase::kMap, 60);
+  const CpJobIndex filler = m.add_job(Time{0}, Time{100000}, 9);
+  const CpTaskIndex pin1 = m.add_task(filler, Phase::kMap, Time{50});
+  const CpTaskIndex pin2 = m.add_task(filler, Phase::kMap, Time{50});
+  m.pin_task(pin1, 0, Time{0});
+  m.pin_task(pin2, 0, Time{110});
+  const CpJobIndex a = m.add_job(Time{0}, Time{100000}, 0);
+  m.add_task(a, Phase::kMap, Time{60});
+  const CpJobIndex b = m.add_job(Time{0}, Time{219}, 1);
+  m.add_task(b, Phase::kMap, Time{60});
 
   // Greedy job-id order: A fills [50, 110), B lands [160, 220) -> late.
   SetTimesSearch greedy(m, make_job_ranks(m, JobOrdering::kJobId));
@@ -90,15 +90,15 @@ TEST(Postpone, ZeroTriesDisablesDelayedBranches) {
   // resource here), so the late schedule stands even with a big budget.
   Model m;
   m.add_resource(1, 1);
-  const CpJobIndex filler = m.add_job(0, 100000, 9);
-  const CpTaskIndex pin1 = m.add_task(filler, Phase::kMap, 50);
-  const CpTaskIndex pin2 = m.add_task(filler, Phase::kMap, 50);
-  m.pin_task(pin1, 0, 0);
-  m.pin_task(pin2, 0, 110);
-  const CpJobIndex a = m.add_job(0, 100000, 0);
-  m.add_task(a, Phase::kMap, 60);
-  const CpJobIndex b = m.add_job(0, 219, 1);
-  m.add_task(b, Phase::kMap, 60);
+  const CpJobIndex filler = m.add_job(Time{0}, Time{100000}, 9);
+  const CpTaskIndex pin1 = m.add_task(filler, Phase::kMap, Time{50});
+  const CpTaskIndex pin2 = m.add_task(filler, Phase::kMap, Time{50});
+  m.pin_task(pin1, 0, Time{0});
+  m.pin_task(pin2, 0, Time{110});
+  const CpJobIndex a = m.add_job(Time{0}, Time{100000}, 0);
+  m.add_task(a, Phase::kMap, Time{60});
+  const CpJobIndex b = m.add_job(Time{0}, Time{219}, 1);
+  m.add_task(b, Phase::kMap, Time{60});
 
   SetTimesSearch search(m, make_job_ranks(m, JobOrdering::kJobId));
   SearchStats st;
@@ -113,8 +113,8 @@ TEST(Postpone, FailLimitCountsPrunesNotTieDescents) {
   Model m;
   m.add_resource(1, 1);
   for (int j = 0; j < 10; ++j) {
-    const CpJobIndex cj = m.add_job(0, 80 + 5 * j, j);
-    m.add_task(cj, Phase::kMap, 60);
+    const CpJobIndex cj = m.add_job(Time{0}, Time{80 + 5 * j}, j);
+    m.add_task(cj, Phase::kMap, Time{60});
   }
   SetTimesSearch search(m, make_job_ranks(m, JobOrdering::kEdf));
   SearchStats st;
@@ -130,18 +130,18 @@ TEST(Postpone, MultiResourceBranchingPrefersEarliestStart) {
   Model m;
   m.add_resource(1, 1);
   m.add_resource(1, 1);
-  const CpJobIndex filler = m.add_job(0, 10000, 9);
-  const CpTaskIndex pinned = m.add_task(filler, Phase::kMap, 100);
-  m.pin_task(pinned, 0, 0);
-  const CpJobIndex a = m.add_job(0, 10000, 0);
-  m.add_task(a, Phase::kMap, 50);
+  const CpJobIndex filler = m.add_job(Time{0}, Time{10000}, 9);
+  const CpTaskIndex pinned = m.add_task(filler, Phase::kMap, Time{100});
+  m.pin_task(pinned, 0, Time{0});
+  const CpJobIndex a = m.add_job(Time{0}, Time{10000}, 0);
+  m.add_task(a, Phase::kMap, Time{50});
   SetTimesSearch search(m, make_job_ranks(m, JobOrdering::kEdf));
   SearchLimits l = limits_with(0, 0);
   l.stop_after_first_solution = true;
   SearchStats st;
   const Solution sol = search.run(l, nullptr, &st);
   EXPECT_EQ(sol.placements[1].resource, 1);
-  EXPECT_EQ(sol.placements[1].start, 0);
+  EXPECT_EQ(sol.placements[1].start, Time{0});
 }
 
 }  // namespace

@@ -51,16 +51,16 @@ Model random_model(std::uint64_t seed, bool with_pins,
   std::vector<CpTaskIndex> prev_maps;
   const int num_jobs = static_cast<int>(rng.uniform_int(4, 8));
   for (int j = 0; j < num_jobs; ++j) {
-    const Time est = rng.uniform_int(0, 60);
-    const CpJobIndex cj = m.add_job(est, est + rng.uniform_int(60, 180), j);
+    const Time est{rng.uniform_int(0, 60)};
+    const CpJobIndex cj = m.add_job(est, est + Time{rng.uniform_int(60, 180)}, j);
     std::vector<CpTaskIndex> maps;
     const int nm = static_cast<int>(rng.uniform_int(1, 4));
     for (int t = 0; t < nm; ++t) {
-      maps.push_back(m.add_task(cj, Phase::kMap, rng.uniform_int(5, 40)));
+      maps.push_back(m.add_task(cj, Phase::kMap, Time{rng.uniform_int(5, 40)}));
     }
     const int nr = static_cast<int>(rng.uniform_int(0, 2));
     for (int t = 0; t < nr; ++t) {
-      m.add_task(cj, Phase::kReduce, rng.uniform_int(5, 40));
+      m.add_task(cj, Phase::kReduce, Time{rng.uniform_int(5, 40)});
     }
     if (with_pins && j == 0) {
       // Pin the first job's first map: exercises the pinned replay and

@@ -26,10 +26,10 @@ Solution run_search(const Model& m, JobOrdering ordering = JobOrdering::kEdf,
 TEST(JobRanks, EdfOrdersByDeadline) {
   Model m;
   m.add_resource(1, 1);
-  const CpJobIndex a = m.add_job(0, 300, 0);
-  m.add_task(a, Phase::kMap, 10);
-  const CpJobIndex b = m.add_job(0, 100, 1);
-  m.add_task(b, Phase::kMap, 10);
+  const CpJobIndex a = m.add_job(Time{0}, Time{300}, 0);
+  m.add_task(a, Phase::kMap, Time{10});
+  const CpJobIndex b = m.add_job(Time{0}, Time{100}, 1);
+  m.add_task(b, Phase::kMap, Time{10});
   const auto ranks = make_job_ranks(m, JobOrdering::kEdf);
   EXPECT_GT(ranks[0], ranks[1]);  // b (earlier deadline) first
 }
@@ -38,11 +38,11 @@ TEST(JobRanks, LeastLaxityUsesRemainingWork) {
   Model m;
   m.add_resource(2, 2);
   // Job 0: deadline 100, work 10 -> laxity 90.
-  const CpJobIndex a = m.add_job(0, 100, 0);
-  m.add_task(a, Phase::kMap, 10);
+  const CpJobIndex a = m.add_job(Time{0}, Time{100}, 0);
+  m.add_task(a, Phase::kMap, Time{10});
   // Job 1: deadline 120, work 100 -> laxity 20: scheduled first.
-  const CpJobIndex b = m.add_job(0, 120, 1);
-  m.add_task(b, Phase::kMap, 100);
+  const CpJobIndex b = m.add_job(Time{0}, Time{120}, 1);
+  m.add_task(b, Phase::kMap, Time{100});
   const auto ranks = make_job_ranks(m, JobOrdering::kLeastLaxity);
   EXPECT_GT(ranks[0], ranks[1]);
 }
@@ -50,10 +50,10 @@ TEST(JobRanks, LeastLaxityUsesRemainingWork) {
 TEST(JobRanks, JobIdUsesExternalId) {
   Model m;
   m.add_resource(1, 1);
-  const CpJobIndex a = m.add_job(0, 100, 42);
-  m.add_task(a, Phase::kMap, 10);
-  const CpJobIndex b = m.add_job(0, 50, 7);
-  m.add_task(b, Phase::kMap, 10);
+  const CpJobIndex a = m.add_job(Time{0}, Time{100}, 42);
+  m.add_task(a, Phase::kMap, Time{10});
+  const CpJobIndex b = m.add_job(Time{0}, Time{50}, 7);
+  m.add_task(b, Phase::kMap, Time{10});
   const auto ranks = make_job_ranks(m, JobOrdering::kJobId);
   EXPECT_GT(ranks[0], ranks[1]);  // external id 7 before 42
 }
@@ -61,10 +61,10 @@ TEST(JobRanks, JobIdUsesExternalId) {
 TEST(JobRanks, FcfsUsesEarliestStart) {
   Model m;
   m.add_resource(1, 1);
-  const CpJobIndex a = m.add_job(200, 1000, 0);
-  m.add_task(a, Phase::kMap, 10);
-  const CpJobIndex b = m.add_job(100, 2000, 1);
-  m.add_task(b, Phase::kMap, 10);
+  const CpJobIndex a = m.add_job(Time{200}, Time{1000}, 0);
+  m.add_task(a, Phase::kMap, Time{10});
+  const CpJobIndex b = m.add_job(Time{100}, Time{2000}, 1);
+  m.add_task(b, Phase::kMap, Time{10});
   const auto ranks = make_job_ranks(m, JobOrdering::kFcfs);
   EXPECT_GT(ranks[0], ranks[1]);
 }
@@ -72,73 +72,73 @@ TEST(JobRanks, FcfsUsesEarliestStart) {
 TEST(SetTimes, SingleTaskStartsAtEst) {
   Model m;
   m.add_resource(1, 1);
-  const CpJobIndex j = m.add_job(25, 200);
-  m.add_task(j, Phase::kMap, 10);
+  const CpJobIndex j = m.add_job(Time{25}, Time{200});
+  m.add_task(j, Phase::kMap, Time{10});
   const Solution sol = run_search(m);
-  EXPECT_EQ(sol.placements[0].start, 25);
+  EXPECT_EQ(sol.placements[0].start, Time{25});
   EXPECT_EQ(sol.num_late, 0);
 }
 
 TEST(SetTimes, MapsThenReduceLeftPacked) {
   Model m;
   m.add_resource(2, 1);
-  const CpJobIndex j = m.add_job(0, 1000);
-  m.add_task(j, Phase::kMap, 20);
-  m.add_task(j, Phase::kMap, 30);
-  m.add_task(j, Phase::kReduce, 40);
+  const CpJobIndex j = m.add_job(Time{0}, Time{1000});
+  m.add_task(j, Phase::kMap, Time{20});
+  m.add_task(j, Phase::kMap, Time{30});
+  m.add_task(j, Phase::kReduce, Time{40});
   const Solution sol = run_search(m);
-  EXPECT_EQ(sol.job_completion[0], 70);  // maps parallel (end 30), reduce 30-70
+  EXPECT_EQ(sol.job_completion[0], Time{70});  // maps parallel (end 30), reduce 30-70
   EXPECT_EQ(sol.num_late, 0);
 }
 
 TEST(SetTimes, SerializesOnSingleSlot) {
   Model m;
   m.add_resource(1, 1);
-  const CpJobIndex j = m.add_job(0, 1000);
-  m.add_task(j, Phase::kMap, 20);
-  m.add_task(j, Phase::kMap, 30);
+  const CpJobIndex j = m.add_job(Time{0}, Time{1000});
+  m.add_task(j, Phase::kMap, Time{20});
+  m.add_task(j, Phase::kMap, Time{30});
   const Solution sol = run_search(m);
-  EXPECT_EQ(sol.job_completion[0], 50);
+  EXPECT_EQ(sol.job_completion[0], Time{50});
 }
 
 TEST(SetTimes, ChoosesLessLoadedResource) {
   Model m;
   m.add_resource(1, 1);
   m.add_resource(1, 1);
-  const CpJobIndex j0 = m.add_job(0, 1000, 0);
-  m.add_task(j0, Phase::kMap, 50);
-  const CpJobIndex j1 = m.add_job(0, 1000, 1);
-  m.add_task(j1, Phase::kMap, 50);
+  const CpJobIndex j0 = m.add_job(Time{0}, Time{1000}, 0);
+  m.add_task(j0, Phase::kMap, Time{50});
+  const CpJobIndex j1 = m.add_job(Time{0}, Time{1000}, 1);
+  m.add_task(j1, Phase::kMap, Time{50});
   const Solution sol = run_search(m);
   // Both should run in parallel on different resources.
-  EXPECT_EQ(sol.placements[0].start, 0);
-  EXPECT_EQ(sol.placements[1].start, 0);
+  EXPECT_EQ(sol.placements[0].start, Time{0});
+  EXPECT_EQ(sol.placements[1].start, Time{0});
   EXPECT_NE(sol.placements[0].resource, sol.placements[1].resource);
 }
 
 TEST(SetTimes, PinnedTaskKeptInPlace) {
   Model m;
   m.add_resource(1, 1);
-  const CpJobIndex j = m.add_job(0, 1000);
-  const CpTaskIndex t0 = m.add_task(j, Phase::kMap, 30);
-  m.add_task(j, Phase::kMap, 10);
-  m.pin_task(t0, 0, 5);  // occupies [5, 35)
+  const CpJobIndex j = m.add_job(Time{0}, Time{1000});
+  const CpTaskIndex t0 = m.add_task(j, Phase::kMap, Time{30});
+  m.add_task(j, Phase::kMap, Time{10});
+  m.pin_task(t0, 0, Time{5});  // occupies [5, 35)
   const Solution sol = run_search(m);
-  EXPECT_EQ(sol.placements[0].start, 5);
+  EXPECT_EQ(sol.placements[0].start, Time{5});
   EXPECT_EQ(sol.placements[0].resource, 0);
   // Second map fits before (0..10? no: [0,10) overlaps [5,35)) -> at 35.
-  EXPECT_EQ(sol.placements[1].start, 35);
+  EXPECT_EQ(sol.placements[1].start, Time{35});
 }
 
 TEST(SetTimes, GapFillingBeforePinnedTask) {
   Model m;
   m.add_resource(1, 1);
-  const CpJobIndex j = m.add_job(0, 1000);
-  const CpTaskIndex t0 = m.add_task(j, Phase::kMap, 30);
-  m.add_task(j, Phase::kMap, 10);
-  m.pin_task(t0, 0, 20);  // busy [20, 50)
+  const CpJobIndex j = m.add_job(Time{0}, Time{1000});
+  const CpTaskIndex t0 = m.add_task(j, Phase::kMap, Time{30});
+  m.add_task(j, Phase::kMap, Time{10});
+  m.pin_task(t0, 0, Time{20});  // busy [20, 50)
   const Solution sol = run_search(m);
-  EXPECT_EQ(sol.placements[1].start, 0);  // fills the [0, 20) gap
+  EXPECT_EQ(sol.placements[1].start, Time{0});  // fills the [0, 20) gap
 }
 
 TEST(SetTimes, EdfOrderingMeetsDeadlinesIdOrderingMisses) {
@@ -149,10 +149,10 @@ TEST(SetTimes, EdfOrderingMeetsDeadlinesIdOrderingMisses) {
   // portfolio's role — see solver_test.cpp).
   Model m;
   m.add_resource(1, 1);
-  const CpJobIndex j0 = m.add_job(0, 200, 0);
-  m.add_task(j0, Phase::kMap, 80);
-  const CpJobIndex j1 = m.add_job(0, 60, 1);
-  m.add_task(j1, Phase::kMap, 50);
+  const CpJobIndex j0 = m.add_job(Time{0}, Time{200}, 0);
+  m.add_task(j0, Phase::kMap, Time{80});
+  const CpJobIndex j1 = m.add_job(Time{0}, Time{60}, 1);
+  m.add_task(j1, Phase::kMap, Time{50});
 
   const Solution edf = run_search(m, JobOrdering::kEdf);
   EXPECT_EQ(edf.num_late, 0);
@@ -166,10 +166,10 @@ TEST(SetTimes, FirstSolutionOnlyGreedy) {
   // late — demonstrating the limits knob.
   Model m;
   m.add_resource(1, 1);
-  const CpJobIndex j0 = m.add_job(0, 200, 0);
-  m.add_task(j0, Phase::kMap, 80);
-  const CpJobIndex j1 = m.add_job(0, 60, 1);
-  m.add_task(j1, Phase::kMap, 50);
+  const CpJobIndex j0 = m.add_job(Time{0}, Time{200}, 0);
+  m.add_task(j0, Phase::kMap, Time{80});
+  const CpJobIndex j1 = m.add_job(Time{0}, Time{60}, 1);
+  m.add_task(j1, Phase::kMap, Time{50});
 
   SearchLimits limits = default_limits();
   limits.stop_after_first_solution = true;
@@ -185,8 +185,8 @@ TEST(SetTimes, FirstSolutionOnlyGreedy) {
 TEST(SetTimes, UnavoidablyLateJobCounted) {
   Model m;
   m.add_resource(1, 1);
-  const CpJobIndex j = m.add_job(0, 10);
-  m.add_task(j, Phase::kMap, 50);  // cannot possibly meet deadline 10
+  const CpJobIndex j = m.add_job(Time{0}, Time{10});
+  m.add_task(j, Phase::kMap, Time{50});  // cannot possibly meet deadline 10
   const Solution sol = run_search(m);
   EXPECT_EQ(sol.num_late, 1);
   EXPECT_EQ(sol.job_late[0], 1);
@@ -206,15 +206,15 @@ TEST(SetTimes, EmptyModelYieldsEmptySolution) {
 TEST(SetTimes, AllTasksPinnedIsEvaluatedOnly) {
   Model m;
   m.add_resource(1, 1);
-  const CpJobIndex j = m.add_job(0, 100);
-  const CpTaskIndex t = m.add_task(j, Phase::kMap, 30);
-  m.pin_task(t, 0, 0);
+  const CpJobIndex j = m.add_job(Time{0}, Time{100});
+  const CpTaskIndex t = m.add_task(j, Phase::kMap, Time{30});
+  m.pin_task(t, 0, Time{0});
   SetTimesSearch search(m, make_job_ranks(m, JobOrdering::kEdf));
   SearchStats stats;
   const Solution sol = search.run(default_limits(), nullptr, &stats);
   EXPECT_TRUE(sol.valid);
-  EXPECT_EQ(sol.placements[0].start, 0);
-  EXPECT_EQ(sol.job_completion[0], 30);
+  EXPECT_EQ(sol.placements[0].start, Time{0});
+  EXPECT_EQ(sol.job_completion[0], Time{30});
   EXPECT_EQ(sol.num_late, 0);
 }
 
@@ -222,8 +222,8 @@ TEST(SetTimes, RespectsCandidateRestriction) {
   Model m;
   m.add_resource(1, 1);
   m.add_resource(1, 1);
-  const CpJobIndex j = m.add_job(0, 1000);
-  const CpTaskIndex t = m.add_task(j, Phase::kMap, 10);
+  const CpJobIndex j = m.add_job(Time{0}, Time{1000});
+  const CpTaskIndex t = m.add_task(j, Phase::kMap, Time{10});
   m.restrict_candidates(t, {1});
   const Solution sol = run_search(m);
   EXPECT_EQ(sol.placements[0].resource, 1);
@@ -232,10 +232,10 @@ TEST(SetTimes, RespectsCandidateRestriction) {
 TEST(SetTimes, IncumbentPrunesToNoWorseSolution) {
   Model m;
   m.add_resource(1, 1);
-  const CpJobIndex j0 = m.add_job(0, 200, 0);
-  m.add_task(j0, Phase::kMap, 80);
-  const CpJobIndex j1 = m.add_job(0, 60, 1);
-  m.add_task(j1, Phase::kMap, 50);
+  const CpJobIndex j0 = m.add_job(Time{0}, Time{200}, 0);
+  m.add_task(j0, Phase::kMap, Time{80});
+  const CpJobIndex j1 = m.add_job(Time{0}, Time{60}, 1);
+  m.add_task(j1, Phase::kMap, Time{50});
   // First find the optimum, then re-run with it as incumbent: the result
   // must not regress.
   const Solution best = run_search(m, JobOrdering::kEdf);
@@ -249,23 +249,23 @@ TEST(SetTimes, ReduceWaitsForAllMapsAcrossResources) {
   Model m;
   m.add_resource(1, 1);
   m.add_resource(1, 1);
-  const CpJobIndex j = m.add_job(0, 1000);
-  m.add_task(j, Phase::kMap, 10);
-  m.add_task(j, Phase::kMap, 70);
-  m.add_task(j, Phase::kReduce, 5);
+  const CpJobIndex j = m.add_job(Time{0}, Time{1000});
+  m.add_task(j, Phase::kMap, Time{10});
+  m.add_task(j, Phase::kMap, Time{70});
+  m.add_task(j, Phase::kReduce, Time{5});
   const Solution sol = run_search(m);
   // Maps in parallel end at 70; reduce starts at >= 70.
-  EXPECT_GE(sol.placements[2].start, 70);
-  EXPECT_EQ(sol.job_completion[0], 75);
+  EXPECT_GE(sol.placements[2].start, Time{70});
+  EXPECT_EQ(sol.job_completion[0], Time{75});
 }
 
 TEST(SetTimes, StatsAreAccountedFor) {
   Model m;
   m.add_resource(1, 1);
-  const CpJobIndex j0 = m.add_job(0, 10, 0);
-  m.add_task(j0, Phase::kMap, 50);
-  const CpJobIndex j1 = m.add_job(0, 10, 1);
-  m.add_task(j1, Phase::kMap, 50);
+  const CpJobIndex j0 = m.add_job(Time{0}, Time{10}, 0);
+  m.add_task(j0, Phase::kMap, Time{50});
+  const CpJobIndex j1 = m.add_job(Time{0}, Time{10}, 1);
+  m.add_task(j1, Phase::kMap, Time{50});
   SetTimesSearch search(m, make_job_ranks(m, JobOrdering::kEdf));
   SearchStats stats;
   search.run(default_limits(), nullptr, &stats);

@@ -10,16 +10,16 @@ namespace {
 Model base_model() {
   Model m;
   m.add_resource(2, 1);
-  const CpJobIndex j = m.add_job(0, 100, 7);
-  m.add_task(j, Phase::kMap, 20);
-  m.add_task(j, Phase::kMap, 30);
-  m.add_task(j, Phase::kReduce, 40);
+  const CpJobIndex j = m.add_job(Time{0}, Time{100}, 7);
+  m.add_task(j, Phase::kMap, Time{20});
+  m.add_task(j, Phase::kMap, Time{30});
+  m.add_task(j, Phase::kReduce, Time{40});
   return m;
 }
 
 Solution good_solution() {
   Solution s;
-  s.placements = {{0, 0}, {0, 0}, {0, 30}};  // maps parallel, reduce at 30
+  s.placements = {{0, Time{0}}, {0, Time{0}}, {0, Time{30}}};  // maps parallel, reduce at 30
   return s;
 }
 
@@ -28,21 +28,21 @@ TEST(EvaluateSolution, ComputesCompletionAndLateness) {
   Solution s = good_solution();
   evaluate_solution(m, s);
   EXPECT_TRUE(s.valid);
-  EXPECT_EQ(s.job_completion[0], 70);
+  EXPECT_EQ(s.job_completion[0], Time{70});
   EXPECT_EQ(s.job_late[0], 0);
   EXPECT_EQ(s.num_late, 0);
-  EXPECT_EQ(s.total_completion, 70);
+  EXPECT_EQ(s.total_completion, Time{70});
 }
 
 TEST(EvaluateSolution, MarksLateJob) {
   Model m;
   m.add_resource(1, 1);
-  const CpJobIndex j = m.add_job(0, 25, 7);
-  m.add_task(j, Phase::kMap, 30);
+  const CpJobIndex j = m.add_job(Time{0}, Time{25}, 7);
+  m.add_task(j, Phase::kMap, Time{30});
   Solution s;
-  s.placements = {{0, 0}};
+  s.placements = {{0, Time{0}}};
   evaluate_solution(m, s);
-  EXPECT_EQ(s.job_completion[0], 30);
+  EXPECT_EQ(s.job_completion[0], Time{30});
   EXPECT_EQ(s.job_late[0], 1);
   EXPECT_EQ(s.num_late, 1);
 }
@@ -57,56 +57,56 @@ TEST(ValidateSolution, AcceptsGoodSolution) {
 TEST(ValidateSolution, CatchesCapacityViolation) {
   Model m;
   m.add_resource(1, 1);  // only 1 map slot
-  const CpJobIndex j = m.add_job(0, 100);
-  m.add_task(j, Phase::kMap, 20);
-  m.add_task(j, Phase::kMap, 20);
+  const CpJobIndex j = m.add_job(Time{0}, Time{100});
+  m.add_task(j, Phase::kMap, Time{20});
+  m.add_task(j, Phase::kMap, Time{20});
   Solution s;
-  s.placements = {{0, 0}, {0, 10}};  // overlap on a 1-capacity resource
+  s.placements = {{0, Time{0}}, {0, Time{10}}};  // overlap on a 1-capacity resource
   EXPECT_NE(validate_solution(m, s), "");
-  s.placements = {{0, 0}, {0, 20}};  // sequential is fine
+  s.placements = {{0, Time{0}}, {0, Time{20}}};  // sequential is fine
   EXPECT_EQ(validate_solution(m, s), "");
 }
 
 TEST(ValidateSolution, CatchesPrecedenceViolation) {
   const Model m = base_model();
   Solution s;
-  s.placements = {{0, 0}, {0, 0}, {0, 29}};  // reduce starts before map end
+  s.placements = {{0, Time{0}}, {0, Time{0}}, {0, Time{29}}};  // reduce starts before map end
   EXPECT_NE(validate_solution(m, s), "");
 }
 
 TEST(ValidateSolution, CatchesEarliestStartViolation) {
   Model m;
   m.add_resource(1, 1);
-  const CpJobIndex j = m.add_job(50, 200);
-  m.add_task(j, Phase::kMap, 10);
+  const CpJobIndex j = m.add_job(Time{50}, Time{200});
+  m.add_task(j, Phase::kMap, Time{10});
   Solution s;
-  s.placements = {{0, 40}};
+  s.placements = {{0, Time{40}}};
   EXPECT_NE(validate_solution(m, s), "");
-  s.placements = {{0, 50}};
+  s.placements = {{0, Time{50}}};
   EXPECT_EQ(validate_solution(m, s), "");
 }
 
 TEST(ValidateSolution, PinnedTaskExemptFromEarliestStart) {
   Model m;
   m.add_resource(1, 1);
-  const CpJobIndex j = m.add_job(50, 200);
-  const CpTaskIndex t = m.add_task(j, Phase::kMap, 10);
-  m.pin_task(t, 0, 40);  // started before the (clamped) s_j
+  const CpJobIndex j = m.add_job(Time{50}, Time{200});
+  const CpTaskIndex t = m.add_task(j, Phase::kMap, Time{10});
+  m.pin_task(t, 0, Time{40});  // started before the (clamped) s_j
   Solution s;
-  s.placements = {{0, 40}};
+  s.placements = {{0, Time{40}}};
   EXPECT_EQ(validate_solution(m, s), "");
 }
 
 TEST(ValidateSolution, CatchesPinningViolation) {
   Model m;
   m.add_resource(2, 1);
-  const CpJobIndex j = m.add_job(0, 200);
-  const CpTaskIndex t = m.add_task(j, Phase::kMap, 10);
-  m.pin_task(t, 0, 15);
+  const CpJobIndex j = m.add_job(Time{0}, Time{200});
+  const CpTaskIndex t = m.add_task(j, Phase::kMap, Time{10});
+  m.pin_task(t, 0, Time{15});
   Solution s;
-  s.placements = {{0, 20}};  // wrong start
+  s.placements = {{0, Time{20}}};  // wrong start
   EXPECT_NE(validate_solution(m, s), "");
-  s.placements = {{0, 15}};
+  s.placements = {{0, Time{15}}};
   EXPECT_EQ(validate_solution(m, s), "");
 }
 
@@ -114,13 +114,13 @@ TEST(ValidateSolution, CatchesNonCandidateResource) {
   Model m;
   m.add_resource(1, 1);
   m.add_resource(1, 1);
-  const CpJobIndex j = m.add_job(0, 200);
-  const CpTaskIndex t = m.add_task(j, Phase::kMap, 10);
+  const CpJobIndex j = m.add_job(Time{0}, Time{200});
+  const CpTaskIndex t = m.add_task(j, Phase::kMap, Time{10});
   m.restrict_candidates(t, {1});
   Solution s;
-  s.placements = {{0, 0}};
+  s.placements = {{0, Time{0}}};
   EXPECT_NE(validate_solution(m, s), "");
-  s.placements = {{1, 0}};
+  s.placements = {{1, Time{0}}};
   EXPECT_EQ(validate_solution(m, s), "");
 }
 
@@ -134,7 +134,7 @@ TEST(ValidateSolution, CatchesUndecidedTask) {
 TEST(ValidateSolution, CatchesWrongPlacementCount) {
   const Model m = base_model();
   Solution s;
-  s.placements = {{0, 0}};
+  s.placements = {{0, Time{0}}};
   EXPECT_NE(validate_solution(m, s), "");
 }
 
@@ -142,15 +142,15 @@ TEST(SolutionOrdering, BetterThanComparesLateThenCompletion) {
   Solution a;
   a.valid = true;
   a.num_late = 1;
-  a.total_completion = 100;
+  a.total_completion = Time{100};
   Solution b;
   b.valid = true;
   b.num_late = 2;
-  b.total_completion = 50;
+  b.total_completion = Time{50};
   EXPECT_TRUE(a.better_than(b));
   EXPECT_FALSE(b.better_than(a));
   b.num_late = 1;
-  b.total_completion = 99;
+  b.total_completion = Time{99};
   EXPECT_TRUE(b.better_than(a));
   Solution invalid;
   EXPECT_TRUE(a.better_than(invalid));
@@ -162,12 +162,12 @@ TEST(SolutionOrdering, MapsOnDifferentPhasesDontCollide) {
   // one map and one reduce simultaneously.
   Model m;
   m.add_resource(1, 1);
-  const CpJobIndex j0 = m.add_job(0, 200);
-  m.add_task(j0, Phase::kMap, 50);
-  const CpJobIndex j1 = m.add_job(0, 200);
-  m.add_task(j1, Phase::kReduce, 50);
+  const CpJobIndex j0 = m.add_job(Time{0}, Time{200});
+  m.add_task(j0, Phase::kMap, Time{50});
+  const CpJobIndex j1 = m.add_job(Time{0}, Time{200});
+  m.add_task(j1, Phase::kReduce, Time{50});
   Solution s;
-  s.placements = {{0, 0}, {0, 0}};
+  s.placements = {{0, Time{0}}, {0, Time{0}}};
   EXPECT_EQ(validate_solution(m, s), "");
 }
 

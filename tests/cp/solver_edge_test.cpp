@@ -12,12 +12,12 @@ Model contended_model(int jobs, std::uint64_t seed) {
   Model m;
   m.add_resource(2, 2);
   for (int j = 0; j < jobs; ++j) {
-    const Time est = rng.uniform_int(0, 20);
-    const Time work = rng.uniform_int(50, 120);
+    const Time est{rng.uniform_int(0, 20)};
+    const Time work{rng.uniform_int(50, 120)};
     // Deliberately tight deadlines so late jobs exist and LNS has work.
-    const CpJobIndex cj = m.add_job(est, est + work + rng.uniform_int(0, 60), j);
+    const CpJobIndex cj = m.add_job(est, est + work + Time{rng.uniform_int(0, 60)}, j);
     m.add_task(cj, Phase::kMap, work);
-    m.add_task(cj, Phase::kReduce, rng.uniform_int(10, 40));
+    m.add_task(cj, Phase::kReduce, Time{rng.uniform_int(10, 40)});
   }
   return m;
 }
@@ -67,8 +67,8 @@ TEST(SolverEdge, LnsImprovementsAreCounted) {
 TEST(SolverEdge, ProvedOptimalOnZeroLate) {
   Model m;
   m.add_resource(4, 4);
-  const CpJobIndex j = m.add_job(0, 100000, 0);
-  m.add_task(j, Phase::kMap, 10);
+  const CpJobIndex j = m.add_job(Time{0}, Time{100000}, 0);
+  m.add_task(j, Phase::kMap, Time{10});
   const SolveResult r = solve(m, SolveParams{});
   EXPECT_EQ(r.best.num_late, 0);
   EXPECT_TRUE(r.stats.proved_optimal);
@@ -84,8 +84,8 @@ TEST(SolverEdge, NotProvedOptimalWhenLateAndBudgetTiny) {
   m.add_resource(1, 1);
   m.add_resource(1, 1);
   for (int j = 0; j < 4; ++j) {
-    const CpJobIndex job = m.add_job(0, 70, j);
-    m.add_task(job, Phase::kMap, 60);
+    const CpJobIndex job = m.add_job(Time{0}, Time{70}, j);
+    m.add_task(job, Phase::kMap, Time{60});
   }
   SolveParams p;
   p.improvement_fails = 1;  // cannot exhaust the space
@@ -119,9 +119,9 @@ TEST(SolverEdge, ManyIdenticalJobsStable) {
   Model m;
   m.add_resource(10, 10);
   for (int j = 0; j < 30; ++j) {
-    const CpJobIndex cj = m.add_job(0, 5000, j);
-    m.add_task(cj, Phase::kMap, 100);
-    m.add_task(cj, Phase::kReduce, 100);
+    const CpJobIndex cj = m.add_job(Time{0}, Time{5000}, j);
+    m.add_task(cj, Phase::kMap, Time{100});
+    m.add_task(cj, Phase::kReduce, Time{100});
   }
   const SolveResult r = solve(m, SolveParams{});
   EXPECT_EQ(validate_solution(m, r.best), "");
@@ -131,13 +131,13 @@ TEST(SolverEdge, ManyIdenticalJobsStable) {
 TEST(SolverEdge, PinnedOnlyModelEvaluates) {
   Model m;
   m.add_resource(1, 1);
-  const CpJobIndex j = m.add_job(0, 50, 0);
-  const CpTaskIndex t = m.add_task(j, Phase::kMap, 100);
-  m.pin_task(t, 0, 10);  // ends at 110 > 50: late, and nothing to decide
+  const CpJobIndex j = m.add_job(Time{0}, Time{50}, 0);
+  const CpTaskIndex t = m.add_task(j, Phase::kMap, Time{100});
+  m.pin_task(t, 0, Time{10});  // ends at 110 > 50: late, and nothing to decide
   const SolveResult r = solve(m, SolveParams{});
   ASSERT_TRUE(r.best.valid);
   EXPECT_EQ(r.best.num_late, 1);
-  EXPECT_EQ(r.best.placements[0].start, 10);
+  EXPECT_EQ(r.best.placements[0].start, Time{10});
 }
 
 }  // namespace

@@ -38,21 +38,21 @@ Model random_model(std::uint64_t seed) {
   }
   const int num_jobs = static_cast<int>(rng.uniform_int(3, 10));
   for (int j = 0; j < num_jobs; ++j) {
-    const Time est = rng.uniform_int(0, 100);
-    Time work = 0;
+    const Time est{rng.uniform_int(0, 100)};
+    Time work;
     std::vector<Time> maps;
     std::vector<Time> reduces;
     const int nm = static_cast<int>(rng.uniform_int(1, 6));
     const int nr = static_cast<int>(rng.uniform_int(0, 4));
     for (int t = 0; t < nm; ++t) {
-      maps.push_back(rng.uniform_int(5, 60));
+      maps.push_back(Time{rng.uniform_int(5, 60)});
       work += maps.back();
     }
     for (int t = 0; t < nr; ++t) {
-      reduces.push_back(rng.uniform_int(5, 60));
+      reduces.push_back(Time{rng.uniform_int(5, 60)});
       work += reduces.back();
     }
-    const Time deadline = est + work / 2 + rng.uniform_int(20, 150);
+    const Time deadline = est + work / 2 + Time{rng.uniform_int(20, 150)};
     const CpJobIndex cj = m.add_job(est, deadline, j);
     for (Time d : maps) m.add_task(cj, Phase::kMap, d);
     for (Time d : reduces) m.add_task(cj, Phase::kReduce, d);
@@ -126,16 +126,16 @@ Model precedence_heavy_model(std::uint64_t seed) {
   std::vector<CpTaskIndex> all_maps;
   const int num_jobs = 6;
   for (int j = 0; j < num_jobs; ++j) {
-    const Time est = rng.uniform_int(0, 50);
-    const CpJobIndex cj = m.add_job(est, est + rng.uniform_int(80, 200), j);
+    const Time est{rng.uniform_int(0, 50)};
+    const CpJobIndex cj = m.add_job(est, est + Time{rng.uniform_int(80, 200)}, j);
     std::vector<CpTaskIndex> maps;
     const int nm = static_cast<int>(rng.uniform_int(2, 5));
     for (int t = 0; t < nm; ++t) {
-      maps.push_back(m.add_task(cj, Phase::kMap, rng.uniform_int(5, 40)));
+      maps.push_back(m.add_task(cj, Phase::kMap, Time{rng.uniform_int(5, 40)}));
     }
     const int nr = static_cast<int>(rng.uniform_int(1, 3));
     for (int t = 0; t < nr; ++t) {
-      m.add_task(cj, Phase::kReduce, rng.uniform_int(5, 40));
+      m.add_task(cj, Phase::kReduce, Time{rng.uniform_int(5, 40)});
     }
     // Chain the job's maps: map_0 -> map_1 -> ... (workflow stages).
     for (std::size_t t = 1; t < maps.size(); ++t) {

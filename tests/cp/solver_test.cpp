@@ -21,10 +21,10 @@ TEST(Solver, PortfolioFixesBadIdOrdering) {
   // job; the solver's EDF portfolio member finds the 0-late schedule.
   Model m;
   m.add_resource(1, 1);
-  const CpJobIndex j0 = m.add_job(0, 200, 0);
-  m.add_task(j0, Phase::kMap, 80);
-  const CpJobIndex j1 = m.add_job(0, 60, 1);
-  m.add_task(j1, Phase::kMap, 50);
+  const CpJobIndex j0 = m.add_job(Time{0}, Time{200}, 0);
+  m.add_task(j0, Phase::kMap, Time{80});
+  const CpJobIndex j1 = m.add_job(Time{0}, Time{60}, 1);
+  m.add_task(j1, Phase::kMap, Time{50});
 
   const SolveResult result = solve(m, fast_params());
   ASSERT_TRUE(result.best.valid);
@@ -44,10 +44,10 @@ TEST(Solver, EmptyModelSolves) {
 TEST(Solver, WarmStartNeverRegresses) {
   Model m;
   m.add_resource(1, 1);
-  const CpJobIndex j0 = m.add_job(0, 200, 0);
-  m.add_task(j0, Phase::kMap, 80);
-  const CpJobIndex j1 = m.add_job(0, 60, 1);
-  m.add_task(j1, Phase::kMap, 50);
+  const CpJobIndex j0 = m.add_job(Time{0}, Time{200}, 0);
+  m.add_task(j0, Phase::kMap, Time{80});
+  const CpJobIndex j1 = m.add_job(Time{0}, Time{60}, 1);
+  m.add_task(j1, Phase::kMap, Time{50});
   const SolveResult first = solve(m, fast_params());
   const SolveResult second = solve(m, fast_params(), &first.best);
   EXPECT_LE(second.best.num_late, first.best.num_late);
@@ -57,9 +57,9 @@ TEST(Solver, DeterministicForSeed) {
   Model m;
   m.add_resource(2, 2);
   for (int i = 0; i < 6; ++i) {
-    const CpJobIndex j = m.add_job(0, 150 + 10 * i, i);
-    m.add_task(j, Phase::kMap, 40 + 5 * i);
-    m.add_task(j, Phase::kReduce, 20);
+    const CpJobIndex j = m.add_job(Time{0}, Time{150 + 10 * i}, i);
+    m.add_task(j, Phase::kMap, Time{40 + 5 * i});
+    m.add_task(j, Phase::kReduce, Time{20});
   }
   const SolveResult a = solve(m, fast_params());
   const SolveResult b = solve(m, fast_params());
@@ -76,12 +76,12 @@ TEST(Solver, LnsImprovesOverSinglePortfolioWhenHelpful) {
   // check the solver does at least as well as the plain EDF descent.
   Model m;
   m.add_resource(1, 1);
-  const CpJobIndex a = m.add_job(0, 100, 0);
-  m.add_task(a, Phase::kMap, 60);
-  const CpJobIndex b = m.add_job(0, 130, 1);
-  m.add_task(b, Phase::kMap, 60);
-  const CpJobIndex c = m.add_job(0, 260, 2);
-  m.add_task(c, Phase::kMap, 100);
+  const CpJobIndex a = m.add_job(Time{0}, Time{100}, 0);
+  m.add_task(a, Phase::kMap, Time{60});
+  const CpJobIndex b = m.add_job(Time{0}, Time{130}, 1);
+  m.add_task(b, Phase::kMap, Time{60});
+  const CpJobIndex c = m.add_job(Time{0}, Time{260}, 2);
+  m.add_task(c, Phase::kMap, Time{100});
 
   SetTimesSearch edf(m, make_job_ranks(m, JobOrdering::kEdf));
   SearchLimits greedy;
@@ -98,20 +98,20 @@ TEST(Solver, LnsImprovesOverSinglePortfolioWhenHelpful) {
 TEST(Solver, HonoursPinnedTasks) {
   Model m;
   m.add_resource(1, 1);
-  const CpJobIndex j = m.add_job(0, 1000, 0);
-  const CpTaskIndex t0 = m.add_task(j, Phase::kMap, 50);
-  m.add_task(j, Phase::kMap, 10);
-  m.pin_task(t0, 0, 100);
+  const CpJobIndex j = m.add_job(Time{0}, Time{1000}, 0);
+  const CpTaskIndex t0 = m.add_task(j, Phase::kMap, Time{50});
+  m.add_task(j, Phase::kMap, Time{10});
+  m.pin_task(t0, 0, Time{100});
   const SolveResult result = solve(m, fast_params());
-  EXPECT_EQ(result.best.placements[0].start, 100);
+  EXPECT_EQ(result.best.placements[0].start, Time{100});
   EXPECT_EQ(validate_solution(m, result.best), "");
 }
 
 TEST(Solver, ReportsBestOrdering) {
   Model m;
   m.add_resource(1, 1);
-  const CpJobIndex j = m.add_job(0, 100, 0);
-  m.add_task(j, Phase::kMap, 10);
+  const CpJobIndex j = m.add_job(Time{0}, Time{100}, 0);
+  m.add_task(j, Phase::kMap, Time{10});
   const SolveResult result = solve(m, fast_params());
   // Single job: first portfolio member (EDF) wins.
   EXPECT_EQ(result.stats.best_ordering, JobOrdering::kEdf);
@@ -120,8 +120,8 @@ TEST(Solver, ReportsBestOrdering) {
 TEST(Solver, SolveSecondsPopulated) {
   Model m;
   m.add_resource(1, 1);
-  const CpJobIndex j = m.add_job(0, 100, 0);
-  m.add_task(j, Phase::kMap, 10);
+  const CpJobIndex j = m.add_job(Time{0}, Time{100}, 0);
+  m.add_task(j, Phase::kMap, Time{10});
   const SolveResult result = solve(m, fast_params());
   EXPECT_GE(result.stats.solve_seconds, 0.0);
   EXPECT_LT(result.stats.solve_seconds, 5.0);
@@ -141,22 +141,22 @@ TEST_P(SolverRandomProperty, AlwaysValidAndNoWorseThanEdf) {
   }
   const int num_jobs = static_cast<int>(rng.uniform_int(2, 8));
   for (int jj = 0; jj < num_jobs; ++jj) {
-    const Time est = rng.uniform_int(0, 100);
-    Time work = 0;
+    const Time est{rng.uniform_int(0, 100)};
+    Time work;
     const int maps = static_cast<int>(rng.uniform_int(1, 5));
     const int reduces = static_cast<int>(rng.uniform_int(0, 3));
     std::vector<Time> map_durs;
     std::vector<Time> reduce_durs;
     for (int t = 0; t < maps; ++t) {
-      map_durs.push_back(rng.uniform_int(5, 60));
+      map_durs.push_back(Time{rng.uniform_int(5, 60)});
       work += map_durs.back();
     }
     for (int t = 0; t < reduces; ++t) {
-      reduce_durs.push_back(rng.uniform_int(5, 60));
+      reduce_durs.push_back(Time{rng.uniform_int(5, 60)});
       work += reduce_durs.back();
     }
     // Deadlines between "tight" and "loose".
-    const Time deadline = est + work / 2 + rng.uniform_int(20, 200);
+    const Time deadline = est + work / 2 + Time{rng.uniform_int(20, 200)};
     const CpJobIndex cj = m.add_job(est, deadline, jj);
     for (Time d : map_durs) m.add_task(cj, Phase::kMap, d);
     for (Time d : reduce_durs) m.add_task(cj, Phase::kReduce, d);

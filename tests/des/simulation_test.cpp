@@ -9,26 +9,26 @@ namespace {
 
 TEST(Simulation, StartsAtZeroAndEmpty) {
   Simulation sim;
-  EXPECT_EQ(sim.now(), 0);
+  EXPECT_EQ(sim.now(), Time{0});
   EXPECT_TRUE(sim.empty());
 }
 
 TEST(Simulation, ProcessesEventsInTimeOrder) {
   Simulation sim;
   std::vector<int> fired;
-  sim.schedule_at(30, [&] { fired.push_back(3); });
-  sim.schedule_at(10, [&] { fired.push_back(1); });
-  sim.schedule_at(20, [&] { fired.push_back(2); });
+  sim.schedule_at(Time{30}, [&] { fired.push_back(3); });
+  sim.schedule_at(Time{10}, [&] { fired.push_back(1); });
+  sim.schedule_at(Time{20}, [&] { fired.push_back(2); });
   sim.run();
   EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
-  EXPECT_EQ(sim.now(), 30);
+  EXPECT_EQ(sim.now(), Time{30});
 }
 
 TEST(Simulation, TiesBreakFifo) {
   Simulation sim;
   std::vector<int> fired;
   for (int i = 0; i < 10; ++i) {
-    sim.schedule_at(5, [&, i] { fired.push_back(i); });
+    sim.schedule_at(Time{5}, [&, i] { fired.push_back(i); });
   }
   sim.run();
   std::vector<int> expected(10);
@@ -38,12 +38,12 @@ TEST(Simulation, TiesBreakFifo) {
 
 TEST(Simulation, ScheduleAfterUsesCurrentTime) {
   Simulation sim;
-  Time observed = -1;
-  sim.schedule_at(100, [&] {
-    sim.schedule_after(50, [&] { observed = sim.now(); });
+  Time observed = Time{-1};
+  sim.schedule_at(Time{100}, [&] {
+    sim.schedule_after(Time{50}, [&] { observed = sim.now(); });
   });
   sim.run();
-  EXPECT_EQ(observed, 150);
+  EXPECT_EQ(observed, Time{150});
 }
 
 TEST(Simulation, EventsScheduledDuringRunAreProcessed) {
@@ -51,18 +51,18 @@ TEST(Simulation, EventsScheduledDuringRunAreProcessed) {
   int count = 0;
   std::function<void()> chain = [&] {
     ++count;
-    if (count < 5) sim.schedule_after(10, chain);
+    if (count < 5) sim.schedule_after(Time{10}, chain);
   };
-  sim.schedule_at(0, chain);
+  sim.schedule_at(Time{0}, chain);
   sim.run();
   EXPECT_EQ(count, 5);
-  EXPECT_EQ(sim.now(), 40);
+  EXPECT_EQ(sim.now(), Time{40});
 }
 
 TEST(Simulation, CancelPreventsExecution) {
   Simulation sim;
   bool fired = false;
-  EventHandle h = sim.schedule_at(10, [&] { fired = true; });
+  EventHandle h = sim.schedule_at(Time{10}, [&] { fired = true; });
   EXPECT_TRUE(h.pending());
   EXPECT_TRUE(sim.cancel(h));
   EXPECT_FALSE(h.pending());
@@ -74,14 +74,14 @@ TEST(Simulation, CancelPreventsExecution) {
 
 TEST(Simulation, DoubleCancelIsNoop) {
   Simulation sim;
-  EventHandle h = sim.schedule_at(10, [] {});
+  EventHandle h = sim.schedule_at(Time{10}, [] {});
   EXPECT_TRUE(sim.cancel(h));
   EXPECT_FALSE(sim.cancel(h));
 }
 
 TEST(Simulation, CancelAfterFireIsNoop) {
   Simulation sim;
-  EventHandle h = sim.schedule_at(10, [] {});
+  EventHandle h = sim.schedule_at(Time{10}, [] {});
   sim.run();
   EXPECT_FALSE(h.pending());
   EXPECT_FALSE(sim.cancel(h));
@@ -98,11 +98,11 @@ TEST(Simulation, DefaultHandleIsInvalid) {
 TEST(Simulation, RunUntilStopsAtBoundaryInclusive) {
   Simulation sim;
   std::vector<Time> fired;
-  sim.schedule_at(10, [&] { fired.push_back(10); });
-  sim.schedule_at(20, [&] { fired.push_back(20); });
-  sim.schedule_at(30, [&] { fired.push_back(30); });
-  sim.run(20);
-  EXPECT_EQ(fired, (std::vector<Time>{10, 20}));
+  sim.schedule_at(Time{10}, [&] { fired.push_back(Time{10}); });
+  sim.schedule_at(Time{20}, [&] { fired.push_back(Time{20}); });
+  sim.schedule_at(Time{30}, [&] { fired.push_back(Time{30}); });
+  sim.run(Time{20});
+  EXPECT_EQ(fired, (std::vector<Time>{Time{10}, Time{20}}));
   EXPECT_EQ(sim.pending_events(), 1u);
   sim.run();
   EXPECT_EQ(fired.size(), 3u);
@@ -111,8 +111,8 @@ TEST(Simulation, RunUntilStopsAtBoundaryInclusive) {
 TEST(Simulation, StepProcessesOneEvent) {
   Simulation sim;
   int count = 0;
-  sim.schedule_at(1, [&] { ++count; });
-  sim.schedule_at(2, [&] { ++count; });
+  sim.schedule_at(Time{1}, [&] { ++count; });
+  sim.schedule_at(Time{2}, [&] { ++count; });
   EXPECT_TRUE(sim.step());
   EXPECT_EQ(count, 1);
   EXPECT_TRUE(sim.step());
@@ -123,11 +123,11 @@ TEST(Simulation, StepProcessesOneEvent) {
 TEST(Simulation, RequestStopHaltsRun) {
   Simulation sim;
   int count = 0;
-  sim.schedule_at(1, [&] {
+  sim.schedule_at(Time{1}, [&] {
     ++count;
     sim.request_stop();
   });
-  sim.schedule_at(2, [&] { ++count; });
+  sim.schedule_at(Time{2}, [&] { ++count; });
   sim.run();
   EXPECT_EQ(count, 1);
   sim.run();  // resumes
@@ -137,11 +137,11 @@ TEST(Simulation, RequestStopHaltsRun) {
 TEST(Simulation, RequestStopBeforeRunHaltsBeforeFirstEvent) {
   Simulation sim;
   int count = 0;
-  sim.schedule_at(1, [&] { ++count; });
+  sim.schedule_at(Time{1}, [&] { ++count; });
   sim.request_stop();
   sim.run();
   EXPECT_EQ(count, 0);
-  EXPECT_EQ(sim.now(), 0);
+  EXPECT_EQ(sim.now(), Time{0});
   sim.run();  // the stop request was consumed by the first run()
   EXPECT_EQ(count, 1);
 }
@@ -150,7 +150,7 @@ TEST(Simulation, CancelDuringOwnCallbackIsNoop) {
   Simulation sim;
   EventHandle h;
   bool cancel_result = true;
-  h = sim.schedule_at(10, [&] {
+  h = sim.schedule_at(Time{10}, [&] {
     // The event is firing right now — it is no longer cancellable.
     cancel_result = sim.cancel(h);
   });
@@ -163,8 +163,8 @@ TEST(Simulation, CancelDuringOwnCallbackIsNoop) {
 TEST(Simulation, CancelFiredHandleDoesNotAffectLaterEvents) {
   Simulation sim;
   int count = 0;
-  EventHandle h = sim.schedule_at(1, [&] { ++count; });
-  sim.schedule_at(2, [&] { ++count; });
+  EventHandle h = sim.schedule_at(Time{1}, [&] { ++count; });
+  sim.schedule_at(Time{2}, [&] { ++count; });
   EXPECT_TRUE(sim.step());
   EXPECT_FALSE(sim.cancel(h));  // already fired
   sim.run();
@@ -174,7 +174,7 @@ TEST(Simulation, CancelFiredHandleDoesNotAffectLaterEvents) {
 
 TEST(Simulation, StatsCountScheduledAndFired) {
   Simulation sim;
-  for (int i = 0; i < 5; ++i) sim.schedule_at(i, [] {});
+  for (int i = 0; i < 5; ++i) sim.schedule_at(Time{i}, [] {});
   sim.run();
   EXPECT_EQ(sim.stats().scheduled, 5u);
   EXPECT_EQ(sim.stats().fired, 5u);
@@ -182,8 +182,8 @@ TEST(Simulation, StatsCountScheduledAndFired) {
 
 TEST(Simulation, PendingCountTracksQueue) {
   Simulation sim;
-  EventHandle h1 = sim.schedule_at(1, [] {});
-  sim.schedule_at(2, [] {});
+  EventHandle h1 = sim.schedule_at(Time{1}, [] {});
+  sim.schedule_at(Time{2}, [] {});
   EXPECT_EQ(sim.pending_events(), 2u);
   sim.cancel(h1);
   EXPECT_EQ(sim.pending_events(), 1u);
@@ -194,11 +194,11 @@ TEST(Simulation, PendingCountTracksQueue) {
 
 TEST(Simulation, ManyEventsStressOrdering) {
   Simulation sim;
-  Time last = -1;
+  Time last = Time{-1};
   bool monotonic = true;
   for (int i = 0; i < 10000; ++i) {
     // Scatter times via a fixed mixing of i.
-    const Time t = (static_cast<Time>(i) * 2654435761U) % 100000;
+    const Time t = (static_cast<Time>(i) * 2654435761U) % Time{100000};
     sim.schedule_at(t, [&, t] {
       if (t < last) monotonic = false;
       last = t;
@@ -212,7 +212,7 @@ TEST(Simulation, ManyEventsStressOrdering) {
 TEST(Simulation, SameTickScheduleNowIsAllowed) {
   Simulation sim;
   bool inner = false;
-  sim.schedule_at(5, [&] { sim.schedule_at(5, [&] { inner = true; }); });
+  sim.schedule_at(Time{5}, [&] { sim.schedule_at(Time{5}, [&] { inner = true; }); });
   sim.run();
   EXPECT_TRUE(inner);
 }

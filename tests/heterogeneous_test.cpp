@@ -33,19 +33,19 @@ TEST(Heterogeneous, ClusterAccounting) {
 TEST(Heterogeneous, MrcpSchedulesAcrossMixedNodes) {
   Workload w;
   w.cluster = mixed_cluster();
-  w.jobs = {make_job(0, 0, 0, 1000000, {100, 100, 100, 100, 100}, {200, 200})};
+  w.jobs = {make_job(0, Time{0}, Time{0}, Time{1000000}, {Time{100}, Time{100}, Time{100}, Time{100}, Time{100}}, {Time{200}, Time{200}})};
   MrcpConfig cfg;
   cfg.validate_plans = true;
   const sim::SimMetrics m = sim::simulate_mrcp(w, cfg);
   ASSERT_TRUE(m.records[0].completed());
   // 5 maps over 5 map slots in parallel (100), then reduces in parallel.
-  EXPECT_EQ(m.records[0].completion, 300);
+  EXPECT_EQ(m.records[0].completion, Time{300});
 }
 
 TEST(Heterogeneous, MinedfHandlesMixedNodes) {
   Workload w;
   w.cluster = mixed_cluster();
-  w.jobs = {make_job(0, 0, 0, 1000000, {100, 100, 100}, {200})};
+  w.jobs = {make_job(0, Time{0}, Time{0}, Time{1000000}, {Time{100}, Time{100}, Time{100}}, {Time{200}})};
   const sim::SimMetrics m = sim::simulate_minedf(w);
   EXPECT_TRUE(m.records[0].completed());
 }
@@ -53,7 +53,7 @@ TEST(Heterogeneous, MinedfHandlesMixedNodes) {
 TEST(Heterogeneous, ReduceOnlyNodeNeverRunsMaps) {
   Workload w;
   w.cluster = mixed_cluster();
-  w.jobs = {make_job(0, 0, 0, 1000000, {50, 50, 50, 50, 50, 50}, {})};
+  w.jobs = {make_job(0, Time{0}, Time{0}, Time{1000000}, {Time{50}, Time{50}, Time{50}, Time{50}, Time{50}, Time{50}}, {})};
   MrcpConfig cfg;
   const sim::SimMetrics m = sim::simulate_mrcp(w, cfg);
   for (const sim::ExecutedTask& et : m.executed) {
@@ -65,28 +65,28 @@ TEST(MultiSlotDemand, CpSearchSerializesHeavyTasks) {
   // Two tasks each needing 2 of 3 slots: cannot overlap.
   cp::Model m;
   m.add_resource(3, 1);
-  const cp::CpJobIndex j = m.add_job(0, 100000, 0);
-  m.add_task(j, cp::Phase::kMap, 100, /*demand=*/2);
-  m.add_task(j, cp::Phase::kMap, 100, /*demand=*/2);
+  const cp::CpJobIndex j = m.add_job(Time{0}, Time{100000}, 0);
+  m.add_task(j, cp::Phase::kMap, Time{100}, /*demand=*/2);
+  m.add_task(j, cp::Phase::kMap, Time{100}, /*demand=*/2);
   const cp::SolveResult r = cp::solve(m, cp::SolveParams{});
   ASSERT_TRUE(r.best.valid);
   EXPECT_EQ(cp::validate_solution(m, r.best), "");
-  EXPECT_EQ(r.best.job_completion[0], 200);
+  EXPECT_EQ(r.best.job_completion[0], Time{200});
 }
 
 TEST(MultiSlotDemand, MixesWithUnitTasks) {
   // demand-2 task + demand-1 task on 3 slots: can overlap.
   cp::Model m;
   m.add_resource(3, 1);
-  const cp::CpJobIndex j = m.add_job(0, 100000, 0);
-  m.add_task(j, cp::Phase::kMap, 100, 2);
-  m.add_task(j, cp::Phase::kMap, 100, 1);
+  const cp::CpJobIndex j = m.add_job(Time{0}, Time{100000}, 0);
+  m.add_task(j, cp::Phase::kMap, Time{100}, 2);
+  m.add_task(j, cp::Phase::kMap, Time{100}, 1);
   const cp::SolveResult r = cp::solve(m, cp::SolveParams{});
-  EXPECT_EQ(r.best.job_completion[0], 100);
+  EXPECT_EQ(r.best.job_completion[0], Time{100});
 }
 
 TEST(MultiSlotDemand, RmFallsBackToDirectModel) {
-  Job job = make_job(0, 0, 0, 1000000, {100, 100}, {});
+  Job job = make_job(0, Time{0}, Time{0}, Time{1000000}, {Time{100}, Time{100}}, {});
   job.map_tasks[0].res_req = 2;
   job.map_tasks[1].res_req = 2;
   Workload w;
@@ -98,11 +98,11 @@ TEST(MultiSlotDemand, RmFallsBackToDirectModel) {
   ASSERT_TRUE(m.records[0].completed());
   // Each heavy map fills one resource completely; both can run at once
   // (different resources) -> 100.
-  EXPECT_EQ(m.records[0].completion, 100);
+  EXPECT_EQ(m.records[0].completion, Time{100});
 }
 
 TEST(MultiSlotDemand, SerializesWhenOnlyOneResourceFits) {
-  Job job = make_job(0, 0, 0, 1000000, {100, 100}, {});
+  Job job = make_job(0, Time{0}, Time{0}, Time{1000000}, {Time{100}, Time{100}}, {});
   job.map_tasks[0].res_req = 2;
   job.map_tasks[1].res_req = 2;
   Workload w;
@@ -114,14 +114,14 @@ TEST(MultiSlotDemand, SerializesWhenOnlyOneResourceFits) {
   MrcpConfig cfg;
   cfg.validate_plans = true;
   const sim::SimMetrics m = sim::simulate_mrcp(w, cfg);
-  EXPECT_EQ(m.records[0].completion, 200);  // serialized on resource 0
+  EXPECT_EQ(m.records[0].completion, Time{200});  // serialized on resource 0
 }
 
 TEST(Heterogeneous, RegroupedClusterRunsWorkload) {
   // A §V.D-regrouped (uneven) cluster used directly as the system.
   Workload w;
   w.cluster = compute_regrouping(10, 10, 5, 3);
-  w.jobs = {make_job(0, 0, 0, 1000000, {60, 60, 60, 60}, {80, 80})};
+  w.jobs = {make_job(0, Time{0}, Time{0}, Time{1000000}, {Time{60}, Time{60}, Time{60}, Time{60}}, {Time{80}, Time{80}})};
   MrcpConfig cfg;
   cfg.validate_plans = true;
   const sim::SimMetrics m = sim::simulate_mrcp(w, cfg);

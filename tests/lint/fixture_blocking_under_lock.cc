@@ -1,0 +1,37 @@
+// mrcp-lint fixture: MUST be flagged by rule `blocking-under-lock`
+// (three findings: sleep under std::lock_guard, pool wait under
+// MutexLock, thread join under std::unique_lock). The sleep after the
+// guard's scope closes is clean.
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+struct FixturePool {
+  void wait_idle() {}
+};
+struct Mutex {
+  void lock() {}
+  void unlock() {}
+};
+struct MutexLock {
+  explicit MutexLock(Mutex& mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() { mu_.unlock(); }
+  Mutex& mu_;
+};
+
+void fixture_bad_blocking(std::mutex& m, Mutex& mu, FixturePool& pool,
+                          std::thread& t) {
+  {
+    std::lock_guard<std::mutex> lock(m);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));  // finding 1
+  }
+  {
+    MutexLock lock(mu);
+    pool.wait_idle();  // finding 2
+  }
+  {
+    std::unique_lock<std::mutex> lock(m);
+    t.join();  // finding 3
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));  // clean
+}

@@ -1,0 +1,28 @@
+// Lint fixture: MUST produce zero findings from every grep rule and
+// every mrcp-lint rule — guards against rules that over-match.
+#include <map>
+#include <memory>
+#include <vector>
+
+namespace mrcp {
+class Ticks {
+ public:
+  constexpr Ticks() = default;
+  constexpr explicit Ticks(long long count) : count_(count) {}
+
+ private:
+  long long count_ = 0;
+};
+using Time = Ticks;
+}  // namespace mrcp
+
+int fixture_clean(const std::map<int, int>& ordered) {
+  mrcp::Time zero{0};
+  mrcp::Time one{1};
+  (void)zero;
+  (void)one;
+  auto owned = std::make_unique<std::vector<int>>();
+  int total = 0;
+  for (const auto& kv : ordered) total += kv.second;  // ordered: fine
+  return total + static_cast<int>(owned->size());
+}

@@ -1,0 +1,8 @@
+// Lint fixture: MUST be flagged by lint.sh rule `no-naked-new`.
+struct FixtureWidget {
+  int x = 0;
+};
+
+FixtureWidget* fixture_bad_alloc() {
+  return new FixtureWidget();  // ownership should be unique_ptr/value
+}

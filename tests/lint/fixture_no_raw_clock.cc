@@ -1,0 +1,12 @@
+// Lint fixture: MUST be flagged by lint.sh rule `no-raw-clock` — all
+// three raw wall-clock entry points the extended pattern covers.
+#include <chrono>
+#include <ctime>
+
+long fixture_bad_clock() {
+  auto a = std::time(nullptr);
+  auto b = std::chrono::system_clock::now().time_since_epoch().count();
+  timespec ts{};
+  clock_gettime(CLOCK_REALTIME, &ts);
+  return static_cast<long>(a) + static_cast<long>(b) + ts.tv_sec;
+}

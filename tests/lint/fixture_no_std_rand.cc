@@ -1,0 +1,8 @@
+// Lint fixture: MUST be flagged by lint.sh rule `no-std-rand`.
+// Not part of any build target — *.cc keeps it out of the lint sweep's
+// --include filter; tests/lint/run_lint_fixtures.sh greps it on purpose.
+#include <cstdlib>
+
+int fixture_bad_rand() {
+  return std::rand();  // global-state, unseeded: nondeterministic
+}

@@ -1,0 +1,7 @@
+// Lint fixture: MUST be flagged by lint.sh rule `no-unseeded-rng`.
+#include <random>
+
+int fixture_bad_engine() {
+  std::mt19937 engine;  // default-constructed: same stream every run
+  return static_cast<int>(engine());
+}

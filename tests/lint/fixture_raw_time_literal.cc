@@ -1,0 +1,28 @@
+// mrcp-lint fixture: MUST be flagged by rule `raw-time-literal` (two
+// findings), while Time{0}/Time{1} and the allow-listed constant stay
+// clean. The runner passes this file with a src/-shaped virtual path so
+// the production-code scope applies.
+namespace mrcp {
+class Ticks {
+ public:
+  constexpr Ticks() = default;
+  constexpr explicit Ticks(long long count) : count_(count) {}
+
+ private:
+  long long count_ = 0;
+};
+using Time = Ticks;
+}  // namespace mrcp
+
+mrcp::Time fixture_bad_literals() {
+  mrcp::Time epsilon{1};             // fine: unit-free epsilon
+  mrcp::Time zero{0};                // fine: unit-free origin
+  mrcp::Time bad{250};               // finding 1: 250 of... what?
+  mrcp::Time also_bad = mrcp::Time{86'400'000};  // finding 2
+  mrcp::Time blessed{604'800'000};   // lint-ok: raw-time-literal
+  (void)epsilon;
+  (void)zero;
+  (void)also_bad;
+  (void)blessed;
+  return bad;
+}

@@ -1,0 +1,16 @@
+// mrcp-lint fixture: MUST be flagged by rule `rng-construction` (three
+// findings: seeded engine, random_device, brace-init engine). Seeding
+// does not help — construction outside RandomStream still forks the
+// stream-split discipline. The reference pass-through is clean.
+#include <random>
+
+unsigned fixture_bad_rng() {
+  std::mt19937_64 engine(42);       // finding 1
+  std::random_device dev;           // finding 2
+  auto eng2 = std::minstd_rand{7};  // finding 3
+  return static_cast<unsigned>(engine() + dev() + eng2());
+}
+
+unsigned fixture_ok_passthrough(std::mt19937_64& shared) {
+  return static_cast<unsigned>(shared());  // clean: reference, no engine
+}

@@ -1,0 +1,22 @@
+// mrcp-lint fixture: MUST be flagged by rule `unordered-iteration`
+// (twice: named container and inline expression), and the allow-listed
+// loop MUST NOT be flagged.
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+int fixture_bad_iteration() {
+  std::unordered_map<std::string, int> scores;
+  int total = 0;
+  for (const auto& kv : scores) {  // finding 1: hash-order feeds `total`
+    total += kv.second;
+  }
+  for (int v : std::unordered_set<int>{1, 2, 3}) {  // finding 2: inline
+    total += v;
+  }
+  // lint-ok: unordered-iteration
+  for (const auto& kv : scores) {  // suppressed: order provably unused
+    total += kv.second;
+  }
+  return total;
+}

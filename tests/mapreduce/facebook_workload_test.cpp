@@ -87,7 +87,7 @@ TEST(FacebookWorkload, MapExecTimesRoughlyLogNormalMean) {
   const Workload w = generate_facebook_workload(c);
   RunningStat stat;
   for (const Job& j : w.jobs) {
-    for (const Task& t : j.map_tasks) stat.add(static_cast<double>(t.exec_time));
+    for (const Task& t : j.map_tasks) stat.add(static_cast<double>(t.exec_time.count()));
   }
   // E[LN(9.9511, 1.6764)] ms.
   const double expected = std::exp(9.9511 + 0.5 * 1.6764);
@@ -101,8 +101,8 @@ TEST(FacebookWorkload, DeadlineIsWithinTeAndTwoTe) {
   const int rs = w.cluster.total_reduce_slots();
   for (const Job& j : w.jobs) {
     const Time te = j.min_execution_time(ms, rs);
-    EXPECT_GE(j.deadline, j.earliest_start + te - 1);
-    EXPECT_LE(j.deadline, j.earliest_start + 2 * te + 1);
+    EXPECT_GE(j.deadline, j.earliest_start + te - Time{1});
+    EXPECT_LE(j.deadline, j.earliest_start + 2 * te + Time{1});
   }
 }
 

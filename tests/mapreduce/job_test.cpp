@@ -10,112 +10,112 @@ namespace {
 using testutil::make_job;
 
 TEST(LptMakespan, EmptyIsZero) {
-  EXPECT_EQ(lpt_makespan({}, 4), 0);
+  EXPECT_EQ(lpt_makespan({}, 4), Time{0});
 }
 
 TEST(LptMakespan, SingleMachineSums) {
-  EXPECT_EQ(lpt_makespan({3, 5, 7}, 1), 15);
+  EXPECT_EQ(lpt_makespan({Time{3}, Time{5}, Time{7}}, 1), Time{15});
 }
 
 TEST(LptMakespan, EnoughMachinesGivesMax) {
-  EXPECT_EQ(lpt_makespan({3, 5, 7}, 3), 7);
-  EXPECT_EQ(lpt_makespan({3, 5, 7}, 10), 7);
+  EXPECT_EQ(lpt_makespan({Time{3}, Time{5}, Time{7}}, 3), Time{7});
+  EXPECT_EQ(lpt_makespan({Time{3}, Time{5}, Time{7}}, 10), Time{7});
 }
 
 TEST(LptMakespan, TwoMachinesBalanced) {
   // LPT on {7,5,3} with 2 machines: m1={7}, m2={5,3} -> 8.
-  EXPECT_EQ(lpt_makespan({3, 5, 7}, 2), 8);
+  EXPECT_EQ(lpt_makespan({Time{3}, Time{5}, Time{7}}, 2), Time{8});
 }
 
 TEST(LptMakespan, EqualTasks) {
   // 6 tasks of 10 on 3 machines: 2 each -> 20.
-  EXPECT_EQ(lpt_makespan({10, 10, 10, 10, 10, 10}, 3), 20);
+  EXPECT_EQ(lpt_makespan({Time{10}, Time{10}, Time{10}, Time{10}, Time{10}, Time{10}}, 3), Time{20});
 }
 
 TEST(JobAccessors, CountsAndTotals) {
-  const Job j = make_job(0, 0, 0, 1000, {10, 20, 30}, {40, 50});
+  const Job j = make_job(0, Time{0}, Time{0}, Time{1000}, {Time{10}, Time{20}, Time{30}}, {Time{40}, Time{50}});
   EXPECT_EQ(j.num_map_tasks(), 3u);
   EXPECT_EQ(j.num_reduce_tasks(), 2u);
   EXPECT_EQ(j.num_tasks(), 5u);
-  EXPECT_EQ(j.total_map_time(), 60);
-  EXPECT_EQ(j.total_reduce_time(), 90);
-  EXPECT_EQ(j.total_work(), 150);
-  EXPECT_EQ(j.max_map_time(), 30);
-  EXPECT_EQ(j.max_reduce_time(), 50);
+  EXPECT_EQ(j.total_map_time(), Time{60});
+  EXPECT_EQ(j.total_reduce_time(), Time{90});
+  EXPECT_EQ(j.total_work(), Time{150});
+  EXPECT_EQ(j.max_map_time(), Time{30});
+  EXPECT_EQ(j.max_reduce_time(), Time{50});
 }
 
 TEST(JobAccessors, FlatTaskIndexing) {
-  const Job j = make_job(0, 0, 0, 1000, {10, 20}, {30});
-  EXPECT_EQ(j.task(0).exec_time, 10);
+  const Job j = make_job(0, Time{0}, Time{0}, Time{1000}, {Time{10}, Time{20}}, {Time{30}});
+  EXPECT_EQ(j.task(0).exec_time, Time{10});
   EXPECT_EQ(j.task(0).type, TaskType::kMap);
-  EXPECT_EQ(j.task(1).exec_time, 20);
-  EXPECT_EQ(j.task(2).exec_time, 30);
+  EXPECT_EQ(j.task(1).exec_time, Time{20});
+  EXPECT_EQ(j.task(2).exec_time, Time{30});
   EXPECT_EQ(j.task(2).type, TaskType::kReduce);
 }
 
 TEST(JobAccessors, Laxity) {
   // L_j = d_j - s_j - sum(e_t) = 1000 - 100 - 150 = 750.
-  const Job j = make_job(0, 50, 100, 1000, {10, 20, 30}, {40, 50});
-  EXPECT_EQ(j.laxity(), 750);
+  const Job j = make_job(0, Time{50}, Time{100}, Time{1000}, {Time{10}, Time{20}, Time{30}}, {Time{40}, Time{50}});
+  EXPECT_EQ(j.laxity(), Time{750});
 }
 
 TEST(MinExecutionTime, SequentialPhases) {
   // Maps {10,20} on 2 slots -> 20; reduces {30} on 1 slot -> 30; TE = 50.
-  const Job j = make_job(0, 0, 0, 1000, {10, 20}, {30});
-  EXPECT_EQ(j.min_execution_time(2, 1), 50);
+  const Job j = make_job(0, Time{0}, Time{0}, Time{1000}, {Time{10}, Time{20}}, {Time{30}});
+  EXPECT_EQ(j.min_execution_time(2, 1), Time{50});
 }
 
 TEST(MinExecutionTime, MapOnlyJob) {
-  const Job j = make_job(0, 0, 0, 1000, {10, 20, 30}, {});
-  EXPECT_EQ(j.min_execution_time(1, 5), 60);
-  EXPECT_EQ(j.min_execution_time(3, 5), 30);
+  const Job j = make_job(0, Time{0}, Time{0}, Time{1000}, {Time{10}, Time{20}, Time{30}}, {});
+  EXPECT_EQ(j.min_execution_time(1, 5), Time{60});
+  EXPECT_EQ(j.min_execution_time(3, 5), Time{30});
 }
 
 TEST(MinExecutionTime, FullParallelism) {
-  const Job j = make_job(0, 0, 0, 1000, {10, 10, 10}, {20, 20});
+  const Job j = make_job(0, Time{0}, Time{0}, Time{1000}, {Time{10}, Time{10}, Time{10}}, {Time{20}, Time{20}});
   // 3 map slots, 2 reduce slots: 10 + 20 = 30.
-  EXPECT_EQ(j.min_execution_time(3, 2), 30);
+  EXPECT_EQ(j.min_execution_time(3, 2), Time{30});
 }
 
 TEST(ValidateJob, AcceptsGoodJob) {
-  EXPECT_EQ(validate_job(make_job(0, 0, 0, 100, {10}, {10})), "");
-  EXPECT_EQ(validate_job(make_job(5, 10, 50, 100, {1}, {})), "");
+  EXPECT_EQ(validate_job(make_job(0, Time{0}, Time{0}, Time{100}, {Time{10}}, {Time{10}})), "");
+  EXPECT_EQ(validate_job(make_job(5, Time{10}, Time{50}, Time{100}, {Time{1}}, {})), "");
 }
 
 TEST(ValidateJob, RejectsNegativeId) {
-  Job j = make_job(0, 0, 0, 100, {10}, {});
+  Job j = make_job(0, Time{0}, Time{0}, Time{100}, {Time{10}}, {});
   j.id = -3;
   EXPECT_NE(validate_job(j), "");
 }
 
 TEST(ValidateJob, RejectsStartBeforeArrival) {
-  Job j = make_job(0, 100, 50, 500, {10}, {});
+  Job j = make_job(0, Time{100}, Time{50}, Time{500}, {Time{10}}, {});
   EXPECT_NE(validate_job(j), "");
 }
 
 TEST(ValidateJob, RejectsDeadlineBeforeStart) {
-  Job j = make_job(0, 0, 100, 100, {10}, {});
+  Job j = make_job(0, Time{0}, Time{100}, Time{100}, {Time{10}}, {});
   EXPECT_NE(validate_job(j), "");
 }
 
 TEST(ValidateJob, RejectsEmptyJob) {
-  Job j = make_job(0, 0, 0, 100, {}, {});
+  Job j = make_job(0, Time{0}, Time{0}, Time{100}, {}, {});
   EXPECT_NE(validate_job(j), "");
 }
 
 TEST(ValidateJob, RejectsNonPositiveExecTime) {
-  Job j = make_job(0, 0, 0, 100, {0}, {});
+  Job j = make_job(0, Time{0}, Time{0}, Time{100}, {Time{0}}, {});
   EXPECT_NE(validate_job(j), "");
 }
 
 TEST(ValidateJob, RejectsWrongPhaseType) {
-  Job j = make_job(0, 0, 0, 100, {10}, {10});
+  Job j = make_job(0, Time{0}, Time{0}, Time{100}, {Time{10}}, {Time{10}});
   j.map_tasks[0].type = TaskType::kReduce;
   EXPECT_NE(validate_job(j), "");
 }
 
 TEST(ValidateJob, RejectsBadResReq) {
-  Job j = make_job(0, 0, 0, 100, {10}, {});
+  Job j = make_job(0, Time{0}, Time{0}, Time{100}, {Time{10}}, {});
   j.map_tasks[0].res_req = 0;
   EXPECT_NE(validate_job(j), "");
 }
@@ -126,9 +126,9 @@ TEST(TaskTypeName, Names) {
 }
 
 TEST(TimeConversion, RoundTrips) {
-  EXPECT_EQ(seconds_to_ticks(1.0), 1000);
-  EXPECT_EQ(seconds_to_ticks(0.5), 500);
-  EXPECT_DOUBLE_EQ(ticks_to_seconds(1500), 1.5);
+  EXPECT_EQ(seconds_to_ticks(1.0), Time{1000});
+  EXPECT_EQ(seconds_to_ticks(0.5), Time{500});
+  EXPECT_DOUBLE_EQ(ticks_to_seconds(Time{1500}), 1.5);
 }
 
 }  // namespace

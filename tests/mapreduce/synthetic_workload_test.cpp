@@ -60,8 +60,8 @@ TEST(SyntheticWorkload, MapExecTimesWithinEmax) {
   const Workload w = generate_synthetic_workload(c);
   for (const Job& j : w.jobs) {
     for (const Task& t : j.map_tasks) {
-      EXPECT_GE(t.exec_time, 1 * kTicksPerSecond);
-      EXPECT_LE(t.exec_time, 10 * kTicksPerSecond);
+      EXPECT_GE(t.exec_time, Time{1} * kTicksPerSecond);
+      EXPECT_LE(t.exec_time, Time{10} * kTicksPerSecond);
     }
   }
 }
@@ -72,13 +72,13 @@ TEST(SyntheticWorkload, ReduceTimeFollowsFormula) {
   // and each value is at least base + 1s.
   const Workload w = generate_synthetic_workload(small_config());
   for (const Job& j : w.jobs) {
-    const Time base =
-        (3 * j.total_map_time() / static_cast<Time>(j.num_reduce_tasks()) /
-         kTicksPerSecond) *
-        kTicksPerSecond;
+    const Time base = (3 * j.total_map_time() /
+                       static_cast<std::int64_t>(j.num_reduce_tasks()) /
+                       kTicksPerSecond) *
+                      kTicksPerSecond;
     for (const Task& t : j.reduce_tasks) {
-      EXPECT_GE(t.exec_time, base + 1 * kTicksPerSecond);
-      EXPECT_LE(t.exec_time, base + 10 * kTicksPerSecond);
+      EXPECT_GE(t.exec_time, base + Time{1} * kTicksPerSecond);
+      EXPECT_LE(t.exec_time, base + Time{10} * kTicksPerSecond);
     }
   }
 }
@@ -95,7 +95,7 @@ TEST(SyntheticWorkload, EarliestStartRespectsP) {
   for (const Job& j : w.jobs) {
     EXPECT_GT(j.earliest_start, j.arrival_time);
     EXPECT_LE(j.earliest_start,
-              j.arrival_time + c.s_max * kTicksPerSecond);
+              j.arrival_time + seconds_to_ticks(std::int64_t{c.s_max}));
   }
 }
 
@@ -114,12 +114,13 @@ TEST(SyntheticWorkload, DeadlineAtLeastTePlusStart) {
   for (const Job& j : w.jobs) {
     const Time te = j.min_execution_time(ms, rs);
     // d_j = s_j + TE * U[1, d_UL] with d_UL >= 1.
-    EXPECT_GE(j.deadline, j.earliest_start + te - 1);
+    EXPECT_GE(j.deadline, j.earliest_start + te - Time{1});
     EXPECT_LE(j.deadline,
               j.earliest_start +
-                  static_cast<Time>(static_cast<double>(te) *
-                                    small_config().deadline_multiplier_ul) +
-                  1);
+                  Time{static_cast<std::int64_t>(
+                      static_cast<double>(te.count()) *
+                      small_config().deadline_multiplier_ul)} +
+                  Time{1});
   }
 }
 

@@ -20,8 +20,8 @@ using fuzz::workload_roundtrip_check;
 
 std::string valid_workload_text() {
   Workload w = testutil::make_workload(
-      {testutil::make_job(0, 0, 0, 50, {4, 6}, {3}),
-       testutil::make_job(1, 2, 5, 80, {7}, {2, 2})},
+      {testutil::make_job(0, Time{0}, Time{0}, Time{50}, {Time{4}, Time{6}}, {Time{3}}),
+       testutil::make_job(1, Time{2}, Time{5}, Time{80}, {Time{7}}, {Time{2}, Time{2}})},
       2, 2, 1);
   return workload_to_string(w);
 }

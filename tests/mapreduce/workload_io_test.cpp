@@ -15,8 +15,8 @@ using testutil::make_job;
 using testutil::make_workload;
 
 Workload sample_workload() {
-  Job j0 = make_job(0, 0, 0, 5000, {100, 200}, {300});
-  Job j1 = make_job(1, 1000, 1500, 9000, {50}, {});
+  Job j0 = make_job(0, Time{0}, Time{0}, Time{5000}, {Time{100}, Time{200}}, {Time{300}});
+  Job j1 = make_job(1, Time{1000}, Time{1500}, Time{9000}, {Time{50}}, {});
   j0.precedences = {{0, 1}};  // map 0 before map 1
   return make_workload({j0, j1}, 3, 2, 1);
 }

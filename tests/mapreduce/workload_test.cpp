@@ -21,8 +21,8 @@ TEST(WorkloadSummary, EmptyWorkload) {
 TEST(WorkloadSummary, CountsAndMeans) {
   const Workload w = make_workload(
       {
-          make_job(0, 0, 0, 100000, {1000, 3000}, {2000}),
-          make_job(1, 10000, 10000, 200000, {2000}, {4000, 6000, 8000}),
+          make_job(0, Time{0}, Time{0}, Time{100000}, {Time{1000}, Time{3000}}, {Time{2000}}),
+          make_job(1, Time{10000}, Time{10000}, Time{200000}, {Time{2000}}, {Time{4000}, Time{6000}, Time{8000}}),
       },
       2, 1, 1);
   const auto s = w.summarize();
@@ -37,8 +37,8 @@ TEST(WorkloadSummary, CountsAndMeans) {
 TEST(WorkloadSummary, FutureStartFraction) {
   const Workload w = make_workload(
       {
-          make_job(0, 0, 500, 100000, {1000}, {}),
-          make_job(1, 0, 0, 100000, {1000}, {}),
+          make_job(0, Time{0}, Time{500}, Time{100000}, {Time{1000}}, {}),
+          make_job(1, Time{0}, Time{0}, Time{100000}, {Time{1000}}, {}),
       },
       1, 1, 1);
   EXPECT_DOUBLE_EQ(w.summarize().fraction_future_start, 0.5);
@@ -46,40 +46,40 @@ TEST(WorkloadSummary, FutureStartFraction) {
 
 TEST(ValidateWorkload, RejectsEmptyCluster) {
   Workload w;
-  w.jobs = {make_job(0, 0, 0, 100, {10}, {})};
+  w.jobs = {make_job(0, Time{0}, Time{0}, Time{100}, {Time{10}}, {})};
   EXPECT_NE(validate_workload(w), "");
 }
 
 TEST(ValidateWorkload, RejectsOutOfOrderIds) {
   Workload w = make_workload(
-      {make_job(1, 0, 0, 100, {10}, {}), make_job(0, 5, 5, 100, {10}, {})},
+      {make_job(1, Time{0}, Time{0}, Time{100}, {Time{10}}, {}), make_job(0, Time{5}, Time{5}, Time{100}, {Time{10}}, {})},
       1, 1, 1);
   EXPECT_NE(validate_workload(w), "");
 }
 
 TEST(ValidateWorkload, RejectsUnsortedArrivals) {
   Workload w = make_workload(
-      {make_job(0, 100, 100, 500, {10}, {}), make_job(1, 50, 50, 500, {10}, {})},
+      {make_job(0, Time{100}, Time{100}, Time{500}, {Time{10}}, {}), make_job(1, Time{50}, Time{50}, Time{500}, {Time{10}}, {})},
       1, 1, 1);
   EXPECT_NE(validate_workload(w), "");
 }
 
 TEST(ValidateWorkload, RejectsInvalidJobInside) {
-  Workload w = make_workload({make_job(0, 0, 0, 100, {10}, {})}, 1, 1, 1);
-  w.jobs[0].deadline = 0;  // breaks d_j > s_j
+  Workload w = make_workload({make_job(0, Time{0}, Time{0}, Time{100}, {Time{10}}, {})}, 1, 1, 1);
+  w.jobs[0].deadline = Time{0};  // breaks d_j > s_j
   EXPECT_NE(validate_workload(w), "");
 }
 
 TEST(ValidateWorkload, AcceptsGoodWorkload) {
   const Workload w = make_workload(
-      {make_job(0, 0, 0, 100000, {10}, {20}),
-       make_job(1, 100, 200, 100000, {30}, {})},
+      {make_job(0, Time{0}, Time{0}, Time{100000}, {Time{10}}, {Time{20}}),
+       make_job(1, Time{100}, Time{200}, Time{100000}, {Time{30}}, {})},
       2, 2, 1);
   EXPECT_EQ(validate_workload(w), "");
 }
 
 TEST(WorkloadToString, MentionsJobCount) {
-  const Workload w = make_workload({make_job(0, 0, 0, 100, {10}, {})}, 3, 1, 1);
+  const Workload w = make_workload({make_job(0, Time{0}, Time{0}, Time{100}, {Time{10}}, {})}, 3, 1, 1);
   EXPECT_NE(w.to_string().find("jobs=1"), std::string::npos);
   EXPECT_NE(w.to_string().find("m=3"), std::string::npos);
 }

@@ -18,23 +18,23 @@ TEST(NetworkCp, LinkSerializesOtherwiseParallelTasks) {
   // 2 map slots but a single link unit: two net-hungry maps serialize.
   cp::Model m;
   m.add_resource(2, 1, /*net_capacity=*/1);
-  const cp::CpJobIndex j = m.add_job(0, 10000, 0);
-  m.add_task(j, cp::Phase::kMap, 100, 1, 0, /*net_demand=*/1);
-  m.add_task(j, cp::Phase::kMap, 100, 1, 1, /*net_demand=*/1);
+  const cp::CpJobIndex j = m.add_job(Time{0}, Time{10000}, 0);
+  m.add_task(j, cp::Phase::kMap, Time{100}, 1, 0, /*net_demand=*/1);
+  m.add_task(j, cp::Phase::kMap, Time{100}, 1, 1, /*net_demand=*/1);
   const cp::SolveResult r = cp::solve(m, cp::SolveParams{});
   ASSERT_TRUE(r.best.valid);
   EXPECT_EQ(cp::validate_solution(m, r.best), "");
-  EXPECT_EQ(r.best.job_completion[0], 200);  // serialized on the link
+  EXPECT_EQ(r.best.job_completion[0], Time{200});  // serialized on the link
 }
 
 TEST(NetworkCp, ZeroNetDemandUnaffectedByLink) {
   cp::Model m;
   m.add_resource(2, 1, 1);
-  const cp::CpJobIndex j = m.add_job(0, 10000, 0);
-  m.add_task(j, cp::Phase::kMap, 100);
-  m.add_task(j, cp::Phase::kMap, 100);
+  const cp::CpJobIndex j = m.add_job(Time{0}, Time{10000}, 0);
+  m.add_task(j, cp::Phase::kMap, Time{100});
+  m.add_task(j, cp::Phase::kMap, Time{100});
   const cp::SolveResult r = cp::solve(m, cp::SolveParams{});
-  EXPECT_EQ(r.best.job_completion[0], 100);  // parallel: no link usage
+  EXPECT_EQ(r.best.job_completion[0], Time{100});  // parallel: no link usage
 }
 
 TEST(NetworkCp, LinkSharedAcrossPhases) {
@@ -43,15 +43,15 @@ TEST(NetworkCp, LinkSharedAcrossPhases) {
   // separate.
   cp::Model m;
   m.add_resource(1, 1, 1);
-  const cp::CpJobIndex j0 = m.add_job(0, 10000, 0);
-  m.add_task(j0, cp::Phase::kMap, 100, 1, 0, 1);
-  const cp::CpJobIndex j1 = m.add_job(0, 10000, 1);
-  m.add_task(j1, cp::Phase::kReduce, 100, 1, 1, 1);
+  const cp::CpJobIndex j0 = m.add_job(Time{0}, Time{10000}, 0);
+  m.add_task(j0, cp::Phase::kMap, Time{100}, 1, 0, 1);
+  const cp::CpJobIndex j1 = m.add_job(Time{0}, Time{10000}, 1);
+  m.add_task(j1, cp::Phase::kReduce, Time{100}, 1, 1, 1);
   const cp::SolveResult r = cp::solve(m, cp::SolveParams{});
   EXPECT_EQ(cp::validate_solution(m, r.best), "");
   const Time s0 = r.best.placements[0].start;
   const Time s1 = r.best.placements[1].start;
-  EXPECT_TRUE(s0 + 100 <= s1 || s1 + 100 <= s0)
+  EXPECT_TRUE(s0 + Time{100} <= s1 || s1 + Time{100} <= s0)
       << "link-bound tasks overlap: " << s0 << " vs " << s1;
 }
 
@@ -59,52 +59,52 @@ TEST(NetworkCp, UnconstrainedResourceIgnoresDemand) {
   // net_capacity = 0 means no link bookkeeping at all.
   cp::Model m;
   m.add_resource(2, 1, 0);
-  const cp::CpJobIndex j = m.add_job(0, 10000, 0);
-  m.add_task(j, cp::Phase::kMap, 100, 1, 0, 5);
-  m.add_task(j, cp::Phase::kMap, 100, 1, 1, 5);
+  const cp::CpJobIndex j = m.add_job(Time{0}, Time{10000}, 0);
+  m.add_task(j, cp::Phase::kMap, Time{100}, 1, 0, 5);
+  m.add_task(j, cp::Phase::kMap, Time{100}, 1, 1, 5);
   const cp::SolveResult r = cp::solve(m, cp::SolveParams{});
-  EXPECT_EQ(r.best.job_completion[0], 100);
+  EXPECT_EQ(r.best.job_completion[0], Time{100});
 }
 
 TEST(NetworkCp, SearchPrefersResourceWithFreeLink) {
   cp::Model m;
   m.add_resource(1, 1, 1);
   m.add_resource(1, 1, 1);
-  const cp::CpJobIndex j0 = m.add_job(0, 10000, 0);
-  m.add_task(j0, cp::Phase::kMap, 100, 1, 0, 1);
-  const cp::CpJobIndex j1 = m.add_job(0, 10000, 1);
-  m.add_task(j1, cp::Phase::kMap, 100, 1, 1, 1);
+  const cp::CpJobIndex j0 = m.add_job(Time{0}, Time{10000}, 0);
+  m.add_task(j0, cp::Phase::kMap, Time{100}, 1, 0, 1);
+  const cp::CpJobIndex j1 = m.add_job(Time{0}, Time{10000}, 1);
+  m.add_task(j1, cp::Phase::kMap, Time{100}, 1, 1, 1);
   const cp::SolveResult r = cp::solve(m, cp::SolveParams{});
-  EXPECT_EQ(r.best.placements[0].start, 0);
-  EXPECT_EQ(r.best.placements[1].start, 0);
+  EXPECT_EQ(r.best.placements[0].start, Time{0});
+  EXPECT_EQ(r.best.placements[1].start, Time{0});
   EXPECT_NE(r.best.placements[0].resource, r.best.placements[1].resource);
 }
 
 TEST(NetworkCp, ValidatorCatchesLinkOverload) {
   cp::Model m;
   m.add_resource(2, 1, 1);
-  const cp::CpJobIndex j = m.add_job(0, 10000, 0);
-  m.add_task(j, cp::Phase::kMap, 100, 1, 0, 1);
-  m.add_task(j, cp::Phase::kMap, 100, 1, 1, 1);
+  const cp::CpJobIndex j = m.add_job(Time{0}, Time{10000}, 0);
+  m.add_task(j, cp::Phase::kMap, Time{100}, 1, 0, 1);
+  m.add_task(j, cp::Phase::kMap, Time{100}, 1, 1, 1);
   cp::Solution s;
-  s.placements = {{0, 0}, {0, 50}};  // overlapping link usage
+  s.placements = {{0, Time{0}}, {0, Time{50}}};  // overlapping link usage
   EXPECT_NE(cp::validate_solution(m, s), "");
-  s.placements = {{0, 0}, {0, 100}};
+  s.placements = {{0, Time{0}}, {0, Time{100}}};
   EXPECT_EQ(cp::validate_solution(m, s), "");
 }
 
 TEST(NetworkCp, ModelValidateRejectsOversizedNetDemand) {
   cp::Model m;
   m.add_resource(1, 1, 2);
-  const cp::CpJobIndex j = m.add_job(0, 1000, 0);
-  m.add_task(j, cp::Phase::kMap, 10, 1, 0, 3);  // needs 3 link units, cap 2
+  const cp::CpJobIndex j = m.add_job(Time{0}, Time{1000}, 0);
+  m.add_task(j, cp::Phase::kMap, Time{10}, 1, 0, 3);  // needs 3 link units, cap 2
   EXPECT_NE(m.validate(), "");
 }
 
 TEST(NetworkRm, FallsBackToDirectModelAndRespectsLinks) {
   // Cluster of link-constrained resources: the RM must use the direct
   // formulation and keep link usage within capacity end-to-end.
-  Job job = make_job(0, 0, 0, 1000000, {100, 100, 100, 100}, {});
+  Job job = make_job(0, Time{0}, Time{0}, Time{1000000}, {Time{100}, Time{100}, Time{100}, Time{100}}, {});
   for (Task& t : job.map_tasks) t.net_demand = 1;
   Workload w;
   w.jobs = {job};
@@ -115,14 +115,14 @@ TEST(NetworkRm, FallsBackToDirectModelAndRespectsLinks) {
   const sim::SimMetrics m = sim::simulate_mrcp(w, cfg);
   ASSERT_TRUE(m.records[0].completed());
   // 4 unit-net maps over 2 links: at most 2 in parallel -> >= 200 ticks.
-  EXPECT_GE(m.records[0].completion, 200);
+  EXPECT_GE(m.records[0].completion, Time{200});
 }
 
 TEST(NetworkRm, MixedDemandsShareLinksCorrectly) {
-  Job heavy = make_job(0, 0, 0, 1000000, {100, 100}, {});
+  Job heavy = make_job(0, Time{0}, Time{0}, Time{1000000}, {Time{100}, Time{100}}, {});
   heavy.map_tasks[0].net_demand = 2;
   heavy.map_tasks[1].net_demand = 2;
-  Job light = make_job(1, 0, 0, 1000000, {100}, {});
+  Job light = make_job(1, Time{0}, Time{0}, Time{1000000}, {Time{100}}, {});
   light.map_tasks[0].net_demand = 0;
   Workload w;
   w.jobs = {heavy, light};
@@ -133,12 +133,12 @@ TEST(NetworkRm, MixedDemandsShareLinksCorrectly) {
   const sim::SimMetrics m = sim::simulate_mrcp(w, cfg);
   // The two heavy maps each need the full link: serialized (>= 200);
   // the light map is free to run any time.
-  EXPECT_GE(m.records[0].completion, 200);
-  EXPECT_EQ(m.records[1].completion, 100);
+  EXPECT_GE(m.records[0].completion, Time{200});
+  EXPECT_EQ(m.records[1].completion, Time{100});
 }
 
 TEST(NetworkJob, ValidateRejectsNegativeDemand) {
-  Job job = make_job(0, 0, 0, 1000, {10}, {});
+  Job job = make_job(0, Time{0}, Time{0}, Time{1000}, {Time{10}}, {});
   job.map_tasks[0].net_demand = -1;
   EXPECT_NE(validate_job(job), "");
 }

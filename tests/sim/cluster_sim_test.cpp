@@ -21,11 +21,11 @@ MrcpConfig fast_mrcp_config() {
 
 TEST(SimulateMrcp, SingleJobCompletesOnTime) {
   const Workload w = make_workload(
-      {make_job(0, 0, 0, 10000, {100, 200}, {300})}, 2, 1, 1);
+      {make_job(0, Time{0}, Time{0}, Time{10000}, {Time{100}, Time{200}}, {Time{300}})}, 2, 1, 1);
   const SimMetrics m = simulate_mrcp(w, fast_mrcp_config());
   ASSERT_EQ(m.records.size(), 1u);
   EXPECT_TRUE(m.records[0].completed());
-  EXPECT_EQ(m.records[0].completion, 500);  // maps parallel 200, reduce 300
+  EXPECT_EQ(m.records[0].completion, Time{500});  // maps parallel 200, reduce 300
   EXPECT_FALSE(m.records[0].late);
   const auto agg = m.aggregate();
   EXPECT_EQ(agg.late, 0);
@@ -34,7 +34,7 @@ TEST(SimulateMrcp, SingleJobCompletesOnTime) {
 
 TEST(SimulateMrcp, LateJobDetected) {
   const Workload w =
-      make_workload({make_job(0, 0, 0, 100, {500}, {})}, 1, 1, 1);
+      make_workload({make_job(0, Time{0}, Time{0}, Time{100}, {Time{500}}, {})}, 1, 1, 1);
   const SimMetrics m = simulate_mrcp(w, fast_mrcp_config());
   EXPECT_TRUE(m.records[0].late);
   EXPECT_EQ(m.aggregate().late, 1);
@@ -43,8 +43,8 @@ TEST(SimulateMrcp, LateJobDetected) {
 TEST(SimulateMrcp, TwoJobsShareCluster) {
   const Workload w = make_workload(
       {
-          make_job(0, 0, 0, 100000, {300, 300}, {100}),
-          make_job(1, 50, 50, 100000, {200}, {100}),
+          make_job(0, Time{0}, Time{0}, Time{100000}, {Time{300}, Time{300}}, {Time{100}}),
+          make_job(1, Time{50}, Time{50}, Time{100000}, {Time{200}}, {Time{100}}),
       },
       2, 1, 1);
   const SimMetrics m = simulate_mrcp(w, fast_mrcp_config());
@@ -55,11 +55,11 @@ TEST(SimulateMrcp, TwoJobsShareCluster) {
 
 TEST(SimulateMrcp, ArRequestWaitsForEarliestStart) {
   const Workload w = make_workload(
-      {make_job(0, 0, 5000, 100000, {100}, {})}, 1, 1, 1);
+      {make_job(0, Time{0}, Time{5000}, Time{100000}, {Time{100}}, {})}, 1, 1, 1);
   const SimMetrics m = simulate_mrcp(w, fast_mrcp_config());
-  EXPECT_EQ(m.records[0].completion, 5100);
+  EXPECT_EQ(m.records[0].completion, Time{5100});
   // Turnaround is measured from s_j (paper: CT_j - s_j).
-  EXPECT_EQ(m.records[0].turnaround(), 100);
+  EXPECT_EQ(m.records[0].turnaround(), Time{100});
 }
 
 TEST(SimulateMrcp, DeferralDoesNotChangeOutcome) {
@@ -69,8 +69,8 @@ TEST(SimulateMrcp, DeferralDoesNotChangeOutcome) {
   nodefer.defer_future_jobs = false;
   const Workload w = make_workload(
       {
-          make_job(0, 0, 3000, 100000, {100, 100}, {50}),
-          make_job(1, 10, 10, 100000, {200}, {}),
+          make_job(0, Time{0}, Time{3000}, Time{100000}, {Time{100}, Time{100}}, {Time{50}}),
+          make_job(1, Time{10}, Time{10}, Time{100000}, {Time{200}}, {}),
       },
       2, 1, 1);
   const SimMetrics a = simulate_mrcp(w, defer);
@@ -83,8 +83,8 @@ TEST(SimulateMrcp, DeferralDoesNotChangeOutcome) {
 TEST(SimulateMrcp, ManyJobsAllComplete) {
   std::vector<Job> jobs;
   for (int i = 0; i < 20; ++i) {
-    jobs.push_back(make_job(i, i * 100, i * 100, i * 100 + 50000,
-                            {100, 150, 200}, {250}));
+    jobs.push_back(make_job(i, Time{i * 100}, Time{i * 100}, Time{i * 100 + 50000},
+                            {Time{100}, Time{150}, Time{200}}, {Time{250}}));
   }
   const Workload w = make_workload(std::move(jobs), 4, 2, 2);
   const SimMetrics m = simulate_mrcp(w, fast_mrcp_config());
@@ -95,31 +95,31 @@ TEST(SimulateMrcp, ManyJobsAllComplete) {
 
 TEST(SimulateMinedf, SingleJobCompletes) {
   const Workload w = make_workload(
-      {make_job(0, 0, 0, 10000, {100, 200}, {300})}, 2, 1, 1);
+      {make_job(0, Time{0}, Time{0}, Time{10000}, {Time{100}, Time{200}}, {Time{300}})}, 2, 1, 1);
   const SimMetrics m = simulate_minedf(w);
-  EXPECT_EQ(m.records[0].completion, 500);
+  EXPECT_EQ(m.records[0].completion, Time{500});
   EXPECT_FALSE(m.records[0].late);
 }
 
 TEST(SimulateMinedf, LateJobDetected) {
   const Workload w =
-      make_workload({make_job(0, 0, 0, 100, {500}, {})}, 1, 1, 1);
+      make_workload({make_job(0, Time{0}, Time{0}, Time{100}, {Time{500}}, {})}, 1, 1, 1);
   const SimMetrics m = simulate_minedf(w);
   EXPECT_TRUE(m.records[0].late);
 }
 
 TEST(SimulateMinedf, ArRequestHonoured) {
   const Workload w = make_workload(
-      {make_job(0, 0, 5000, 100000, {100}, {})}, 1, 1, 1);
+      {make_job(0, Time{0}, Time{5000}, Time{100000}, {Time{100}}, {})}, 1, 1, 1);
   const SimMetrics m = simulate_minedf(w);
-  EXPECT_EQ(m.records[0].completion, 5100);
+  EXPECT_EQ(m.records[0].completion, Time{5100});
 }
 
 TEST(SimulateMinedf, ManyJobsAllComplete) {
   std::vector<Job> jobs;
   for (int i = 0; i < 20; ++i) {
-    jobs.push_back(make_job(i, i * 100, i * 100, i * 100 + 50000,
-                            {100, 150, 200}, {250}));
+    jobs.push_back(make_job(i, Time{i * 100}, Time{i * 100}, Time{i * 100 + 50000},
+                            {Time{100}, Time{150}, Time{200}}, {Time{250}}));
   }
   const Workload w = make_workload(std::move(jobs), 4, 2, 2);
   const SimMetrics m = simulate_minedf(w);
@@ -128,36 +128,36 @@ TEST(SimulateMinedf, ManyJobsAllComplete) {
 
 TEST(ValidateExecution, CatchesMissingTask) {
   const Workload w =
-      make_workload({make_job(0, 0, 0, 1000, {10, 10}, {})}, 1, 2, 1);
-  std::vector<ExecutedTask> executed = {{0, 0, 0, 0, 10}};
+      make_workload({make_job(0, Time{0}, Time{0}, Time{1000}, {Time{10}, Time{10}}, {})}, 1, 2, 1);
+  std::vector<ExecutedTask> executed = {{0, 0, 0, Time{0}, Time{10}}};
   EXPECT_NE(validate_execution(w, executed), "");
 }
 
 TEST(ValidateExecution, CatchesCapacityViolation) {
   const Workload w =
-      make_workload({make_job(0, 0, 0, 1000, {10, 10}, {})}, 1, 1, 1);
-  std::vector<ExecutedTask> executed = {{0, 0, 0, 0, 10}, {0, 1, 0, 5, 15}};
+      make_workload({make_job(0, Time{0}, Time{0}, Time{1000}, {Time{10}, Time{10}}, {})}, 1, 1, 1);
+  std::vector<ExecutedTask> executed = {{0, 0, 0, Time{0}, Time{10}}, {0, 1, 0, Time{5}, Time{15}}};
   EXPECT_NE(validate_execution(w, executed), "");
 }
 
 TEST(ValidateExecution, CatchesPrecedenceViolation) {
   const Workload w =
-      make_workload({make_job(0, 0, 0, 1000, {10}, {10})}, 1, 1, 1);
-  std::vector<ExecutedTask> executed = {{0, 0, 0, 0, 10}, {0, 1, 0, 5, 15}};
+      make_workload({make_job(0, Time{0}, Time{0}, Time{1000}, {Time{10}}, {Time{10}})}, 1, 1, 1);
+  std::vector<ExecutedTask> executed = {{0, 0, 0, Time{0}, Time{10}}, {0, 1, 0, Time{5}, Time{15}}};
   EXPECT_NE(validate_execution(w, executed), "");
 }
 
 TEST(ValidateExecution, CatchesWrongDuration) {
   const Workload w =
-      make_workload({make_job(0, 0, 0, 1000, {10}, {})}, 1, 1, 1);
-  std::vector<ExecutedTask> executed = {{0, 0, 0, 0, 99}};
+      make_workload({make_job(0, Time{0}, Time{0}, Time{1000}, {Time{10}}, {})}, 1, 1, 1);
+  std::vector<ExecutedTask> executed = {{0, 0, 0, Time{0}, Time{99}}};
   EXPECT_NE(validate_execution(w, executed), "");
 }
 
 TEST(ValidateExecution, AcceptsCleanExecution) {
   const Workload w =
-      make_workload({make_job(0, 0, 0, 1000, {10}, {20})}, 1, 1, 1);
-  std::vector<ExecutedTask> executed = {{0, 0, 0, 0, 10}, {0, 1, 0, 10, 30}};
+      make_workload({make_job(0, Time{0}, Time{0}, Time{1000}, {Time{10}}, {Time{20}})}, 1, 1, 1);
+  std::vector<ExecutedTask> executed = {{0, 0, 0, Time{0}, Time{10}}, {0, 1, 0, Time{10}, Time{30}}};
   EXPECT_EQ(validate_execution(w, executed), "");
 }
 
@@ -168,13 +168,13 @@ TEST(ValidateExecution, NetDemandOnZeroCapacityResourceFails) {
   Workload w;
   w.cluster.add_resource(1, 1, /*net=*/0);
   w.cluster.add_resource(1, 1, /*net=*/10);
-  Job j = make_job(0, 0, 0, 1000, {10}, {});
+  Job j = make_job(0, Time{0}, Time{0}, Time{1000}, {Time{10}}, {});
   j.map_tasks[0].net_demand = 5;
   w.jobs.push_back(j);
 
-  const std::vector<ExecutedTask> on_zero_cap = {{0, 0, 0, 0, 10}};
+  const std::vector<ExecutedTask> on_zero_cap = {{0, 0, 0, Time{0}, Time{10}}};
   EXPECT_NE(validate_execution(w, on_zero_cap), "");
-  const std::vector<ExecutedTask> on_linked = {{0, 0, 1, 0, 10}};
+  const std::vector<ExecutedTask> on_linked = {{0, 0, 1, Time{0}, Time{10}}};
   EXPECT_EQ(validate_execution(w, on_linked), "");
 }
 
@@ -183,18 +183,18 @@ TEST(ValidateExecution, AllZeroNetClusterIgnoresNetDemand) {
   // legacy no-network workloads).
   Workload w;
   w.cluster.add_resource(1, 1, /*net=*/0);
-  Job j = make_job(0, 0, 0, 1000, {10}, {});
+  Job j = make_job(0, Time{0}, Time{0}, Time{1000}, {Time{10}}, {});
   j.map_tasks[0].net_demand = 5;
   w.jobs.push_back(j);
-  const std::vector<ExecutedTask> executed = {{0, 0, 0, 0, 10}};
+  const std::vector<ExecutedTask> executed = {{0, 0, 0, Time{0}, Time{10}}};
   EXPECT_EQ(validate_execution(w, executed), "");
 }
 
 TEST(SimulateMrcp, TurnaroundBatchCiMatchesAggregateMean) {
   std::vector<Job> jobs;
   for (int i = 0; i < 40; ++i) {
-    jobs.push_back(make_job(i, i * 500, i * 500, i * 500 + 100000,
-                            {100, 150}, {200}));
+    jobs.push_back(make_job(i, Time{i * 500}, Time{i * 500}, Time{i * 500 + 100000},
+                            {Time{100}, Time{150}}, {Time{200}}));
   }
   const Workload w = make_workload(std::move(jobs), 4, 1, 1);
   const SimMetrics m = simulate_mrcp(w, fast_mrcp_config());
@@ -208,7 +208,7 @@ TEST(SimulateMrcp, TurnaroundUsesEarliestStartNotArrival) {
   // Job arrives at 0 with s_j = 1000; completes at 1100.
   // T = CT - s_j = 100, not 1100.
   const Workload w = make_workload(
-      {make_job(0, 0, 1000, 100000, {100}, {})}, 1, 1, 1);
+      {make_job(0, Time{0}, Time{1000}, Time{100000}, {Time{100}}, {})}, 1, 1, 1);
   const SimMetrics m = simulate_mrcp(w, fast_mrcp_config());
   EXPECT_NEAR(m.aggregate().mean_turnaround_s, 0.1, 1e-9);
 }

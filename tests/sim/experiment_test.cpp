@@ -10,10 +10,10 @@ SimMetrics fake_metrics(int jobs, int late) {
   for (int i = 0; i < jobs; ++i) {
     JobRecord r;
     r.id = i;
-    r.arrival = i * 1000;
+    r.arrival = Time{i * 1000};
     r.earliest_start = r.arrival;
-    r.deadline = r.arrival + 10000;
-    r.completion = r.arrival + (i < late ? 20000 : 5000);
+    r.deadline = r.arrival + Time{10000};
+    r.completion = r.arrival + Time{i < late ? 20000 : 5000};
     r.late = r.completion > r.deadline;
     m.records.push_back(r);
   }

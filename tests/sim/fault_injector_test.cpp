@@ -83,7 +83,7 @@ std::vector<DownInterval> record_trace(const FaultConfig& config, int resources,
   des::Simulation des;
   FaultInjector injector(resources, config);
   auto transition = [&des, noisy](ResourceId, Time) {
-    if (noisy) des.schedule_after(1, [] {});
+    if (noisy) des.schedule_after(Time{1}, [] {});
   };
   injector.start(des, transition, transition);
   des.run(horizon);
@@ -94,7 +94,7 @@ std::vector<DownInterval> record_trace(const FaultConfig& config, int resources,
 
 TEST(FaultInjector, TraceIsPolicyIndependent) {
   const FaultConfig config = failing_config(/*mtbf_s=*/50.0, /*mttr_s=*/10.0);
-  const Time horizon = seconds_to_ticks(2000);
+  const Time horizon = seconds_to_ticks(std::int64_t{2000});
   const auto quiet = record_trace(config, 5, horizon, /*noisy=*/false);
   const auto noisy = record_trace(config, 5, horizon, /*noisy=*/true);
 
@@ -108,7 +108,7 @@ TEST(FaultInjector, TraceIsPolicyIndependent) {
 }
 
 TEST(FaultInjector, TraceChangesWithSeed) {
-  const Time horizon = seconds_to_ticks(2000);
+  const Time horizon = seconds_to_ticks(std::int64_t{2000});
   const auto a = record_trace(failing_config(50.0, 10.0, 1), 5, horizon, false);
   const auto b = record_trace(failing_config(50.0, 10.0, 2), 5, horizon, false);
   ASSERT_FALSE(a.empty());
@@ -130,7 +130,7 @@ TEST(FaultInjector, TracksUpDownState) {
         max_down = std::max(max_down, injector.down_count());
       },
       [&](ResourceId r, Time) { EXPECT_FALSE(injector.is_down(r)); });
-  des.run(seconds_to_ticks(5000));
+  des.run(seconds_to_ticks(std::int64_t{5000}));
   injector.stop(des);
   des.run();
 
@@ -163,7 +163,7 @@ TEST(FaultInjector, ConcurrencyCapSuppressesFailures) {
         max_down = std::max(max_down, injector.down_count());
       },
       [](ResourceId, Time) {});
-  des.run(seconds_to_ticks(2000));
+  des.run(seconds_to_ticks(std::int64_t{2000}));
   injector.stop(des);
   des.run();
 
@@ -202,20 +202,20 @@ TEST(Stragglers, ApplyInflatesExecTimes) {
   config.seed = 5;
 
   Workload w = make_workload(
-      {make_job(0, 0, 0, 100000, {1000, 2000}, {3000})}, 1, 2, 2);
+      {make_job(0, Time{0}, Time{0}, Time{100000}, {Time{1000}, Time{2000}}, {Time{3000}})}, 1, 2, 2);
   const std::size_t slowed = apply_stragglers(w, config);
   EXPECT_EQ(slowed, 3u);
-  EXPECT_EQ(w.jobs[0].map_tasks[0].exec_time, 3000);
-  EXPECT_EQ(w.jobs[0].map_tasks[1].exec_time, 6000);
-  EXPECT_EQ(w.jobs[0].reduce_tasks[0].exec_time, 9000);
+  EXPECT_EQ(w.jobs[0].map_tasks[0].exec_time, Time{3000});
+  EXPECT_EQ(w.jobs[0].map_tasks[1].exec_time, Time{6000});
+  EXPECT_EQ(w.jobs[0].reduce_tasks[0].exec_time, Time{9000});
 }
 
 TEST(Stragglers, DisabledIsNoop) {
   FaultConfig config;  // prob = 0
   Workload w = make_workload(
-      {make_job(0, 0, 0, 100000, {1000}, {2000})}, 1, 2, 2);
+      {make_job(0, Time{0}, Time{0}, Time{100000}, {Time{1000}}, {Time{2000}})}, 1, 2, 2);
   EXPECT_EQ(apply_stragglers(w, config), 0u);
-  EXPECT_EQ(w.jobs[0].map_tasks[0].exec_time, 1000);
+  EXPECT_EQ(w.jobs[0].map_tasks[0].exec_time, Time{1000});
 
   // factor == 1 with prob > 0 is likewise a no-op.
   config.straggler_prob = 1.0;

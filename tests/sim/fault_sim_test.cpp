@@ -39,8 +39,8 @@ MrcpConfig deterministic_mrcp_config(int threads) {
 Workload faulty_workload() {
   std::vector<Job> jobs;
   for (int i = 0; i < 6; ++i) {
-    jobs.push_back(make_job(i, i * 2000, i * 2000, i * 2000 + 200000,
-                            {5000, 5000}, {4000}));
+    jobs.push_back(make_job(i, Time{i * 2000}, Time{i * 2000}, Time{i * 2000 + 200000},
+                            {Time{5000}, Time{5000}}, {Time{4000}}));
   }
   return make_workload(std::move(jobs), 3, 2, 2);
 }
@@ -106,7 +106,7 @@ TEST(FaultSim, MrcpSurvivesFailures) {
   EXPECT_GT(m.failure.resource_failures, 0u);
   EXPECT_GT(m.failure.tasks_killed, 0u);
   EXPECT_EQ(m.failure.tasks_killed, m.killed.size());
-  Time wasted = 0;
+  Time wasted;
   for (const ExecutedTask& k : m.killed) {
     wasted += k.end - k.start;
     EXPECT_TRUE(m.records[static_cast<std::size_t>(k.job)].failure_affected);
@@ -170,17 +170,17 @@ TEST(FaultSim, MrcpSolverThreadCountDoesNotChangeOutcome) {
 
 TEST(FaultSim, StragglersSlowTheJobDown) {
   const Workload w =
-      make_workload({make_job(0, 0, 0, 100000, {1000}, {2000})}, 1, 1, 1);
+      make_workload({make_job(0, Time{0}, Time{0}, Time{100000}, {Time{1000}}, {Time{2000}})}, 1, 1, 1);
   SimOptions o;
   o.faults.straggler_prob = 1.0;
   o.faults.straggler_factor = 2.0;
 
   const SimMetrics mrcp = simulate_mrcp(w, fast_mrcp_config(), o);
-  EXPECT_EQ(mrcp.records[0].completion, 6000);  // (1000 + 2000) * 2
+  EXPECT_EQ(mrcp.records[0].completion, Time{6000});  // (1000 + 2000) * 2
   EXPECT_EQ(mrcp.failure.straggler_tasks, 2u);
 
   const SimMetrics minedf = simulate_minedf(w, baseline::MinEdfConfig{}, o);
-  EXPECT_EQ(minedf.records[0].completion, 6000);
+  EXPECT_EQ(minedf.records[0].completion, Time{6000});
   EXPECT_EQ(minedf.failure.straggler_tasks, 2u);
 }
 
@@ -188,50 +188,50 @@ TEST(FaultSim, StragglersSlowTheJobDown) {
 
 Workload two_resource_workload() {
   // One map task of 100 ticks; two single-slot resources.
-  return make_workload({make_job(0, 0, 0, 100000, {100}, {})}, 2, 1, 1);
+  return make_workload({make_job(0, Time{0}, Time{0}, Time{100000}, {Time{100}}, {})}, 2, 1, 1);
 }
 
 TEST(ValidateExecutionFaults, AcceptsKilledAttemptAtFailure) {
   const Workload w = two_resource_workload();
-  const std::vector<DownInterval> downtime = {{0, 50, 200}};
-  const std::vector<ExecutedTask> killed = {{0, 0, 0, 0, 50}};
-  const std::vector<ExecutedTask> executed = {{0, 0, 1, 50, 150}};
+  const std::vector<DownInterval> downtime = {{0, Time{50}, Time{200}}};
+  const std::vector<ExecutedTask> killed = {{0, 0, 0, Time{0}, Time{50}}};
+  const std::vector<ExecutedTask> executed = {{0, 0, 1, Time{50}, Time{150}}};
   EXPECT_EQ(validate_execution(w, executed, killed, downtime), "");
 }
 
 TEST(ValidateExecutionFaults, RejectsKillWithoutMatchingFailure) {
   const Workload w = two_resource_workload();
-  const std::vector<DownInterval> downtime = {{0, 50, 200}};
+  const std::vector<DownInterval> downtime = {{0, Time{50}, Time{200}}};
   // Attempt ends at 40, but resource 0 fails at 50.
-  const std::vector<ExecutedTask> killed = {{0, 0, 0, 0, 40}};
-  const std::vector<ExecutedTask> executed = {{0, 0, 1, 50, 150}};
+  const std::vector<ExecutedTask> killed = {{0, 0, 0, Time{0}, Time{40}}};
+  const std::vector<ExecutedTask> executed = {{0, 0, 1, Time{50}, Time{150}}};
   EXPECT_NE(validate_execution(w, executed, killed, downtime), "");
 }
 
 TEST(ValidateExecutionFaults, RejectsKilledAttemptThatRanToCompletion) {
   const Workload w = two_resource_workload();
-  const std::vector<DownInterval> downtime = {{0, 100, 200}};
+  const std::vector<DownInterval> downtime = {{0, Time{100}, Time{200}}};
   // 100 ticks is the full exec time — that is a completion, not a kill.
-  const std::vector<ExecutedTask> killed = {{0, 0, 0, 0, 100}};
-  const std::vector<ExecutedTask> executed = {{0, 0, 1, 100, 200}};
+  const std::vector<ExecutedTask> killed = {{0, 0, 0, Time{0}, Time{100}}};
+  const std::vector<ExecutedTask> executed = {{0, 0, 1, Time{100}, Time{200}}};
   EXPECT_NE(validate_execution(w, executed, killed, downtime), "");
 }
 
 TEST(ValidateExecutionFaults, RejectsExecutionDuringDowntime) {
   const Workload w = two_resource_workload();
-  const std::vector<DownInterval> downtime = {{1, 60, 120}};
+  const std::vector<DownInterval> downtime = {{1, Time{60}, Time{120}}};
   // Successful run on resource 1 overlaps its [60, 120) outage.
-  const std::vector<ExecutedTask> executed = {{0, 0, 1, 50, 150}};
+  const std::vector<ExecutedTask> executed = {{0, 0, 1, Time{50}, Time{150}}};
   EXPECT_NE(validate_execution(w, executed, {}, downtime), "");
 }
 
 TEST(ValidateExecutionFaults, OpenDowntimeBlocksForever) {
   const Workload w = two_resource_workload();
-  const std::vector<DownInterval> downtime = {{0, 50, kNoTime}};
+  const std::vector<DownInterval> downtime = {{0, Time{50}, kNoTime}};
   // Resource 0 never comes back; anything on it after 50 must fail.
-  const std::vector<ExecutedTask> executed = {{0, 0, 0, 60, 160}};
+  const std::vector<ExecutedTask> executed = {{0, 0, 0, Time{60}, Time{160}}};
   EXPECT_NE(validate_execution(w, executed, {}, downtime), "");
-  const std::vector<ExecutedTask> ok = {{0, 0, 1, 60, 160}};
+  const std::vector<ExecutedTask> ok = {{0, 0, 1, Time{60}, Time{160}}};
   EXPECT_EQ(validate_execution(w, ok, {}, downtime), "");
 }
 
@@ -239,14 +239,14 @@ TEST(ValidateExecutionFaults, KilledAttemptCountsTowardCapacity) {
   // Single resource with one map slot: a killed attempt overlapping the
   // successful one double-books the slot.
   const Workload w =
-      make_workload({make_job(0, 0, 0, 100000, {100}, {})}, 1, 1, 1);
-  const std::vector<DownInterval> downtime = {{0, 50, 60}};
-  const std::vector<ExecutedTask> killed = {{0, 0, 0, 10, 50}};
+      make_workload({make_job(0, Time{0}, Time{0}, Time{100000}, {Time{100}}, {})}, 1, 1, 1);
+  const std::vector<DownInterval> downtime = {{0, Time{50}, Time{60}}};
+  const std::vector<ExecutedTask> killed = {{0, 0, 0, Time{10}, Time{50}}};
   // Overlaps the killed attempt's [10, 50) occupancy.
-  const std::vector<ExecutedTask> bad = {{0, 0, 0, 20, 120}};
+  const std::vector<ExecutedTask> bad = {{0, 0, 0, Time{20}, Time{120}}};
   EXPECT_NE(validate_execution(w, bad, killed, downtime), "");
   // Starting after the repair is fine.
-  const std::vector<ExecutedTask> good = {{0, 0, 0, 60, 160}};
+  const std::vector<ExecutedTask> good = {{0, 0, 0, Time{60}, Time{160}}};
   EXPECT_EQ(validate_execution(w, good, killed, downtime), "");
 }
 

@@ -15,8 +15,8 @@ Plan plan_for(const std::vector<Job>& jobs, const Cluster& cluster) {
   cfg.solve.time_limit_s = 1.0;
   cfg.defer_future_jobs = false;
   MrcpRm rm(cluster, cfg);
-  for (const Job& j : jobs) rm.submit(j, 0);
-  return rm.reschedule(0);
+  for (const Job& j : jobs) rm.submit(j, Time{0});
+  return rm.reschedule(Time{0});
 }
 
 TEST(Gantt, EmptyPlanRendersEmpty) {
@@ -27,7 +27,7 @@ TEST(Gantt, EmptyPlanRendersEmpty) {
 TEST(Gantt, RowsForUsedResourcePhases) {
   const Cluster cluster = Cluster::homogeneous(2, 1, 1);
   const Plan plan =
-      plan_for({make_job(0, 0, 0, 100000, {1000}, {500})}, cluster);
+      plan_for({make_job(0, Time{0}, Time{0}, Time{100000}, {Time{1000}}, {Time{500}})}, cluster);
   const std::string chart = render_gantt(plan, cluster);
   EXPECT_NE(chart.find("/map"), std::string::npos);
   EXPECT_NE(chart.find("/reduce"), std::string::npos);
@@ -38,7 +38,7 @@ TEST(Gantt, RowsForUsedResourcePhases) {
 TEST(Gantt, PhaseFiltering) {
   const Cluster cluster = Cluster::homogeneous(1, 1, 1);
   const Plan plan =
-      plan_for({make_job(0, 0, 0, 100000, {1000}, {500})}, cluster);
+      plan_for({make_job(0, Time{0}, Time{0}, Time{100000}, {Time{1000}}, {Time{500}})}, cluster);
   GanttOptions opts;
   opts.include_reduce = false;
   const std::string chart = render_gantt(plan, cluster, opts);
@@ -48,7 +48,7 @@ TEST(Gantt, PhaseFiltering) {
 
 TEST(Gantt, WidthControlsLineLength) {
   const Cluster cluster = Cluster::homogeneous(1, 1, 1);
-  const Plan plan = plan_for({make_job(0, 0, 0, 100000, {1000}, {})}, cluster);
+  const Plan plan = plan_for({make_job(0, Time{0}, Time{0}, Time{100000}, {Time{1000}}, {})}, cluster);
   GanttOptions opts;
   opts.width = 20;
   const std::string chart = render_gantt(plan, cluster, opts);
@@ -64,8 +64,8 @@ TEST(Gantt, TwoJobsDistinctDigits) {
   const Cluster cluster = Cluster::homogeneous(2, 1, 1);
   const Plan plan = plan_for(
       {
-          make_job(0, 0, 0, 100000, {1000}, {}),
-          make_job(1, 0, 0, 100000, {1000}, {}),
+          make_job(0, Time{0}, Time{0}, Time{100000}, {Time{1000}}, {}),
+          make_job(1, Time{0}, Time{0}, Time{100000}, {Time{1000}}, {}),
       },
       cluster);
   const std::string chart = render_gantt(plan, cluster);
@@ -76,9 +76,9 @@ TEST(Gantt, TwoJobsDistinctDigits) {
 TEST(Gantt, DowntimeOverlayMarksX) {
   const Cluster cluster = Cluster::homogeneous(2, 1, 1);
   const Plan plan = plan_for(
-      {make_job(0, 0, 0, 100000, {1000}, {})}, cluster);
+      {make_job(0, Time{0}, Time{0}, Time{100000}, {Time{1000}}, {})}, cluster);
   // Outage on resource 1 (which runs nothing) inside the plan's span.
-  const std::vector<DownInterval> downtime = {{1, 200, 800}};
+  const std::vector<DownInterval> downtime = {{1, Time{200}, Time{800}}};
   GanttOptions options;
   options.downtime = &downtime;
   const std::string chart = render_gantt(plan, cluster, options);
@@ -87,7 +87,7 @@ TEST(Gantt, DowntimeOverlayMarksX) {
 
   // Tasks win the bucket: an overlay on the busy resource never
   // overwrites the job digit.
-  const std::vector<DownInterval> on_busy = {{0, 0, 1000}};
+  const std::vector<DownInterval> on_busy = {{0, Time{0}, Time{1000}}};
   options.downtime = &on_busy;
   const std::string busy_chart = render_gantt(plan, cluster, options);
   EXPECT_NE(busy_chart.find('0'), std::string::npos);
@@ -101,7 +101,7 @@ TEST(Gantt, SharedBucketMarksHash) {
   const Cluster cluster = Cluster::homogeneous(1, 2, 1);
   const Plan plan = plan_for(
       {
-          make_job(0, 0, 0, 100000, {1000, 1000}, {}),
+          make_job(0, Time{0}, Time{0}, Time{100000}, {Time{1000}, Time{1000}}, {}),
       },
       cluster);
   const std::string chart = render_gantt(plan, cluster);

@@ -18,30 +18,30 @@ JobRecord make_record(JobId id, Time arrival, Time earliest_start,
 
 TEST(FinishJobRecord, SetsCompletionAndLateness) {
   JobRecord r;
-  r.deadline = 100;
+  r.deadline = Time{100};
   EXPECT_FALSE(r.completed());
-  finish_job_record(r, 90);
+  finish_job_record(r, Time{90});
   EXPECT_TRUE(r.completed());
-  EXPECT_EQ(r.completion, 90);
+  EXPECT_EQ(r.completion, Time{90});
   EXPECT_FALSE(r.late);
 
   JobRecord late;
-  late.deadline = 100;
-  finish_job_record(late, 101);
+  late.deadline = Time{100};
+  finish_job_record(late, Time{101});
   EXPECT_TRUE(late.late);
 }
 
 TEST(FinishJobRecordDeathTest, DoubleCompletionAborts) {
   JobRecord r;
-  r.deadline = 100;
-  finish_job_record(r, 50);
-  EXPECT_DEATH(finish_job_record(r, 60), "job completed twice");
+  r.deadline = Time{100};
+  finish_job_record(r, Time{50});
+  EXPECT_DEATH(finish_job_record(r, Time{60}), "job completed twice");
 }
 
 TEST(Metrics, AggregateNoWarmup) {
   SimMetrics m;
-  m.records.push_back(make_record(0, 0, 0, 100, 50));    // on time
-  m.records.push_back(make_record(1, 10, 10, 100, 150)); // late
+  m.records.push_back(make_record(0, Time{0}, Time{0}, Time{100}, Time{50}));    // on time
+  m.records.push_back(make_record(1, Time{10}, Time{10}, Time{100}, Time{150})); // late
   const auto agg = m.aggregate(0.0);
   EXPECT_EQ(agg.jobs, 2u);
   EXPECT_EQ(agg.late, 1);
@@ -54,10 +54,10 @@ TEST(Metrics, AggregateNoWarmup) {
 TEST(Metrics, WarmupCutFollowsArrivalOrderNotIdOrder) {
   SimMetrics m;
   // Job 0 arrives last and is late; jobs 1..3 arrive earlier, on time.
-  m.records.push_back(make_record(0, 3000, 3000, 3100, 4000));  // late
-  m.records.push_back(make_record(1, 0, 0, 1000, 100));
-  m.records.push_back(make_record(2, 1000, 1000, 2000, 1100));
-  m.records.push_back(make_record(3, 2000, 2000, 3000, 2100));
+  m.records.push_back(make_record(0, Time{3000}, Time{3000}, Time{3100}, Time{4000}));  // late
+  m.records.push_back(make_record(1, Time{0}, Time{0}, Time{1000}, Time{100}));
+  m.records.push_back(make_record(2, Time{1000}, Time{1000}, Time{2000}, Time{1100}));
+  m.records.push_back(make_record(3, Time{2000}, Time{2000}, Time{3000}, Time{2100}));
 
   // warmup 0.25 discards exactly one job: the earliest arrival (job 1),
   // never job 0 (the record at index 0).
@@ -71,8 +71,8 @@ TEST(Metrics, WarmupCutFollowsArrivalOrderNotIdOrder) {
 
   // Mean turnaround over jobs 2, 3, 0: (100 + 100 + 1000) ms.
   EXPECT_DOUBLE_EQ(agg.mean_turnaround_s,
-                   (ticks_to_seconds(100) + ticks_to_seconds(100) +
-                    ticks_to_seconds(1000)) /
+                   (ticks_to_seconds(Time{100}) + ticks_to_seconds(Time{100}) +
+                    ticks_to_seconds(Time{1000})) /
                        3.0);
 }
 
@@ -82,25 +82,25 @@ TEST(Metrics, BatchCiFollowsArrivalOrder) {
   // half has turnaround 100 ticks, the last-arriving half 900 ticks.
   const int n = 40;
   for (int i = 0; i < n; ++i) {
-    const Time arrival = static_cast<Time>((n - 1 - i) * 1000);
-    const Time turnaround = (n - 1 - i) < n / 2 ? 100 : 900;
+    const Time arrival{(n - 1 - i) * 1000};
+    const Time turnaround{(n - 1 - i) < n / 2 ? 100 : 900};
     m.records.push_back(
-        make_record(i, arrival, arrival, arrival + 10000, arrival + turnaround));
+        make_record(i, arrival, arrival, arrival + Time{10000}, arrival + turnaround));
   }
   // Cutting half the jobs in arrival order leaves only 900-tick
   // turnarounds; an index-order cut would leave a 100/900 mix.
   const auto ci = m.turnaround_batch_ci(0.5, 4);
-  EXPECT_DOUBLE_EQ(ci.mean, ticks_to_seconds(900));
+  EXPECT_DOUBLE_EQ(ci.mean, ticks_to_seconds(Time{900}));
 }
 
 TEST(Metrics, TiedArrivalsKeepIdOrder) {
   SimMetrics m;
   // All arrivals tie: the arrival-order cut then equals the id-order
   // cut (stable sort), so warmup discards the lowest ids.
-  m.records.push_back(make_record(0, 0, 0, 10, 1000));  // late
-  m.records.push_back(make_record(1, 0, 0, 10000, 100));
-  m.records.push_back(make_record(2, 0, 0, 10000, 100));
-  m.records.push_back(make_record(3, 0, 0, 10000, 100));
+  m.records.push_back(make_record(0, Time{0}, Time{0}, Time{10}, Time{1000}));  // late
+  m.records.push_back(make_record(1, Time{0}, Time{0}, Time{10000}, Time{100}));
+  m.records.push_back(make_record(2, Time{0}, Time{0}, Time{10000}, Time{100}));
+  m.records.push_back(make_record(3, Time{0}, Time{0}, Time{10000}, Time{100}));
   const auto agg = m.aggregate(0.25);
   EXPECT_EQ(agg.jobs, 3u);
   EXPECT_EQ(agg.late, 0);

@@ -18,8 +18,8 @@ TEST(TraceExport, PlanCsvHasOneRowPerTask) {
   MrcpConfig cfg;
   cfg.solve.time_limit_s = 1.0;
   MrcpRm rm(Cluster::homogeneous(2, 1, 1), cfg);
-  rm.submit(make_job(0, 0, 0, 100000, {100, 200}, {300}), 0);
-  const Plan& plan = rm.reschedule(0);
+  rm.submit(make_job(0, Time{0}, Time{0}, Time{100000}, {Time{100}, Time{200}}, {Time{300}}), Time{0});
+  const Plan& plan = rm.reschedule(Time{0});
   const std::string csv = plan_to_csv(plan);
   // Header + 3 task rows.
   EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 4);
@@ -31,7 +31,7 @@ TEST(TraceExport, PlanCsvHasOneRowPerTask) {
 
 TEST(TraceExport, ExecutionCsvFromSimulation) {
   const Workload w = make_workload(
-      {make_job(0, 0, 0, 100000, {100, 200}, {300})}, 2, 1, 1);
+      {make_job(0, Time{0}, Time{0}, Time{100000}, {Time{100}, Time{200}}, {Time{300}})}, 2, 1, 1);
   const SimMetrics m = simulate_mrcp(w, MrcpConfig{});
   ASSERT_EQ(m.executed.size(), 3u);
   const std::string csv = execution_to_csv(m.executed, w);
@@ -43,15 +43,15 @@ TEST(TraceExport, ExecutionCsvFromSimulation) {
 TEST(TraceExport, ExecutedTraceMatchesRecords) {
   const Workload w = make_workload(
       {
-          make_job(0, 0, 0, 100000, {50, 60}, {40}),
-          make_job(1, 10, 10, 100000, {30}, {}),
+          make_job(0, Time{0}, Time{0}, Time{100000}, {Time{50}, Time{60}}, {Time{40}}),
+          make_job(1, Time{10}, Time{10}, Time{100000}, {Time{30}}, {}),
       },
       2, 1, 1);
   const SimMetrics m = simulate_mrcp(w, MrcpConfig{});
   ASSERT_EQ(m.executed.size(), 4u);
   // The latest executed end of each job equals its completion record.
-  Time latest0 = 0;
-  Time latest1 = 0;
+  Time latest0;
+  Time latest1;
   for (const ExecutedTask& et : m.executed) {
     (et.job == 0 ? latest0 : latest1) =
         std::max(et.job == 0 ? latest0 : latest1, et.end);
@@ -62,7 +62,7 @@ TEST(TraceExport, ExecutedTraceMatchesRecords) {
 
 TEST(TraceExport, MinedfTraceExposed) {
   const Workload w = make_workload(
-      {make_job(0, 0, 0, 100000, {100}, {50})}, 1, 1, 1);
+      {make_job(0, Time{0}, Time{0}, Time{100000}, {Time{100}}, {Time{50}})}, 1, 1, 1);
   const SimMetrics m = simulate_minedf(w);
   EXPECT_EQ(m.executed.size(), 2u);
 }

@@ -21,10 +21,10 @@ using testutil::make_workload;
 TEST(WorkflowCp, ChainIsSequenced) {
   cp::Model m;
   m.add_resource(4, 4);
-  const cp::CpJobIndex j = m.add_job(0, 10000, 0);
-  const cp::CpTaskIndex a = m.add_task(j, cp::Phase::kMap, 10);
-  const cp::CpTaskIndex b = m.add_task(j, cp::Phase::kMap, 20);
-  const cp::CpTaskIndex c = m.add_task(j, cp::Phase::kMap, 30);
+  const cp::CpJobIndex j = m.add_job(Time{0}, Time{10000}, 0);
+  const cp::CpTaskIndex a = m.add_task(j, cp::Phase::kMap, Time{10});
+  const cp::CpTaskIndex b = m.add_task(j, cp::Phase::kMap, Time{20});
+  const cp::CpTaskIndex c = m.add_task(j, cp::Phase::kMap, Time{30});
   m.add_precedence(a, b);
   m.add_precedence(b, c);
   ASSERT_EQ(m.validate(), "");
@@ -32,21 +32,21 @@ TEST(WorkflowCp, ChainIsSequenced) {
   const cp::SolveResult result = cp::solve(m, cp::SolveParams{});
   ASSERT_TRUE(result.best.valid);
   EXPECT_EQ(cp::validate_solution(m, result.best), "");
-  EXPECT_EQ(result.best.placements[static_cast<std::size_t>(a)].start, 0);
-  EXPECT_EQ(result.best.placements[static_cast<std::size_t>(b)].start, 10);
-  EXPECT_EQ(result.best.placements[static_cast<std::size_t>(c)].start, 30);
-  EXPECT_EQ(result.best.job_completion[0], 60);
+  EXPECT_EQ(result.best.placements[static_cast<std::size_t>(a)].start, Time{0});
+  EXPECT_EQ(result.best.placements[static_cast<std::size_t>(b)].start, Time{10});
+  EXPECT_EQ(result.best.placements[static_cast<std::size_t>(c)].start, Time{30});
+  EXPECT_EQ(result.best.job_completion[0], Time{60});
 }
 
 TEST(WorkflowCp, DiamondDag) {
   // a -> {b, c} -> d; b and c run in parallel.
   cp::Model m;
   m.add_resource(2, 1);
-  const cp::CpJobIndex j = m.add_job(0, 10000, 0);
-  const cp::CpTaskIndex a = m.add_task(j, cp::Phase::kMap, 10);
-  const cp::CpTaskIndex b = m.add_task(j, cp::Phase::kMap, 20);
-  const cp::CpTaskIndex c = m.add_task(j, cp::Phase::kMap, 25);
-  const cp::CpTaskIndex d = m.add_task(j, cp::Phase::kMap, 5);
+  const cp::CpJobIndex j = m.add_job(Time{0}, Time{10000}, 0);
+  const cp::CpTaskIndex a = m.add_task(j, cp::Phase::kMap, Time{10});
+  const cp::CpTaskIndex b = m.add_task(j, cp::Phase::kMap, Time{20});
+  const cp::CpTaskIndex c = m.add_task(j, cp::Phase::kMap, Time{25});
+  const cp::CpTaskIndex d = m.add_task(j, cp::Phase::kMap, Time{5});
   m.add_precedence(a, b);
   m.add_precedence(a, c);
   m.add_precedence(b, d);
@@ -56,34 +56,34 @@ TEST(WorkflowCp, DiamondDag) {
   ASSERT_TRUE(result.best.valid);
   EXPECT_EQ(cp::validate_solution(m, result.best), "");
   const auto& p = result.best.placements;
-  EXPECT_EQ(p[static_cast<std::size_t>(a)].start, 0);
-  EXPECT_EQ(p[static_cast<std::size_t>(b)].start, 10);
-  EXPECT_EQ(p[static_cast<std::size_t>(c)].start, 10);
-  EXPECT_EQ(p[static_cast<std::size_t>(d)].start, 35);  // after c (10+25)
+  EXPECT_EQ(p[static_cast<std::size_t>(a)].start, Time{0});
+  EXPECT_EQ(p[static_cast<std::size_t>(b)].start, Time{10});
+  EXPECT_EQ(p[static_cast<std::size_t>(c)].start, Time{10});
+  EXPECT_EQ(p[static_cast<std::size_t>(d)].start, Time{35});  // after c (10+25)
 }
 
 TEST(WorkflowCp, PrecedenceIntoReducePhase) {
   // map chain a -> b plus the implicit all-maps-before-reduces barrier.
   cp::Model m;
   m.add_resource(2, 2);
-  const cp::CpJobIndex j = m.add_job(0, 10000, 0);
-  const cp::CpTaskIndex a = m.add_task(j, cp::Phase::kMap, 10);
-  const cp::CpTaskIndex b = m.add_task(j, cp::Phase::kMap, 10);
-  const cp::CpTaskIndex r = m.add_task(j, cp::Phase::kReduce, 10);
+  const cp::CpJobIndex j = m.add_job(Time{0}, Time{10000}, 0);
+  const cp::CpTaskIndex a = m.add_task(j, cp::Phase::kMap, Time{10});
+  const cp::CpTaskIndex b = m.add_task(j, cp::Phase::kMap, Time{10});
+  const cp::CpTaskIndex r = m.add_task(j, cp::Phase::kReduce, Time{10});
   m.add_precedence(a, b);
   const cp::SolveResult result = cp::solve(m, cp::SolveParams{});
   const auto& p = result.best.placements;
-  EXPECT_EQ(p[static_cast<std::size_t>(b)].start, 10);
-  EXPECT_GE(p[static_cast<std::size_t>(r)].start, 20);
+  EXPECT_EQ(p[static_cast<std::size_t>(b)].start, Time{10});
+  EXPECT_GE(p[static_cast<std::size_t>(r)].start, Time{20});
 }
 
 TEST(WorkflowCp, ValidateRejectsCycleThroughBarrier) {
   // reduce -> map user edge forms a cycle with the implicit barrier.
   cp::Model m;
   m.add_resource(1, 1);
-  const cp::CpJobIndex j = m.add_job(0, 1000, 0);
-  const cp::CpTaskIndex a = m.add_task(j, cp::Phase::kMap, 10);
-  const cp::CpTaskIndex r = m.add_task(j, cp::Phase::kReduce, 10);
+  const cp::CpJobIndex j = m.add_job(Time{0}, Time{1000}, 0);
+  const cp::CpTaskIndex a = m.add_task(j, cp::Phase::kMap, Time{10});
+  const cp::CpTaskIndex r = m.add_task(j, cp::Phase::kReduce, Time{10});
   m.add_precedence(r, a);
   EXPECT_NE(m.validate(), "");
 }
@@ -91,9 +91,9 @@ TEST(WorkflowCp, ValidateRejectsCycleThroughBarrier) {
 TEST(WorkflowCp, ValidateRejectsDirectCycle) {
   cp::Model m;
   m.add_resource(1, 1);
-  const cp::CpJobIndex j = m.add_job(0, 1000, 0);
-  const cp::CpTaskIndex a = m.add_task(j, cp::Phase::kMap, 10);
-  const cp::CpTaskIndex b = m.add_task(j, cp::Phase::kMap, 10);
+  const cp::CpJobIndex j = m.add_job(Time{0}, Time{1000}, 0);
+  const cp::CpTaskIndex a = m.add_task(j, cp::Phase::kMap, Time{10});
+  const cp::CpTaskIndex b = m.add_task(j, cp::Phase::kMap, Time{10});
   m.add_precedence(a, b);
   m.add_precedence(b, a);
   EXPECT_NE(m.validate(), "");
@@ -102,14 +102,14 @@ TEST(WorkflowCp, ValidateRejectsDirectCycle) {
 TEST(WorkflowCp, SolutionValidatorCatchesPrecedenceViolation) {
   cp::Model m;
   m.add_resource(2, 1);
-  const cp::CpJobIndex j = m.add_job(0, 1000, 0);
-  const cp::CpTaskIndex a = m.add_task(j, cp::Phase::kMap, 10);
-  const cp::CpTaskIndex b = m.add_task(j, cp::Phase::kMap, 10);
+  const cp::CpJobIndex j = m.add_job(Time{0}, Time{1000}, 0);
+  const cp::CpTaskIndex a = m.add_task(j, cp::Phase::kMap, Time{10});
+  const cp::CpTaskIndex b = m.add_task(j, cp::Phase::kMap, Time{10});
   m.add_precedence(a, b);
   cp::Solution s;
-  s.placements = {{0, 0}, {0, 5}};  // b overlaps a
+  s.placements = {{0, Time{0}}, {0, Time{5}}};  // b overlaps a
   EXPECT_NE(cp::validate_solution(m, s), "");
-  s.placements = {{0, 0}, {0, 10}};
+  s.placements = {{0, Time{0}}, {0, Time{10}}};
   EXPECT_EQ(cp::validate_solution(m, s), "");
   (void)b;
 }
@@ -117,12 +117,12 @@ TEST(WorkflowCp, SolutionValidatorCatchesPrecedenceViolation) {
 TEST(WorkflowCp, StaticEarliestStartUsesDirectPreds) {
   cp::Model m;
   m.add_resource(4, 4);
-  const cp::CpJobIndex j = m.add_job(100, 10000, 0);
-  const cp::CpTaskIndex a = m.add_task(j, cp::Phase::kMap, 50);
-  const cp::CpTaskIndex b = m.add_task(j, cp::Phase::kMap, 10);
+  const cp::CpJobIndex j = m.add_job(Time{100}, Time{10000}, 0);
+  const cp::CpTaskIndex a = m.add_task(j, cp::Phase::kMap, Time{50});
+  const cp::CpTaskIndex b = m.add_task(j, cp::Phase::kMap, Time{10});
   m.add_precedence(a, b);
-  EXPECT_EQ(m.static_earliest_start(b), 150);  // 100 + 50
-  EXPECT_EQ(m.completion_lower_bound(j), 160);
+  EXPECT_EQ(m.static_earliest_start(b), Time{150});  // 100 + 50
+  EXPECT_EQ(m.completion_lower_bound(j), Time{160});
 }
 
 // Random DAG property: solutions always valid.
@@ -135,11 +135,11 @@ TEST_P(WorkflowRandomDag, SolveProducesValidSchedules) {
                  static_cast<int>(rng.uniform_int(1, 3)));
   const int jobs = static_cast<int>(rng.uniform_int(1, 4));
   for (int jj = 0; jj < jobs; ++jj) {
-    const cp::CpJobIndex cj = m.add_job(rng.uniform_int(0, 50), 100000, jj);
+    const cp::CpJobIndex cj = m.add_job(Time{rng.uniform_int(0, 50)}, Time{100000}, jj);
     const int maps = static_cast<int>(rng.uniform_int(2, 8));
     std::vector<cp::CpTaskIndex> ids;
     for (int t = 0; t < maps; ++t) {
-      ids.push_back(m.add_task(cj, cp::Phase::kMap, rng.uniform_int(5, 40)));
+      ids.push_back(m.add_task(cj, cp::Phase::kMap, Time{rng.uniform_int(5, 40)}));
     }
     // Random forward edges (i -> k with i < k): acyclic by construction.
     for (int e = 0; e < maps; ++e) {
@@ -168,11 +168,11 @@ MrcpConfig rm_config() {
 }
 
 TEST(WorkflowRm, PipelinePlanIsSequenced) {
-  Job job = make_job(0, 0, 0, 100000, {100, 200, 300}, {150});
+  Job job = make_job(0, Time{0}, Time{0}, Time{100000}, {Time{100}, Time{200}, Time{300}}, {Time{150}});
   job.precedences = {{0, 1}, {1, 2}};  // 3-stage map pipeline
   MrcpRm rm(Cluster::homogeneous(2, 1, 1), rm_config());
-  rm.submit(job, 0);
-  const Plan& plan = rm.reschedule(0);
+  rm.submit(job, Time{0});
+  const Plan& plan = rm.reschedule(Time{0});
   std::vector<Time> start(4, kNoTime);
   std::vector<Time> end(4, kNoTime);
   for (const PlannedTask& pt : plan.tasks) {
@@ -185,41 +185,41 @@ TEST(WorkflowRm, PipelinePlanIsSequenced) {
 }
 
 TEST(WorkflowRm, CompletedPredecessorEdgesAreDropped) {
-  Job job = make_job(0, 0, 0, 100000, {100, 200}, {});
+  Job job = make_job(0, Time{0}, Time{0}, Time{100000}, {Time{100}, Time{200}}, {});
   job.precedences = {{0, 1}};
   MrcpRm rm(Cluster::homogeneous(1, 1, 1), rm_config());
-  rm.submit(job, 0);
-  rm.reschedule(0);
+  rm.submit(job, Time{0});
+  rm.reschedule(Time{0});
   // Task 0 runs [0,100); at t=150 it is completed and task 1 is running.
-  const Plan& plan = rm.reschedule(150);
+  const Plan& plan = rm.reschedule(Time{150});
   ASSERT_EQ(plan.tasks.size(), 1u);
   EXPECT_EQ(plan.tasks[0].task_index, 1);
-  EXPECT_GE(plan.tasks[0].start, 100);
+  EXPECT_GE(plan.tasks[0].start, Time{100});
 }
 
 TEST(WorkflowSim, PipelineExecutesInOrder) {
-  Job job = make_job(0, 0, 0, 100000, {50, 60, 70}, {40});
+  Job job = make_job(0, Time{0}, Time{0}, Time{100000}, {Time{50}, Time{60}, Time{70}}, {Time{40}});
   job.precedences = {{0, 1}, {1, 2}};
   const Workload w = make_workload({job}, 2, 2, 1);
   const sim::SimMetrics m = sim::simulate_mrcp(w, rm_config());
   ASSERT_TRUE(m.records[0].completed());
   // Chain: 50 + 60 + 70 + reduce 40 = 220.
-  EXPECT_EQ(m.records[0].completion, 220);
+  EXPECT_EQ(m.records[0].completion, Time{220});
 }
 
 TEST(WorkflowSim, MixedWorkloadWithAndWithoutDags) {
-  Job dag = make_job(0, 0, 0, 100000, {50, 60}, {40});
+  Job dag = make_job(0, Time{0}, Time{0}, Time{100000}, {Time{50}, Time{60}}, {Time{40}});
   dag.precedences = {{0, 1}};
-  Job plain = make_job(1, 10, 10, 100000, {30, 30}, {20});
+  Job plain = make_job(1, Time{10}, Time{10}, Time{100000}, {Time{30}, Time{30}}, {Time{20}});
   const Workload w = make_workload({dag, plain}, 2, 1, 1);
   const sim::SimMetrics m = sim::simulate_mrcp(w, rm_config());
   EXPECT_TRUE(m.records[0].completed());
   EXPECT_TRUE(m.records[1].completed());
-  EXPECT_EQ(m.records[0].completion, 150);  // 50+60 chained + 40 reduce
+  EXPECT_EQ(m.records[0].completion, Time{150});  // 50+60 chained + 40 reduce
 }
 
 TEST(WorkflowSim, MinEdfRejectsWorkflows) {
-  Job dag = make_job(0, 0, 0, 100000, {50, 60}, {});
+  Job dag = make_job(0, Time{0}, Time{0}, Time{100000}, {Time{50}, Time{60}}, {});
   dag.precedences = {{0, 1}};
   const Workload w = make_workload({dag}, 1, 1, 1);
   EXPECT_DEATH(sim::simulate_minedf(w),
@@ -227,7 +227,7 @@ TEST(WorkflowSim, MinEdfRejectsWorkflows) {
 }
 
 TEST(WorkflowJob, ValidateJobAcceptsDagAndRejectsCycle) {
-  Job job = make_job(0, 0, 0, 1000, {10, 10, 10}, {10});
+  Job job = make_job(0, Time{0}, Time{0}, Time{1000}, {Time{10}, Time{10}, Time{10}}, {Time{10}});
   job.precedences = {{0, 1}, {1, 2}};
   EXPECT_EQ(validate_job(job), "");
   job.precedences.push_back({2, 0});

@@ -1,0 +1,290 @@
+#include "rules.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <regex>
+#include <set>
+
+namespace mrcp::lint {
+namespace {
+
+bool path_contains(const std::string& path, const std::string& fragment) {
+  return path.find(fragment) != std::string::npos;
+}
+
+void report(const SourceFile& file, int line, int col, const char* rule,
+            std::string message, std::vector<Finding>& findings) {
+  if (file.allowed(line, rule)) return;
+  findings.push_back(Finding{file.path, line, col, rule, std::move(message)});
+}
+
+// --------------------------------------------------------------------------
+// unordered-iteration
+// --------------------------------------------------------------------------
+
+const std::regex kUnorderedDecl(
+    R"(\bstd\s*::\s*unordered_(?:map|set|multimap|multiset)\s*<)");
+const std::regex kForHead(R"(\bfor\s*\()");
+const std::regex kIdent(R"([A-Za-z_]\w*)");
+
+/// Parse `for (...)` starting at the opening paren: returns the range
+/// expression of a range-for (text after the top-level ':' that is not
+/// part of a '::'), or an empty string for a classic for / no match.
+/// Single-line headers only — multi-line is rare and self-documenting.
+std::string range_for_expression(const std::string& line, std::size_t open) {
+  int depth = 0;
+  std::size_t colon = std::string::npos;
+  for (std::size_t j = open; j < line.size(); ++j) {
+    const char c = line[j];
+    if (c == '(' || c == '{' || c == '[') ++depth;
+    if (c == ')' || c == '}' || c == ']') {
+      --depth;
+      if (depth == 0) {
+        if (colon == std::string::npos) return "";
+        return line.substr(colon + 1, j - colon - 1);
+      }
+    }
+    if (c == ':' && depth == 1 && colon == std::string::npos) {
+      const char prev = j > 0 ? line[j - 1] : '\0';
+      const char next = j + 1 < line.size() ? line[j + 1] : '\0';
+      if (prev != ':' && next != ':') colon = j;
+    }
+    if (c == ';') return "";  // classic for
+  }
+  return "";
+}
+
+void rule_unordered_iteration(const SourceFile& file,
+                              std::vector<Finding>& findings) {
+  // Pass 1: names declared with an unordered container type anywhere in
+  // this file (member or local — either way its iteration order is
+  // hash-order).
+  std::set<std::string> unordered_names;
+  for (const std::string& line : file.sanitized) {
+    for (auto it = std::sregex_iterator(line.begin(), line.end(),
+                                        kUnorderedDecl);
+         it != std::sregex_iterator(); ++it) {
+      // The declared name is the first identifier after the closing '>'
+      // of the template argument list.
+      std::size_t pos = static_cast<std::size_t>(it->position()) +
+                        static_cast<std::size_t>(it->length());
+      int depth = 1;
+      while (pos < line.size() && depth > 0) {
+        if (line[pos] == '<') ++depth;
+        if (line[pos] == '>') --depth;
+        ++pos;
+      }
+      if (depth != 0) continue;  // template args continue on the next line
+      std::smatch m;
+      std::string rest = line.substr(pos);
+      if (std::regex_search(rest, m, kIdent))
+        unordered_names.insert(m.str());
+    }
+  }
+
+  // Pass 2: range-fors whose range mentions an unordered name or an
+  // unordered container expression directly.
+  for (std::size_t i = 0; i < file.sanitized.size(); ++i) {
+    const std::string& line = file.sanitized[i];
+    for (auto it = std::sregex_iterator(line.begin(), line.end(), kForHead);
+         it != std::sregex_iterator(); ++it) {
+      const std::size_t open = static_cast<std::size_t>(it->position()) +
+                               static_cast<std::size_t>(it->length()) - 1;
+      const std::string range = range_for_expression(line, open);
+      if (range.empty()) continue;
+      bool hits = range.find("unordered_") != std::string::npos;
+      if (!hits) {
+        for (auto id = std::sregex_iterator(range.begin(), range.end(),
+                                            kIdent);
+             id != std::sregex_iterator(); ++id) {
+          if (unordered_names.count(id->str()) > 0) {
+            hits = true;
+            break;
+          }
+        }
+      }
+      if (hits) {
+        report(file, static_cast<int>(i) + 1,
+               static_cast<int>(it->position()) + 1, "unordered-iteration",
+               "range-for over an unordered container: hash-order iteration "
+               "is nondeterministic; iterate a sorted copy or index vector",
+               findings);
+      }
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
+// raw-time-literal
+// --------------------------------------------------------------------------
+
+// Both forms of a unit-less tick count entering the Time domain: a bare
+// construction `Time{250}` and a braced declaration `Time delay{250}`.
+const std::regex kTimeLiteral(
+    R"(\b(?:Time|Ticks)\s*(?:[A-Za-z_]\w*\s*)?\{\s*(-?\d[\d']*)\s*\})");
+
+void rule_raw_time_literal(const SourceFile& file, const RuleOptions& options,
+                           std::vector<Finding>& findings) {
+  if (!path_contains(file.path, options.time_literal_scope)) return;
+  if (path_contains(file.path, "common/types.h")) return;
+  for (std::size_t i = 0; i < file.sanitized.size(); ++i) {
+    const std::string& line = file.sanitized[i];
+    for (auto it = std::sregex_iterator(line.begin(), line.end(),
+                                        kTimeLiteral);
+         it != std::sregex_iterator(); ++it) {
+      std::string digits = (*it)[1].str();
+      digits.erase(std::remove(digits.begin(), digits.end(), '\''),
+                   digits.end());
+      const long long v = std::strtoll(digits.c_str(), nullptr, 10);
+      if (v >= -1 && v <= 1) continue;  // zero/epsilon are unit-free
+      report(file, static_cast<int>(i) + 1,
+             static_cast<int>(it->position()) + 1, "raw-time-literal",
+             "raw tick count " + digits +
+                 " hides its unit; use seconds_to_ticks or a named constant",
+             findings);
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
+// rng-construction
+// --------------------------------------------------------------------------
+
+const std::regex kRngType(
+    R"(\bstd\s*::\s*(mt19937(?:_64)?|minstd_rand0?|default_random_engine|knuth_b|ranlux(?:24|48)(?:_base)?|random_device)\b)");
+
+void rule_rng_construction(const SourceFile& file, const RuleOptions& options,
+                           std::vector<Finding>& findings) {
+  for (const std::string& home : options.rng_home)
+    if (path_contains(file.path, home)) return;
+  for (std::size_t i = 0; i < file.sanitized.size(); ++i) {
+    const std::string& line = file.sanitized[i];
+    for (auto it = std::sregex_iterator(line.begin(), line.end(), kRngType);
+         it != std::sregex_iterator(); ++it) {
+      // A *construction* is the type followed by a declarator or an
+      // initializer. A reference/pointer (`std::mt19937_64&`) or a
+      // template argument position is a pass-through, not a new engine.
+      std::size_t pos = static_cast<std::size_t>(it->position()) +
+                        static_cast<std::size_t>(it->length());
+      while (pos < line.size() && std::isspace(static_cast<unsigned char>(
+                                      line[pos])) != 0)
+        ++pos;
+      const char c = pos < line.size() ? line[pos] : '\0';
+      const bool constructs = c == '{' || c == '(' ||
+                              std::isalpha(static_cast<unsigned char>(c)) !=
+                                  0 ||
+                              c == '_';
+      if (!constructs) continue;
+      report(file, static_cast<int>(i) + 1,
+             static_cast<int>(it->position()) + 1, "rng-construction",
+             "random engine constructed outside RandomStream; all "
+             "randomness must flow through common/rng.h for reproducibility",
+             findings);
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
+// blocking-under-lock
+// --------------------------------------------------------------------------
+
+const std::regex kLockDecl(
+    R"(\b(MutexLock|std\s*::\s*lock_guard|std\s*::\s*unique_lock|std\s*::\s*scoped_lock|std\s*::\s*shared_lock)\b)");
+const std::regex kBlockingCall(
+    R"(\b(sleep_for|sleep_until|wait_idle|run_indexed)\s*\(|\bjoin\s*\(\s*\))");
+
+void rule_blocking_under_lock(const SourceFile& file,
+                              std::vector<Finding>& findings) {
+  int depth = 0;
+  std::vector<int> lock_depths;  // brace depth at which each live lock lives
+  for (std::size_t i = 0; i < file.sanitized.size(); ++i) {
+    const std::string& line = file.sanitized[i];
+    // Events on this line, in column order: brace changes, lock
+    // declarations, blocking calls.
+    struct Event {
+      std::size_t col;
+      int kind;  // 0 = '{', 1 = '}', 2 = lock decl, 3 = blocking call
+      std::string what;
+    };
+    std::vector<Event> events;
+    for (std::size_t j = 0; j < line.size(); ++j) {
+      if (line[j] == '{') events.push_back({j, 0, "{"});
+      if (line[j] == '}') events.push_back({j, 1, "}"});
+    }
+    for (auto it = std::sregex_iterator(line.begin(), line.end(), kLockDecl);
+         it != std::sregex_iterator(); ++it) {
+      // Only a *guard declaration* counts: the type, optional template
+      // arguments, then a declarator identifier. This skips the class
+      // definition, constructors (`MutexLock(Mutex&...`), destructors
+      // and pass-by-reference mentions of the same names.
+      const std::size_t start = static_cast<std::size_t>(it->position());
+      if (start > 0 && line[start - 1] == '~') continue;
+      std::size_t pos = start + static_cast<std::size_t>(it->length());
+      while (pos < line.size() &&
+             std::isspace(static_cast<unsigned char>(line[pos])) != 0)
+        ++pos;
+      if (pos < line.size() && line[pos] == '<') {
+        int angle = 0;
+        while (pos < line.size()) {
+          if (line[pos] == '<') ++angle;
+          if (line[pos] == '>') --angle;
+          ++pos;
+          if (angle == 0) break;
+        }
+        while (pos < line.size() &&
+               std::isspace(static_cast<unsigned char>(line[pos])) != 0)
+          ++pos;
+      }
+      const char c = pos < line.size() ? line[pos] : '\0';
+      if (std::isalpha(static_cast<unsigned char>(c)) == 0 && c != '_')
+        continue;
+      events.push_back({start, 2, it->str()});
+    }
+    for (auto it = std::sregex_iterator(line.begin(), line.end(),
+                                        kBlockingCall);
+         it != std::sregex_iterator(); ++it)
+      events.push_back({static_cast<std::size_t>(it->position()), 3,
+                        (*it)[1].matched ? (*it)[1].str() : "join"});
+    std::sort(events.begin(), events.end(),
+              [](const Event& a, const Event& b) { return a.col < b.col; });
+    for (const Event& e : events) {
+      switch (e.kind) {
+        case 0:
+          ++depth;
+          break;
+        case 1:
+          --depth;
+          while (!lock_depths.empty() && lock_depths.back() > depth)
+            lock_depths.pop_back();
+          break;
+        case 2:
+          lock_depths.push_back(depth);
+          break;
+        case 3:
+          if (!lock_depths.empty()) {
+            report(file, static_cast<int>(i) + 1,
+                   static_cast<int>(e.col) + 1, "blocking-under-lock",
+                   "'" + e.what +
+                       "' called while a lock guard is live; release the "
+                       "lock first (CondVar::wait is the sanctioned way to "
+                       "sleep under a mutex)",
+                   findings);
+          }
+          break;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void run_rules(const SourceFile& file, const RuleOptions& options,
+               std::vector<Finding>& findings) {
+  rule_unordered_iteration(file, findings);
+  rule_raw_time_literal(file, options, findings);
+  rule_rng_construction(file, options, findings);
+  rule_blocking_under_lock(file, findings);
+}
+
+}  // namespace mrcp::lint

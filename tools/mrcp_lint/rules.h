@@ -1,0 +1,59 @@
+// mrcp-lint rule definitions.
+//
+// Four structural rules that the grep layer in scripts/lint.sh cannot
+// express (they need scope or declaration context, not just a pattern):
+//
+//   unordered-iteration   range-for over a std::unordered_{map,set,multimap,
+//                         multiset} — hash-order iteration feeding any
+//                         downstream plan/output ordering is nondeterministic
+//                         across standard libraries and even runs (pointer
+//                         hashing). Iterate a sorted copy or an index vector.
+//   raw-time-literal      Time{N}/Ticks{N} with |N| > 1 in production code
+//                         (src/ outside common/types.h): a raw tick count
+//                         hides its unit; route through seconds_to_ticks or
+//                         name the constant. Time{0}/Time{1} stay legal —
+//                         zero/epsilon have no unit ambiguity.
+//   rng-construction      constructing a std:: random engine or a
+//                         random_device outside src/common/rng.* —
+//                         all randomness must flow through RandomStream
+//                         (seeded, stream-split, reproducible).
+//   blocking-under-lock   a sleep/join/pool-wait call while a lock guard
+//                         (MutexLock, std::lock_guard, std::unique_lock,
+//                         std::scoped_lock) is live in an enclosing scope.
+//                         CondVar::wait is exempt: waiting with the lock
+//                         held is the point of a condition variable.
+//
+// Every rule honours the `lint-ok: <rule>` comment convention described
+// in docs/static_analysis.md.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "source_file.h"
+
+namespace mrcp::lint {
+
+struct Finding {
+  std::string file;
+  int line = 0;
+  int column = 0;  ///< 1-based.
+  std::string rule;
+  std::string message;
+};
+
+/// Options controlling which paths each rule applies to.
+struct RuleOptions {
+  /// raw-time-literal only fires inside this path fragment (production
+  /// code); tests/bench construct ad-hoc tick values by design.
+  std::string time_literal_scope = "src/";
+  /// Files whose path contains any of these fragments may construct RNG
+  /// engines (the RandomStream implementation itself).
+  std::vector<std::string> rng_home = {"src/common/rng."};
+};
+
+/// Run all rules over `file`, appending findings.
+void run_rules(const SourceFile& file, const RuleOptions& options,
+               std::vector<Finding>& findings);
+
+}  // namespace mrcp::lint

@@ -1,0 +1,40 @@
+// Lexical model of one source file for mrcp-lint.
+//
+// mrcp-lint works on a *sanitized* view of each translation unit: the
+// original text with comments and string/character literals blanked out
+// (replaced by spaces, newlines preserved), so structural rules can use
+// plain text scanning without tripping over `"for (auto& x : m)"` inside
+// a log message. Columns and line numbers in the sanitized view are
+// identical to the original, so findings point at real locations.
+//
+// Allow-listing follows the repo-wide `lint-ok: <rule>` convention
+// (docs/static_analysis.md): a comment containing `lint-ok: <rule>` on
+// the same line — or on a line of its own immediately above — suppresses
+// findings of that rule on that line.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace mrcp::lint {
+
+struct SourceFile {
+  std::string path;
+  /// Original text split into lines (no trailing '\n').
+  std::vector<std::string> lines;
+  /// Comment/string-blanked text, same line/column layout as `lines`.
+  std::vector<std::string> sanitized;
+  /// allow[i] = rules allow-listed for 1-based line i+1.
+  std::vector<std::set<std::string>> allow;
+
+  bool allowed(int line, const std::string& rule) const {
+    if (line < 1 || line > static_cast<int>(allow.size())) return false;
+    return allow[static_cast<std::size_t>(line - 1)].count(rule) > 0;
+  }
+};
+
+/// Load and sanitize `path`. Returns false when the file cannot be read.
+bool load_source(const std::string& path, SourceFile& out);
+
+}  // namespace mrcp::lint
