@@ -1,0 +1,82 @@
+#include "common/io/codec.h"
+
+#include <bit>
+#include <cstring>
+
+namespace mrcp::io {
+
+void Encoder::u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) u8(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void Encoder::u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) u8(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void Encoder::f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+void Encoder::bytes(std::string_view v) {
+  u32(static_cast<std::uint32_t>(v.size()));
+  bytes_.append(v.data(), v.size());
+}
+
+const char* Decoder::take(std::size_t n) {
+  if (!ok()) return nullptr;
+  if (bytes_.size() - offset_ < n) {
+    fail("input ends inside a " + std::to_string(n) + "-byte field");
+    return nullptr;
+  }
+  const char* p = bytes_.data() + offset_;
+  offset_ += n;
+  return p;
+}
+
+std::uint8_t Decoder::u8() {
+  const char* p = take(1);
+  return p != nullptr ? static_cast<std::uint8_t>(*p) : 0;
+}
+
+std::uint32_t Decoder::u32() {
+  const char* p = take(4);
+  if (p == nullptr) return 0;
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(static_cast<unsigned char>(p[i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+std::uint64_t Decoder::u64() {
+  const char* p = take(8);
+  if (p == nullptr) return 0;
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(p[i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+double Decoder::f64() { return std::bit_cast<double>(u64()); }
+
+std::string Decoder::bytes() {
+  const std::uint32_t n = u32();
+  // The length is untrusted: bounds-check it against what actually
+  // remains before allocating anything.
+  if (!ok()) return {};
+  if (bytes_.size() - offset_ < n) {
+    fail("byte-string length " + std::to_string(n) +
+         " exceeds remaining input");
+    return {};
+  }
+  const char* p = take(n);
+  return p != nullptr ? std::string(p, n) : std::string{};
+}
+
+void Decoder::fail(std::string message) {
+  if (!error_.empty()) return;  // keep the first violation's location
+  error_ = std::move(message) + " at byte " + std::to_string(offset_);
+}
+
+}  // namespace mrcp::io

@@ -1,0 +1,80 @@
+// Byte-level encode/decode primitives for the durability layer.
+//
+// Explicit little-endian fixed-width fields — no struct memcpy, no
+// host-endianness leakage, no padding bytes — so a journal or snapshot
+// written by one build is readable by any other. Higher layers
+// (core/journal.h) compose these into versioned per-type codecs.
+//
+// Decoding is total: a Decoder never aborts on malformed input. Reads
+// past the end (or a failed bounds check) latch an error with the byte
+// offset of the first violation and return zero values from then on; the
+// caller checks ok() once at the end. This is what lets corrupted or
+// truncated-inside-a-record journals be *rejected* with a location
+// instead of crashing the recovery path.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/types.h"
+
+namespace mrcp::io {
+
+/// Append-only byte buffer with fixed-width little-endian writers.
+class Encoder {
+ public:
+  void u8(std::uint8_t v) { bytes_.push_back(static_cast<char>(v)); }
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void f64(double v);  ///< IEEE-754 bit pattern, little-endian
+  void boolean(bool v) { u8(v ? 1 : 0); }
+  void ticks(Ticks t) { i64(t.count()); }
+  /// Length-prefixed byte string (u32 length + raw bytes).
+  void bytes(std::string_view v);
+
+  const std::string& str() const { return bytes_; }
+  std::string take() { return std::move(bytes_); }
+  std::size_t size() const { return bytes_.size(); }
+
+ private:
+  std::string bytes_;
+};
+
+/// Sequential reader over an encoded buffer. See the header comment for
+/// the error model.
+class Decoder {
+ public:
+  explicit Decoder(std::string_view bytes) : bytes_(bytes) {}
+
+  std::uint8_t u8();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  double f64();
+  bool boolean() { return u8() != 0; }
+  Ticks ticks() { return Ticks{i64()}; }
+  std::string bytes();
+
+  /// Latch an error at the current offset (for semantic checks layered
+  /// on top of the raw reads, e.g. an unsupported version byte).
+  void fail(std::string message);
+
+  bool ok() const { return error_.empty(); }
+  /// True when every byte was consumed and no error latched — the
+  /// "decoded exactly this type" post-condition.
+  bool done() const { return ok() && offset_ == bytes_.size(); }
+  /// Empty while ok(); else "<message> at byte <offset>".
+  const std::string& error() const { return error_; }
+  std::size_t offset() const { return offset_; }
+
+ private:
+  const char* take(std::size_t n);
+
+  std::string_view bytes_;
+  std::size_t offset_ = 0;
+  std::string error_;
+};
+
+}  // namespace mrcp::io

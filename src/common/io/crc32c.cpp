@@ -1,0 +1,60 @@
+#include "common/io/crc32c.h"
+
+#include <array>
+
+namespace mrcp::io {
+
+namespace {
+
+constexpr std::uint32_t kPoly = 0x82F63B78u;  // reflected Castagnoli
+
+struct Tables {
+  // tables[k][b]: CRC of byte b followed by k zero bytes — the classic
+  // slicing-by-four layout (process 4 input bytes per iteration).
+  std::array<std::array<std::uint32_t, 256>, 4> t{};
+
+  constexpr Tables() {
+    for (std::uint32_t b = 0; b < 256; ++b) {
+      std::uint32_t crc = b;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1u) != 0 ? kPoly : 0u);
+      }
+      t[0][b] = crc;
+    }
+    for (std::uint32_t b = 0; b < 256; ++b) {
+      std::uint32_t crc = t[0][b];
+      for (std::size_t k = 1; k < 4; ++k) {
+        crc = t[0][crc & 0xFFu] ^ (crc >> 8);
+        t[k][b] = crc;
+      }
+    }
+  }
+};
+
+constexpr Tables kTables{};
+
+}  // namespace
+
+std::uint32_t crc32c_extend(std::uint32_t crc, const void* data,
+                            std::size_t size) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  crc = ~crc;
+  while (size >= 4) {
+    crc ^= static_cast<std::uint32_t>(p[0]) |
+           (static_cast<std::uint32_t>(p[1]) << 8) |
+           (static_cast<std::uint32_t>(p[2]) << 16) |
+           (static_cast<std::uint32_t>(p[3]) << 24);
+    crc = kTables.t[3][crc & 0xFFu] ^ kTables.t[2][(crc >> 8) & 0xFFu] ^
+          kTables.t[1][(crc >> 16) & 0xFFu] ^ kTables.t[0][crc >> 24];
+    p += 4;
+    size -= 4;
+  }
+  while (size > 0) {
+    crc = kTables.t[0][(crc ^ *p) & 0xFFu] ^ (crc >> 8);
+    ++p;
+    --size;
+  }
+  return ~crc;
+}
+
+}  // namespace mrcp::io

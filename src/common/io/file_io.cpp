@@ -1,0 +1,40 @@
+#include "common/io/file_io.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+
+namespace mrcp::io {
+
+bool write_text_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.is_open()) return false;
+  out.write(content.data(), static_cast<std::streamsize>(content.size()));
+  out.flush();
+  return out.good();
+}
+
+bool read_file(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *out = std::move(buffer).str();
+  return !in.bad();
+}
+
+bool file_exists(const std::string& path) {
+  std::error_code ec;
+  return std::filesystem::is_regular_file(path, ec);
+}
+
+bool truncate_file(const std::string& path, std::uint64_t size) {
+  std::error_code ec;
+  const auto current = std::filesystem::file_size(path, ec);
+  if (ec || current < size) return false;
+  std::filesystem::resize_file(path, size, ec);
+  return !ec;
+}
+
+}  // namespace mrcp::io

@@ -1,0 +1,30 @@
+// Whole-file read/write helpers — the sanctioned home for raw file I/O.
+//
+// Everything in src/ that touches the filesystem goes through these (or
+// through record_io.h, which lives in the same directory); the
+// raw-file-io lint rule (tools/mrcp_lint) enforces it. Centralizing the
+// open/write/close dance keeps error handling and binary-mode behavior
+// uniform and gives the crash-injection harness one seam to reason
+// about.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace mrcp::io {
+
+/// Overwrite `path` with `content`. Returns false on any I/O error.
+bool write_text_file(const std::string& path, const std::string& content);
+
+/// Read all of `path` into `*out` (binary-exact). False if unreadable.
+bool read_file(const std::string& path, std::string* out);
+
+/// True if `path` exists and is a regular file.
+bool file_exists(const std::string& path);
+
+/// Shrink `path` to `size` bytes — recovery uses this to drop a torn
+/// frame tail before reopening a journal for append. False on error or
+/// if the file is already smaller.
+bool truncate_file(const std::string& path, std::uint64_t size);
+
+}  // namespace mrcp::io

@@ -1,0 +1,122 @@
+#include "common/io/record_io.h"
+
+#include <cstring>
+
+#include "common/io/codec.h"
+#include "common/io/crc32c.h"
+#include "common/io/file_io.h"
+
+namespace mrcp::io {
+
+namespace {
+
+constexpr std::size_t kHeaderBytes = 8;  // u32 length + u32 crc
+
+std::uint32_t load_u32(const char* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(static_cast<unsigned char>(p[i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+const char* read_status_name(ReadStatus status) {
+  switch (status) {
+    case ReadStatus::kOk:
+      return "ok";
+    case ReadStatus::kEof:
+      return "eof";
+    case ReadStatus::kTruncated:
+      return "truncated";
+    case ReadStatus::kCorrupt:
+      return "corrupt";
+  }
+  return "unknown";
+}
+
+std::string frame_record(std::string_view payload) {
+  Encoder enc;
+  enc.u32(static_cast<std::uint32_t>(payload.size()));
+  enc.u32(crc32c(payload));
+  std::string frame = enc.take();
+  frame.append(payload.data(), payload.size());
+  return frame;
+}
+
+ReadStatus RecordReader::next(std::string* payload) {
+  const std::size_t remaining = bytes_.size() - offset_;
+  if (remaining == 0) return ReadStatus::kEof;
+  if (remaining < kHeaderBytes) {
+    error_ = "torn frame header at byte " + std::to_string(offset_) + " (" +
+             std::to_string(remaining) + " of 8 header bytes)";
+    return ReadStatus::kTruncated;
+  }
+  const char* base = bytes_.data() + offset_;
+  const std::uint32_t length = load_u32(base);
+  const std::uint32_t expected_crc = load_u32(base + 4);
+  if (remaining - kHeaderBytes < length) {
+    error_ = "torn frame payload at byte " + std::to_string(offset_) + " (" +
+             std::to_string(remaining - kHeaderBytes) + " of " +
+             std::to_string(length) + " payload bytes)";
+    return ReadStatus::kTruncated;
+  }
+  const char* data = base + kHeaderBytes;
+  const std::uint32_t actual_crc = crc32c_extend(0, data, length);
+  if (actual_crc != expected_crc) {
+    error_ = "CRC mismatch in frame at byte " + std::to_string(offset_) +
+             " (record " + std::to_string(record_index_) + ")";
+    return ReadStatus::kCorrupt;
+  }
+  payload->assign(data, length);
+  offset_ += kHeaderBytes + length;
+  ++record_index_;
+  return ReadStatus::kOk;
+}
+
+FramedData read_framed(std::string_view bytes) {
+  FramedData out;
+  RecordReader reader(bytes);
+  std::string payload;
+  for (;;) {
+    const ReadStatus status = reader.next(&payload);
+    if (status == ReadStatus::kOk) {
+      out.records.push_back(std::move(payload));
+      payload.clear();
+      continue;
+    }
+    out.tail = status;
+    out.valid_bytes = reader.offset();
+    out.error = reader.error();
+    return out;
+  }
+}
+
+FramedData read_framed_file(const std::string& path, bool* opened) {
+  std::string bytes;
+  const bool ok = read_file(path, &bytes);
+  if (opened != nullptr) *opened = ok;
+  if (!ok) return FramedData{};
+  return read_framed(bytes);
+}
+
+bool FileRecordWriter::open(const std::string& path, bool truncate) {
+  out_.close();
+  out_.clear();
+  const auto mode =
+      std::ios::binary | (truncate ? std::ios::trunc : std::ios::app);
+  out_.open(path, mode);
+  return out_.is_open();
+}
+
+bool FileRecordWriter::append(std::string_view payload) {
+  if (!out_.is_open()) return false;
+  const std::string frame = frame_record(payload);
+  out_.write(frame.data(), static_cast<std::streamsize>(frame.size()));
+  out_.flush();
+  return out_.good();
+}
+
+}  // namespace mrcp::io

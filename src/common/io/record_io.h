@@ -1,0 +1,102 @@
+// Checksummed record framing — the on-disk format of the durability
+// layer (docs/crash_recovery.md).
+//
+// A framed stream is a sequence of records, each:
+//
+//   u32  payload length (little-endian)
+//   u32  CRC32C of the payload
+//   ...  payload bytes
+//
+// The reader is torn-write tolerant: a crash can leave a partial frame
+// at the end of a file (short header, short payload, or a payload whose
+// CRC does not match because only some of its bytes reached disk). Such
+// a tail is reported as kTruncated/kCorrupt together with the byte
+// offset of the last frame boundary — the caller truncates the file
+// there and the stream is exactly the records that were durably written.
+// Corruption *before* the tail (a bit flip inside an already-synced
+// record) is also caught by the CRC; recovery then keeps the valid
+// prefix and reports where trust ended.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mrcp::io {
+
+enum class ReadStatus : std::uint8_t {
+  kOk,         ///< a full record was read and its CRC matched
+  kEof,        ///< clean end exactly at a frame boundary
+  kTruncated,  ///< input ends inside a frame (torn tail)
+  kCorrupt,    ///< complete frame whose CRC does not match (bit flip)
+};
+
+const char* read_status_name(ReadStatus status);
+
+/// Wrap a payload in one frame (header + CRC + bytes).
+std::string frame_record(std::string_view payload);
+
+/// Sequential frame reader over an in-memory buffer.
+class RecordReader {
+ public:
+  explicit RecordReader(std::string_view bytes) : bytes_(bytes) {}
+
+  /// Read the next frame into `payload`. Returns kOk and advances on
+  /// success; any other status leaves the reader parked at the last
+  /// valid frame boundary (offset() is then the truncate-to point).
+  ReadStatus next(std::string* payload);
+
+  /// Byte offset of the next unread frame == end of the last valid one.
+  std::size_t offset() const { return offset_; }
+  /// Frames successfully returned so far (== record index of the next).
+  std::size_t record_index() const { return record_index_; }
+  /// Human-readable description after kTruncated/kCorrupt.
+  const std::string& error() const { return error_; }
+
+ private:
+  std::string_view bytes_;
+  std::size_t offset_ = 0;
+  std::size_t record_index_ = 0;
+  std::string error_;
+};
+
+/// Everything read_framed() recovered from a buffer: the valid record
+/// prefix, how the stream ended, and where the valid bytes stop.
+struct FramedData {
+  std::vector<std::string> records;
+  ReadStatus tail = ReadStatus::kEof;  ///< kEof == the whole buffer was valid
+  ///< truncate-to offset (end of the last valid record)
+  std::size_t valid_bytes = 0;
+  std::string error;            ///< description when tail != kEof
+};
+
+/// Decode a whole framed buffer, truncating to the last valid record.
+FramedData read_framed(std::string_view bytes);
+
+/// Decode a whole framed file. `*opened` (if non-null) reports whether
+/// the file could be read at all (a missing file yields an empty,
+/// clean-tailed result with *opened == false).
+FramedData read_framed_file(const std::string& path, bool* opened = nullptr);
+
+/// Appends framed records to a file. Writes are flushed per record so a
+/// crash loses at most the in-flight frame — which the reader then
+/// truncates away (write-ahead semantics).
+class FileRecordWriter {
+ public:
+  /// `truncate` starts a fresh stream; otherwise appends to an existing
+  /// one (recovery reopens the journal this way after truncating the
+  /// torn tail).
+  bool open(const std::string& path, bool truncate);
+  bool is_open() const { return out_.is_open(); }
+  /// False on I/O error (disk full, closed stream).
+  bool append(std::string_view payload);
+  void close() { out_.close(); }
+
+ private:
+  std::ofstream out_;
+};
+
+}  // namespace mrcp::io

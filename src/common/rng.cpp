@@ -1,6 +1,7 @@
 #include "common/rng.h"
 
 #include <algorithm>
+#include <sstream>
 
 #include "common/check.h"
 
@@ -46,6 +47,21 @@ double RandomStream::exponential(double rate) {
 double RandomStream::lognormal(double mu, double sigma) {
   MRCP_CHECK(sigma >= 0.0);
   return std::lognormal_distribution<double>(mu, sigma)(engine_);
+}
+
+std::string RandomStream::save_state() const {
+  std::ostringstream out;
+  out << engine_;
+  return std::move(out).str();
+}
+
+bool RandomStream::load_state(const std::string& state) {
+  std::istringstream in(state);
+  std::mt19937_64 restored;  // overwritten below (lint-ok: no-unseeded-rng)
+  in >> restored;
+  if (in.fail()) return false;
+  engine_ = restored;
+  return true;
 }
 
 }  // namespace mrcp

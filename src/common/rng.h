@@ -12,6 +12,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <random>
+#include <string>
 
 namespace mrcp {
 
@@ -51,6 +52,13 @@ class RandomStream {
   void shuffle(It first, It last) {
     std::shuffle(first, last, engine_);
   }
+
+  /// Serialize the engine state (mt19937_64's textual form) so a
+  /// snapshot can freeze a stream mid-sequence and resume it exactly.
+  std::string save_state() const;
+  /// Restore a state captured by save_state(). False on malformed input
+  /// (the stream is left unchanged in that case).
+  bool load_state(const std::string& state);
 
  private:
   std::mt19937_64 engine_;  // seeded in every ctor (lint-ok: no-unseeded-rng)

@@ -1,10 +1,10 @@
 #include "common/table.h"
 
 #include <cstdio>
-#include <fstream>
 #include <sstream>
 
 #include "common/check.h"
+#include "common/io/file_io.h"
 
 namespace mrcp {
 
@@ -64,10 +64,8 @@ std::string Table::to_csv() const {
 }
 
 bool Table::write_csv(const std::string& path) const {
-  std::ofstream out(path);
-  if (!out) return false;
-  out << to_csv();
-  return static_cast<bool>(out);
+  // Routed through the sanctioned raw-I/O home (mrcp-lint raw-file-io).
+  return io::write_text_file(path, to_csv());
 }
 
 }  // namespace mrcp

@@ -5,11 +5,14 @@
 #include <span>
 #include <utility>
 
+#include <cmath>
+
 #include "common/check.h"
 #include "common/log.h"
 #include "common/rng.h"
 #include "common/stopwatch.h"
 #include "core/fallback_scheduler.h"
+#include "core/journal.h"
 #include "core/matchmaker.h"
 #include "core/model_builder.h"
 #include "cp/audit.h"
@@ -30,6 +33,9 @@ void MrcpRm::handle_resource_down(ResourceId resource, Time now) {
   down_[ri] = 1;
   ++stats_.resource_down_events;
   dirty_ = true;
+  if (journal_ != nullptr) {
+    journal_append(encode_resource_down_event(resource, now));
+  }
   cluster_.set_resource_capacity(resource, 0, 0);
   // A fully-down cluster is survivable: park_unplaceable() parks every
   // live job until a repair restores capacity (pre-degradation code
@@ -60,6 +66,9 @@ void MrcpRm::handle_resource_up(ResourceId resource, Time now) {
   down_[ri] = 0;
   ++stats_.resource_up_events;
   dirty_ = true;
+  if (journal_ != nullptr) {
+    journal_append(encode_resource_up_event(resource, now));
+  }
   // A repair can unblock parked work: parked jobs join the dirty set so
   // the next incremental invocation re-attempts them (reschedule() also
   // folds parked_ in defensively — see the comment there).
@@ -73,6 +82,7 @@ void MrcpRm::submit(const Job& job, Time now) {
   MRCP_CHECK_MSG(validate_job(job).empty(), "submitted job is invalid");
   MRCP_CHECK_MSG(active_.find(job.id) == active_.end(), "duplicate job id");
   ++stats_.jobs_submitted;
+  if (journal_ != nullptr) journal_append(encode_submit_event(job, now));
 
   if (config_.defer_future_jobs &&
       job.earliest_start - config_.deferral_window > now) {
@@ -85,10 +95,12 @@ void MrcpRm::submit(const Job& job, Time now) {
   // triggering a doomed full re-solve per arrival. Never taken on the
   // healthy path (streak 0), so default behaviour is unchanged.
   if (config_.degrade_backpressure && degraded_streak_ > 0) {
-    const Time hold =
-        config_.backpressure_hold *
-        static_cast<std::int64_t>(std::min<std::uint64_t>(degraded_streak_, 8));
-    deferred_.emplace(now + hold, job);
+    // Saturating fold: an extreme configured hold (or a hold near the
+    // time horizon) clamps to kMaxTime instead of wrapping into the past.
+    const Time hold = saturating_mul(
+        config_.backpressure_hold,
+        static_cast<std::int64_t>(std::min<std::uint64_t>(degraded_streak_, 8)));
+    deferred_.emplace(saturating_add(now, hold), job);
     ++stats_.jobs_backpressured;
     return;
   }
@@ -119,6 +131,7 @@ void MrcpRm::release_deferred(Time now) {
   while (!deferred_.empty() && deferred_.begin()->first <= now) {
     Job job = std::move(deferred_.begin()->second);
     deferred_.erase(deferred_.begin());
+    if (journal_ != nullptr) journal_append(encode_release_event(job.id, now));
     JobState st;
     st.completed.assign(job.num_tasks(), 0);
     st.assignments.assign(job.num_tasks(), Assignment{});
@@ -152,6 +165,9 @@ void MrcpRm::sweep_completed(Time now) {
     if (all_done) {
       ++stats_.jobs_completed;
       if (completion > st.job.deadline) ++stats_.jobs_completed_late;
+      if (journal_ != nullptr) {
+        journal_append(encode_completion_event(it->first, completion));
+      }
       // Dirty-set invariant: dirty_jobs_ ⊆ active jobs. A completed
       // job's placements leave the boundary by dropping out of the live
       // set — the remaining frozen assignments stay feasible (capacity
@@ -538,7 +554,7 @@ const Plan& MrcpRm::reschedule(Time now) {
     rec.dirty_jobs = dirty_jobs_.size();
     for (const LiveJob& lj : live) {
       for (const LiveTask& lt : lj.tasks) {
-        rec.frozen_tasks += lt.started && lt.start > now ? 1 : 0;
+        if (lt.started && lt.start > now) ++rec.frozen_tasks;
       }
     }
   } else {
@@ -703,8 +719,12 @@ const Plan& MrcpRm::reschedule(Time now) {
         MRCP_CHECK_MSG(frozen_err.empty(), frozen_err.c_str());
 
         cp::SolveParams retry_params = params;
+        // ldexp, not (1 << retry): a configured max_solve_retries >= 31
+        // would make the int shift UB. The exponent is additionally
+        // capped — doublings beyond 2^40 are already far past any
+        // invocation watchdog, so the budget simply saturates there.
         retry_params.time_limit_s =
-            config_.solve.time_limit_s * static_cast<double>(1 << retry);
+            std::ldexp(config_.solve.time_limit_s, std::min(retry, 40));
         retry_params.improvement_fails = 0;  // descent-only: cheapest
         retry_params.lns_iterations = 0;     // complete schedule wins
         Deadline retry_deadline(
@@ -816,7 +836,14 @@ const Plan& MrcpRm::reschedule(Time now) {
                         outcome == InvocationOutcome::kParked ||
                         !parked_.empty();
   degraded_streak_ = degraded ? degraded_streak_ + 1 : 0;
-  if (!parked_.empty()) park_retry_at_ = now + config_.park_retry_delay;
+  if (!parked_.empty()) {
+    // Saturating: a park_retry_delay near the horizon pins the retry at
+    // kMaxTime instead of wrapping negative (and so never waking up).
+    park_retry_at_ = saturating_add(now, config_.park_retry_delay);
+    if (journal_ != nullptr) {
+      journal_append(encode_park_retry_event(park_retry_at_, parked_));
+    }
+  }
 
   publish_plan(now);
   rec.epoch = plan_.epoch;
@@ -866,6 +893,201 @@ void MrcpRm::publish_plan(Time now) {
     const std::string err = validate_plan(plan_, cluster_, jobs_by_id);
     MRCP_CHECK_MSG(err.empty(), err.c_str());
   }
+  if (journal_ != nullptr) journal_append(encode_plan_event(plan_));
+}
+
+void MrcpRm::journal_append(const std::string& payload) {
+  if (journal_ == nullptr) return;
+  MRCP_CHECK_MSG(journal_->append(payload), journal_->error().c_str());
+}
+
+namespace {
+constexpr std::uint8_t kRmStateVersion = 1;
+}  // namespace
+
+std::string MrcpRm::encode_state() const {
+  io::Encoder enc;
+  enc.u8(kRmStateVersion);
+  enc.u32(static_cast<std::uint32_t>(down_.size()));
+  for (const std::uint8_t flag : down_) enc.boolean(flag != 0);
+  enc.u32(static_cast<std::uint32_t>(active_.size()));
+  for (const auto& [id, st] : active_) {
+    // The map key is st.job.id; per-task flag/assignment counts are the
+    // job's task count — neither is encoded separately.
+    encode_job(enc, st.job);
+    for (const std::uint8_t flag : st.completed) enc.boolean(flag != 0);
+    for (const Assignment& as : st.assignments) {
+      enc.i64(as.resource);
+      enc.ticks(as.start);
+      enc.ticks(as.end);
+    }
+  }
+  enc.u32(static_cast<std::uint32_t>(deferred_.size()));
+  for (const auto& [release_at, job] : deferred_) {
+    enc.ticks(release_at);
+    encode_job(enc, job);
+  }
+  encode_plan(enc, plan_);
+  encode_mrcp_stats(enc, stats_);
+  enc.u32(static_cast<std::uint32_t>(parked_.size()));
+  for (const JobId id : parked_) enc.i64(id);
+  enc.ticks(park_retry_at_);
+  enc.u64(degraded_streak_);
+  enc.boolean(dirty_);
+  encode_ledger(enc, ledger_);
+  enc.u32(static_cast<std::uint32_t>(dirty_jobs_.size()));
+  for (const JobId id : dirty_jobs_) enc.i64(id);
+  // Informational: the cache itself is rebuilt cold after a restore (the
+  // incremental-vs-full differential proved cache on/off byte-identical,
+  // so a cold cache cannot change any published plan).
+  enc.u64(model_cache_ != nullptr ? model_cache_->fingerprint : 0);
+  return enc.take();
+}
+
+bool MrcpRm::restore_state(std::string_view state, std::string* error) {
+  const auto fail = [error](const std::string& message) {
+    if (error != nullptr) *error = message;
+    return false;
+  };
+  io::Decoder dec(state);
+  const std::uint8_t version = dec.u8();
+  if (dec.ok() && version != kRmStateVersion) {
+    return fail("unsupported RM state version " + std::to_string(version));
+  }
+  const std::uint32_t num_resources = dec.u32();
+  if (dec.ok() && num_resources != static_cast<std::uint32_t>(cluster_.size())) {
+    return fail("snapshot cluster has " + std::to_string(num_resources) +
+                " resources, this RM has " + std::to_string(cluster_.size()));
+  }
+  std::vector<std::uint8_t> down(down_.size(), 0);
+  for (std::size_t r = 0; r < down.size() && dec.ok(); ++r) {
+    down[r] = dec.boolean() ? 1 : 0;
+  }
+  std::map<JobId, JobState> active;
+  const std::uint32_t num_active = dec.u32();
+  for (std::uint32_t i = 0; i < num_active && dec.ok(); ++i) {
+    JobState st;
+    st.job = decode_job(dec);
+    st.completed.assign(st.job.num_tasks(), 0);
+    st.assignments.assign(st.job.num_tasks(), Assignment{});
+    for (std::size_t ti = 0; ti < st.job.num_tasks() && dec.ok(); ++ti) {
+      st.completed[ti] = dec.boolean() ? 1 : 0;
+    }
+    for (std::size_t ti = 0; ti < st.job.num_tasks() && dec.ok(); ++ti) {
+      Assignment& as = st.assignments[ti];
+      const std::int64_t resource = dec.i64();
+      as.resource = static_cast<ResourceId>(resource);
+      as.start = dec.ticks();
+      as.end = dec.ticks();
+    }
+    const JobId id = st.job.id;
+    if (dec.ok() && !active.emplace(id, std::move(st)).second) {
+      return fail("duplicate active job " + std::to_string(id) +
+                  " in snapshot");
+    }
+  }
+  std::multimap<Time, Job> deferred;
+  const std::uint32_t num_deferred = dec.u32();
+  for (std::uint32_t i = 0; i < num_deferred && dec.ok(); ++i) {
+    const Time release_at = dec.ticks();
+    deferred.emplace(release_at, decode_job(dec));
+  }
+  Plan plan = decode_plan(dec);
+  MrcpStats stats = decode_mrcp_stats(dec);
+  std::set<JobId> parked;
+  const std::uint32_t num_parked = dec.u32();
+  for (std::uint32_t i = 0; i < num_parked && dec.ok(); ++i) {
+    parked.insert(static_cast<JobId>(dec.i64()));
+  }
+  const Time park_retry_at = dec.ticks();
+  const std::uint64_t degraded_streak = dec.u64();
+  const bool dirty = dec.boolean();
+  DegradationLedger ledger = decode_ledger(dec);
+  std::set<JobId> dirty_jobs;
+  const std::uint32_t num_dirty = dec.u32();
+  for (std::uint32_t i = 0; i < num_dirty && dec.ok(); ++i) {
+    dirty_jobs.insert(static_cast<JobId>(dec.i64()));
+  }
+  dec.u64();  // model-cache fingerprint: informational, cache restarts cold
+  if (!dec.ok()) return fail("corrupt RM state: " + dec.error());
+  if (!dec.done()) {
+    return fail("trailing bytes after RM state at byte " +
+                std::to_string(dec.offset()));
+  }
+
+  down_ = std::move(down);
+  for (ResourceId r = 0; r < cluster_.size(); ++r) {
+    const Resource& base = pristine_cluster_.resource(r);
+    const bool is_down = down_[static_cast<std::size_t>(r)] != 0;
+    cluster_.set_resource_capacity(r, is_down ? 0 : base.map_capacity,
+                                   is_down ? 0 : base.reduce_capacity);
+  }
+  active_ = std::move(active);
+  deferred_ = std::move(deferred);
+  plan_ = std::move(plan);
+  stats_ = stats;
+  parked_ = std::move(parked);
+  park_retry_at_ = park_retry_at;
+  degraded_streak_ = degraded_streak;
+  dirty_ = dirty;
+  ledger_ = std::move(ledger);
+  dirty_jobs_ = std::move(dirty_jobs);
+  model_cache_.reset();
+  return true;
+}
+
+bool MrcpRm::restore(std::string_view snapshot_state,
+                     const std::vector<std::string>& journal_suffix,
+                     std::string* error) {
+  if (!restore_state(snapshot_state, error)) return false;
+  // Replay re-executes the real logic, so it must not re-journal; the
+  // caller re-attaches (or the sim driver resumes in verify mode).
+  Journal* const saved_journal = journal_;
+  journal_ = nullptr;
+  for (std::size_t i = 0; i < journal_suffix.size(); ++i) {
+    JournalEvent event;
+    if (!decode_journal_event(journal_suffix[i], &event, error)) {
+      journal_ = saved_journal;
+      return false;
+    }
+    switch (event.type) {
+      case JournalEventType::kSubmit:
+        submit(event.job, event.time);
+        break;
+      case JournalEventType::kResourceDown:
+        handle_resource_down(event.resource, event.time);
+        break;
+      case JournalEventType::kResourceUp:
+        handle_resource_up(event.resource, event.time);
+        break;
+      case JournalEventType::kPlanPublished: {
+        // Inputs were re-applied above; re-running the deterministic
+        // solve must re-derive the exact journaled plan.
+        reschedule(event.time);
+        io::Encoder replayed;
+        encode_plan(replayed, plan_);
+        io::Encoder journaled;
+        encode_plan(journaled, event.plan);
+        if (replayed.str() != journaled.str()) {
+          if (error != nullptr) {
+            *error = "replayed plan diverges from journal record " +
+                     std::to_string(i) + " (epoch " +
+                     std::to_string(event.plan.epoch) + ")";
+          }
+          journal_ = saved_journal;
+          return false;
+        }
+        break;
+      }
+      case JournalEventType::kRelease:
+      case JournalEventType::kCompletion:
+      case JournalEventType::kParkRetry:
+        // Outputs of reschedule(); re-derived by the replayed calls.
+        break;
+    }
+  }
+  journal_ = saved_journal;
+  return true;
 }
 
 }  // namespace mrcp

@@ -30,6 +30,8 @@
 #include <memory>
 #include <optional>
 #include <set>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/types.h"
@@ -41,6 +43,8 @@
 #include "mapreduce/job.h"
 
 namespace mrcp {
+
+class Journal;
 
 /// How much of the existing schedule each invocation reconsiders.
 enum class ReplanScope {
@@ -215,6 +219,34 @@ class MrcpRm {
   /// embed in sim::SimMetrics.
   DegradationCounts degradation_counts() const;
 
+  // ---- Durability (docs/crash_recovery.md) ----
+
+  /// Attach a write-ahead journal: from now on every scheduler-visible
+  /// event (submission, release, completion, fault activity, every
+  /// published plan, park-retry arming) appends one record. Null
+  /// detaches; the default is off and costs nothing.
+  void attach_journal(Journal* journal) { journal_ = journal; }
+
+  /// Serialize the RM's full mutable state — active/deferred/parked
+  /// jobs, current plan, stats, degradation ledger, dirty set, fault
+  /// flags, model-cache fingerprint — as a versioned blob.
+  std::string encode_state() const;
+
+  /// Restore state captured by encode_state(). The RM must have been
+  /// constructed with the same cluster and config as the captured one.
+  /// False (with *error set) on truncation, corruption, version or
+  /// cluster-shape mismatch; the RM is unusable after a failed restore.
+  bool restore_state(std::string_view state, std::string* error);
+
+  /// Restore a snapshot, then replay a journal suffix on top of it:
+  /// input events (submissions, faults) are re-applied, and each
+  /// journaled plan triggers a real reschedule() whose published plan is
+  /// byte-compared against the record — re-deriving the outputs proves
+  /// the restored state equivalent instead of trusting it.
+  bool restore(std::string_view snapshot_state,
+               const std::vector<std::string>& journal_suffix,
+               std::string* error);
+
  private:
   struct Assignment {
     ResourceId resource = kNoResource;
@@ -251,6 +283,10 @@ class MrcpRm {
   /// even the pristine cluster cannot host is a workload error and stays
   /// fatal. Rebuilds `parked_`.
   void park_unplaceable(std::vector<LiveJob>& live, Time now);
+  /// Append one record to the attached journal (no-op when detached);
+  /// a failed append — I/O error or resume-verification divergence — is
+  /// fatal, which is what the crash-injection harness leans on.
+  void journal_append(const std::string& payload);
   /// Drop the unstarted tasks of already-parked jobs from a re-collected
   /// live set (retry rungs re-collect; parking must not be re-decided
   /// mid-invocation).
@@ -294,6 +330,9 @@ class MrcpRm {
     std::optional<cp::SearchRoot> root;
   };
   std::unique_ptr<ModelCacheEntry> model_cache_;
+
+  /// Write-ahead journal; null (the default) disables all journaling.
+  Journal* journal_ = nullptr;
 };
 
 }  // namespace mrcp

@@ -6,10 +6,22 @@ bool EventHandle::pending() const {
   return state_ && !state_->cancelled && !state_->fired;
 }
 
+std::uint64_t EventHandle::seq() const {
+  MRCP_CHECK(state_ != nullptr);
+  return state_->seq;
+}
+
+Time EventHandle::time() const {
+  MRCP_CHECK(state_ != nullptr);
+  return state_->time;
+}
+
 EventHandle Simulation::schedule_at(Time at, std::function<void()> fn) {
   MRCP_CHECK_MSG(at >= now_, "cannot schedule event in the past");
   MRCP_CHECK(fn != nullptr);
   auto state = std::make_shared<EventHandle::State>();
+  state->time = at;
+  state->seq = next_seq_;
   queue_.push(Event{at, next_seq_++, std::move(fn), state});
   ++pending_count_;
   ++stats_.scheduled;
@@ -50,6 +62,12 @@ bool Simulation::step(Time until) {
     return true;
   }
   return false;
+}
+
+void Simulation::restore_clock(Time at) {
+  MRCP_CHECK_MSG(empty(), "restore_clock requires an empty event list");
+  MRCP_CHECK(at >= now_);
+  now_ = at;
 }
 
 void Simulation::run(Time until) {

@@ -38,10 +38,18 @@ class EventHandle {
   bool valid() const { return state_ != nullptr; }
   /// True if the event has neither fired nor been cancelled.
   bool pending() const;
+  /// Scheduling metadata of the referenced event. The sequence number is
+  /// what snapshot/restore uses to rebuild the event list with the exact
+  /// same-tick tie-break order as the original run (docs/crash_recovery.md).
+  /// Requires valid().
+  std::uint64_t seq() const;
+  Time time() const;
 
  private:
   friend class Simulation;
   struct State {
+    Time time = kTimeZero;
+    std::uint64_t seq = 0;
     bool cancelled = false;
     bool fired = false;
   };
@@ -93,6 +101,11 @@ class Simulation {
   bool empty() const { return pending_count_ == 0; }
   std::size_t pending_events() const { return pending_count_; }
   const SimulationStats& stats() const { return stats_; }
+
+  /// Jump the clock of an *empty* simulation forward to `at` — used when
+  /// resuming from a snapshot before re-scheduling the captured pending
+  /// events (each at a time >= the snapshot instant).
+  void restore_clock(Time at);
 
  private:
   struct Event {

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "common/check.h"
+#include "common/io/file_io.h"
 
 namespace mrcp {
 
@@ -61,10 +62,8 @@ std::string workload_to_string(const Workload& workload) {
 }
 
 bool save_workload_file(const Workload& workload, const std::string& path) {
-  std::ofstream out(path);
-  if (!out) return false;
-  save_workload(workload, out);
-  return static_cast<bool>(out);
+  // Routed through the sanctioned raw-I/O home (mrcp-lint raw-file-io).
+  return io::write_text_file(path, workload_to_string(workload));
 }
 
 namespace {
@@ -75,23 +74,38 @@ class Parser {
 
   /// Next non-comment, non-empty line; false at EOF.
   bool next_line(std::string& line) {
-    while (std::getline(in_, line)) {
+    while (true) {
+      // Remember where the line starts so errors can point at the exact
+      // byte, not just the line (workload files are machine-generated
+      // and often one long line-per-record stream).
+      const auto pos = in_.tellg();
+      if (!std::getline(in_, line)) return false;
       ++line_number_;
+      if (pos != std::istream::pos_type(-1)) {
+        line_start_ = static_cast<std::int64_t>(pos);
+      }
       // Trim trailing CR for files written on other platforms.
       if (!line.empty() && line.back() == '\r') line.pop_back();
       if (line.empty() || line[0] == '#') continue;
+      ++record_index_;
       return true;
     }
-    return false;
   }
 
+  /// Location of the last line handed out: line number, byte offset of
+  /// its first character, and its 1-based record index (comments and
+  /// blank lines don't count as records).
   [[nodiscard]] std::string where() const {
-    return "line " + std::to_string(line_number_);
+    return "line " + std::to_string(line_number_) + " (byte " +
+           std::to_string(line_start_) + ", record " +
+           std::to_string(record_index_) + ")";
   }
 
  private:
   std::istream& in_;
   int line_number_ = 0;
+  std::int64_t line_start_ = 0;
+  std::int64_t record_index_ = 0;
 };
 
 bool fail(std::string* error, const std::string& message) {
@@ -228,8 +242,8 @@ bool parse_workload(std::istream& in, Workload& workload, std::string* error) {
     }
     const std::string err = validate_job(job);
     if (!err.empty()) {
-      return fail(error,
-                  "job " + std::to_string(job.id) + " invalid: " + err);
+      return fail(error, parser.where() + ": job " + std::to_string(job.id) +
+                             " invalid: " + err);
     }
     workload.jobs.push_back(std::move(job));
   }

@@ -10,10 +10,11 @@
 #include "baseline/minedf_wc.h"
 #include "common/check.h"
 #include "des/simulation.h"
+#include "sim/sim_internal.h"
 
 namespace mrcp::sim {
 
-namespace {
+namespace internal {
 
 std::vector<JobRecord> make_records(const Workload& workload) {
   std::vector<JobRecord> records(workload.jobs.size());
@@ -31,6 +32,12 @@ std::vector<JobRecord> make_records(const Workload& workload) {
   }
   return records;
 }
+
+}  // namespace internal
+
+namespace {
+
+using internal::make_records;
 
 bool cluster_constrains_links(const Cluster& cluster) {
   for (const Resource& r : cluster.resources()) {
@@ -216,234 +223,6 @@ std::string validate_execution(const Workload& workload,
 std::string validate_execution(const Workload& workload,
                                const std::vector<ExecutedTask>& executed) {
   return validate_execution(workload, executed, {}, {});
-}
-
-SimMetrics simulate_mrcp(const Workload& workload, const MrcpConfig& config,
-                         const SimOptions& options) {
-  MRCP_CHECK_MSG(validate_workload(workload).empty(), "invalid workload");
-  const FaultConfig& faults = options.faults;
-  {
-    const std::string fault_err = faults.validate();
-    MRCP_CHECK_MSG(fault_err.empty(), fault_err.c_str());
-  }
-
-  SimMetrics metrics;
-
-  // Stragglers are an up-front workload transform: both the RM and the
-  // post-hoc validator see the true (slowed) durations.
-  Workload straggled;
-  const Workload* active_workload = &workload;
-  if (faults.stragglers_enabled()) {
-    straggled = workload;
-    metrics.failure.straggler_tasks = apply_stragglers(straggled, faults);
-    active_workload = &straggled;
-  }
-  const Workload& w = *active_workload;
-
-  des::Simulation des;
-  MrcpConfig rm_config = config;
-  rm_config.validate_plans = rm_config.validate_plans || options.validate_plans;
-  MrcpRm rm(w.cluster, rm_config);
-  FaultInjector injector(w.cluster.size(), faults);
-
-  metrics.records = make_records(w);
-  std::vector<ExecutedTask> executed;
-  std::size_t jobs_left = w.jobs.size();
-
-  // Per-task driver state.
-  struct TaskState {
-    des::EventHandle end_event;
-    bool started = false;
-    ResourceId resource = kNoResource;
-    Time start = kNoTime;
-    Time end = kNoTime;
-  };
-  std::vector<std::vector<TaskState>> tasks(w.jobs.size());
-  std::vector<std::size_t> remaining(w.jobs.size());
-  for (const Job& job : w.jobs) {
-    tasks[static_cast<std::size_t>(job.id)].resize(job.num_tasks());
-    remaining[static_cast<std::size_t>(job.id)] = job.num_tasks();
-  }
-
-  des::EventHandle deferral_wakeup;
-  Time deferral_wakeup_at = kNoTime;
-
-  // Forward declarations via std::function so the plan applier can
-  // schedule completion events that re-enter nothing (completions do not
-  // trigger rescheduling in MRCP-RM: the plan already extends beyond
-  // them; only arrivals, deferral releases and faults do).
-  std::function<void(const Plan&)> apply_plan;
-  std::function<void()> update_deferral_wakeup;
-
-  auto on_task_end = [&](JobId job_id, int task_index) {
-    const auto ji = static_cast<std::size_t>(job_id);
-    TaskState& ts = tasks[ji][static_cast<std::size_t>(task_index)];
-    MRCP_CHECK(ts.started);
-    MRCP_CHECK(des.now() == ts.end);
-    executed.push_back(
-        ExecutedTask{job_id, task_index, ts.resource, ts.start, ts.end});
-    MRCP_CHECK(remaining[ji] > 0);
-    if (--remaining[ji] == 0) {
-      JobRecord& record = metrics.records[ji];
-      finish_job_record(record, des.now());
-      if (record.late && record.failure_affected) {
-        ++metrics.failure.jobs_late_failure_affected;
-      }
-      MRCP_CHECK(jobs_left > 0);
-      // Once the workload drains, stop injecting faults so the event
-      // list can empty.
-      if (--jobs_left == 0) injector.stop(des);
-    }
-  };
-
-  apply_plan = [&](const Plan& plan) {
-    if (plan.parked_tasks > 0) {
-      // A degraded plan may omit the unstarted tasks of parked jobs
-      // (no currently-up resource can host them). Any end event still
-      // pending from a previous epoch for such a task is stale — cancel
-      // it and forget the placement; the RM re-plans the task once
-      // capacity returns.
-      std::set<std::pair<JobId, int>> in_plan;
-      for (const PlannedTask& pt : plan.tasks) {
-        in_plan.emplace(pt.job, pt.task_index);
-      }
-      for (std::size_t ji = 0; ji < tasks.size(); ++ji) {
-        for (std::size_t ti = 0; ti < tasks[ji].size(); ++ti) {
-          TaskState& ts = tasks[ji][ti];
-          if (ts.started || !ts.end_event.pending()) continue;
-          if (in_plan.count({static_cast<JobId>(ji), static_cast<int>(ti)})) {
-            continue;
-          }
-          des.cancel(ts.end_event);
-          ts = TaskState{};
-        }
-      }
-    }
-    for (const PlannedTask& pt : plan.tasks) {
-      const auto ji = static_cast<std::size_t>(pt.job);
-      TaskState& ts = tasks[ji][static_cast<std::size_t>(pt.task_index)];
-      if (ts.started) {
-        // Running (or finished-this-tick) tasks must keep their placement.
-        MRCP_CHECK_MSG(ts.resource == pt.resource && ts.start == pt.start &&
-                           ts.end == pt.end,
-                       "RM moved a started task");
-        continue;
-      }
-      if (pt.started) {
-        // Starts now (or started at this very tick): commit it.
-        ts.started = true;
-        ts.resource = pt.resource;
-        ts.start = pt.start;
-        ts.end = pt.end;
-        if (ts.end_event.pending()) des.cancel(ts.end_event);
-        const JobId job_id = pt.job;
-        const int task_index = pt.task_index;
-        ts.end_event = des.schedule_at(
-            pt.end, [&, job_id, task_index] { on_task_end(job_id, task_index); });
-        continue;
-      }
-      // Future task: (re)schedule its completion event; a later replan may
-      // cancel it again.
-      if (ts.end_event.pending()) des.cancel(ts.end_event);
-      ts.resource = pt.resource;
-      ts.start = pt.start;
-      ts.end = pt.end;
-      const JobId job_id = pt.job;
-      const int task_index = pt.task_index;
-      ts.end_event = des.schedule_at(pt.end, [&, job_id, task_index] {
-        TaskState& inner = tasks[static_cast<std::size_t>(job_id)]
-                                [static_cast<std::size_t>(task_index)];
-        // The task implicitly started at inner.start; mark and complete.
-        inner.started = true;
-        on_task_end(job_id, task_index);
-      });
-    }
-    // Mark plan-started tasks that begin before their end event fires:
-    // handled lazily above; nothing else to do.
-  };
-
-  update_deferral_wakeup = [&]() {
-    const Time next = rm.next_deferred_release();
-    if (next == deferral_wakeup_at) return;
-    if (deferral_wakeup.pending()) des.cancel(deferral_wakeup);
-    deferral_wakeup_at = next;
-    if (next == kNoTime) return;
-    const Time at = std::max(next, des.now());
-    deferral_wakeup = des.schedule_at(at, [&] {
-      deferral_wakeup_at = kNoTime;
-      const Plan& plan = rm.reschedule(des.now());
-      apply_plan(plan);
-      update_deferral_wakeup();
-    });
-  };
-
-  auto on_resource_down = [&](ResourceId r, Time t) {
-    // Kill every attempt occupying the failed resource at t: any task
-    // whose interval began before t, plus tasks explicitly committed at
-    // this very tick (started flag). A merely *planned* task starting at
-    // t has not begun — the RM re-places it below. Tasks ending exactly
-    // at t completed normally.
-    for (std::size_t ji = 0; ji < tasks.size(); ++ji) {
-      for (std::size_t ti = 0; ti < tasks[ji].size(); ++ti) {
-        TaskState& ts = tasks[ji][ti];
-        if (!ts.end_event.pending() || ts.resource != r) continue;
-        const bool occupies = ts.start < t || (ts.started && ts.start == t);
-        if (!occupies || ts.end <= t) continue;
-        des.cancel(ts.end_event);
-        metrics.killed.push_back(ExecutedTask{static_cast<JobId>(ji),
-                                              static_cast<int>(ti), r, ts.start,
-                                              t});
-        ++metrics.failure.tasks_killed;
-        metrics.failure.wasted_ticks += t - ts.start;
-        metrics.records[ji].failure_affected = true;
-        ts = TaskState{};
-      }
-    }
-    rm.handle_resource_down(r, t);
-    apply_plan(rm.reschedule(t));
-    update_deferral_wakeup();
-  };
-  auto on_resource_up = [&](ResourceId r, Time t) {
-    rm.handle_resource_up(r, t);
-    apply_plan(rm.reschedule(t));
-    update_deferral_wakeup();
-  };
-  injector.start(des, on_resource_down, on_resource_up);
-
-  for (const Job& job : w.jobs) {
-    des.schedule_at(job.arrival_time, [&, &job = job] {
-      rm.submit(job, des.now());
-      const Plan& plan = rm.reschedule(des.now());
-      apply_plan(plan);
-      update_deferral_wakeup();
-    });
-  }
-
-  des.run();
-
-  // Every job must have completed.
-  for (std::size_t ji = 0; ji < remaining.size(); ++ji) {
-    MRCP_CHECK_MSG(remaining[ji] == 0, "job did not finish");
-  }
-  // Note: rm.stats().jobs_completed can lag the simulation — the RM only
-  // sweeps completions when reschedule() runs, and the final tasks finish
-  // after the last arrival-triggered invocation.
-  const MrcpStats& rm_stats = rm.stats();
-  metrics.degradation = rm.degradation_counts();
-  metrics.total_sched_seconds = rm_stats.total_sched_seconds;
-  metrics.rm_invocations = rm_stats.invocations;
-  metrics.max_live_tasks = rm_stats.max_live_tasks;
-  metrics.downtime = injector.downtime();
-  metrics.failure.resource_failures = injector.failures();
-  metrics.failure.resource_repairs = injector.repairs();
-
-  if (options.validate_execution) {
-    const std::string err =
-        validate_execution(w, executed, metrics.killed, metrics.downtime);
-    MRCP_CHECK_MSG(err.empty(), err.c_str());
-  }
-  metrics.executed = std::move(executed);
-  return metrics;
 }
 
 SimMetrics simulate_minedf(const Workload& workload,

@@ -22,6 +22,9 @@
 // behind its own bookkeeping.
 #pragma once
 
+#include <cstdint>
+#include <string>
+
 #include "baseline/minedf_wc.h"
 #include "core/mrcp_rm.h"
 #include "mapreduce/workload.h"
@@ -29,6 +32,33 @@
 #include "sim/metrics.h"
 
 namespace mrcp::sim {
+
+/// Crash-tolerance knobs for simulate_mrcp (docs/crash_recovery.md).
+/// Everything defaults to off: with an empty journal_prefix the driver
+/// takes the exact pre-durability code path — no journal writes, no
+/// snapshots, byte-identical output.
+struct DurabilityOptions {
+  /// Path prefix of the durability files: the write-ahead journal lives
+  /// at "<prefix>.journal", snapshots at "<prefix>.snap". Empty disables
+  /// the whole durability layer.
+  std::string journal_prefix;
+  /// Capture a full world snapshot whenever the journal's total record
+  /// count crosses a multiple of this. 0 = journal only; recovery then
+  /// cold-restores by re-running the entire journal from scratch.
+  std::uint64_t snapshot_every = 0;
+  /// Resume from the on-disk snapshot + journal left behind by a
+  /// previous (crashed) run instead of starting fresh.
+  bool restore = false;
+  /// Crash-injection hook (the recovery harness): persist exactly this
+  /// many journal records, silently drop every later write — what a
+  /// process death between two appends leaves on disk — and abandon the
+  /// run at the next event boundary (SimMetrics::crash_stopped). 0 = off.
+  std::uint64_t crash_after_records = 0;
+
+  bool enabled() const { return !journal_prefix.empty(); }
+  std::string journal_path() const { return journal_prefix + ".journal"; }
+  std::string snapshot_path() const { return journal_prefix + ".snap"; }
+};
 
 struct SimOptions {
   bool validate_execution = true;
@@ -39,6 +69,9 @@ struct SimOptions {
   /// fault-free build. Both drivers see the same fault trace for a given
   /// config, so the policies are compared under identical failures.
   FaultConfig faults;
+  /// Write-ahead journal + snapshots (simulate_mrcp only; off by
+  /// default).
+  DurabilityOptions durability;
 };
 
 SimMetrics simulate_mrcp(const Workload& workload, const MrcpConfig& config,

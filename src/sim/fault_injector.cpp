@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/check.h"
+#include "common/io/codec.h"
 
 namespace mrcp::sim {
 
@@ -106,6 +108,135 @@ void FaultInjector::on_repair(des::Simulation& des, ResourceId r) {
   open_[ri] = kNoOpenInterval;
   schedule_failure(des, r);
   on_up_(r, now);
+}
+
+namespace {
+constexpr std::uint8_t kInjectorStateVersion = 1;
+constexpr std::uint64_t kNoOpenEncoded =
+    std::numeric_limits<std::uint64_t>::max();
+}  // namespace
+
+std::string FaultInjector::encode_state() const {
+  io::Encoder enc;
+  enc.u8(kInjectorStateVersion);
+  enc.u32(static_cast<std::uint32_t>(streams_.size()));
+  for (std::size_t r = 0; r < streams_.size(); ++r) {
+    enc.bytes(streams_[r].save_state());
+    enc.boolean(down_[r] != 0);
+    enc.u64(open_[r] == kNoOpenInterval ? kNoOpenEncoded
+                                        : static_cast<std::uint64_t>(open_[r]));
+    const bool has_pending = pending_[r].pending();
+    enc.boolean(has_pending);
+    enc.ticks(has_pending ? pending_[r].time() : kTimeZero);
+    enc.u64(has_pending ? pending_[r].seq() : 0);
+  }
+  enc.u32(static_cast<std::uint32_t>(downtime_.size()));
+  for (const DownInterval& interval : downtime_) {
+    enc.i64(interval.resource);
+    enc.ticks(interval.start);
+    enc.ticks(interval.end);
+  }
+  enc.i64(down_count_);
+  enc.u64(failures_);
+  enc.u64(repairs_);
+  enc.u64(suppressed_);
+  return enc.take();
+}
+
+bool FaultInjector::restore_state(std::string_view state, std::string* error) {
+  const auto fail = [error](const std::string& message) {
+    if (error != nullptr) *error = message;
+    return false;
+  };
+  io::Decoder dec(state);
+  const std::uint8_t version = dec.u8();
+  if (dec.ok() && version != kInjectorStateVersion) {
+    return fail("unsupported injector state version " +
+                std::to_string(version));
+  }
+  const std::uint32_t n = dec.u32();
+  if (dec.ok() && n != static_cast<std::uint32_t>(streams_.size())) {
+    return fail("snapshot injector has " + std::to_string(n) +
+                " resources, this one has " + std::to_string(streams_.size()));
+  }
+  std::vector<std::string> rng_states(streams_.size());
+  std::vector<std::uint8_t> down(streams_.size(), 0);
+  std::vector<std::size_t> open(streams_.size(), kNoOpenInterval);
+  std::vector<PendingTransition> pending;
+  for (std::size_t r = 0; r < streams_.size() && dec.ok(); ++r) {
+    rng_states[r] = dec.bytes();
+    down[r] = dec.boolean() ? 1 : 0;
+    const std::uint64_t open_index = dec.u64();
+    open[r] = open_index == kNoOpenEncoded
+                  ? kNoOpenInterval
+                  : static_cast<std::size_t>(open_index);
+    const bool has_pending = dec.boolean();
+    const Time time = dec.ticks();
+    const std::uint64_t seq = dec.u64();
+    if (has_pending) {
+      // A down resource's pending event is its repair; an up resource's
+      // is its next failure.
+      pending.push_back(PendingTransition{static_cast<ResourceId>(r), time,
+                                          seq, down[r] != 0});
+    }
+  }
+  std::vector<DownInterval> downtime;
+  const std::uint32_t num_intervals = dec.u32();
+  for (std::uint32_t i = 0; i < num_intervals && dec.ok(); ++i) {
+    DownInterval interval;
+    interval.resource = static_cast<ResourceId>(dec.i64());
+    interval.start = dec.ticks();
+    interval.end = dec.ticks();
+    downtime.push_back(interval);
+  }
+  const std::int64_t down_count = dec.i64();
+  const std::uint64_t failures = dec.u64();
+  const std::uint64_t repairs = dec.u64();
+  const std::uint64_t suppressed = dec.u64();
+  if (!dec.ok()) return fail("corrupt injector state: " + dec.error());
+  if (!dec.done()) {
+    return fail("trailing bytes after injector state at byte " +
+                std::to_string(dec.offset()));
+  }
+  for (std::size_t r = 0; r < streams_.size(); ++r) {
+    if (!streams_[r].load_state(rng_states[r])) {
+      return fail("malformed RNG state for resource " + std::to_string(r));
+    }
+  }
+  down_ = std::move(down);
+  open_ = std::move(open);
+  downtime_ = std::move(downtime);
+  down_count_ = static_cast<int>(down_count);
+  failures_ = failures;
+  repairs_ = repairs;
+  suppressed_ = suppressed;
+  pending_.assign(streams_.size(), des::EventHandle{});
+  std::sort(pending.begin(), pending.end(),
+            [](const PendingTransition& a, const PendingTransition& b) {
+              return a.seq < b.seq;
+            });
+  restored_pending_ = std::move(pending);
+  return true;
+}
+
+void FaultInjector::resume(TransitionFn on_down, TransitionFn on_up) {
+  if (!config_.failures_enabled() || cap_ == 0) return;
+  MRCP_CHECK(on_down != nullptr && on_up != nullptr);
+  on_down_ = std::move(on_down);
+  on_up_ = std::move(on_up);
+}
+
+void FaultInjector::schedule_transition(des::Simulation& des,
+                                        const PendingTransition& t) {
+  const auto ri = static_cast<std::size_t>(t.resource);
+  MRCP_CHECK(ri < pending_.size() && !pending_[ri].pending());
+  if (t.repair) {
+    pending_[ri] = des.schedule_at(
+        t.time, [this, &des, r = t.resource] { on_repair(des, r); });
+  } else {
+    pending_[ri] = des.schedule_at(
+        t.time, [this, &des, r = t.resource] { on_failure(des, r); });
+  }
 }
 
 bool is_straggler(const FaultConfig& config, JobId job, int task_index) {

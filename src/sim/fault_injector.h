@@ -26,6 +26,7 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/rng.h"
@@ -95,6 +96,43 @@ class FaultInjector {
   /// Failures suppressed by the max_concurrent_down cap.
   std::uint64_t suppressed_failures() const { return suppressed_; }
 
+  // ---- Durability (docs/crash_recovery.md) ----
+
+  /// One captured not-yet-fired transition. `seq` is the event's original
+  /// DES sequence number: the resume path re-schedules every captured
+  /// event (of every category) in ascending original-seq order, which
+  /// reproduces all same-tick tie-breaks of the uninterrupted run.
+  struct PendingTransition {
+    ResourceId resource = kNoResource;
+    Time time;
+    std::uint64_t seq = 0;
+    bool repair = false;  ///< false = pending failure, true = pending repair
+  };
+
+  /// Serialize the full injector state: per-resource RNG engine states,
+  /// up/down flags, the downtime log, counters, and every pending
+  /// transition's (time, seq, kind).
+  std::string encode_state() const;
+
+  /// Restore a capture made by encode_state(). Pending transitions are
+  /// *not* rescheduled here — the driver merges them with the other
+  /// captured event categories and re-schedules in global seq order via
+  /// schedule_transition(). False (with *error set) on corruption or a
+  /// resource-count mismatch.
+  bool restore_state(std::string_view state, std::string* error);
+
+  /// Transitions captured by the last restore_state(), ascending seq.
+  const std::vector<PendingTransition>& pending_transitions() const {
+    return restored_pending_;
+  }
+
+  /// Install the driver callbacks on a restored injector — what start()
+  /// does, minus drawing fresh first failures.
+  void resume(TransitionFn on_down, TransitionFn on_up);
+
+  /// Re-schedule one captured transition into a fresh DES.
+  void schedule_transition(des::Simulation& des, const PendingTransition& t);
+
  private:
   void schedule_failure(des::Simulation& des, ResourceId r);
   void on_failure(des::Simulation& des, ResourceId r);
@@ -114,6 +152,7 @@ class FaultInjector {
   std::uint64_t suppressed_ = 0;
   TransitionFn on_down_;
   TransitionFn on_up_;
+  std::vector<PendingTransition> restored_pending_;  ///< from restore_state
 };
 
 /// Pure predicate: is (job, task_index) a straggler under `config`?

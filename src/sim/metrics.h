@@ -84,6 +84,11 @@ struct SimMetrics {
   double total_sched_seconds = 0.0;
   std::uint64_t rm_invocations = 0;
   std::uint64_t max_live_tasks = 0;
+  /// True when a crash-injection hook (DurabilityOptions::
+  /// crash_after_records) stopped the run before the workload drained.
+  /// Such metrics are partial; the recovery harness restores and resumes
+  /// instead of reading them.
+  bool crash_stopped = false;
 
   /// O in seconds: total scheduling time divided by submitted jobs.
   double sched_overhead_per_job() const {

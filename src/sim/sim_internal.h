@@ -1,0 +1,16 @@
+// Helpers shared by the simulation drivers (cluster_sim.cpp and
+// mrcp_driver.cpp). Internal — not part of the sim API.
+#pragma once
+
+#include <vector>
+
+#include "mapreduce/workload.h"
+#include "sim/metrics.h"
+
+namespace mrcp::sim::internal {
+
+/// Build the per-job record table (indexed by job id) for a workload.
+/// Aborts on non-dense ids — the trace-format invariant.
+std::vector<JobRecord> make_records(const Workload& workload);
+
+}  // namespace mrcp::sim::internal

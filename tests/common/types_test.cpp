@@ -8,6 +8,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <limits>
+
 namespace mrcp {
 namespace {
 
@@ -59,6 +62,75 @@ TEST(SecondsToTicks, IsConstexpr) {
   static_assert(seconds_to_ticks(1.5) == Time{1500});
   static_assert(seconds_to_ticks(-0.0005) == Time{-1});
   static_assert(seconds_to_ticks(1e300) == kMaxTime);
+  SUCCEED();
+}
+
+// The saturating arithmetic guards user-configurable delay folds
+// (backpressure holds, park-retry delays): any overflow clamps to the
+// time horizon instead of wrapping into UB (docs/crash_recovery.md
+// relies on these being pure, too).
+
+TEST(SaturatingAdd, PlainSumsAreExact) {
+  EXPECT_EQ(saturating_add(Time{0}, Time{0}), Time{0});
+  EXPECT_EQ(saturating_add(Time{1500}, Time{-500}), Time{1000});
+  EXPECT_EQ(saturating_add(Time{-1200}, Time{-300}), Time{-1500});
+}
+
+TEST(SaturatingAdd, ClampsAtTheHorizon) {
+  EXPECT_EQ(saturating_add(kMaxTime, Time{1}), kMaxTime);
+  EXPECT_EQ(saturating_add(kMaxTime, kMaxTime), kMaxTime);
+  EXPECT_EQ(saturating_add(-kMaxTime, Time{-1}), -kMaxTime);
+  EXPECT_EQ(saturating_add(-kMaxTime, -kMaxTime), -kMaxTime);
+  // One step inside the horizon stays exact; the next step saturates.
+  const Time edge = kMaxTime - Time{1};
+  EXPECT_EQ(saturating_add(edge, Time{1}), kMaxTime);
+  EXPECT_EQ(saturating_add(edge, Time{2}), kMaxTime);
+}
+
+TEST(SaturatingAdd, Int64ExtremesDoNotWrap) {
+  // Raw int64 extremes (outside the Time domain proper) are clamped
+  // before the sum, so the arithmetic cannot overflow.
+  const Time lo{std::numeric_limits<std::int64_t>::min()};
+  const Time hi{std::numeric_limits<std::int64_t>::max()};
+  EXPECT_EQ(saturating_add(hi, hi), kMaxTime);
+  EXPECT_EQ(saturating_add(lo, lo), -kMaxTime);
+  EXPECT_EQ(saturating_add(hi, lo), Time{0});
+}
+
+TEST(SaturatingMul, PlainProductsAreExact) {
+  EXPECT_EQ(saturating_mul(Time{250}, 4), Time{1000});
+  EXPECT_EQ(saturating_mul(Time{-250}, 4), Time{-1000});
+  EXPECT_EQ(saturating_mul(Time{250}, -4), Time{-1000});
+  EXPECT_EQ(saturating_mul(Time{-250}, -4), Time{1000});
+  EXPECT_EQ(saturating_mul(Time{0}, 99), Time{0});
+  EXPECT_EQ(saturating_mul(kMaxTime, 0), Time{0});
+}
+
+TEST(SaturatingMul, ClampsAtTheHorizon) {
+  EXPECT_EQ(saturating_mul(kMaxTime, 2), kMaxTime);
+  EXPECT_EQ(saturating_mul(kMaxTime, -2), -kMaxTime);
+  EXPECT_EQ(saturating_mul(-kMaxTime, 2), -kMaxTime);
+  EXPECT_EQ(saturating_mul(-kMaxTime, -2), kMaxTime);
+  // The largest exact product right at the boundary stays exact.
+  const std::int64_t half = kMaxTime.count() / 2;
+  EXPECT_EQ(saturating_mul(Time{half}, 2), Time{half * 2});
+  EXPECT_EQ(saturating_mul(Time{half + 1}, 2), kMaxTime);
+}
+
+TEST(SaturatingMul, Int64MinMagnitudeIsHandled) {
+  // |int64 min| is not representable as a positive int64; the unsigned
+  // magnitude path must still clamp cleanly instead of overflowing.
+  const Time lo{std::numeric_limits<std::int64_t>::min()};
+  EXPECT_EQ(saturating_mul(lo, 1), -kMaxTime);
+  EXPECT_EQ(saturating_mul(lo, -1), kMaxTime);
+  EXPECT_EQ(saturating_mul(Time{1}, std::numeric_limits<std::int64_t>::min()),
+            -kMaxTime);
+}
+
+TEST(SaturatingArithmetic, IsConstexpr) {
+  static_assert(saturating_add(kMaxTime, kMaxTime) == kMaxTime);
+  static_assert(saturating_mul(kMaxTime, 8) == kMaxTime);
+  static_assert(saturating_mul(Time{3}, 3) == Time{9});
   SUCCEED();
 }
 

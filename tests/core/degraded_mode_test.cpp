@@ -326,5 +326,89 @@ TEST(DegradedMode, MidEpochFailureDuringFallbackEpochStaysValid) {
   EXPECT_EQ(rm.stats().jobs_completed, 1u);
 }
 
+// ---- Backoff growth clamps (saturating Ticks arithmetic) ----
+
+TEST(DegradedMode, BackpressureHoldStreakIsCappedAtEight) {
+  // Twelve consecutive degraded invocations, then an arrival: the hold
+  // must scale with min(streak, 8), not the raw streak — unbounded
+  // doubling would defer a burst past the simulation horizon.
+  MrcpConfig cfg = degraded_config();
+  cfg.backpressure_hold = Time{1000};
+  MrcpRm rm(Cluster::homogeneous(2, 1, 1), cfg);
+  rm.submit(make_job(0, Time{0}, Time{0}, Time{10'000'000}, {Time{500'000}},
+                     {Time{100'000}}),
+            Time{0});
+  rm.reschedule(Time{0});  // tiny budget: fallback, streak = 1
+  for (int i = 1; i <= 11; ++i) {
+    // Alternate fault events so every invocation is dirty (a clean one
+    // would take the backpressure skip and leave the streak unchanged).
+    if (i % 2 == 1) {
+      rm.handle_resource_down(1, Time{i});
+    } else {
+      rm.handle_resource_up(1, Time{i});
+    }
+    rm.reschedule(Time{i});
+  }
+  // Streak is now 12; the hold still folds at the cap: 8 * 1000 ticks.
+  rm.submit(make_job(1, Time{100}, Time{100}, Time{10'000'000}, {Time{1000}},
+                     {}),
+            Time{100});
+  EXPECT_EQ(rm.next_deferred_release(), Time{100} + Time{8000});
+}
+
+TEST(DegradedMode, BackpressureHoldSaturatesAtTheHorizon) {
+  // An extreme configured hold clamps the release time to kMaxTime
+  // instead of wrapping into the past (which would instantly re-release
+  // the burst the hold was meant to absorb — or worse, UB).
+  MrcpConfig cfg = degraded_config();
+  cfg.backpressure_hold = kMaxTime;
+  MrcpRm rm(Cluster::homogeneous(1, 1, 1), cfg);
+  rm.submit(make_job(0, Time{0}, Time{0}, Time{10'000'000}, {Time{500'000}},
+                     {}),
+            Time{0});
+  rm.reschedule(Time{0});  // streak = 1
+  rm.submit(make_job(1, Time{5}, Time{5}, Time{10'000'000}, {Time{1000}}, {}),
+            Time{5});
+  EXPECT_EQ(rm.next_deferred_release(), kMaxTime);
+}
+
+TEST(DegradedMode, ParkRetrySaturatesAtTheHorizon) {
+  // park_retry_delay near the horizon pins the retry wakeup at kMaxTime
+  // — far future, but still ordered after `now`, so the wakeup neither
+  // wraps negative nor fires immediately in a busy loop.
+  MrcpConfig cfg;
+  cfg.validate_plans = true;
+  cfg.solve.time_limit_s = 2.0;
+  cfg.solve.seed = 1;
+  cfg.park_retry_delay = kMaxTime;
+  MrcpRm rm(Cluster::homogeneous(1, 1, 1), cfg);
+  rm.submit(make_job(0, Time{0}, Time{0}, Time{100'000}, {Time{100}}, {}),
+            Time{0});
+  rm.handle_resource_down(0, Time{10});
+  const Plan& parked = rm.reschedule(Time{10});
+  EXPECT_EQ(parked.parked_tasks, 1u);
+  EXPECT_EQ(rm.next_deferred_release(), kMaxTime);
+  EXPECT_GT(rm.next_deferred_release(), Time{10});
+}
+
+TEST(DegradedMode, ExtremeRetryCountDoesNotOverflowTheBudget) {
+  // max_solve_retries = 64 would be UB with a naive `1 << retry` budget
+  // doubling; the ldexp fold (exponent capped at 40) must survive it.
+  // The UBSan CI job turns any reintroduced shift overflow fatal here.
+  MrcpConfig cfg = degraded_config();
+  cfg.max_solve_retries = 64;
+  MrcpRm rm(Cluster::homogeneous(2, 2, 2), cfg);
+  rm.submit(make_job(0, Time{0}, Time{0}, Time{50'000}, {Time{100}, Time{100}},
+                     {Time{50}}),
+            Time{0});
+  const Plan& plan = rm.reschedule(Time{0});
+  EXPECT_FALSE(plan.tasks.empty());
+  const InvocationRecord& rec = rm.ledger().records().back();
+  EXPECT_NE(rec.outcome, InvocationOutcome::kCpPrimary);
+  EXPECT_GE(rec.attempts, 1);
+  rm.reschedule(Time{1'000'000});
+  EXPECT_EQ(rm.stats().jobs_completed, 1u);
+}
+
 }  // namespace
 }  // namespace mrcp

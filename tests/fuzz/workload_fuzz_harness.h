@@ -32,6 +32,13 @@ inline std::string workload_roundtrip_check(const std::string& text) {
     if (!parsed.jobs.empty() || parsed.cluster.size() != 0) {
       return "rejected input returned a non-empty workload";
     }
+    // Location-carrying parse errors (they lead with "line N") must
+    // name the byte offset and the record index alongside it.
+    if (error.rfind("line ", 0) == 0 &&
+        (error.find("(byte ") == std::string::npos ||
+         error.find(", record ") == std::string::npos)) {
+      return "parse error lacks byte/record location: " + error;
+    }
     return "";
   }
   // Accepted: must validate and roundtrip exactly.

@@ -1,0 +1,19 @@
+// mrcp-lint fixture: MUST be flagged by rule `raw-file-io` (three
+// findings), while read-only std::ifstream and the allow-listed write
+// stay clean. The runner stages this file with a src/-shaped virtual
+// path so the production-code scope applies, and a second copy under
+// src/common/io/ to prove the sanctioned homes suppress the rule.
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+bool fixture_bad_file_io(const std::string& path) {
+  std::ifstream in(path);             // fine: read-only
+  std::ofstream out(path);            // finding 1: unframed write stream
+  std::fstream rw(path);              // finding 2: write-capable stream
+  std::FILE* f = fopen(path.c_str(), "wb");  // finding 3: C stdio write
+  if (f != nullptr) std::fclose(f);
+  // lint-ok: raw-file-io
+  std::ofstream blessed(path + ".tmp");
+  return out.good() && rw.good() && blessed.good();
+}

@@ -77,6 +77,14 @@ mkdir -p "$stage/src/core"
 cp fixture_raw_time_literal.cc "$stage/src/core/"
 expect_rule raw-time-literal "$stage/src/core/fixture_raw_time_literal.cc" 2
 
+# raw-file-io: fires under a generic src/ path, silent in the sanctioned
+# homes (src/common/io/ here; src/sim/trace_export.* is the other).
+mkdir -p "$stage/src/common/io"
+cp fixture_raw_file_io.cc "$stage/src/core/"
+cp fixture_raw_file_io.cc "$stage/src/common/io/"
+expect_rule raw-file-io "$stage/src/core/fixture_raw_file_io.cc" 3
+expect_rule raw-file-io "$stage/src/common/io/fixture_raw_file_io.cc" 0
+
 # Clean fixture: zero findings from any mrcp-lint rule.
 if "$MRCP_LINT" fixture_clean.cc >/dev/null 2>&1; then
   note "mrcp-lint clean fixture passes with 0 findings"

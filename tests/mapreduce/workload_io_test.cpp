@@ -114,6 +114,28 @@ TEST(WorkloadIo, RejectsMalformedResource) {
   EXPECT_NE(error, "");
 }
 
+TEST(WorkloadIo, ErrorsReportByteOffsetAndRecordIndex) {
+  // EOF while a second task line is expected: the error must name the
+  // last line handed out, its byte offset, and its record index.
+  const std::string text =
+      "mrcp-workload v1\ncluster 1\nresource 1 1\njobs 1\n"
+      "job 0 0 0 100 2 0\ntask 10 1\n";
+  std::string error;
+  workload_from_string(text, &error);
+  EXPECT_NE(error.find("line 6 (byte 65, record 6)"), std::string::npos)
+      << error;
+}
+
+TEST(WorkloadIo, RecordIndexSkipsCommentsAndBlankLines) {
+  // Comments and blank lines advance the line number and byte offset
+  // but not the record index.
+  const std::string text = "# c\nmrcp-workload v1\n\ncluster 1\nresource x y\n";
+  std::string error;
+  workload_from_string(text, &error);
+  EXPECT_NE(error.find("line 5 (byte 32, record 3)"), std::string::npos)
+      << error;
+}
+
 TEST(WorkloadIo, RejectsInvalidJobSemantics) {
   // deadline before earliest start.
   const std::string text =

@@ -186,6 +186,36 @@ void rule_rng_construction(const SourceFile& file, const RuleOptions& options,
 }
 
 // --------------------------------------------------------------------------
+// raw-file-io
+// --------------------------------------------------------------------------
+
+// Write-capable file I/O only: an ofstream/fstream mention or a C stdio
+// write call. std::ifstream is read-only and deliberately not matched —
+// loaders may read anywhere; it is *writes* that must flow through the
+// checksummed framing layer so crash recovery sees them.
+const std::regex kRawFileIo(
+    R"(\bstd\s*::\s*(ofstream|fstream)\b|\b(fopen|freopen|fwrite)\s*\()");
+
+void rule_raw_file_io(const SourceFile& file, const RuleOptions& options,
+                      std::vector<Finding>& findings) {
+  if (!path_contains(file.path, options.file_io_scope)) return;
+  for (const std::string& home : options.file_io_homes)
+    if (path_contains(file.path, home)) return;
+  for (std::size_t i = 0; i < file.sanitized.size(); ++i) {
+    const std::string& line = file.sanitized[i];
+    for (auto it = std::sregex_iterator(line.begin(), line.end(), kRawFileIo);
+         it != std::sregex_iterator(); ++it) {
+      report(file, static_cast<int>(i) + 1,
+             static_cast<int>(it->position()) + 1, "raw-file-io",
+             "raw write-capable file I/O outside src/common/io and "
+             "src/sim/trace_export; route through io::write_text_file or "
+             "the framed record writer so durability covers the write",
+             findings);
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
 // blocking-under-lock
 // --------------------------------------------------------------------------
 
@@ -284,6 +314,7 @@ void run_rules(const SourceFile& file, const RuleOptions& options,
   rule_unordered_iteration(file, findings);
   rule_raw_time_literal(file, options, findings);
   rule_rng_construction(file, options, findings);
+  rule_raw_file_io(file, options, findings);
   rule_blocking_under_lock(file, findings);
 }
 

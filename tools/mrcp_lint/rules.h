@@ -1,6 +1,6 @@
 // mrcp-lint rule definitions.
 //
-// Four structural rules that the grep layer in scripts/lint.sh cannot
+// Five structural rules that the grep layer in scripts/lint.sh cannot
 // express (they need scope or declaration context, not just a pattern):
 //
 //   unordered-iteration   range-for over a std::unordered_{map,set,multimap,
@@ -22,6 +22,14 @@
 //                         std::scoped_lock) is live in an enclosing scope.
 //                         CondVar::wait is exempt: waiting with the lock
 //                         held is the point of a condition variable.
+//   raw-file-io           write-capable file I/O (std::ofstream,
+//                         std::fstream, fopen, fwrite) in production code
+//                         outside the sanctioned homes (src/common/io/,
+//                         src/sim/trace_export.*). Everything the
+//                         scheduler persists must flow through the
+//                         checksummed framing layer so crash recovery
+//                         (docs/crash_recovery.md) sees every write;
+//                         read-only std::ifstream stays legal everywhere.
 //
 // Every rule honours the `lint-ok: <rule>` comment convention described
 // in docs/static_analysis.md.
@@ -50,6 +58,14 @@ struct RuleOptions {
   /// Files whose path contains any of these fragments may construct RNG
   /// engines (the RandomStream implementation itself).
   std::vector<std::string> rng_home = {"src/common/rng."};
+  /// raw-file-io only fires inside this path fragment (production code);
+  /// tests and tools write scratch files by design.
+  std::string file_io_scope = "src/";
+  /// Files whose path contains any of these fragments may perform raw
+  /// write-capable file I/O: the framing layer itself, and the CSV trace
+  /// exporter (human-facing output, deliberately outside the journal).
+  std::vector<std::string> file_io_homes = {"src/common/io/",
+                                            "src/sim/trace_export."};
 };
 
 /// Run all rules over `file`, appending findings.

@@ -15,6 +15,7 @@
 //            --trace-out /tmp/schedule.csv
 //   mrcp_sim --mode simulate --generator facebook --jobs 200
 //            --lambda 0.0003 --rm minedf
+#include <cstdint>
 #include <cstdio>
 
 #include "common/flags.h"
@@ -122,6 +123,15 @@ int run_simulate(const Flags& flags) {
       std::fprintf(stderr, "error: fault config: %s\n", err.c_str());
       return 1;
     }
+  }
+
+  options.durability.journal_prefix = flags.get_string("journal");
+  options.durability.snapshot_every =
+      static_cast<std::uint64_t>(flags.get_int("snapshot-every"));
+  options.durability.restore = flags.get_bool("restore");
+  if (options.durability.restore && !options.durability.enabled()) {
+    std::fprintf(stderr, "error: --restore requires --journal <prefix>\n");
+    return 1;
   }
 
   const std::string& rm = flags.get_string("rm");
@@ -264,7 +274,16 @@ int main(int argc, char** argv) {
       .add_double("straggler-factor", 1.0, "straggler exec-time multiplier")
       .add_int("fault-seed", 1, "fault-injection seed")
       .add_string("trace-out", "", "simulate: write executed schedule CSV")
-      .add_string("downtime-out", "", "simulate: write outage intervals CSV");
+      .add_string("downtime-out", "", "simulate: write outage intervals CSV")
+      .add_string("journal", "",
+                  "simulate: write-ahead journal/snapshot file prefix "
+                  "(docs/crash_recovery.md; empty = durability off)")
+      .add_int("snapshot-every", 0,
+               "simulate: snapshot full scheduler state every N journal "
+               "records (0 = journal only)")
+      .add_bool("restore", false,
+                "simulate: resume from --journal state instead of starting "
+                "fresh");
   if (!flags.parse(argc, argv)) return flags.ok() ? 0 : 1;
 
   const std::string& mode = flags.get_string("mode");
