@@ -1,0 +1,155 @@
+// Heterogeneity sweep — MRCP-RM vs MinEDF-WC on speed-mixed,
+// placement-constrained clusters (docs/heterogeneous.md).
+//
+// Two axes, crossed:
+//
+//   * speed spread — every machine's speed factor is drawn from a
+//     permille choice set: "none" (homogeneous 1000), "mild"
+//     (750/1000/1250) or "wide" (500/1000/2000). Wider spreads raise
+//     the stakes of placement: the same task takes 4x longer on the
+//     slowest machine of the wide mix than on the fastest.
+//
+//   * locality tightness — the per-task probability of a data-locality
+//     candidate set (plus rack striping and reduce anti-affinity at a
+//     fixed rate once any locality is on). Tighter locality removes
+//     placement freedom exactly where the speed spread makes it
+//     valuable.
+//
+// Both resource managers replay the same workloads under the *same*
+// fault trace (individual failures + correlated rack bursts; the trace
+// depends only on the fault seed and cluster shape, never on policy —
+// common random numbers across the comparison).
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "mapreduce/synthetic_workload.h"
+#include "sim/cluster_sim.h"
+#include "sim/experiment.h"
+#include "sweep.h"
+
+using namespace mrcp;
+
+namespace {
+
+struct SpreadChoice {
+  const char* name;
+  std::vector<int> speeds;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(
+      "Heterogeneity sweep: speed spread x locality tightness, "
+      "MRCP-RM vs MinEDF-WC under identical fault traces");
+  bench::add_common_flags(flags);
+  flags.add_double("mtbf", 20000.0, "per-resource MTBF (s, 0 = none)")
+      .add_double("mttr", 120.0, "mean time to repair (s)")
+      .add_double("rack-mtbf", 50000.0, "per-rack burst MTBF (s, 0 = none)")
+      .add_double("rack-mttr", 120.0, "mean member repair after a burst (s)")
+      .add_int("num-racks", 4, "racks the cluster is striped across")
+      .add_int("fault-seed", 7, "fault-injection base seed")
+      .add_string("locality-values", "0,0.25,0.5",
+                  "comma-separated per-task locality probabilities")
+      .add_double("affinity-prob", 0.2,
+                  "per-job reduce anti-affinity probability (only when "
+                  "locality > 0)");
+  if (!flags.parse(argc, argv)) return flags.ok() ? 0 : 1;
+
+  const bench::SweepOptions options = bench::SweepOptions::from_flags(flags);
+  const SyntheticWorkloadConfig base = bench::table3_defaults(options);
+  const MrcpConfig mrcp_config = bench::default_mrcp_config(options);
+
+  const std::vector<SpreadChoice> spreads = {
+      {"none", {}},
+      {"mild", {750, 1000, 1250}},
+      {"wide", {500, 1000, 2000}},
+  };
+  std::vector<double> locality_values;
+  {
+    const std::string& spec = flags.get_string("locality-values");
+    std::size_t pos = 0;
+    while (pos < spec.size()) {
+      std::size_t next = spec.find(',', pos);
+      if (next == std::string::npos) next = spec.size();
+      locality_values.push_back(std::stod(spec.substr(pos, next - pos)));
+      pos = next + 1;
+    }
+  }
+
+  Table table({"spread", "locality", "rm", "P(%)", "P±", "T(s)", "T±",
+               "late-affected"});
+
+  for (const SpreadChoice& spread : spreads) {
+    for (const double locality : locality_values) {
+      RunningStat p[2];
+      RunningStat t[2];
+      RunningStat affected[2];
+      for (std::size_t rep = 0; rep < options.reps; ++rep) {
+        SyntheticWorkloadConfig wc = base;
+        wc.seed = replication_seed(options.seed, rep);
+        wc.speed_choices = spread.speeds;
+        wc.locality_prob = locality;
+        if (locality > 0.0) {
+          wc.num_racks = static_cast<int>(flags.get_int("num-racks"));
+          wc.affinity_prob = flags.get_double("affinity-prob");
+        }
+        const Workload w = generate_synthetic_workload(wc);
+
+        sim::SimOptions sim_options;
+        sim_options.faults.mtbf_s = flags.get_double("mtbf");
+        sim_options.faults.mttr_s = flags.get_double("mttr");
+        sim_options.faults.rack_mtbf_s = flags.get_double("rack-mtbf");
+        sim_options.faults.rack_mttr_s = flags.get_double("rack-mttr");
+        sim_options.faults.seed = replication_seed(
+            static_cast<std::uint64_t>(flags.get_int("fault-seed")), rep);
+
+        const sim::SimMetrics mrcp_metrics =
+            sim::simulate_mrcp(w, mrcp_config, sim_options);
+        const sim::RunMetrics mrcp_run =
+            sim::summarize_run(mrcp_metrics, options.warmup);
+        p[0].add(mrcp_run.P_percent);
+        t[0].add(mrcp_run.T_seconds);
+        affected[0].add(static_cast<double>(
+            mrcp_metrics.failure.jobs_late_failure_affected));
+
+        const sim::SimMetrics minedf_metrics =
+            sim::simulate_minedf(w, baseline::MinEdfConfig{}, sim_options);
+        const sim::RunMetrics minedf_run =
+            sim::summarize_run(minedf_metrics, options.warmup);
+        p[1].add(minedf_run.P_percent);
+        t[1].add(minedf_run.T_seconds);
+        affected[1].add(static_cast<double>(
+            minedf_metrics.failure.jobs_late_failure_affected));
+      }
+      const char* names[2] = {"MRCP-RM", "MinEDF-WC"};
+      for (int k = 0; k < 2; ++k) {
+        const auto p_ci = confidence_interval(p[k]);
+        const auto t_ci = confidence_interval(t[k]);
+        table.add_row({spread.name, Table::cell(locality, 2), names[k],
+                       Table::cell(p_ci.mean, 2),
+                       Table::cell(p_ci.half_width, 2),
+                       Table::cell(t_ci.mean, 1),
+                       Table::cell(t_ci.half_width, 1),
+                       Table::cell(affected[k].mean(), 1)});
+      }
+    }
+  }
+
+  std::printf("%s\n", table.to_string().c_str());
+  if (!options.csv_path.empty()) {
+    if (table.write_csv(options.csv_path)) {
+      std::printf("wrote %s\n", options.csv_path.c_str());
+    } else {
+      std::fprintf(stderr, "error: cannot write %s\n",
+                   options.csv_path.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -200,21 +200,27 @@ std::vector<JobId> MinEdfWcScheduler::edf_order() const {
   return order;
 }
 
-void MinEdfWcScheduler::launch_task(JobRun& run, int task_index, Time now) {
+bool MinEdfWcScheduler::launch_task(JobRun& run, int task_index, Time now) {
   const Task& task = run.job.task(static_cast<std::size_t>(task_index));
+  // The driver owns slot-to-resource mapping: it returns the actual
+  // (speed-scaled) end, or kNoTime when no eligible slot exists for the
+  // task's placement constraints.
+  const Time end = launch_(run.job.id, task_index, now, now + task.exec_time);
+  if (end == kNoTime) return false;
+  MRCP_CHECK_MSG(end > now, "driver returned a non-positive task duration");
   if (task.type == TaskType::kMap) {
     MRCP_CHECK(free_map_ > 0);
     --free_map_;
     ++run.running_maps;
-    run.maps.running_ends.push_back(now + task.exec_time);
+    run.maps.running_ends.push_back(end);
   } else {
     MRCP_CHECK(free_reduce_ > 0);
     --free_reduce_;
     ++run.running_reduces;
-    run.reduces.running_ends.push_back(now + task.exec_time);
+    run.reduces.running_ends.push_back(end);
   }
   ++stats_.tasks_launched;
-  launch_(run.job.id, task_index, now, now + task.exec_time);
+  return true;
 }
 
 void MinEdfWcScheduler::dispatch(Time now) {
@@ -292,16 +298,34 @@ void MinEdfWcScheduler::dispatch(Time now) {
     }
   }
 
-  // Launch the granted tasks in each job's dispatch order.
+  // Launch the granted tasks in each job's dispatch order. A refusal
+  // (placement-constrained task with no eligible free slot) is stashed
+  // and re-queued *after* the job's launches — re-queuing inline would
+  // pop/refuse the same head task forever.
   for (JobId id : order) {
     JobRun& run = jobs_.at(id);
+    std::vector<int> refused_m;
+    std::vector<int> refused_r;
     for (int k = 0; k < grant_m[id]; ++k) {
-      launch_task(run, run.maps.pop_front(), now);
+      const int ti = run.maps.pop_front();
+      if (!launch_task(run, ti, now)) refused_m.push_back(ti);
     }
     if (grant_r.count(id) != 0U) {
       for (int k = 0; k < grant_r[id]; ++k) {
-        launch_task(run, run.reduces.pop_front(), now);
+        const int ti = run.reduces.pop_front();
+        if (!launch_task(run, ti, now)) refused_r.push_back(ti);
       }
+    }
+    // Reverse re-queue restores the original dispatch order.
+    for (auto it = refused_m.rbegin(); it != refused_m.rend(); ++it) {
+      run.maps.requeue(*it,
+                       run.job.task(static_cast<std::size_t>(*it)).exec_time);
+      ++stats_.tasks_refused;
+    }
+    for (auto it = refused_r.rbegin(); it != refused_r.rend(); ++it) {
+      run.reduces.requeue(
+          *it, run.job.task(static_cast<std::size_t>(*it)).exec_time);
+      ++stats_.tasks_refused;
     }
   }
 

@@ -60,6 +60,7 @@ struct MinEdfStats {
   std::uint64_t dispatches = 0;
   std::uint64_t tasks_launched = 0;
   std::uint64_t tasks_requeued = 0;  ///< killed by failures, re-queued
+  std::uint64_t tasks_refused = 0;   ///< launch refused (placement), re-queued
   std::uint64_t resource_down_events = 0;
   std::uint64_t resource_up_events = 0;
   double total_sched_seconds = 0.0;
@@ -72,10 +73,16 @@ struct MinEdfStats {
 
 class MinEdfWcScheduler {
  public:
-  /// Called for every task launch; the driver must arrange for
-  /// on_task_finished(job, task_index, end) to be called at `end`.
-  using LaunchFn =
-      std::function<void(JobId job, int task_index, Time start, Time end)>;
+  /// Called for every task launch. `base_end` is start + the task's
+  /// baseline-speed duration; the driver picks the concrete slot and
+  /// returns the *actual* end (scaled by the host's speed factor), which
+  /// it must report back via on_task_finished(job, task_index, now) at
+  /// that time. Returning kNoTime refuses the launch (no eligible slot —
+  /// placement constraints); the task is re-queued and the granted slot
+  /// goes unused this dispatch. On a homogeneous, unconstrained cluster
+  /// the driver simply returns base_end.
+  using LaunchFn = std::function<Time(JobId job, int task_index, Time start,
+                                      Time base_end)>;
 
   MinEdfWcScheduler(const Cluster& cluster, LaunchFn launch,
                     MinEdfConfig config = {});
@@ -152,7 +159,8 @@ class MinEdfWcScheduler {
 
   void dispatch(Time now);
   std::vector<JobId> edf_order() const;
-  void launch_task(JobRun& run, int task_index, Time now);
+  /// False when the driver refused the launch (caller re-queues).
+  bool launch_task(JobRun& run, int task_index, Time now);
 
   Cluster cluster_;
   LaunchFn launch_;

@@ -163,6 +163,30 @@ constexpr Ticks ceil_div(Ticks t, std::int64_t k) {
   return Ticks{(t.count() + k - 1) / k};
 }
 
+/// Baseline machine speed: a resource with speed 1000 permille runs tasks
+/// at exactly their base duration.
+inline constexpr int kBaseSpeedPermille = 1000;
+
+/// Scale a base task duration by a machine speed factor expressed in
+/// permille of the baseline (500 = half speed, 2000 = double speed).
+/// Rounds up, so a scaled duration never rounds down to zero and a slower
+/// machine never finishes early. speed == 1000 is an exact identity, which
+/// keeps homogeneous clusters bit-identical to the unscaled model. The
+/// multiply is split as base = q*speed + r to stay clear of int64 overflow
+/// for any duration below kMaxTime; out-of-range results saturate there.
+constexpr Ticks scale_duration(Ticks base, int speed_permille) {
+  if (speed_permille == kBaseSpeedPermille) return base;
+  const std::int64_t b = base.count();
+  const std::int64_t s = speed_permille;
+  const std::int64_t q = b / s;
+  const std::int64_t r = b % s;
+  if (q > kMaxTime.count() / kBaseSpeedPermille) return kMaxTime;
+  const std::int64_t scaled =
+      q * kBaseSpeedPermille + (r * kBaseSpeedPermille + s - 1) / s;
+  if (scaled > kMaxTime.count()) return kMaxTime;
+  return Ticks{scaled < 1 && b > 0 ? 1 : scaled};
+}
+
 /// Convert ticks to seconds.
 constexpr double ticks_to_seconds(Time t) {
   return static_cast<double>(t.count()) / static_cast<double>(kTicksPerSecond);

@@ -66,25 +66,27 @@ struct Timetables {
   /// Earliest start >= est feasible on BOTH the phase-slot profile and
   /// (when constrained) the network profile — fixpoint of the two
   /// one-dimensional queries, exactly as the CP search computes it.
-  Time earliest_on(CpResourceIndex r, const CpTask& t, Time est) {
+  /// `duration` is the resource-scaled duration of `t` on `r`.
+  Time earliest_on(CpResourceIndex r, const CpTask& t, Time est,
+                   Time duration) {
     Profile& slots = slot(r, t.phase);
     if (!net_constrained(r, t)) {
-      return slots.earliest_feasible(est, t.duration, t.demand);
+      return slots.earliest_feasible(est, duration, t.demand);
     }
     Profile& net = net_[static_cast<std::size_t>(r)];
     Time start = est;
     while (true) {
-      const Time s1 = slots.earliest_feasible(start, t.duration, t.demand);
-      const Time s2 = net.earliest_feasible(s1, t.duration, t.net_demand);
+      const Time s1 = slots.earliest_feasible(start, duration, t.demand);
+      const Time s2 = net.earliest_feasible(s1, duration, t.net_demand);
       if (s2 == s1) return s1;
       start = s2;
     }
   }
 
-  void place(CpResourceIndex r, const CpTask& t, Time start) {
-    slot(r, t.phase).add(start, t.duration, t.demand);
+  void place(CpResourceIndex r, const CpTask& t, Time start, Time duration) {
+    slot(r, t.phase).add(start, duration, t.demand);
     if (net_constrained(r, t)) {
-      net_[static_cast<std::size_t>(r)].add(start, t.duration, t.net_demand);
+      net_[static_cast<std::size_t>(r)].add(start, duration, t.net_demand);
     }
   }
 
@@ -180,6 +182,16 @@ cp::Solution fallback_schedule(const cp::Model& model) {
   sol.placements.assign(model.num_tasks(), TaskPlacement{});
 
   Timetables tables(model);
+  // Anti-affinity: which resources each group already occupies
+  // ([group * num_resources + resource]), pinned members replayed.
+  std::vector<int> group_use(
+      static_cast<std::size_t>(model.num_affinity_groups()) *
+          model.num_resources(),
+      0);
+  auto group_slot = [&](int group, CpResourceIndex r) -> int& {
+    return group_use[static_cast<std::size_t>(group) * model.num_resources() +
+                     static_cast<std::size_t>(r)];
+  };
   std::vector<Time> fixed_map_end(model.num_jobs(), Time{0});
   for (std::size_t ji = 0; ji < model.num_jobs(); ++ji) {
     fixed_map_end[ji] = model.job(static_cast<CpJobIndex>(ji)).earliest_start;
@@ -187,12 +199,14 @@ cp::Solution fallback_schedule(const cp::Model& model) {
   for (std::size_t ti = 0; ti < model.num_tasks(); ++ti) {
     const CpTask& t = model.task(static_cast<CpTaskIndex>(ti));
     if (!t.pinned) continue;
-    tables.place(t.pinned_resource, t, t.pinned_start);
+    const Time dur =
+        model.duration_on(static_cast<CpTaskIndex>(ti), t.pinned_resource);
+    tables.place(t.pinned_resource, t, t.pinned_start, dur);
     sol.placements[ti] = TaskPlacement{t.pinned_resource, t.pinned_start};
+    if (t.affinity_group >= 0) ++group_slot(t.affinity_group, t.pinned_resource);
     if (t.phase == Phase::kMap) {
       const auto ji = static_cast<std::size_t>(t.job);
-      fixed_map_end[ji] =
-          std::max(fixed_map_end[ji], t.pinned_start + t.duration);
+      fixed_map_end[ji] = std::max(fixed_map_end[ji], t.pinned_start + dur);
     }
   }
 
@@ -206,17 +220,25 @@ cp::Solution fallback_schedule(const cp::Model& model) {
     for (CpTaskIndex p : model.predecessors(ti)) {
       const TaskPlacement& pp = sol.placements[static_cast<std::size_t>(p)];
       MRCP_DCHECK(pp.decided());
-      est = std::max(est, pp.start + model.task(p).duration);
+      est = std::max(est, pp.start + model.duration_on(p, pp.resource));
     }
 
+    // Greedy pick: earliest *completion* (start on homogeneous clusters,
+    // where every duration ties and the first resource wins as before).
     CpResourceIndex chosen = cp::kAnyResource;
     Time chosen_start = kMaxTime;
+    Time chosen_dur = Time{0};
+    Time chosen_end = kMaxTime;
     auto consider = [&](CpResourceIndex r) {
       if (!tables.hosts(r, t)) return;
-      const Time start = tables.earliest_on(r, t, est);
-      if (start < chosen_start) {
+      if (t.affinity_group >= 0 && group_slot(t.affinity_group, r) > 0) return;
+      const Time dur = model.duration_on(ti, r);
+      const Time start = tables.earliest_on(r, t, est, dur);
+      if (start + dur < chosen_end) {
         chosen = r;
         chosen_start = start;
+        chosen_dur = dur;
+        chosen_end = start + dur;
       }
     };
     if (t.candidates.empty()) {
@@ -229,12 +251,13 @@ cp::Solution fallback_schedule(const cp::Model& model) {
     }
     if (chosen == cp::kAnyResource) return Solution{};  // no host: invalid
 
-    tables.place(chosen, t, chosen_start);
+    tables.place(chosen, t, chosen_start, chosen_dur);
     sol.placements[static_cast<std::size_t>(ti)] =
         TaskPlacement{chosen, chosen_start};
+    if (t.affinity_group >= 0) ++group_slot(t.affinity_group, chosen);
     if (t.phase == Phase::kMap) {
       fixed_map_end[ji] =
-          std::max(fixed_map_end[ji], chosen_start + t.duration);
+          std::max(fixed_map_end[ji], chosen_start + chosen_dur);
     }
   }
 

@@ -11,7 +11,8 @@ namespace {
 
 // All composite codecs share one format version; bump it (and branch in
 // the decoders) when a field list changes.
-constexpr std::uint8_t kFormatVersion = 1;
+// v2: tasks carry placement constraints (candidates, racks, affinity).
+constexpr std::uint8_t kFormatVersion = 2;
 
 void check_version(io::Decoder& dec, const char* what) {
   const std::uint8_t version = dec.u8();
@@ -51,6 +52,11 @@ void encode_task(io::Encoder& enc, const Task& task) {
   enc.ticks(task.exec_time);
   enc.i64(task.res_req);
   enc.i64(task.net_demand);
+  enc.u32(static_cast<std::uint32_t>(task.candidates.size()));
+  for (const ResourceId r : task.candidates) enc.i64(r);
+  enc.u32(static_cast<std::uint32_t>(task.racks.size()));
+  for (const int rack : task.racks) enc.i64(rack);
+  enc.i64(task.affinity_group);
 }
 
 Task decode_task(io::Decoder& dec) {
@@ -59,6 +65,15 @@ Task decode_task(io::Decoder& dec) {
   task.exec_time = dec.ticks();
   task.res_req = decode_int32(dec, "task res_req");
   task.net_demand = decode_int32(dec, "task net_demand");
+  const std::uint32_t num_candidates = dec.u32();
+  for (std::uint32_t i = 0; i < num_candidates && dec.ok(); ++i) {
+    task.candidates.push_back(decode_int32(dec, "task candidate"));
+  }
+  const std::uint32_t num_racks = dec.u32();
+  for (std::uint32_t i = 0; i < num_racks && dec.ok(); ++i) {
+    task.racks.push_back(decode_int32(dec, "task rack"));
+  }
+  task.affinity_group = decode_int32(dec, "task affinity group");
   return task;
 }
 

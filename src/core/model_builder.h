@@ -25,12 +25,19 @@ namespace mrcp {
 struct LiveTask {
   int task_index = -1;  ///< flat index within the job
   TaskType type = TaskType::kMap;
-  Time exec_time;
+  Time exec_time;  ///< baseline-speed duration; resources scale it
   int res_req = 1;
   int net_demand = 0;
   bool started = false;          ///< running now: pinned in the model
   ResourceId resource = kNoResource;  ///< valid when started
   Time start = kNoTime;               ///< valid when started
+  /// Placement constraints (all empty/-1 = unconstrained):
+  std::vector<ResourceId> candidates;  ///< data-locality hosts (empty = any)
+  std::vector<int> racks;              ///< eligible rack ids (empty = any)
+  int affinity_group = -1;             ///< job-local anti-affinity group
+  /// Resources permanently taken by *completed* same-group siblings —
+  /// live members may never land there again.
+  std::vector<ResourceId> anti_affinity_exclude;
 };
 
 /// A job with at least one uncompleted task.
@@ -60,6 +67,8 @@ BuiltModel build_direct_model(const Cluster& cluster,
 
 /// Requires all task res_req == 1 (slot-level matchmaking assumes unit
 /// demands, as the paper does: "the value of q_t is typically set to one").
+/// Also requires a uniform-speed cluster and no placement constraints —
+/// a single summed resource cannot express per-machine speeds or hosts.
 BuiltModel build_combined_model(const Cluster& cluster,
                                 std::span<const LiveJob> jobs);
 

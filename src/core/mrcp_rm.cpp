@@ -221,6 +221,21 @@ std::vector<LiveJob> MrcpRm::collect_live_jobs(Time now, bool freeze_planned,
     // Table 2 lines 1-4: an earliest start time in the past becomes `now`.
     lj.effective_earliest_start = std::max(st.job.earliest_start, now);
     lj.deadline = st.job.deadline;
+    // Resources permanently burned per anti-affinity group: a *completed*
+    // member's host is off-limits to every live sibling, but the
+    // completed task itself is no longer in the model to enforce that —
+    // compile the exclusion into each live member instead.
+    std::map<int, std::vector<ResourceId>> burned;
+    for (std::size_t ti = 0; ti < st.job.num_tasks(); ++ti) {
+      if (!st.completed[ti]) continue;
+      const int group = st.job.task(ti).affinity_group;
+      if (group < 0) continue;
+      const ResourceId host = st.assignments[ti].resource;
+      auto& list = burned[group];
+      if (std::find(list.begin(), list.end(), host) == list.end()) {
+        list.push_back(host);
+      }
+    }
     for (std::size_t ti = 0; ti < st.job.num_tasks(); ++ti) {
       if (st.completed[ti]) continue;
       const Task& task = st.job.task(ti);
@@ -230,6 +245,13 @@ std::vector<LiveJob> MrcpRm::collect_live_jobs(Time now, bool freeze_planned,
       lt.exec_time = task.exec_time;
       lt.res_req = task.res_req;
       lt.net_demand = task.net_demand;
+      lt.candidates = task.candidates;
+      lt.racks = task.racks;
+      lt.affinity_group = task.affinity_group;
+      if (task.affinity_group >= 0) {
+        const auto bit = burned.find(task.affinity_group);
+        if (bit != burned.end()) lt.anti_affinity_exclude = bit->second;
+      }
       const Assignment& as = st.assignments[ti];
       // Freezing never pins a planned assignment onto a down resource:
       // handle_resource_down resets those, so one surviving here would
@@ -313,19 +335,81 @@ std::vector<LiveJob> MrcpRm::collect_live_jobs(Time now, bool freeze_planned,
 
 namespace {
 
+/// Is `r` (by id) within the task's placement constraints — candidate
+/// list, rack locality, and resources burned by completed anti-affinity
+/// siblings?
+bool placement_allows(const Cluster& cluster, const LiveTask& lt,
+                      ResourceId r) {
+  if (!lt.candidates.empty() &&
+      std::find(lt.candidates.begin(), lt.candidates.end(), r) ==
+          lt.candidates.end()) {
+    return false;
+  }
+  if (!lt.racks.empty()) {
+    const int rack = cluster.resource(r).rack;
+    if (std::find(lt.racks.begin(), lt.racks.end(), rack) == lt.racks.end()) {
+      return false;
+    }
+  }
+  return std::find(lt.anti_affinity_exclude.begin(),
+                   lt.anti_affinity_exclude.end(),
+                   r) == lt.anti_affinity_exclude.end();
+}
+
+/// Can `r` host `lt` at all: capacity, links, placement constraints.
+bool resource_hosts(const Cluster& cluster, const LiveTask& lt, ResourceId r,
+                    bool links_constrained) {
+  const Resource& res = cluster.resource(r);
+  if (res.capacity(lt.type) < lt.res_req) return false;
+  if (lt.net_demand > 0 && links_constrained &&
+      res.net_capacity < lt.net_demand) {
+    return false;
+  }
+  return placement_allows(cluster, lt, r);
+}
+
 /// Mirror of Model::validate()'s per-task fit check against a concrete
 /// cluster: can some resource host the task at all?
 bool task_fits_somewhere(const Cluster& cluster, const LiveTask& lt,
                          bool links_constrained) {
-  for (const Resource& r : cluster.resources()) {
-    if (r.capacity(lt.type) < lt.res_req) continue;
-    if (lt.net_demand > 0 && links_constrained &&
-        r.net_capacity < lt.net_demand) {
-      continue;
-    }
-    return true;
+  for (ResourceId r = 0; r < cluster.size(); ++r) {
+    if (resource_hosts(cluster, lt, r, links_constrained)) return true;
   }
   return false;
+}
+
+/// Hall-style necessary condition for a job's anti-affinity groups: the
+/// union of eligible hosts across a group's live members must be at
+/// least the member count, or no pairwise-distinct placement exists.
+/// (Started members are eligible only where they already run.) This is a
+/// park trigger, not a completeness proof — the CP search settles the
+/// rest.
+bool affinity_groups_satisfiable(const Cluster& cluster, const LiveJob& lj,
+                                 bool links_constrained) {
+  std::map<int, std::pair<int, std::vector<ResourceId>>> groups;
+  for (const LiveTask& lt : lj.tasks) {
+    if (lt.affinity_group < 0) continue;
+    auto& [members, hosts] = groups[lt.affinity_group];
+    ++members;
+    auto add_host = [&hosts = hosts](ResourceId r) {
+      if (std::find(hosts.begin(), hosts.end(), r) == hosts.end()) {
+        hosts.push_back(r);
+      }
+    };
+    if (lt.started) {
+      add_host(lt.resource);
+      continue;
+    }
+    for (ResourceId r = 0; r < cluster.size(); ++r) {
+      if (resource_hosts(cluster, lt, r, links_constrained)) add_host(r);
+    }
+  }
+  for (const auto& [group, entry] : groups) {
+    if (entry.second.size() < static_cast<std::size_t>(entry.first)) {
+      return false;
+    }
+  }
+  return true;
 }
 
 bool cluster_links_constrained(const Cluster& cluster) {
@@ -356,6 +440,8 @@ std::uint64_t live_fingerprint(const Cluster& cluster,
     h = fp_mix(h, static_cast<std::uint64_t>(r.map_capacity));
     h = fp_mix(h, static_cast<std::uint64_t>(r.reduce_capacity));
     h = fp_mix(h, static_cast<std::uint64_t>(r.net_capacity));
+    h = fp_mix(h, static_cast<std::uint64_t>(r.speed_permille));
+    h = fp_mix(h, static_cast<std::uint64_t>(r.rack));
   }
   h = fp_mix(h, live.size());
   for (const LiveJob& lj : live) {
@@ -372,6 +458,19 @@ std::uint64_t live_fingerprint(const Cluster& cluster,
       h = fp_mix(h, static_cast<std::uint64_t>(lt.started));
       h = fp_mix(h, static_cast<std::uint64_t>(lt.resource));
       h = fp_mix(h, static_cast<std::uint64_t>(lt.start.count()));
+      h = fp_mix(h, lt.candidates.size());
+      for (const ResourceId r : lt.candidates) {
+        h = fp_mix(h, static_cast<std::uint64_t>(r));
+      }
+      h = fp_mix(h, lt.racks.size());
+      for (const int rack : lt.racks) {
+        h = fp_mix(h, static_cast<std::uint64_t>(rack));
+      }
+      h = fp_mix(h, static_cast<std::uint64_t>(lt.affinity_group));
+      h = fp_mix(h, lt.anti_affinity_exclude.size());
+      for (const ResourceId r : lt.anti_affinity_exclude) {
+        h = fp_mix(h, static_cast<std::uint64_t>(r));
+      }
     }
     h = fp_mix(h, lj.precedences.size());
     for (const auto& [before, after] : lj.precedences) {
@@ -425,6 +524,15 @@ void MrcpRm::park_unplaceable(std::vector<LiveJob>& live, Time now) {
                      "task demand exceeds every resource in the cluster");
       park = true;
       break;
+    }
+    // Each task fitting *somewhere* is not enough under anti-affinity:
+    // the group needs pairwise-distinct hosts. Same fatal-vs-park split
+    // as above, against the pristine cluster.
+    if (!park && !affinity_groups_satisfiable(cluster_, lj, cur_links)) {
+      MRCP_CHECK_MSG(
+          affinity_groups_satisfiable(pristine_cluster_, lj, pristine_links),
+          "anti-affinity group larger than its eligible resource pool");
+      park = true;
     }
     if (!park) {
       ++it;
@@ -573,12 +681,16 @@ const Plan& MrcpRm::reschedule(Time now) {
     for (const Resource& r : cluster_.resources()) {
       cluster_constrains_links |= r.net_capacity > 0;
     }
+    bool placement_active = false;
     std::size_t live_tasks = 0;
     for (const LiveJob& lj : live) {
       live_tasks += lj.tasks.size();
       for (const LiveTask& lt : lj.tasks) {
         unit_demands &= lt.res_req == 1;
         links_active |= lt.net_demand > 0 && cluster_constrains_links;
+        placement_active |= !lt.candidates.empty() || !lt.racks.empty() ||
+                            lt.affinity_group >= 0 ||
+                            !lt.anti_affinity_exclude.empty();
       }
     }
     stats_.max_live_tasks = std::max(stats_.max_live_tasks,
@@ -591,9 +703,12 @@ const Plan& MrcpRm::reschedule(Time now) {
     // per-resource model — which is cheap there, since only the dirty
     // jobs' tasks are free.
     // ... and per-resource link constraints likewise cannot be expressed
-    // on the combined resource.
+    // on the combined resource — nor can per-machine speeds (unless they
+    // are uniform, which the combined resource then carries) or any
+    // placement constraint, which names concrete machines.
     const bool combined =
         config_.use_separation && unit_demands && !links_active &&
+        !placement_active && cluster_.uniform_speed_permille() > 0 &&
         config_.replan_scope == ReplanScope::kAllUnstarted;
 
     BuiltModel local_built;
@@ -763,6 +878,22 @@ const Plan& MrcpRm::reschedule(Time now) {
         } else {
           // Full-model EDF plan — deterministic, never times out.
           chosen = fallback_schedule(built->model);
+          if (!chosen.valid && built->model.num_affinity_groups() > 0) {
+            // The greedy EDF pass can paint itself into a corner under
+            // anti-affinity (it never backtracks a group member off a
+            // contended host). A first-solution CP search without a hard
+            // deadline is complete — the soft budget never interrupts a
+            // descent that has no solution yet — so it settles
+            // feasibility outright.
+            cp::SolveParams complete = params;
+            complete.improvement_fails = 0;
+            complete.lns_iterations = 0;
+            complete.portfolio = {cp::JobOrdering::kEdf};
+            complete.hard_deadline = nullptr;
+            cp::SolveResult cr = cp::solve(built->model, complete);
+            account(cr);
+            chosen = std::move(cr.best);
+          }
           MRCP_CHECK_MSG(chosen.valid,
                          "fallback scheduler failed on a validated model");
         }
@@ -795,7 +926,9 @@ const Plan& MrcpRm::reschedule(Time now) {
         item.type = ct.phase == cp::Phase::kMap ? TaskType::kMap
                                                 : TaskType::kReduce;
         item.start = placement.start;
-        item.end = placement.start + ct.duration;
+        item.end = placement.start +
+                   bm.model.duration_on(static_cast<cp::CpTaskIndex>(i),
+                                        placement.resource);
         item.pinned = ct.pinned;
         if (ct.pinned) {
           const auto& [job_id, task_index] = bm.task_refs[i];
@@ -812,15 +945,18 @@ const Plan& MrcpRm::reschedule(Time now) {
       }
     }
 
-    // Commit the new assignments.
+    // Commit the new assignments. Durations are resource-scaled: in
+    // combined mode the single CP resource carries the cluster's uniform
+    // speed, so placements[i].resource is the right scaling source in
+    // both modes (matchmade hosts all run at that same speed).
     for (std::size_t i = 0; i < bm.task_refs.size(); ++i) {
       const auto& [job_id, task_index] = bm.task_refs[i];
-      const cp::CpTask& ct = bm.model.task(static_cast<cp::CpTaskIndex>(i));
       Assignment& as =
           active_.at(job_id).assignments[static_cast<std::size_t>(task_index)];
       as.resource = resources[i];
       as.start = chosen.placements[i].start;
-      as.end = as.start + ct.duration;
+      as.end = as.start + bm.model.duration_on(static_cast<cp::CpTaskIndex>(i),
+                                               chosen.placements[i].resource);
     }
     rec.live_tasks = bm.model.num_tasks();
   }

@@ -1,7 +1,9 @@
 #include "core/plan.h"
 
+#include <algorithm>
 #include <map>
 #include <sstream>
+#include <tuple>
 
 #include "common/check.h"
 
@@ -22,6 +24,9 @@ std::string validate_plan(const Plan& plan, const Cluster& cluster,
   }
   // (resource, phase) -> time -> usage delta
   std::map<std::pair<ResourceId, int>, std::map<Time, int>> deltas;
+  // Anti-affinity: (job, group, resource) -> first holder in the plan.
+  std::map<std::tuple<JobId, int, ResourceId>, const PlannedTask*>
+      group_holders;
   // job -> latest map end / earliest reduce start in this plan
   std::map<JobId, Time> latest_map_end;
   std::map<JobId, Time> earliest_reduce_start;
@@ -46,14 +51,36 @@ std::string validate_plan(const Plan& plan, const Cluster& cluster,
     }
     const Task& task = job.task(static_cast<std::size_t>(pt.task_index));
     if (task.type != pt.type) return where.str() + "task type mismatch";
-    if (pt.duration() != task.exec_time) {
-      return where.str() + "duration does not match task exec time";
+    const Resource& host = cluster.resource(pt.resource);
+    if (pt.duration() != host.scaled_duration(task.exec_time)) {
+      return where.str() +
+             "duration does not match task exec time scaled by the "
+             "resource speed";
     }
     if (!pt.started && pt.type == TaskType::kMap &&
         pt.start < job.earliest_start) {
       return where.str() + "map scheduled before s_j";
     }
-    const int cap = cluster.resource(pt.resource).capacity(pt.type);
+    if (!pt.started && !task.candidates.empty() &&
+        std::find(task.candidates.begin(), task.candidates.end(),
+                  pt.resource) == task.candidates.end()) {
+      return where.str() + "resource not among the task's candidates";
+    }
+    if (!pt.started && !task.racks.empty() &&
+        std::find(task.racks.begin(), task.racks.end(), host.rack) ==
+            task.racks.end()) {
+      return where.str() + "resource outside the task's racks";
+    }
+    if (task.affinity_group >= 0) {
+      auto [it, inserted] = group_holders.try_emplace(
+          std::make_tuple(pt.job, task.affinity_group, pt.resource), &pt);
+      if (!inserted) {
+        return where.str() + "shares resource " + std::to_string(pt.resource) +
+               " with task " + std::to_string(it->second->task_index) +
+               " of the same anti-affinity group";
+      }
+    }
+    const int cap = host.capacity(pt.type);
     if (cap < task.res_req) return where.str() + "resource lacks capacity";
 
     deltas[{pt.resource, static_cast<int>(pt.type)}][pt.start] += task.res_req;

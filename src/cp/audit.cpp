@@ -251,11 +251,12 @@ std::string brute_force_check_solution(const Model& model,
       os << "brute-force audit: map task " << ti << " starts before s_j";
       return os.str();
     }
-    // Constraint 3 — this reduce after every map of its job.
+    // Constraint 3 — this reduce after every map of its job. Durations
+    // are taken at each map's assigned machine speed.
     if (!t.pinned && t.phase == Phase::kReduce) {
       for (CpTaskIndex m : j.map_tasks) {
         const TaskPlacement& mp = sol.placements[static_cast<std::size_t>(m)];
-        if (p.start < mp.start + model.task(m).duration) {
+        if (p.start < mp.start + model.duration_on(m, mp.resource)) {
           os << "brute-force audit: reduce " << ti << " overlaps map " << m;
           return os.str();
         }
@@ -266,9 +267,24 @@ std::string brute_force_check_solution(const Model& model,
       for (CpTaskIndex pred : model.predecessors(ti)) {
         const TaskPlacement& pp =
             sol.placements[static_cast<std::size_t>(pred)];
-        if (p.start < pp.start + model.task(pred).duration) {
+        if (p.start < pp.start + model.duration_on(pred, pp.resource)) {
           os << "brute-force audit: task " << ti << " starts before pred "
              << pred << " ends";
+          return os.str();
+        }
+      }
+    }
+    // Anti-affinity: no other task of the same group on the same resource.
+    if (t.affinity_group >= 0) {
+      for (CpTaskIndex tj = 0; tj < n; ++tj) {
+        if (tj == ti) continue;
+        const CpTask& u = model.task(tj);
+        if (u.affinity_group == t.affinity_group &&
+            sol.placements[static_cast<std::size_t>(tj)].resource ==
+                p.resource) {
+          os << "brute-force audit: tasks " << ti << " and " << tj
+             << " of affinity group " << t.affinity_group
+             << " share resource " << p.resource;
           return os.str();
         }
       }
@@ -287,8 +303,9 @@ std::string brute_force_check_solution(const Model& model,
       const CpTask& u = model.task(tj);
       const TaskPlacement& q = sol.placements[static_cast<std::size_t>(tj)];
       if (q.resource != p.resource) continue;
-      const bool covers = q.start <= p.start &&
-                          p.start < q.start + u.duration;
+      const bool covers =
+          q.start <= p.start &&
+          p.start < q.start + model.duration_on(tj, q.resource);
       if (!covers) continue;
       if (u.phase == t.phase) slot_usage += u.demand;
       if (links && u.net_demand > 0) net_usage += u.net_demand;
@@ -329,6 +346,7 @@ struct EnumState {
   // links.
   std::vector<ReferenceProfile> slots;
   std::vector<ReferenceProfile> net;
+  std::vector<int> group_use;  ///< [group * num_resources + resource]
   bool links;
 };
 
@@ -339,12 +357,13 @@ Time enum_earliest_start(const EnumState& st, CpTaskIndex ti) {
   if (t.phase == Phase::kReduce) {
     for (CpTaskIndex m : j.map_tasks) {
       const TaskPlacement& mp = st.placements[static_cast<std::size_t>(m)];
-      est = std::max(est, mp.start + st.model.task(m).duration);
+      est = std::max(est,
+                     mp.start + st.model.duration_on(m, mp.resource));
     }
   }
   for (CpTaskIndex p : st.model.predecessors(ti)) {
     const TaskPlacement& pp = st.placements[static_cast<std::size_t>(p)];
-    est = std::max(est, pp.start + st.model.task(p).duration);
+    est = std::max(est, pp.start + st.model.duration_on(p, pp.resource));
   }
   return est;
 }
@@ -362,11 +381,13 @@ void enum_recurse(EnumState& st, std::size_t scheduled) {
       Time completion{};
       for (CpTaskIndex m : j.map_tasks) {
         const auto& p = st.placements[static_cast<std::size_t>(m)];
-        completion = std::max(completion, p.start + st.model.task(m).duration);
+        completion =
+            std::max(completion, p.start + st.model.duration_on(m, p.resource));
       }
       for (CpTaskIndex r : j.reduce_tasks) {
         const auto& p = st.placements[static_cast<std::size_t>(r)];
-        completion = std::max(completion, p.start + st.model.task(r).duration);
+        completion =
+            std::max(completion, p.start + st.model.duration_on(r, p.resource));
       }
       if (completion > j.deadline) ++late;
     }
@@ -385,6 +406,18 @@ void enum_recurse(EnumState& st, std::size_t scheduled) {
       if (res.capacity(t.phase) < t.demand) return;
       const bool net_active = st.links && t.net_demand > 0;
       if (net_active && res.net_capacity < t.net_demand) return;
+      // Anti-affinity: a resource already holding a group member is not an
+      // alternative for this task.
+      const std::size_t group_key =
+          t.affinity_group >= 0
+              ? static_cast<std::size_t>(t.affinity_group) *
+                        st.model.num_resources() +
+                    static_cast<std::size_t>(r)
+              : 0;
+      if (t.affinity_group >= 0 && st.group_use[group_key] > 0) return;
+      // The effective duration is this machine's — the enum oracle scales
+      // independently of the engine.
+      const Time dur = st.model.duration_on(ti, r);
       ReferenceProfile& slot =
           st.slots[static_cast<std::size_t>(r) * 2 +
                    static_cast<std::size_t>(t.phase)];
@@ -393,10 +426,9 @@ void enum_recurse(EnumState& st, std::size_t scheduled) {
       // definition of feasibility, computed independently).
       Time start = est;
       while (true) {
-        const Time s1 = slot.earliest_feasible(start, t.duration, t.demand);
+        const Time s1 = slot.earliest_feasible(start, dur, t.demand);
         const Time s2 = net_active
-                            ? link.earliest_feasible(s1, t.duration,
-                                                     t.net_demand)
+                            ? link.earliest_feasible(s1, dur, t.net_demand)
                             : s1;
         if (s2 == s1) {
           start = s1;
@@ -404,8 +436,9 @@ void enum_recurse(EnumState& st, std::size_t scheduled) {
         }
         start = s2;
       }
-      slot.add(start, t.duration, t.demand);
-      if (net_active) link.add(start, t.duration, t.net_demand);
+      slot.add(start, dur, t.demand);
+      if (net_active) link.add(start, dur, t.net_demand);
+      if (t.affinity_group >= 0) ++st.group_use[group_key];
       st.placements[static_cast<std::size_t>(ti)] = TaskPlacement{r, start};
       for (CpTaskIndex s : st.succs[static_cast<std::size_t>(ti)]) {
         --st.unscheduled_preds[static_cast<std::size_t>(s)];
@@ -417,8 +450,9 @@ void enum_recurse(EnumState& st, std::size_t scheduled) {
         ++st.unscheduled_preds[static_cast<std::size_t>(s)];
       }
       st.placements[static_cast<std::size_t>(ti)] = TaskPlacement{};
-      slot.remove(start, t.duration, t.demand);
-      if (net_active) link.remove(start, t.duration, t.net_demand);
+      if (t.affinity_group >= 0) --st.group_use[group_key];
+      slot.remove(start, dur, t.demand);
+      if (net_active) link.remove(start, dur, t.net_demand);
     };
 
     if (t.candidates.empty()) {
@@ -438,10 +472,15 @@ int exhaustive_min_late(const Model& model, std::int64_t max_schedules) {
   MRCP_CHECK_MSG(model.validate().empty(),
                  "exhaustive_min_late: invalid model");
   EnumState st{model, max_schedules, false, std::numeric_limits<int>::max(),
-               {}, {}, {}, {}, {}, model.links_constrained()};
+               {}, {}, {}, {}, {}, {}, model.links_constrained()};
   st.placements.assign(model.num_tasks(), TaskPlacement{});
   st.unscheduled_preds.assign(model.num_tasks(), 0);
   st.succs.assign(model.num_tasks(), {});
+  if (model.num_affinity_groups() > 0) {
+    st.group_use.assign(static_cast<std::size_t>(model.num_affinity_groups()) *
+                            model.num_resources(),
+                        0);
+  }
   st.slots.reserve(model.num_resources() * 2);
   st.net.reserve(model.num_resources());
   for (const CpResource& r : model.resources()) {
@@ -456,15 +495,21 @@ int exhaustive_min_late(const Model& model, std::int64_t max_schedules) {
   for (CpTaskIndex ti = 0; ti < n; ++ti) {
     const CpTask& t = model.task(ti);
     if (t.pinned) {
+      const Time dur = model.duration_on(ti, t.pinned_resource);
       st.placements[static_cast<std::size_t>(ti)] =
           TaskPlacement{t.pinned_resource, t.pinned_start};
       st.slots[static_cast<std::size_t>(t.pinned_resource) * 2 +
                static_cast<std::size_t>(t.phase)]
-          .add(t.pinned_start, t.duration, t.demand);
+          .add(t.pinned_start, dur, t.demand);
       if (st.links && t.net_demand > 0 &&
           model.resource(t.pinned_resource).net_capacity > 0) {
         st.net[static_cast<std::size_t>(t.pinned_resource)].add(
-            t.pinned_start, t.duration, t.net_demand);
+            t.pinned_start, dur, t.net_demand);
+      }
+      if (t.affinity_group >= 0) {
+        ++st.group_use[static_cast<std::size_t>(t.affinity_group) *
+                           model.num_resources() +
+                       static_cast<std::size_t>(t.pinned_resource)];
       }
       ++pre_placed;
       continue;

@@ -5,9 +5,13 @@
 namespace mrcp::cp {
 
 CpResourceIndex Model::add_resource(int map_capacity, int reduce_capacity,
-                                    int net_capacity) {
+                                    int net_capacity, int speed_permille) {
   MRCP_CHECK(map_capacity >= 0 && reduce_capacity >= 0 && net_capacity >= 0);
-  resources_.push_back(CpResource{map_capacity, reduce_capacity, net_capacity});
+  MRCP_CHECK(speed_permille > 0);
+  resources_.push_back(
+      CpResource{map_capacity, reduce_capacity, net_capacity, speed_permille});
+  max_speed_permille_ = std::max(max_speed_permille_, speed_permille);
+  hetero_speeds_ = hetero_speeds_ || speed_permille != kBaseSpeedPermille;
   return static_cast<CpResourceIndex>(resources_.size() - 1);
 }
 
@@ -56,6 +60,13 @@ void Model::restrict_candidates(CpTaskIndex task,
   tasks_[static_cast<std::size_t>(task)].candidates = std::move(resources);
 }
 
+void Model::set_affinity_group(CpTaskIndex task, int group) {
+  MRCP_CHECK(task >= 0 && static_cast<std::size_t>(task) < tasks_.size());
+  MRCP_CHECK(group >= 0);
+  tasks_[static_cast<std::size_t>(task)].affinity_group = group;
+  num_affinity_groups_ = std::max(num_affinity_groups_, group + 1);
+}
+
 void Model::pin_task(CpTaskIndex task, CpResourceIndex resource, Time start) {
   MRCP_CHECK(task >= 0 && static_cast<std::size_t>(task) < tasks_.size());
   MRCP_CHECK(resource >= 0 && static_cast<std::size_t>(resource) < resources_.size());
@@ -79,12 +90,20 @@ Time Model::static_earliest_start(CpTaskIndex task) const {
   if (t.pinned) return t.pinned_start;
   const CpJob& j = jobs_[static_cast<std::size_t>(t.job)];
   Time est = j.earliest_start;
+  // Durations are assignment-dependent: a pinned task runs at its fixed
+  // resource's speed, an undecided one no faster than min_duration — both
+  // keep this a valid lower bound.
+  auto duration_lb = [&](CpTaskIndex i) {
+    const CpTask& other = tasks_[static_cast<std::size_t>(i)];
+    return other.pinned ? duration_on(i, other.pinned_resource)
+                        : min_duration(i);
+  };
   if (t.phase == Phase::kReduce) {
     // A reduce may not start before every map of the job could have ended.
     for (CpTaskIndex m : j.map_tasks) {
       const CpTask& mt = tasks_[static_cast<std::size_t>(m)];
       const Time start_lb = mt.pinned ? mt.pinned_start : j.earliest_start;
-      est = std::max(est, start_lb + mt.duration);
+      est = std::max(est, start_lb + duration_lb(m));
     }
   }
   // User precedences: recursive chains tighten this further, but the
@@ -96,7 +115,7 @@ Time Model::static_earliest_start(CpTaskIndex task) const {
                               ? pt.pinned_start
                               : jobs_[static_cast<std::size_t>(pt.job)]
                                     .earliest_start;
-    est = std::max(est, start_lb + pt.duration);
+    est = std::max(est, start_lb + duration_lb(p));
   }
   return est;
 }
@@ -114,17 +133,25 @@ Time Model::completion_lower_bound(CpJobIndex job) const {
   Time completion = j.earliest_start;
   Time map_work{};
   Time reduce_work{};
+  // Both bounds use assignment-independent duration lower bounds: a
+  // pinned task's duration is exact at its fixed resource, an undecided
+  // task's is min_duration (no machine runs it faster).
+  auto duration_lb = [&](CpTaskIndex t) {
+    const CpTask& task = tasks_[static_cast<std::size_t>(t)];
+    return task.pinned ? duration_on(t, task.pinned_resource)
+                       : min_duration(t);
+  };
   for (CpTaskIndex t : j.map_tasks) {
     const CpTask& task = tasks_[static_cast<std::size_t>(t)];
     completion =
-        std::max(completion, static_earliest_start(t) + task.duration);
-    if (!task.pinned) map_work += task.duration;
+        std::max(completion, static_earliest_start(t) + duration_lb(t));
+    if (!task.pinned) map_work += duration_lb(t);
   }
   for (CpTaskIndex t : j.reduce_tasks) {
     const CpTask& task = tasks_[static_cast<std::size_t>(t)];
     completion =
-        std::max(completion, static_earliest_start(t) + task.duration);
-    if (!task.pinned) reduce_work += task.duration;
+        std::max(completion, static_earliest_start(t) + duration_lb(t));
+    if (!task.pinned) reduce_work += duration_lb(t);
   }
   std::int64_t map_slots = 0;
   std::int64_t reduce_slots = 0;
@@ -204,6 +231,55 @@ std::string Model::validate() const {
     if (j.map_tasks.empty() && j.reduce_tasks.empty()) return where + "no tasks";
   }
 
+  // Anti-affinity groups: each group needs as many pairwise-distinct
+  // capable resources as it has members (a Hall-style necessary check on
+  // the union of the members' eligible sets), and pinned members must not
+  // already collide. The RM parks jobs whose groups cannot fit before
+  // building a model, so a violation here is a modeling bug.
+  if (num_affinity_groups_ > 0) {
+    std::vector<std::vector<bool>> eligible(
+        static_cast<std::size_t>(num_affinity_groups_),
+        std::vector<bool>(resources_.size(), false));
+    std::vector<int> members(static_cast<std::size_t>(num_affinity_groups_), 0);
+    std::vector<std::vector<CpResourceIndex>> pinned_at(
+        static_cast<std::size_t>(num_affinity_groups_));
+    for (std::size_t ti = 0; ti < tasks_.size(); ++ti) {
+      const CpTask& t = tasks_[ti];
+      if (t.affinity_group < 0) continue;
+      const auto g = static_cast<std::size_t>(t.affinity_group);
+      ++members[g];
+      if (t.pinned) pinned_at[g].push_back(t.pinned_resource);
+      auto mark = [&](CpResourceIndex r) {
+        if (resources_[static_cast<std::size_t>(r)].capacity(t.phase) >=
+            t.demand) {
+          eligible[g][static_cast<std::size_t>(r)] = true;
+        }
+      };
+      if (t.candidates.empty()) {
+        for (std::size_t r = 0; r < resources_.size(); ++r) {
+          mark(static_cast<CpResourceIndex>(r));
+        }
+      } else {
+        for (CpResourceIndex r : t.candidates) mark(r);
+      }
+    }
+    for (std::size_t g = 0; g < eligible.size(); ++g) {
+      std::sort(pinned_at[g].begin(), pinned_at[g].end());
+      if (std::adjacent_find(pinned_at[g].begin(), pinned_at[g].end()) !=
+          pinned_at[g].end()) {
+        return "affinity group " + std::to_string(g) +
+               ": two pinned members share a resource";
+      }
+      const auto hosts = static_cast<int>(
+          std::count(eligible[g].begin(), eligible[g].end(), true));
+      if (members[g] > hosts) {
+        return "affinity group " + std::to_string(g) + ": " +
+               std::to_string(members[g]) + " members but only " +
+               std::to_string(hosts) + " eligible resources";
+      }
+    }
+  }
+
   // The combined precedence graph (user edges + per-job map->reduce
   // barriers, the latter via one virtual node per job) must be acyclic.
   if (num_precedences_ > 0) {
@@ -257,7 +333,8 @@ bool structurally_equal(const Model& a, const Model& b) {
     const CpResource& rb = b.resources_[i];
     if (ra.map_capacity != rb.map_capacity ||
         ra.reduce_capacity != rb.reduce_capacity ||
-        ra.net_capacity != rb.net_capacity) {
+        ra.net_capacity != rb.net_capacity ||
+        ra.speed_permille != rb.speed_permille) {
       return false;
     }
   }
@@ -278,6 +355,7 @@ bool structurally_equal(const Model& a, const Model& b) {
         ta.net_demand != tb.net_demand || ta.candidates != tb.candidates ||
         ta.pinned != tb.pinned || ta.pinned_resource != tb.pinned_resource ||
         ta.pinned_start != tb.pinned_start ||
+        ta.affinity_group != tb.affinity_group ||
         ta.external_id != tb.external_id) {
       return false;
     }

@@ -44,6 +44,9 @@ enum class Phase : std::uint8_t { kMap = 0, kReduce = 1 };
 struct CpTask {
   CpJobIndex job = -1;
   Phase phase = Phase::kMap;
+  /// Base duration at baseline machine speed. The effective duration is
+  /// assignment-dependent on heterogeneous clusters — use
+  /// Model::duration_on(task, resource), never `start + duration`.
   Time duration;
   int demand = 1;
   /// Network-link units consumed while running; constrained by the
@@ -60,11 +63,14 @@ struct CpTask {
   CpResourceIndex pinned_resource = kAnyResource;
   Time pinned_start;
 
+  /// Anti-affinity group id, or -1. Tasks sharing a group must be placed
+  /// on pairwise-distinct resources (dense model-global ids assigned via
+  /// Model::set_affinity_group).
+  int affinity_group = -1;
+
   /// External identity, carried through so the resource manager can map
   /// solutions back to its own job/task ids. Not interpreted by the solver.
   std::int64_t external_id = -1;
-
-  Time end_if_started_at(Time start) const { return start + duration; }
 };
 
 struct CpJob {
@@ -79,6 +85,8 @@ struct CpResource {
   int map_capacity = 0;
   int reduce_capacity = 0;
   int net_capacity = 0;  ///< 0 = unconstrained links
+  /// Machine speed in permille of the baseline (see scale_duration).
+  int speed_permille = kBaseSpeedPermille;
   int capacity(Phase phase) const {
     return phase == Phase::kMap ? map_capacity : reduce_capacity;
   }
@@ -87,7 +95,8 @@ struct CpResource {
 class Model {
  public:
   CpResourceIndex add_resource(int map_capacity, int reduce_capacity,
-                               int net_capacity = 0);
+                               int net_capacity = 0,
+                               int speed_permille = kBaseSpeedPermille);
   CpJobIndex add_job(Time earliest_start, Time deadline,
                      std::int64_t external_id = -1);
   CpTaskIndex add_task(CpJobIndex job, Phase phase, Time duration, int demand = 1,
@@ -95,6 +104,33 @@ class Model {
 
   /// Restrict the alternative for `task` to the given resources.
   void restrict_candidates(CpTaskIndex task, std::vector<CpResourceIndex> resources);
+
+  /// Put `task` in anti-affinity group `group` (>= 0): tasks sharing a
+  /// group must be placed on pairwise-distinct resources. Group ids must
+  /// be dense model-global ids (num_affinity_groups() tracks the count).
+  void set_affinity_group(CpTaskIndex task, int group);
+  int num_affinity_groups() const { return num_affinity_groups_; }
+
+  /// Effective duration of `task` when executed by `resource`: its base
+  /// duration scaled by the machine's speed. This is THE duration used by
+  /// timetables, solution ends and validators — `task.duration` alone is
+  /// only meaningful at baseline speed.
+  Time duration_on(CpTaskIndex task, CpResourceIndex resource) const {
+    return scale_duration(
+        tasks_[static_cast<std::size_t>(task)].duration,
+        resources_[static_cast<std::size_t>(resource)].speed_permille);
+  }
+
+  /// Valid lower bound on the effective duration of `task` regardless of
+  /// where it is eventually placed: its base duration scaled by the
+  /// fastest machine in the model. (Restricting to the task's candidate
+  /// set would be tighter but this stays O(1), and the bound only feeds
+  /// must-be-late detection and ordering heuristics.)
+  Time min_duration(CpTaskIndex task) const {
+    const Time base = tasks_[static_cast<std::size_t>(task)].duration;
+    return max_speed_permille_ > 0 ? scale_duration(base, max_speed_permille_)
+                                   : base;
+  }
 
   /// Pin a task that has already started executing (paper §V.B line 11):
   /// fixes its resource and start time.
@@ -152,12 +188,19 @@ class Model {
   /// (docs/incremental.md).
   friend bool structurally_equal(const Model& a, const Model& b);
 
+  /// True when any resource runs at a non-baseline speed: durations are
+  /// assignment-dependent.
+  bool hetero_speeds() const { return hetero_speeds_; }
+
  private:
   std::vector<CpTask> tasks_;
   std::vector<CpJob> jobs_;
   std::vector<CpResource> resources_;
   std::vector<std::vector<CpTaskIndex>> preds_;  ///< per-task predecessors
   std::size_t num_precedences_ = 0;
+  int num_affinity_groups_ = 0;
+  int max_speed_permille_ = 0;  ///< fastest machine seen; 0 = no resources
+  bool hetero_speeds_ = false;
 };
 
 }  // namespace mrcp::cp

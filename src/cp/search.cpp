@@ -4,6 +4,7 @@
 #include <limits>
 #include <numeric>
 #include <sstream>
+#include <tuple>
 
 #include "common/stopwatch.h"
 
@@ -29,12 +30,32 @@ std::vector<int> make_job_ranks(const Model& model, JobOrdering ordering) {
   // L_j = d_j - s_j - sum e_t (paper §VI.B).
   std::vector<Time> work(n, Time{0});
   if (ordering == JobOrdering::kLeastLaxity) {
-    for (const CpTask& t : model.tasks()) {
-      work[static_cast<std::size_t>(t.job)] += t.duration;
+    // Durations are assignment-dependent on heterogeneous clusters; the
+    // ranking heuristic uses each task's duration lower bound, which is
+    // exact on homogeneous clusters.
+    for (std::size_t ti = 0; ti < model.num_tasks(); ++ti) {
+      const CpTask& t = model.task(static_cast<CpTaskIndex>(ti));
+      work[static_cast<std::size_t>(t.job)] +=
+          model.min_duration(static_cast<CpTaskIndex>(ti));
     }
   }
 
-  auto key = [&](CpJobIndex j) -> std::pair<Time, std::int64_t> {
+  // Hopeless jobs decide last: a job whose completion lower bound already
+  // exceeds its deadline is late in every schedule, so placing its tasks
+  // early can only squat on capacity that would save another job (the
+  // set-times order is static — an early-ranked hopeless task can never
+  // be pushed past a later-ranked one). Only applied when durations are
+  // assignment-dependent or anti-affinity is active: on plain homogeneous
+  // models the ranking — and therefore every schedule the engine emits —
+  // stays bit-identical to the pre-extension solver.
+  const bool defer_hopeless =
+      model.hetero_speeds() || model.num_affinity_groups() > 0;
+  auto hopeless = [&](CpJobIndex j) -> int {
+    if (!defer_hopeless) return 0;
+    return model.completion_lower_bound(j) > model.job(j).deadline ? 1 : 0;
+  };
+
+  auto key = [&](CpJobIndex j) -> std::tuple<int, Time, std::int64_t> {
     const CpJob& job = model.job(j);
     // Jobs with unset external ids (-1) fall back to the model index so
     // the secondary key is always a total order — otherwise EDF/LLF/FCFS
@@ -43,17 +64,17 @@ std::vector<int> make_job_ranks(const Model& model, JobOrdering ordering) {
     const std::int64_t id = job.external_id >= 0 ? job.external_id : j;
     switch (ordering) {
       case JobOrdering::kJobId:
-        return {Time{0}, id};
+        return {hopeless(j), Time{0}, id};
       case JobOrdering::kEdf:
-        return {job.deadline, id};
+        return {hopeless(j), job.deadline, id};
       case JobOrdering::kLeastLaxity:
-        return {job.deadline - job.earliest_start -
-                    work[static_cast<std::size_t>(j)],
+        return {hopeless(j), job.deadline - job.earliest_start -
+                                 work[static_cast<std::size_t>(j)],
                 id};
       case JobOrdering::kFcfs:
-        return {job.earliest_start, id};
+        return {hopeless(j), job.earliest_start, id};
     }
-    return {Time{0}, j};
+    return {0, Time{0}, j};
   };
   std::stable_sort(jobs.begin(), jobs.end(), [&](CpJobIndex a, CpJobIndex b) {
     return key(a) < key(b);
@@ -108,30 +129,44 @@ SearchRoot::SearchRoot(const Model& model) : model_(&model) {
   auto net_constrained = [&](CpResourceIndex r, const CpTask& t) {
     return t.net_demand > 0 && model.resource(r).net_capacity > 0;
   };
+  if (model.num_affinity_groups() > 0) {
+    group_use_.assign(static_cast<std::size_t>(model.num_affinity_groups()) *
+                          model.num_resources(),
+                      0);
+  }
   for (std::size_t ti = 0; ti < model.num_tasks(); ++ti) {
     const CpTask& t = model.task(static_cast<CpTaskIndex>(ti));
     if (!t.pinned) {
       free_tasks_.push_back(static_cast<CpTaskIndex>(ti));
       continue;
     }
+    // Pinned tasks occupy their fixed resource for the duration scaled by
+    // THAT machine's speed.
+    const Time dur =
+        model.duration_on(static_cast<CpTaskIndex>(ti), t.pinned_resource);
     profiles_[static_cast<std::size_t>(t.pinned_resource) * 2 +
               static_cast<std::size_t>(t.phase)]
-        .add(t.pinned_start, t.duration, t.demand);
+        .add(t.pinned_start, dur, t.demand);
     if (net_constrained(t.pinned_resource, t)) {
       net_profiles_[static_cast<std::size_t>(t.pinned_resource)].add(
-          t.pinned_start, t.duration, t.net_demand);
+          t.pinned_start, dur, t.net_demand);
     }
     MRCP_AUDIT_ONLY({
       audit_profiles_[static_cast<std::size_t>(t.pinned_resource) * 2 +
                       static_cast<std::size_t>(t.phase)]
-          .add(t.pinned_start, t.duration, t.demand);
+          .add(t.pinned_start, dur, t.demand);
       if (net_constrained(t.pinned_resource, t)) {
         audit_net_profiles_[static_cast<std::size_t>(t.pinned_resource)].add(
-            t.pinned_start, t.duration, t.net_demand);
+            t.pinned_start, dur, t.net_demand);
       }
     })
+    if (t.affinity_group >= 0) {
+      ++group_use_[static_cast<std::size_t>(t.affinity_group) *
+                       model.num_resources() +
+                   static_cast<std::size_t>(t.pinned_resource)];
+    }
     placements_[ti] = TaskPlacement{t.pinned_resource, t.pinned_start};
-    const Time end = t.pinned_start + t.duration;
+    const Time end = t.pinned_start + dur;
     const auto ji = static_cast<std::size_t>(t.job);
     if (t.phase == Phase::kMap) {
       fixed_map_end_[ji] = std::max(fixed_map_end_[ji], end);
@@ -190,7 +225,8 @@ SetTimesSearch::SetTimesSearch(const SearchRoot& root)
       fixed_map_end_(root.fixed_map_end_),
       fixed_completion_(root.fixed_completion_),
       job_late_(root.job_late_),
-      late_count_(root.late_count_) {
+      late_count_(root.late_count_),
+      group_use_(root.group_use_) {
 }
 
 SetTimesSearch::SetTimesSearch(std::unique_ptr<SearchRoot> owned_root)
@@ -209,7 +245,8 @@ SetTimesSearch::SetTimesSearch(std::unique_ptr<SearchRoot> owned_root)
       fixed_map_end_(root_.fixed_map_end_),
       fixed_completion_(root_.fixed_completion_),
       job_late_(root_.job_late_),
-      late_count_(root_.late_count_) {
+      late_count_(root_.late_count_),
+      group_use_(root_.group_use_) {
 }
 
 SetTimesSearch::SetTimesSearch(const Model& model, std::vector<int> job_rank,
@@ -358,6 +395,8 @@ void SetTimesSearch::audit_at_root() const {
                      fixed_completion_ == root_.fixed_completion_ &&
                      job_late_ == root_.job_late_,
                  "search reuse audit: per-job state diverged from root");
+  MRCP_CHECK_MSG(group_use_ == root_.group_use_,
+                 "search reuse audit: anti-affinity state diverged from root");
   for (std::size_t i = 0; i < profiles_.size(); ++i) {
     MRCP_CHECK_MSG(profiles_[i].to_string() == root_.profiles_[i].to_string(),
                    "search reuse audit: slot profile diverged from root");
@@ -376,11 +415,11 @@ bool SetTimesSearch::net_constrained(CpResourceIndex r, const CpTask& t) const {
 }
 
 Time SetTimesSearch::earliest_feasible_on(CpResourceIndex r, const CpTask& t,
-                                          Time est) {
+                                          Time est, Time duration) {
   Profile& slots = profile(r, t.phase);
   if (!net_constrained(r, t)) {
-    const Time s = slots.earliest_feasible(est, t.duration, t.demand);
-    MRCP_AUDIT_ONLY(audit_slot_query(r, t.phase, est, t.duration, t.demand, s);)
+    const Time s = slots.earliest_feasible(est, duration, t.demand);
+    MRCP_AUDIT_ONLY(audit_slot_query(r, t.phase, est, duration, t.demand, s);)
     return s;
   }
   Profile& net = net_profiles_[static_cast<std::size_t>(r)];
@@ -388,11 +427,11 @@ Time SetTimesSearch::earliest_feasible_on(CpResourceIndex r, const CpTask& t,
   // the start later, and both are finitely supported, so this terminates.
   Time start = est;
   while (true) {
-    const Time s1 = slots.earliest_feasible(start, t.duration, t.demand);
-    const Time s2 = net.earliest_feasible(s1, t.duration, t.net_demand);
+    const Time s1 = slots.earliest_feasible(start, duration, t.demand);
+    const Time s2 = net.earliest_feasible(s1, duration, t.net_demand);
     MRCP_AUDIT_ONLY({
-      audit_slot_query(r, t.phase, start, t.duration, t.demand, s1);
-      audit_net_query(r, s1, t.duration, t.net_demand, s2);
+      audit_slot_query(r, t.phase, start, duration, t.demand, s1);
+      audit_net_query(r, s1, duration, t.net_demand, s2);
     })
     if (s2 == s1) return s1;
     start = s2;
@@ -407,11 +446,12 @@ void SetTimesSearch::build_choices(CpTaskIndex task, Level& level) {
                  ? j.earliest_start
                  : std::max(j.earliest_start, fixed_map_end_[ji]);
   // User-precedence predecessors are fixed before this task (topological
-  // decision order) — propagate their exact ends.
+  // decision order) — propagate their exact ends, scaled by the machine
+  // each predecessor was placed on.
   for (CpTaskIndex p : model_.predecessors(task)) {
     const TaskPlacement& pp = placements_[static_cast<std::size_t>(p)];
     MRCP_DCHECK(pp.decided());
-    est = std::max(est, pp.start + model_.task(p).duration);
+    est = std::max(est, pp.start + model_.duration_on(p, pp.resource));
   }
 
   level.choices.clear();
@@ -424,7 +464,11 @@ void SetTimesSearch::build_choices(CpTaskIndex task, Level& level) {
         res.net_capacity < t.net_demand) {
       return;
     }
-    level.choices.push_back(Choice{r, earliest_feasible_on(r, t, est)});
+    // Anti-affinity: a resource already holding a task of this group is
+    // not an alternative (the branch simply never exists).
+    if (t.affinity_group >= 0 && group_use(t.affinity_group, r) > 0) return;
+    level.choices.push_back(
+        Choice{r, earliest_feasible_on(r, t, est, model_.duration_on(task, r))});
   };
   if (t.candidates.empty()) {
     for (CpResourceIndex r = 0; r < static_cast<CpResourceIndex>(model_.num_resources());
@@ -450,12 +494,13 @@ void SetTimesSearch::build_choices(CpTaskIndex task, Level& level) {
   // profile change(s). This is the "second branch" of set-times search.
   const Choice best = level.choices.front();
   Profile& prof = profile(best.resource, t.phase);
+  const Time best_dur = model_.duration_on(task, best.resource);
   Time from = best.start;
   postponed_scratch_.clear();
   for (int k = 0; k < level.postpone_budget; ++k) {
     const Time event = prof.next_event_after(from);
     if (event == kMaxTime) break;
-    const Time start = earliest_feasible_on(best.resource, t, event);
+    const Time start = earliest_feasible_on(best.resource, t, event, best_dur);
     if (start <= from) break;
     postponed_scratch_.push_back(Choice{best.resource, start});
     from = start;
@@ -469,21 +514,23 @@ void SetTimesSearch::apply(CpTaskIndex task, Level& level, const Choice& choice)
   const auto ji = static_cast<std::size_t>(t.job);
   const CpJob& j = model_.job(t.job);
 
-  profile(choice.resource, t.phase).add(choice.start, t.duration, t.demand);
+  const Time dur = model_.duration_on(task, choice.resource);
+  profile(choice.resource, t.phase).add(choice.start, dur, t.demand);
   if (net_constrained(choice.resource, t)) {
     net_profiles_[static_cast<std::size_t>(choice.resource)].add(
-        choice.start, t.duration, t.net_demand);
+        choice.start, dur, t.net_demand);
   }
   MRCP_AUDIT_ONLY({
     audit_profiles_[static_cast<std::size_t>(choice.resource) * 2 +
                     static_cast<std::size_t>(t.phase)]
-        .add(choice.start, t.duration, t.demand);
+        .add(choice.start, dur, t.demand);
     if (net_constrained(choice.resource, t)) {
       audit_net_profiles_[static_cast<std::size_t>(choice.resource)].add(
-          choice.start, t.duration, t.net_demand);
+          choice.start, dur, t.net_demand);
     }
     audit_cross_check(choice.resource, t);
   })
+  if (t.affinity_group >= 0) ++group_use(t.affinity_group, choice.resource);
   placements_[static_cast<std::size_t>(task)] =
       TaskPlacement{choice.resource, choice.start};
 
@@ -493,7 +540,7 @@ void SetTimesSearch::apply(CpTaskIndex task, Level& level, const Choice& choice)
   level.prev_fixed_completion = fixed_completion_[ji];
   level.prev_late = job_late_[ji] != 0;
 
-  const Time end = choice.start + t.duration;
+  const Time end = choice.start + dur;
   if (t.phase == Phase::kMap) {
     fixed_map_end_[ji] = std::max(fixed_map_end_[ji], end);
   }
@@ -509,23 +556,27 @@ void SetTimesSearch::undo(CpTaskIndex task, Level& level) {
   const CpTask& t = model_.task(task);
   const auto ji = static_cast<std::size_t>(t.job);
 
+  const Time dur = model_.duration_on(task, level.applied_choice.resource);
   profile(level.applied_choice.resource, t.phase)
-      .remove(level.applied_choice.start, t.duration, t.demand);
+      .remove(level.applied_choice.start, dur, t.demand);
   if (net_constrained(level.applied_choice.resource, t)) {
     net_profiles_[static_cast<std::size_t>(level.applied_choice.resource)]
-        .remove(level.applied_choice.start, t.duration, t.net_demand);
+        .remove(level.applied_choice.start, dur, t.net_demand);
   }
   MRCP_AUDIT_ONLY({
     audit_profiles_[static_cast<std::size_t>(level.applied_choice.resource) * 2 +
                     static_cast<std::size_t>(t.phase)]
-        .remove(level.applied_choice.start, t.duration, t.demand);
+        .remove(level.applied_choice.start, dur, t.demand);
     if (net_constrained(level.applied_choice.resource, t)) {
       audit_net_profiles_[static_cast<std::size_t>(
                               level.applied_choice.resource)]
-          .remove(level.applied_choice.start, t.duration, t.net_demand);
+          .remove(level.applied_choice.start, dur, t.net_demand);
     }
     audit_cross_check(level.applied_choice.resource, t);
   })
+  if (t.affinity_group >= 0) {
+    --group_use(t.affinity_group, level.applied_choice.resource);
+  }
   placements_[static_cast<std::size_t>(task)] = TaskPlacement{};
 
   fixed_map_end_[ji] = level.prev_fixed_map_end;

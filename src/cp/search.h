@@ -125,6 +125,10 @@ class SearchRoot {
   /// the preference order already respects the barrier.
   std::vector<std::vector<CpTaskIndex>> succs_;
   std::vector<int> indeg_;
+  /// Anti-affinity occupancy [group * num_resources + resource]: how many
+  /// tasks of each group sit on each resource (pinned tasks replayed).
+  /// Empty when the model has no affinity groups.
+  std::vector<int> group_use_;
 };
 
 class SetTimesSearch {
@@ -206,8 +210,17 @@ class SetTimesSearch {
   /// Earliest start >= est feasible on BOTH the phase-slot profile and
   /// (when the resource constrains links and the task uses them) the
   /// network profile — computed as a fixpoint of the two queries.
-  Time earliest_feasible_on(CpResourceIndex r, const CpTask& t, Time est);
+  /// `duration` is the task's effective duration ON resource `r`
+  /// (assignment-dependent on heterogeneous clusters).
+  Time earliest_feasible_on(CpResourceIndex r, const CpTask& t, Time est,
+                            Time duration);
   bool net_constrained(CpResourceIndex r, const CpTask& t) const;
+  /// Anti-affinity occupancy of (group, resource); groups only.
+  int& group_use(int group, CpResourceIndex r) {
+    return group_use_[static_cast<std::size_t>(group) *
+                          model_.num_resources() +
+                      static_cast<std::size_t>(r)];
+  }
   void build_choices(CpTaskIndex task, Level& level);
   void apply(CpTaskIndex task, Level& level, const Choice& choice);
   void undo(CpTaskIndex task, Level& level);
@@ -236,6 +249,7 @@ class SetTimesSearch {
   std::vector<Time> fixed_completion_;  ///< per job: max end of all fixed tasks
   std::vector<std::uint8_t> job_late_;
   int late_count_ = 0;
+  std::vector<int> group_use_;  ///< anti-affinity occupancy, see SearchRoot
 
   /// Scratch reused across run()s and reset()s (capacity persists, so a
   /// cached search stops reallocating choice vectors on deep backtracks

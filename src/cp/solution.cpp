@@ -20,7 +20,8 @@ void evaluate_solution(const Model& model, Solution& sol) {
     const CpTask& t = model.task(static_cast<CpTaskIndex>(ti));
     const TaskPlacement& p = sol.placements[ti];
     MRCP_CHECK_MSG(p.decided(), "evaluate_solution: undecided task");
-    const Time end = p.start + t.duration;
+    const Time end =
+        p.start + model.duration_on(static_cast<CpTaskIndex>(ti), p.resource);
     auto& completion = sol.job_completion[static_cast<std::size_t>(t.job)];
     completion = std::max(completion, end);
   }
@@ -71,16 +72,35 @@ std::string validate_solution(const Model& model, const Solution& sol) {
       return where + "map starts before s_j";
     }
     if (p.start < Time{0}) return where + "negative start";
+    const Time dur =
+        model.duration_on(static_cast<CpTaskIndex>(ti), p.resource);
     deltas[{p.resource, static_cast<int>(t.phase)}][p.start] += t.demand;
-    deltas[{p.resource, static_cast<int>(t.phase)}][p.start + t.duration] -=
-        t.demand;
+    deltas[{p.resource, static_cast<int>(t.phase)}][p.start + dur] -= t.demand;
     // Third sweep dimension (key 2): per-resource network-link usage.
     // Swept whenever the cluster constrains links at all — placing a
     // net-demanding task on a zero-capacity resource must *fail* the
     // sweep, not skip it.
     if (t.net_demand > 0 && model.links_constrained()) {
       deltas[{p.resource, 2}][p.start] += t.net_demand;
-      deltas[{p.resource, 2}][p.start + t.duration] -= t.net_demand;
+      deltas[{p.resource, 2}][p.start + dur] -= t.net_demand;
+    }
+  }
+
+  // Anti-affinity: tasks sharing a group must sit on distinct resources.
+  if (model.num_affinity_groups() > 0) {
+    std::map<std::pair<int, CpResourceIndex>, std::size_t> group_holders;
+    for (std::size_t ti = 0; ti < model.num_tasks(); ++ti) {
+      const CpTask& t = model.task(static_cast<CpTaskIndex>(ti));
+      if (t.affinity_group < 0) continue;
+      const auto key =
+          std::make_pair(t.affinity_group, sol.placements[ti].resource);
+      const auto [it, inserted] = group_holders.emplace(key, ti);
+      if (!inserted) {
+        return "task " + std::to_string(ti) + ": shares resource " +
+               std::to_string(sol.placements[ti].resource) +
+               " with task " + std::to_string(it->second) +
+               " of affinity group " + std::to_string(t.affinity_group);
+      }
     }
   }
 
@@ -90,7 +110,8 @@ std::string validate_solution(const Model& model, const Solution& sol) {
     if (model.task(task).pinned) continue;  // running before the re-plan
     for (CpTaskIndex p : model.predecessors(task)) {
       const auto& pred_p = sol.placements[static_cast<std::size_t>(p)];
-      if (sol.placements[ti].start < pred_p.start + model.task(p).duration) {
+      if (sol.placements[ti].start <
+          pred_p.start + model.duration_on(p, pred_p.resource)) {
         return "task " + std::to_string(ti) +
                ": starts before its predecessor ends";
       }
@@ -104,7 +125,7 @@ std::string validate_solution(const Model& model, const Solution& sol) {
     for (CpTaskIndex m : j.map_tasks) {
       const auto& p = sol.placements[static_cast<std::size_t>(m)];
       latest_map_end =
-          std::max(latest_map_end, p.start + model.task(m).duration);
+          std::max(latest_map_end, p.start + model.duration_on(m, p.resource));
     }
     for (CpTaskIndex r : j.reduce_tasks) {
       const CpTask& rt = model.task(r);

@@ -1,5 +1,6 @@
 #include "mapreduce/cluster.h"
 
+#include <algorithm>
 #include <sstream>
 
 #include "common/check.h"
@@ -18,13 +19,24 @@ Cluster Cluster::homogeneous(int m, int map_capacity, int reduce_capacity,
 
 void Cluster::add_resource(int map_capacity, int reduce_capacity,
                            int net_capacity) {
+  add_resource_hetero(map_capacity, reduce_capacity, net_capacity,
+                      kBaseSpeedPermille, 0);
+}
+
+void Cluster::add_resource_hetero(int map_capacity, int reduce_capacity,
+                                  int net_capacity, int speed_permille,
+                                  int rack) {
   MRCP_CHECK(map_capacity >= 0 && reduce_capacity >= 0 && net_capacity >= 0);
   MRCP_CHECK_MSG(map_capacity + reduce_capacity > 0, "resource with no slots");
+  MRCP_CHECK_MSG(speed_permille > 0, "resource speed must be positive");
+  MRCP_CHECK_MSG(rack >= 0, "resource rack must be non-negative");
   Resource r;
   r.id = static_cast<ResourceId>(resources_.size());
   r.map_capacity = map_capacity;
   r.reduce_capacity = reduce_capacity;
   r.net_capacity = net_capacity;
+  r.speed_permille = speed_permille;
+  r.rack = rack;
   resources_.push_back(r);
   total_map_slots_ += map_capacity;
   total_reduce_slots_ += reduce_capacity;
@@ -51,7 +63,34 @@ Resource Cluster::combined_resource() const {
   r.id = 0;
   r.map_capacity = total_map_slots_;
   r.reduce_capacity = total_reduce_slots_;
+  const int speed = uniform_speed_permille();
+  if (speed > 0) r.speed_permille = speed;
   return r;
+}
+
+int Cluster::uniform_speed_permille() const {
+  if (resources_.empty()) return kBaseSpeedPermille;
+  const int speed = resources_.front().speed_permille;
+  for (const Resource& r : resources_) {
+    if (r.speed_permille != speed) return -1;
+  }
+  return speed;
+}
+
+std::vector<int> Cluster::rack_ids() const {
+  std::vector<int> racks;
+  racks.reserve(resources_.size());
+  for (const Resource& r : resources_) racks.push_back(r.rack);
+  std::sort(racks.begin(), racks.end());
+  racks.erase(std::unique(racks.begin(), racks.end()), racks.end());
+  return racks;
+}
+
+bool Cluster::has_rack(int rack) const {
+  for (const Resource& r : resources_) {
+    if (r.rack == rack) return true;
+  }
+  return false;
 }
 
 std::string Cluster::to_string() const {

@@ -20,9 +20,21 @@ struct Resource {
   /// Network-link capacity shared by all tasks on this resource (§VII
   /// "communication links" extension). 0 = unconstrained.
   int net_capacity = 0;
+  /// Machine speed in permille of the baseline: a task with base duration
+  /// e runs for scale_duration(e, speed_permille) ticks here. 1000 keeps
+  /// the homogeneous model bit-identical.
+  int speed_permille = kBaseSpeedPermille;
+  /// Rack the machine lives in. Used by rack-locality task constraints and
+  /// rack-correlated fault injection. Rack 0 is the default single rack.
+  int rack = 0;
 
   int capacity(TaskType type) const {
     return type == TaskType::kMap ? map_capacity : reduce_capacity;
+  }
+
+  /// Effective running time of a task with the given base duration.
+  Time scaled_duration(Time base) const {
+    return scale_duration(base, speed_permille);
   }
 };
 
@@ -37,6 +49,11 @@ class Cluster {
 
   void add_resource(int map_capacity, int reduce_capacity,
                     int net_capacity = 0);
+
+  /// Heterogeneous variant: speed in permille of the baseline (must be
+  /// positive) plus the rack the machine lives in (must be non-negative).
+  void add_resource_hetero(int map_capacity, int reduce_capacity,
+                           int net_capacity, int speed_permille, int rack);
 
   /// Overwrite a resource's slot capacities, keeping its link capacity.
   /// Unlike add_resource this permits zero slots — the fault layer uses
@@ -55,8 +72,20 @@ class Cluster {
   }
 
   /// The §V.D "single combined resource": one resource holding the summed
-  /// capacity of the whole cluster.
+  /// capacity of the whole cluster. Only meaningful for uniform-speed
+  /// clusters (see uniform_speed_permille); the combined resource carries
+  /// that common speed.
   Resource combined_resource() const;
+
+  /// The common speed if every resource runs at the same speed_permille,
+  /// or -1 for a mixed-speed cluster.
+  int uniform_speed_permille() const;
+
+  /// Distinct rack ids present in the cluster, sorted ascending.
+  std::vector<int> rack_ids() const;
+
+  /// True if some rack id equals `rack`.
+  bool has_rack(int rack) const;
 
   std::string to_string() const;
 

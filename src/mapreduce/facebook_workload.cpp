@@ -94,13 +94,17 @@ Workload generate_facebook_workload(const FacebookWorkloadConfig& config) {
 
     job.map_tasks.reserve(static_cast<std::size_t>(type.map_tasks));
     for (int t = 0; t < type.map_tasks; ++t) {
-      job.map_tasks.push_back(
-          Task{TaskType::kMap, sample_exec_ms(config.map_exec_ms, exec_times), 1});
+      Task task;
+      task.type = TaskType::kMap;
+      task.exec_time = sample_exec_ms(config.map_exec_ms, exec_times);
+      job.map_tasks.push_back(std::move(task));
     }
     job.reduce_tasks.reserve(static_cast<std::size_t>(type.reduce_tasks));
     for (int t = 0; t < type.reduce_tasks; ++t) {
-      job.reduce_tasks.push_back(Task{
-          TaskType::kReduce, sample_exec_ms(config.reduce_exec_ms, exec_times), 1});
+      Task task;
+      task.type = TaskType::kReduce;
+      task.exec_time = sample_exec_ms(config.reduce_exec_ms, exec_times);
+      job.reduce_tasks.push_back(std::move(task));
     }
 
     const Time te = job.min_execution_time(total_map_slots, total_reduce_slots);

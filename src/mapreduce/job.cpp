@@ -84,17 +84,41 @@ std::string validate_job(const Job& job) {
     return "earliest start precedes arrival";
   if (job.deadline <= job.earliest_start) return "deadline at or before s_j";
   if (job.num_tasks() == 0) return "job has no tasks";
+  auto check_placement = [](const Task& t, const char* phase) -> std::string {
+    std::vector<ResourceId> c = t.candidates;
+    std::sort(c.begin(), c.end());
+    if (!c.empty() && c.front() < 0) {
+      return std::string(phase) + " task with negative candidate resource";
+    }
+    if (std::adjacent_find(c.begin(), c.end()) != c.end()) {
+      return std::string(phase) + " task with duplicate candidate resource";
+    }
+    std::vector<int> r = t.racks;
+    std::sort(r.begin(), r.end());
+    if (!r.empty() && r.front() < 0) {
+      return std::string(phase) + " task with negative rack id";
+    }
+    if (std::adjacent_find(r.begin(), r.end()) != r.end()) {
+      return std::string(phase) + " task with duplicate rack id";
+    }
+    if (t.affinity_group < -1) {
+      return std::string(phase) + " task with affinity group below -1";
+    }
+    return "";
+  };
   for (const Task& t : job.map_tasks) {
     if (t.type != TaskType::kMap) return "map list contains non-map task";
     if (t.exec_time <= Time{0}) return "map task with non-positive exec time";
     if (t.res_req < 1) return "map task with res_req < 1";
     if (t.net_demand < 0) return "map task with negative net demand";
+    if (std::string err = check_placement(t, "map"); !err.empty()) return err;
   }
   for (const Task& t : job.reduce_tasks) {
     if (t.type != TaskType::kReduce) return "reduce list contains non-reduce task";
     if (t.exec_time <= Time{0}) return "reduce task with non-positive exec time";
     if (t.res_req < 1) return "reduce task with res_req < 1";
     if (t.net_demand < 0) return "reduce task with negative net demand";
+    if (std::string err = check_placement(t, "reduce"); !err.empty()) return err;
   }
 
   // User precedences: indices in range, no self-loops, and the combined

@@ -29,6 +29,22 @@ struct Task {
   /// §VII "communication links" extension). 0 = no link usage. Only
   /// constrained on resources with net_capacity > 0.
   int net_demand = 0;
+  /// Data-locality candidate set: resource ids this task may run on.
+  /// Empty = any resource. Ids must exist in the cluster and be distinct
+  /// (validate_workload).
+  std::vector<ResourceId> candidates;
+  /// Rack-locality set: racks this task may run in. Empty = any rack.
+  /// Composes with `candidates` — the effective host set is their
+  /// intersection.
+  std::vector<int> racks;
+  /// Anti-affinity group within the job: tasks sharing a non-negative
+  /// group id must run on pairwise-distinct resources. -1 = no group.
+  int affinity_group = -1;
+
+  /// True if this task carries any placement restriction.
+  bool placement_constrained() const {
+    return !candidates.empty() || !racks.empty() || affinity_group >= 0;
+  }
 };
 
 /// A MapReduce job with its SLA.

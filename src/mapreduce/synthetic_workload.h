@@ -21,6 +21,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "common/distributions.h"
 #include "mapreduce/workload.h"
@@ -44,6 +45,22 @@ struct SyntheticWorkloadConfig {
   int num_resources = 50;   ///< m
   int map_capacity = 2;     ///< c_mp per resource
   int reduce_capacity = 2;  ///< c_rd per resource
+
+  /// Heterogeneity extensions (all default OFF so the paper's homogeneous
+  /// Table 3 workloads are bit-identical to earlier versions; the knobs
+  /// draw from dedicated RNG streams for the same reason).
+  /// Machine speeds in permille, sampled uniformly per resource. Empty =
+  /// homogeneous baseline speed (1000).
+  std::vector<int> speed_choices;
+  /// Number of racks machines are striped across. <= 1 = single rack 0.
+  int num_racks = 1;
+  /// Per-task probability of a data-locality candidate set (a uniform
+  /// 1..m/2-sized random subset of resources). 0 = no locality.
+  double locality_prob = 0.0;
+  /// Per-job probability that its reduce tasks form one anti-affinity
+  /// group (capped at the cluster size so the group stays satisfiable,
+  /// and only applied when the group would have >= 2 members). 0 = off.
+  double affinity_prob = 0.0;
 
   std::uint64_t seed = 1;
 };

@@ -61,6 +61,25 @@ std::string validate_workload(const Workload& w) {
     }
     std::string err = validate_job(j);
     if (!err.empty()) return "job " + std::to_string(j.id) + ": " + err;
+    // Placement references must resolve against this cluster: candidate
+    // resource ids in range, rack ids actually present on some machine.
+    for (std::size_t ti = 0; ti < j.num_tasks(); ++ti) {
+      const Task& t = j.task(ti);
+      for (ResourceId c : t.candidates) {
+        if (c < 0 || c >= w.cluster.size()) {
+          return "job " + std::to_string(j.id) + ": task " +
+                 std::to_string(ti) + " names candidate resource " +
+                 std::to_string(c) + " outside the cluster";
+        }
+      }
+      for (int rack : t.racks) {
+        if (!w.cluster.has_rack(rack)) {
+          return "job " + std::to_string(j.id) + ": task " +
+                 std::to_string(ti) + " names rack " + std::to_string(rack) +
+                 " that no resource lives in";
+        }
+      }
+    }
   }
   return "";
 }

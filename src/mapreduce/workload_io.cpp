@@ -34,7 +34,14 @@ void save_workload(const Workload& workload, std::ostream& out) {
   out << "cluster " << workload.cluster.size() << '\n';
   for (const Resource& r : workload.cluster.resources()) {
     out << "resource " << r.map_capacity << ' ' << r.reduce_capacity << ' '
-        << r.net_capacity << '\n';
+        << r.net_capacity;
+    // The five-field heterogeneous form only when it differs from the
+    // defaults, so files for homogeneous clusters stay byte-identical to
+    // the pre-heterogeneity format.
+    if (r.speed_permille != kBaseSpeedPermille || r.rack != 0) {
+      out << ' ' << r.speed_permille << ' ' << r.rack;
+    }
+    out << '\n';
   }
   out << "jobs " << workload.jobs.size() << '\n';
   for (const Job& j : workload.jobs) {
@@ -48,6 +55,25 @@ void save_workload(const Workload& workload, std::ostream& out) {
     for (const Task& t : j.reduce_tasks) {
       out << "task " << t.exec_time << ' ' << t.res_req << ' ' << t.net_demand
           << '\n';
+    }
+    // Placement trailer lines reference tasks by flat index (maps first),
+    // like precedence lines, and are omitted for unconstrained tasks so
+    // placement-free workloads serialize exactly as before.
+    for (std::size_t ti = 0; ti < j.num_tasks(); ++ti) {
+      const Task& t = j.task(ti);
+      if (!t.candidates.empty()) {
+        out << "locality " << ti;
+        for (ResourceId c : t.candidates) out << ' ' << c;
+        out << '\n';
+      }
+      if (!t.racks.empty()) {
+        out << "racks " << ti;
+        for (int rack : t.racks) out << ' ' << rack;
+        out << '\n';
+      }
+      if (t.affinity_group >= 0) {
+        out << "affinity " << ti << ' ' << t.affinity_group << '\n';
+      }
     }
     for (const auto& [before, after] : j.precedences) {
       out << "precedence " << before << ' ' << after << '\n';
@@ -113,6 +139,23 @@ bool fail(std::string* error, const std::string& message) {
   return false;
 }
 
+/// Parse `expected_tag <index> v1 v2 ...` — a task-indexed line with a
+/// variable-length, non-empty integer list (locality / racks trailers).
+bool parse_indexed_list(const std::string& line,
+                        const std::string& expected_tag, std::int64_t& index,
+                        std::vector<std::int64_t>& values) {
+  std::istringstream is(line);
+  std::string tag;
+  if (!(is >> tag) || tag != expected_tag) return false;
+  if (!(is >> index)) return false;
+  values.clear();
+  std::int64_t v = 0;
+  while (is >> v) values.push_back(v);
+  // A clean parse consumes the whole line; a non-integer trailing token
+  // leaves characters behind (failbit without eofbit).
+  return is.eof() && !values.empty();
+}
+
 /// Parse `expected_tag v1 v2 ...` into the given integers.
 template <typename... Ints>
 bool parse_tagged(const std::string& line, const std::string& expected_tag,
@@ -143,11 +186,19 @@ bool parse_workload(std::istream& in, Workload& workload, std::string* error) {
     std::int64_t map_cap = 0;
     std::int64_t reduce_cap = 0;
     std::int64_t net_cap = 0;
+    std::int64_t speed = kBaseSpeedPermille;
+    std::int64_t rack = 0;
     if (!parser.next_line(line)) {
       return fail(error, parser.where() + ": expected 'resource <mp> <rd>'");
     }
-    // Three-field form (with link capacity) or the two-field legacy form.
-    if (!parse_tagged(line, "resource", map_cap, reduce_cap, net_cap) &&
+    // Five-field heterogeneous form (speed permille + rack), the
+    // three-field form (with link capacity), or the two-field legacy form.
+    // Speeds are integer permille on purpose: a textual "NaN" or any
+    // fractional value fails the integer parse rather than sneaking a
+    // non-finite factor into tick arithmetic.
+    if (!parse_tagged(line, "resource", map_cap, reduce_cap, net_cap, speed,
+                      rack) &&
+        !parse_tagged(line, "resource", map_cap, reduce_cap, net_cap) &&
         !parse_tagged(line, "resource", map_cap, reduce_cap)) {
       return fail(error, parser.where() + ": expected 'resource <mp> <rd>'");
     }
@@ -156,9 +207,19 @@ bool parse_workload(std::istream& in, Workload& workload, std::string* error) {
         map_cap + reduce_cap == 0) {
       return fail(error, parser.where() + ": invalid resource capacities");
     }
-    workload.cluster.add_resource(static_cast<int>(map_cap),
-                                  static_cast<int>(reduce_cap),
-                                  static_cast<int>(net_cap));
+    if (speed <= 0 || !fits_int(speed)) {
+      return fail(error,
+                  parser.where() + ": resource speed must be a positive " +
+                      "integer (permille of baseline)");
+    }
+    if (rack < 0 || !fits_int(rack)) {
+      return fail(error, parser.where() + ": resource rack must be a " +
+                             "non-negative integer");
+    }
+    workload.cluster.add_resource_hetero(
+        static_cast<int>(map_cap), static_cast<int>(reduce_cap),
+        static_cast<int>(net_cap), static_cast<int>(speed),
+        static_cast<int>(rack));
   }
 
   std::int64_t num_jobs = 0;
@@ -220,20 +281,90 @@ bool parse_workload(std::istream& in, Workload& workload, std::string* error) {
         return fail(error, parser.where() + ": expected 'task <exec> <req>'");
       }
       const TaskType type = t < k_map ? TaskType::kMap : TaskType::kReduce;
+      Task task;
+      task.type = type;
+      task.exec_time = Time{exec};
+      task.res_req = static_cast<int>(req);
+      task.net_demand = static_cast<int>(net);
       (type == TaskType::kMap ? job.map_tasks : job.reduce_tasks)
-          .push_back(Task{type, Time{exec}, static_cast<int>(req),
-                          static_cast<int>(net)});
+          .push_back(std::move(task));
     }
-    // Optional precedence lines until the next 'job' or EOF.
+    // Optional trailer lines (placement constraints and precedences)
+    // until the next 'job' or EOF. Placement references are resolved
+    // against the already-parsed cluster right here so a dangling rack or
+    // candidate id is reported with the offending line's byte offset.
+    auto task_at = [&](std::int64_t flat) -> Task* {
+      if (flat < 0 || flat >= k_map + k_reduce) return nullptr;
+      return flat < k_map
+                 ? &job.map_tasks[static_cast<std::size_t>(flat)]
+                 : &job.reduce_tasks[static_cast<std::size_t>(flat - k_map)];
+    };
     while (parser.next_line(line)) {
       std::int64_t before = 0;
       std::int64_t after = 0;
+      std::int64_t flat = 0;
+      std::int64_t group = 0;
+      std::vector<std::int64_t> values;
       if (parse_tagged(line, "precedence", before, after)) {
         if (!fits_int(before) || !fits_int(after)) {
           return fail(error, parser.where() + ": precedence index overflow");
         }
         job.precedences.emplace_back(static_cast<int>(before),
                                      static_cast<int>(after));
+        continue;
+      }
+      if (parse_indexed_list(line, "locality", flat, values)) {
+        Task* task = task_at(flat);
+        if (task == nullptr) {
+          return fail(error, parser.where() + ": locality task index out of " +
+                                 "range");
+        }
+        if (!task->candidates.empty()) {
+          return fail(error, parser.where() + ": duplicate locality line");
+        }
+        for (std::int64_t v : values) {
+          if (v < 0 || v >= workload.cluster.size()) {
+            return fail(error, parser.where() + ": locality names resource " +
+                                   std::to_string(v) + " outside the cluster");
+          }
+          task->candidates.push_back(static_cast<ResourceId>(v));
+        }
+        continue;
+      }
+      if (parse_indexed_list(line, "racks", flat, values)) {
+        Task* task = task_at(flat);
+        if (task == nullptr) {
+          return fail(error, parser.where() + ": racks task index out of " +
+                                 "range");
+        }
+        if (!task->racks.empty()) {
+          return fail(error, parser.where() + ": duplicate racks line");
+        }
+        for (std::int64_t v : values) {
+          if (v < 0 || !fits_int(v) || !workload.cluster.has_rack(
+                                           static_cast<int>(v))) {
+            return fail(error, parser.where() + ": racks names rack " +
+                                   std::to_string(v) +
+                                   " that no resource lives in");
+          }
+          task->racks.push_back(static_cast<int>(v));
+        }
+        continue;
+      }
+      if (parse_tagged(line, "affinity", flat, group)) {
+        Task* task = task_at(flat);
+        if (task == nullptr) {
+          return fail(error, parser.where() + ": affinity task index out of " +
+                                 "range");
+        }
+        if (group < 0 || !fits_int(group)) {
+          return fail(error, parser.where() + ": affinity group must be a " +
+                                 "non-negative integer");
+        }
+        if (task->affinity_group >= 0) {
+          return fail(error, parser.where() + ": duplicate affinity line");
+        }
+        task->affinity_group = static_cast<int>(group);
         continue;
       }
       pending = line;

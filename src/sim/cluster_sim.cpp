@@ -5,6 +5,7 @@
 #include <map>
 #include <set>
 #include <sstream>
+#include <tuple>
 #include <utility>
 
 #include "baseline/minedf_wc.h"
@@ -84,14 +85,27 @@ std::string validate_execution(const Workload& workload,
       return where.str() + "executed twice";
     }
     const Task& task = job.task(static_cast<std::size_t>(et.task_index));
-    if (et.end - et.start != task.exec_time) {
-      return where.str() + "wrong duration";
+    if (et.resource < 0 || et.resource >= workload.cluster.size()) {
+      return where.str() + "bad resource";
+    }
+    const Resource& host = workload.cluster.resource(et.resource);
+    // A task's observed duration is its exec time scaled by the host's
+    // speed factor — a fast machine must finish early, a slow one late.
+    if (et.end - et.start != host.scaled_duration(task.exec_time)) {
+      return where.str() + "wrong duration for the host's speed";
     }
     if (et.start < job.earliest_start) {
       return where.str() + "started before s_j";
     }
-    if (et.resource < 0 || et.resource >= workload.cluster.size()) {
-      return where.str() + "bad resource";
+    if (!task.candidates.empty() &&
+        std::find(task.candidates.begin(), task.candidates.end(),
+                  et.resource) == task.candidates.end()) {
+      return where.str() + "ran outside its candidate resources";
+    }
+    if (!task.racks.empty() &&
+        std::find(task.racks.begin(), task.racks.end(), host.rack) ==
+            task.racks.end()) {
+      return where.str() + "ran outside its eligible racks";
     }
     deltas[{et.resource, static_cast<int>(task.type)}][et.start] += task.res_req;
     deltas[{et.resource, static_cast<int>(task.type)}][et.end] -= task.res_req;
@@ -136,9 +150,20 @@ std::string validate_execution(const Workload& workload,
       return where.str() + "bad resource";
     }
     const Task& task = job.task(static_cast<std::size_t>(k.task_index));
+    const Resource& k_host = workload.cluster.resource(k.resource);
     if (k.end < k.start) return where.str() + "negative attempt length";
-    if (k.end - k.start >= task.exec_time) {
+    if (k.end - k.start >= k_host.scaled_duration(task.exec_time)) {
       return where.str() + "attempt ran to completion yet counts as killed";
+    }
+    if (!task.candidates.empty() &&
+        std::find(task.candidates.begin(), task.candidates.end(),
+                  k.resource) == task.candidates.end()) {
+      return where.str() + "attempt ran outside its candidate resources";
+    }
+    if (!task.racks.empty() &&
+        std::find(task.racks.begin(), task.racks.end(), k_host.rack) ==
+            task.racks.end()) {
+      return where.str() + "attempt ran outside its eligible racks";
     }
     bool at_failure = false;
     for (const DownInterval* d : down_by_res[static_cast<std::size_t>(k.resource)]) {
@@ -197,6 +222,27 @@ std::string validate_execution(const Workload& workload,
       }
     }
   }
+  // Anti-affinity: a job's group members must *complete* on pairwise
+  // distinct resources. Killed attempts are exempt — a kill releases the
+  // host, and the re-run may legally land where a failed sibling attempt
+  // once sat.
+  {
+    std::map<std::tuple<JobId, int, ResourceId>, const ExecutedTask*> holders;
+    for (const ExecutedTask& et : executed) {
+      const Job& job = workload.jobs[static_cast<std::size_t>(et.job)];
+      const Task& task = job.task(static_cast<std::size_t>(et.task_index));
+      if (task.affinity_group < 0) continue;
+      const auto [it, inserted] = holders.try_emplace(
+          std::make_tuple(et.job, task.affinity_group, et.resource), &et);
+      if (!inserted) {
+        return "job " + std::to_string(et.job) + " task " +
+               std::to_string(et.task_index) + ": shares resource " +
+               std::to_string(et.resource) + " with task " +
+               std::to_string(it->second->task_index) +
+               " of the same anti-affinity group";
+      }
+    }
+  }
   // Capacity sweeps (map slots, reduce slots, network links).
   for (const auto& [key, delta] : deltas) {
     const Resource& r = workload.cluster.resource(key.first);
@@ -252,7 +298,7 @@ SimMetrics simulate_minedf(const Workload& workload,
   const Workload& w = *active_workload;
 
   des::Simulation des;
-  FaultInjector injector(w.cluster.size(), faults);
+  FaultInjector injector(w.cluster.size(), faults, cluster_racks(w.cluster));
   metrics.records = make_records(w);
   std::vector<ExecutedTask> executed;
   std::vector<std::size_t> remaining(w.jobs.size());
@@ -281,18 +327,10 @@ SimMetrics simulate_minedf(const Workload& workload,
       reduce_slots.push_back({r.id, Time{0}, false});
     }
   }
-  auto claim_slot = [](std::vector<SlotState>& slots, Time start,
-                       Time end) -> std::size_t {
-    for (std::size_t i = 0; i < slots.size(); ++i) {
-      SlotState& s = slots[i];
-      if (!s.down && s.busy_until <= start) {
-        s.busy_until = end;
-        return i;
-      }
-    }
-    MRCP_CHECK_MSG(false, "MinEDF-WC launched beyond available capacity");
-    return 0;
-  };
+  // Anti-affinity bookkeeping: resources currently held (running) or
+  // permanently burned (completed) by a (job, group)'s members. Kills
+  // release their entry; completions never do.
+  std::map<std::pair<JobId, int>, std::vector<ResourceId>> group_taken;
 
   // Running tasks with the slot they occupy, for failure kills.
   struct RunningTask {
@@ -319,13 +357,60 @@ SimMetrics simulate_minedf(const Workload& workload,
 
   baseline::MinEdfWcScheduler sched(
       w.cluster,
-      [&](JobId job_id, int task_index, Time start, Time end) {
+      [&](JobId job_id, int task_index, Time start, Time base_end) -> Time {
+        (void)base_end;
         const Job& job = w.jobs[static_cast<std::size_t>(job_id)];
         const Task& task = job.task(static_cast<std::size_t>(task_index));
         const bool is_map = task.type == TaskType::kMap;
         auto& slots = is_map ? map_slots : reduce_slots;
-        const std::size_t slot = claim_slot(slots, start, end);
+        // Eligible slot search: placement constraints first, then prefer
+        // the fastest host, then the lowest slot index — which reduces to
+        // the plain first-free-slot scan on a homogeneous, unconstrained
+        // cluster.
+        std::vector<ResourceId>* taken = nullptr;
+        if (task.affinity_group >= 0) {
+          taken = &group_taken[{job_id, task.affinity_group}];
+        }
+        auto eligible = [&](ResourceId r) {
+          if (!task.candidates.empty() &&
+              std::find(task.candidates.begin(), task.candidates.end(), r) ==
+                  task.candidates.end()) {
+            return false;
+          }
+          if (!task.racks.empty()) {
+            const int rack = w.cluster.resource(r).rack;
+            if (std::find(task.racks.begin(), task.racks.end(), rack) ==
+                task.racks.end()) {
+              return false;
+            }
+          }
+          return taken == nullptr ||
+                 std::find(taken->begin(), taken->end(), r) == taken->end();
+        };
+        std::size_t slot = slots.size();
+        int best_speed = -1;
+        for (std::size_t i = 0; i < slots.size(); ++i) {
+          const SlotState& s = slots[i];
+          if (s.down || s.busy_until > start) continue;
+          if (!eligible(s.resource)) continue;
+          const int speed = w.cluster.resource(s.resource).speed_permille;
+          if (speed > best_speed) {
+            best_speed = speed;
+            slot = i;
+          }
+        }
+        if (slot == slots.size()) {
+          // The free-slot counters guarantee *some* slot is free, so only
+          // a placement-constrained task may be refused here.
+          MRCP_CHECK_MSG(task.placement_constrained(),
+                         "MinEDF-WC launched beyond available capacity");
+          return kNoTime;
+        }
         const ResourceId res = slots[slot].resource;
+        const Time end =
+            start + w.cluster.resource(res).scaled_duration(task.exec_time);
+        slots[slot].busy_until = end;
+        if (taken != nullptr) taken->push_back(res);
         RunningTask rt{is_map, slot, start, end, {}};
         rt.end_event =
             des.schedule_at(end, [&, job_id, task_index, res, start, end] {
@@ -347,6 +432,7 @@ SimMetrics simulate_minedf(const Workload& workload,
               update_eligibility_wakeup();
             });
         running.emplace(std::make_pair(job_id, task_index), std::move(rt));
+        return end;
       },
       config);
   sched_ptr = &sched;
@@ -377,6 +463,16 @@ SimMetrics simulate_minedf(const Workload& workload,
       metrics.failure.wasted_ticks += t - rt.start;
       metrics.records[static_cast<std::size_t>(job_id)].failure_affected = true;
       sched.handle_task_killed(job_id, task_index, rt.end, t);
+      // A killed attempt releases its anti-affinity hold: the re-run may
+      // land anywhere its live siblings do not sit.
+      const Task& killed_task = w.jobs[static_cast<std::size_t>(job_id)].task(
+          static_cast<std::size_t>(task_index));
+      if (killed_task.affinity_group >= 0) {
+        auto& taken = group_taken[{job_id, killed_task.affinity_group}];
+        const auto pos = std::find(taken.begin(), taken.end(), r);
+        MRCP_CHECK(pos != taken.end());
+        taken.erase(pos);
+      }
       it = running.erase(it);
     }
     sched.wake(t);
@@ -413,6 +509,7 @@ SimMetrics simulate_minedf(const Workload& workload,
   metrics.downtime = injector.downtime();
   metrics.failure.resource_failures = injector.failures();
   metrics.failure.resource_repairs = injector.repairs();
+  metrics.failure.rack_bursts = injector.rack_bursts();
 
   if (options.validate_execution) {
     const std::string err =

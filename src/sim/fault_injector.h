@@ -14,6 +14,13 @@
 //     Stragglers are applied as an up-front workload transform so both
 //     resource managers plan against the same (slowed) ground truth.
 //
+//   * Rack bursts — correlated failures (docs/fault_model.md): each rack
+//     owns an exponential burst clock (mean rack_mtbf_s); a burst downs
+//     every currently-up member of the rack at once (a shared switch/PDU
+//     dying), respecting max_concurrent_down per member. Each downed
+//     member draws an *independent* repair with mean rack_mttr_s from its
+//     own stream — racks recover machine by machine, as real ones do.
+//
 // Determinism: every resource owns its own RandomStream derived from
 // (seed, resource id), and failure/repair draws happen only inside the
 // injector's own event chain — never in response to scheduling activity.
@@ -53,12 +60,22 @@ struct FaultConfig {
   /// `cluster size - 1` (the cluster never fully disappears, which
   /// would leave the resource managers with no feasible placement).
   int max_concurrent_down = -1;
+  /// Mean time between correlated *rack* bursts, seconds, per rack. 0
+  /// disables rack bursts.
+  double rack_mtbf_s = 0.0;
+  /// Mean time to repair a member downed by a rack burst, seconds (each
+  /// member draws independently).
+  double rack_mttr_s = 60.0;
 
   bool failures_enabled() const { return mtbf_s > 0.0; }
+  bool rack_failures_enabled() const { return rack_mtbf_s > 0.0; }
   bool stragglers_enabled() const {
     return straggler_prob > 0.0 && straggler_factor != 1.0;
   }
-  bool enabled() const { return failures_enabled() || stragglers_enabled(); }
+  bool enabled() const {
+    return failures_enabled() || rack_failures_enabled() ||
+           stragglers_enabled();
+  }
 
   /// Empty string when consistent.
   std::string validate() const;
@@ -71,7 +88,11 @@ class FaultInjector {
   /// Called with (resource, now) after the injector's own bookkeeping.
   using TransitionFn = std::function<void(ResourceId, Time)>;
 
-  FaultInjector(int num_resources, const FaultConfig& config);
+  /// `racks[r]` is resource r's rack id; empty places every resource in
+  /// rack 0. Rack ids drive the correlated-burst clocks (one per
+  /// distinct rack, streams keyed by sorted rack order).
+  FaultInjector(int num_resources, const FaultConfig& config,
+                std::vector<int> racks = {});
 
   /// Schedule the first failure of every resource. No-op when resource
   /// failures are disabled.
@@ -95,6 +116,8 @@ class FaultInjector {
   std::uint64_t repairs() const { return repairs_; }
   /// Failures suppressed by the max_concurrent_down cap.
   std::uint64_t suppressed_failures() const { return suppressed_; }
+  /// Correlated rack bursts fired (each may down several members).
+  std::uint64_t rack_bursts() const { return rack_bursts_; }
 
   // ---- Durability (docs/crash_recovery.md) ----
 
@@ -107,6 +130,9 @@ class FaultInjector {
     Time time;
     std::uint64_t seq = 0;
     bool repair = false;  ///< false = pending failure, true = pending repair
+    /// >= 0: this is a rack-burst clock event for that rack id
+    /// (`resource`/`repair` are meaningless then).
+    int rack = -1;
   };
 
   /// Serialize the full injector state: per-resource RNG engine states,
@@ -138,6 +164,12 @@ class FaultInjector {
   void on_failure(des::Simulation& des, ResourceId r);
   void on_repair(des::Simulation& des, ResourceId r);
   Time draw_ticks(ResourceId r, double mean_s);
+  void schedule_rack_failure(des::Simulation& des, std::size_t rack_index);
+  void on_rack_failure(des::Simulation& des, std::size_t rack_index);
+  /// Fail one up resource at `now` with the given repair mean — the body
+  /// shared by individual failures and rack-burst members.
+  void fail_resource(des::Simulation& des, ResourceId r, Time now,
+                     double repair_mean_s);
 
   FaultConfig config_;
   int cap_;
@@ -146,14 +178,23 @@ class FaultInjector {
   std::vector<std::uint8_t> down_;
   std::vector<std::size_t> open_;  ///< downtime_ index of the open interval
   std::vector<DownInterval> downtime_;
+  std::vector<int> rack_of_;                    ///< per resource
+  std::vector<int> rack_ids_;                   ///< sorted distinct
+  std::vector<RandomStream> rack_streams_;      ///< parallel to rack_ids_
+  std::vector<des::EventHandle> rack_pending_;  ///< next burst per rack
   int down_count_ = 0;
   std::uint64_t failures_ = 0;
   std::uint64_t repairs_ = 0;
   std::uint64_t suppressed_ = 0;
+  std::uint64_t rack_bursts_ = 0;
   TransitionFn on_down_;
   TransitionFn on_up_;
   std::vector<PendingTransition> restored_pending_;  ///< from restore_state
 };
+
+/// Convenience for the FaultInjector constructor: the per-resource rack
+/// ids of a cluster, in resource-id order.
+std::vector<int> cluster_racks(const Cluster& cluster);
 
 /// Pure predicate: is (job, task_index) a straggler under `config`?
 /// Stateless hash of (seed, job, task) — stable under any evaluation

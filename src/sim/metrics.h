@@ -59,6 +59,9 @@ struct DownInterval {
 struct FailureMetrics {
   std::uint64_t resource_failures = 0;
   std::uint64_t resource_repairs = 0;
+  /// Correlated rack bursts fired (each may down several members; the
+  /// member downs are counted in resource_failures).
+  std::uint64_t rack_bursts = 0;
   std::uint64_t tasks_killed = 0;     ///< attempts lost to failures
   std::uint64_t straggler_tasks = 0;  ///< tasks slowed by the straggler model
   Time wasted_ticks;              ///< work executed by killed attempts

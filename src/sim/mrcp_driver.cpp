@@ -110,7 +110,7 @@ class MrcpSimDriver {
       : w_(w),
         options_(options),
         rm_(w.cluster, make_rm_config(config, options)),
-        injector_(w.cluster.size(), options.faults) {
+        injector_(w.cluster.size(), options.faults, cluster_racks(w.cluster)) {
     metrics_.records = internal::make_records(w);
     tasks_.resize(w.jobs.size());
     remaining_.resize(w.jobs.size());
@@ -653,6 +653,7 @@ class MrcpSimDriver {
     metrics_.downtime = injector_.downtime();
     metrics_.failure.resource_failures = injector_.failures();
     metrics_.failure.resource_repairs = injector_.repairs();
+    metrics_.failure.rack_bursts = injector_.rack_bursts();
 
     if (!crashed && options_.validate_execution) {
       const std::string err =

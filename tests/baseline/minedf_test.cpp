@@ -38,6 +38,7 @@ struct Harness {
         cluster,
         [this](JobId j, int t, Time s, Time e) {
           launches.push_back(Launch{j, t, s, e});
+          return e;  // homogeneous harness: actual end == base end
         },
         config);
   }
@@ -258,7 +259,10 @@ TEST(MinEdfWc, MaximalAllocationGrabsAllSlotsEdfFirst) {
   std::vector<Launch> launches;
   MinEdfWcScheduler sched(
       Cluster::homogeneous(4, 1, 1),
-      [&](JobId j, int t, Time s, Time e) { launches.push_back({j, t, s, e}); },
+      [&](JobId j, int t, Time s, Time e) {
+        launches.push_back({j, t, s, e});
+        return e;
+      },
       cfg);
   sched.submit(make_job(0, Time{0}, Time{0}, Time{1000000}, {Time{10}, Time{10}, Time{10}}, {}), Time{0});
   sched.submit(make_job(1, Time{0}, Time{0}, Time{2000000}, {Time{10}, Time{10}}, {}), Time{0});

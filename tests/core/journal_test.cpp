@@ -43,6 +43,15 @@ Task rnd_task(Rng& rng) {
   task.exec_time = rnd_ticks(rng);
   task.res_req = rnd_i32(rng);
   task.net_demand = rnd_i32(rng);
+  // Placement constraints (journal format v2): empty most of the time so
+  // the default-shaped encoding is exercised too.
+  for (std::uint64_t i = rng() % 3; i > 0; --i) {
+    task.candidates.push_back(rnd_i32(rng));
+  }
+  for (std::uint64_t i = rng() % 3; i > 0; --i) {
+    task.racks.push_back(rnd_i32(rng));
+  }
+  task.affinity_group = (rng() & 1) != 0 ? rnd_i32(rng) : -1;
   return task;
 }
 
@@ -172,6 +181,9 @@ TEST(JournalCodecs, TaskRoundTrip) {
     ASSERT_EQ(back.exec_time, task.exec_time);
     ASSERT_EQ(back.res_req, task.res_req);
     ASSERT_EQ(back.net_demand, task.net_demand);
+    ASSERT_EQ(back.candidates, task.candidates);
+    ASSERT_EQ(back.racks, task.racks);
+    ASSERT_EQ(back.affinity_group, task.affinity_group);
   }
 }
 

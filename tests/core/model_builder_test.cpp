@@ -5,21 +5,33 @@
 namespace mrcp {
 namespace {
 
+LiveTask live_task(int index, TaskType type, Time exec, bool started,
+                   ResourceId pinned, Time started_at) {
+  LiveTask t;
+  t.task_index = index;
+  t.type = type;
+  t.exec_time = exec;
+  t.started = started;
+  t.resource = pinned;
+  t.start = started_at;
+  return t;
+}
+
 std::vector<LiveJob> two_live_jobs() {
   std::vector<LiveJob> jobs(2);
   jobs[0].id = 10;
   jobs[0].effective_earliest_start = Time{100};
   jobs[0].deadline = Time{500};
   jobs[0].tasks = {
-      LiveTask{0, TaskType::kMap, Time{30}, 1, 0, false, kNoResource, kNoTime},
-      LiveTask{1, TaskType::kMap, Time{40}, 1, 0, true, 2, Time{90}},  // running on r2
-      LiveTask{2, TaskType::kReduce, Time{50}, 1, 0, false, kNoResource, kNoTime},
+      live_task(0, TaskType::kMap, Time{30}, false, kNoResource, kNoTime),
+      live_task(1, TaskType::kMap, Time{40}, true, 2, Time{90}),  // running on r2
+      live_task(2, TaskType::kReduce, Time{50}, false, kNoResource, kNoTime),
   };
   jobs[1].id = 11;
   jobs[1].effective_earliest_start = Time{120};
   jobs[1].deadline = Time{900};
   jobs[1].tasks = {
-      LiveTask{0, TaskType::kMap, Time{25}, 1, 0, false, kNoResource, kNoTime},
+      live_task(0, TaskType::kMap, Time{25}, false, kNoResource, kNoTime),
   };
   return jobs;
 }

@@ -5,6 +5,8 @@
 // formulation.
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "core/matchmaker.h"
 #include "core/mrcp_rm.h"
 #include "cp/solver.h"
@@ -115,6 +117,166 @@ TEST(MultiSlotDemand, SerializesWhenOnlyOneResourceFits) {
   cfg.validate_plans = true;
   const sim::SimMetrics m = sim::simulate_mrcp(w, cfg);
   EXPECT_EQ(m.records[0].completion, Time{200});  // serialized on resource 0
+}
+
+// ---- Speed axis -----------------------------------------------------
+//
+// Effective duration on a host is scale_duration(exec_time, speed):
+// permille of the baseline, ceil rounding (docs/heterogeneous.md).
+
+TEST(HeteroSpeed, SlowAndFastHostsScaleObservedDurations) {
+  Cluster c;
+  c.add_resource_hetero(1, 1, 0, /*speed=*/500, /*rack=*/0);   // half speed
+  c.add_resource_hetero(1, 1, 0, /*speed=*/2000, /*rack=*/0);  // double speed
+  Job job = make_job(0, Time{0}, Time{0}, Time{1000000},
+                     {Time{100}, Time{100}}, {});
+  job.map_tasks[0].candidates = {0};  // pin to the slow host
+  job.map_tasks[1].candidates = {1};  // pin to the fast host
+  Workload w;
+  w.cluster = c;
+  w.jobs = {job};
+  MrcpConfig cfg;
+  cfg.validate_plans = true;
+  const sim::SimMetrics m = sim::simulate_mrcp(w, cfg);
+  ASSERT_TRUE(m.records[0].completed());
+  ASSERT_EQ(m.executed.size(), 2u);
+  for (const sim::ExecutedTask& et : m.executed) {
+    const Time observed = et.end - et.start;
+    if (et.resource == 0) {
+      EXPECT_EQ(observed, Time{200}) << "slow host must take twice as long";
+    } else {
+      EXPECT_EQ(observed, Time{50}) << "fast host must take half as long";
+    }
+  }
+  EXPECT_EQ(m.records[0].completion, Time{200});
+}
+
+TEST(HeteroSpeed, CpMeetsDeadlineOnlyTheFastHostAllows) {
+  // Base duration 100; deadline 60. Only the speed-2000 host (observed
+  // duration 50) can meet it, so the planner must place the task there.
+  Cluster c;
+  c.add_resource_hetero(1, 1, 0, 1000, 0);
+  c.add_resource_hetero(1, 1, 0, 2000, 0);
+  Workload w;
+  w.cluster = c;
+  w.jobs = {make_job(0, Time{0}, Time{0}, Time{60}, {Time{100}}, {})};
+  MrcpConfig cfg;
+  cfg.validate_plans = true;
+  const sim::SimMetrics m = sim::simulate_mrcp(w, cfg);
+  ASSERT_TRUE(m.records[0].completed());
+  ASSERT_EQ(m.executed.size(), 1u);
+  EXPECT_EQ(m.executed[0].resource, 1);
+  EXPECT_EQ(m.records[0].completion, Time{50});
+  EXPECT_FALSE(m.records[0].late);
+}
+
+TEST(HeteroSpeed, MinedfRunsSpeedScaledTasks) {
+  Cluster c;
+  c.add_resource_hetero(2, 2, 0, 500, 0);
+  c.add_resource_hetero(2, 2, 0, 1500, 1);
+  Workload w;
+  w.cluster = c;
+  w.jobs = {make_job(0, Time{0}, Time{0}, Time{1000000},
+                     {Time{90}, Time{90}}, {Time{60}})};
+  const sim::SimMetrics m = sim::simulate_minedf(w);
+  ASSERT_TRUE(m.records[0].completed());
+  // Every observed duration must match the host's speed exactly — the
+  // execution validator enforces this, so a green run is the assertion;
+  // still, check the completion is consistent with *some* speed scaling
+  // (never the unscaled base chain).
+  for (const sim::ExecutedTask& et : m.executed) {
+    const Resource& host = w.cluster.resource(et.resource);
+    const Task& task =
+        w.jobs[0].task(static_cast<std::size_t>(et.task_index));
+    EXPECT_EQ(et.end - et.start, host.scaled_duration(task.exec_time));
+  }
+}
+
+// ---- Placement axis -------------------------------------------------
+
+TEST(HeteroPlacement, CandidateSetsConfineExecution) {
+  Workload w;
+  w.cluster = Cluster::homogeneous(3, 2, 2);
+  Job job = make_job(0, Time{0}, Time{0}, Time{1000000},
+                     {Time{50}, Time{50}, Time{50}}, {Time{40}});
+  for (Task& t : job.map_tasks) t.candidates = {2};
+  w.jobs = {job};
+  MrcpConfig cfg;
+  cfg.validate_plans = true;
+  const sim::SimMetrics m = sim::simulate_mrcp(w, cfg);
+  ASSERT_TRUE(m.records[0].completed());
+  for (const sim::ExecutedTask& et : m.executed) {
+    const Task& task =
+        w.jobs[0].task(static_cast<std::size_t>(et.task_index));
+    if (task.type == TaskType::kMap) {
+      EXPECT_EQ(et.resource, 2) << "map escaped its candidate set";
+    }
+  }
+}
+
+TEST(HeteroPlacement, RackLocalityConfinesExecution) {
+  Cluster c;
+  c.add_resource_hetero(2, 2, 0, 1000, /*rack=*/0);
+  c.add_resource_hetero(2, 2, 0, 1000, /*rack=*/0);
+  c.add_resource_hetero(2, 2, 0, 1000, /*rack=*/1);
+  Job job = make_job(0, Time{0}, Time{0}, Time{1000000},
+                     {Time{50}, Time{50}}, {});
+  for (Task& t : job.map_tasks) t.racks = {1};
+  Workload w;
+  w.cluster = c;
+  w.jobs = {job};
+  MrcpConfig cfg;
+  cfg.validate_plans = true;
+  const sim::SimMetrics m = sim::simulate_mrcp(w, cfg);
+  ASSERT_TRUE(m.records[0].completed());
+  for (const sim::ExecutedTask& et : m.executed) {
+    EXPECT_EQ(w.cluster.resource(et.resource).rack, 1)
+        << "task ran outside rack 1";
+  }
+  // Rack 1 has one machine with 2 map slots, so the two maps overlap.
+  EXPECT_EQ(m.records[0].completion, Time{50});
+}
+
+TEST(HeteroPlacement, AntiAffinitySpreadsGroupAcrossResources) {
+  Workload w;
+  w.cluster = Cluster::homogeneous(3, 2, 2);
+  Job job = make_job(0, Time{0}, Time{0}, Time{1000000},
+                     {Time{50}, Time{50}, Time{50}}, {});
+  for (Task& t : job.map_tasks) t.affinity_group = 0;
+  w.jobs = {job};
+  MrcpConfig cfg;
+  cfg.validate_plans = true;
+  const sim::SimMetrics m = sim::simulate_mrcp(w, cfg);
+  ASSERT_TRUE(m.records[0].completed());
+  std::set<ResourceId> hosts;
+  for (const sim::ExecutedTask& et : m.executed) hosts.insert(et.resource);
+  EXPECT_EQ(hosts.size(), 3u)
+      << "anti-affinity group members shared a resource";
+}
+
+TEST(HeteroPlacement, MinedfHonorsCandidatesAndRacks) {
+  Cluster c;
+  c.add_resource_hetero(2, 2, 0, 1000, 0);
+  c.add_resource_hetero(2, 2, 0, 1000, 1);
+  Job job = make_job(0, Time{0}, Time{0}, Time{1000000},
+                     {Time{50}, Time{50}}, {Time{40}});
+  job.map_tasks[0].candidates = {1};
+  job.map_tasks[1].racks = {0};
+  Workload w;
+  w.cluster = c;
+  w.jobs = {job};
+  const sim::SimMetrics m = sim::simulate_minedf(w);
+  ASSERT_TRUE(m.records[0].completed());
+  for (const sim::ExecutedTask& et : m.executed) {
+    const Task& task =
+        w.jobs[0].task(static_cast<std::size_t>(et.task_index));
+    if (!task.candidates.empty()) {
+      EXPECT_EQ(et.resource, 1);
+    }
+    if (!task.racks.empty()) {
+      EXPECT_EQ(w.cluster.resource(et.resource).rack, task.racks[0]);
+    }
+  }
 }
 
 TEST(Heterogeneous, RegroupedClusterRunsWorkload) {

@@ -78,6 +78,38 @@ const std::vector<std::string> kCorpus = {
     "mrcp-workload v1\ncluster 1\nresource a b\njobs 0\n",
     "mrcp-workload v1\ncluster 1\nresource 1 1\njobs 1\n"
     "job 0 0 0 10 1 0\ntask five 1\n",
+    // ---- Heterogeneity / placement (docs/heterogeneous.md) ----
+    // Valid five-field resources plus every placement trailer kind.
+    "mrcp-workload v1\ncluster 2\nresource 2 2 0 1500 0\n"
+    "resource 1 1 0 500 1\njobs 1\njob 0 0 0 50 2 1\n"
+    "task 4 1 0\ntask 6 1 0\ntask 3 1 0\n"
+    "locality 0 1\nracks 1 0\naffinity 0 0\naffinity 1 0\n",
+    // Speed must be a positive integer: zero, negative, NaN, fractional.
+    "mrcp-workload v1\ncluster 1\nresource 1 1 0 0 0\njobs 0\n",
+    "mrcp-workload v1\ncluster 1\nresource 1 1 0 -500 0\njobs 0\n",
+    "mrcp-workload v1\ncluster 1\nresource 1 1 0 nan 0\njobs 0\n",
+    "mrcp-workload v1\ncluster 1\nresource 1 1 0 1.5 0\njobs 0\n",
+    // Negative rack; four-field resource line (neither form).
+    "mrcp-workload v1\ncluster 1\nresource 1 1 0 1000 -1\njobs 0\n",
+    "mrcp-workload v1\ncluster 1\nresource 1 1 0 1000\njobs 0\n",
+    // Speed that truncates through static_cast<int>.
+    "mrcp-workload v1\ncluster 1\nresource 1 1 0 4294967297 0\njobs 0\n",
+    // Dangling candidate resource and dangling rack id.
+    "mrcp-workload v1\ncluster 1\nresource 1 1\njobs 1\n"
+    "job 0 0 0 10 1 0\ntask 5 1 0\nlocality 0 5\n",
+    "mrcp-workload v1\ncluster 1\nresource 1 1\njobs 1\n"
+    "job 0 0 0 10 1 0\ntask 5 1 0\nracks 0 7\n",
+    // Trailer index out of range, duplicates, empty list, bad group.
+    "mrcp-workload v1\ncluster 1\nresource 1 1\njobs 1\n"
+    "job 0 0 0 10 1 0\ntask 5 1 0\nlocality 3 0\n",
+    "mrcp-workload v1\ncluster 1\nresource 1 1\njobs 1\n"
+    "job 0 0 0 10 1 0\ntask 5 1 0\nlocality 0 0\nlocality 0 0\n",
+    "mrcp-workload v1\ncluster 1\nresource 1 1\njobs 1\n"
+    "job 0 0 0 10 1 0\ntask 5 1 0\nlocality 0\n",
+    "mrcp-workload v1\ncluster 1\nresource 1 1\njobs 1\n"
+    "job 0 0 0 10 1 0\ntask 5 1 0\naffinity 0 -2\n",
+    "mrcp-workload v1\ncluster 1\nresource 1 1\njobs 1\n"
+    "job 0 0 0 10 1 0\ntask 5 1 0\naffinity 0 0\naffinity 0 1\n",
 };
 
 TEST(WorkloadFuzzTest, FixedCorpusHoldsProperties) {
@@ -111,16 +143,91 @@ TEST(WorkloadFuzzTest, TruncationRegressionsAreRejectedNotMangled) {
   EXPECT_EQ(w.cluster.size(), 0u);
 }
 
+/// A workload exercising every heterogeneity field: mixed speeds, two
+/// racks, candidate sets, rack locality and an anti-affinity pair.
+Workload hetero_workload() {
+  Workload w;
+  w.cluster.add_resource_hetero(2, 2, 0, 1500, 0);
+  w.cluster.add_resource_hetero(1, 1, 1, 500, 1);
+  w.cluster.add_resource_hetero(2, 1, 0, 1000, 1);
+  Job j0 = testutil::make_job(0, Time{0}, Time{0}, Time{80},
+                              {Time{4}, Time{6}}, {Time{3}});
+  j0.map_tasks[0].candidates = {0, 2};
+  j0.map_tasks[1].racks = {1};
+  j0.reduce_tasks[0].affinity_group = 0;
+  Job j1 = testutil::make_job(1, Time{2}, Time{2}, Time{90},
+                              {Time{7}, Time{5}}, {});
+  j1.map_tasks[0].affinity_group = 0;
+  j1.map_tasks[1].affinity_group = 0;
+  w.jobs = {j0, j1};
+  return w;
+}
+
+TEST(WorkloadFuzzTest, HeteroSerializationIsAFixpoint) {
+  const std::string text = workload_to_string(hetero_workload());
+  std::string error;
+  const Workload back = workload_from_string(text, &error);
+  ASSERT_EQ(error, "") << error;
+  // serialize(parse(serialize(w))) == serialize(w): the canonical form
+  // is stable, so hetero traces survive save/load cycles byte-for-byte.
+  EXPECT_EQ(workload_to_string(back), text);
+  EXPECT_EQ(workload_roundtrip_check(text), "");
+  EXPECT_EQ(back.cluster.resource(1).speed_permille, 500);
+  EXPECT_EQ(back.cluster.resource(1).rack, 1);
+  ASSERT_EQ(back.jobs.size(), 2u);
+  EXPECT_EQ(back.jobs[0].map_tasks[0].candidates,
+            (std::vector<ResourceId>{0, 2}));
+  EXPECT_EQ(back.jobs[0].map_tasks[1].racks, std::vector<int>{1});
+  EXPECT_EQ(back.jobs[1].map_tasks[1].affinity_group, 0);
+}
+
+TEST(WorkloadFuzzTest, HeteroRejectionsCarryByteOffsets) {
+  struct Case {
+    const char* text;
+    const char* needle;  ///< must appear in the error message
+  };
+  const Case cases[] = {
+      {"mrcp-workload v1\ncluster 1\nresource 1 1 0 0 0\njobs 0\n",
+       "speed must be a positive"},
+      {"mrcp-workload v1\ncluster 1\nresource 1 1 0 -500 0\njobs 0\n",
+       "speed must be a positive"},
+      {"mrcp-workload v1\ncluster 1\nresource 1 1 0 nan 0\njobs 0\n",
+       "resource"},
+      {"mrcp-workload v1\ncluster 1\nresource 1 1 0 1000 -1\njobs 0\n",
+       "rack must be a non-negative"},
+      {"mrcp-workload v1\ncluster 1\nresource 1 1\njobs 1\n"
+       "job 0 0 0 10 1 0\ntask 5 1 0\nlocality 0 5\n",
+       "locality names resource"},
+      {"mrcp-workload v1\ncluster 1\nresource 1 1\njobs 1\n"
+       "job 0 0 0 10 1 0\ntask 5 1 0\nracks 0 7\n",
+       "racks names rack"},
+  };
+  for (const Case& c : cases) {
+    std::string error;
+    const Workload w = workload_from_string(c.text, &error);
+    EXPECT_TRUE(w.jobs.empty() && w.cluster.size() == 0u) << c.text;
+    ASSERT_NE(error, "") << c.text;
+    // The located-error contract: every rejection names the line and the
+    // byte offset of the offending token's line.
+    EXPECT_NE(error.find("byte"), std::string::npos) << error;
+    EXPECT_NE(error.find("line"), std::string::npos) << error;
+    EXPECT_NE(error.find(c.needle), std::string::npos) << error;
+  }
+}
+
 // Deterministic mutation fuzzing: byte flips, truncations, line drops,
 // line duplications and digit perturbations of a valid trace. Every
 // mutant must either parse (and then roundtrip) or be cleanly rejected.
 TEST(WorkloadFuzzTest, DeterministicMutationsHoldProperties) {
-  const std::string base = valid_workload_text();
-  ASSERT_EQ(workload_roundtrip_check(base), "");
+  const std::string bases[] = {valid_workload_text(),
+                               workload_to_string(hetero_workload())};
+  for (const std::string& base : bases) {
+    ASSERT_EQ(workload_roundtrip_check(base), "");
+  }
   RandomStream rng(2024, 0xF022);
 
   for (int trial = 0; trial < 3000; ++trial) {
-    std::string mutant = base;
+    std::string mutant = bases[static_cast<std::size_t>(trial) % 2];
     const int kind = static_cast<int>(rng.uniform_int(0, 4));
     switch (kind) {
       case 0: {  // flip a byte

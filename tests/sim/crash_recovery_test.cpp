@@ -78,6 +78,46 @@ Scenario faulty_scenario() {
   return s;
 }
 
+/// Heterogeneous cluster (mixed speeds, two racks), placement-
+/// constrained jobs and correlated rack bursts on top of individual
+/// failures: the v2 journal task fields and the injector's v2 rack
+/// state all land in the durability stream.
+Scenario hetero_rack_scenario() {
+  Scenario s;
+  Cluster c;
+  c.add_resource_hetero(2, 2, 0, 1500, 0);
+  c.add_resource_hetero(2, 2, 0, 1000, 0);
+  c.add_resource_hetero(2, 2, 0, 500, 1);
+  std::vector<Job> jobs;
+  for (int i = 0; i < 8; ++i) {
+    Job j = make_job(i, Time{i * 2000}, Time{i * 2000},
+                     Time{i * 2000 + 200000}, {Time{5000}, Time{5000}},
+                     {Time{4000}});
+    switch (i % 3) {
+      case 0:
+        j.map_tasks[0].affinity_group = 0;
+        j.map_tasks[1].affinity_group = 0;
+        break;
+      case 1:
+        j.map_tasks[0].candidates = {0, 1};
+        break;
+      default:
+        j.map_tasks[1].racks = {0};
+        break;
+    }
+    jobs.push_back(j);
+  }
+  s.workload.cluster = c;
+  s.workload.jobs = std::move(jobs);
+  s.config = deterministic_config();
+  s.options.faults.mtbf_s = 10.0;
+  s.options.faults.mttr_s = 4.0;
+  s.options.faults.rack_mtbf_s = 25.0;
+  s.options.faults.rack_mttr_s = 5.0;
+  s.options.faults.seed = 11;
+  return s;
+}
+
 SimMetrics run_with(const Scenario& s, const DurabilityOptions& durability) {
   SimOptions options = s.options;
   options.durability = durability;
@@ -213,6 +253,20 @@ TEST(CrashRecovery, FaultySweep) {
     crash_and_recover(s, baseline, prefix, 5, n);
   }
   EXPECT_GE(points, 55u) << "workload too small for the sweep";
+}
+
+TEST(CrashRecovery, HeteroRackFaultSweep) {
+  // Speed-scaled durations, placement constraints and rack bursts all
+  // flow through the journal and the injector snapshot; every crash
+  // point must still restore byte-identically.
+  const Scenario s = hetero_rack_scenario();
+  const std::string prefix = testing::TempDir() + "crt_hetero";
+  const Baseline baseline = run_baseline(s, prefix + "_base", 5);
+  std::uint64_t points = 0;
+  for (std::uint64_t n = 1; n < baseline.records; n += 2, ++points) {
+    crash_and_recover(s, baseline, prefix, 5, n);
+  }
+  EXPECT_GE(points, 25u) << "hetero workload too small for the sweep";
 }
 
 TEST(CrashRecovery, ColdRestoreSweep) {

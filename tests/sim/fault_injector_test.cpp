@@ -171,6 +171,221 @@ TEST(FaultInjector, ConcurrencyCapSuppressesFailures) {
   EXPECT_GT(injector.suppressed_failures(), 0u);
 }
 
+FaultConfig rack_config(double rack_mtbf_s = 100.0, double rack_mttr_s = 20.0,
+                        std::uint64_t seed = 7) {
+  FaultConfig c;
+  c.rack_mtbf_s = rack_mtbf_s;
+  c.rack_mttr_s = rack_mttr_s;
+  c.seed = seed;
+  return c;
+}
+
+TEST(FaultConfig, RackValidation) {
+  EXPECT_EQ(rack_config().validate(), "");
+  FaultConfig bad = rack_config();
+  bad.rack_mtbf_s = -1.0;
+  EXPECT_NE(bad.validate(), "");
+  bad = rack_config();
+  bad.rack_mttr_s = 0.0;
+  EXPECT_NE(bad.validate(), "");
+  // enabled() must see rack-only fault configs.
+  EXPECT_TRUE(rack_config().enabled());
+  EXPECT_TRUE(rack_config().rack_failures_enabled());
+  EXPECT_FALSE(rack_config().failures_enabled());
+}
+
+TEST(RackBursts, DownsEveryUpMemberOfTheRackAtOnce) {
+  des::Simulation des;
+  // Racks {0,0,1,1,1}; cap 4 so a whole rack can go down.
+  FaultConfig config = rack_config(/*rack_mtbf_s=*/60.0, /*rack_mttr_s=*/10.0);
+  config.max_concurrent_down = 4;
+  FaultInjector injector(5, config, {0, 0, 1, 1, 1});
+  std::vector<std::pair<ResourceId, Time>> downs;
+  injector.start(
+      des, [&](ResourceId r, Time t) { downs.emplace_back(r, t); },
+      [](ResourceId, Time) {});
+  des.run(seconds_to_ticks(std::int64_t{500}));
+  injector.stop(des);
+  des.run();
+
+  ASSERT_GT(injector.rack_bursts(), 0u);
+  ASSERT_FALSE(downs.empty());
+  // Every down event shares its timestamp with all same-tick events of
+  // the same rack: group by time and check each group stays in one rack.
+  for (std::size_t i = 0; i < downs.size(); ++i) {
+    const int rack_i = downs[i].first < 2 ? 0 : 1;
+    for (std::size_t j = i + 1; j < downs.size(); ++j) {
+      if (downs[j].second != downs[i].second) continue;
+      const int rack_j = downs[j].first < 2 ? 0 : 1;
+      EXPECT_EQ(rack_i, rack_j) << "burst spanned racks at t=" << downs[i].second;
+    }
+  }
+  // Every burst member shows up in the downtime log like any failure.
+  EXPECT_EQ(injector.failures(), injector.downtime().size());
+}
+
+TEST(RackBursts, MembersDrawIndependentRepairs) {
+  des::Simulation des;
+  FaultConfig config = rack_config(/*rack_mtbf_s=*/50.0, /*rack_mttr_s=*/30.0);
+  config.max_concurrent_down = 3;
+  FaultInjector injector(3, config, {0, 0, 0});
+  injector.start(des, [](ResourceId, Time) {}, [](ResourceId, Time) {});
+  des.run(seconds_to_ticks(std::int64_t{2000}));
+  injector.stop(des);
+  des.run();
+
+  ASSERT_GT(injector.rack_bursts(), 0u);
+  // Find a burst that downed >= 2 members and compare their repair ends.
+  bool found_distinct = false;
+  const auto& dt = injector.downtime();
+  for (std::size_t i = 0; i + 1 < dt.size() && !found_distinct; ++i) {
+    if (dt[i].start != dt[i + 1].start) continue;
+    if (dt[i].end == kNoTime || dt[i + 1].end == kNoTime) continue;
+    found_distinct = dt[i].end != dt[i + 1].end;
+  }
+  EXPECT_TRUE(found_distinct)
+      << "every multi-member burst repaired in lockstep — repairs are "
+         "not independent";
+}
+
+TEST(RackBursts, ConcurrencyCapSuppressesMembers) {
+  des::Simulation des;
+  FaultConfig config = rack_config(/*rack_mtbf_s=*/20.0, /*rack_mttr_s=*/100.0);
+  config.max_concurrent_down = 1;
+  FaultInjector injector(4, config, {0, 0, 0, 0});
+  int max_down = 0;
+  injector.start(
+      des,
+      [&](ResourceId, Time) {
+        max_down = std::max(max_down, injector.down_count());
+      },
+      [](ResourceId, Time) {});
+  des.run(seconds_to_ticks(std::int64_t{2000}));
+  injector.stop(des);
+  des.run();
+
+  EXPECT_EQ(max_down, 1);
+  EXPECT_GT(injector.suppressed_failures(), 0u);
+}
+
+TEST(RackBursts, TraceIsPolicyIndependent) {
+  auto record = [](bool noisy) {
+    des::Simulation des;
+    FaultConfig config = rack_config(/*rack_mtbf_s=*/40.0, /*rack_mttr_s=*/10.0);
+    config.mtbf_s = 80.0;  // mixed individual + rack faults
+    config.mttr_s = 15.0;
+    FaultInjector injector(4, config, {0, 0, 1, 1});
+    auto transition = [&des, noisy](ResourceId, Time) {
+      if (noisy) des.schedule_after(Time{1}, [] {});
+    };
+    injector.start(des, transition, transition);
+    des.run(seconds_to_ticks(std::int64_t{2000}));
+    injector.stop(des);
+    des.run();
+    return injector.downtime();
+  };
+  const auto quiet = record(false);
+  const auto noisy = record(true);
+  ASSERT_FALSE(quiet.empty());
+  ASSERT_EQ(quiet.size(), noisy.size());
+  for (std::size_t i = 0; i < quiet.size(); ++i) {
+    EXPECT_EQ(quiet[i].resource, noisy[i].resource);
+    EXPECT_EQ(quiet[i].start, noisy[i].start);
+    EXPECT_EQ(quiet[i].end, noisy[i].end);
+  }
+}
+
+TEST(RackBursts, StateRoundTripsThroughEncodeRestore) {
+  des::Simulation des;
+  FaultConfig config = rack_config(/*rack_mtbf_s=*/30.0, /*rack_mttr_s=*/20.0);
+  config.mtbf_s = 60.0;
+  config.mttr_s = 10.0;
+  config.max_concurrent_down = 3;
+  FaultInjector injector(4, config, {0, 0, 1, 1});
+  injector.start(des, [](ResourceId, Time) {}, [](ResourceId, Time) {});
+  des.run(seconds_to_ticks(std::int64_t{300}));
+
+  const std::string state = injector.encode_state();
+  FaultInjector restored(4, config, {0, 0, 1, 1});
+  std::string error;
+  ASSERT_TRUE(restored.restore_state(state, &error)) << error;
+  EXPECT_EQ(restored.failures(), injector.failures());
+  EXPECT_EQ(restored.repairs(), injector.repairs());
+  EXPECT_EQ(restored.rack_bursts(), injector.rack_bursts());
+  EXPECT_EQ(restored.downtime().size(), injector.downtime().size());
+  // Re-encoding the restored state is byte-identical modulo the pending
+  // events (which the driver re-schedules); compare counters via a fresh
+  // encode of the same structure by restoring a second time.
+  FaultInjector twice(4, config, {0, 0, 1, 1});
+  ASSERT_TRUE(twice.restore_state(state, &error)) << error;
+  EXPECT_EQ(twice.pending_transitions().size(),
+            restored.pending_transitions().size());
+
+  // Rack-count and rack-id mismatches are rejected, not misapplied.
+  FaultInjector wrong_racks(4, config, {0, 0, 0, 0});  // one rack, not two
+  EXPECT_FALSE(wrong_racks.restore_state(state, &error));
+  EXPECT_NE(error.find("rack"), std::string::npos) << error;
+  FaultInjector wrong_ids(4, config, {0, 0, 2, 2});  // racks {0,2} != {0,1}
+  EXPECT_FALSE(wrong_ids.restore_state(state, &error));
+  EXPECT_NE(error.find("rack"), std::string::npos) << error;
+
+  // Unknown versions and truncations are rejected with a message.
+  std::string bad_version = state;
+  bad_version[0] = '\x7f';
+  FaultInjector v(4, config, {0, 0, 1, 1});
+  EXPECT_FALSE(v.restore_state(bad_version, &error));
+  EXPECT_NE(error.find("version"), std::string::npos) << error;
+  for (std::size_t cut = 0; cut < state.size(); cut += 7) {
+    FaultInjector t(4, config, {0, 0, 1, 1});
+    EXPECT_FALSE(t.restore_state(state.substr(0, cut), &error))
+        << "cut=" << cut;
+  }
+}
+
+TEST(RackBursts, ResumedRunMatchesUninterruptedTrace) {
+  FaultConfig config = rack_config(/*rack_mtbf_s=*/40.0, /*rack_mttr_s=*/15.0);
+  config.mtbf_s = 90.0;
+  config.mttr_s = 12.0;
+  const std::vector<int> racks = {0, 0, 1, 1};
+  const Time horizon = seconds_to_ticks(std::int64_t{1500});
+  const Time cut = seconds_to_ticks(std::int64_t{400});
+
+  // Uninterrupted baseline.
+  des::Simulation des_a;
+  FaultInjector a(4, config, racks);
+  a.start(des_a, [](ResourceId, Time) {}, [](ResourceId, Time) {});
+  des_a.run(horizon);
+
+  // Run to the cut, capture, restore into a fresh injector + DES, finish.
+  des::Simulation des_b;
+  FaultInjector b(4, config, racks);
+  b.start(des_b, [](ResourceId, Time) {}, [](ResourceId, Time) {});
+  des_b.run(cut);
+  const std::string state = b.encode_state();
+
+  des::Simulation des_c;
+  des_c.restore_clock(des_b.now());
+  FaultInjector c(4, config, racks);
+  std::string error;
+  ASSERT_TRUE(c.restore_state(state, &error)) << error;
+  c.resume([](ResourceId, Time) {}, [](ResourceId, Time) {});
+  for (const FaultInjector::PendingTransition& t : c.pending_transitions()) {
+    c.schedule_transition(des_c, t);
+  }
+  des_c.run(horizon);
+
+  const auto& base = a.downtime();
+  const auto& resumed = c.downtime();
+  ASSERT_EQ(base.size(), resumed.size());
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    EXPECT_EQ(base[i].resource, resumed[i].resource) << i;
+    EXPECT_EQ(base[i].start, resumed[i].start) << i;
+    EXPECT_EQ(base[i].end, resumed[i].end) << i;
+  }
+  EXPECT_EQ(a.rack_bursts(), c.rack_bursts());
+  EXPECT_EQ(a.failures(), c.failures());
+}
+
 TEST(Stragglers, HashIsDeterministicAndSeedSensitive) {
   FaultConfig config;
   config.straggler_prob = 0.3;

@@ -19,9 +19,17 @@ inline Job make_job(JobId id, Time arrival, Time earliest_start, Time deadline,
   j.arrival_time = arrival;
   j.earliest_start = earliest_start;
   j.deadline = deadline;
-  for (Time d : map_durs) j.map_tasks.push_back(Task{TaskType::kMap, d, 1});
+  for (Time d : map_durs) {
+    Task t;
+    t.type = TaskType::kMap;
+    t.exec_time = d;
+    j.map_tasks.push_back(std::move(t));
+  }
   for (Time d : reduce_durs) {
-    j.reduce_tasks.push_back(Task{TaskType::kReduce, d, 1});
+    Task t;
+    t.type = TaskType::kReduce;
+    t.exec_time = d;
+    j.reduce_tasks.push_back(std::move(t));
   }
   return j;
 }

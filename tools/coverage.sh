@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# Line/branch coverage report over src/ from a -DMRCP_COVERAGE=ON build.
+#
+# Usage: tools/coverage.sh [build-dir] [--threshold <line%>]
+#
+#   1. cmake -B build-cov -S . -DMRCP_COVERAGE=ON
+#   2. cmake --build build-cov -j && (cd build-cov && ctest -j)
+#   3. tools/coverage.sh build-cov
+#
+# Prefers gcovr (text summary + coverage.xml Cobertura artifact for CI).
+# Falls back to raw gcov per-file summaries when gcovr is not installed
+# (the summary then has no single total and the threshold is skipped).
+#
+# The threshold is ADVISORY: a shortfall prints a warning and exits 0.
+# CI uploads the artifact either way; use --threshold-strict to make a
+# shortfall fail (not enabled in CI — coverage gates on a moving tree
+# cause more harm than signal; see docs/heterogeneous.md#coverage).
+set -euo pipefail
+
+build_dir="build-cov"
+threshold="70"
+strict=0
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --threshold) threshold="$2"; shift 2 ;;
+    --threshold-strict) strict=1; shift ;;
+    *) build_dir="$1"; shift ;;
+  esac
+done
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$repo_root"
+
+if [ ! -d "$build_dir" ]; then
+  echo "error: build dir '$build_dir' not found (configure with -DMRCP_COVERAGE=ON first)" >&2
+  exit 1
+fi
+if ! find "$build_dir" -name '*.gcda' -print -quit | grep -q .; then
+  echo "error: no .gcda files under '$build_dir' — run the tests first" >&2
+  exit 1
+fi
+
+if command -v gcovr > /dev/null 2>&1; then
+  gcovr --root "$repo_root" \
+        --filter 'src/' \
+        --exclude-throw-branches \
+        --print-summary \
+        --xml "$build_dir/coverage.xml" \
+        --txt "$build_dir/coverage.txt" \
+        "$build_dir"
+  echo "wrote $build_dir/coverage.xml and $build_dir/coverage.txt"
+  line_pct="$(sed -nE 's/^lines: ([0-9]+)\.[0-9]+%.*/\1/p' "$build_dir/coverage.txt" | head -1)"
+  if [ -z "$line_pct" ]; then
+    # gcovr's --txt is a table; take the TOTAL row instead.
+    line_pct="$(awk '/^TOTAL/ { gsub(/%/, "", $4); print int($4) }' "$build_dir/coverage.txt")"
+  fi
+  if [ -n "$line_pct" ] && [ "$line_pct" -lt "$threshold" ]; then
+    echo "warning: line coverage ${line_pct}% is below the advisory threshold ${threshold}%"
+    [ "$strict" -eq 1 ] && exit 1
+  fi
+  exit 0
+fi
+
+echo "gcovr not found; falling back to raw gcov summaries (no total, no threshold)"
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+find "$build_dir" -name '*.gcda' | while read -r gcda; do
+  (cd "$tmp" && gcov --no-output --stdout "$gcda" > /dev/null 2>&1) || true
+done
+# Per-object summaries: -n prints "File ... Lines executed:X% of N".
+find "$build_dir" -name '*.gcda' -exec gcov -n {} + 2> /dev/null \
+  | grep -A1 "^File '.*${repo_root}/src/" \
+  | sed "s|${repo_root}/||" || true

@@ -56,6 +56,20 @@ Workload build_workload(const Flags& flags, bool& ok) {
     c.map_capacity = static_cast<int>(flags.get_int("map-slots"));
     c.reduce_capacity = static_cast<int>(flags.get_int("reduce-slots"));
     c.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+    // Heterogeneity knobs (docs/heterogeneous.md). Defaults leave the
+    // generator byte-identical to the homogeneous paper setup.
+    c.num_racks = static_cast<int>(flags.get_int("num-racks"));
+    c.locality_prob = flags.get_double("locality-prob");
+    c.affinity_prob = flags.get_double("affinity-prob");
+    const std::string& speeds = flags.get_string("speeds");
+    std::size_t pos = 0;
+    while (pos < speeds.size()) {
+      std::size_t next = speeds.find(',', pos);
+      if (next == std::string::npos) next = speeds.size();
+      c.speed_choices.push_back(
+          static_cast<int>(std::stol(speeds.substr(pos, next - pos))));
+      pos = next + 1;
+    }
     return generate_synthetic_workload(c);
   }
   if (gen == "facebook") {
@@ -116,6 +130,8 @@ int run_simulate(const Flags& flags) {
   options.faults.mttr_s = flags.get_double("mttr");
   options.faults.straggler_prob = flags.get_double("straggler-prob");
   options.faults.straggler_factor = flags.get_double("straggler-factor");
+  options.faults.rack_mtbf_s = flags.get_double("rack-mtbf");
+  options.faults.rack_mttr_s = flags.get_double("rack-mttr");
   options.faults.seed = static_cast<std::uint64_t>(flags.get_int("fault-seed"));
   {
     const std::string err = options.faults.validate();
@@ -175,6 +191,10 @@ int run_simulate(const Flags& flags) {
     std::printf("  failures = %lld, repairs = %lld\n",
                 static_cast<long long>(f.resource_failures),
                 static_cast<long long>(f.resource_repairs));
+    if (options.faults.rack_failures_enabled()) {
+      std::printf("  rack bursts = %lld\n",
+                  static_cast<long long>(f.rack_bursts));
+    }
     std::printf("  tasks killed = %lld, wasted work = %.1f s\n",
                 static_cast<long long>(f.tasks_killed), f.wasted_seconds());
     std::printf("  stragglers = %lld\n",
@@ -272,7 +292,20 @@ int main(int argc, char** argv) {
       .add_double("mttr", 60.0, "mean time to repair (s)")
       .add_double("straggler-prob", 0.0, "per-task straggler probability")
       .add_double("straggler-factor", 1.0, "straggler exec-time multiplier")
+      .add_double("rack-mtbf", 0.0, "mean time between correlated rack "
+                                    "bursts per rack (s, 0 = none)")
+      .add_double("rack-mttr", 60.0,
+                  "mean member repair after a rack burst (s)")
       .add_int("fault-seed", 1, "fault-injection seed")
+      .add_string("speeds", "",
+                  "synthetic: comma-separated machine speed choices "
+                  "(permille of baseline; empty = homogeneous 1000)")
+      .add_int("num-racks", 1, "synthetic: racks to stripe machines across")
+      .add_double("locality-prob", 0.0,
+                  "synthetic: per-task data-locality candidate-set "
+                  "probability")
+      .add_double("affinity-prob", 0.0,
+                  "synthetic: per-job reduce anti-affinity probability")
       .add_string("trace-out", "", "simulate: write executed schedule CSV")
       .add_string("downtime-out", "", "simulate: write outage intervals CSV")
       .add_string("journal", "",
